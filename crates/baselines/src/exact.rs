@@ -1,0 +1,234 @@
+//! Exact full-scan baselines (`O(hN)`), the paper's *Exact* competitor.
+
+use swope_columnar::{AttrIndex, Dataset};
+use swope_core::{AttrScore, FilterResult, QueryStats, SwopeError, TopKResult};
+use swope_estimate::entropy::column_entropy;
+use swope_estimate::joint::mutual_information;
+
+/// Exact empirical entropy of every attribute, one full scan per column.
+pub fn exact_entropy_scores(dataset: &Dataset) -> Vec<f64> {
+    (0..dataset.num_attrs())
+        .map(|a| column_entropy(dataset.column(a)))
+        .collect()
+}
+
+/// Exact empirical mutual information of every attribute against
+/// `target` (`None` at the target's own position would be ill-defined, so
+/// the target position holds `I(α_t, α_t) = H(α_t)`; callers querying
+/// candidates should skip index `target`).
+pub fn exact_mi_scores(dataset: &Dataset, target: AttrIndex) -> Vec<f64> {
+    let t = dataset.column(target);
+    (0..dataset.num_attrs())
+        .map(|a| mutual_information(t, dataset.column(a)))
+        .collect()
+}
+
+fn exact_stats(dataset: &Dataset, structures: usize) -> QueryStats {
+    QueryStats {
+        sample_size: dataset.num_rows(),
+        iterations: 1,
+        rows_scanned: dataset.num_rows() as u64 * structures as u64,
+        converged_early: false,
+        trace: Vec::new(),
+    }
+}
+
+fn score(dataset: &Dataset, attr: AttrIndex, value: f64) -> AttrScore {
+    AttrScore {
+        attr,
+        name: dataset
+            .schema()
+            .field(attr)
+            .map(|f| f.name().to_owned())
+            .unwrap_or_default(),
+        estimate: value,
+        lower: value,
+        upper: value,
+    }
+}
+
+fn validate(dataset: &Dataset) -> Result<(), SwopeError> {
+    if dataset.num_attrs() == 0 || dataset.num_rows() == 0 {
+        return Err(SwopeError::EmptyDataset);
+    }
+    Ok(())
+}
+
+/// Exact top-k on empirical entropy: full scan, sort, take k.
+pub fn exact_entropy_top_k(dataset: &Dataset, k: usize) -> Result<TopKResult, SwopeError> {
+    validate(dataset)?;
+    let h = dataset.num_attrs();
+    if k == 0 || k > h {
+        return Err(SwopeError::InvalidK { k, candidates: h });
+    }
+    let scores = exact_entropy_scores(dataset);
+    let order = rank_desc(&scores, k);
+    Ok(TopKResult {
+        top: order.into_iter().map(|a| score(dataset, a, scores[a])).collect(),
+        stats: exact_stats(dataset, h),
+    })
+}
+
+/// Exact filtering on empirical entropy: attributes with `H(α) ≥ η`.
+pub fn exact_entropy_filter(dataset: &Dataset, eta: f64) -> Result<FilterResult, SwopeError> {
+    validate(dataset)?;
+    if !eta.is_finite() || eta < 0.0 {
+        return Err(SwopeError::InvalidThreshold(eta));
+    }
+    let scores = exact_entropy_scores(dataset);
+    let mut accepted: Vec<AttrScore> = scores
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s >= eta)
+        .map(|(a, &s)| score(dataset, a, s))
+        .collect();
+    accepted.sort_by(|a, b| b.estimate.partial_cmp(&a.estimate).unwrap().then(a.attr.cmp(&b.attr)));
+    Ok(FilterResult { accepted, stats: exact_stats(dataset, dataset.num_attrs()) })
+}
+
+/// Exact top-k on empirical mutual information against `target`.
+pub fn exact_mi_top_k(
+    dataset: &Dataset,
+    target: AttrIndex,
+    k: usize,
+) -> Result<TopKResult, SwopeError> {
+    validate(dataset)?;
+    let h = dataset.num_attrs();
+    if target >= h {
+        return Err(SwopeError::TargetOutOfRange { target, num_attrs: h });
+    }
+    if h < 2 {
+        return Err(SwopeError::NoCandidates);
+    }
+    if k == 0 || k > h - 1 {
+        return Err(SwopeError::InvalidK { k, candidates: h - 1 });
+    }
+    let scores = exact_mi_scores(dataset, target);
+    let candidates: Vec<AttrIndex> = (0..h).filter(|&a| a != target).collect();
+    let mut order = candidates;
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
+    });
+    order.truncate(k);
+    Ok(TopKResult {
+        top: order.into_iter().map(|a| score(dataset, a, scores[a])).collect(),
+        // Per candidate: marginal + joint structures, plus the target scan.
+        stats: exact_stats(dataset, 2 * (h - 1) + 1),
+    })
+}
+
+/// Exact filtering on empirical mutual information against `target`.
+pub fn exact_mi_filter(
+    dataset: &Dataset,
+    target: AttrIndex,
+    eta: f64,
+) -> Result<FilterResult, SwopeError> {
+    validate(dataset)?;
+    if !eta.is_finite() || eta < 0.0 {
+        return Err(SwopeError::InvalidThreshold(eta));
+    }
+    let h = dataset.num_attrs();
+    if target >= h {
+        return Err(SwopeError::TargetOutOfRange { target, num_attrs: h });
+    }
+    if h < 2 {
+        return Err(SwopeError::NoCandidates);
+    }
+    let scores = exact_mi_scores(dataset, target);
+    let mut accepted: Vec<AttrScore> = (0..h)
+        .filter(|&a| a != target && scores[a] >= eta)
+        .map(|a| score(dataset, a, scores[a]))
+        .collect();
+    accepted.sort_by(|a, b| b.estimate.partial_cmp(&a.estimate).unwrap().then(a.attr.cmp(&b.attr)));
+    Ok(FilterResult { accepted, stats: exact_stats(dataset, 2 * (h - 1) + 1) })
+}
+
+fn rank_desc(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
+    order.truncate(k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swope_columnar::{Column, Field, Schema};
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(vec![
+            Field::new("low", 2),
+            Field::new("high", 8),
+            Field::new("mid", 4),
+        ]);
+        let n = 800usize;
+        let cols = vec![
+            Column::new((0..n).map(|r| (r / 400) as u32).collect(), 2).unwrap(),
+            Column::new((0..n).map(|r| (r % 8) as u32).collect(), 8).unwrap(),
+            Column::new((0..n).map(|r| (r % 4) as u32).collect(), 4).unwrap(),
+        ];
+        Dataset::new(schema, cols).unwrap()
+    }
+
+    #[test]
+    fn entropy_scores_match_hand_computation() {
+        let s = exact_entropy_scores(&dataset());
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert!((s[1] - 3.0).abs() < 1e-12);
+        assert!((s[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_orders_by_score() {
+        let r = exact_entropy_top_k(&dataset(), 2).unwrap();
+        let names: Vec<&str> = r.top.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["high", "mid"]);
+        assert!(!r.stats.converged_early);
+    }
+
+    #[test]
+    fn filter_threshold_semantics_are_inclusive() {
+        let r = exact_entropy_filter(&dataset(), 2.0).unwrap();
+        let names: Vec<&str> = r.accepted.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["high", "mid"]); // H = 2.0 is included
+    }
+
+    #[test]
+    fn mi_scores_and_top_k() {
+        let ds = dataset();
+        // "mid" (r % 4) is a deterministic function of "high" (r % 8):
+        // I(high, mid) = H(mid) = 2 bits; I(high, low) is 0 (r/400 is
+        // independent of r%8 over 800 rows... 400 % 8 == 0 so yes).
+        let s = exact_mi_scores(&ds, 1);
+        assert!((s[2] - 2.0).abs() < 1e-9);
+        assert!(s[0].abs() < 1e-9);
+        let r = exact_mi_top_k(&ds, 1, 1).unwrap();
+        assert_eq!(r.top[0].name, "mid");
+    }
+
+    #[test]
+    fn mi_filter_excludes_target() {
+        let r = exact_mi_filter(&dataset(), 1, 0.0).unwrap();
+        assert!(r.accepted.iter().all(|s| s.attr != 1));
+        assert_eq!(r.accepted.len(), 2);
+    }
+
+    #[test]
+    fn validation() {
+        let ds = dataset();
+        assert!(exact_entropy_top_k(&ds, 0).is_err());
+        assert!(exact_entropy_top_k(&ds, 4).is_err());
+        assert!(exact_entropy_filter(&ds, -1.0).is_err());
+        assert!(exact_mi_top_k(&ds, 9, 1).is_err());
+        assert!(exact_mi_filter(&ds, 9, 0.1).is_err());
+    }
+
+    #[test]
+    fn exact_bounds_are_degenerate() {
+        let r = exact_entropy_top_k(&dataset(), 3).unwrap();
+        for s in &r.top {
+            assert_eq!(s.lower, s.estimate);
+            assert_eq!(s.upper, s.estimate);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # swope-baselines
+//!
+//! The comparator algorithms of the SWOPE paper's evaluation (§6):
+//!
+//! * [`exact`] — full-scan exact answers for all four query types. The
+//!   `O(hN)` baseline every sampling method is measured against.
+//! * [`rank`] — **EntropyRank** (Wang & Ding, KDD'19, the paper's reference \[32\]):
+//!   adaptive sampling that returns the *exact* top-k, stopping only when
+//!   the k-th largest lower bound separates from the (k+1)-th largest
+//!   upper bound. Its cost scales with `1/Δ²` where `Δ` is the score gap —
+//!   the weakness SWOPE's approximate stopping rule removes.
+//! * [`filter`] — **EntropyFilter** (same paper): exact filtering,
+//!   deciding each attribute only when its interval clears the threshold
+//!   entirely; cost scales with `1/δ²` where `δ` is the smallest
+//!   score-to-threshold distance.
+//! * [`mi`] — the EntropyRank/EntropyFilter machinery lifted to empirical
+//!   mutual information, as used in the paper's §6.3 comparisons.
+//!
+//! All baselines share SWOPE's sampling and bound substrate
+//! (`swope-sampling`, `swope-estimate`, `swope-core::state`), so measured
+//! differences isolate the *stopping rules* — the paper's contribution —
+//! rather than implementation details.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod exact;
+pub mod filter;
+pub mod mi;
+pub mod oneshot;
+pub mod rank;
+mod util;
+
+pub use oneshot::{oneshot_entropy_top_k, oneshot_mi_top_k};
+pub use util::{score_of, score_of_mi};
+
+pub use exact::{
+    exact_entropy_filter, exact_entropy_scores, exact_entropy_top_k, exact_mi_filter,
+    exact_mi_scores, exact_mi_top_k,
+};
+pub use filter::entropy_filter_exact_sampling;
+pub use mi::{mi_filter_exact_sampling, mi_rank_top_k};
+pub use rank::entropy_rank_top_k;

@@ -1,0 +1,226 @@
+//! OneShot: the naive fixed-budget sampling estimator.
+//!
+//! Draw a single sample of a user-chosen size, compute plug-in scores,
+//! answer the query from those point estimates — no confidence
+//! intervals, no adaptivity, no guarantee. This is what ad-hoc analytics
+//! code typically does, and it is the natural strawman for SWOPE's
+//! adaptive machinery: at the *same* sample budget SWOPE certifies its
+//! answer (or keeps sampling), while OneShot silently returns whatever
+//! the sample says. The `ext-oneshot` harness experiment quantifies the
+//! accuracy gap.
+
+use swope_columnar::{AttrIndex, Dataset};
+use swope_core::state::make_sampler;
+use swope_core::{AttrScore, QueryStats, SamplingStrategy, SwopeError, TopKResult};
+use swope_estimate::entropy::EntropyCounter;
+use swope_estimate::joint::JointEntropyCounter;
+
+/// Top-k on empirical entropy from one fixed-size plug-in sample.
+///
+/// `sample_size` is clamped to `[1, N]`. The returned scores carry the
+/// plug-in estimate as both bounds (there is no interval to report).
+pub fn oneshot_entropy_top_k(
+    dataset: &Dataset,
+    k: usize,
+    sample_size: usize,
+    seed: u64,
+) -> Result<TopKResult, SwopeError> {
+    let h = dataset.num_attrs();
+    let n = dataset.num_rows();
+    if h == 0 || n == 0 {
+        return Err(SwopeError::EmptyDataset);
+    }
+    if k == 0 || k > h {
+        return Err(SwopeError::InvalidK { k, candidates: h });
+    }
+    let m = sample_size.clamp(1, n);
+    let mut sampler = make_sampler(n, SamplingStrategy::Row { seed });
+    let rows: Vec<u32> = sampler.grow_to(m).to_vec();
+
+    let mut scores: Vec<(AttrIndex, f64)> = (0..h)
+        .map(|attr| {
+            let col = dataset.column(attr);
+            let mut counter = EntropyCounter::new(col.support());
+            for &r in &rows {
+                counter.add(col.code(r as usize));
+            }
+            (attr, counter.entropy())
+        })
+        .collect();
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scores.truncate(k);
+
+    Ok(TopKResult {
+        top: scores.into_iter().map(|(attr, s)| plugin_score(dataset, attr, s)).collect(),
+        stats: QueryStats {
+            sample_size: m,
+            iterations: 1,
+            rows_scanned: (m * h) as u64,
+            converged_early: m < n,
+            trace: Vec::new(),
+        },
+    })
+}
+
+/// Top-k on empirical MI from one fixed-size plug-in sample.
+pub fn oneshot_mi_top_k(
+    dataset: &Dataset,
+    target: AttrIndex,
+    k: usize,
+    sample_size: usize,
+    seed: u64,
+) -> Result<TopKResult, SwopeError> {
+    let h = dataset.num_attrs();
+    let n = dataset.num_rows();
+    if h == 0 || n == 0 {
+        return Err(SwopeError::EmptyDataset);
+    }
+    if target >= h {
+        return Err(SwopeError::TargetOutOfRange { target, num_attrs: h });
+    }
+    if h < 2 {
+        return Err(SwopeError::NoCandidates);
+    }
+    if k == 0 || k > h - 1 {
+        return Err(SwopeError::InvalidK { k, candidates: h - 1 });
+    }
+    let m = sample_size.clamp(1, n);
+    let mut sampler = make_sampler(n, SamplingStrategy::Row { seed });
+    let rows: Vec<u32> = sampler.grow_to(m).to_vec();
+
+    let t_col = dataset.column(target);
+    let mut t_counter = EntropyCounter::new(t_col.support());
+    let t_codes: Vec<u32> = rows
+        .iter()
+        .map(|&r| {
+            let c = t_col.code(r as usize);
+            t_counter.add(c);
+            c
+        })
+        .collect();
+    let h_t = t_counter.entropy();
+
+    let mut scores: Vec<(AttrIndex, f64)> = (0..h)
+        .filter(|&a| a != target)
+        .map(|attr| {
+            let col = dataset.column(attr);
+            let mut marginal = EntropyCounter::new(col.support());
+            let mut joint = JointEntropyCounter::new(t_col.support(), col.support());
+            for (&r, &tc) in rows.iter().zip(&t_codes) {
+                let c = col.code(r as usize);
+                marginal.add(c);
+                joint.add(tc, c);
+            }
+            (attr, (h_t + marginal.entropy() - joint.entropy()).max(0.0))
+        })
+        .collect();
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scores.truncate(k);
+
+    Ok(TopKResult {
+        top: scores.into_iter().map(|(attr, s)| plugin_score(dataset, attr, s)).collect(),
+        stats: QueryStats {
+            sample_size: m,
+            iterations: 1,
+            rows_scanned: (m * (2 * (h - 1) + 1)) as u64,
+            converged_early: m < n,
+            trace: Vec::new(),
+        },
+    })
+}
+
+fn plugin_score(dataset: &Dataset, attr: AttrIndex, estimate: f64) -> AttrScore {
+    AttrScore {
+        attr,
+        name: dataset
+            .schema()
+            .field(attr)
+            .map(|f| f.name().to_owned())
+            .unwrap_or_default(),
+        estimate,
+        lower: estimate,
+        upper: estimate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_entropy_top_k;
+    use swope_columnar::{Column, Field, Schema};
+
+    fn cyclic_dataset(n: usize, supports: &[u32]) -> Dataset {
+        let fields = supports
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| Field::new(format!("c{i}"), u))
+            .collect();
+        let columns = supports
+            .iter()
+            .map(|&u| Column::new((0..n).map(|r| r as u32 % u).collect(), u).unwrap())
+            .collect();
+        Dataset::new(Schema::new(fields), columns).unwrap()
+    }
+
+    #[test]
+    fn full_budget_matches_exact() {
+        let ds = cyclic_dataset(5_000, &[2, 64, 8]);
+        let oneshot = oneshot_entropy_top_k(&ds, 2, 5_000, 1).unwrap();
+        let exact = exact_entropy_top_k(&ds, 2).unwrap();
+        assert_eq!(oneshot.attr_indices(), exact.attr_indices());
+    }
+
+    #[test]
+    fn small_budget_ranks_well_separated_attrs() {
+        let ds = cyclic_dataset(100_000, &[2, 256]);
+        let r = oneshot_entropy_top_k(&ds, 1, 2_000, 3).unwrap();
+        assert_eq!(r.top[0].name, "c1");
+        assert_eq!(r.stats.sample_size, 2_000);
+    }
+
+    #[test]
+    fn plugin_underestimates_wide_supports_at_tiny_budgets() {
+        // The Lemma 1 bias in action: a 64-record sample of a 512-value
+        // uniform column can see at most 64 distinct values -> H_S <= 6
+        // bits although H_D = 9 bits. SWOPE's bias term b(α) accounts for
+        // this; OneShot silently under-reports.
+        let ds = cyclic_dataset(100_000, &[512]);
+        let r = oneshot_entropy_top_k(&ds, 1, 64, 1).unwrap();
+        assert!(r.top[0].estimate <= 6.0 + 1e-9);
+    }
+
+    #[test]
+    fn mi_oneshot_full_budget_matches_exact_ranking() {
+        let n = 10_000;
+        let fields = vec![Field::new("t", 8), Field::new("copy", 8), Field::new("noise", 8)];
+        let cols = vec![
+            Column::new((0..n).map(|r| r as u32 % 8).collect(), 8).unwrap(),
+            Column::new((0..n).map(|r| r as u32 % 8).collect(), 8).unwrap(),
+            Column::new(
+                (0..n).map(|r| ((r as u32).wrapping_mul(2654435761) >> 13) % 8).collect(),
+                8,
+            )
+            .unwrap(),
+        ];
+        let ds = Dataset::new(Schema::new(fields), cols).unwrap();
+        let r = oneshot_mi_top_k(&ds, 0, 1, n, 1).unwrap();
+        assert_eq!(r.top[0].name, "copy");
+    }
+
+    #[test]
+    fn validation() {
+        let ds = cyclic_dataset(100, &[2, 4]);
+        assert!(oneshot_entropy_top_k(&ds, 0, 50, 1).is_err());
+        assert!(oneshot_entropy_top_k(&ds, 3, 50, 1).is_err());
+        assert!(oneshot_mi_top_k(&ds, 5, 1, 50, 1).is_err());
+    }
+
+    #[test]
+    fn budget_is_clamped() {
+        let ds = cyclic_dataset(100, &[2, 4]);
+        let r = oneshot_entropy_top_k(&ds, 1, 10_000, 1).unwrap();
+        assert_eq!(r.stats.sample_size, 100);
+        let r = oneshot_entropy_top_k(&ds, 1, 0, 1).unwrap();
+        assert_eq!(r.stats.sample_size, 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Small shared helpers for assembling baseline results.
+
+use swope_columnar::{AttrIndex, Dataset};
+use swope_core::AttrScore;
+use swope_estimate::bounds::{EntropyBounds, MiBounds};
+
+/// Builds an [`AttrScore`] from an entropy confidence interval.
+pub fn score_of(dataset: &Dataset, attr: AttrIndex, bounds: &EntropyBounds) -> AttrScore {
+    AttrScore {
+        attr,
+        name: dataset
+            .schema()
+            .field(attr)
+            .map(|f| f.name().to_owned())
+            .unwrap_or_default(),
+        estimate: bounds.point_estimate(),
+        lower: bounds.lower,
+        upper: bounds.upper,
+    }
+}
+
+/// Builds an [`AttrScore`] from an MI confidence interval.
+pub fn score_of_mi(dataset: &Dataset, attr: AttrIndex, bounds: &MiBounds) -> AttrScore {
+    AttrScore {
+        attr,
+        name: dataset
+            .schema()
+            .field(attr)
+            .map(|f| f.name().to_owned())
+            .unwrap_or_default(),
+        estimate: bounds.point_estimate(),
+        lower: bounds.lower,
+        upper: bounds.upper,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swope_columnar::{Column, Field, Schema};
+    use swope_estimate::bounds::entropy_bounds;
+
+    #[test]
+    fn score_of_copies_interval() {
+        let schema = Schema::new(vec![Field::new("x", 2)]);
+        let ds =
+            Dataset::new(schema, vec![Column::new(vec![0, 1], 2).unwrap()]).unwrap();
+        let b = entropy_bounds(1.0, 100, 1000, 2, 0.01);
+        let s = score_of(&ds, 0, &b);
+        assert_eq!(s.name, "x");
+        assert_eq!(s.lower, b.lower);
+        assert_eq!(s.upper, b.upper);
+        assert_eq!(s.estimate, b.point_estimate());
+    }
+}

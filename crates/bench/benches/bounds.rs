@@ -1,0 +1,34 @@
+//! Microbenchmarks for the concentration-bound arithmetic (Lemma 1–4).
+//!
+//! Bound evaluation runs once per candidate attribute per iteration — for
+//! h ≈ 180 attributes over ~15 iterations that is a few thousand calls per
+//! query, so it must stay in the nanosecond range to be negligible next to
+//! the counting work.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use swope_estimate::bounds::{bias, entropy_bounds, lambda, mi_bounds, sample_size_for_width};
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bounds");
+    let (m, n, p) = (1u64 << 16, 1u64 << 25, 1e-8);
+
+    g.bench_function("lambda", |b| {
+        b.iter(|| lambda(black_box(m), black_box(n), black_box(p)))
+    });
+    g.bench_function("bias", |b| {
+        b.iter(|| bias(black_box(500), black_box(m), black_box(n)))
+    });
+    g.bench_function("entropy_bounds", |b| {
+        b.iter(|| entropy_bounds(black_box(4.2), m, n, 500, p))
+    });
+    g.bench_function("mi_bounds", |b| {
+        b.iter(|| mi_bounds(black_box(3.1), 4.2, 6.0, 100, 500, m, n, p))
+    });
+    g.bench_function("sample_size_for_width", |b| {
+        b.iter(|| sample_size_for_width(black_box(0.25), n, 500, p))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

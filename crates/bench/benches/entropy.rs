@@ -1,0 +1,56 @@
+//! Ablation: incremental entropy accumulator vs recompute-from-counts.
+//!
+//! DESIGN.md design choice 1: maintaining `Σ n_i·log2 n_i` under count
+//! increments makes each ingested record O(1) and each bound evaluation
+//! O(1). The alternative — recompute entropy from the count vector on
+//! every evaluation — is O(u) per evaluation. This bench quantifies both
+//! halves.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use swope_estimate::entropy::{entropy_from_counts, EntropyCounter};
+
+fn stream(len: usize, support: u32) -> Vec<u32> {
+    let mut x = 88172645463325252u64;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % support as u64) as u32
+        })
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("entropy_ingest");
+    let data = stream(100_000, 500);
+    g.bench_function("incremental_add_100k", |b| {
+        b.iter_batched(
+            || EntropyCounter::new(500),
+            |mut counter| {
+                for &code in &data {
+                    counter.add(code);
+                }
+                black_box(counter.entropy())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("entropy_evaluate");
+    let mut counter = EntropyCounter::new(1000);
+    for &code in &stream(1_000_000, 1000) {
+        counter.add(code);
+    }
+    g.bench_function("incremental_o1", |b| b.iter(|| black_box(counter.entropy())));
+    g.bench_function("recompute_o_u", |b| {
+        b.iter(|| black_box(entropy_from_counts(counter.counts())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_evaluate);
+criterion_main!(benches);

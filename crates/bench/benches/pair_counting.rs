@@ -1,0 +1,57 @@
+//! Ablation: dense array vs Fx-hashed sparse map for pair counting.
+//!
+//! DESIGN.md design choice 3: joint entropy needs counts over the
+//! `u_t × u_α` pair space. Dense arrays win while the space is small;
+//! sparse maps win when it is large but thinly occupied. The
+//! `DENSE_PAIR_LIMIT` crossover constant in `swope-estimate::freq` was
+//! picked with this bench.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use swope_estimate::freq::PairCounter;
+
+fn pairs(len: usize, u: u32) -> Vec<(u32, u32)> {
+    let mut x = 2463534242u64;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (((x >> 8) % u as u64) as u32, ((x >> 40) % u as u64) as u32)
+        })
+        .collect()
+}
+
+fn bench_pair_counters(c: &mut Criterion) {
+    for u in [64u32, 1024] {
+        let data = pairs(200_000, u);
+        let mut g = c.benchmark_group(format!("pair_counting_u{u}"));
+        g.bench_function("adaptive", |b| {
+            b.iter_batched(
+                || PairCounter::new(u, u),
+                |mut counter| {
+                    for &(a, bb) in &data {
+                        counter.add(a, bb);
+                    }
+                    black_box(counter.total())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function("forced_sparse", |b| {
+            b.iter_batched(
+                PairCounter::new_sparse,
+                |mut counter| {
+                    for &(a, bb) in &data {
+                        counter.add(a, bb);
+                    }
+                    black_box(counter.total())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_pair_counters);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Figures 5–6: mutual-information top-k query time and accuracy.
+//!
+//! Paper protocol (§6.3): vary `k ∈ {1, 2, 4, 8, 10}`; for each dataset,
+//! average each metric over a set of target attributes (the paper uses 20
+//! random targets; the default config uses 5 for runtime — raise
+//! `--targets` to match). SWOPE runs at its tuned ε = 0.5 (Figure 11).
+
+use swope_baselines::{exact_mi_scores, mi_rank_top_k};
+use swope_core::{mi_top_k, SwopeConfig};
+
+use crate::figures::entropy_topk::order_desc;
+use crate::harness::{time_ms, ExpConfig, Row};
+use crate::metrics::topk_accuracy;
+
+/// The paper's k sweep.
+pub const KS: [usize; 5] = [1, 2, 4, 8, 10];
+
+/// SWOPE's tuned ε for MI queries (paper Figures 11–12).
+pub const SWOPE_EPSILON: f64 = 0.5;
+
+/// Runs the Figure 5/6 sweep.
+pub fn run(cfg: &ExpConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (name, ds) in cfg.datasets() {
+        let targets = cfg.pick_targets(ds.num_attrs());
+
+        // Per-target exact scores + one exact timing (k-independent).
+        let mut per_target: Vec<(usize, Vec<usize>, f64)> = Vec::new();
+        for &t in &targets {
+            let (ms, scores) = time_ms(|| exact_mi_scores(&ds, t));
+            let order: Vec<usize> =
+                order_desc(&scores).into_iter().filter(|&a| a != t).collect();
+            per_target.push((t, order, ms));
+        }
+
+        for &k in &KS {
+            // Exact: average the (flat in k) per-target scan times.
+            let exact_ms =
+                per_target.iter().map(|(_, _, ms)| ms).sum::<f64>() / targets.len() as f64;
+            rows.push(Row {
+                experiment: "fig5".into(),
+                dataset: name.clone(),
+                algo: "Exact".into(),
+                param: k as f64,
+                millis: exact_ms,
+                accuracy: 1.0,
+                sample_size: ds.num_rows(),
+                rows_scanned: (ds.num_rows() * (2 * ds.num_attrs() - 1)) as u64,
+            });
+
+            for (algo, eps) in [("EntropyRank", None), ("SWOPE", Some(SWOPE_EPSILON))] {
+                let mut ms_sum = 0.0;
+                let mut acc_sum = 0.0;
+                let mut sample_sum = 0usize;
+                let mut scanned_sum = 0u64;
+                for (t, exact_order, _) in &per_target {
+                    let qcfg = match eps {
+                        Some(e) => SwopeConfig::with_epsilon(e),
+                        None => SwopeConfig::default(),
+                    }
+                    .with_seed(cfg.seed ^ (k as u64) << 8 ^ *t as u64);
+                    let (ms, res) = time_ms(|| match eps {
+                        Some(_) => mi_top_k(&ds, *t, k, &qcfg).unwrap(),
+                        None => mi_rank_top_k(&ds, *t, k, &qcfg).unwrap(),
+                    });
+                    ms_sum += ms;
+                    acc_sum += topk_accuracy(
+                        &res.attr_indices(),
+                        &exact_order[..k.min(exact_order.len())],
+                    );
+                    sample_sum += res.stats.sample_size;
+                    scanned_sum += res.stats.rows_scanned;
+                }
+                let n_t = targets.len() as f64;
+                rows.push(Row {
+                    experiment: "fig5".into(),
+                    dataset: name.clone(),
+                    algo: algo.into(),
+                    param: k as f64,
+                    millis: ms_sum / n_t,
+                    accuracy: acc_sum / n_t,
+                    sample_size: sample_sum / targets.len(),
+                    rows_scanned: scanned_sum / targets.len() as u64,
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_full_grid() {
+        let cfg = ExpConfig { scale: 0.001, mi_targets: 2, ..Default::default() };
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), 4 * KS.len() * 3);
+        for r in &rows {
+            assert!(r.accuracy >= 0.0 && r.accuracy <= 1.0, "{r:?}");
+        }
+        // EntropyRank answers are exact: accuracy 1 (up to p_f).
+        assert!(rows
+            .iter()
+            .filter(|r| r.algo == "EntropyRank")
+            .all(|r| r.accuracy > 0.999), "rank should be exact");
+    }
+}

@@ -1,0 +1,62 @@
+//! Table 2: dataset summaries (rows, columns) for the synthetic corpus.
+
+use std::fmt::Write as _;
+
+use swope_columnar::stats::summarize;
+
+use crate::harness::{time_ms, ExpConfig, Row};
+
+/// Generates each dataset and records its summary. `param` holds the
+/// column count, `sample_size` the row count, and `millis` the generation
+/// time (not part of the paper's table, but useful context).
+pub fn run(cfg: &ExpConfig) -> Vec<Row> {
+    let profiles = swope_datagen::corpus::all(cfg.scale);
+    profiles
+        .iter()
+        .map(|p| {
+            let (ms, ds) = time_ms(|| swope_datagen::generate(p, cfg.seed));
+            let s = summarize(&ds);
+            Row {
+                experiment: "table2".into(),
+                dataset: p.name.clone(),
+                algo: "datagen".into(),
+                param: s.columns as f64,
+                millis: ms,
+                accuracy: 1.0,
+                sample_size: s.rows,
+                rows_scanned: s.max_support as u64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the paper's Table 2 shape (plus the scale context).
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<10} {:>12} {:>9} {:>12} {:>12}", "Dataset", "Rows", "Columns", "MaxSupport", "gen (ms)");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>9} {:>12} {:>12.1}",
+            r.dataset, r.sample_size, r.param as usize, r.rows_scanned, r.millis
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_produces_four_table_rows() {
+        let cfg = ExpConfig { scale: 0.0005, ..Default::default() };
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].dataset, "cdc");
+        assert_eq!(rows[0].param as usize, 100);
+        assert_eq!(rows[2].param as usize, 179);
+        let rendered = render(&rows);
+        assert!(rendered.contains("cdc") && rendered.contains("enem"));
+    }
+}

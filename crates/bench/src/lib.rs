@@ -1,0 +1,32 @@
+//! # swope-bench
+//!
+//! Benchmark harness reproducing every table and figure of the SWOPE
+//! paper's evaluation (§6) on the synthetic census-like corpus from
+//! `swope-datagen`.
+//!
+//! ## Usage
+//!
+//! ```text
+//! cargo run --release -p swope-bench --bin figures -- all
+//! cargo run --release -p swope-bench --bin figures -- fig1 --scale 0.02
+//! cargo run --release -p swope-bench --bin figures -- fig9 --out results
+//! ```
+//!
+//! Experiment ids: `table2`, `fig1`–`fig12` (see DESIGN.md §3 for the
+//! mapping to the paper). Each experiment prints a paper-style table and
+//! writes `results/<id>.csv`.
+//!
+//! Absolute times will differ from the paper (different hardware, Rust vs
+//! C++, scaled-down data); the *shape* — which algorithm wins, by roughly
+//! what factor, and how ε trades accuracy for time — is the reproduction
+//! target. EXPERIMENTS.md records paper-vs-measured for every experiment.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod figures;
+pub mod harness;
+pub mod metrics;
+pub mod report;
+
+pub use harness::{ExpConfig, Row};

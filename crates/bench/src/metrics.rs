@@ -1,0 +1,142 @@
+//! Accuracy metrics comparing approximate answers against exact ones.
+
+use std::collections::HashSet;
+
+use swope_columnar::AttrIndex;
+
+/// Top-k accuracy: fraction of returned attributes that belong to the
+/// exact top-k set (the paper's Figures 2, 6, 9b, 11b metric — 1.0 means
+/// the returned set *is* the exact top-k).
+///
+/// Set-based rather than order-based, matching the paper's treatment of
+/// near-ties: returning the exact set in a different order is correct.
+pub fn topk_accuracy(returned: &[AttrIndex], exact: &[AttrIndex]) -> f64 {
+    if exact.is_empty() {
+        return if returned.is_empty() { 1.0 } else { 0.0 };
+    }
+    let exact_set: HashSet<_> = exact.iter().collect();
+    let hits = returned.iter().filter(|a| exact_set.contains(a)).count();
+    hits as f64 / exact.len() as f64
+}
+
+/// Precision / recall / F1 of a filtering answer against the exact one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterAccuracy {
+    /// `|returned ∩ exact| / |returned|` (1.0 when nothing returned).
+    pub precision: f64,
+    /// `|returned ∩ exact| / |exact|` (1.0 when nothing to return).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (the Figures 4, 8, 10b, 12b
+    /// metric; 1.0 means identical result sets).
+    pub f1: f64,
+}
+
+/// Computes [`FilterAccuracy`] for a filtering answer.
+pub fn filter_accuracy(returned: &[AttrIndex], exact: &[AttrIndex]) -> FilterAccuracy {
+    let returned_set: HashSet<_> = returned.iter().collect();
+    let exact_set: HashSet<_> = exact.iter().collect();
+    let hits = returned_set.intersection(&exact_set).count();
+    let precision = if returned_set.is_empty() { 1.0 } else { hits as f64 / returned_set.len() as f64 };
+    let recall = if exact_set.is_empty() { 1.0 } else { hits as f64 / exact_set.len() as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    FilterAccuracy { precision, recall, f1 }
+}
+
+/// Checks Definition 6 compliance of a filtering answer against exact
+/// scores: every attribute scoring `≥ (1+ε)η` is returned and none
+/// scoring `< (1−ε)η` is.
+pub fn definition6_compliant(
+    returned: &[AttrIndex],
+    exact_scores: &[(AttrIndex, f64)],
+    eta: f64,
+    epsilon: f64,
+) -> bool {
+    let returned_set: HashSet<_> = returned.iter().collect();
+    exact_scores.iter().all(|&(attr, score)| {
+        if score >= (1.0 + epsilon) * eta {
+            returned_set.contains(&attr)
+        } else if score < (1.0 - epsilon) * eta {
+            !returned_set.contains(&attr)
+        } else {
+            true
+        }
+    })
+}
+
+/// Checks Definition 5 compliance of a top-k answer: condition (ii),
+/// `s(α'_i) ≥ (1−ε)·s(α*_i)` for every position `i`, evaluated on exact
+/// scores (condition (i) concerns the estimates, checked separately in
+/// tests).
+pub fn definition5_condition2(
+    returned: &[AttrIndex],
+    exact_scores_desc: &[f64],
+    exact_score_of: impl Fn(AttrIndex) -> f64,
+    epsilon: f64,
+) -> bool {
+    returned.iter().enumerate().all(|(i, &attr)| {
+        let s_returned = exact_score_of(attr);
+        let s_star = exact_scores_desc.get(i).copied().unwrap_or(0.0);
+        s_returned >= (1.0 - epsilon) * s_star - 1e-12
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_accuracy_counts_set_overlap() {
+        assert_eq!(topk_accuracy(&[1, 2, 3], &[3, 2, 1]), 1.0);
+        assert_eq!(topk_accuracy(&[1, 2, 9], &[1, 2, 3]), 2.0 / 3.0);
+        assert_eq!(topk_accuracy(&[], &[]), 1.0);
+        assert_eq!(topk_accuracy(&[1], &[]), 0.0);
+    }
+
+    #[test]
+    fn filter_accuracy_perfect_match() {
+        let a = filter_accuracy(&[1, 2], &[2, 1]);
+        assert_eq!(a, FilterAccuracy { precision: 1.0, recall: 1.0, f1: 1.0 });
+    }
+
+    #[test]
+    fn filter_accuracy_partial_overlap() {
+        let a = filter_accuracy(&[1, 2, 3, 4], &[3, 4, 5]);
+        assert!((a.precision - 0.5).abs() < 1e-12);
+        assert!((a.recall - 2.0 / 3.0).abs() < 1e-12);
+        let expected_f1 = 2.0 * 0.5 * (2.0 / 3.0) / (0.5 + 2.0 / 3.0);
+        assert!((a.f1 - expected_f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_accuracy_empty_cases() {
+        assert_eq!(filter_accuracy(&[], &[]).f1, 1.0);
+        assert_eq!(filter_accuracy(&[], &[1]).recall, 0.0);
+        assert_eq!(filter_accuracy(&[1], &[]).precision, 0.0);
+    }
+
+    #[test]
+    fn definition6_checks_both_sides() {
+        let scores = vec![(0, 2.0), (1, 1.0), (2, 0.2)];
+        // η=1.0, ε=0.2: attr 0 (≥1.2) mandatory, attr 2 (<0.8) forbidden,
+        // attr 1 free.
+        assert!(definition6_compliant(&[0], &scores, 1.0, 0.2));
+        assert!(definition6_compliant(&[0, 1], &scores, 1.0, 0.2));
+        assert!(!definition6_compliant(&[1], &scores, 1.0, 0.2)); // missing 0
+        assert!(!definition6_compliant(&[0, 2], &scores, 1.0, 0.2)); // has 2
+    }
+
+    #[test]
+    fn definition5_condition2_positionwise() {
+        // Exact scores: attr0=4, attr1=3.9, attr2=1. ε=0.1.
+        let score_of = |a: usize| [4.0, 3.9, 1.0][a];
+        let desc = vec![4.0, 3.9];
+        // Swapped order is fine: 3.9 >= 0.9*4.0 and 4.0 >= 0.9*3.9.
+        assert!(definition5_condition2(&[1, 0], &desc, score_of, 0.1));
+        // Returning attr2 first is not: 1.0 < 0.9*4.0.
+        assert!(!definition5_condition2(&[2, 0], &desc, score_of, 0.1));
+    }
+}

@@ -1,0 +1,145 @@
+//! CSV and console reporting for experiment rows.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::Row;
+
+/// Serializes rows as CSV (header + one line per row).
+pub fn to_csv(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "experiment,dataset,algo,param,millis,accuracy,sample_size,rows_scanned\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.4},{:.6},{},{}",
+            r.experiment, r.dataset, r.algo, r.param, r.millis, r.accuracy, r.sample_size,
+            r.rows_scanned
+        );
+    }
+    out
+}
+
+/// Writes rows to `<out_dir>/<experiment>.csv`, creating the directory.
+pub fn write_csv(rows: &[Row], out_dir: &Path, experiment: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("{experiment}.csv"));
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_csv(rows).as_bytes())
+}
+
+/// Renders a paper-style console table: one line per (dataset, param),
+/// one column per algorithm, cells formatted by `cell`.
+pub fn series_table(
+    rows: &[Row],
+    value: impl Fn(&Row) -> f64,
+    value_name: &str,
+    param_name: &str,
+) -> String {
+    let mut algos: Vec<String> = Vec::new();
+    for r in rows {
+        if !algos.contains(&r.algo) {
+            algos.push(r.algo.clone());
+        }
+    }
+    let mut datasets: Vec<String> = Vec::new();
+    for r in rows {
+        if !datasets.contains(&r.dataset) {
+            datasets.push(r.dataset.clone());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{value_name} by {param_name}:");
+    let _ = write!(out, "{:<10} {:>8}", "dataset", param_name);
+    for a in &algos {
+        let _ = write!(out, " {a:>14}");
+    }
+    let _ = writeln!(out);
+    for ds in &datasets {
+        let mut params: Vec<f64> = rows
+            .iter()
+            .filter(|r| &r.dataset == ds)
+            .map(|r| r.param)
+            .collect();
+        params.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        params.dedup();
+        for p in params {
+            let _ = write!(out, "{ds:<10} {p:>8}");
+            for a in &algos {
+                let cell = rows
+                    .iter()
+                    .find(|r| &r.dataset == ds && &r.algo == a && r.param == p)
+                    .map(&value);
+                match cell {
+                    Some(v) => {
+                        let _ = write!(out, " {v:>14.4}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>14}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(ds: &str, algo: &str, param: f64, ms: f64) -> Row {
+        Row {
+            experiment: "figX".into(),
+            dataset: ds.into(),
+            algo: algo.into(),
+            param,
+            millis: ms,
+            accuracy: 1.0,
+            sample_size: 100,
+            rows_scanned: 1000,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&[row("cdc", "SWOPE", 1.0, 2.5)]);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("experiment,"));
+        let data = lines.next().unwrap();
+        assert!(data.contains("cdc") && data.contains("SWOPE") && data.contains("2.5"));
+    }
+
+    #[test]
+    fn table_includes_all_algos_and_params() {
+        let rows = vec![
+            row("cdc", "SWOPE", 1.0, 2.0),
+            row("cdc", "Exact", 1.0, 50.0),
+            row("cdc", "SWOPE", 2.0, 3.0),
+            row("cdc", "Exact", 2.0, 50.0),
+        ];
+        let t = series_table(&rows, |r| r.millis, "time (ms)", "k");
+        assert!(t.contains("SWOPE") && t.contains("Exact"));
+        assert!(t.contains("50.0000"));
+        assert_eq!(t.lines().count(), 4); // title + header + 2 params
+    }
+
+    #[test]
+    fn table_handles_missing_cells() {
+        let rows = vec![row("cdc", "SWOPE", 1.0, 2.0), row("hus", "Exact", 1.0, 9.0)];
+        let t = series_table(&rows, |r| r.millis, "time", "k");
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("swope-bench-report-test");
+        write_csv(&[row("cdc", "SWOPE", 1.0, 2.0)], &dir, "figT").unwrap();
+        let content = std::fs::read_to_string(dir.join("figT.csv")).unwrap();
+        assert!(content.contains("cdc"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,175 @@
+//! Hand-rolled argument parsing (no external CLI crates allowed).
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage: swope <command> [options]
+
+commands:
+  stats <file>                         dataset summary and per-column statistics
+  entropy-topk <file> -k <n>           top-k attributes by empirical entropy
+  entropy-filter <file> --eta <t>      attributes with entropy >= eta
+  mi-topk <file> --target <a> -k <n>   top-k attributes by mutual information
+  mi-filter <file> --target <a> --eta <t>
+  entropy-profile <file>               error-bounded entropy of every attribute
+  mi-profile <file> --target <a>       error-bounded MI of every candidate
+  compare <file> [-k <n>]              SWOPE vs exact: speedup and agreement
+  drift <a> <b>                        per-attribute JS distance between snapshots
+  gen <profile> --out <file>           generate a synthetic dataset
+                                       (profiles: cdc hus pus enem tiny)
+  convert <in> <out>                   convert between .csv and .swop
+
+common options:
+  --algo swope|rank|exact   query algorithm (default swope)
+  --epsilon <f>             SWOPE error parameter (defaults per query type)
+  --pf <f>                  failure probability (default 1/N)
+  --threads <n>             worker threads (default 1)
+  --seed <u64>              sampling / generation seed
+  --max-support <n>         drop columns with support above this (default 1000)
+  --scale <f>               row scale for `gen` (default 0.01)
+  --rows <n> --cols <n>     shape for `gen tiny`";
+
+/// Which algorithm a query should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algo {
+    /// SWOPE approximate query (the default).
+    #[default]
+    Swope,
+    /// EntropyRank / EntropyFilter exact-by-sampling baseline.
+    Rank,
+    /// Full-scan exact baseline.
+    Exact,
+}
+
+/// Parsed option bag shared by all commands.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `-k`.
+    pub k: Option<usize>,
+    /// `--eta`.
+    pub eta: Option<f64>,
+    /// `--target` (name or index).
+    pub target: Option<String>,
+    /// `--algo`.
+    pub algo: Algo,
+    /// `--epsilon`.
+    pub epsilon: Option<f64>,
+    /// `--pf`.
+    pub pf: Option<f64>,
+    /// `--threads`.
+    pub threads: Option<usize>,
+    /// `--seed`.
+    pub seed: Option<u64>,
+    /// `--max-support`.
+    pub max_support: Option<u32>,
+    /// `--scale` (gen).
+    pub scale: Option<f64>,
+    /// `--rows` (gen tiny).
+    pub rows: Option<usize>,
+    /// `--cols` (gen tiny).
+    pub cols: Option<usize>,
+    /// `--out` (gen).
+    pub out: Option<String>,
+}
+
+/// Parses everything after the command word.
+pub fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-k" => o.k = Some(value(args, &mut i, "-k")?),
+            "--eta" => o.eta = Some(value(args, &mut i, "--eta")?),
+            "--target" => o.target = Some(raw_value(args, &mut i, "--target")?),
+            "--epsilon" => o.epsilon = Some(value(args, &mut i, "--epsilon")?),
+            "--pf" => o.pf = Some(value(args, &mut i, "--pf")?),
+            "--threads" => o.threads = Some(value(args, &mut i, "--threads")?),
+            "--seed" => o.seed = Some(value(args, &mut i, "--seed")?),
+            "--max-support" => o.max_support = Some(value(args, &mut i, "--max-support")?),
+            "--scale" => o.scale = Some(value(args, &mut i, "--scale")?),
+            "--rows" => o.rows = Some(value(args, &mut i, "--rows")?),
+            "--cols" => o.cols = Some(value(args, &mut i, "--cols")?),
+            "--out" => o.out = Some(raw_value(args, &mut i, "--out")?),
+            "--algo" => {
+                let v = raw_value(args, &mut i, "--algo")?;
+                o.algo = match v.as_str() {
+                    "swope" => Algo::Swope,
+                    "rank" => Algo::Rank,
+                    "exact" => Algo::Exact,
+                    other => return Err(format!("unknown algorithm {other:?}")),
+                };
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option {flag:?}"));
+            }
+            positional => o.positional.push(positional.to_owned()),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn raw_value(args: &[String], i: &mut usize, name: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{name} requires a value"))
+}
+
+fn value<T: std::str::FromStr>(args: &[String], i: &mut usize, name: &str) -> Result<T, String> {
+    let raw = raw_value(args, i, name)?;
+    raw.parse().map_err(|_| format!("invalid value {raw:?} for {name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Options, String> {
+        let v: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        parse_options(&v)
+    }
+
+    #[test]
+    fn parses_mixed_positional_and_flags() {
+        let o = parse(&["data.csv", "-k", "5", "--epsilon", "0.2", "--algo", "rank"]).unwrap();
+        assert_eq!(o.positional, vec!["data.csv"]);
+        assert_eq!(o.k, Some(5));
+        assert_eq!(o.epsilon, Some(0.2));
+        assert_eq!(o.algo, Algo::Rank);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["-k", "notanumber"]).is_err());
+        assert!(parse(&["-k"]).is_err());
+        assert!(parse(&["--algo", "magic"]).is_err());
+    }
+
+    #[test]
+    fn target_and_eta() {
+        let o = parse(&["f.swop", "--target", "income", "--eta", "0.3"]).unwrap();
+        assert_eq!(o.target.as_deref(), Some("income"));
+        assert_eq!(o.eta, Some(0.3));
+    }
+
+    #[test]
+    fn gen_options() {
+        let o =
+            parse(&["tiny", "--rows", "100", "--cols", "8", "--out", "t.swop", "--scale", "0.5"])
+                .unwrap();
+        assert_eq!(o.rows, Some(100));
+        assert_eq!(o.cols, Some(8));
+        assert_eq!(o.out.as_deref(), Some("t.swop"));
+        assert_eq!(o.scale, Some(0.5));
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.algo, Algo::Swope);
+        assert!(o.positional.is_empty());
+        assert!(o.k.is_none());
+    }
+}

@@ -1,0 +1,393 @@
+//! Command implementations.
+
+use swope_baselines::{
+    entropy_filter_exact_sampling, entropy_rank_top_k, exact_entropy_filter,
+    exact_entropy_top_k, exact_mi_filter, exact_mi_top_k, mi_filter_exact_sampling,
+    mi_rank_top_k,
+};
+use swope_columnar::{csv, snapshot, stats, Dataset};
+use swope_core::{
+    entropy_filter, entropy_profile, entropy_top_k, mi_filter, mi_profile, mi_top_k, AttrScore,
+    FilterResult, ProfileResult, SwopeConfig, TopKResult,
+};
+
+use crate::args::{parse_options, Algo, Options};
+
+/// Dispatches a full argv (after the binary name).
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let (command, rest) = argv.split_first().ok_or("no command given")?;
+    let opts = parse_options(rest)?;
+    match command.as_str() {
+        "stats" => cmd_stats(&opts),
+        "entropy-topk" => cmd_entropy_topk(&opts),
+        "entropy-filter" => cmd_entropy_filter(&opts),
+        "mi-topk" => cmd_mi_topk(&opts),
+        "mi-filter" => cmd_mi_filter(&opts),
+        "entropy-profile" => cmd_entropy_profile(&opts),
+        "mi-profile" => cmd_mi_profile(&opts),
+        "compare" => cmd_compare(&opts),
+        "drift" => cmd_drift(&opts),
+        "gen" => cmd_gen(&opts),
+        "convert" => cmd_convert(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", crate::args::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Loads a dataset by extension (`.swop` snapshot or CSV otherwise) and
+/// applies the support cap.
+fn load(opts: &Options) -> Result<Dataset, String> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or("expected a dataset file argument")?;
+    let ds = if path.ends_with(".swop") {
+        snapshot::read_file(path).map_err(|e| format!("loading {path}: {e}"))?
+    } else {
+        csv::read_csv_file(path, &csv::CsvOptions::default())
+            .map_err(|e| format!("loading {path}: {e}"))?
+    };
+    let cap = opts.max_support.unwrap_or(1000);
+    let (capped, kept) = ds.cap_support(cap);
+    if kept.len() < ds.num_attrs() {
+        eprintln!(
+            "note: dropped {} column(s) with support > {cap}",
+            ds.num_attrs() - kept.len()
+        );
+    }
+    Ok(capped)
+}
+
+fn query_config(opts: &Options, default_epsilon: f64) -> SwopeConfig {
+    let mut cfg = SwopeConfig::with_epsilon(opts.epsilon.unwrap_or(default_epsilon));
+    cfg.failure_probability = opts.pf;
+    if let Some(t) = opts.threads {
+        cfg = cfg.with_threads(t);
+    }
+    if let Some(s) = opts.seed {
+        cfg = cfg.with_seed(s);
+    }
+    cfg
+}
+
+fn resolve_target(ds: &Dataset, opts: &Options) -> Result<usize, String> {
+    let raw = opts.target.as_deref().ok_or("--target is required")?;
+    if let Ok(idx) = raw.parse::<usize>() {
+        if idx < ds.num_attrs() {
+            return Ok(idx);
+        }
+        return Err(format!("target index {idx} out of range"));
+    }
+    ds.attr_index(raw).map_err(|e| e.to_string())
+}
+
+fn cmd_stats(opts: &Options) -> Result<(), String> {
+    let ds = load(opts)?;
+    let summary = stats::summarize(&ds);
+    println!(
+        "rows: {}   columns: {}   max support: {}",
+        summary.rows, summary.columns, summary.max_support
+    );
+    println!(
+        "{:<24} {:>8} {:>10} {:>10} {:>8}",
+        "column", "support", "distinct", "mode", "mode%"
+    );
+    for s in stats::dataset_stats(&ds) {
+        println!(
+            "{:<24} {:>8} {:>10} {:>10} {:>7.1}%",
+            truncate(&s.name, 24),
+            s.support,
+            s.observed_distinct,
+            s.mode.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
+            s.mode_fraction * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_entropy_topk(opts: &Options) -> Result<(), String> {
+    let ds = load(opts)?;
+    let k = opts.k.ok_or("-k is required")?;
+    let result = match opts.algo {
+        Algo::Swope => entropy_top_k(&ds, k, &query_config(opts, 0.1)),
+        Algo::Rank => entropy_rank_top_k(&ds, k, &query_config(opts, 0.1)),
+        Algo::Exact => exact_entropy_top_k(&ds, k),
+    }
+    .map_err(|e| e.to_string())?;
+    print_topk("entropy", &result);
+    Ok(())
+}
+
+fn cmd_entropy_filter(opts: &Options) -> Result<(), String> {
+    let ds = load(opts)?;
+    let eta = opts.eta.ok_or("--eta is required")?;
+    let result = match opts.algo {
+        Algo::Swope => entropy_filter(&ds, eta, &query_config(opts, 0.05)),
+        Algo::Rank => entropy_filter_exact_sampling(&ds, eta, &query_config(opts, 0.05)),
+        Algo::Exact => exact_entropy_filter(&ds, eta),
+    }
+    .map_err(|e| e.to_string())?;
+    print_filter("entropy", eta, &result);
+    Ok(())
+}
+
+fn cmd_mi_topk(opts: &Options) -> Result<(), String> {
+    let ds = load(opts)?;
+    let k = opts.k.ok_or("-k is required")?;
+    let target = resolve_target(&ds, opts)?;
+    let result = match opts.algo {
+        Algo::Swope => mi_top_k(&ds, target, k, &query_config(opts, 0.5)),
+        Algo::Rank => mi_rank_top_k(&ds, target, k, &query_config(opts, 0.5)),
+        Algo::Exact => exact_mi_top_k(&ds, target, k),
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "target: {} ({})",
+        ds.schema().field(target).map(|f| f.name()).unwrap_or("?"),
+        target
+    );
+    print_topk("mutual information", &result);
+    Ok(())
+}
+
+fn cmd_mi_filter(opts: &Options) -> Result<(), String> {
+    let ds = load(opts)?;
+    let eta = opts.eta.ok_or("--eta is required")?;
+    let target = resolve_target(&ds, opts)?;
+    let result = match opts.algo {
+        Algo::Swope => mi_filter(&ds, target, eta, &query_config(opts, 0.5)),
+        Algo::Rank => mi_filter_exact_sampling(&ds, target, eta, &query_config(opts, 0.5)),
+        Algo::Exact => exact_mi_filter(&ds, target, eta),
+    }
+    .map_err(|e| e.to_string())?;
+    print_filter("mutual information", eta, &result);
+    Ok(())
+}
+
+fn cmd_entropy_profile(opts: &Options) -> Result<(), String> {
+    let ds = load(opts)?;
+    let result = entropy_profile(&ds, 0.05, &query_config(opts, 0.1))
+        .map_err(|e| e.to_string())?;
+    print_profile("entropy", &result);
+    Ok(())
+}
+
+fn cmd_mi_profile(opts: &Options) -> Result<(), String> {
+    let ds = load(opts)?;
+    let target = resolve_target(&ds, opts)?;
+    let result = mi_profile(&ds, target, 0.05, &query_config(opts, 0.5))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "target: {} ({})",
+        ds.schema().field(target).map(|f| f.name()).unwrap_or("?"),
+        target
+    );
+    print_profile("mutual information", &result);
+    Ok(())
+}
+
+fn print_profile(kind: &str, result: &ProfileResult) {
+    println!(
+        "{} estimate per attribute (sampled {} rows in {} iteration(s)):",
+        kind, result.stats.sample_size, result.stats.iterations
+    );
+    println!("{:<6} {:<24} {:>10} {:>10} {:>10}", "attr", "name", "estimate", "lower", "upper");
+    for s in &result.scores {
+        print_score(s);
+    }
+}
+
+/// Runs SWOPE and the exact scan on the same top-k query and reports the
+/// speed/agreement trade-off — a quick way to validate the approximation
+/// on one's own data before trusting it in a pipeline.
+fn cmd_compare(opts: &Options) -> Result<(), String> {
+    let ds = load(opts)?;
+    let k = opts.k.unwrap_or(5).min(ds.num_attrs());
+    let cfg = query_config(opts, 0.1);
+
+    let t0 = std::time::Instant::now();
+    let swope = entropy_top_k(&ds, k, &cfg).map_err(|e| e.to_string())?;
+    let swope_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = std::time::Instant::now();
+    let exact = exact_entropy_top_k(&ds, k).map_err(|e| e.to_string())?;
+    let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let exact_set: std::collections::HashSet<usize> =
+        exact.attr_indices().into_iter().collect();
+    let hits = swope.attr_indices().iter().filter(|a| exact_set.contains(a)).count();
+
+    println!("entropy top-{k} comparison (epsilon = {}):", cfg.epsilon);
+    println!(
+        "  SWOPE: {swope_ms:.2} ms, sampled {} of {} rows",
+        swope.stats.sample_size,
+        ds.num_rows()
+    );
+    println!("  Exact: {exact_ms:.2} ms (full scan)");
+    println!(
+        "  speedup: {:.1}x   agreement: {hits}/{k} attributes",
+        exact_ms / swope_ms.max(1e-9)
+    );
+    println!("\n{:<6} {:<24} {:>10} {:>10}", "attr", "name", "SWOPE est", "exact");
+    for s in &swope.top {
+        let exact_score = exact
+            .top
+            .iter()
+            .find(|e| e.attr == s.attr)
+            .map(|e| e.estimate);
+        println!(
+            "{:<6} {:<24} {:>10.4} {:>10}",
+            s.attr,
+            truncate(&s.name, 24),
+            s.estimate,
+            exact_score.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into())
+        );
+    }
+    Ok(())
+}
+
+/// Per-attribute distribution drift between two snapshots of the same
+/// table (Jensen–Shannon distance, 0 = identical, 1 = disjoint).
+fn cmd_drift(opts: &Options) -> Result<(), String> {
+    let [a_path, b_path] = opts.positional.as_slice() else {
+        return Err("drift expects two dataset files".into());
+    };
+    let load_one = |path: &str| -> Result<swope_columnar::Dataset, String> {
+        if path.ends_with(".swop") {
+            snapshot::read_file(path).map_err(|e| format!("loading {path}: {e}"))
+        } else {
+            csv::read_csv_file(path, &csv::CsvOptions::default())
+                .map_err(|e| format!("loading {path}: {e}"))
+        }
+    };
+    let a = load_one(a_path)?;
+    let b = load_one(b_path)?;
+    if a.num_attrs() != b.num_attrs() {
+        return Err(format!(
+            "attribute counts differ: {} vs {}",
+            a.num_attrs(),
+            b.num_attrs()
+        ));
+    }
+    println!("{:<24} {:>12} {:>10}", "attribute", "JS distance", "verdict");
+    for attr in 0..a.num_attrs() {
+        let name = a.schema().field(attr).map(|f| f.name()).unwrap_or("?");
+        // Align code spaces: pad the narrower distribution with zeros.
+        let mut pa = swope_estimate::divergence::empirical_distribution(a.column(attr));
+        let mut pb = swope_estimate::divergence::empirical_distribution(b.column(attr));
+        let width = pa.len().max(pb.len());
+        pa.resize(width, 0.0);
+        pb.resize(width, 0.0);
+        let d = swope_estimate::divergence::jensen_shannon_distance(&pa, &pb);
+        let verdict = if d < 0.05 {
+            "stable"
+        } else if d < 0.2 {
+            "minor drift"
+        } else {
+            "DRIFTED"
+        };
+        println!("{:<24} {:>12.4} {:>10}", truncate(name, 24), d, verdict);
+    }
+    Ok(())
+}
+
+fn cmd_gen(opts: &Options) -> Result<(), String> {
+    let profile_name = opts
+        .positional
+        .first()
+        .ok_or("expected a profile name (cdc hus pus enem tiny)")?;
+    let scale = opts.scale.unwrap_or(0.01);
+    let profile = match profile_name.as_str() {
+        "cdc" => swope_datagen::corpus::cdc(scale),
+        "hus" => swope_datagen::corpus::hus(scale),
+        "pus" => swope_datagen::corpus::pus(scale),
+        "enem" => swope_datagen::corpus::enem(scale),
+        "tiny" => {
+            swope_datagen::corpus::tiny(opts.rows.unwrap_or(10_000), opts.cols.unwrap_or(20))
+        }
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    let out = opts.out.as_deref().ok_or("--out is required")?;
+    let ds = swope_datagen::generate(&profile, opts.seed.unwrap_or(0x5170));
+    write_dataset(&ds, out)?;
+    println!(
+        "wrote {} ({} rows x {} columns)",
+        out,
+        ds.num_rows(),
+        ds.num_attrs()
+    );
+    Ok(())
+}
+
+fn cmd_convert(opts: &Options) -> Result<(), String> {
+    let [input, output] = opts.positional.as_slice() else {
+        return Err("convert expects <in> <out>".into());
+    };
+    let ds = if input.ends_with(".swop") {
+        snapshot::read_file(input).map_err(|e| e.to_string())?
+    } else {
+        csv::read_csv_file(input, &csv::CsvOptions::default()).map_err(|e| e.to_string())?
+    };
+    write_dataset(&ds, output)?;
+    println!("wrote {output}");
+    Ok(())
+}
+
+fn write_dataset(ds: &Dataset, path: &str) -> Result<(), String> {
+    if path.ends_with(".swop") {
+        snapshot::write_file(ds, path).map_err(|e| e.to_string())
+    } else {
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| e.to_string())?,
+        );
+        csv::write_csv(ds, &mut f).map_err(|e| e.to_string())
+    }
+}
+
+fn print_topk(kind: &str, result: &TopKResult) {
+    println!(
+        "top-{} by empirical {kind} (sampled {} rows in {} iteration(s)):",
+        result.top.len(),
+        result.stats.sample_size,
+        result.stats.iterations
+    );
+    println!("{:<6} {:<24} {:>10} {:>10} {:>10}", "attr", "name", "estimate", "lower", "upper");
+    for s in &result.top {
+        print_score(s);
+    }
+}
+
+fn print_filter(kind: &str, eta: f64, result: &FilterResult) {
+    println!(
+        "{} attribute(s) with empirical {kind} >= {eta} (sampled {} rows in {} iteration(s)):",
+        result.accepted.len(),
+        result.stats.sample_size,
+        result.stats.iterations
+    );
+    println!("{:<6} {:<24} {:>10} {:>10} {:>10}", "attr", "name", "estimate", "lower", "upper");
+    for s in &result.accepted {
+        print_score(s);
+    }
+}
+
+fn print_score(s: &AttrScore) {
+    println!(
+        "{:<6} {:<24} {:>10.4} {:>10.4} {:>10.4}",
+        s.attr,
+        truncate(&s.name, 24),
+        s.estimate,
+        s.lower,
+        s.upper
+    );
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_owned()
+    } else {
+        format!("{}…", &s[..max.saturating_sub(1)])
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end tests driving the `swope` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn swope(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_swope"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("swope-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn help_prints_usage() {
+    let o = swope(&["help"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("entropy-topk"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let o = swope(&["frobnicate"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown command"));
+    assert!(stderr(&o).contains("usage:"));
+}
+
+#[test]
+fn gen_stats_and_queries_pipeline() {
+    let path = tmp("pipeline.swop");
+    let path_s = path.to_str().unwrap();
+
+    let o = swope(&["gen", "tiny", "--rows", "4000", "--cols", "10", "--out", path_s]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("4000 rows x 10 columns"));
+
+    let o = swope(&["stats", path_s]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("rows: 4000"));
+
+    let o = swope(&["entropy-topk", path_s, "-k", "3"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("top-3 by empirical entropy"));
+    assert_eq!(out.lines().filter(|l| l.starts_with(char::is_numeric)).count(), 3);
+
+    let o = swope(&["entropy-filter", path_s, "--eta", "1.0", "--algo", "exact"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    let o = swope(&["mi-topk", path_s, "--target", "0", "-k", "2"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("mutual information"));
+
+    let o = swope(&["entropy-profile", path_s]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    let o = swope(&["compare", path_s, "-k", "3"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("agreement: 3/3"));
+}
+
+#[test]
+fn convert_round_trips_csv_and_snapshot() {
+    let csv_path = tmp("convert.csv");
+    std::fs::write(&csv_path, "color,size\nred,s\nblue,m\nred,l\n").unwrap();
+    let swop_path = tmp("convert.swop");
+    let back_path = tmp("convert_back.csv");
+
+    let o = swope(&["convert", csv_path.to_str().unwrap(), swop_path.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let o = swope(&["convert", swop_path.to_str().unwrap(), back_path.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    let original = std::fs::read_to_string(&csv_path).unwrap();
+    let round_tripped = std::fs::read_to_string(&back_path).unwrap();
+    assert_eq!(original, round_tripped);
+}
+
+#[test]
+fn missing_required_options_error_cleanly() {
+    let path = tmp("missing.swop");
+    let o = swope(&["gen", "tiny", "--rows", "100", "--cols", "4", "--out", path.to_str().unwrap()]);
+    assert!(o.status.success());
+    let p = path.to_str().unwrap();
+
+    let o = swope(&["entropy-topk", p]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("-k is required"));
+
+    let o = swope(&["mi-topk", p, "-k", "2"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--target is required"));
+
+    let o = swope(&["entropy-filter", p]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--eta is required"));
+}
+
+#[test]
+fn target_by_name_resolves() {
+    let path = tmp("byname.csv");
+    std::fs::write(&path, "label,f1\n0,a\n1,b\n0,a\n1,b\n").unwrap();
+    let o = swope(&["mi-topk", path.to_str().unwrap(), "--target", "label", "-k", "1"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("target: label"));
+    let o = swope(&["mi-topk", path.to_str().unwrap(), "--target", "nope", "-k", "1"]);
+    assert!(!o.status.success());
+}
+
+#[test]
+fn drift_compares_snapshots() {
+    let a = tmp("drift_a.csv");
+    let b = tmp("drift_b.csv");
+    std::fs::write(&a, "x\n0\n1\n0\n1\n").unwrap();
+    std::fs::write(&b, "x\n0\n0\n0\n0\n").unwrap();
+    let o = swope(&["drift", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("DRIFTED"));
+    let o = swope(&["drift", a.to_str().unwrap(), a.to_str().unwrap()]);
+    assert!(stdout(&o).contains("stable"));
+}
+
+#[test]
+fn nonexistent_file_errors() {
+    let o = swope(&["stats", "/definitely/not/here.csv"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("error"));
+}

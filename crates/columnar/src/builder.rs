@@ -1,0 +1,148 @@
+use crate::{Code, Column, ColumnarError, Dataset, Dictionary, Field, Schema};
+
+/// Row-oriented builder producing a dictionary-encoded [`Dataset`].
+///
+/// Each pushed row interns its raw string values into per-attribute
+/// dictionaries, so the finished dataset has dense codes and carries the
+/// dictionaries in its schema for decoding.
+///
+/// # Example
+///
+/// ```
+/// use swope_columnar::DatasetBuilder;
+///
+/// let mut b = DatasetBuilder::new(vec!["a".into(), "b".into()]);
+/// b.push_row(&["1", "x"]).unwrap();
+/// b.push_row(&["2", "x"]).unwrap();
+/// let ds = b.finish();
+/// assert_eq!(ds.num_rows(), 2);
+/// assert_eq!(ds.column(1).support(), 1);
+/// ```
+#[derive(Debug)]
+pub struct DatasetBuilder {
+    names: Vec<String>,
+    dictionaries: Vec<Dictionary>,
+    codes: Vec<Vec<Code>>,
+}
+
+impl DatasetBuilder {
+    /// Creates a builder for attributes with the given names.
+    pub fn new(names: Vec<String>) -> Self {
+        let h = names.len();
+        Self {
+            names,
+            dictionaries: (0..h).map(|_| Dictionary::new()).collect(),
+            codes: (0..h).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Creates a builder with row capacity pre-reserved.
+    pub fn with_capacity(names: Vec<String>, rows: usize) -> Self {
+        let h = names.len();
+        Self {
+            names,
+            dictionaries: (0..h).map(|_| Dictionary::new()).collect(),
+            codes: (0..h).map(|_| Vec::with_capacity(rows)).collect(),
+        }
+    }
+
+    /// Appends one row of raw values. The row length must match the schema.
+    pub fn push_row<S: AsRef<str>>(&mut self, values: &[S]) -> Result<(), ColumnarError> {
+        if values.len() != self.names.len() {
+            return Err(ColumnarError::RowArity {
+                expected: self.names.len(),
+                got: values.len(),
+            });
+        }
+        for (i, v) in values.iter().enumerate() {
+            let code = self.dictionaries[i].intern(v.as_ref());
+            self.codes[i].push(code);
+        }
+        Ok(())
+    }
+
+    /// Number of rows pushed so far.
+    pub fn num_rows(&self) -> usize {
+        self.codes.first().map_or(0, Vec::len)
+    }
+
+    /// Number of attributes.
+    pub fn num_attrs(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Finishes construction, producing the dataset.
+    pub fn finish(self) -> Dataset {
+        let fields: Vec<Field> = self
+            .names
+            .into_iter()
+            .zip(&self.dictionaries)
+            .map(|(name, dict)| Field::with_dictionary(name, dict.clone()))
+            .collect();
+        let columns: Vec<Column> = self
+            .codes
+            .into_iter()
+            .zip(&self.dictionaries)
+            .map(|(codes, dict)| Column::new_unchecked(codes, dict.len() as u32))
+            .collect();
+        Dataset::new(Schema::new(fields), columns)
+            .expect("builder maintains schema/column consistency")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_dense_codes_per_column() {
+        let mut b = DatasetBuilder::new(vec!["c1".into(), "c2".into()]);
+        b.push_row(&["red", "s"]).unwrap();
+        b.push_row(&["blue", "m"]).unwrap();
+        b.push_row(&["red", "l"]).unwrap();
+        let ds = b.finish();
+        assert_eq!(ds.column(0).codes(), &[0, 1, 0]);
+        assert_eq!(ds.column(1).codes(), &[0, 1, 2]);
+        assert_eq!(ds.support(0), 2);
+        assert_eq!(ds.support(1), 3);
+    }
+
+    #[test]
+    fn dictionaries_survive_into_schema() {
+        let mut b = DatasetBuilder::new(vec!["c".into()]);
+        b.push_row(&["alpha"]).unwrap();
+        b.push_row(&["beta"]).unwrap();
+        let ds = b.finish();
+        let dict = ds.schema().field(0).unwrap().dictionary().unwrap();
+        assert_eq!(dict.decode(0), Some("alpha"));
+        assert_eq!(dict.decode(1), Some("beta"));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut b = DatasetBuilder::new(vec!["a".into(), "b".into()]);
+        assert!(matches!(
+            b.push_row(&["only-one"]),
+            Err(ColumnarError::RowArity { expected: 2, got: 1 })
+        ));
+        assert_eq!(b.num_rows(), 0);
+    }
+
+    #[test]
+    fn empty_builder_finishes_to_empty_dataset() {
+        let ds = DatasetBuilder::new(vec!["a".into()]).finish();
+        assert_eq!(ds.num_rows(), 0);
+        assert_eq!(ds.num_attrs(), 1);
+    }
+
+    #[test]
+    fn with_capacity_behaves_identically() {
+        let mut b = DatasetBuilder::with_capacity(vec!["a".into()], 100);
+        for i in 0..10 {
+            b.push_row(&[format!("{}", i % 3)]).unwrap();
+        }
+        assert_eq!(b.num_rows(), 10);
+        let ds = b.finish();
+        assert_eq!(ds.support(0), 3);
+    }
+}

@@ -1,0 +1,149 @@
+use crate::{Code, ColumnarError};
+
+/// A dictionary-encoded categorical column.
+///
+/// Stores one `u32` code per row, with the invariant that every code is
+/// `< support()`. Codes are dense: support equals the number of *possible*
+/// distinct codes (typically the number actually observed, when built via
+/// [`crate::DatasetBuilder`]).
+///
+/// The column is the unit the SWOPE algorithms scan: a sampling iteration
+/// reads `codes()[perm[m0..m1]]` for the permutation prefix extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    codes: Vec<Code>,
+    support: u32,
+}
+
+impl Column {
+    /// Creates a column from raw codes, validating `code < support` for all.
+    pub fn new(codes: Vec<Code>, support: u32) -> Result<Self, ColumnarError> {
+        if let Some(&bad) = codes.iter().find(|&&c| c >= support) {
+            return Err(ColumnarError::CodeOutOfRange { attr: 0, code: bad, support });
+        }
+        Ok(Self { codes, support })
+    }
+
+    /// Creates a column without validating codes.
+    ///
+    /// The caller must guarantee `codes[i] < support` for all `i`; violating
+    /// this breaks counter indexing downstream (it will panic, not corrupt
+    /// memory — counters use checked indexing in debug builds and sized
+    /// allocations in release).
+    pub fn new_unchecked(codes: Vec<Code>, support: u32) -> Self {
+        debug_assert!(codes.iter().all(|&c| c < support));
+        Self { codes, support }
+    }
+
+    /// Builds a column by densely re-encoding arbitrary `u32` values.
+    ///
+    /// Values need not be dense; they are mapped to `0..u` in first-seen
+    /// order. Returns the column and the mapping (old value per new code).
+    pub fn from_raw_values(values: &[u32]) -> (Self, Vec<u32>) {
+        let mut map = std::collections::HashMap::new();
+        let mut order = Vec::new();
+        let codes = values
+            .iter()
+            .map(|&v| {
+                *map.entry(v).or_insert_with(|| {
+                    order.push(v);
+                    (order.len() - 1) as Code
+                })
+            })
+            .collect();
+        let support = order.len() as u32;
+        (Self { codes, support }, order)
+    }
+
+    /// The per-row codes.
+    #[inline]
+    pub fn codes(&self) -> &[Code] {
+        &self.codes
+    }
+
+    /// The support size `u_alpha` (number of possible distinct codes).
+    #[inline]
+    pub fn support(&self) -> u32 {
+        self.support
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the column has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The code at `row`. Panics if out of range.
+    #[inline]
+    pub fn code(&self, row: usize) -> Code {
+        self.codes[row]
+    }
+
+    /// Counts occurrences of each code over all rows.
+    ///
+    /// The result has length `support()`; entry `i` is `n_i` in the paper's
+    /// notation.
+    pub fn value_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.support as usize];
+        for &c in &self.codes {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// Number of codes that actually occur at least once.
+    pub fn observed_distinct(&self) -> usize {
+        self.value_counts().iter().filter(|&&n| n > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_codes() {
+        assert!(Column::new(vec![0, 1, 2], 3).is_ok());
+        assert!(matches!(
+            Column::new(vec![0, 3], 3),
+            Err(ColumnarError::CodeOutOfRange { code: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn from_raw_values_densifies() {
+        let (col, order) = Column::from_raw_values(&[10, 50, 10, 7]);
+        assert_eq!(col.codes(), &[0, 1, 0, 2]);
+        assert_eq!(col.support(), 3);
+        assert_eq!(order, vec![10, 50, 7]);
+    }
+
+    #[test]
+    fn value_counts_match_manual_tally() {
+        let col = Column::new(vec![0, 1, 1, 2, 1], 3).unwrap();
+        assert_eq!(col.value_counts(), vec![1, 3, 1]);
+        assert_eq!(col.observed_distinct(), 3);
+    }
+
+    #[test]
+    fn support_can_exceed_observed() {
+        // A column may declare support 5 while only codes {0,1} occur; this
+        // happens after row subsetting. Counts must still be sized to support.
+        let col = Column::new(vec![0, 1, 0], 5).unwrap();
+        assert_eq!(col.value_counts(), vec![2, 1, 0, 0, 0]);
+        assert_eq!(col.observed_distinct(), 2);
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = Column::new(vec![], 4).unwrap();
+        assert!(col.is_empty());
+        assert_eq!(col.value_counts(), vec![0, 0, 0, 0]);
+    }
+}

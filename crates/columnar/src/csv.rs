@@ -1,0 +1,334 @@
+//! A small, dependency-free CSV reader producing a [`Dataset`].
+//!
+//! Supports the common dialect: configurable delimiter, optional header row,
+//! double-quoted fields with `""` escaping, and both `\n` and `\r\n` line
+//! endings. Every field is treated as a categorical string value and
+//! dictionary-encoded.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+use crate::{ColumnarError, Dataset, DatasetBuilder};
+
+/// CSV parsing options.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter. Defaults to `,`.
+    pub delimiter: u8,
+    /// Whether the first record is a header of attribute names. Defaults to
+    /// `true`; when `false`, attributes are named `col0`, `col1`, ...
+    pub has_header: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self { delimiter: b',', has_header: true }
+    }
+}
+
+/// Reads a CSV document from `reader` into a [`Dataset`].
+pub fn read_csv<R: Read>(reader: R, options: &CsvOptions) -> Result<Dataset, ColumnarError> {
+    let mut lines = RecordReader::new(BufReader::new(reader), options.delimiter);
+    let mut line_no = 0usize;
+
+    let first = match lines.next_record()? {
+        Some(r) => r,
+        None => {
+            return Err(ColumnarError::Csv { line: 1, message: "empty document".into() })
+        }
+    };
+    line_no += 1;
+
+    let (names, mut builder, carry) = if options.has_header {
+        let names = first;
+        let b = DatasetBuilder::new(names.clone());
+        (names, b, None)
+    } else {
+        let names: Vec<String> = (0..first.len()).map(|i| format!("col{i}")).collect();
+        let b = DatasetBuilder::new(names.clone());
+        (names, b, Some(first))
+    };
+
+    if let Some(row) = carry {
+        builder.push_row(&row).map_err(|e| arity_to_csv(e, line_no))?;
+    }
+    while let Some(row) = lines.next_record()? {
+        line_no += 1;
+        if row.len() != names.len() {
+            return Err(ColumnarError::Csv {
+                line: line_no,
+                message: format!("expected {} fields, found {}", names.len(), row.len()),
+            });
+        }
+        builder.push_row(&row).map_err(|e| arity_to_csv(e, line_no))?;
+    }
+    Ok(builder.finish())
+}
+
+/// Reads a CSV file at `path` into a [`Dataset`].
+pub fn read_csv_file(path: impl AsRef<Path>, options: &CsvOptions) -> Result<Dataset, ColumnarError> {
+    let file = std::fs::File::open(path)?;
+    read_csv(file, options)
+}
+
+/// Writes `dataset` as CSV (header + decoded values) to `writer`.
+///
+/// Fields with no dictionary are written as their numeric codes.
+pub fn write_csv<W: std::io::Write>(dataset: &Dataset, writer: &mut W) -> Result<(), ColumnarError> {
+    let schema = dataset.schema();
+    let header: Vec<&str> = schema.fields().iter().map(|f| f.name()).collect();
+    writeln!(writer, "{}", header.join(","))?;
+    let mut buf = String::new();
+    for row in 0..dataset.num_rows() {
+        buf.clear();
+        for attr in 0..dataset.num_attrs() {
+            if attr > 0 {
+                buf.push(',');
+            }
+            let code = dataset.column(attr).code(row);
+            match schema.field(attr).and_then(|f| f.dictionary()) {
+                Some(dict) => {
+                    let raw = dict.decode(code).unwrap_or("");
+                    push_escaped(&mut buf, raw);
+                }
+                None => {
+                    buf.push_str(&code.to_string());
+                }
+            }
+        }
+        writeln!(writer, "{buf}")?;
+    }
+    Ok(())
+}
+
+fn push_escaped(buf: &mut String, raw: &str) {
+    if raw.contains([',', '"', '\n', '\r']) {
+        buf.push('"');
+        for ch in raw.chars() {
+            if ch == '"' {
+                buf.push('"');
+            }
+            buf.push(ch);
+        }
+        buf.push('"');
+    } else {
+        buf.push_str(raw);
+    }
+}
+
+fn arity_to_csv(e: ColumnarError, line: usize) -> ColumnarError {
+    match e {
+        ColumnarError::RowArity { expected, got } => ColumnarError::Csv {
+            line,
+            message: format!("expected {expected} fields, found {got}"),
+        },
+        other => other,
+    }
+}
+
+/// Streaming record reader handling quoting and CRLF.
+struct RecordReader<R: BufRead> {
+    reader: R,
+    delimiter: u8,
+    line: usize,
+}
+
+impl<R: BufRead> RecordReader<R> {
+    fn new(reader: R, delimiter: u8) -> Self {
+        Self { reader, delimiter, line: 0 }
+    }
+
+    /// Reads the next logical record (which may span physical lines when a
+    /// quoted field contains newlines). Returns `None` at end of input.
+    fn next_record(&mut self) -> Result<Option<Vec<String>>, ColumnarError> {
+        let mut raw = String::new();
+        loop {
+            let start_len = raw.len();
+            let n = self.reader.read_line(&mut raw)?;
+            if n == 0 {
+                if raw.is_empty() {
+                    return Ok(None);
+                }
+                break;
+            }
+            self.line += 1;
+            // A record is complete when quotes balance.
+            if raw[start_len..].is_empty() {
+                break;
+            }
+            if quotes_balanced(&raw) {
+                break;
+            }
+        }
+        // Trim one trailing newline / CRLF.
+        while raw.ends_with('\n') || raw.ends_with('\r') {
+            raw.pop();
+        }
+        if raw.is_empty() {
+            // Skip blank lines between records.
+            return self.next_record();
+        }
+        Ok(Some(self.split_record(&raw)?))
+    }
+
+    fn split_record(&self, raw: &str) -> Result<Vec<String>, ColumnarError> {
+        let mut fields = Vec::new();
+        let mut field = String::new();
+        // Iterate chars, not bytes: field content may be any UTF-8, while
+        // the structural characters (quote, delimiter) are ASCII.
+        let mut chars = raw.chars().peekable();
+        let delim = self.delimiter as char;
+        let mut in_quotes = false;
+        while let Some(ch) = chars.next() {
+            if in_quotes {
+                if ch == '"' {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                } else {
+                    field.push(ch);
+                }
+            } else if ch == '"' {
+                if field.is_empty() {
+                    in_quotes = true;
+                } else {
+                    return Err(ColumnarError::Csv {
+                        line: self.line,
+                        message: "quote in unquoted field".into(),
+                    });
+                }
+            } else if ch == delim {
+                fields.push(std::mem::take(&mut field));
+            } else {
+                field.push(ch);
+            }
+        }
+        if in_quotes {
+            return Err(ColumnarError::Csv { line: self.line, message: "unterminated quote".into() });
+        }
+        fields.push(field);
+        Ok(fields)
+    }
+}
+
+fn quotes_balanced(s: &str) -> bool {
+    s.bytes().filter(|&b| b == b'"').count() % 2 == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Dataset {
+        read_csv(s.as_bytes(), &CsvOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn parses_simple_document() {
+        let ds = parse("a,b\n1,x\n2,y\n1,x\n");
+        assert_eq!(ds.num_rows(), 3);
+        assert_eq!(ds.num_attrs(), 2);
+        assert_eq!(ds.attr_index("b").unwrap(), 1);
+        assert_eq!(ds.column(0).codes(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn handles_crlf_and_blank_lines() {
+        let ds = parse("a,b\r\n1,x\r\n\r\n2,y\r\n");
+        assert_eq!(ds.num_rows(), 2);
+    }
+
+    #[test]
+    fn quoted_fields_with_embedded_delimiters() {
+        let ds = parse("a,b\n\"hello, world\",x\nplain,y\n");
+        let dict = ds.schema().field(0).unwrap().dictionary().unwrap();
+        assert_eq!(dict.decode(0), Some("hello, world"));
+    }
+
+    #[test]
+    fn escaped_quotes_inside_quoted_field() {
+        let ds = parse("a\n\"say \"\"hi\"\"\"\n");
+        let dict = ds.schema().field(0).unwrap().dictionary().unwrap();
+        assert_eq!(dict.decode(0), Some("say \"hi\""));
+    }
+
+    #[test]
+    fn quoted_newline_spans_lines() {
+        let ds = parse("a,b\n\"multi\nline\",x\n");
+        assert_eq!(ds.num_rows(), 1);
+        let dict = ds.schema().field(0).unwrap().dictionary().unwrap();
+        assert_eq!(dict.decode(0), Some("multi\nline"));
+    }
+
+    #[test]
+    fn utf8_content_survives_intact() {
+        let ds = parse("名前,city\n\"tōkyō, 東京\",münchen\nπ,κόσμος\n");
+        let d0 = ds.schema().field(0).unwrap().dictionary().unwrap();
+        let d1 = ds.schema().field(1).unwrap().dictionary().unwrap();
+        assert_eq!(d0.decode(0), Some("tōkyō, 東京"));
+        assert_eq!(d0.decode(1), Some("π"));
+        assert_eq!(d1.decode(0), Some("münchen"));
+        assert_eq!(d1.decode(1), Some("κόσμος"));
+        assert_eq!(ds.attr_index("名前").unwrap(), 0);
+        // And it round-trips through the writer.
+        let mut out = Vec::new();
+        write_csv(&ds, &mut out).unwrap();
+        let back = read_csv(out.as_slice(), &CsvOptions::default()).unwrap();
+        assert_eq!(back.column(0).codes(), ds.column(0).codes());
+    }
+
+    #[test]
+    fn invalid_utf8_input_errors_cleanly() {
+        let bytes: &[u8] = b"a,b\n\xFF\xFE,x\n";
+        assert!(read_csv(bytes, &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn headerless_mode_names_columns() {
+        let opts = CsvOptions { has_header: false, ..Default::default() };
+        let ds = read_csv("1,2\n3,4\n".as_bytes(), &opts).unwrap();
+        assert_eq!(ds.num_rows(), 2);
+        assert_eq!(ds.attr_index("col1").unwrap(), 1);
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let opts = CsvOptions { delimiter: b';', ..Default::default() };
+        let ds = read_csv("a;b\n1;2\n".as_bytes(), &opts).unwrap();
+        assert_eq!(ds.num_attrs(), 2);
+    }
+
+    #[test]
+    fn field_count_mismatch_errors_with_line() {
+        let err = read_csv("a,b\n1\n".as_bytes(), &CsvOptions::default()).unwrap_err();
+        match err {
+            ColumnarError::Csv { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(read_csv("a\n\"oops\n".as_bytes(), &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn empty_document_errors() {
+        assert!(read_csv("".as_bytes(), &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn round_trip_write_then_read() {
+        let ds = parse("a,b\nred,\"x,1\"\nblue,y\nred,y\n");
+        let mut out = Vec::new();
+        write_csv(&ds, &mut out).unwrap();
+        let ds2 = read_csv(out.as_slice(), &CsvOptions::default()).unwrap();
+        assert_eq!(ds2.num_rows(), ds.num_rows());
+        for attr in 0..ds.num_attrs() {
+            assert_eq!(ds2.column(attr).codes(), ds.column(attr).codes());
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # swope-columnar
+//!
+//! Columnar dataset substrate for the SWOPE framework.
+//!
+//! The SWOPE paper (Chen & Wang, SIGMOD 2021) operates on datasets of `N`
+//! records with `h` *categorical* attributes, stored column-by-column so
+//! that a query touching a subset of attributes only scans the columns it
+//! needs. This crate provides that substrate:
+//!
+//! * [`Dictionary`] — interning of raw attribute values into dense codes
+//!   `0..u` where `u` is the support size (the paper assumes values in
+//!   `[1, u_alpha]`; we use zero-based codes internally).
+//! * [`Column`] — a dictionary-encoded categorical column of `u32` codes.
+//! * [`Schema`] / [`Field`] — attribute names and support sizes.
+//! * [`Dataset`] — an immutable columnar table plus its schema.
+//! * [`DatasetBuilder`] — row-oriented construction from raw string values.
+//! * [`csv`] — a small self-contained CSV reader.
+//! * [`snapshot`] — a compact binary on-disk format for datasets.
+//! * [`stats`] — per-column summary statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use swope_columnar::DatasetBuilder;
+//!
+//! let mut b = DatasetBuilder::new(vec!["color".into(), "size".into()]);
+//! b.push_row(&["red", "small"]).unwrap();
+//! b.push_row(&["blue", "large"]).unwrap();
+//! b.push_row(&["red", "large"]).unwrap();
+//! let ds = b.finish();
+//!
+//! assert_eq!(ds.num_rows(), 3);
+//! assert_eq!(ds.num_attrs(), 2);
+//! assert_eq!(ds.column(0).support(), 2); // {red, blue}
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod builder;
+mod column;
+pub mod csv;
+mod dataset;
+mod dictionary;
+mod error;
+mod schema;
+pub mod snapshot;
+pub mod stats;
+
+pub use builder::DatasetBuilder;
+pub use column::Column;
+pub use dataset::Dataset;
+pub use dictionary::Dictionary;
+pub use error::ColumnarError;
+pub use schema::{Field, Schema};
+
+/// Index of an attribute (column) within a dataset. Always in `0..h`.
+pub type AttrIndex = usize;
+
+/// A dictionary-encoded attribute value. Always in `0..support`.
+pub type Code = u32;

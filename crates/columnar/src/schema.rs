@@ -1,0 +1,135 @@
+use crate::Dictionary;
+
+/// Metadata for one attribute: its name, support size, and (optionally) the
+/// dictionary that maps codes back to raw values.
+///
+/// Synthetic datasets (from `swope-datagen`) carry no dictionaries — their
+/// codes are the values. CSV-loaded datasets carry one dictionary per field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    name: String,
+    support: u32,
+    dictionary: Option<Dictionary>,
+}
+
+impl Field {
+    /// Creates a field without a dictionary (codes are the raw values).
+    pub fn new(name: impl Into<String>, support: u32) -> Self {
+        Self { name: name.into(), support, dictionary: None }
+    }
+
+    /// Creates a field whose support is the dictionary's size.
+    pub fn with_dictionary(name: impl Into<String>, dictionary: Dictionary) -> Self {
+        let support = dictionary.len() as u32;
+        Self { name: name.into(), support, dictionary: Some(dictionary) }
+    }
+
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The support size `u_alpha`.
+    pub fn support(&self) -> u32 {
+        self.support
+    }
+
+    /// The dictionary, if the field was built from raw values.
+    pub fn dictionary(&self) -> Option<&Dictionary> {
+        self.dictionary.as_ref()
+    }
+}
+
+/// An ordered collection of [`Field`]s describing a dataset's attributes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Self { fields }
+    }
+
+    /// The fields in attribute order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at `index`, if in range.
+    pub fn field(&self, index: usize) -> Option<&Field> {
+        self.fields.get(index)
+    }
+
+    /// Number of attributes `h`.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Resolves an attribute name to its index.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name() == name)
+    }
+
+    /// The largest support size among all attributes (`u_max` in the paper).
+    ///
+    /// Returns 0 for an empty schema.
+    pub fn max_support(&self) -> u32 {
+        self.fields.iter().map(Field::support).max().unwrap_or(0)
+    }
+
+    /// Returns a schema containing only the fields at `indices`, in order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("a", 4),
+            Field::new("b", 10),
+            Field::new("c", 2),
+        ])
+    }
+
+    #[test]
+    fn index_of_resolves_names() {
+        let s = sample();
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+    }
+
+    #[test]
+    fn max_support_over_fields() {
+        assert_eq!(sample().max_support(), 10);
+        assert_eq!(Schema::default().max_support(), 0);
+    }
+
+    #[test]
+    fn project_keeps_order_given() {
+        let s = sample().project(&[2, 0]);
+        assert_eq!(s.field(0).unwrap().name(), "c");
+        assert_eq!(s.field(1).unwrap().name(), "a");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn with_dictionary_sets_support() {
+        let mut d = Dictionary::new();
+        d.intern("x");
+        d.intern("y");
+        let f = Field::with_dictionary("f", d);
+        assert_eq!(f.support(), 2);
+        assert!(f.dictionary().is_some());
+    }
+}

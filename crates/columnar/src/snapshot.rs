@@ -1,0 +1,304 @@
+//! A compact binary on-disk format for datasets.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   b"SWOP"          4 bytes
+//! version u16              currently 1
+//! flags   u16              reserved, 0
+//! h       u32              number of attributes
+//! N       u64              number of rows
+//! field*h:
+//!   name_len u32, name bytes (UTF-8)
+//!   support  u32
+//!   has_dict u8
+//!   if has_dict: count u32, then count * (len u32, bytes)
+//! column*h:
+//!   N * u32 codes
+//! ```
+//!
+//! The format is self-describing enough for version checks and cheap to
+//! write/read with [`bytes`]. Large datasets (tens of millions of rows)
+//! serialize at memcpy-like speed since codes are written as one `u32` run.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{Column, ColumnarError, Dataset, Dictionary, Field, Schema};
+
+const MAGIC: &[u8; 4] = b"SWOP";
+const VERSION: u16 = 1;
+
+/// Serializes `dataset` into a byte buffer.
+pub fn encode(dataset: &Dataset) -> Bytes {
+    let h = dataset.num_attrs();
+    let n = dataset.num_rows();
+    // Rough pre-size: header + columns.
+    let mut buf = BytesMut::with_capacity(64 + h * 32 + h * n * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(0);
+    buf.put_u32_le(h as u32);
+    buf.put_u64_le(n as u64);
+    for field in dataset.schema().fields() {
+        put_str(&mut buf, field.name());
+        buf.put_u32_le(field.support());
+        match field.dictionary() {
+            Some(dict) => {
+                buf.put_u8(1);
+                buf.put_u32_le(dict.len() as u32);
+                for (_, v) in dict.iter() {
+                    put_str(&mut buf, v);
+                }
+            }
+            None => buf.put_u8(0),
+        }
+    }
+    for attr in 0..h {
+        for &code in dataset.column(attr).codes() {
+            buf.put_u32_le(code);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a dataset from `bytes`.
+pub fn decode(mut bytes: &[u8]) -> Result<Dataset, ColumnarError> {
+    let buf = &mut bytes;
+    let mut magic = [0u8; 4];
+    take(buf, &mut magic)?;
+    if &magic != MAGIC {
+        return Err(ColumnarError::Snapshot("bad magic".into()));
+    }
+    let version = get_u16(buf)?;
+    if version != VERSION {
+        return Err(ColumnarError::Snapshot(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let _flags = get_u16(buf)?;
+    let h = get_u32(buf)? as usize;
+    let n = get_u64(buf)? as usize;
+
+    // Sanity-check the declared sizes against the bytes actually present
+    // *before* any allocation: a corrupted header must fail cleanly, not
+    // attempt a multi-gigabyte Vec::with_capacity. Each field needs at
+    // least 9 bytes (name_len + support + has_dict); each column needs
+    // 4·n code bytes.
+    let min_field_bytes = (h as u64).saturating_mul(9);
+    let min_code_bytes = (h as u64).saturating_mul(n as u64).saturating_mul(4);
+    if min_field_bytes.saturating_add(min_code_bytes) > buf.len() as u64 {
+        return Err(truncated());
+    }
+
+    let mut fields = Vec::with_capacity(h);
+    for _ in 0..h {
+        let name = get_str(buf)?;
+        let support = get_u32(buf)?;
+        let has_dict = get_u8(buf)?;
+        let field = if has_dict == 1 {
+            let count = get_u32(buf)? as usize;
+            // Each value needs at least its 4-byte length prefix.
+            if (count as u64).saturating_mul(4) > buf.len() as u64 {
+                return Err(truncated());
+            }
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                values.push(get_str(buf)?);
+            }
+            let dict = Dictionary::from_values(values)
+                .ok_or_else(|| ColumnarError::Snapshot("duplicate dictionary value".into()))?;
+            if dict.len() as u32 != support {
+                return Err(ColumnarError::Snapshot(
+                    "dictionary size disagrees with support".into(),
+                ));
+            }
+            Field::with_dictionary(name, dict)
+        } else {
+            Field::new(name, support)
+        };
+        fields.push(field);
+    }
+
+    let mut columns = Vec::with_capacity(h);
+    for (attr, field) in fields.iter().enumerate() {
+        let mut codes = Vec::with_capacity(n);
+        for _ in 0..n {
+            codes.push(get_u32(buf)?);
+        }
+        let col = Column::new(codes, field.support()).map_err(|_| {
+            ColumnarError::Snapshot(format!("column {attr} contains out-of-range codes"))
+        })?;
+        columns.push(col);
+    }
+    if !buf.is_empty() {
+        return Err(ColumnarError::Snapshot(format!(
+            "{} trailing bytes after dataset",
+            buf.len()
+        )));
+    }
+    Dataset::new(Schema::new(fields), columns)
+}
+
+/// Writes `dataset` in snapshot format to `writer`.
+pub fn write<W: Write>(dataset: &Dataset, writer: &mut W) -> Result<(), ColumnarError> {
+    writer.write_all(&encode(dataset))?;
+    Ok(())
+}
+
+/// Reads a snapshot dataset from `reader`.
+pub fn read<R: Read>(reader: &mut R) -> Result<Dataset, ColumnarError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    decode(&bytes)
+}
+
+/// Writes `dataset` to the file at `path`.
+pub fn write_file(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), ColumnarError> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write(dataset, &mut f)
+}
+
+/// Reads a dataset from the file at `path`.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Dataset, ColumnarError> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    read(&mut f)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn take(buf: &mut &[u8], out: &mut [u8]) -> Result<(), ColumnarError> {
+    if buf.remaining() < out.len() {
+        return Err(truncated());
+    }
+    buf.copy_to_slice(out);
+    Ok(())
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, ColumnarError> {
+    if buf.remaining() < 1 {
+        return Err(truncated());
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut &[u8]) -> Result<u16, ColumnarError> {
+    if buf.remaining() < 2 {
+        return Err(truncated());
+    }
+    Ok(buf.get_u16_le())
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, ColumnarError> {
+    if buf.remaining() < 4 {
+        return Err(truncated());
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, ColumnarError> {
+    if buf.remaining() < 8 {
+        return Err(truncated());
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, ColumnarError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(truncated());
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| ColumnarError::Snapshot("invalid UTF-8".into()))
+}
+
+fn truncated() -> ColumnarError {
+    ColumnarError::Snapshot("truncated input".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetBuilder;
+
+    fn sample() -> Dataset {
+        let mut b = DatasetBuilder::new(vec!["color".into(), "size".into()]);
+        for row in [["red", "s"], ["blue", "m"], ["red", "l"], ["green", "s"]] {
+            b.push_row(&row).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let ds = sample();
+        let bytes = encode(&ds);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn round_trips_without_dictionaries() {
+        let schema = Schema::new(vec![Field::new("n", 5)]);
+        let col = Column::new(vec![0, 4, 2], 5).unwrap();
+        let ds = Dataset::new(schema, vec![col]).unwrap();
+        let back = decode(&encode(&ds)).unwrap();
+        assert_eq!(back, ds);
+        assert!(back.schema().field(0).unwrap().dictionary().is_none());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[0] = b'X';
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[4] = 99;
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix_boundary() {
+        let bytes = encode(&sample()).to_vec();
+        for cut in [0, 3, 5, 10, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("swope-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.swop");
+        let ds = sample();
+        write_file(&ds, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back, ds);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_dataset_round_trips() {
+        let ds = DatasetBuilder::new(vec!["a".into()]).finish();
+        let back = decode(&encode(&ds)).unwrap();
+        assert_eq!(back.num_rows(), 0);
+        assert_eq!(back.num_attrs(), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-column summary statistics.
+//!
+//! These are cheap single-pass summaries used by the CLI, the data
+//! generator's self-checks, and the bench harness's dataset tables
+//! (paper Table 2). Entropy itself lives in `swope-estimate`.
+
+use crate::{AttrIndex, Dataset};
+
+/// Summary statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Attribute index in the parent dataset.
+    pub attr: AttrIndex,
+    /// Attribute name.
+    pub name: String,
+    /// Declared support size `u_alpha`.
+    pub support: u32,
+    /// Number of codes observed at least once.
+    pub observed_distinct: usize,
+    /// Count of the most frequent code.
+    pub max_count: u64,
+    /// The most frequent code (lowest code wins ties); `None` for empty data.
+    pub mode: Option<u32>,
+    /// `max_count / N` — how concentrated the column is. 0 for empty data.
+    pub mode_fraction: f64,
+}
+
+/// Computes statistics for one column of `dataset`.
+pub fn column_stats(dataset: &Dataset, attr: AttrIndex) -> ColumnStats {
+    let col = dataset.column(attr);
+    let counts = col.value_counts();
+    let observed_distinct = counts.iter().filter(|&&n| n > 0).count();
+    let (mode, max_count) = counts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, &n)| (Some(i as u32), n))
+        .unwrap_or((None, 0));
+    let n = col.len();
+    let mode_fraction = if n == 0 { 0.0 } else { max_count as f64 / n as f64 };
+    ColumnStats {
+        attr,
+        name: dataset
+            .schema()
+            .field(attr)
+            .map(|f| f.name().to_owned())
+            .unwrap_or_default(),
+        support: col.support(),
+        observed_distinct,
+        max_count,
+        mode: if n == 0 { None } else { mode },
+        mode_fraction,
+    }
+}
+
+/// Computes statistics for all columns of `dataset`.
+pub fn dataset_stats(dataset: &Dataset) -> Vec<ColumnStats> {
+    (0..dataset.num_attrs()).map(|a| column_stats(dataset, a)).collect()
+}
+
+/// A dataset-level summary row, as in the paper's Table 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetSummary {
+    /// Number of rows `N`.
+    pub rows: usize,
+    /// Number of columns `h`.
+    pub columns: usize,
+    /// Maximum support among columns (`u_max`).
+    pub max_support: u32,
+}
+
+/// Summarizes `dataset` (paper Table 2 row shape).
+pub fn summarize(dataset: &Dataset) -> DatasetSummary {
+    DatasetSummary {
+        rows: dataset.num_rows(),
+        columns: dataset.num_attrs(),
+        max_support: dataset.schema().max_support(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Column, Dataset, Field, Schema};
+
+    fn ds() -> Dataset {
+        let schema = Schema::new(vec![Field::new("x", 3), Field::new("y", 2)]);
+        let cols = vec![
+            Column::new(vec![0, 1, 1, 1, 2], 3).unwrap(),
+            Column::new(vec![0, 0, 0, 0, 0], 2).unwrap(),
+        ];
+        Dataset::new(schema, cols).unwrap()
+    }
+
+    #[test]
+    fn column_stats_finds_mode() {
+        let s = column_stats(&ds(), 0);
+        assert_eq!(s.mode, Some(1));
+        assert_eq!(s.max_count, 3);
+        assert_eq!(s.observed_distinct, 3);
+        assert!((s.mode_fraction - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_has_full_concentration() {
+        let s = column_stats(&ds(), 1);
+        assert_eq!(s.mode, Some(0));
+        assert_eq!(s.observed_distinct, 1);
+        assert!((s.mode_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_tie_breaks_to_lowest_code() {
+        let schema = Schema::new(vec![Field::new("x", 2)]);
+        let col = Column::new(vec![1, 0], 2).unwrap();
+        let d = Dataset::new(schema, vec![col]).unwrap();
+        assert_eq!(column_stats(&d, 0).mode, Some(0));
+    }
+
+    #[test]
+    fn summarize_matches_shape() {
+        let s = summarize(&ds());
+        assert_eq!(s, DatasetSummary { rows: 5, columns: 2, max_support: 3 });
+    }
+
+    #[test]
+    fn dataset_stats_covers_all_columns() {
+        assert_eq!(dataset_stats(&ds()).len(), 2);
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let schema = Schema::new(vec![Field::new("x", 3)]);
+        let d = Dataset::new(schema, vec![Column::new(vec![], 3).unwrap()]).unwrap();
+        let s = column_stats(&d, 0);
+        assert_eq!(s.mode, None);
+        assert_eq!(s.mode_fraction, 0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Algorithm 3: SWOPE approximate top-k on empirical mutual information.
+
+use swope_columnar::{AttrIndex, Dataset};
+use swope_estimate::bounds::lambda;
+use swope_sampling::DoublingSchedule;
+
+use crate::parallel::for_each_mut;
+use crate::report::{AttrScore, QueryStats, TopKResult};
+use crate::state::{make_sampler, MiState, TargetState};
+use crate::topk::top_k_indices;
+use crate::{SwopeConfig, SwopeError};
+
+/// Approximate top-k query on empirical mutual information against a
+/// target attribute (paper Algorithm 3).
+///
+/// Returns the `k` candidate attributes with the highest estimated
+/// `I(α_t, α)` satisfying Definition 5 with probability `1 − p_f`.
+///
+/// The bound machinery mirrors the entropy query, with three differences
+/// from Algorithm 1 (§4.1):
+///
+/// * each candidate's interval combines bounds on `H(α_t)`, `H(α)` and the
+///   joint `H(α_t, α)`, so the failure budget divides by 3:
+///   `p'_f = p_f / (3·i_max·(h−1))`;
+/// * the joint support is bounded by `ū = u_t·u_α` (tracking exact pair
+///   supports for all pairs in advance is impractical);
+/// * the stopping rule uses the interval width `6λ + b'` with
+///   `b'(α) = b(α_t) + b(α) + b(α_t, α)`:
+///   `(Ī(α_t, α'_k) − 6λ − b'_max) / Ī(α_t, α'_k) ≥ 1 − ε`.
+///
+/// Expected cost is
+/// `O(min{hN, h·log(h·log N/p_f)·log²N / (ε²·I²(α_t, α*_k))})` (Theorem 5).
+///
+/// # Example
+///
+/// ```
+/// use swope_columnar::{Column, Dataset, Field, Schema};
+/// use swope_core::{mi_top_k, SwopeConfig};
+///
+/// // "copy" mirrors "label"; "noise" is unrelated.
+/// let n = 4000;
+/// let label: Vec<u32> = (0..n).map(|r| r % 4).collect();
+/// let ds = Dataset::new(
+///     Schema::new(vec![
+///         Field::new("label", 4),
+///         Field::new("copy", 4),
+///         Field::new("noise", 4),
+///     ]),
+///     vec![
+///         Column::new(label.clone(), 4).unwrap(),
+///         Column::new(label, 4).unwrap(),
+///         Column::new((0..n).map(|r| (r.wrapping_mul(2654435761) >> 13) % 4).collect(), 4).unwrap(),
+///     ],
+/// )
+/// .unwrap();
+///
+/// let result = mi_top_k(&ds, 0, 1, &SwopeConfig::with_epsilon(0.5)).unwrap();
+/// assert_eq!(result.top[0].name, "copy");
+/// ```
+///
+/// # Errors
+///
+/// Fails fast on invalid `ε`/`p_f`, an empty dataset, a target index out
+/// of range, no candidates (`h < 2`), or `k` outside `1..=h−1`.
+pub fn mi_top_k(
+    dataset: &Dataset,
+    target: AttrIndex,
+    k: usize,
+    config: &SwopeConfig,
+) -> Result<TopKResult, SwopeError> {
+    config.validate()?;
+    let h = dataset.num_attrs();
+    let n = dataset.num_rows();
+    if h == 0 || n == 0 {
+        return Err(SwopeError::EmptyDataset);
+    }
+    if target >= h {
+        return Err(SwopeError::TargetOutOfRange { target, num_attrs: h });
+    }
+    if h < 2 {
+        return Err(SwopeError::NoCandidates);
+    }
+    let candidates = h - 1;
+    if k == 0 || k > candidates {
+        return Err(SwopeError::InvalidK { k, candidates });
+    }
+
+    let epsilon = config.epsilon;
+    let p_f = config.resolve_p_f(dataset);
+    let m0 = config.resolve_m0(dataset, p_f);
+    let schedule = DoublingSchedule::new(n, m0);
+    // Three Lemma-3 applications per candidate per iteration (Alg. 3 line 1).
+    let p_prime = p_f / (3.0 * schedule.i_max() as f64 * candidates as f64);
+
+    let mut sampler = make_sampler(n, config.sampling);
+    let mut target_state = TargetState::new(dataset, target);
+    let u_t = target_state.support;
+    let mut states: Vec<MiState> = (0..h)
+        .filter(|&a| a != target)
+        .map(|a| MiState::new(a, u_t, dataset.support(a)))
+        .collect();
+    let mut stats = QueryStats::default();
+
+    let mut m_target = schedule.m0();
+    loop {
+        let delta: Vec<u32> = sampler.grow_to(m_target).to_vec();
+        let m = sampler.sampled();
+        let lam = lambda(m as u64, n as u64, p_prime);
+        stats.record_iteration(m, states.len(), lam);
+
+        // Gather the target codes once; every candidate reuses them.
+        let t_codes = target_state.ingest(dataset.column(target), &delta);
+        let h_t = target_state.sample_entropy();
+        stats.rows_scanned += delta.len() as u64; // target scan
+        stats.rows_scanned += (2 * delta.len() * states.len()) as u64; // marginal + joint
+
+        for_each_mut(&mut states, config.threads, |st| {
+            st.ingest(dataset.column(st.attr), &t_codes, &delta);
+            st.update_bounds(h_t, u_t, n as u64, p_prime);
+        });
+
+        // R <- top-k candidates by upper bound (Alg. 3 lines 7-9).
+        let by_upper = top_k_indices(&states, k, |st| st.bounds.upper);
+        let kth_upper = states[by_upper[k - 1]].bounds.upper;
+        let b_max = by_upper
+            .iter()
+            .map(|&i| states[i].bounds.bias_total)
+            .fold(0.0f64, f64::max);
+
+        // Stopping rule (Alg. 3 line 10).
+        let stop =
+            kth_upper > 0.0 && (kth_upper - 6.0 * lam - b_max) / kth_upper >= 1.0 - epsilon;
+        if stop || m >= n {
+            stats.converged_early = stop && m < n;
+            let top = by_upper.iter().map(|&i| mi_score(dataset, &states[i])).collect();
+            return Ok(TopKResult { top, stats });
+        }
+
+        // Prune candidates whose upper bound falls below the k-th largest
+        // lower bound (lines 16-19).
+        let by_lower = top_k_indices(&states, k, |st| st.bounds.lower);
+        let kth_lower = states[by_lower[k - 1]].bounds.lower;
+        states.retain(|st| st.bounds.upper >= kth_lower);
+
+        m_target = (m * 2).min(n);
+    }
+}
+
+pub(crate) fn mi_score(dataset: &Dataset, st: &MiState) -> AttrScore {
+    AttrScore {
+        attr: st.attr,
+        name: dataset
+            .schema()
+            .field(st.attr)
+            .map(|f| f.name().to_owned())
+            .unwrap_or_default(),
+        estimate: st.bounds.point_estimate(),
+        lower: st.bounds.lower,
+        upper: st.bounds.upper,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swope_columnar::{Column, Field, Schema};
+
+    /// Target column cycles 0..4; candidate `i` copies the target through a
+    /// noise level that increases with `i`, so MI ranking is c0 > c1 > ...
+    /// plus one independent column at the end.
+    fn correlated_dataset(n: usize) -> Dataset {
+        let target: Vec<u32> = (0..n).map(|r| (r as u32) % 4).collect();
+        let mut fields = vec![Field::new("target", 4)];
+        let mut columns = vec![Column::new(target.clone(), 4).unwrap()];
+        for (i, noise_mod) in [1u32, 3, 7].iter().enumerate() {
+            // Copy the target except every noise_mod+1-th row is scrambled:
+            // smaller noise_mod => more scrambling => lower MI.
+            let codes: Vec<u32> = (0..n)
+                .map(|r| {
+                    if (r as u32) % (noise_mod + 1) == 0 {
+                        ((r as u32).wrapping_mul(2654435761) >> 13) % 4
+                    } else {
+                        target[r]
+                    }
+                })
+                .collect();
+            fields.push(Field::new(format!("c{i}"), 4));
+            columns.push(Column::new(codes, 4).unwrap());
+        }
+        // Independent column.
+        fields.push(Field::new("indep", 4));
+        columns
+            .push(Column::new((0..n).map(|r| ((r as u32).wrapping_mul(2654435761) >> 13) % 4).collect(), 4).unwrap());
+        Dataset::new(Schema::new(fields), columns).unwrap()
+    }
+
+    fn config() -> SwopeConfig {
+        SwopeConfig { epsilon: 0.5, ..SwopeConfig::default() }
+    }
+
+    #[test]
+    fn finds_most_informative_candidate() {
+        let ds = correlated_dataset(30_000);
+        let r = mi_top_k(&ds, 0, 1, &config()).unwrap();
+        // c2 (least scrambled) has the highest MI with the target.
+        assert_eq!(r.top[0].name, "c2");
+    }
+
+    #[test]
+    fn ranking_matches_noise_levels() {
+        let ds = correlated_dataset(30_000);
+        let r = mi_top_k(&ds, 0, 3, &config()).unwrap();
+        let names: Vec<&str> = r.top.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["c2", "c1", "c0"]);
+    }
+
+    #[test]
+    fn target_never_in_results() {
+        let ds = correlated_dataset(10_000);
+        let r = mi_top_k(&ds, 0, 4, &config()).unwrap();
+        assert!(r.top.iter().all(|s| s.attr != 0));
+        assert_eq!(r.top.len(), 4);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let ds = correlated_dataset(1_000);
+        assert!(matches!(
+            mi_top_k(&ds, 99, 1, &config()),
+            Err(SwopeError::TargetOutOfRange { .. })
+        ));
+        assert!(matches!(
+            mi_top_k(&ds, 0, 0, &config()),
+            Err(SwopeError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            mi_top_k(&ds, 0, 5, &config()),
+            Err(SwopeError::InvalidK { .. })
+        ));
+        // Single-attribute dataset has no candidates.
+        let schema = Schema::new(vec![Field::new("only", 2)]);
+        let ds1 = Dataset::new(schema, vec![Column::new(vec![0, 1], 2).unwrap()]).unwrap();
+        assert!(matches!(mi_top_k(&ds1, 0, 1, &config()), Err(SwopeError::NoCandidates)));
+    }
+
+    #[test]
+    fn bounds_bracket_estimates() {
+        let ds = correlated_dataset(20_000);
+        let r = mi_top_k(&ds, 0, 2, &config()).unwrap();
+        for s in &r.top {
+            assert!(s.lower <= s.estimate && s.estimate <= s.upper);
+            assert!(s.lower >= 0.0, "MI lower bound must be nonnegative");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = correlated_dataset(20_000);
+        let c = config().with_seed(11);
+        assert_eq!(mi_top_k(&ds, 0, 2, &c).unwrap(), mi_top_k(&ds, 0, 2, &c).unwrap());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let ds = correlated_dataset(20_000);
+        let seq = mi_top_k(&ds, 0, 2, &config().with_seed(5)).unwrap();
+        let par = mi_top_k(&ds, 0, 2, &config().with_seed(5).with_threads(4)).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn tiny_dataset_exact_path() {
+        let ds = correlated_dataset(64);
+        let r = mi_top_k(&ds, 0, 1, &config()).unwrap();
+        assert_eq!(r.stats.sample_size, 64);
+        assert_eq!(r.top[0].name, "c2");
+    }
+
+    #[test]
+    fn nontrivial_target_index() {
+        let ds = correlated_dataset(10_000);
+        // Use c2 (attr 3) as target; the original target column copies it
+        // closely, so it should rank first.
+        let r = mi_top_k(&ds, 3, 1, &config()).unwrap();
+        assert_eq!(r.top[0].name, "target");
+    }
+}

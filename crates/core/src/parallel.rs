@@ -1,0 +1,92 @@
+//! Minimal data-parallel helper for per-attribute work.
+//!
+//! Every SWOPE iteration performs independent work per candidate attribute
+//! (ingest the ΔM new sampled records into that attribute's counters and
+//! recompute its bounds). Candidates share nothing mutable, so the natural
+//! parallelization is to shard the candidate slice across scoped threads.
+//! A full thread-pool or rayon-style scheduler would be overkill: the
+//! workload is one fork-join per iteration with uniform-cost items.
+
+/// Applies `f` to every element of `items`, splitting the slice across up
+/// to `threads` scoped worker threads.
+///
+/// Falls back to a plain sequential loop when `threads <= 1` or there are
+/// fewer than two items, avoiding any thread overhead on the common
+/// single-threaded configuration.
+pub fn for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        for item in items.iter_mut() {
+            f(item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for shard in items.chunks_mut(chunk) {
+            scope.spawn(|_| {
+                for item in shard.iter_mut() {
+                    f(item);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sequential_path_applies_all() {
+        let mut items = vec![1, 2, 3];
+        for_each_mut(&mut items, 1, |x| *x *= 10);
+        assert_eq!(items, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn parallel_path_applies_all_exactly_once() {
+        let mut items: Vec<u64> = (0..1000).collect();
+        let calls = AtomicUsize::new(0);
+        for_each_mut(&mut items, 8, |x| {
+            *x += 1;
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        for (i, &v) in items.iter().enumerate() {
+            assert_eq!(v, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let mut items = vec![5];
+        for_each_mut(&mut items, 64, |x| *x = 7);
+        assert_eq!(items, vec![7]);
+    }
+
+    #[test]
+    fn empty_slice_is_a_noop() {
+        let mut items: Vec<i32> = vec![];
+        for_each_mut(&mut items, 4, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn results_match_sequential_for_any_thread_count() {
+        for threads in [1usize, 2, 3, 7, 16] {
+            let mut par: Vec<u64> = (0..97).collect();
+            let mut seq: Vec<u64> = (0..97).collect();
+            for_each_mut(&mut par, threads, |x| *x = x.wrapping_mul(3) + 1);
+            for x in seq.iter_mut() {
+                *x = x.wrapping_mul(3) + 1;
+            }
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+use serde::{Deserialize, Serialize};
+use swope_columnar::AttrIndex;
+
+/// One scored attribute in a query answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttrScore {
+    /// Attribute index in the queried dataset.
+    pub attr: AttrIndex,
+    /// Attribute name from the schema.
+    pub name: String,
+    /// Point estimate `(lower + upper) / 2` of the score at termination.
+    pub estimate: f64,
+    /// Lower confidence bound at termination.
+    pub lower: f64,
+    /// Upper confidence bound at termination.
+    pub upper: f64,
+}
+
+/// Execution statistics shared by all query results.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Final sample size `M` when the query stopped.
+    pub sample_size: usize,
+    /// Number of doubling iterations executed.
+    pub iterations: usize,
+    /// Total counter-update work: one unit per (record, counter) ingestion.
+    /// This is the quantity the paper's `O(h·M*)` complexity counts.
+    pub rows_scanned: u64,
+    /// Whether the stopping rule fired before the sample reached `N`
+    /// (if `false`, the query degenerated to an exact scan).
+    pub converged_early: bool,
+    /// One entry per doubling iteration, recording how the candidate set
+    /// and the deviation radius evolved — the raw material for
+    /// convergence plots and pruning-effectiveness analysis.
+    pub trace: Vec<IterationTrace>,
+}
+
+/// Snapshot of one doubling iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationTrace {
+    /// 1-based iteration index.
+    pub iteration: usize,
+    /// Sample size `M` at this iteration.
+    pub sample_size: usize,
+    /// Live candidates *entering* the iteration (before this round's
+    /// pruning/decisions).
+    pub candidates: usize,
+    /// The shared deviation radius λ at this iteration's `M`.
+    pub lambda: f64,
+}
+
+impl QueryStats {
+    /// Records one iteration in the trace and updates the aggregates.
+    pub(crate) fn record_iteration(
+        &mut self,
+        sample_size: usize,
+        candidates: usize,
+        lambda: f64,
+    ) {
+        self.iterations += 1;
+        self.sample_size = sample_size;
+        self.trace.push(IterationTrace {
+            iteration: self.iterations,
+            sample_size,
+            candidates,
+            lambda,
+        });
+    }
+}
+
+/// Result of an approximate top-k query ([`crate::entropy_top_k`],
+/// [`crate::mi_top_k`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopKResult {
+    /// The k returned attributes, sorted by descending upper bound (the
+    /// paper's return order).
+    pub top: Vec<AttrScore>,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+/// Result of an approximate filtering query ([`crate::entropy_filter`],
+/// [`crate::mi_filter`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterResult {
+    /// The accepted attributes, sorted by descending estimate.
+    pub accepted: Vec<AttrScore>,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+impl TopKResult {
+    /// The returned attribute indices, in order.
+    pub fn attr_indices(&self) -> Vec<AttrIndex> {
+        self.top.iter().map(|a| a.attr).collect()
+    }
+}
+
+impl FilterResult {
+    /// The accepted attribute indices, in order.
+    pub fn attr_indices(&self) -> Vec<AttrIndex> {
+        self.accepted.iter().map(|a| a.attr).collect()
+    }
+
+    /// Whether `attr` was accepted.
+    pub fn contains(&self, attr: AttrIndex) -> bool {
+        self.accepted.iter().any(|a| a.attr == attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(attr: usize, est: f64) -> AttrScore {
+        AttrScore {
+            attr,
+            name: format!("a{attr}"),
+            estimate: est,
+            lower: est - 0.1,
+            upper: est + 0.1,
+        }
+    }
+
+    #[test]
+    fn attr_indices_preserve_order() {
+        let r = TopKResult {
+            top: vec![score(3, 2.0), score(1, 1.5)],
+            stats: QueryStats::default(),
+        };
+        assert_eq!(r.attr_indices(), vec![3, 1]);
+    }
+
+    #[test]
+    fn filter_contains() {
+        let r = FilterResult {
+            accepted: vec![score(0, 1.0), score(2, 0.9)],
+            stats: QueryStats::default(),
+        };
+        assert!(r.contains(2));
+        assert!(!r.contains(1));
+        assert_eq!(r.attr_indices(), vec![0, 2]);
+    }
+}

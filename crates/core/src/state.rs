@@ -1,0 +1,300 @@
+//! Per-attribute incremental query state.
+//!
+//! The SWOPE algorithms (and the exact baselines built on the same bound
+//! machinery) maintain, for every live candidate attribute, counters over
+//! the sampled records plus the current confidence interval. This module
+//! holds that state so `swope-core` and `swope-baselines` share one
+//! implementation.
+//!
+//! The key performance property: [`EntropyState::ingest`] and
+//! [`MiState::ingest`] accept only the **newly sampled** rows of an
+//! iteration, so the total counting work over a whole query is
+//! `O(candidates × final M)` — the quantity the paper's complexity
+//! analysis bounds — rather than re-scanning the sample every iteration.
+
+use swope_columnar::{AttrIndex, Code, Column, Dataset};
+use swope_estimate::bounds::{entropy_bounds, mi_bounds, EntropyBounds, MiBounds};
+use swope_estimate::entropy::EntropyCounter;
+use swope_estimate::joint::JointEntropyCounter;
+use swope_sampling::{PageShuffle, PrefixShuffle, Sampler};
+
+use crate::SamplingStrategy;
+
+/// Constructs the sampler a query's `SamplingStrategy` asks for.
+pub fn make_sampler(num_rows: usize, strategy: SamplingStrategy) -> Box<dyn Sampler> {
+    match strategy {
+        SamplingStrategy::Row { seed } => Box::new(PrefixShuffle::new(num_rows, seed)),
+        SamplingStrategy::Page { page_rows, seed } => {
+            Box::new(PageShuffle::new(num_rows, page_rows, seed))
+        }
+    }
+}
+
+/// Incremental entropy-query state for one attribute.
+#[derive(Debug, Clone)]
+pub struct EntropyState {
+    /// The attribute this state tracks.
+    pub attr: AttrIndex,
+    /// The attribute's support size `u_alpha`.
+    pub support: u32,
+    counter: EntropyCounter,
+    /// Confidence interval from the most recent [`EntropyState::update_bounds`].
+    pub bounds: EntropyBounds,
+}
+
+impl EntropyState {
+    /// Creates state for attribute `attr` of `dataset`.
+    pub fn new(dataset: &Dataset, attr: AttrIndex) -> Self {
+        let support = dataset.support(attr);
+        Self {
+            attr,
+            support,
+            counter: EntropyCounter::new(support),
+            bounds: EntropyBounds {
+                sample_entropy: 0.0,
+                lower: 0.0,
+                upper: f64::INFINITY,
+                lambda: f64::INFINITY,
+                bias: f64::INFINITY,
+            },
+        }
+    }
+
+    /// Ingests newly sampled rows (O(Δrows)).
+    #[inline]
+    pub fn ingest(&mut self, column: &Column, new_rows: &[u32]) {
+        let codes = column.codes();
+        for &r in new_rows {
+            self.counter.add(codes[r as usize]);
+        }
+    }
+
+    /// Recomputes the Lemma 3 interval for the current sample.
+    ///
+    /// * `n` — population size, `p` — per-application failure budget
+    ///   (`p'_f`). The sample size `m` is taken from the counter.
+    pub fn update_bounds(&mut self, n: u64, p: f64) {
+        let m = self.counter.total();
+        self.bounds = entropy_bounds(self.counter.entropy(), m, n, self.support as u64, p);
+    }
+
+    /// The sample entropy `H_S(α)` over everything ingested so far.
+    pub fn sample_entropy(&self) -> f64 {
+        self.counter.entropy()
+    }
+
+    /// Records ingested so far.
+    pub fn sampled(&self) -> u64 {
+        self.counter.total()
+    }
+}
+
+/// Incremental MI-query state for one candidate attribute (the target
+/// attribute's marginal is shared across candidates and lives in
+/// [`TargetState`]).
+#[derive(Debug, Clone)]
+pub struct MiState {
+    /// The candidate attribute this state tracks.
+    pub attr: AttrIndex,
+    /// The candidate's support size `u_alpha`.
+    pub support: u32,
+    counter: EntropyCounter,
+    joint: JointEntropyCounter,
+    /// Confidence interval from the most recent [`MiState::update_bounds`].
+    pub bounds: MiBounds,
+}
+
+impl MiState {
+    /// Creates state for candidate `attr` with support `u_a` against a
+    /// target of support `u_t`.
+    pub fn new(attr: AttrIndex, u_t: u32, u_a: u32) -> Self {
+        Self {
+            attr,
+            support: u_a,
+            counter: EntropyCounter::new(u_a),
+            joint: JointEntropyCounter::new(u_t, u_a),
+            bounds: MiBounds {
+                sample_mi: 0.0,
+                lower: 0.0,
+                upper: f64::INFINITY,
+                lambda: f64::INFINITY,
+                bias_total: f64::INFINITY,
+            },
+        }
+    }
+
+    /// Ingests newly sampled rows. `target_codes[i]` must be the target
+    /// attribute's code at `new_rows[i]` (pre-gathered once per iteration
+    /// so `h−1` candidates don't each re-read the target column).
+    #[inline]
+    pub fn ingest(&mut self, column: &Column, target_codes: &[Code], new_rows: &[u32]) {
+        debug_assert_eq!(target_codes.len(), new_rows.len());
+        let codes = column.codes();
+        for (&r, &tc) in new_rows.iter().zip(target_codes) {
+            let c = codes[r as usize];
+            self.counter.add(c);
+            self.joint.add(tc, c);
+        }
+    }
+
+    /// Recomputes the §4.1 interval for the current sample.
+    ///
+    /// * `h_t`, `u_t` — the target attribute's sample entropy and support,
+    /// * `n`, `p` — population size and per-application failure budget.
+    pub fn update_bounds(&mut self, h_t: f64, u_t: u32, n: u64, p: f64) {
+        let m = self.counter.total();
+        self.bounds = mi_bounds(
+            h_t,
+            self.counter.entropy(),
+            self.joint.entropy(),
+            u_t as u64,
+            self.support as u64,
+            m,
+            n,
+            p,
+        );
+    }
+
+    /// The candidate's sample entropy `H_S(α)`.
+    pub fn sample_entropy(&self) -> f64 {
+        self.counter.entropy()
+    }
+
+    /// The pair's sample joint entropy `H_S(α_t, α)`.
+    pub fn sample_joint_entropy(&self) -> f64 {
+        self.joint.entropy()
+    }
+
+    /// Records ingested so far.
+    pub fn sampled(&self) -> u64 {
+        self.counter.total()
+    }
+}
+
+/// The target attribute's shared state in an MI query.
+#[derive(Debug, Clone)]
+pub struct TargetState {
+    /// The target attribute index.
+    pub attr: AttrIndex,
+    /// The target's support size `u_t`.
+    pub support: u32,
+    counter: EntropyCounter,
+}
+
+impl TargetState {
+    /// Creates state for target attribute `attr` of `dataset`.
+    pub fn new(dataset: &Dataset, attr: AttrIndex) -> Self {
+        let support = dataset.support(attr);
+        Self { attr, support, counter: EntropyCounter::new(support) }
+    }
+
+    /// Ingests newly sampled rows, returning their target codes for reuse
+    /// by every candidate's [`MiState::ingest`].
+    pub fn ingest(&mut self, column: &Column, new_rows: &[u32]) -> Vec<Code> {
+        let codes = column.codes();
+        let mut gathered = Vec::with_capacity(new_rows.len());
+        for &r in new_rows {
+            let c = codes[r as usize];
+            self.counter.add(c);
+            gathered.push(c);
+        }
+        gathered
+    }
+
+    /// The target's sample entropy `H_S(α_t)`.
+    pub fn sample_entropy(&self) -> f64 {
+        self.counter.entropy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swope_columnar::{Field, Schema};
+    use swope_estimate::entropy::column_entropy;
+    use swope_estimate::joint::mutual_information;
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(vec![Field::new("a", 4), Field::new("b", 2)]);
+        let a = Column::new((0..64).map(|i| i % 4).collect(), 4).unwrap();
+        let b = Column::new((0..64).map(|i| (i / 2) % 2).collect(), 2).unwrap();
+        Dataset::new(schema, vec![a, b]).unwrap()
+    }
+
+    #[test]
+    fn entropy_state_full_ingest_matches_exact() {
+        let ds = dataset();
+        let mut st = EntropyState::new(&ds, 0);
+        let rows: Vec<u32> = (0..64).collect();
+        st.ingest(ds.column(0), &rows);
+        assert!((st.sample_entropy() - column_entropy(ds.column(0))).abs() < 1e-12);
+        st.update_bounds(64, 0.01);
+        // Full sample: bounds collapse.
+        assert!((st.bounds.lower - st.bounds.upper).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_state_incremental_ingest() {
+        let ds = dataset();
+        let mut st = EntropyState::new(&ds, 0);
+        let rows: Vec<u32> = (0..64).collect();
+        st.ingest(ds.column(0), &rows[..32]);
+        st.ingest(ds.column(0), &rows[32..]);
+        assert_eq!(st.sampled(), 64);
+        assert!((st.sample_entropy() - column_entropy(ds.column(0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_state_initial_bounds_are_vacuous() {
+        let ds = dataset();
+        let st = EntropyState::new(&ds, 1);
+        assert_eq!(st.bounds.lower, 0.0);
+        assert!(st.bounds.upper.is_infinite());
+    }
+
+    #[test]
+    fn mi_state_full_ingest_matches_exact() {
+        let ds = dataset();
+        let mut target = TargetState::new(&ds, 0);
+        let mut cand = MiState::new(1, ds.support(0), ds.support(1));
+        let rows: Vec<u32> = (0..64).collect();
+        let t_codes = target.ingest(ds.column(0), &rows);
+        cand.ingest(ds.column(1), &t_codes, &rows);
+        cand.update_bounds(target.sample_entropy(), target.support, 64, 0.01);
+        let exact = mutual_information(ds.column(0), ds.column(1));
+        assert!((cand.bounds.lower - exact).abs() < 1e-9);
+        assert!((cand.bounds.upper - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn target_state_returns_gathered_codes() {
+        let ds = dataset();
+        let mut target = TargetState::new(&ds, 0);
+        let codes = target.ingest(ds.column(0), &[0, 5, 10]);
+        assert_eq!(codes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn make_sampler_respects_strategy() {
+        let mut row = make_sampler(100, SamplingStrategy::Row { seed: 1 });
+        assert_eq!(row.grow_to(10).len(), 10);
+        let mut page =
+            make_sampler(100, SamplingStrategy::Page { page_rows: 8, seed: 1 });
+        // Page sampler rounds up to whole pages.
+        assert_eq!(page.grow_to(10).len(), 16);
+    }
+
+    #[test]
+    fn bounds_bracket_exact_value_during_sampling() {
+        // With generous p, sampled bounds should bracket the exact entropy.
+        let ds = dataset();
+        let exact = column_entropy(ds.column(0));
+        let mut sampler = make_sampler(64, SamplingStrategy::Row { seed: 3 });
+        let mut st = EntropyState::new(&ds, 0);
+        let delta = sampler.grow_to(32).to_vec();
+        st.ingest(ds.column(0), &delta);
+        st.update_bounds(64, 0.001);
+        assert!(st.bounds.lower <= exact + 1e-9);
+        assert!(exact <= st.bounds.upper + 1e-9);
+    }
+}

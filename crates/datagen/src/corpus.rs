@@ -1,0 +1,204 @@
+//! The four named census-like profiles of the paper's evaluation
+//! (Table 2), plus small profiles for tests.
+//!
+//! | profile | paper rows | columns |
+//! |---------|-----------:|--------:|
+//! | cdc-behavioral-risk        |  3,753,802 | 100 |
+//! | census-american-housing    | 14,768,919 | 107 |
+//! | census-american-population | 31,290,943 | 179 |
+//! | enem                       | 33,714,152 | 117 |
+//!
+//! Each profile mixes the column archetypes census-style microdata shows —
+//! near-constant codes, skewed flags, Zipfian categorical answers,
+//! wide-domain near-uniform fields — all with support ≤ 1000 (the paper
+//! removes wider columns before querying), and ties a fraction of columns
+//! to shared latent factors so mutual-information queries see a realistic
+//! score spread. `scale` multiplies the row count: `scale = 1.0` is
+//! paper-sized; benchmarks default to a laptop-friendly fraction.
+
+use swope_sampling::rng::Xoshiro256pp;
+
+use crate::{ColumnSpec, DatasetProfile, Distribution};
+
+/// Row/column shape of one paper dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperShape {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// Paper row count.
+    pub rows: usize,
+    /// Paper column count.
+    pub columns: usize,
+}
+
+/// The paper's Table 2 shapes.
+pub const PAPER_SHAPES: [PaperShape; 4] = [
+    PaperShape { name: "cdc", rows: 3_753_802, columns: 100 },
+    PaperShape { name: "hus", rows: 14_768_919, columns: 107 },
+    PaperShape { name: "pus", rows: 31_290_943, columns: 179 },
+    PaperShape { name: "enem", rows: 33_714_152, columns: 117 },
+];
+
+/// cdc-behavioral-risk lookalike at the given row scale.
+pub fn cdc(scale: f64) -> DatasetProfile {
+    census_like(PAPER_SHAPES[0], scale, 0xCDC0)
+}
+
+/// census-american-housing lookalike at the given row scale.
+pub fn hus(scale: f64) -> DatasetProfile {
+    census_like(PAPER_SHAPES[1], scale, 0x4053)
+}
+
+/// census-american-population lookalike at the given row scale.
+pub fn pus(scale: f64) -> DatasetProfile {
+    census_like(PAPER_SHAPES[2], scale, 0x9053)
+}
+
+/// enem lookalike at the given row scale.
+pub fn enem(scale: f64) -> DatasetProfile {
+    census_like(PAPER_SHAPES[3], scale, 0xE4E4)
+}
+
+/// All four profiles in paper order.
+pub fn all(scale: f64) -> Vec<DatasetProfile> {
+    vec![cdc(scale), hus(scale), pus(scale), enem(scale)]
+}
+
+/// A small mixed profile for tests and examples: `rows`×`columns`, same
+/// archetype mix as the census profiles, 3 latent factors.
+pub fn tiny(rows: usize, columns: usize) -> DatasetProfile {
+    let shape = PaperShape { name: "tiny", rows, columns };
+    census_like(shape, 1.0, 0x7142)
+}
+
+fn census_like(shape: PaperShape, scale: f64, mix_seed: u64) -> DatasetProfile {
+    assert!(scale > 0.0, "scale must be positive");
+    let rows = ((shape.rows as f64 * scale).round() as usize).max(64);
+    let mut rng = Xoshiro256pp::seed_from_u64(mix_seed);
+
+    // Latent factors: a handful of "household / person / region"-style
+    // hidden variables that groups of columns reflect. Census microdata
+    // is pervasively inter-correlated (the paper's MI filtering sweeps
+    // η up to 0.5 and expects nontrivial answer sets), so the factors
+    // are wide enough and the couplings strong enough that typical
+    // attribute pairs sharing a factor carry ~0.3–2 bits of MI.
+    let latent_supports: Vec<u32> =
+        (0..6).map(|_| 8 + rng.next_below(25) as u32).collect();
+
+    let mut columns = Vec::with_capacity(shape.columns);
+    for i in 0..shape.columns {
+        let archetype = rng.next_below(100);
+        let distribution = match archetype {
+            // ~10%: near-constant codes (a dominant "not applicable").
+            0..=9 => Distribution::TwoTier {
+                u: 2 + rng.next_below(4) as u32,
+                head: 1,
+                head_mass: 0.95 + rng.next_f64() * 0.045,
+            },
+            // ~20%: skewed flags and small enumerations.
+            10..=29 => Distribution::Zipf {
+                u: 2 + rng.next_below(7) as u32,
+                s: 0.8 + rng.next_f64() * 0.8,
+            },
+            // ~30%: medium categorical answers.
+            30..=59 => Distribution::Zipf {
+                u: 8 + rng.next_below(121) as u32,
+                s: 0.5 + rng.next_f64(),
+            },
+            // ~20%: wide domains with mild skew.
+            60..=79 => Distribution::Zipf {
+                u: 128 + rng.next_below(873) as u32,
+                s: 0.2 + rng.next_f64() * 0.6,
+            },
+            // ~10%: geometric count-like fields.
+            80..=89 => Distribution::Geometric {
+                u: 4 + rng.next_below(61) as u32,
+                p: 0.15 + rng.next_f64() * 0.5,
+            },
+            // ~10%: near-uniform high-entropy fields.
+            _ => Distribution::Uniform { u: 16 + rng.next_below(985) as u32 },
+        };
+        // ~65% of columns reflect one of the latent factors.
+        let dependence = if rng.next_f64() < 0.65 {
+            let latent = rng.next_below(latent_supports.len() as u64) as usize;
+            let strength = 0.35 + rng.next_f64() * 0.6;
+            Some(crate::Dependence { latent, strength })
+        } else {
+            None
+        };
+        columns.push(ColumnSpec {
+            name: format!("{}_{i:03}", shape.name),
+            distribution,
+            dependence,
+        });
+    }
+
+    DatasetProfile { name: shape.name.to_owned(), rows, latent_supports, columns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use swope_estimate::entropy::column_entropy;
+
+    #[test]
+    fn shapes_match_table2_columns() {
+        assert_eq!(cdc(0.001).num_columns(), 100);
+        assert_eq!(hus(0.001).num_columns(), 107);
+        assert_eq!(pus(0.001).num_columns(), 179);
+        assert_eq!(enem(0.001).num_columns(), 117);
+    }
+
+    #[test]
+    fn scale_controls_rows() {
+        let full = cdc(1.0);
+        assert_eq!(full.rows, 3_753_802);
+        let hundredth = cdc(0.01);
+        assert_eq!(hundredth.rows, 37_538);
+        // Floor at 64 rows.
+        assert_eq!(cdc(1e-9).rows, 64);
+    }
+
+    #[test]
+    fn profiles_validate() {
+        for p in all(0.001) {
+            p.validate().unwrap();
+        }
+        tiny(100, 10).validate().unwrap();
+    }
+
+    #[test]
+    fn support_capped_at_1000() {
+        for p in all(0.001) {
+            for c in &p.columns {
+                assert!(c.distribution.support() <= 1000, "{} too wide", c.name);
+                assert!(c.distribution.support() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        assert_eq!(cdc(0.01), cdc(0.01));
+        // Different profiles produce different mixes.
+        assert_ne!(cdc(0.01).columns[0], enem(0.01).columns[0]);
+    }
+
+    #[test]
+    fn generated_corpus_spans_a_wide_entropy_range() {
+        let ds = generate(&tiny(20_000, 60), 1);
+        let entropies: Vec<f64> =
+            (0..ds.num_attrs()).map(|a| column_entropy(ds.column(a))).collect();
+        let min = entropies.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = entropies.iter().cloned().fold(0.0f64, f64::max);
+        assert!(min < 1.0, "expected some low-entropy column, min = {min}");
+        assert!(max > 4.0, "expected some high-entropy column, max = {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_panics() {
+        cdc(0.0);
+    }
+}

@@ -1,0 +1,307 @@
+//! Categorical distribution models and O(1) sampling.
+
+use swope_sampling::rng::Xoshiro256pp;
+
+/// A categorical distribution over codes `0..support()`.
+///
+/// Models chosen to span the entropy range census-style microdata shows:
+/// skewed flags, Zipfian categorical answers, geometric counts-like
+/// fields, near-uniform identifiers, and constants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Distribution {
+    /// Every code equally likely — entropy `log2(u)`.
+    Uniform {
+        /// Support size.
+        u: u32,
+    },
+    /// `P(i) ∝ 1/(i+1)^s` — the classic skew of categorical survey data.
+    Zipf {
+        /// Support size.
+        u: u32,
+        /// Skew exponent `s ≥ 0` (0 degenerates to uniform).
+        s: f64,
+    },
+    /// `P(i) ∝ (1−p)^i` — rapidly decaying count-like fields.
+    Geometric {
+        /// Support size.
+        u: u32,
+        /// Decay parameter in `(0, 1)`.
+        p: f64,
+    },
+    /// `head` codes share `head_mass` of the probability; the rest is
+    /// uniform over the tail. Models flag-plus-detail fields.
+    TwoTier {
+        /// Support size.
+        u: u32,
+        /// Number of head codes (`1 ≤ head ≤ u`).
+        head: u32,
+        /// Probability mass on the head, in `(0, 1)`.
+        head_mass: f64,
+    },
+    /// Always code 0 — a constant column (entropy 0) with declared support.
+    Constant {
+        /// Declared support size (≥ 1).
+        u: u32,
+    },
+}
+
+impl Distribution {
+    /// The support size `u`.
+    pub fn support(&self) -> u32 {
+        match *self {
+            Self::Uniform { u }
+            | Self::Zipf { u, .. }
+            | Self::Geometric { u, .. }
+            | Self::TwoTier { u, .. }
+            | Self::Constant { u } => u,
+        }
+    }
+
+    /// The probability vector `P(0), …, P(u−1)`.
+    pub fn probabilities(&self) -> Vec<f64> {
+        match *self {
+            Self::Uniform { u } => {
+                let u = u.max(1) as usize;
+                vec![1.0 / u as f64; u]
+            }
+            Self::Zipf { u, s } => {
+                let weights: Vec<f64> =
+                    (0..u.max(1)).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+                normalize(weights)
+            }
+            Self::Geometric { u, p } => {
+                let p = p.clamp(1e-9, 1.0 - 1e-9);
+                let weights: Vec<f64> =
+                    (0..u.max(1)).map(|i| (1.0 - p).powi(i as i32)).collect();
+                normalize(weights)
+            }
+            Self::TwoTier { u, head, head_mass } => {
+                let u = u.max(1);
+                let head = head.clamp(1, u);
+                let head_mass = head_mass.clamp(0.0, 1.0);
+                let tail = u - head;
+                // Degenerate head == u: the whole distribution is "head",
+                // so the head carries all the mass, not just head_mass.
+                let head_p = if tail == 0 { 1.0 / head as f64 } else { head_mass / head as f64 };
+                let tail_p = if tail == 0 { 0.0 } else { (1.0 - head_mass) / tail as f64 };
+                (0..u).map(|i| if i < head { head_p } else { tail_p }).collect()
+            }
+            Self::Constant { u } => {
+                let mut p = vec![0.0; u.max(1) as usize];
+                p[0] = 1.0;
+                p
+            }
+        }
+    }
+
+    /// The model's true (distributional) Shannon entropy in bits.
+    ///
+    /// Empirical entropy of a generated column converges to this value;
+    /// useful for designing workloads with prescribed score spreads.
+    pub fn entropy(&self) -> f64 {
+        self.probabilities()
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.log2())
+            .sum()
+    }
+
+    /// Compiles the model into an O(1) [`AliasTable`] sampler.
+    pub fn sampler(&self) -> AliasTable {
+        AliasTable::new(&self.probabilities())
+    }
+}
+
+fn normalize(weights: Vec<f64>) -> Vec<f64> {
+    let total: f64 = weights.iter().sum();
+    weights.into_iter().map(|w| w / total).collect()
+}
+
+/// Walker/Vose alias method: O(u) construction, O(1) sampling.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from a probability vector (need not be perfectly
+    /// normalized; it is re-normalized internally).
+    ///
+    /// # Panics
+    /// Panics if `probabilities` is empty or sums to 0.
+    pub fn new(probabilities: &[f64]) -> Self {
+        assert!(!probabilities.is_empty(), "empty probability vector");
+        let n = probabilities.len();
+        let total: f64 = probabilities.iter().sum();
+        assert!(total > 0.0, "probabilities sum to zero");
+        let scaled: Vec<f64> = probabilities.iter().map(|&p| p * n as f64 / total).collect();
+
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        let mut work = scaled;
+        for (i, &w) in work.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = *large.last().expect("checked non-empty");
+            prob[s] = work[s];
+            alias[s] = l as u32;
+            work[l] = (work[l] + work[s]) - 1.0;
+            if work[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one code.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> u32 {
+        let i = rng.next_below(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_histogram(dist: &Distribution, draws: usize, seed: u64) -> Vec<f64> {
+        let table = dist.sampler();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut counts = vec![0u64; dist.support() as usize];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    fn assert_close(observed: &[f64], expected: &[f64], tol: f64) {
+        for (i, (&o, &e)) in observed.iter().zip(expected).enumerate() {
+            assert!((o - e).abs() < tol, "code {i}: observed {o}, expected {e}");
+        }
+    }
+
+    #[test]
+    fn uniform_probabilities_and_entropy() {
+        let d = Distribution::Uniform { u: 8 };
+        assert_eq!(d.probabilities(), vec![0.125; 8]);
+        assert!((d.entropy() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_is_normalized_and_decreasing() {
+        let d = Distribution::Zipf { u: 10, s: 1.0 };
+        let p = d.probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for w in p.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        assert!(d.entropy() < Distribution::Uniform { u: 10 }.entropy());
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let d = Distribution::Zipf { u: 5, s: 0.0 };
+        assert_close(&d.probabilities(), &[0.2; 5], 1e-12);
+    }
+
+    #[test]
+    fn geometric_decays() {
+        let d = Distribution::Geometric { u: 6, p: 0.5 };
+        let p = d.probabilities();
+        for w in p.windows(2) {
+            assert!((w[1] / w[0] - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_tier_mass_split() {
+        let d = Distribution::TwoTier { u: 10, head: 2, head_mass: 0.8 };
+        let p = d.probabilities();
+        assert!((p[0] - 0.4).abs() < 1e-12);
+        assert!((p[5] - 0.025).abs() < 1e-12);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_has_zero_entropy() {
+        let d = Distribution::Constant { u: 7 };
+        assert_eq!(d.entropy(), 0.0);
+        assert_eq!(d.probabilities()[0], 1.0);
+    }
+
+    #[test]
+    fn alias_table_matches_target_distribution() {
+        let d = Distribution::Zipf { u: 8, s: 1.2 };
+        let observed = empirical_histogram(&d, 200_000, 42);
+        assert_close(&observed, &d.probabilities(), 0.01);
+    }
+
+    #[test]
+    fn alias_table_uniform_sanity() {
+        let d = Distribution::Uniform { u: 4 };
+        let observed = empirical_histogram(&d, 100_000, 7);
+        assert_close(&observed, &[0.25; 4], 0.01);
+    }
+
+    #[test]
+    fn alias_table_single_category() {
+        let t = AliasTable::new(&[1.0]);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn alias_table_handles_zero_entries() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        for _ in 0..1000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 3, "sampled zero-probability code {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty probability vector")]
+    fn alias_table_rejects_empty() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    fn entropy_ordering_across_models() {
+        let u = 64;
+        let uniform = Distribution::Uniform { u }.entropy();
+        let mild = Distribution::Zipf { u, s: 0.5 }.entropy();
+        let heavy = Distribution::Zipf { u, s: 2.0 }.entropy();
+        assert!(uniform > mild && mild > heavy && heavy > 0.0);
+    }
+}

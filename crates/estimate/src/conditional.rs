@@ -1,0 +1,240 @@
+//! Conditional entropy and conditional mutual information (extension).
+//!
+//! The feature-selection literature the paper motivates itself with
+//! (\[13\] Fleuret's CMIM, \[26\] mRMR) scores candidates by *conditional*
+//! quantities: `H(Y|X)` and `I(X;Y|Z)`. Both reduce to sums of joint
+//! entropies, which this crate already computes efficiently:
+//!
+//! ```text
+//! H(Y|X)    = H(X,Y) − H(X)
+//! I(X;Y|Z)  = H(X,Z) + H(Y,Z) − H(Z) − H(X,Y,Z)
+//! ```
+//!
+//! The triple-joint term uses a [`TripleEntropyCounter`] keyed by a
+//! packed `(x, y, z)` code; like pair counting it is O(1) amortized per
+//! record.
+
+use swope_columnar::Column;
+
+use crate::entropy::column_entropy;
+use crate::freq::FxPairMap;
+use crate::joint::joint_entropy;
+use crate::xlog::{log2_or_zero, xlog2};
+
+/// Exact empirical conditional entropy `H_D(y | x)` over full columns.
+///
+/// Always in `[0, H(y)]`: conditioning never increases entropy.
+///
+/// # Panics
+/// Panics if the columns have different lengths.
+pub fn conditional_entropy(y: &Column, x: &Column) -> f64 {
+    (joint_entropy(x, y) - column_entropy(x)).max(0.0)
+}
+
+/// Incremental joint-entropy counter over value *triples*.
+///
+/// Codes are packed into a single `u64` key (21 bits per component, so
+/// supports up to `2^21` per attribute — far beyond the paper's 1000
+/// cap) and counted in an Fx-hashed map.
+#[derive(Debug, Clone)]
+pub struct TripleEntropyCounter {
+    map: FxPairMap,
+    sum_xlog: f64,
+    total: u64,
+}
+
+/// Bits reserved per component in the packed triple key.
+const FIELD_BITS: u32 = 21;
+
+/// Maximum representable code in a triple key component.
+pub const MAX_TRIPLE_CODE: u32 = (1 << FIELD_BITS) - 1;
+
+fn pack_triple(a: u32, b: u32, c: u32) -> u64 {
+    debug_assert!(a <= MAX_TRIPLE_CODE && b <= MAX_TRIPLE_CODE && c <= MAX_TRIPLE_CODE);
+    ((a as u64) << (2 * FIELD_BITS)) | ((b as u64) << FIELD_BITS) | c as u64
+}
+
+impl Default for TripleEntropyCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TripleEntropyCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self { map: FxPairMap::with_expected(1024), sum_xlog: 0.0, total: 0 }
+    }
+
+    /// Ingests one record's `(a, b, c)` triple. O(1) expected.
+    ///
+    /// # Panics
+    /// Debug-panics if any code exceeds [`MAX_TRIPLE_CODE`].
+    #[inline]
+    pub fn add(&mut self, a: u32, b: u32, c: u32) {
+        let new = self.map.add(pack_triple(a, b, c));
+        self.sum_xlog += xlog2(new) - xlog2(new - 1);
+        self.total += 1;
+    }
+
+    /// Number of records ingested.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Empirical joint entropy of the triple distribution, in bits.
+    pub fn entropy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (log2_or_zero(self.total) - self.sum_xlog / self.total as f64).max(0.0)
+    }
+
+    /// Number of distinct triples observed.
+    pub fn observed_distinct(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Exact empirical joint entropy `H_D(a, b, c)` over three full columns.
+///
+/// # Panics
+/// Panics if lengths differ or any support exceeds [`MAX_TRIPLE_CODE`].
+pub fn triple_entropy(a: &Column, b: &Column, c: &Column) -> f64 {
+    assert_eq!(a.len(), b.len(), "triple entropy requires aligned columns");
+    assert_eq!(a.len(), c.len(), "triple entropy requires aligned columns");
+    assert!(
+        a.support() <= MAX_TRIPLE_CODE
+            && b.support() <= MAX_TRIPLE_CODE
+            && c.support() <= MAX_TRIPLE_CODE,
+        "support too large for triple packing"
+    );
+    let mut counter = TripleEntropyCounter::new();
+    let (ca, cb, cc) = (a.codes(), b.codes(), c.codes());
+    for i in 0..ca.len() {
+        counter.add(ca[i], cb[i], cc[i]);
+    }
+    counter.entropy()
+}
+
+/// Exact empirical conditional mutual information `I_D(x; y | z)`:
+/// how much `x` tells about `y` beyond what `z` already tells.
+///
+/// Clamped at 0 (mathematically nonnegative; float cancellation can go
+/// epsilon-negative).
+pub fn conditional_mutual_information(x: &Column, y: &Column, z: &Column) -> f64 {
+    let h_xz = joint_entropy(x, z);
+    let h_yz = joint_entropy(y, z);
+    let h_z = column_entropy(z);
+    let h_xyz = triple_entropy(x, y, z);
+    (h_xz + h_yz - h_z - h_xyz).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joint::mutual_information;
+
+    fn col(codes: Vec<u32>, support: u32) -> Column {
+        Column::new(codes, support).unwrap()
+    }
+
+    #[test]
+    fn conditional_entropy_of_self_is_zero() {
+        let x = col(vec![0, 1, 2, 0, 1, 2], 3);
+        assert!(conditional_entropy(&x, &x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditioning_on_independent_changes_nothing() {
+        // y uniform over 2, x uniform over 2, independent via product grid.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                xs.push(a);
+                ys.push(b);
+            }
+        }
+        let x = col(xs, 2);
+        let y = col(ys, 2);
+        assert!((conditional_entropy(&y, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_rule_h_y_given_x() {
+        let x = col(vec![0, 0, 1, 1, 2, 2, 0, 1], 3);
+        let y = col(vec![0, 1, 1, 1, 0, 0, 0, 1], 2);
+        let lhs = conditional_entropy(&y, &x);
+        let rhs = joint_entropy(&x, &y) - column_entropy(&x);
+        assert!((lhs - rhs).abs() < 1e-12);
+        // I(x;y) = H(y) - H(y|x).
+        let mi = mutual_information(&x, &y);
+        assert!((mi - (column_entropy(&y) - lhs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triple_entropy_matches_pairwise_when_one_is_constant() {
+        let a = col(vec![0, 1, 0, 1, 2], 3);
+        let b = col(vec![1, 1, 0, 0, 1], 2);
+        let constant = col(vec![0; 5], 1);
+        assert!((triple_entropy(&a, &b, &constant) - joint_entropy(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmi_reduces_to_mi_when_z_constant() {
+        let x = col(vec![0, 1, 0, 1, 2, 2], 3);
+        let y = col(vec![0, 1, 0, 1, 0, 1], 2);
+        let z = col(vec![0; 6], 1);
+        let cmi = conditional_mutual_information(&x, &y, &z);
+        let mi = mutual_information(&x, &y);
+        assert!((cmi - mi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmi_zero_when_z_determines_both() {
+        // x and y are both copies of z: given z nothing remains.
+        let z = col(vec![0, 1, 2, 0, 1, 2], 3);
+        let cmi = conditional_mutual_information(&z, &z, &z);
+        assert!(cmi.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmi_detects_conditional_dependence() {
+        // Classic XOR: x, y independent uniform bits, z = x XOR y.
+        // I(x;y) = 0 but I(x;y|z) = 1 bit.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut zs = Vec::new();
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                xs.push(a);
+                ys.push(b);
+                zs.push(a ^ b);
+            }
+        }
+        let x = col(xs, 2);
+        let y = col(ys, 2);
+        let z = col(zs, 2);
+        assert!(mutual_information(&x, &y).abs() < 1e-12);
+        let cmi = conditional_mutual_information(&x, &y, &z);
+        assert!((cmi - 1.0).abs() < 1e-12, "cmi = {cmi}");
+    }
+
+    #[test]
+    fn triple_counter_tracks_totals() {
+        let mut c = TripleEntropyCounter::new();
+        c.add(0, 0, 0);
+        c.add(0, 0, 0);
+        c.add(1, 2, 3);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.observed_distinct(), 2);
+        assert!(c.entropy() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned columns")]
+    fn triple_misaligned_panics() {
+        triple_entropy(&col(vec![0], 1), &col(vec![0, 0], 1), &col(vec![0], 1));
+    }
+}

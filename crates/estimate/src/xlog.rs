@@ -1,0 +1,108 @@
+//! Fast `x·log2(x)` evaluation.
+//!
+//! Entropy accumulators evaluate `n·log2(n)` once per sampled record (for
+//! the incremented count) — it is the single hottest scalar operation in
+//! the whole system. Counts are small integers with a heavily skewed
+//! distribution, so a precomputed table covers almost every call; larger
+//! counts fall back to `f64::log2`.
+
+/// Size of the precomputed table. Counts below this (the overwhelming
+/// majority for categorical data) avoid the `log2` libm call entirely.
+pub const TABLE_SIZE: usize = 1 << 16;
+
+struct XlogTable {
+    values: Vec<f64>,
+}
+
+impl XlogTable {
+    fn build() -> Self {
+        let mut values = Vec::with_capacity(TABLE_SIZE);
+        values.push(0.0); // 0·log2(0) := 0 (standard entropy convention)
+        for x in 1..TABLE_SIZE {
+            let xf = x as f64;
+            values.push(xf * xf.log2());
+        }
+        Self { values }
+    }
+}
+
+fn table() -> &'static XlogTable {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<XlogTable> = OnceLock::new();
+    TABLE.get_or_init(XlogTable::build)
+}
+
+/// Returns `x·log2(x)`, with the entropy convention `0·log2(0) = 0`.
+#[inline]
+pub fn xlog2(x: u64) -> f64 {
+    if (x as usize) < TABLE_SIZE {
+        // SAFETY-free fast path: bounds implied by the comparison.
+        table().values[x as usize]
+    } else {
+        let xf = x as f64;
+        xf * xf.log2()
+    }
+}
+
+/// Returns `log2(x)` for positive `x`, `0.0` for `x == 0`.
+///
+/// Entropy of an empty sample is conventionally 0; this helper keeps that
+/// convention in one place.
+#[inline]
+pub fn log2_or_zero(x: u64) -> f64 {
+    if x == 0 {
+        0.0
+    } else {
+        (x as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_convention() {
+        assert_eq!(xlog2(0), 0.0);
+        assert_eq!(log2_or_zero(0), 0.0);
+    }
+
+    #[test]
+    fn one_gives_zero() {
+        assert_eq!(xlog2(1), 0.0);
+        assert_eq!(log2_or_zero(1), 0.0);
+    }
+
+    #[test]
+    fn table_matches_direct_computation() {
+        for x in [2u64, 3, 10, 255, 65_535] {
+            let direct = x as f64 * (x as f64).log2();
+            assert!((xlog2(x) - direct).abs() < 1e-9, "mismatch at {x}");
+        }
+    }
+
+    #[test]
+    fn fallback_above_table() {
+        let x = (TABLE_SIZE as u64) * 3 + 1;
+        let direct = x as f64 * (x as f64).log2();
+        assert!((xlog2(x) - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn powers_of_two_are_exact() {
+        assert_eq!(xlog2(2), 2.0);
+        assert_eq!(xlog2(4), 8.0);
+        assert_eq!(xlog2(8), 24.0);
+        assert_eq!(log2_or_zero(1024), 10.0);
+    }
+
+    #[test]
+    fn monotone_increasing_from_one() {
+        let mut prev = xlog2(1);
+        for x in 2..100u64 {
+            let v = xlog2(x);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+}

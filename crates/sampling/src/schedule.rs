@@ -1,0 +1,133 @@
+/// The SWOPE adaptive sample-size ladder: `M0, 2·M0, 4·M0, …` capped at `N`.
+///
+/// Algorithms 1–4 run one iteration per ladder step, and the failure
+/// probability budget is split across `i_max = ceil(log2(N / M0)) + 1`
+/// iterations. This type centralizes that arithmetic so the algorithms and
+/// the theory-facing tests agree on it exactly.
+///
+/// # Example
+///
+/// ```
+/// use swope_sampling::DoublingSchedule;
+///
+/// let s = DoublingSchedule::new(1000, 100);
+/// let sizes: Vec<usize> = s.iter().collect();
+/// assert_eq!(sizes, vec![100, 200, 400, 800, 1000]);
+/// assert_eq!(s.i_max(), 5); // ceil(log2(10)) + 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoublingSchedule {
+    num_rows: usize,
+    m0: usize,
+}
+
+impl DoublingSchedule {
+    /// Creates a schedule for `num_rows` records starting at sample size
+    /// `m0`. `m0` is clamped to `[1, num_rows]` (`m0 = 0` would never
+    /// terminate; `m0 > N` is a single full-scan step).
+    pub fn new(num_rows: usize, m0: usize) -> Self {
+        let m0 = m0.clamp(1, num_rows.max(1));
+        Self { num_rows, m0 }
+    }
+
+    /// The initial sample size `M0` (after clamping).
+    pub fn m0(&self) -> usize {
+        self.m0
+    }
+
+    /// The population size `N`.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Paper's iteration bound: `i_max = ceil(log2(N / M0)) + 1`.
+    ///
+    /// This equals the number of sizes [`DoublingSchedule::iter`] yields
+    /// when `N / M0` is a power of two, and upper-bounds it otherwise.
+    pub fn i_max(&self) -> usize {
+        if self.num_rows <= self.m0 {
+            return 1;
+        }
+        let ratio = self.num_rows as f64 / self.m0 as f64;
+        ratio.log2().ceil() as usize + 1
+    }
+
+    /// Iterates the ladder: `m0, 2·m0, 4·m0, …`, with a final step exactly
+    /// `N` if the doubling overshoots. Yields at least one size.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut next = Some(self.m0.min(self.num_rows.max(1)));
+        let n = self.num_rows;
+        std::iter::from_fn(move || {
+            let cur = next?;
+            next = if cur >= n { None } else { Some((cur * 2).min(n)) };
+            Some(cur)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_doubles_then_caps() {
+        let s = DoublingSchedule::new(1000, 128);
+        let sizes: Vec<usize> = s.iter().collect();
+        assert_eq!(sizes, vec![128, 256, 512, 1000]);
+    }
+
+    #[test]
+    fn exact_power_of_two_hits_n() {
+        let s = DoublingSchedule::new(800, 100);
+        let sizes: Vec<usize> = s.iter().collect();
+        assert_eq!(sizes, vec![100, 200, 400, 800]);
+        assert_eq!(s.i_max(), 4);
+    }
+
+    #[test]
+    fn i_max_bounds_iteration_count() {
+        for n in [1usize, 2, 10, 100, 1023, 1024, 1025] {
+            for m0 in [1usize, 3, 7, 64, 5000] {
+                let s = DoublingSchedule::new(n, m0);
+                let count = s.iter().count();
+                assert!(
+                    count <= s.i_max(),
+                    "n={n} m0={m0}: {count} iterations > i_max {}",
+                    s.i_max()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn m0_larger_than_n_is_one_full_step() {
+        let s = DoublingSchedule::new(50, 1000);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![50]);
+        assert_eq!(s.i_max(), 1);
+    }
+
+    #[test]
+    fn m0_zero_is_clamped() {
+        let s = DoublingSchedule::new(10, 0);
+        assert_eq!(s.m0(), 1);
+        let sizes: Vec<usize> = s.iter().collect();
+        assert_eq!(sizes.first(), Some(&1));
+        assert_eq!(*sizes.last().unwrap(), 10);
+    }
+
+    #[test]
+    fn single_row_population() {
+        let s = DoublingSchedule::new(1, 5);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn sizes_are_strictly_increasing() {
+        let s = DoublingSchedule::new(10_000, 37);
+        let sizes: Vec<usize> = s.iter().collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert_eq!(*sizes.last().unwrap(), 10_000);
+    }
+}

@@ -1,0 +1,103 @@
+//! Multi-label relevance screening with the batch MI API.
+//!
+//! Scenario: a feature store serves several prediction tasks (labels).
+//! For each label we want its top-k most informative features. Running
+//! `mi_top_k` once per label resamples and recounts every marginal per
+//! run; `mi_top_k_batch` shares one growing sample and one set of
+//! marginal counters across all labels, paying per-label only for the
+//! joint counts.
+//!
+//! ```text
+//! cargo run --release -p swope-examples --example multi_label_screening
+//! ```
+
+use std::time::Instant;
+
+use swope_core::{mi_top_k, mi_top_k_batch, SwopeConfig};
+use swope_datagen::{generate, ColumnSpec, DatasetProfile, Distribution};
+
+/// Three label columns driven by different latent factors, features
+/// spread across those factors, plus noise.
+fn build_profile() -> DatasetProfile {
+    let mut columns = Vec::new();
+    for (i, latent) in [0usize, 1, 2].iter().enumerate() {
+        columns.push(ColumnSpec::dependent(
+            format!("label_{i}"),
+            Distribution::Uniform { u: 4 },
+            *latent,
+            0.9,
+        ));
+    }
+    for i in 0..12 {
+        let latent = i % 3;
+        let strength = 0.3 + 0.05 * i as f64;
+        columns.push(ColumnSpec::dependent(
+            format!("feat_{i}"),
+            Distribution::Uniform { u: 8 },
+            latent,
+            strength,
+        ));
+    }
+    for i in 0..10 {
+        columns.push(ColumnSpec::independent(
+            format!("noise_{i}"),
+            Distribution::Zipf { u: 16, s: 1.1 },
+        ));
+    }
+    DatasetProfile {
+        name: "multilabel".into(),
+        rows: 200_000,
+        latent_supports: vec![8, 8, 8],
+        columns,
+    }
+}
+
+fn main() {
+    let dataset = generate(&build_profile(), 17);
+    let labels = [0usize, 1, 2];
+    let k = 4;
+    let config = SwopeConfig::with_epsilon(0.5);
+    println!(
+        "{} rows x {} attributes; screening top-{k} features for {} labels\n",
+        dataset.num_rows(),
+        dataset.num_attrs(),
+        labels.len()
+    );
+
+    // Batched: one shared sample.
+    let t0 = Instant::now();
+    let batched = mi_top_k_batch(&dataset, &labels, k, &config).expect("valid query");
+    let batch_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Individual queries for comparison.
+    let t0 = Instant::now();
+    let individual: Vec<_> = labels
+        .iter()
+        .map(|&t| mi_top_k(&dataset, t, k, &config).expect("valid query"))
+        .collect();
+    let individual_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    for (i, (batch_res, single_res)) in batched.iter().zip(&individual).enumerate() {
+        println!("label_{i}: top-{k} features by MI");
+        for s in &batch_res.top {
+            println!("    {:<10} I ≈ {:.3} bits", s.name, s.estimate);
+        }
+        let mut a = batch_res.attr_indices();
+        let mut b = single_res.attr_indices();
+        a.sort_unstable();
+        b.sort_unstable();
+        println!(
+            "    (individual query agrees: {})",
+            if a == b { "yes" } else { "no — both within the ε contract" }
+        );
+    }
+
+    println!(
+        "\nbatched: {batch_ms:.1} ms for all labels;  individual: {individual_ms:.1} ms \
+         ({:.2}x)",
+        individual_ms / batch_ms.max(1e-9)
+    );
+    let batch_work: u64 = batched.iter().map(|r| r.stats.rows_scanned).sum();
+    let single_work: u64 = individual.iter().map(|r| r.stats.rows_scanned).sum();
+    println!("counter updates: batched {batch_work} vs individual {single_work}");
+}

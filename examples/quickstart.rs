@@ -1,0 +1,100 @@
+//! Quickstart: build a dataset, run all four SWOPE queries, compare with
+//! exact answers.
+//!
+//! ```text
+//! cargo run --release -p swope-examples --example quickstart
+//! ```
+
+use swope_baselines::{exact_entropy_scores, exact_mi_scores};
+use swope_core::{entropy_filter, entropy_top_k, mi_filter, mi_top_k, SwopeConfig};
+use swope_datagen::{corpus, generate};
+
+fn main() {
+    // 1. Get a dataset. Here: a synthetic census-like table; in real use,
+    //    load one with swope_columnar::csv::read_csv_file.
+    let profile = corpus::tiny(200_000, 25);
+    let dataset = generate(&profile, 42);
+    println!(
+        "dataset: {} rows x {} attributes (max support {})",
+        dataset.num_rows(),
+        dataset.num_attrs(),
+        dataset.schema().max_support()
+    );
+
+    // 2. Approximate top-k on empirical entropy (Definition 5, ε = 0.1).
+    let config = SwopeConfig::with_epsilon(0.1);
+    let topk = entropy_top_k(&dataset, 5, &config).expect("valid query");
+    println!("\ntop-5 attributes by empirical entropy (ε = 0.1):");
+    for s in &topk.top {
+        println!("  {:<12} H ∈ [{:.3}, {:.3}], estimate {:.3}", s.name, s.lower, s.upper, s.estimate);
+    }
+    println!(
+        "  sampled {} of {} rows ({} iterations, early stop: {})",
+        topk.stats.sample_size,
+        dataset.num_rows(),
+        topk.stats.iterations,
+        topk.stats.converged_early
+    );
+
+    // Sanity: compare against the exact ranking.
+    let exact = exact_entropy_scores(&dataset);
+    let mut order: Vec<usize> = (0..exact.len()).collect();
+    order.sort_by(|&a, &b| exact[b].partial_cmp(&exact[a]).unwrap());
+    println!("  exact top-5: {:?}", &order[..5]);
+    println!("  swope top-5: {:?}", topk.attr_indices());
+
+    // 3. Approximate filtering: entropy ≥ 2 bits (Definition 6, ε = 0.05).
+    let filter_cfg = SwopeConfig::with_epsilon(0.05);
+    let filtered = entropy_filter(&dataset, 2.0, &filter_cfg).expect("valid query");
+    println!(
+        "\n{} attributes with entropy ≥ 2.0 bits (sampled {} rows)",
+        filtered.accepted.len(),
+        filtered.stats.sample_size
+    );
+
+    // 4. Mutual information against a target attribute (ε = 0.5, the
+    //    paper's tuned default for MI queries). Pick a target that shares
+    //    a latent factor with at least one other strongly-coupled column,
+    //    so the MI ranking has real structure (the profile records which
+    //    columns depend on which latent factor).
+    let mut by_latent: std::collections::HashMap<usize, Vec<(usize, f64)>> =
+        std::collections::HashMap::new();
+    for (i, c) in profile.columns.iter().enumerate() {
+        if let Some(d) = c.dependence {
+            by_latent.entry(d.latent).or_default().push((i, d.strength));
+        }
+    }
+    let target = by_latent
+        .values()
+        .filter(|cols| cols.len() >= 2)
+        .max_by(|a, b| {
+            let sa: f64 = a.iter().map(|(_, s)| s).sum();
+            let sb: f64 = b.iter().map(|(_, s)| s).sum();
+            sa.partial_cmp(&sb).unwrap()
+        })
+        .and_then(|cols| {
+            cols.iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .map(|&(i, _)| i)
+        })
+        .unwrap_or(0);
+    let mi_cfg = SwopeConfig::with_epsilon(0.5);
+    let mi = mi_top_k(&dataset, target, 5, &mi_cfg).expect("valid query");
+    println!("\ntop-5 attributes by MI with attribute {target}:");
+    for s in &mi.top {
+        println!("  {:<12} I ∈ [{:.3}, {:.3}], estimate {:.3}", s.name, s.lower, s.upper, s.estimate);
+    }
+    let exact_mi = exact_mi_scores(&dataset, target);
+    let mut mi_order: Vec<usize> =
+        (0..exact_mi.len()).filter(|&a| a != target).collect();
+    mi_order.sort_by(|&a, &b| exact_mi[b].partial_cmp(&exact_mi[a]).unwrap());
+    println!("  exact top-5: {:?}", &mi_order[..5]);
+
+    // 5. MI filtering: candidates with I ≥ 0.2 bits.
+    let mi_filtered = mi_filter(&dataset, target, 0.2, &mi_cfg).expect("valid query");
+    println!(
+        "\n{} attributes with MI(target, ·) ≥ 0.2 bits: {:?}",
+        mi_filtered.accepted.len(),
+        mi_filtered.attr_indices()
+    );
+}

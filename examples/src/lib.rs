@@ -1,0 +1,1 @@
+//! Examples live in the crate root (`examples/*.rs`); this library is empty.

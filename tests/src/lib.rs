@@ -1,0 +1,2 @@
+//! Integration tests for the SWOPE workspace live in `tests/tests/`.
+//! This library crate is intentionally empty.

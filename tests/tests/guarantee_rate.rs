@@ -1,0 +1,106 @@
+//! Statistical validation of the `1 − p_f` guarantee.
+//!
+//! Definitions 5–6 are probabilistic: each query may fail with
+//! probability at most `p_f`. The per-run tests use conservative seeds;
+//! this file attacks the contract statistically — many independent runs
+//! at a *large* `p_f`, counting violations, which must stay within a
+//! generous binomial envelope of `p_f`. (The union bounds inside the
+//! algorithms are loose, so observed failure rates sit far below `p_f`;
+//! the envelope would only be crossed by a genuine math bug.)
+
+use swope_baselines::exact_entropy_scores;
+use swope_columnar::{Column, Dataset, Field, Schema};
+use swope_core::{entropy_filter, entropy_top_k, SwopeConfig};
+use swope_sampling::rng::Xoshiro256pp;
+
+/// A small dataset with deliberately close entropy scores, regenerated
+/// per seed so runs are independent.
+fn adversarial_dataset(seed: u64) -> Dataset {
+    let n = 4_000usize;
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let supports = [16u32, 15, 14, 13, 12, 2];
+    let fields = supports
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| Field::new(format!("c{i}"), u))
+        .collect();
+    let columns = supports
+        .iter()
+        .map(|&u| {
+            let codes: Vec<u32> =
+                (0..n).map(|_| rng.next_below(u as u64) as u32).collect();
+            Column::new(codes, u).unwrap()
+        })
+        .collect();
+    Dataset::new(Schema::new(fields), columns).unwrap()
+}
+
+#[test]
+fn topk_definition5_failure_rate_within_budget() {
+    const RUNS: u64 = 120;
+    const P_F: f64 = 0.2;
+    const EPSILON: f64 = 0.15;
+    let mut violations = 0u32;
+    for seed in 0..RUNS {
+        let ds = adversarial_dataset(seed);
+        let exact = exact_entropy_scores(&ds);
+        let mut order: Vec<usize> = (0..exact.len()).collect();
+        order.sort_by(|&a, &b| exact[b].partial_cmp(&exact[a]).unwrap());
+
+        let cfg = SwopeConfig {
+            epsilon: EPSILON,
+            failure_probability: Some(P_F),
+            ..SwopeConfig::default()
+        }
+        .with_seed(seed.wrapping_mul(0x9E37_79B9));
+        let res = entropy_top_k(&ds, 3, &cfg).unwrap();
+        let ok = res.top.iter().enumerate().all(|(i, s)| {
+            s.estimate >= (1.0 - EPSILON) * exact[s.attr] - 1e-9
+                && exact[s.attr] >= (1.0 - EPSILON) * exact[order[i]] - 1e-9
+        });
+        if !ok {
+            violations += 1;
+        }
+    }
+    // E[violations] <= 24; with 5-sigma slack (σ ≈ 4.4) allow 46.
+    assert!(
+        violations <= 46,
+        "{violations}/{RUNS} Definition 5 violations at p_f = {P_F}"
+    );
+}
+
+#[test]
+fn filter_definition6_failure_rate_within_budget() {
+    const RUNS: u64 = 120;
+    const P_F: f64 = 0.2;
+    const EPSILON: f64 = 0.1;
+    let eta = 3.5; // sits among the close scores of the adversarial data
+    let mut violations = 0u32;
+    for seed in 0..RUNS {
+        let ds = adversarial_dataset(1_000 + seed);
+        let exact = exact_entropy_scores(&ds);
+        let cfg = SwopeConfig {
+            epsilon: EPSILON,
+            failure_probability: Some(P_F),
+            ..SwopeConfig::default()
+        }
+        .with_seed(seed.wrapping_mul(0x2545_F491));
+        let res = entropy_filter(&ds, eta, &cfg).unwrap();
+        let ok = exact.iter().enumerate().all(|(attr, &score)| {
+            if score >= (1.0 + EPSILON) * eta {
+                res.contains(attr)
+            } else if score < (1.0 - EPSILON) * eta {
+                !res.contains(attr)
+            } else {
+                true
+            }
+        });
+        if !ok {
+            violations += 1;
+        }
+    }
+    assert!(
+        violations <= 46,
+        "{violations}/{RUNS} Definition 6 violations at p_f = {P_F}"
+    );
+}

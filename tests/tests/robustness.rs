@@ -1,0 +1,106 @@
+//! Robustness: malformed inputs must produce errors, never panics or
+//! silent corruption.
+
+use proptest::prelude::*;
+use swope_columnar::csv::{read_csv, CsvOptions};
+use swope_columnar::{snapshot, DatasetBuilder};
+
+fn sample_bytes() -> Vec<u8> {
+    let mut b = DatasetBuilder::new(vec!["a".into(), "b".into()]);
+    for i in 0..50 {
+        b.push_row(&[format!("v{}", i % 7), format!("w{}", i % 3)]).unwrap();
+    }
+    snapshot::encode(&b.finish()).to_vec()
+}
+
+proptest! {
+    /// Decoding arbitrary bytes never panics.
+    #[test]
+    fn snapshot_decode_arbitrary_bytes_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = snapshot::decode(&bytes);
+    }
+
+    /// Truncating a valid snapshot anywhere yields an error (not a panic,
+    /// not a silently short dataset).
+    #[test]
+    fn snapshot_truncation_always_errors(cut_fraction in 0.0f64..1.0) {
+        let bytes = sample_bytes();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        prop_assume!(cut < bytes.len());
+        prop_assert!(snapshot::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Flipping one byte of a valid snapshot either errors or yields a
+    /// dataset that still satisfies its own invariants (codes < support) —
+    /// it must never panic.
+    #[test]
+    fn snapshot_single_byte_corruption_is_contained(
+        pos_fraction in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = sample_bytes();
+        let pos = ((bytes.len() - 1) as f64 * pos_fraction) as usize;
+        bytes[pos] ^= xor;
+        if let Ok(ds) = snapshot::decode(&bytes) {
+            for attr in 0..ds.num_attrs() {
+                let col = ds.column(attr);
+                let support = col.support();
+                prop_assert!(col.codes().iter().all(|&c| c < support));
+            }
+        }
+    }
+
+    /// Parsing arbitrary text as CSV never panics.
+    #[test]
+    fn csv_arbitrary_text_never_panics(text in "\\PC{0,300}") {
+        let _ = read_csv(text.as_bytes(), &CsvOptions::default());
+    }
+
+    /// Parsing arbitrary *bytes* (possibly invalid UTF-8) as CSV never
+    /// panics.
+    #[test]
+    fn csv_arbitrary_bytes_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let _ = read_csv(bytes.as_slice(), &CsvOptions::default());
+    }
+
+    /// Well-formed CSV with any cell content round-trips through
+    /// write_csv -> read_csv.
+    #[test]
+    fn csv_round_trip_arbitrary_cells(
+        cells in proptest::collection::vec(
+            proptest::collection::vec("[ -~]{0,12}", 2..=2),
+            1..30,
+        ),
+    ) {
+        let mut b = DatasetBuilder::new(vec!["x".into(), "y".into()]);
+        for row in &cells {
+            b.push_row(row).unwrap();
+        }
+        let ds = b.finish();
+        let mut out = Vec::new();
+        swope_columnar::csv::write_csv(&ds, &mut out).unwrap();
+        let back = read_csv(out.as_slice(), &CsvOptions::default()).unwrap();
+        prop_assert_eq!(back.num_rows(), ds.num_rows());
+        for attr in 0..2 {
+            prop_assert_eq!(back.column(attr).codes(), ds.column(attr).codes());
+        }
+    }
+}
+
+#[test]
+fn snapshot_header_field_corruption_cases() {
+    let bytes = sample_bytes();
+    // Corrupt the attribute count to a huge value: must error on
+    // truncation, not attempt a giant allocation then die.
+    let mut huge_h = bytes.clone();
+    huge_h[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(snapshot::decode(&huge_h).is_err());
+    // Corrupt the row count similarly.
+    let mut huge_n = bytes.clone();
+    huge_n[12..20].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+    assert!(snapshot::decode(&huge_n).is_err());
+}

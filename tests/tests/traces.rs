@@ -1,0 +1,74 @@
+//! Invariants of the per-iteration query traces.
+
+use swope_core::{entropy_filter, entropy_top_k, mi_top_k, SwopeConfig};
+use swope_datagen::{corpus, generate};
+
+#[test]
+fn trace_matches_iteration_count_and_doubles() {
+    let ds = generate(&corpus::tiny(60_000, 20), 301);
+    let res = entropy_top_k(&ds, 3, &SwopeConfig::with_epsilon(0.1)).unwrap();
+    let trace = &res.stats.trace;
+    assert_eq!(trace.len(), res.stats.iterations);
+    assert_eq!(trace.last().unwrap().sample_size, res.stats.sample_size);
+    for (i, t) in trace.iter().enumerate() {
+        assert_eq!(t.iteration, i + 1);
+    }
+    // Sample sizes follow the doubling ladder (non-strict at the N cap).
+    for w in trace.windows(2) {
+        assert!(w[1].sample_size >= w[0].sample_size);
+        assert!(w[1].sample_size <= 2 * w[0].sample_size);
+    }
+}
+
+#[test]
+fn lambda_decreases_along_the_trace() {
+    let ds = generate(&corpus::tiny(80_000, 15), 303);
+    let res = entropy_top_k(&ds, 2, &SwopeConfig::with_epsilon(0.05)).unwrap();
+    for w in res.stats.trace.windows(2) {
+        assert!(
+            w[1].lambda <= w[0].lambda + 1e-12,
+            "λ must shrink as M grows: {:?}",
+            res.stats.trace
+        );
+    }
+}
+
+#[test]
+fn candidates_never_increase_for_filters() {
+    let ds = generate(&corpus::tiny(60_000, 25), 305);
+    let res = entropy_filter(&ds, 2.0, &SwopeConfig::with_epsilon(0.05)).unwrap();
+    for w in res.stats.trace.windows(2) {
+        assert!(
+            w[1].candidates <= w[0].candidates,
+            "filter candidates must shrink: {:?}",
+            res.stats.trace
+        );
+    }
+    // First iteration sees all attributes.
+    assert_eq!(res.stats.trace[0].candidates, ds.num_attrs());
+}
+
+#[test]
+fn mi_trace_starts_with_all_candidates() {
+    let ds = generate(&corpus::tiny(40_000, 12), 307);
+    let res = mi_top_k(&ds, 0, 3, &SwopeConfig::with_epsilon(0.5)).unwrap();
+    assert_eq!(res.stats.trace[0].candidates, ds.num_attrs() - 1);
+    assert!(!res.stats.trace.is_empty());
+}
+
+#[test]
+fn trace_length_bounded_by_i_max() {
+    // i_max = ceil(log2(N/M0)) + 1 bounds the iteration count.
+    let ds = generate(&corpus::tiny(100_000, 10), 309);
+    let cfg = SwopeConfig::with_epsilon(0.01); // tight: many iterations
+    let res = entropy_top_k(&ds, 2, &cfg).unwrap();
+    let p_f = cfg.resolve_p_f(&ds);
+    let m0 = cfg.resolve_m0(&ds, p_f);
+    let i_max = swope_sampling::DoublingSchedule::new(ds.num_rows(), m0).i_max();
+    assert!(
+        res.stats.trace.len() <= i_max,
+        "{} iterations > i_max {}",
+        res.stats.trace.len(),
+        i_max
+    );
+}
