@@ -7,9 +7,7 @@ use swope_estimate::joint::mutual_information;
 
 /// Exact empirical entropy of every attribute, one full scan per column.
 pub fn exact_entropy_scores(dataset: &Dataset) -> Vec<f64> {
-    (0..dataset.num_attrs())
-        .map(|a| column_entropy(dataset.column(a)))
-        .collect()
+    (0..dataset.num_attrs()).map(|a| column_entropy(dataset.column(a))).collect()
 }
 
 /// Exact empirical mutual information of every attribute against
@@ -18,9 +16,7 @@ pub fn exact_entropy_scores(dataset: &Dataset) -> Vec<f64> {
 /// candidates should skip index `target`).
 pub fn exact_mi_scores(dataset: &Dataset, target: AttrIndex) -> Vec<f64> {
     let t = dataset.column(target);
-    (0..dataset.num_attrs())
-        .map(|a| mutual_information(t, dataset.column(a)))
-        .collect()
+    (0..dataset.num_attrs()).map(|a| mutual_information(t, dataset.column(a))).collect()
 }
 
 fn exact_stats(dataset: &Dataset, structures: usize) -> QueryStats {
@@ -36,14 +32,11 @@ fn exact_stats(dataset: &Dataset, structures: usize) -> QueryStats {
 fn score(dataset: &Dataset, attr: AttrIndex, value: f64) -> AttrScore {
     AttrScore {
         attr,
-        name: dataset
-            .schema()
-            .field(attr)
-            .map(|f| f.name().to_owned())
-            .unwrap_or_default(),
+        name: dataset.schema().field(attr).map(|f| f.name().to_owned()).unwrap_or_default(),
         estimate: value,
         lower: value,
         upper: value,
+        retired_iteration: 0,
     }
 }
 
@@ -106,9 +99,7 @@ pub fn exact_mi_top_k(
     let scores = exact_mi_scores(dataset, target);
     let candidates: Vec<AttrIndex> = (0..h).filter(|&a| a != target).collect();
     let mut order = candidates;
-    order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
     order.truncate(k);
     Ok(TopKResult {
         top: order.into_iter().map(|a| score(dataset, a, scores[a])).collect(),
@@ -156,11 +147,8 @@ mod tests {
     use swope_columnar::{Column, Field, Schema};
 
     fn dataset() -> Dataset {
-        let schema = Schema::new(vec![
-            Field::new("low", 2),
-            Field::new("high", 8),
-            Field::new("mid", 4),
-        ]);
+        let schema =
+            Schema::new(vec![Field::new("low", 2), Field::new("high", 8), Field::new("mid", 4)]);
         let n = 800usize;
         let cols = vec![
             Column::new((0..n).map(|r| (r / 400) as u32).collect(), 2).unwrap(),

@@ -68,7 +68,9 @@ pub fn entropy_filter_exact_sampling(
             if b.lower > eta || (exact_now && b.point_estimate() >= eta) {
                 accepted.push(score_of(dataset, st.attr, b));
                 false
-            } else { !(b.upper < eta || exact_now) }
+            } else {
+                !(b.upper < eta || exact_now)
+            }
         });
 
         if states.is_empty() {
@@ -94,11 +96,8 @@ mod tests {
     use swope_columnar::{Column, Field, Schema};
 
     fn cyclic_dataset(n: usize, supports: &[u32]) -> Dataset {
-        let fields = supports
-            .iter()
-            .enumerate()
-            .map(|(i, &u)| Field::new(format!("c{i}"), u))
-            .collect();
+        let fields =
+            supports.iter().enumerate().map(|(i, &u)| Field::new(format!("c{i}"), u)).collect();
         let columns = supports
             .iter()
             .map(|&u| Column::new((0..n).map(|r| r as u32 % u).collect(), u).unwrap())
@@ -109,8 +108,7 @@ mod tests {
     #[test]
     fn matches_exact_answer() {
         let ds = cyclic_dataset(30_000, &[2, 8, 32, 128, 512]);
-        let sampled =
-            entropy_filter_exact_sampling(&ds, 4.0, &SwopeConfig::default()).unwrap();
+        let sampled = entropy_filter_exact_sampling(&ds, 4.0, &SwopeConfig::default()).unwrap();
         let exact = exact_entropy_filter(&ds, 4.0).unwrap();
         let mut a = sampled.attr_indices();
         let mut b = exact.attr_indices();

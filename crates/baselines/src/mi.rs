@@ -47,10 +47,8 @@ pub fn mi_rank_top_k(
     let mut sampler = make_sampler(n, config.sampling);
     let mut target_state = TargetState::new(dataset, target);
     let u_t = target_state.support;
-    let mut states: Vec<MiState> = (0..h)
-        .filter(|&a| a != target)
-        .map(|a| MiState::new(a, u_t, dataset.support(a)))
-        .collect();
+    let mut states: Vec<MiState> =
+        (0..h).filter(|&a| a != target).map(|a| MiState::new(a, u_t, dataset.support(a))).collect();
     let mut stats = QueryStats::default();
 
     let mut m_target = schedule.m0();
@@ -80,10 +78,8 @@ pub fn mi_rank_top_k(
                 .then(a.cmp(&b))
         });
         let kth_lower = states[by_lower[k - 1]].bounds.lower;
-        let max_outside_upper = by_lower[k..]
-            .iter()
-            .map(|&i| states[i].bounds.upper)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max_outside_upper =
+            by_lower[k..].iter().map(|&i| states[i].bounds.upper).fold(f64::NEG_INFINITY, f64::max);
         let separated = by_lower.len() == k || kth_lower >= max_outside_upper;
 
         if separated || m >= n {
@@ -134,10 +130,8 @@ pub fn mi_filter_exact_sampling(
     let mut sampler = make_sampler(n, config.sampling);
     let mut target_state = TargetState::new(dataset, target);
     let u_t = target_state.support;
-    let mut states: Vec<MiState> = (0..h)
-        .filter(|&a| a != target)
-        .map(|a| MiState::new(a, u_t, dataset.support(a)))
-        .collect();
+    let mut states: Vec<MiState> =
+        (0..h).filter(|&a| a != target).map(|a| MiState::new(a, u_t, dataset.support(a))).collect();
     let mut accepted: Vec<AttrScore> = Vec::new();
     let mut stats = QueryStats::default();
 
@@ -164,7 +158,9 @@ pub fn mi_filter_exact_sampling(
             if b.lower > eta || (exact_now && b.point_estimate() >= eta) {
                 accepted.push(score_of_mi(dataset, st.attr, b));
                 false
-            } else { !(b.upper < eta || exact_now) }
+            } else {
+                !(b.upper < eta || exact_now)
+            }
         });
 
         if states.is_empty() {
@@ -260,10 +256,7 @@ mod tests {
     fn deterministic_given_seed() {
         let ds = correlated_dataset(20_000);
         let c = SwopeConfig::default().with_seed(77);
-        assert_eq!(
-            mi_rank_top_k(&ds, 0, 2, &c).unwrap(),
-            mi_rank_top_k(&ds, 0, 2, &c).unwrap()
-        );
+        assert_eq!(mi_rank_top_k(&ds, 0, 2, &c).unwrap(), mi_rank_top_k(&ds, 0, 2, &c).unwrap());
         assert_eq!(
             mi_filter_exact_sampling(&ds, 0, 0.3, &c).unwrap(),
             mi_filter_exact_sampling(&ds, 0, 0.3, &c).unwrap()

@@ -132,14 +132,11 @@ pub fn oneshot_mi_top_k(
 fn plugin_score(dataset: &Dataset, attr: AttrIndex, estimate: f64) -> AttrScore {
     AttrScore {
         attr,
-        name: dataset
-            .schema()
-            .field(attr)
-            .map(|f| f.name().to_owned())
-            .unwrap_or_default(),
+        name: dataset.schema().field(attr).map(|f| f.name().to_owned()).unwrap_or_default(),
         estimate,
         lower: estimate,
         upper: estimate,
+        retired_iteration: 0,
     }
 }
 
@@ -150,11 +147,8 @@ mod tests {
     use swope_columnar::{Column, Field, Schema};
 
     fn cyclic_dataset(n: usize, supports: &[u32]) -> Dataset {
-        let fields = supports
-            .iter()
-            .enumerate()
-            .map(|(i, &u)| Field::new(format!("c{i}"), u))
-            .collect();
+        let fields =
+            supports.iter().enumerate().map(|(i, &u)| Field::new(format!("c{i}"), u)).collect();
         let columns = supports
             .iter()
             .map(|&u| Column::new((0..n).map(|r| r as u32 % u).collect(), u).unwrap())

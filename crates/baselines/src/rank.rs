@@ -79,10 +79,8 @@ pub fn entropy_rank_top_k(
 
         // Exact stopping rule: the k-th largest lower bound must dominate
         // every upper bound outside the chosen k.
-        let max_outside_upper = by_lower[k..]
-            .iter()
-            .map(|&i| states[i].bounds.upper)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max_outside_upper =
+            by_lower[k..].iter().map(|&i| states[i].bounds.upper).fold(f64::NEG_INFINITY, f64::max);
         let separated = by_lower.len() == k || kth_lower >= max_outside_upper;
 
         if separated || m >= n {
@@ -109,11 +107,8 @@ mod tests {
     use swope_columnar::{Column, Field, Schema};
 
     fn cyclic_dataset(n: usize, supports: &[u32]) -> Dataset {
-        let fields = supports
-            .iter()
-            .enumerate()
-            .map(|(i, &u)| Field::new(format!("c{i}"), u))
-            .collect();
+        let fields =
+            supports.iter().enumerate().map(|(i, &u)| Field::new(format!("c{i}"), u)).collect();
         let columns = supports
             .iter()
             .map(|&u| Column::new((0..n).map(|r| r as u32 % u).collect(), u).unwrap())
@@ -141,11 +136,8 @@ mod tests {
         // Two near-tied attributes below the top one: SWOPE can stop early,
         // EntropyRank must separate them.
         let n = 100_000;
-        let schema = Schema::new(vec![
-            Field::new("a", 64),
-            Field::new("b", 64),
-            Field::new("c", 63),
-        ]);
+        let schema =
+            Schema::new(vec![Field::new("a", 64), Field::new("b", 64), Field::new("c", 63)]);
         let cols = vec![
             Column::new((0..n).map(|r| r as u32 % 64).collect(), 64).unwrap(),
             Column::new((0..n).map(|r| (r as u32).wrapping_mul(2654435761) >> 26).collect(), 64)

@@ -8,14 +8,11 @@ use swope_estimate::bounds::{EntropyBounds, MiBounds};
 pub fn score_of(dataset: &Dataset, attr: AttrIndex, bounds: &EntropyBounds) -> AttrScore {
     AttrScore {
         attr,
-        name: dataset
-            .schema()
-            .field(attr)
-            .map(|f| f.name().to_owned())
-            .unwrap_or_default(),
+        name: dataset.schema().field(attr).map(|f| f.name().to_owned()).unwrap_or_default(),
         estimate: bounds.point_estimate(),
         lower: bounds.lower,
         upper: bounds.upper,
+        retired_iteration: 0,
     }
 }
 
@@ -23,14 +20,11 @@ pub fn score_of(dataset: &Dataset, attr: AttrIndex, bounds: &EntropyBounds) -> A
 pub fn score_of_mi(dataset: &Dataset, attr: AttrIndex, bounds: &MiBounds) -> AttrScore {
     AttrScore {
         attr,
-        name: dataset
-            .schema()
-            .field(attr)
-            .map(|f| f.name().to_owned())
-            .unwrap_or_default(),
+        name: dataset.schema().field(attr).map(|f| f.name().to_owned()).unwrap_or_default(),
         estimate: bounds.point_estimate(),
         lower: bounds.lower,
         upper: bounds.upper,
+        retired_iteration: 0,
     }
 }
 
@@ -43,8 +37,7 @@ mod tests {
     #[test]
     fn score_of_copies_interval() {
         let schema = Schema::new(vec![Field::new("x", 2)]);
-        let ds =
-            Dataset::new(schema, vec![Column::new(vec![0, 1], 2).unwrap()]).unwrap();
+        let ds = Dataset::new(schema, vec![Column::new(vec![0, 1], 2).unwrap()]).unwrap();
         let b = entropy_bounds(1.0, 100, 1000, 2, 0.01);
         let s = score_of(&ds, 0, &b);
         assert_eq!(s.name, "x");

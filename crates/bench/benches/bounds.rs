@@ -5,30 +5,16 @@
 //! query, so it must stay in the nanosecond range to be negligible next to
 //! the counting work.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use swope_bench::micro::{black_box, Group};
 use swope_estimate::bounds::{bias, entropy_bounds, lambda, mi_bounds, sample_size_for_width};
 
-fn bench_bounds(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bounds");
+fn main() {
+    let mut g = Group::new("bounds");
     let (m, n, p) = (1u64 << 16, 1u64 << 25, 1e-8);
 
-    g.bench_function("lambda", |b| {
-        b.iter(|| lambda(black_box(m), black_box(n), black_box(p)))
-    });
-    g.bench_function("bias", |b| {
-        b.iter(|| bias(black_box(500), black_box(m), black_box(n)))
-    });
-    g.bench_function("entropy_bounds", |b| {
-        b.iter(|| entropy_bounds(black_box(4.2), m, n, 500, p))
-    });
-    g.bench_function("mi_bounds", |b| {
-        b.iter(|| mi_bounds(black_box(3.1), 4.2, 6.0, 100, 500, m, n, p))
-    });
-    g.bench_function("sample_size_for_width", |b| {
-        b.iter(|| sample_size_for_width(black_box(0.25), n, 500, p))
-    });
-    g.finish();
+    g.bench("lambda", || lambda(black_box(m), black_box(n), black_box(p)));
+    g.bench("bias", || bias(black_box(500), black_box(m), black_box(n)));
+    g.bench("entropy_bounds", || entropy_bounds(black_box(4.2), m, n, 500, p));
+    g.bench("mi_bounds", || mi_bounds(black_box(3.1), 4.2, 6.0, 100, 500, m, n, p));
+    g.bench("sample_size_for_width", || sample_size_for_width(black_box(0.25), n, 500, p));
 }
-
-criterion_group!(benches, bench_bounds);
-criterion_main!(benches);

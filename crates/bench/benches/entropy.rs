@@ -6,7 +6,7 @@
 //! every evaluation — is O(u) per evaluation. This bench quantifies both
 //! halves.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use swope_bench::micro::{black_box, Group};
 use swope_estimate::entropy::{entropy_from_counts, EntropyCounter};
 
 fn stream(len: usize, support: u32) -> Vec<u32> {
@@ -21,36 +21,25 @@ fn stream(len: usize, support: u32) -> Vec<u32> {
         .collect()
 }
 
-fn bench_ingest(c: &mut Criterion) {
-    let mut g = c.benchmark_group("entropy_ingest");
+fn main() {
     let data = stream(100_000, 500);
-    g.bench_function("incremental_add_100k", |b| {
-        b.iter_batched(
-            || EntropyCounter::new(500),
-            |mut counter| {
-                for &code in &data {
-                    counter.add(code);
-                }
-                black_box(counter.entropy())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
+    let mut g = Group::new("entropy_ingest");
+    g.bench_with_setup(
+        "incremental_add_100k",
+        || EntropyCounter::new(500),
+        |mut counter| {
+            for &code in &data {
+                counter.add(code);
+            }
+            black_box(counter.entropy())
+        },
+    );
 
-fn bench_evaluate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("entropy_evaluate");
     let mut counter = EntropyCounter::new(1000);
     for &code in &stream(1_000_000, 1000) {
         counter.add(code);
     }
-    g.bench_function("incremental_o1", |b| b.iter(|| black_box(counter.entropy())));
-    g.bench_function("recompute_o_u", |b| {
-        b.iter(|| black_box(entropy_from_counts(counter.counts())))
-    });
-    g.finish();
+    let mut g = Group::new("entropy_evaluate");
+    g.bench("incremental_o1", || black_box(counter.entropy()));
+    g.bench("recompute_o_u", || black_box(entropy_from_counts(counter.counts())));
 }
-
-criterion_group!(benches, bench_ingest, bench_evaluate);
-criterion_main!(benches);

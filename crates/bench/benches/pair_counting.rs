@@ -6,7 +6,7 @@
 //! `DENSE_PAIR_LIMIT` crossover constant in `swope-estimate::freq` was
 //! picked with this bench.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use swope_bench::micro::{black_box, Group};
 use swope_estimate::freq::PairCounter;
 
 fn pairs(len: usize, u: u32) -> Vec<(u32, u32)> {
@@ -21,37 +21,25 @@ fn pairs(len: usize, u: u32) -> Vec<(u32, u32)> {
         .collect()
 }
 
-fn bench_pair_counters(c: &mut Criterion) {
+fn main() {
     for u in [64u32, 1024] {
         let data = pairs(200_000, u);
-        let mut g = c.benchmark_group(format!("pair_counting_u{u}"));
-        g.bench_function("adaptive", |b| {
-            b.iter_batched(
-                || PairCounter::new(u, u),
-                |mut counter| {
-                    for &(a, bb) in &data {
-                        counter.add(a, bb);
-                    }
-                    black_box(counter.total())
-                },
-                BatchSize::SmallInput,
-            )
+        let mut g = Group::new(format!("pair_counting_u{u}"));
+        g.bench_with_setup(
+            "adaptive",
+            || PairCounter::new(u, u),
+            |mut counter| {
+                for &(a, b) in &data {
+                    counter.add(a, b);
+                }
+                black_box(counter.total())
+            },
+        );
+        g.bench_with_setup("forced_sparse", PairCounter::new_sparse, |mut counter| {
+            for &(a, b) in &data {
+                counter.add(a, b);
+            }
+            black_box(counter.total())
         });
-        g.bench_function("forced_sparse", |b| {
-            b.iter_batched(
-                PairCounter::new_sparse,
-                |mut counter| {
-                    for &(a, bb) in &data {
-                        counter.add(a, bb);
-                    }
-                    black_box(counter.total())
-                },
-                BatchSize::SmallInput,
-            )
-        });
-        g.finish();
     }
 }
-
-criterion_group!(benches, bench_pair_counters);
-criterion_main!(benches);

@@ -1,16 +1,14 @@
 //! End-to-end query microbenchmarks: SWOPE vs EntropyRank/EntropyFilter
-//! vs Exact on a criterion-sized corpus.
+//! vs Exact on a bench-sized corpus.
 //!
 //! These are the headline comparisons at one fixed setting each; the
 //! `figures` binary runs the paper's full parameter sweeps.
 
-use std::time::Duration;
-
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use swope_baselines::{
     entropy_filter_exact_sampling, entropy_rank_top_k, exact_entropy_scores, exact_mi_scores,
     mi_rank_top_k,
 };
+use swope_bench::micro::{black_box, Group};
 use swope_columnar::Dataset;
 use swope_core::{entropy_filter, entropy_top_k, mi_filter, mi_top_k, SwopeConfig};
 use swope_datagen::{corpus, generate};
@@ -20,106 +18,50 @@ fn dataset() -> Dataset {
     generate(&corpus::cdc(1.0 / 64.0), 0x5170)
 }
 
-fn bench_entropy_queries(c: &mut Criterion) {
+fn main() {
     let ds = dataset();
-    let mut g = c.benchmark_group("entropy_queries");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(8));
-    g.warm_up_time(Duration::from_secs(1));
 
-    g.bench_function("swope_topk_k4_eps0.1", |b| {
-        let cfg = SwopeConfig::with_epsilon(0.1);
-        b.iter(|| black_box(entropy_top_k(&ds, 4, &cfg).unwrap()))
+    let mut g = Group::new("entropy_queries");
+    let eps01 = SwopeConfig::with_epsilon(0.1);
+    let default_cfg = SwopeConfig::default();
+    g.bench("swope_topk_k4_eps0.1", || black_box(entropy_top_k(&ds, 4, &eps01).unwrap()));
+    g.bench("rank_topk_k4", || black_box(entropy_rank_top_k(&ds, 4, &default_cfg).unwrap()));
+    g.bench("exact_scan", || black_box(exact_entropy_scores(&ds)));
+    let eps005 = SwopeConfig::with_epsilon(0.05);
+    g.bench("swope_filter_eta2_eps0.05", || black_box(entropy_filter(&ds, 2.0, &eps005).unwrap()));
+    g.bench("entropyfilter_eta2", || {
+        black_box(entropy_filter_exact_sampling(&ds, 2.0, &default_cfg).unwrap())
     });
-    g.bench_function("rank_topk_k4", |b| {
-        let cfg = SwopeConfig::default();
-        b.iter(|| black_box(entropy_rank_top_k(&ds, 4, &cfg).unwrap()))
-    });
-    g.bench_function("exact_scan", |b| {
-        b.iter(|| black_box(exact_entropy_scores(&ds)))
-    });
-    g.bench_function("swope_filter_eta2_eps0.05", |b| {
-        let cfg = SwopeConfig::with_epsilon(0.05);
-        b.iter(|| black_box(entropy_filter(&ds, 2.0, &cfg).unwrap()))
-    });
-    g.bench_function("entropyfilter_eta2", |b| {
-        let cfg = SwopeConfig::default();
-        b.iter(|| black_box(entropy_filter_exact_sampling(&ds, 2.0, &cfg).unwrap()))
-    });
-    g.finish();
-}
 
-fn bench_mi_queries(c: &mut Criterion) {
-    let ds = dataset();
     let target = 3;
-    let mut g = c.benchmark_group("mi_queries");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(8));
-    g.warm_up_time(Duration::from_secs(1));
+    let eps05 = SwopeConfig::with_epsilon(0.5);
+    let mut g = Group::new("mi_queries");
+    g.bench("swope_mi_topk_k4_eps0.5", || black_box(mi_top_k(&ds, target, 4, &eps05).unwrap()));
+    g.bench("rank_mi_topk_k4", || black_box(mi_rank_top_k(&ds, target, 4, &default_cfg).unwrap()));
+    g.bench("exact_mi_scan", || black_box(exact_mi_scores(&ds, target)));
+    g.bench("swope_mi_filter_eta0.3_eps0.5", || {
+        black_box(mi_filter(&ds, target, 0.3, &eps05).unwrap())
+    });
 
-    g.bench_function("swope_mi_topk_k4_eps0.5", |b| {
-        let cfg = SwopeConfig::with_epsilon(0.5);
-        b.iter(|| black_box(mi_top_k(&ds, target, 4, &cfg).unwrap()))
-    });
-    g.bench_function("rank_mi_topk_k4", |b| {
-        let cfg = SwopeConfig::default();
-        b.iter(|| black_box(mi_rank_top_k(&ds, target, 4, &cfg).unwrap()))
-    });
-    g.bench_function("exact_mi_scan", |b| {
-        b.iter(|| black_box(exact_mi_scores(&ds, target)))
-    });
-    g.bench_function("swope_mi_filter_eta0.3_eps0.5", |b| {
-        let cfg = SwopeConfig::with_epsilon(0.5);
-        b.iter(|| black_box(mi_filter(&ds, target, 0.3, &cfg).unwrap()))
-    });
-    g.finish();
-}
-
-fn bench_batch_mi(c: &mut Criterion) {
     // Batched vs individual MI top-k over several targets (the paper's
     // multi-target protocol).
-    let ds = dataset();
     let targets = [0usize, 7, 19, 31];
-    let mut g = c.benchmark_group("batch_mi");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(8));
-    g.warm_up_time(Duration::from_secs(1));
-    g.bench_function("batched_4_targets", |b| {
-        let cfg = SwopeConfig::with_epsilon(0.5);
-        b.iter(|| black_box(swope_core::mi_top_k_batch(&ds, &targets, 4, &cfg).unwrap()))
+    let mut g = Group::new("batch_mi");
+    g.bench("batched_4_targets", || {
+        black_box(swope_core::mi_top_k_batch(&ds, &targets, 4, &eps05).unwrap())
     });
-    g.bench_function("individual_4_targets", |b| {
-        let cfg = SwopeConfig::with_epsilon(0.5);
-        b.iter(|| {
-            for &t in &targets {
-                black_box(mi_top_k(&ds, t, 4, &cfg).unwrap());
-            }
-        })
+    g.bench("individual_4_targets", || {
+        for &t in &targets {
+            black_box(mi_top_k(&ds, t, 4, &eps05).unwrap());
+        }
     });
-    g.finish();
-}
 
-fn bench_parallel_scaling(c: &mut Criterion) {
     // DESIGN.md design choice 5: per-attribute work shards across threads.
-    let ds = dataset();
-    let mut g = c.benchmark_group("parallel_scaling");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(8));
-    g.warm_up_time(Duration::from_secs(1));
+    let mut g = Group::new("parallel_scaling");
     for threads in [1usize, 2, 4] {
-        g.bench_function(format!("swope_topk_threads{threads}"), |b| {
-            let cfg = SwopeConfig::with_epsilon(0.1).with_threads(threads);
-            b.iter(|| black_box(entropy_top_k(&ds, 4, &cfg).unwrap()))
+        let cfg = SwopeConfig::with_epsilon(0.1).with_threads(threads);
+        g.bench(&format!("swope_topk_threads{threads}"), || {
+            black_box(entropy_top_k(&ds, 4, &cfg).unwrap())
         });
     }
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_entropy_queries,
-    bench_mi_queries,
-    bench_batch_mi,
-    bench_parallel_scaling
-);
-criterion_main!(benches);

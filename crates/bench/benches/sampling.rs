@@ -7,62 +7,48 @@
 //! page-granular sampling (paper §6.1) trades sampling randomness
 //! granularity for sequential access.
 
-use std::time::Duration;
-
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use swope_bench::micro::{black_box, Group};
 use swope_sampling::{PageShuffle, PrefixShuffle, Sampler};
 
 const N: usize = 1 << 22;
 
-fn bench_shuffle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("shuffle");
-    g.sample_size(20);
-    g.measurement_time(Duration::from_secs(8));
-    g.warm_up_time(Duration::from_secs(1));
+fn main() {
+    let mut g = Group::new("shuffle");
 
     // Doubling ladder 1024 -> N/4 with incremental extension.
-    g.bench_function("incremental_ladder", |b| {
-        b.iter(|| {
-            let mut s = PrefixShuffle::new(N, 42);
-            let mut m = 1024;
-            while m <= N / 4 {
-                black_box(s.grow_to(m).len());
-                m *= 2;
-            }
-            s.sampled()
-        })
+    g.bench("incremental_ladder", || {
+        let mut s = PrefixShuffle::new(N, 42);
+        let mut m = 1024;
+        while m <= N / 4 {
+            black_box(s.grow_to(m).len());
+            m *= 2;
+        }
+        s.sampled()
     });
 
     // Same ladder, fresh shuffle per step (what a naive implementation
     // re-sampling each iteration would pay).
-    g.bench_function("fresh_per_step", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            let mut m = 1024;
-            while m <= N / 4 {
-                let mut s = PrefixShuffle::new(N, 42);
-                total += s.grow_to(m).len();
-                m *= 2;
-            }
-            total
-        })
+    g.bench("fresh_per_step", || {
+        let mut total = 0usize;
+        let mut m = 1024;
+        while m <= N / 4 {
+            let mut s = PrefixShuffle::new(N, 42);
+            total += s.grow_to(m).len();
+            m *= 2;
+        }
+        total
     });
 
-    g.bench_function("page_ladder_4k_pages", |b| {
-        b.iter(|| {
-            let mut s = PageShuffle::new(N, 4096, 42);
-            let mut m = 1024;
-            while m <= N / 4 {
-                black_box(s.grow_to(m).len());
-                m *= 2;
-            }
-            s.sampled()
-        })
+    g.bench("page_ladder_4k_pages", || {
+        let mut s = PageShuffle::new(N, 4096, 42);
+        let mut m = 1024;
+        while m <= N / 4 {
+            black_box(s.grow_to(m).len());
+            m *= 2;
+        }
+        s.sampled()
     });
-    g.finish();
-}
 
-fn bench_gather(c: &mut Criterion) {
     // The downstream cost the page sampler optimizes: gathering column
     // codes at sampled row indices.
     let column: Vec<u32> = (0..N as u32).map(|x| x.wrapping_mul(2654435761) % 100).collect();
@@ -71,27 +57,19 @@ fn bench_gather(c: &mut Criterion) {
     let mut page = PageShuffle::new(N, 4096, 7);
     page.grow_to(N / 8);
 
-    let mut g = c.benchmark_group("gather_codes");
-    g.bench_function("row_shuffled_indices", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &r in row.rows() {
-                acc += column[r as usize] as u64;
-            }
-            acc
-        })
+    let mut g = Group::new("gather_codes");
+    g.bench("row_shuffled_indices", || {
+        let mut acc = 0u64;
+        for &r in row.rows() {
+            acc += column[r as usize] as u64;
+        }
+        acc
     });
-    g.bench_function("page_sequential_indices", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &r in page.rows() {
-                acc += column[r as usize] as u64;
-            }
-            acc
-        })
+    g.bench("page_sequential_indices", || {
+        let mut acc = 0u64;
+        for &r in page.rows() {
+            acc += column[r as usize] as u64;
+        }
+        acc
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_shuffle, bench_gather);
-criterion_main!(benches);

@@ -50,13 +50,11 @@ fn run(args: &[String]) -> Result<(), String> {
             "--targets" => cfg.mi_targets = parse_value(args, &mut i, "targets")?,
             "--out" => {
                 i += 1;
-                cfg.out_dir =
-                    PathBuf::from(args.get(i).ok_or("--out requires a directory")?);
+                cfg.out_dir = PathBuf::from(args.get(i).ok_or("--out requires a directory")?);
             }
             "--dataset" => {
                 i += 1;
-                cfg.only_datasets
-                    .push(args.get(i).ok_or("--dataset requires a name")?.clone());
+                cfg.only_datasets.push(args.get(i).ok_or("--dataset requires a name")?.clone());
             }
             "--max-support" => cfg.max_support = parse_value(args, &mut i, "max-support")?,
             "--help" | "-h" => {
@@ -98,7 +96,7 @@ fn run(args: &[String]) -> Result<(), String> {
         exp.report(&rows, &cfg).map_err(|e| format!("writing CSV: {e}"))?;
         println!();
     }
-    println!("CSV written to {}", cfg.out_dir.display());
+    println!("CSV + JSON reports written to {}", cfg.out_dir.display());
     Ok(())
 }
 

@@ -29,16 +29,13 @@ pub fn run_sampling(cfg: &ExpConfig) -> Vec<Row> {
             rows.push(Row {
                 experiment: "ext-sampling".into(),
                 dataset: name.clone(),
-                algo: if page_rows == 0 {
-                    "row".into()
-                } else {
-                    format!("page{page_rows}")
-                },
+                algo: if page_rows == 0 { "row".into() } else { format!("page{page_rows}") },
                 param: page_rows as f64,
                 millis: ms,
                 accuracy: topk_accuracy(&res.attr_indices(), exact_topk),
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
+                phase_ns: [0; 4],
             });
         }
     }
@@ -51,9 +48,7 @@ pub fn run_threads(cfg: &ExpConfig) -> Vec<Row> {
     let mut rows = Vec::new();
     for (name, ds) in cfg.datasets() {
         for threads in [1usize, 2, 4, 8] {
-            let qcfg = SwopeConfig::with_epsilon(0.1)
-                .with_seed(cfg.seed)
-                .with_threads(threads);
+            let qcfg = SwopeConfig::with_epsilon(0.1).with_seed(cfg.seed).with_threads(threads);
             let (ms, res) = time_ms(|| entropy_top_k(&ds, 4, &qcfg).unwrap());
             rows.push(Row {
                 experiment: "ext-threads".into(),
@@ -64,10 +59,9 @@ pub fn run_threads(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: 1.0,
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
+                phase_ns: [0; 4],
             });
-            let mi_cfg = SwopeConfig::with_epsilon(0.5)
-                .with_seed(cfg.seed)
-                .with_threads(threads);
+            let mi_cfg = SwopeConfig::with_epsilon(0.5).with_seed(cfg.seed).with_threads(threads);
             let (ms, res) = time_ms(|| mi_top_k(&ds, 0, 4, &mi_cfg).unwrap());
             rows.push(Row {
                 experiment: "ext-threads".into(),
@@ -78,6 +72,7 @@ pub fn run_threads(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: 1.0,
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
+                phase_ns: [0; 4],
             });
         }
     }
@@ -107,12 +102,12 @@ pub fn run_oneshot(cfg: &ExpConfig) -> Vec<Row> {
             accuracy: topk_accuracy(&swope.attr_indices(), exact_topk),
             sample_size: budget,
             rows_scanned: swope.stats.rows_scanned,
+            phase_ns: [0; 4],
         });
 
         for (frac, div) in [(1.0, 1usize), (0.25, 4), (0.0625, 16)] {
             let m = (budget / div).max(1);
-            let (ms, res) =
-                time_ms(|| oneshot_entropy_top_k(&ds, 4, m, cfg.seed).unwrap());
+            let (ms, res) = time_ms(|| oneshot_entropy_top_k(&ds, 4, m, cfg.seed).unwrap());
             rows.push(Row {
                 experiment: "ext-oneshot".into(),
                 dataset: name.clone(),
@@ -122,6 +117,7 @@ pub fn run_oneshot(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: topk_accuracy(&res.attr_indices(), exact_topk),
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
+                phase_ns: [0; 4],
             });
         }
     }
@@ -160,8 +156,7 @@ pub fn run_locality(cfg: &ExpConfig) -> Vec<Row> {
                 } else {
                     SamplingStrategy::Page { page_rows, seed: cfg.seed ^ s }
                 };
-                let (ms, res) =
-                    time_ms(|| swope_core::entropy_profile(&ds, 0.05, &qcfg).unwrap());
+                let (ms, res) = time_ms(|| swope_core::entropy_profile(&ds, 0.05, &qcfg).unwrap());
                 ms_sum += ms;
                 sample_sum += res.stats.sample_size;
                 scanned_sum += res.stats.rows_scanned;
@@ -182,6 +177,7 @@ pub fn run_locality(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: covered as f64 / total.max(1) as f64,
                 sample_size: sample_sum / SEEDS as usize,
                 rows_scanned: scanned_sum / SEEDS,
+                phase_ns: [0; 4],
             });
         }
     }
@@ -214,6 +210,7 @@ pub fn run_m0(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: topk_accuracy(&res.attr_indices(), exact_topk),
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
+                phase_ns: [0; 4],
             });
         }
     }
@@ -257,10 +254,7 @@ mod tests {
         let rows = run_oneshot(&small_cfg());
         assert_eq!(rows.len(), 4 * 4);
         // SWOPE rows must be perfectly accurate at ε=0.1 on this corpus.
-        assert!(rows
-            .iter()
-            .filter(|r| r.algo == "SWOPE")
-            .all(|r| r.accuracy > 0.74));
+        assert!(rows.iter().filter(|r| r.algo == "SWOPE").all(|r| r.accuracy > 0.74));
     }
 
     #[test]
@@ -273,10 +267,7 @@ mod tests {
             assert!(r.accuracy > 0.99, "{r:?}");
         }
         // Page sampling on i.i.d. data is fine too.
-        let iid_page = rows
-            .iter()
-            .find(|r| r.algo == "page4096" && r.param == 1.0)
-            .unwrap();
+        let iid_page = rows.iter().find(|r| r.algo == "page4096" && r.param == 1.0).unwrap();
         assert!(iid_page.accuracy > 0.99, "{iid_page:?}");
     }
 

@@ -5,7 +5,8 @@
 //! EntropyFilter and Exact.
 
 use swope_baselines::{entropy_filter_exact_sampling, exact_entropy_scores};
-use swope_core::{entropy_filter, SwopeConfig};
+use swope_core::{entropy_filter_observed, SwopeConfig};
+use swope_obs::PhaseAccumulator;
 
 use crate::harness::{time_ms, ExpConfig, Row};
 use crate::metrics::filter_accuracy;
@@ -24,12 +25,8 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
         let (exact_ms, _) = time_ms(|| exact_entropy_scores(&ds));
 
         for &eta in &ETAS {
-            let exact_answer: Vec<usize> = scores
-                .iter()
-                .enumerate()
-                .filter(|&(_, &s)| s >= eta)
-                .map(|(a, _)| a)
-                .collect();
+            let exact_answer: Vec<usize> =
+                scores.iter().enumerate().filter(|&(_, &s)| s >= eta).map(|(a, _)| a).collect();
 
             rows.push(Row {
                 experiment: "fig3".into(),
@@ -40,11 +37,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: 1.0,
                 sample_size: ds.num_rows(),
                 rows_scanned: (ds.num_rows() * ds.num_attrs()) as u64,
+                phase_ns: [0; 4],
             });
 
             let base_cfg = SwopeConfig::default().with_seed(cfg.seed ^ eta.to_bits());
-            let (ms, res) =
-                time_ms(|| entropy_filter_exact_sampling(&ds, eta, &base_cfg).unwrap());
+            let (ms, res) = time_ms(|| entropy_filter_exact_sampling(&ds, eta, &base_cfg).unwrap());
             rows.push(Row {
                 experiment: "fig3".into(),
                 dataset: name.clone(),
@@ -54,11 +51,14 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: filter_accuracy(&res.attr_indices(), &exact_answer).f1,
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
+                phase_ns: [0; 4],
             });
 
             let swope_cfg =
                 SwopeConfig::with_epsilon(SWOPE_EPSILON).with_seed(cfg.seed ^ eta.to_bits());
-            let (ms, res) = time_ms(|| entropy_filter(&ds, eta, &swope_cfg).unwrap());
+            let mut phases = PhaseAccumulator::new();
+            let (ms, res) =
+                time_ms(|| entropy_filter_observed(&ds, eta, &swope_cfg, &mut phases).unwrap());
             rows.push(Row {
                 experiment: "fig3".into(),
                 dataset: name.clone(),
@@ -68,6 +68,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: filter_accuracy(&res.attr_indices(), &exact_answer).f1,
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
+                phase_ns: phases.nanos,
             });
         }
     }
@@ -89,9 +90,6 @@ mod tests {
         let mean = swope_acc.iter().sum::<f64>() / swope_acc.len() as f64;
         assert!(mean > 0.85, "mean SWOPE filtering F1 {mean}");
         // EntropyFilter is exact (up to p_f): expect F1 == 1 everywhere.
-        assert!(rows
-            .iter()
-            .filter(|r| r.algo == "EntropyFilter")
-            .all(|r| r.accuracy > 0.999));
+        assert!(rows.iter().filter(|r| r.algo == "EntropyFilter").all(|r| r.accuracy > 0.999));
     }
 }

@@ -6,7 +6,8 @@
 //! the accuracy vs the exact top-k.
 
 use swope_baselines::{entropy_rank_top_k, exact_entropy_scores};
-use swope_core::{entropy_top_k, SwopeConfig};
+use swope_core::{entropy_top_k_observed, SwopeConfig};
+use swope_obs::PhaseAccumulator;
 
 use crate::harness::{time_ms, ExpConfig, Row};
 use crate::metrics::topk_accuracy;
@@ -38,6 +39,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: 1.0,
                 sample_size: ds.num_rows(),
                 rows_scanned: (ds.num_rows() * ds.num_attrs()) as u64,
+                phase_ns: [0; 4],
             });
 
             let rank_cfg = SwopeConfig::default().with_seed(cfg.seed ^ k as u64);
@@ -51,11 +53,13 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: topk_accuracy(&res.attr_indices(), exact_topk),
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
+                phase_ns: [0; 4],
             });
 
-            let swope_cfg =
-                SwopeConfig::with_epsilon(SWOPE_EPSILON).with_seed(cfg.seed ^ k as u64);
-            let (ms, res) = time_ms(|| entropy_top_k(&ds, k, &swope_cfg).unwrap());
+            let swope_cfg = SwopeConfig::with_epsilon(SWOPE_EPSILON).with_seed(cfg.seed ^ k as u64);
+            let mut phases = PhaseAccumulator::new();
+            let (ms, res) =
+                time_ms(|| entropy_top_k_observed(&ds, k, &swope_cfg, &mut phases).unwrap());
             rows.push(Row {
                 experiment: "fig1".into(),
                 dataset: name.clone(),
@@ -65,6 +69,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: topk_accuracy(&res.attr_indices(), exact_topk),
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
+                phase_ns: phases.nanos,
             });
         }
     }

@@ -5,7 +5,8 @@
 //! over target attributes; SWOPE at tuned ε = 0.5.
 
 use swope_baselines::{exact_mi_scores, mi_filter_exact_sampling};
-use swope_core::{mi_filter, SwopeConfig};
+use swope_core::{mi_filter_observed, SwopeConfig};
+use swope_obs::PhaseAccumulator;
 
 use crate::harness::{time_ms, ExpConfig, Row};
 use crate::metrics::filter_accuracy;
@@ -39,6 +40,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: 1.0,
                 sample_size: ds.num_rows(),
                 rows_scanned: (ds.num_rows() * (2 * ds.num_attrs() - 1)) as u64,
+                phase_ns: [0; 4],
             });
 
             for (algo, eps) in [("EntropyFilter", None), ("SWOPE", Some(SWOPE_EPSILON))] {
@@ -46,17 +48,19 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 let mut acc_sum = 0.0;
                 let mut sample_sum = 0usize;
                 let mut scanned_sum = 0u64;
+                // Accumulates across targets; stays all-zero for the
+                // baseline branch.
+                let mut phases = PhaseAccumulator::new();
                 for (t, scores, _) in &per_target {
-                    let exact_answer: Vec<usize> = (0..ds.num_attrs())
-                        .filter(|&a| a != *t && scores[a] >= eta)
-                        .collect();
+                    let exact_answer: Vec<usize> =
+                        (0..ds.num_attrs()).filter(|&a| a != *t && scores[a] >= eta).collect();
                     let qcfg = match eps {
                         Some(e) => SwopeConfig::with_epsilon(e),
                         None => SwopeConfig::default(),
                     }
                     .with_seed(cfg.seed ^ eta.to_bits() ^ *t as u64);
                     let (ms, res) = time_ms(|| match eps {
-                        Some(_) => mi_filter(&ds, *t, eta, &qcfg).unwrap(),
+                        Some(_) => mi_filter_observed(&ds, *t, eta, &qcfg, &mut phases).unwrap(),
                         None => mi_filter_exact_sampling(&ds, *t, eta, &qcfg).unwrap(),
                     });
                     ms_sum += ms;
@@ -74,6 +78,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                     accuracy: acc_sum / n_t,
                     sample_size: sample_sum / targets.len(),
                     rows_scanned: scanned_sum / targets.len() as u64,
+                    phase_ns: phases.nanos.map(|n| n / targets.len() as u64),
                 });
             }
         }
@@ -91,10 +96,7 @@ mod tests {
         let rows = run(&cfg);
         assert_eq!(rows.len(), 4 * ETAS.len() * 3);
         // EntropyFilter is exact up to p_f.
-        assert!(rows
-            .iter()
-            .filter(|r| r.algo == "EntropyFilter")
-            .all(|r| r.accuracy > 0.999));
+        assert!(rows.iter().filter(|r| r.algo == "EntropyFilter").all(|r| r.accuracy > 0.999));
         // SWOPE at ε=0.5 should still track well (paper: 100%).
         let swope_acc: Vec<f64> =
             rows.iter().filter(|r| r.algo == "SWOPE").map(|r| r.accuracy).collect();

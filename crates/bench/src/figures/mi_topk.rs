@@ -6,7 +6,8 @@
 //! `--targets` to match). SWOPE runs at its tuned ε = 0.5 (Figure 11).
 
 use swope_baselines::{exact_mi_scores, mi_rank_top_k};
-use swope_core::{mi_top_k, SwopeConfig};
+use swope_core::{mi_top_k_observed, SwopeConfig};
+use swope_obs::PhaseAccumulator;
 
 use crate::figures::entropy_topk::order_desc;
 use crate::harness::{time_ms, ExpConfig, Row};
@@ -28,8 +29,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
         let mut per_target: Vec<(usize, Vec<usize>, f64)> = Vec::new();
         for &t in &targets {
             let (ms, scores) = time_ms(|| exact_mi_scores(&ds, t));
-            let order: Vec<usize> =
-                order_desc(&scores).into_iter().filter(|&a| a != t).collect();
+            let order: Vec<usize> = order_desc(&scores).into_iter().filter(|&a| a != t).collect();
             per_target.push((t, order, ms));
         }
 
@@ -46,6 +46,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: 1.0,
                 sample_size: ds.num_rows(),
                 rows_scanned: (ds.num_rows() * (2 * ds.num_attrs() - 1)) as u64,
+                phase_ns: [0; 4],
             });
 
             for (algo, eps) in [("EntropyRank", None), ("SWOPE", Some(SWOPE_EPSILON))] {
@@ -53,6 +54,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 let mut acc_sum = 0.0;
                 let mut sample_sum = 0usize;
                 let mut scanned_sum = 0u64;
+                // Accumulates across targets; stays all-zero for the
+                // baseline branch.
+                let mut phases = PhaseAccumulator::new();
                 for (t, exact_order, _) in &per_target {
                     let qcfg = match eps {
                         Some(e) => SwopeConfig::with_epsilon(e),
@@ -60,7 +64,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                     }
                     .with_seed(cfg.seed ^ (k as u64) << 8 ^ *t as u64);
                     let (ms, res) = time_ms(|| match eps {
-                        Some(_) => mi_top_k(&ds, *t, k, &qcfg).unwrap(),
+                        Some(_) => mi_top_k_observed(&ds, *t, k, &qcfg, &mut phases).unwrap(),
                         None => mi_rank_top_k(&ds, *t, k, &qcfg).unwrap(),
                     });
                     ms_sum += ms;
@@ -81,6 +85,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                     accuracy: acc_sum / n_t,
                     sample_size: sample_sum / targets.len(),
                     rows_scanned: scanned_sum / targets.len() as u64,
+                    phase_ns: phases.nanos.map(|n| n / targets.len() as u64),
                 });
             }
         }
@@ -101,9 +106,9 @@ mod tests {
             assert!(r.accuracy >= 0.0 && r.accuracy <= 1.0, "{r:?}");
         }
         // EntropyRank answers are exact: accuracy 1 (up to p_f).
-        assert!(rows
-            .iter()
-            .filter(|r| r.algo == "EntropyRank")
-            .all(|r| r.accuracy > 0.999), "rank should be exact");
+        assert!(
+            rows.iter().filter(|r| r.algo == "EntropyRank").all(|r| r.accuracy > 0.999),
+            "rank should be exact"
+        );
     }
 }

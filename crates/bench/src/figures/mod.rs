@@ -144,7 +144,8 @@ impl Experiment {
         }
     }
 
-    /// Prints the paper-style tables and writes per-figure CSVs.
+    /// Prints the paper-style tables and writes per-figure CSV and JSON
+    /// reports (the JSON carries the per-phase timing breakdown).
     pub fn report(&self, rows: &[Row], cfg: &ExpConfig) -> std::io::Result<()> {
         let ids = self.figure_ids();
         // Time view (first id) and accuracy view (second id, if any).
@@ -167,6 +168,7 @@ impl Experiment {
                 r.experiment = id.to_string();
             }
             report::write_csv(&renamed, &cfg.out_dir, id)?;
+            report::write_json(&renamed, &cfg.out_dir, id)?;
         }
         Ok(())
     }
@@ -193,9 +195,10 @@ mod tests {
             .filter(|id| !id.starts_with("ext-"))
             .collect();
         ids.sort_unstable();
-        let mut expected =
-            vec!["table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-                 "fig9", "fig10", "fig11", "fig12"];
+        let mut expected = vec![
+            "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12",
+        ];
         expected.sort_unstable();
         assert_eq!(ids, expected);
     }

@@ -25,6 +25,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: 1.0,
                 sample_size: s.rows,
                 rows_scanned: s.max_support as u64,
+                phase_ns: [0; 4],
             }
         })
         .collect()
@@ -33,7 +34,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
 /// Renders the paper's Table 2 shape (plus the scale context).
 pub fn render(rows: &[Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<10} {:>12} {:>9} {:>12} {:>12}", "Dataset", "Rows", "Columns", "MaxSupport", "gen (ms)");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>9} {:>12} {:>12}",
+        "Dataset", "Rows", "Columns", "MaxSupport", "gen (ms)"
+    );
     for r in rows {
         let _ = writeln!(
             out,

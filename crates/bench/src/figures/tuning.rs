@@ -43,6 +43,7 @@ pub fn run_entropy_topk(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: topk_accuracy(&res.attr_indices(), exact_topk),
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
+                phase_ns: [0; 4],
             });
         }
     }
@@ -62,8 +63,7 @@ pub fn run_entropy_filter(cfg: &ExpConfig) -> Vec<Row> {
             .collect();
         for &eps in &EPSILONS {
             let qcfg = SwopeConfig::with_epsilon(eps).with_seed(cfg.seed ^ eps.to_bits());
-            let (ms, res) =
-                time_ms(|| entropy_filter(&ds, TUNE_ETA_ENTROPY, &qcfg).unwrap());
+            let (ms, res) = time_ms(|| entropy_filter(&ds, TUNE_ETA_ENTROPY, &qcfg).unwrap());
             rows.push(Row {
                 experiment: "fig10".into(),
                 dataset: name.clone(),
@@ -73,6 +73,7 @@ pub fn run_entropy_filter(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: filter_accuracy(&res.attr_indices(), &exact_answer).f1,
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
+                phase_ns: [0; 4],
             });
         }
     }
@@ -87,10 +88,8 @@ pub fn run_mi_topk(cfg: &ExpConfig) -> Vec<Row> {
         let per_target: Vec<(usize, Vec<usize>)> = targets
             .iter()
             .map(|&t| {
-                let order: Vec<usize> = order_desc(&exact_mi_scores(&ds, t))
-                    .into_iter()
-                    .filter(|&a| a != t)
-                    .collect();
+                let order: Vec<usize> =
+                    order_desc(&exact_mi_scores(&ds, t)).into_iter().filter(|&a| a != t).collect();
                 (t, order)
             })
             .collect();
@@ -121,6 +120,7 @@ pub fn run_mi_topk(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: acc_sum / n_t,
                 sample_size: sample_sum / targets.len(),
                 rows_scanned: scanned_sum / targets.len() as u64,
+                phase_ns: [0; 4],
             });
         }
     }
@@ -136,9 +136,8 @@ pub fn run_mi_filter(cfg: &ExpConfig) -> Vec<Row> {
             .iter()
             .map(|&t| {
                 let scores = exact_mi_scores(&ds, t);
-                let answer: Vec<usize> = (0..ds.num_attrs())
-                    .filter(|&a| a != t && scores[a] >= TUNE_ETA_MI)
-                    .collect();
+                let answer: Vec<usize> =
+                    (0..ds.num_attrs()).filter(|&a| a != t && scores[a] >= TUNE_ETA_MI).collect();
                 (t, answer)
             })
             .collect();
@@ -166,6 +165,7 @@ pub fn run_mi_filter(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: acc_sum / n_t,
                 sample_size: sample_sum / targets.len(),
                 rows_scanned: scanned_sum / targets.len() as u64,
+                phase_ns: [0; 4],
             });
         }
     }
@@ -189,19 +189,13 @@ mod tests {
             let work: Vec<u64> = EPSILONS
                 .iter()
                 .map(|&e| {
-                    rows.iter()
-                        .find(|r| r.dataset == ds && r.param == e)
-                        .unwrap()
-                        .rows_scanned
+                    rows.iter().find(|r| r.dataset == ds && r.param == e).unwrap().rows_scanned
                 })
                 .collect();
             // Different ε cells use different sampling seeds, so allow
             // small noise; the trend and the endpoints must still hold.
             for w in work.windows(2) {
-                assert!(
-                    w[1] as f64 <= w[0] as f64 * 1.05,
-                    "{ds}: work increased with ε: {work:?}"
-                );
+                assert!(w[1] as f64 <= w[0] as f64 * 1.05, "{ds}: work increased with ε: {work:?}");
             }
             assert!(
                 *work.last().unwrap() <= work[0],

@@ -3,12 +3,11 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use serde::Serialize;
 use swope_columnar::Dataset;
 use swope_datagen::{corpus, generate};
 
 /// One measured cell of an experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Experiment id (`fig1`, …).
     pub experiment: String,
@@ -26,6 +25,10 @@ pub struct Row {
     pub sample_size: usize,
     /// Counter-update work units (the paper's cost model).
     pub rows_scanned: u64,
+    /// Per-phase wall-clock nanoseconds, indexed by `swope_obs::Phase`
+    /// (sample_grow, ingest, update_bounds, decide). All zeros for
+    /// algorithms that don't run the adaptive loop.
+    pub phase_ns: [u64; 4],
 }
 
 /// Experiment-wide configuration shared by all runners.
@@ -77,9 +80,7 @@ impl ExpConfig {
     pub fn datasets(&self) -> Vec<(String, Dataset)> {
         corpus::all(self.scale)
             .into_iter()
-            .filter(|p| {
-                self.only_datasets.is_empty() || self.only_datasets.contains(&p.name)
-            })
+            .filter(|p| self.only_datasets.is_empty() || self.only_datasets.contains(&p.name))
             .map(|p| {
                 let name = p.name.clone();
                 let ds = generate(&p, self.seed);
@@ -94,9 +95,7 @@ impl ExpConfig {
     /// different archetypes.
     pub fn pick_targets(&self, num_attrs: usize) -> Vec<usize> {
         let want = self.mi_targets.clamp(1, num_attrs);
-        (0..want)
-            .map(|i| (i * num_attrs / want + (self.seed as usize % 7)) % num_attrs)
-            .collect()
+        (0..want).map(|i| (i * num_attrs / want + (self.seed as usize % 7)) % num_attrs).collect()
     }
 }
 

@@ -27,6 +27,7 @@
 pub mod figures;
 pub mod harness;
 pub mod metrics;
+pub mod micro;
 pub mod report;
 
 pub use harness::{ExpConfig, Row};

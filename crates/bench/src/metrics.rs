@@ -36,7 +36,8 @@ pub fn filter_accuracy(returned: &[AttrIndex], exact: &[AttrIndex]) -> FilterAcc
     let returned_set: HashSet<_> = returned.iter().collect();
     let exact_set: HashSet<_> = exact.iter().collect();
     let hits = returned_set.intersection(&exact_set).count();
-    let precision = if returned_set.is_empty() { 1.0 } else { hits as f64 / returned_set.len() as f64 };
+    let precision =
+        if returned_set.is_empty() { 1.0 } else { hits as f64 / returned_set.len() as f64 };
     let recall = if exact_set.is_empty() { 1.0 } else { hits as f64 / exact_set.len() as f64 };
     let f1 = if precision + recall == 0.0 {
         0.0

@@ -1,0 +1,147 @@
+//! Minimal microbenchmark harness for the `benches/` targets.
+//!
+//! The workspace builds without external crates, so the `[[bench]]`
+//! targets (all `harness = false`) drive this instead of a benchmarking
+//! framework. The protocol is deliberately simple and deterministic in
+//! shape: calibrate an iteration count so one batch lands near a fixed
+//! time slice, run a handful of batches, and report the median
+//! nanoseconds per iteration (median over batches is robust to scheduler
+//! noise without discarding data).
+//!
+//! Budget knob: `SWOPE_MICRO_MS` sets the per-benchmark time budget in
+//! milliseconds (default 200). CI smoke runs can set it to 1.
+
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; re-exported so benches don't reach into
+/// `std::hint` themselves.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+const BATCHES: usize = 7;
+
+fn budget() -> Duration {
+    let ms =
+        std::env::var("SWOPE_MICRO_MS").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(200);
+    Duration::from_millis(ms.max(1))
+}
+
+/// A named group of related benchmarks, printed with a shared prefix.
+pub struct Group {
+    name: String,
+    budget: Duration,
+}
+
+impl Group {
+    /// Starts a group; prints a header line.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        println!("\n== {name} ==");
+        Self { name, budget: budget() }
+    }
+
+    /// Benchmarks `f`, timing whole batches of calls.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        // Calibrate: how many calls fit in one batch slice?
+        let slice = self.budget / BATCHES as u32;
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (slice.as_nanos() / once.as_nanos()).clamp(1, 1 << 24) as usize;
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(BATCHES);
+        let mut total_iters = 0usize;
+        for _ in 0..BATCHES {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+            total_iters += iters;
+        }
+        self.report(name, &mut per_iter_ns, total_iters);
+    }
+
+    /// Benchmarks `f` with a fresh `setup()` value per call; only `f` is
+    /// timed, so benches can consume their input without paying for its
+    /// construction.
+    pub fn bench_with_setup<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> T,
+    ) {
+        let slice = self.budget / BATCHES as u32;
+        let s = setup();
+        let t0 = Instant::now();
+        black_box(f(s));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (slice.as_nanos() / once.as_nanos()).clamp(1, 1 << 16) as usize;
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(BATCHES);
+        let mut total_iters = 0usize;
+        for _ in 0..BATCHES {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters {
+                let s = setup();
+                let t0 = Instant::now();
+                black_box(f(s));
+                timed += t0.elapsed();
+            }
+            per_iter_ns.push(timed.as_nanos() as f64 / iters as f64);
+            total_iters += iters;
+        }
+        self.report(name, &mut per_iter_ns, total_iters);
+    }
+
+    fn report(&self, name: &str, per_iter_ns: &mut [f64], total_iters: usize) {
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let min = per_iter_ns[0];
+        println!(
+            "{}/{name:<32} median {:>12}  min {:>12}  ({total_iters} iters)",
+            self.name,
+            pretty_ns(median),
+            pretty_ns(min),
+        );
+    }
+}
+
+fn pretty_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_ns_picks_unit() {
+        assert_eq!(pretty_ns(12.0), "12.0 ns");
+        assert_eq!(pretty_ns(12_500.0), "12.50 µs");
+        assert_eq!(pretty_ns(3_000_000.0), "3.00 ms");
+        assert_eq!(pretty_ns(2.5e9), "2.500 s");
+    }
+
+    #[test]
+    fn bench_runs_and_counts() {
+        // Keep it fast regardless of the env knob.
+        let mut g = Group { name: "t".into(), budget: Duration::from_millis(2) };
+        let mut calls = 0u64;
+        g.bench("noop", || calls += 1);
+        assert!(calls > 0);
+        let mut setups = 0u64;
+        g.bench_with_setup("setup", || setups += 1, |_| ());
+        assert!(setups > 0);
+    }
+}

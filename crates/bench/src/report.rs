@@ -4,18 +4,26 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
 
+use swope_obs::json::ObjectWriter;
+use swope_obs::Phase;
+
 use crate::Row;
 
 /// Serializes rows as CSV (header + one line per row).
 pub fn to_csv(rows: &[Row]) -> String {
-    let mut out = String::from(
-        "experiment,dataset,algo,param,millis,accuracy,sample_size,rows_scanned\n",
-    );
+    let mut out =
+        String::from("experiment,dataset,algo,param,millis,accuracy,sample_size,rows_scanned\n");
     for r in rows {
         let _ = writeln!(
             out,
             "{},{},{},{},{:.4},{:.6},{},{}",
-            r.experiment, r.dataset, r.algo, r.param, r.millis, r.accuracy, r.sample_size,
+            r.experiment,
+            r.dataset,
+            r.algo,
+            r.param,
+            r.millis,
+            r.accuracy,
+            r.sample_size,
             r.rows_scanned
         );
     }
@@ -28,6 +36,41 @@ pub fn write_csv(rows: &[Row], out_dir: &Path, experiment: &str) -> std::io::Res
     let path = out_dir.join(format!("{experiment}.csv"));
     let mut f = std::fs::File::create(path)?;
     f.write_all(to_csv(rows).as_bytes())
+}
+
+/// Serializes rows as a JSON array, one object per row.
+///
+/// Unlike the CSV (kept stable for existing plotting scripts), the JSON
+/// report carries the per-phase wall-clock breakdown as `<phase>_ns`
+/// fields — zeros for algorithms without an adaptive loop.
+pub fn to_json(rows: &[Row]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(if i == 0 { "\n  " } else { ",\n  " });
+        let mut w = ObjectWriter::new();
+        w.str_field("experiment", &r.experiment)
+            .str_field("dataset", &r.dataset)
+            .str_field("algo", &r.algo)
+            .f64_field("param", r.param)
+            .f64_field("millis", r.millis)
+            .f64_field("accuracy", r.accuracy)
+            .usize_field("sample_size", r.sample_size)
+            .u64_field("rows_scanned", r.rows_scanned);
+        for p in Phase::ALL {
+            w.u64_field(&format!("{}_ns", p.name()), r.phase_ns[p.index()]);
+        }
+        out.push_str(&w.finish());
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Writes rows to `<out_dir>/<experiment>.json`, creating the directory.
+pub fn write_json(rows: &[Row], out_dir: &Path, experiment: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("{experiment}.json"));
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json(rows).as_bytes())
 }
 
 /// Renders a paper-style console table: one line per (dataset, param),
@@ -58,11 +101,8 @@ pub fn series_table(
     }
     let _ = writeln!(out);
     for ds in &datasets {
-        let mut params: Vec<f64> = rows
-            .iter()
-            .filter(|r| &r.dataset == ds)
-            .map(|r| r.param)
-            .collect();
+        let mut params: Vec<f64> =
+            rows.iter().filter(|r| &r.dataset == ds).map(|r| r.param).collect();
         params.sort_by(|a, b| a.partial_cmp(b).unwrap());
         params.dedup();
         for p in params {
@@ -101,6 +141,7 @@ mod tests {
             accuracy: 1.0,
             sample_size: 100,
             rows_scanned: 1000,
+            phase_ns: [0; 4],
         }
     }
 
@@ -132,6 +173,34 @@ mod tests {
         let rows = vec![row("cdc", "SWOPE", 1.0, 2.0), row("hus", "Exact", 1.0, 9.0)];
         let t = series_table(&rows, |r| r.millis, "time", "k");
         assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let mut r = row("cdc", "SWOPE", 1.0, 2.5);
+        r.phase_ns = [10, 20, 30, 40];
+        let text = to_json(&[r, row("hus", "Exact", 2.0, 9.0)]);
+        let parsed = swope_obs::json::Json::parse(&text).unwrap();
+        let arr = match parsed {
+            swope_obs::json::Json::Arr(items) => items,
+            other => panic!("not an array: {other:?}"),
+        };
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("dataset").unwrap().as_str(), Some("cdc"));
+        assert_eq!(arr[0].get("millis").unwrap().as_f64(), Some(2.5));
+        assert_eq!(arr[0].get("sample_grow_ns").unwrap().as_u64(), Some(10));
+        assert_eq!(arr[0].get("decide_ns").unwrap().as_u64(), Some(40));
+        // Baseline rows carry zeroed phase fields, not missing ones.
+        assert_eq!(arr[1].get("ingest_ns").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let dir = std::env::temp_dir().join("swope-bench-json-test");
+        write_json(&[row("cdc", "SWOPE", 1.0, 2.0)], &dir, "figJ").unwrap();
+        let content = std::fs::read_to_string(dir.join("figJ.json")).unwrap();
+        assert!(swope_obs::json::Json::parse(&content).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -25,7 +25,11 @@ common options:
   --seed <u64>              sampling / generation seed
   --max-support <n>         drop columns with support above this (default 1000)
   --scale <f>               row scale for `gen` (default 0.01)
-  --rows <n> --cols <n>     shape for `gen tiny`";
+  --rows <n> --cols <n>     shape for `gen tiny`
+
+observability (swope algo only):
+  --events-out <path>       write per-query observer events as JSON lines
+  --metrics                 print a metrics summary table after the query";
 
 /// Which algorithm a query should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,6 +74,10 @@ pub struct Options {
     pub cols: Option<usize>,
     /// `--out` (gen).
     pub out: Option<String>,
+    /// `--events-out`: JSONL observer event sink path.
+    pub events_out: Option<String>,
+    /// `--metrics`: print a metrics summary after the query.
+    pub metrics: bool,
 }
 
 /// Parses everything after the command word.
@@ -90,6 +98,8 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--rows" => o.rows = Some(value(args, &mut i, "--rows")?),
             "--cols" => o.cols = Some(value(args, &mut i, "--cols")?),
             "--out" => o.out = Some(raw_value(args, &mut i, "--out")?),
+            "--events-out" => o.events_out = Some(raw_value(args, &mut i, "--events-out")?),
+            "--metrics" => o.metrics = true,
             "--algo" => {
                 let v = raw_value(args, &mut i, "--algo")?;
                 o.algo = match v.as_str() {
@@ -111,9 +121,7 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
 
 fn raw_value(args: &[String], i: &mut usize, name: &str) -> Result<String, String> {
     *i += 1;
-    args.get(*i)
-        .cloned()
-        .ok_or_else(|| format!("{name} requires a value"))
+    args.get(*i).cloned().ok_or_else(|| format!("{name} requires a value"))
 }
 
 fn value<T: std::str::FromStr>(args: &[String], i: &mut usize, name: &str) -> Result<T, String> {
@@ -163,6 +171,17 @@ mod tests {
         assert_eq!(o.cols, Some(8));
         assert_eq!(o.out.as_deref(), Some("t.swop"));
         assert_eq!(o.scale, Some(0.5));
+    }
+
+    #[test]
+    fn observability_flags() {
+        let o = parse(&["d.swop", "-k", "2", "--events-out", "ev.jsonl", "--metrics"]).unwrap();
+        assert_eq!(o.events_out.as_deref(), Some("ev.jsonl"));
+        assert!(o.metrics);
+        assert!(parse(&["--events-out"]).is_err());
+        let o = parse(&["d.swop"]).unwrap();
+        assert!(o.events_out.is_none());
+        assert!(!o.metrics);
     }
 
     #[test]

@@ -1,17 +1,70 @@
 //! Command implementations.
 
+use std::fs::File;
+use std::io::BufWriter;
 use swope_baselines::{
-    entropy_filter_exact_sampling, entropy_rank_top_k, exact_entropy_filter,
-    exact_entropy_top_k, exact_mi_filter, exact_mi_top_k, mi_filter_exact_sampling,
-    mi_rank_top_k,
+    entropy_filter_exact_sampling, entropy_rank_top_k, exact_entropy_filter, exact_entropy_top_k,
+    exact_mi_filter, exact_mi_top_k, mi_filter_exact_sampling, mi_rank_top_k,
 };
+
 use swope_columnar::{csv, snapshot, stats, Dataset};
 use swope_core::{
-    entropy_filter, entropy_profile, entropy_top_k, mi_filter, mi_profile, mi_top_k, AttrScore,
-    FilterResult, ProfileResult, SwopeConfig, TopKResult,
+    entropy_filter_observed, entropy_profile_observed, entropy_top_k, entropy_top_k_observed,
+    mi_filter_observed, mi_profile_observed, mi_top_k_observed, AttrScore, ComposedObserver,
+    FilterResult, JsonlSink, MetricsRegistry, ProfileResult, SwopeConfig, TopKResult,
 };
 
 use crate::args::{parse_options, Algo, Options};
+
+/// Per-command observability wiring for `--events-out` / `--metrics`.
+///
+/// Both sinks are optional; with neither flag the composed observer
+/// reports itself disabled and the query runs the zero-overhead path.
+struct Observability {
+    sink: Option<JsonlSink<BufWriter<File>>>,
+    metrics: Option<MetricsRegistry>,
+}
+
+impl Observability {
+    fn from_opts(opts: &Options) -> Result<Self, String> {
+        let sink = match opts.events_out.as_deref() {
+            Some(path) => {
+                Some(JsonlSink::create(path).map_err(|e| format!("opening {path}: {e}"))?)
+            }
+            None => None,
+        };
+        let metrics = opts.metrics.then(MetricsRegistry::new);
+        if (sink.is_some() || metrics.is_some()) && opts.algo != Algo::Swope {
+            eprintln!("note: --events-out/--metrics only instrument the swope algorithm");
+        }
+        Ok(Self { sink, metrics })
+    }
+
+    /// A composed observer borrowing both sinks. The JSONL half is taken
+    /// by `&mut` (it buffers a writer); the metrics half is all-atomic
+    /// and observes through a shared reference.
+    fn observer(
+        &mut self,
+    ) -> ComposedObserver<&mut Option<JsonlSink<BufWriter<File>>>, Option<&MetricsRegistry>> {
+        ComposedObserver::new(&mut self.sink, self.metrics.as_ref())
+    }
+
+    /// Flushes the event sink (surfacing any sticky I/O error) and prints
+    /// the metrics table.
+    fn finish(self) -> Result<(), String> {
+        if let Some(sink) = self.sink {
+            sink.finish().map_err(|e| format!("writing events: {e}"))?;
+        }
+        if let Some(metrics) = self.metrics {
+            println!(
+                "
+{}",
+                metrics.render_table()
+            );
+        }
+        Ok(())
+    }
+}
 
 /// Dispatches a full argv (after the binary name).
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -40,10 +93,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
 /// Loads a dataset by extension (`.swop` snapshot or CSV otherwise) and
 /// applies the support cap.
 fn load(opts: &Options) -> Result<Dataset, String> {
-    let path = opts
-        .positional
-        .first()
-        .ok_or("expected a dataset file argument")?;
+    let path = opts.positional.first().ok_or("expected a dataset file argument")?;
     let ds = if path.ends_with(".swop") {
         snapshot::read_file(path).map_err(|e| format!("loading {path}: {e}"))?
     } else {
@@ -53,10 +103,7 @@ fn load(opts: &Options) -> Result<Dataset, String> {
     let cap = opts.max_support.unwrap_or(1000);
     let (capped, kept) = ds.cap_support(cap);
     if kept.len() < ds.num_attrs() {
-        eprintln!(
-            "note: dropped {} column(s) with support > {cap}",
-            ds.num_attrs() - kept.len()
-        );
+        eprintln!("note: dropped {} column(s) with support > {cap}", ds.num_attrs() - kept.len());
     }
     Ok(capped)
 }
@@ -91,10 +138,7 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
         "rows: {}   columns: {}   max support: {}",
         summary.rows, summary.columns, summary.max_support
     );
-    println!(
-        "{:<24} {:>8} {:>10} {:>10} {:>8}",
-        "column", "support", "distinct", "mode", "mode%"
-    );
+    println!("{:<24} {:>8} {:>10} {:>10} {:>8}", "column", "support", "distinct", "mode", "mode%");
     for s in stats::dataset_stats(&ds) {
         println!(
             "{:<24} {:>8} {:>10} {:>10} {:>7.1}%",
@@ -111,82 +155,89 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
 fn cmd_entropy_topk(opts: &Options) -> Result<(), String> {
     let ds = load(opts)?;
     let k = opts.k.ok_or("-k is required")?;
+    let mut obs = Observability::from_opts(opts)?;
     let result = match opts.algo {
-        Algo::Swope => entropy_top_k(&ds, k, &query_config(opts, 0.1)),
+        Algo::Swope => {
+            entropy_top_k_observed(&ds, k, &query_config(opts, 0.1), &mut obs.observer())
+        }
         Algo::Rank => entropy_rank_top_k(&ds, k, &query_config(opts, 0.1)),
         Algo::Exact => exact_entropy_top_k(&ds, k),
     }
     .map_err(|e| e.to_string())?;
     print_topk("entropy", &result);
-    Ok(())
+    obs.finish()
 }
 
 fn cmd_entropy_filter(opts: &Options) -> Result<(), String> {
     let ds = load(opts)?;
     let eta = opts.eta.ok_or("--eta is required")?;
+    let mut obs = Observability::from_opts(opts)?;
     let result = match opts.algo {
-        Algo::Swope => entropy_filter(&ds, eta, &query_config(opts, 0.05)),
+        Algo::Swope => {
+            entropy_filter_observed(&ds, eta, &query_config(opts, 0.05), &mut obs.observer())
+        }
         Algo::Rank => entropy_filter_exact_sampling(&ds, eta, &query_config(opts, 0.05)),
         Algo::Exact => exact_entropy_filter(&ds, eta),
     }
     .map_err(|e| e.to_string())?;
     print_filter("entropy", eta, &result);
-    Ok(())
+    obs.finish()
 }
 
 fn cmd_mi_topk(opts: &Options) -> Result<(), String> {
     let ds = load(opts)?;
     let k = opts.k.ok_or("-k is required")?;
     let target = resolve_target(&ds, opts)?;
+    let mut obs = Observability::from_opts(opts)?;
     let result = match opts.algo {
-        Algo::Swope => mi_top_k(&ds, target, k, &query_config(opts, 0.5)),
+        Algo::Swope => {
+            mi_top_k_observed(&ds, target, k, &query_config(opts, 0.5), &mut obs.observer())
+        }
         Algo::Rank => mi_rank_top_k(&ds, target, k, &query_config(opts, 0.5)),
         Algo::Exact => exact_mi_top_k(&ds, target, k),
     }
     .map_err(|e| e.to_string())?;
-    println!(
-        "target: {} ({})",
-        ds.schema().field(target).map(|f| f.name()).unwrap_or("?"),
-        target
-    );
+    println!("target: {} ({})", ds.schema().field(target).map(|f| f.name()).unwrap_or("?"), target);
     print_topk("mutual information", &result);
-    Ok(())
+    obs.finish()
 }
 
 fn cmd_mi_filter(opts: &Options) -> Result<(), String> {
     let ds = load(opts)?;
     let eta = opts.eta.ok_or("--eta is required")?;
     let target = resolve_target(&ds, opts)?;
+    let mut obs = Observability::from_opts(opts)?;
     let result = match opts.algo {
-        Algo::Swope => mi_filter(&ds, target, eta, &query_config(opts, 0.5)),
+        Algo::Swope => {
+            mi_filter_observed(&ds, target, eta, &query_config(opts, 0.5), &mut obs.observer())
+        }
         Algo::Rank => mi_filter_exact_sampling(&ds, target, eta, &query_config(opts, 0.5)),
         Algo::Exact => exact_mi_filter(&ds, target, eta),
     }
     .map_err(|e| e.to_string())?;
     print_filter("mutual information", eta, &result);
-    Ok(())
+    obs.finish()
 }
 
 fn cmd_entropy_profile(opts: &Options) -> Result<(), String> {
     let ds = load(opts)?;
-    let result = entropy_profile(&ds, 0.05, &query_config(opts, 0.1))
+    let mut obs = Observability::from_opts(opts)?;
+    let result = entropy_profile_observed(&ds, 0.05, &query_config(opts, 0.1), &mut obs.observer())
         .map_err(|e| e.to_string())?;
     print_profile("entropy", &result);
-    Ok(())
+    obs.finish()
 }
 
 fn cmd_mi_profile(opts: &Options) -> Result<(), String> {
     let ds = load(opts)?;
     let target = resolve_target(&ds, opts)?;
-    let result = mi_profile(&ds, target, 0.05, &query_config(opts, 0.5))
-        .map_err(|e| e.to_string())?;
-    println!(
-        "target: {} ({})",
-        ds.schema().field(target).map(|f| f.name()).unwrap_or("?"),
-        target
-    );
+    let mut obs = Observability::from_opts(opts)?;
+    let result =
+        mi_profile_observed(&ds, target, 0.05, &query_config(opts, 0.5), &mut obs.observer())
+            .map_err(|e| e.to_string())?;
+    println!("target: {} ({})", ds.schema().field(target).map(|f| f.name()).unwrap_or("?"), target);
     print_profile("mutual information", &result);
-    Ok(())
+    obs.finish()
 }
 
 fn print_profile(kind: &str, result: &ProfileResult) {
@@ -216,8 +267,7 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
     let exact = exact_entropy_top_k(&ds, k).map_err(|e| e.to_string())?;
     let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    let exact_set: std::collections::HashSet<usize> =
-        exact.attr_indices().into_iter().collect();
+    let exact_set: std::collections::HashSet<usize> = exact.attr_indices().into_iter().collect();
     let hits = swope.attr_indices().iter().filter(|a| exact_set.contains(a)).count();
 
     println!("entropy top-{k} comparison (epsilon = {}):", cfg.epsilon);
@@ -227,17 +277,10 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
         ds.num_rows()
     );
     println!("  Exact: {exact_ms:.2} ms (full scan)");
-    println!(
-        "  speedup: {:.1}x   agreement: {hits}/{k} attributes",
-        exact_ms / swope_ms.max(1e-9)
-    );
+    println!("  speedup: {:.1}x   agreement: {hits}/{k} attributes", exact_ms / swope_ms.max(1e-9));
     println!("\n{:<6} {:<24} {:>10} {:>10}", "attr", "name", "SWOPE est", "exact");
     for s in &swope.top {
-        let exact_score = exact
-            .top
-            .iter()
-            .find(|e| e.attr == s.attr)
-            .map(|e| e.estimate);
+        let exact_score = exact.top.iter().find(|e| e.attr == s.attr).map(|e| e.estimate);
         println!(
             "{:<6} {:<24} {:>10.4} {:>10}",
             s.attr,
@@ -266,11 +309,7 @@ fn cmd_drift(opts: &Options) -> Result<(), String> {
     let a = load_one(a_path)?;
     let b = load_one(b_path)?;
     if a.num_attrs() != b.num_attrs() {
-        return Err(format!(
-            "attribute counts differ: {} vs {}",
-            a.num_attrs(),
-            b.num_attrs()
-        ));
+        return Err(format!("attribute counts differ: {} vs {}", a.num_attrs(), b.num_attrs()));
     }
     println!("{:<24} {:>12} {:>10}", "attribute", "JS distance", "verdict");
     for attr in 0..a.num_attrs() {
@@ -295,30 +334,21 @@ fn cmd_drift(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_gen(opts: &Options) -> Result<(), String> {
-    let profile_name = opts
-        .positional
-        .first()
-        .ok_or("expected a profile name (cdc hus pus enem tiny)")?;
+    let profile_name =
+        opts.positional.first().ok_or("expected a profile name (cdc hus pus enem tiny)")?;
     let scale = opts.scale.unwrap_or(0.01);
     let profile = match profile_name.as_str() {
         "cdc" => swope_datagen::corpus::cdc(scale),
         "hus" => swope_datagen::corpus::hus(scale),
         "pus" => swope_datagen::corpus::pus(scale),
         "enem" => swope_datagen::corpus::enem(scale),
-        "tiny" => {
-            swope_datagen::corpus::tiny(opts.rows.unwrap_or(10_000), opts.cols.unwrap_or(20))
-        }
+        "tiny" => swope_datagen::corpus::tiny(opts.rows.unwrap_or(10_000), opts.cols.unwrap_or(20)),
         other => return Err(format!("unknown profile {other:?}")),
     };
     let out = opts.out.as_deref().ok_or("--out is required")?;
     let ds = swope_datagen::generate(&profile, opts.seed.unwrap_or(0x5170));
     write_dataset(&ds, out)?;
-    println!(
-        "wrote {} ({} rows x {} columns)",
-        out,
-        ds.num_rows(),
-        ds.num_attrs()
-    );
+    println!("wrote {} ({} rows x {} columns)", out, ds.num_rows(), ds.num_attrs());
     Ok(())
 }
 
@@ -340,9 +370,8 @@ fn write_dataset(ds: &Dataset, path: &str) -> Result<(), String> {
     if path.ends_with(".swop") {
         snapshot::write_file(ds, path).map_err(|e| e.to_string())
     } else {
-        let mut f = std::io::BufWriter::new(
-            std::fs::File::create(path).map_err(|e| e.to_string())?,
-        );
+        let mut f =
+            std::io::BufWriter::new(std::fs::File::create(path).map_err(|e| e.to_string())?);
         csv::write_csv(ds, &mut f).map_err(|e| e.to_string())
     }
 }

@@ -4,10 +4,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn swope(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_swope"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_swope")).args(args).output().expect("binary runs")
 }
 
 fn tmp(name: &str) -> PathBuf {
@@ -93,7 +90,8 @@ fn convert_round_trips_csv_and_snapshot() {
 #[test]
 fn missing_required_options_error_cleanly() {
     let path = tmp("missing.swop");
-    let o = swope(&["gen", "tiny", "--rows", "100", "--cols", "4", "--out", path.to_str().unwrap()]);
+    let o =
+        swope(&["gen", "tiny", "--rows", "100", "--cols", "4", "--out", path.to_str().unwrap()]);
     assert!(o.status.success());
     let p = path.to_str().unwrap();
 
@@ -119,6 +117,53 @@ fn target_by_name_resolves() {
     assert!(stdout(&o).contains("target: label"));
     let o = swope(&["mi-topk", path.to_str().unwrap(), "--target", "nope", "-k", "1"]);
     assert!(!o.status.success());
+}
+
+#[test]
+fn events_out_and_metrics_produce_observability_output() {
+    let path = tmp("observed.swop");
+    let p = path.to_str().unwrap();
+    let o = swope(&["gen", "tiny", "--rows", "4000", "--cols", "8", "--out", p]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    let events = tmp("observed.jsonl");
+    let e = events.to_str().unwrap();
+    let o = swope(&["entropy-topk", p, "-k", "3", "--events-out", e, "--metrics"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    // Metrics summary rendered after the query output.
+    let out = stdout(&o);
+    assert!(out.contains("rows_scanned_total"), "{out}");
+
+    // The event log is JSONL: every line parses, lifecycle is complete.
+    let log = std::fs::read_to_string(&events).unwrap();
+    let lines: Vec<&str> = log.lines().collect();
+    assert!(lines.len() >= 3, "expected a lifecycle, got {} lines", lines.len());
+    for l in &lines {
+        assert!(l.starts_with('{') && l.ends_with('}'), "not a JSON object: {l}");
+    }
+    assert!(lines[0].contains("\"event\":\"query_start\""));
+    assert!(lines.last().unwrap().contains("\"event\":\"query_end\""));
+    assert!(log.contains("\"event\":\"attr_retired\""));
+
+    // MI loops go through the same plumbing.
+    let o = swope(&["mi-topk", p, "--target", "0", "-k", "2", "--metrics"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("queries_total"));
+
+    // Non-swope algorithms don't run the adaptive loop; flags warn, not fail.
+    let o = swope(&["entropy-topk", p, "-k", "3", "--algo", "exact", "--metrics"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+}
+
+#[test]
+fn events_out_unwritable_path_errors() {
+    let path = tmp("observed_err.swop");
+    let p = path.to_str().unwrap();
+    let o = swope(&["gen", "tiny", "--rows", "500", "--cols", "4", "--out", p]);
+    assert!(o.status.success());
+    let o = swope(&["entropy-topk", p, "-k", "2", "--events-out", "/no/such/dir/x.jsonl"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("error"));
 }
 
 #[test]

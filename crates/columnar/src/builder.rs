@@ -49,10 +49,7 @@ impl DatasetBuilder {
     /// Appends one row of raw values. The row length must match the schema.
     pub fn push_row<S: AsRef<str>>(&mut self, values: &[S]) -> Result<(), ColumnarError> {
         if values.len() != self.names.len() {
-            return Err(ColumnarError::RowArity {
-                expected: self.names.len(),
-                got: values.len(),
-            });
+            return Err(ColumnarError::RowArity { expected: self.names.len(), got: values.len() });
         }
         for (i, v) in values.iter().enumerate() {
             let code = self.dictionaries[i].intern(v.as_ref());

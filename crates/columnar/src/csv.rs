@@ -33,9 +33,7 @@ pub fn read_csv<R: Read>(reader: R, options: &CsvOptions) -> Result<Dataset, Col
 
     let first = match lines.next_record()? {
         Some(r) => r,
-        None => {
-            return Err(ColumnarError::Csv { line: 1, message: "empty document".into() })
-        }
+        None => return Err(ColumnarError::Csv { line: 1, message: "empty document".into() }),
     };
     line_no += 1;
 
@@ -66,7 +64,10 @@ pub fn read_csv<R: Read>(reader: R, options: &CsvOptions) -> Result<Dataset, Col
 }
 
 /// Reads a CSV file at `path` into a [`Dataset`].
-pub fn read_csv_file(path: impl AsRef<Path>, options: &CsvOptions) -> Result<Dataset, ColumnarError> {
+pub fn read_csv_file(
+    path: impl AsRef<Path>,
+    options: &CsvOptions,
+) -> Result<Dataset, ColumnarError> {
     let file = std::fs::File::open(path)?;
     read_csv(file, options)
 }
@@ -74,7 +75,10 @@ pub fn read_csv_file(path: impl AsRef<Path>, options: &CsvOptions) -> Result<Dat
 /// Writes `dataset` as CSV (header + decoded values) to `writer`.
 ///
 /// Fields with no dictionary are written as their numeric codes.
-pub fn write_csv<W: std::io::Write>(dataset: &Dataset, writer: &mut W) -> Result<(), ColumnarError> {
+pub fn write_csv<W: std::io::Write>(
+    dataset: &Dataset,
+    writer: &mut W,
+) -> Result<(), ColumnarError> {
     let schema = dataset.schema();
     let header: Vec<&str> = schema.fields().iter().map(|f| f.name()).collect();
     writeln!(writer, "{}", header.join(","))?;
@@ -118,10 +122,9 @@ fn push_escaped(buf: &mut String, raw: &str) {
 
 fn arity_to_csv(e: ColumnarError, line: usize) -> ColumnarError {
     match e {
-        ColumnarError::RowArity { expected, got } => ColumnarError::Csv {
-            line,
-            message: format!("expected {expected} fields, found {got}"),
-        },
+        ColumnarError::RowArity { expected, got } => {
+            ColumnarError::Csv { line, message: format!("expected {expected} fields, found {got}") }
+        }
         other => other,
     }
 }
@@ -207,7 +210,10 @@ impl<R: BufRead> RecordReader<R> {
             }
         }
         if in_quotes {
-            return Err(ColumnarError::Csv { line: self.line, message: "unterminated quote".into() });
+            return Err(ColumnarError::Csv {
+                line: self.line,
+                message: "unterminated quote".into(),
+            });
         }
         fields.push(field);
         Ok(fields)

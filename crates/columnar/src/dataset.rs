@@ -61,10 +61,9 @@ impl Dataset {
 
     /// The column for attribute `attr`, or an error if out of range.
     pub fn try_column(&self, attr: AttrIndex) -> Result<&Column, ColumnarError> {
-        self.columns.get(attr).ok_or(ColumnarError::AttrOutOfRange {
-            index: attr,
-            num_attrs: self.columns.len(),
-        })
+        self.columns
+            .get(attr)
+            .ok_or(ColumnarError::AttrOutOfRange { index: attr, num_attrs: self.columns.len() })
     }
 
     /// The support size `u_alpha` of attribute `attr`.
@@ -74,9 +73,7 @@ impl Dataset {
 
     /// Resolves an attribute name to its index.
     pub fn attr_index(&self, name: &str) -> Result<AttrIndex, ColumnarError> {
-        self.schema
-            .index_of(name)
-            .ok_or_else(|| ColumnarError::UnknownAttr(name.to_owned()))
+        self.schema.index_of(name).ok_or_else(|| ColumnarError::UnknownAttr(name.to_owned()))
     }
 
     /// Returns a dataset containing only the attributes at `indices`.
@@ -103,9 +100,8 @@ impl Dataset {
     /// they are usually not the preferred attributes for downstream data
     /// mining tasks" (§6.1).
     pub fn cap_support(&self, cap: u32) -> (Dataset, Vec<AttrIndex>) {
-        let kept: Vec<AttrIndex> = (0..self.num_attrs())
-            .filter(|&i| self.columns[i].support() <= cap)
-            .collect();
+        let kept: Vec<AttrIndex> =
+            (0..self.num_attrs()).filter(|&i| self.columns[i].support() <= cap).collect();
         let ds = self.project(&kept).expect("indices derived from self are valid");
         (ds, kept)
     }
@@ -202,23 +198,14 @@ mod tests {
     #[test]
     fn construction_validates_shape() {
         let schema = Schema::new(vec![Field::new("x", 3)]);
-        let cols = vec![
-            Column::new(vec![0, 1], 3).unwrap(),
-            Column::new(vec![0], 2).unwrap(),
-        ];
-        assert!(matches!(
-            Dataset::new(schema, cols),
-            Err(ColumnarError::RaggedColumns)
-        ));
+        let cols = vec![Column::new(vec![0, 1], 3).unwrap(), Column::new(vec![0], 2).unwrap()];
+        assert!(matches!(Dataset::new(schema, cols), Err(ColumnarError::RaggedColumns)));
     }
 
     #[test]
     fn construction_rejects_ragged_rows() {
         let schema = Schema::new(vec![Field::new("x", 3), Field::new("y", 2)]);
-        let cols = vec![
-            Column::new(vec![0, 1, 2], 3).unwrap(),
-            Column::new(vec![0], 2).unwrap(),
-        ];
+        let cols = vec![Column::new(vec![0, 1, 2], 3).unwrap(), Column::new(vec![0], 2).unwrap()];
         assert!(Dataset::new(schema, cols).is_err());
     }
 
@@ -295,10 +282,7 @@ mod tests {
         let schema = Schema::new(vec![Field::new("x", 3), Field::new("z", 2)]);
         let renamed = Dataset::new(
             schema,
-            vec![
-                Column::new(vec![0], 3).unwrap(),
-                Column::new(vec![0], 2).unwrap(),
-            ],
+            vec![Column::new(vec![0], 3).unwrap(), Column::new(vec![0], 2).unwrap()],
         )
         .unwrap();
         assert!(a.concat(&renamed).is_err());

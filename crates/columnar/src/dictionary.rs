@@ -35,10 +35,7 @@ impl Dictionary {
 
     /// Creates an empty dictionary with space reserved for `n` distinct values.
     pub fn with_capacity(n: usize) -> Self {
-        Self {
-            by_value: HashMap::with_capacity(n),
-            by_code: Vec::with_capacity(n),
-        }
+        Self { by_value: HashMap::with_capacity(n), by_code: Vec::with_capacity(n) }
     }
 
     /// Returns the code for `value`, inserting it if unseen.
@@ -74,10 +71,7 @@ impl Dictionary {
 
     /// Iterates over `(code, value)` pairs in code order.
     pub fn iter(&self) -> impl Iterator<Item = (Code, &str)> {
-        self.by_code
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i as Code, v.as_str()))
+        self.by_code.iter().enumerate().map(|(i, v)| (i as Code, v.as_str()))
     }
 
     /// Rebuilds a dictionary from its code-ordered value list.

@@ -54,10 +54,9 @@ impl fmt::Display for ColumnarError {
                 write!(f, "attribute index {index} out of range (dataset has {num_attrs})")
             }
             Self::UnknownAttr(name) => write!(f, "unknown attribute name {name:?}"),
-            Self::CodeOutOfRange { attr, code, support } => write!(
-                f,
-                "attribute {attr} contains code {code} outside its support 0..{support}"
-            ),
+            Self::CodeOutOfRange { attr, code, support } => {
+                write!(f, "attribute {attr} contains code {code} outside its support 0..{support}")
+            }
             Self::RaggedColumns => write!(f, "columns have differing row counts"),
             Self::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
             Self::Snapshot(msg) => write!(f, "snapshot error: {msg}"),

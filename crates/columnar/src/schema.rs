@@ -95,11 +95,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Schema {
-        Schema::new(vec![
-            Field::new("a", 4),
-            Field::new("b", 10),
-            Field::new("c", 2),
-        ])
+        Schema::new(vec![Field::new("a", 4), Field::new("b", 10), Field::new("c", 2)])
     }
 
     #[test]

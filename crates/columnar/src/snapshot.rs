@@ -18,13 +18,12 @@
 //! ```
 //!
 //! The format is self-describing enough for version checks and cheap to
-//! write/read with [`bytes`]. Large datasets (tens of millions of rows)
-//! serialize at memcpy-like speed since codes are written as one `u32` run.
+//! write/read with plain little-endian byte pushes over a `Vec<u8>`.
+//! Large datasets (tens of millions of rows) serialize at memcpy-like
+//! speed since codes are written as one `u32` run.
 
 use std::io::{Read, Write};
 use std::path::Path;
-
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::{Column, ColumnarError, Dataset, Dictionary, Field, Schema};
 
@@ -32,36 +31,36 @@ const MAGIC: &[u8; 4] = b"SWOP";
 const VERSION: u16 = 1;
 
 /// Serializes `dataset` into a byte buffer.
-pub fn encode(dataset: &Dataset) -> Bytes {
+pub fn encode(dataset: &Dataset) -> Vec<u8> {
     let h = dataset.num_attrs();
     let n = dataset.num_rows();
     // Rough pre-size: header + columns.
-    let mut buf = BytesMut::with_capacity(64 + h * 32 + h * n * 4);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u16_le(0);
-    buf.put_u32_le(h as u32);
-    buf.put_u64_le(n as u64);
+    let mut buf = Vec::with_capacity(64 + h * 32 + h * n * 4);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&0u16.to_le_bytes());
+    buf.extend_from_slice(&(h as u32).to_le_bytes());
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
     for field in dataset.schema().fields() {
         put_str(&mut buf, field.name());
-        buf.put_u32_le(field.support());
+        buf.extend_from_slice(&field.support().to_le_bytes());
         match field.dictionary() {
             Some(dict) => {
-                buf.put_u8(1);
-                buf.put_u32_le(dict.len() as u32);
+                buf.push(1);
+                buf.extend_from_slice(&(dict.len() as u32).to_le_bytes());
                 for (_, v) in dict.iter() {
                     put_str(&mut buf, v);
                 }
             }
-            None => buf.put_u8(0),
+            None => buf.push(0),
         }
     }
     for attr in 0..h {
         for &code in dataset.column(attr).codes() {
-            buf.put_u32_le(code);
+            buf.extend_from_slice(&code.to_le_bytes());
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserializes a dataset from `bytes`.
@@ -134,10 +133,7 @@ pub fn decode(mut bytes: &[u8]) -> Result<Dataset, ColumnarError> {
         columns.push(col);
     }
     if !buf.is_empty() {
-        return Err(ColumnarError::Snapshot(format!(
-            "{} trailing bytes after dataset",
-            buf.len()
-        )));
+        return Err(ColumnarError::Snapshot(format!("{} trailing bytes after dataset", buf.len())));
     }
     Dataset::new(Schema::new(fields), columns)
 }
@@ -167,55 +163,57 @@ pub fn read_file(path: impl AsRef<Path>) -> Result<Dataset, ColumnarError> {
     read(&mut f)
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
 }
 
+/// Splits `out.len()` bytes off the front of `buf`, erroring on underrun.
 fn take(buf: &mut &[u8], out: &mut [u8]) -> Result<(), ColumnarError> {
-    if buf.remaining() < out.len() {
+    if buf.len() < out.len() {
         return Err(truncated());
     }
-    buf.copy_to_slice(out);
+    let (head, tail) = buf.split_at(out.len());
+    out.copy_from_slice(head);
+    *buf = tail;
     Ok(())
 }
 
 fn get_u8(buf: &mut &[u8]) -> Result<u8, ColumnarError> {
-    if buf.remaining() < 1 {
-        return Err(truncated());
-    }
-    Ok(buf.get_u8())
+    let mut b = [0u8; 1];
+    take(buf, &mut b)?;
+    Ok(b[0])
 }
 
 fn get_u16(buf: &mut &[u8]) -> Result<u16, ColumnarError> {
-    if buf.remaining() < 2 {
-        return Err(truncated());
-    }
-    Ok(buf.get_u16_le())
+    let mut b = [0u8; 2];
+    take(buf, &mut b)?;
+    Ok(u16::from_le_bytes(b))
 }
 
 fn get_u32(buf: &mut &[u8]) -> Result<u32, ColumnarError> {
-    if buf.remaining() < 4 {
-        return Err(truncated());
-    }
-    Ok(buf.get_u32_le())
+    let mut b = [0u8; 4];
+    take(buf, &mut b)?;
+    Ok(u32::from_le_bytes(b))
 }
 
 fn get_u64(buf: &mut &[u8]) -> Result<u64, ColumnarError> {
-    if buf.remaining() < 8 {
-        return Err(truncated());
-    }
-    Ok(buf.get_u64_le())
+    let mut b = [0u8; 8];
+    take(buf, &mut b)?;
+    Ok(u64::from_le_bytes(b))
 }
 
 fn get_str(buf: &mut &[u8]) -> Result<String, ColumnarError> {
     let len = get_u32(buf)? as usize;
-    if buf.remaining() < len {
+    if buf.len() < len {
         return Err(truncated());
     }
-    let mut bytes = vec![0u8; len];
-    buf.copy_to_slice(&mut bytes);
-    String::from_utf8(bytes).map_err(|_| ColumnarError::Snapshot("invalid UTF-8".into()))
+    let (head, tail) = buf.split_at(len);
+    let s = std::str::from_utf8(head)
+        .map_err(|_| ColumnarError::Snapshot("invalid UTF-8".into()))?
+        .to_owned();
+    *buf = tail;
+    Ok(s)
 }
 
 fn truncated() -> ColumnarError {

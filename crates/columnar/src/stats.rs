@@ -40,11 +40,7 @@ pub fn column_stats(dataset: &Dataset, attr: AttrIndex) -> ColumnStats {
     let mode_fraction = if n == 0 { 0.0 } else { max_count as f64 / n as f64 };
     ColumnStats {
         attr,
-        name: dataset
-            .schema()
-            .field(attr)
-            .map(|f| f.name().to_owned())
-            .unwrap_or_default(),
+        name: dataset.schema().field(attr).map(|f| f.name().to_owned()).unwrap_or_default(),
         support: col.support(),
         observed_distinct,
         max_count,

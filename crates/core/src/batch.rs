@@ -18,14 +18,17 @@
 //! to running [`crate::mi_top_k`] alone, because the bounds are applied
 //! to the same (attribute, iteration) grid either way.
 
+use std::time::Instant;
+
 use swope_columnar::{AttrIndex, Code, Dataset};
 use swope_estimate::bounds::{lambda, mi_bounds, MiBounds};
 use swope_estimate::entropy::EntropyCounter;
 use swope_estimate::joint::JointEntropyCounter;
+use swope_obs::{AttrBounds, NoopObserver, Phase, QueryKind, QueryMeta, QueryObserver, RunStats};
 use swope_sampling::DoublingSchedule;
 
 use crate::parallel::for_each_mut;
-use crate::report::{AttrScore, QueryStats, TopKResult};
+use crate::report::{AttrScore, QueryStats, TopKResult, WorkKind};
 use crate::state::make_sampler;
 use crate::{SwopeConfig, SwopeError};
 
@@ -41,6 +44,10 @@ struct TargetQuery {
     /// Set when the stopping rule fires.
     result: Option<TopKResult>,
     stats: QueryStats,
+    /// Retirement events staged inside the parallel per-target pass and
+    /// drained (serially) to the observer afterwards. Only filled when an
+    /// observer is attached.
+    retired_log: Vec<(AttrIndex, f64, f64)>,
 }
 
 /// Runs the approximate MI top-k query (Algorithm 3) for every target in
@@ -60,6 +67,24 @@ pub fn mi_top_k_batch(
     targets: &[AttrIndex],
     k: usize,
     config: &SwopeConfig,
+) -> Result<Vec<TopKResult>, SwopeError> {
+    mi_top_k_batch_observed(dataset, targets, k, config, &mut NoopObserver)
+}
+
+/// [`mi_top_k_batch`] with a [`QueryObserver`] attached.
+///
+/// The batch emits one observer lifecycle for the whole run
+/// ([`QueryKind::MiTopKBatch`]): `iteration` events report the summed live
+/// candidates across unfinished targets, and `query_end` aggregates the
+/// per-target statistics. Per-target work runs inside the parallel loop,
+/// so retirement events are staged per target and emitted serially after
+/// each iteration. Results are bitwise-identical to the unobserved call.
+pub fn mi_top_k_batch_observed<O: QueryObserver>(
+    dataset: &Dataset,
+    targets: &[AttrIndex],
+    k: usize,
+    config: &SwopeConfig,
+    observer: &mut O,
 ) -> Result<Vec<TopKResult>, SwopeError> {
     config.validate()?;
     let h = dataset.num_attrs();
@@ -119,6 +144,7 @@ pub fn mi_top_k_batch(
                 bounds,
                 result: None,
                 stats: QueryStats::default(),
+                retired_log: Vec::new(),
             }
         })
         .collect();
@@ -132,12 +158,33 @@ pub fn mi_top_k_batch(
     const BLOCK_ROWS: usize = 8192;
     let mut gathered: Vec<Vec<Code>> = vec![Vec::with_capacity(BLOCK_ROWS); h];
 
+    observer.query_start(&QueryMeta {
+        kind: QueryKind::MiTopKBatch,
+        num_attrs: h,
+        num_rows: n,
+        epsilon,
+        threads: config.threads,
+    });
+    let observed = observer.enabled();
+    let phase_start = |enabled: bool| if enabled { Some(Instant::now()) } else { None };
+
+    let mut outer_iter = 0usize;
     let mut m_target = schedule.m0();
     loop {
+        outer_iter += 1;
+        let iter = outer_iter;
+        let span = phase_start(observed);
         let delta: Vec<u32> = sampler.grow_to(m_target).to_vec();
+        if let Some(s) = span {
+            observer.phase(Phase::SampleGrow, iter, s.elapsed().as_nanos() as u64);
+        }
         let m = sampler.sampled();
         let lam = lambda(m as u64, n as u64, p_prime);
+        let live: usize =
+            queries.iter().filter(|q| q.result.is_none()).map(|q| q.candidates.len()).sum();
+        observer.iteration(iter, m, live, lam);
 
+        let span = phase_start(observed);
         for block in delta.chunks(BLOCK_ROWS.max(1)) {
             for (attr, buf) in gathered.iter_mut().enumerate() {
                 let codes = dataset.column(attr).codes();
@@ -163,10 +210,13 @@ pub fn mi_top_k_batch(
                 }
             });
         }
+        if let Some(s) = span {
+            observer.phase(Phase::Ingest, iter, s.elapsed().as_nanos() as u64);
+        }
 
-        // Per-target bound refresh + stopping check (cheap arithmetic).
-        let marginal_entropies: Vec<f64> =
-            marginals.iter().map(EntropyCounter::entropy).collect();
+        // Per-target bound refresh (cheap arithmetic).
+        let span = phase_start(observed);
+        let marginal_entropies: Vec<f64> = marginals.iter().map(EntropyCounter::entropy).collect();
         for_each_mut(&mut queries, config.threads, |q| {
             if q.result.is_some() {
                 return;
@@ -174,7 +224,7 @@ pub fn mi_top_k_batch(
             let h_t = marginal_entropies[q.target];
             let u_t = dataset.support(q.target);
             q.stats.record_iteration(m, q.candidates.len(), lam);
-            q.stats.rows_scanned += (delta.len() * (q.candidates.len() + 1)) as u64;
+            q.stats.record_work(delta.len(), q.candidates.len(), WorkKind::MiSharedMarginals);
             for (idx, &attr) in q.candidates.iter().enumerate() {
                 q.bounds[idx] = mi_bounds(
                     h_t,
@@ -187,6 +237,17 @@ pub fn mi_top_k_batch(
                     p_prime,
                 );
             }
+        });
+        if let Some(s) = span {
+            observer.phase(Phase::UpdateBounds, iter, s.elapsed().as_nanos() as u64);
+        }
+
+        // Per-target stopping check + pruning.
+        let span = phase_start(observed);
+        for_each_mut(&mut queries, config.threads, |q| {
+            if q.result.is_some() {
+                return;
+            }
 
             // Top-k by upper bound among live candidates.
             let mut order: Vec<usize> = (0..q.candidates.len()).collect();
@@ -198,14 +259,17 @@ pub fn mi_top_k_batch(
                     .then(q.candidates[a].cmp(&q.candidates[b]))
             });
             let kth_upper = q.bounds[order[k - 1]].upper;
-            let b_max = order[..k]
-                .iter()
-                .map(|&i| q.bounds[i].bias_total)
-                .fold(0.0f64, f64::max);
-            let stop = kth_upper > 0.0
-                && (kth_upper - 6.0 * lam - b_max) / kth_upper >= 1.0 - epsilon;
+            let b_max = order[..k].iter().map(|&i| q.bounds[i].bias_total).fold(0.0f64, f64::max);
+            let stop =
+                kth_upper > 0.0 && (kth_upper - 6.0 * lam - b_max) / kth_upper >= 1.0 - epsilon;
             if stop || m >= n {
                 q.stats.converged_early = stop && m < n;
+                for (idx, &attr) in q.candidates.iter().enumerate() {
+                    q.stats.note_retirement(iter);
+                    if observed {
+                        q.retired_log.push((attr, q.bounds[idx].lower, q.bounds[idx].upper));
+                    }
+                }
                 let top: Vec<AttrScore> = order[..k]
                     .iter()
                     .map(|&i| AttrScore {
@@ -218,6 +282,7 @@ pub fn mi_top_k_batch(
                         estimate: q.bounds[i].point_estimate(),
                         lower: q.bounds[i].lower,
                         upper: q.bounds[i].upper,
+                        retired_iteration: iter,
                     })
                     .collect();
                 q.result = Some(TopKResult { top, stats: std::mem::take(&mut q.stats) });
@@ -233,12 +298,29 @@ pub fn mi_top_k_batch(
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
             let kth_lower = q.bounds[by_lower[k - 1]].lower;
-            let keep: Vec<bool> =
-                q.bounds.iter().map(|b| b.upper >= kth_lower).collect();
+            let keep: Vec<bool> = q.bounds.iter().map(|b| b.upper >= kth_lower).collect();
+            for (idx, &attr) in q.candidates.iter().enumerate() {
+                if !keep[idx] {
+                    q.stats.note_retirement(iter);
+                    if observed {
+                        q.retired_log.push((attr, q.bounds[idx].lower, q.bounds[idx].upper));
+                    }
+                }
+            }
             retain_parallel(&mut q.candidates, &keep);
             retain_parallel(&mut q.joints, &keep);
             retain_parallel(&mut q.bounds, &keep);
         });
+        if let Some(s) = span {
+            observer.phase(Phase::Decide, iter, s.elapsed().as_nanos() as u64);
+        }
+        if observed {
+            for q in &mut queries {
+                for (attr, lower, upper) in q.retired_log.drain(..) {
+                    observer.attr_retired(attr, iter, AttrBounds { lower, upper });
+                }
+            }
+        }
 
         if queries.iter().all(|q| q.result.is_some()) {
             break;
@@ -246,10 +328,17 @@ pub fn mi_top_k_batch(
         m_target = (m * 2).min(n);
     }
 
-    Ok(queries
+    let results: Vec<TopKResult> = queries
         .into_iter()
         .map(|q| q.result.expect("loop exits only when all targets finished"))
-        .collect())
+        .collect();
+    observer.query_end(&RunStats {
+        sample_size: sampler.sampled(),
+        iterations: outer_iter,
+        rows_scanned: results.iter().map(|r| r.stats.rows_scanned).sum(),
+        converged_early: results.iter().all(|r| r.stats.converged_early),
+    });
+    Ok(results)
 }
 
 /// Keeps `items[i]` where `keep[i]`, preserving order.
@@ -318,10 +407,7 @@ mod tests {
             .sum();
         // Batched accounting excludes the shared marginal scans, so it
         // must come in below the sum of standalone runs.
-        assert!(
-            batch_work <= single_work,
-            "batch {batch_work} vs singles {single_work}"
-        );
+        assert!(batch_work <= single_work, "batch {batch_work} vs singles {single_work}");
     }
 
     #[test]

@@ -1,11 +1,10 @@
-use serde::{Deserialize, Serialize};
 use swope_columnar::Dataset;
 use swope_estimate::bounds::initial_sample_size;
 
 use crate::SwopeError;
 
 /// How records are sampled without replacement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SamplingStrategy {
     /// Row-level incremental Fisher–Yates prefix shuffle — exactly the
     /// sampling model the paper's analysis assumes.
@@ -36,7 +35,7 @@ impl Default for SamplingStrategy {
 /// `ε = 0.1` (the entropy top-k default; see [`SwopeConfig::with_epsilon`]
 /// to use the paper's per-query defaults), `p_f` resolved to `1/N` at query
 /// time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SwopeConfig {
     /// Approximation parameter `ε ∈ (0, 1)` of Definitions 5–6. Smaller is
     /// more accurate and more expensive.
@@ -76,9 +75,7 @@ impl SwopeConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.sampling = match self.sampling {
             SamplingStrategy::Row { .. } => SamplingStrategy::Row { seed },
-            SamplingStrategy::Page { page_rows, .. } => {
-                SamplingStrategy::Page { page_rows, seed }
-            }
+            SamplingStrategy::Page { page_rows, .. } => SamplingStrategy::Page { page_rows, seed },
         };
         self
     }
@@ -189,15 +186,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn debug_format_mentions_key_parameters() {
         let c = SwopeConfig::with_epsilon(0.25).with_threads(4);
-        let json = serde_json_like(&c);
-        assert!(json.contains("0.25"));
-    }
-
-    // serde_json is not an allowed dependency; smoke-test Serialize via the
-    // debug representation of the serde data model instead.
-    fn serde_json_like(c: &SwopeConfig) -> String {
-        format!("{c:?}")
+        let text = format!("{c:?}");
+        assert!(text.contains("0.25"));
+        assert!(text.contains("threads: 4"));
     }
 }

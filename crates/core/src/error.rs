@@ -69,8 +69,6 @@ mod tests {
     fn messages_mention_key_values() {
         assert!(SwopeError::InvalidEpsilon(1.5).to_string().contains("1.5"));
         assert!(SwopeError::InvalidK { k: 9, candidates: 3 }.to_string().contains('9'));
-        assert!(SwopeError::TargetOutOfRange { target: 7, num_attrs: 4 }
-            .to_string()
-            .contains('7'));
+        assert!(SwopeError::TargetOutOfRange { target: 7, num_attrs: 4 }.to_string().contains('7'));
     }
 }

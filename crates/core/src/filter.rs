@@ -1,10 +1,12 @@
 //! Algorithm 2: SWOPE approximate filtering on empirical entropy.
 
 use swope_columnar::Dataset;
+use swope_obs::{NoopObserver, Phase, QueryKind, QueryObserver};
 use swope_sampling::DoublingSchedule;
 
+use crate::observe::Instrumented;
 use crate::parallel::for_each_mut;
-use crate::report::{AttrScore, FilterResult, QueryStats};
+use crate::report::{AttrScore, FilterResult, WorkKind};
 use crate::state::{make_sampler, EntropyState};
 use crate::topk::attr_score;
 use crate::{SwopeConfig, SwopeError};
@@ -35,6 +37,19 @@ pub fn entropy_filter(
     eta: f64,
     config: &SwopeConfig,
 ) -> Result<FilterResult, SwopeError> {
+    entropy_filter_observed(dataset, eta, config, &mut NoopObserver)
+}
+
+/// [`entropy_filter`] with a [`QueryObserver`] attached.
+///
+/// Accept/reject decisions surface as `attr_retired` events; the result
+/// is bitwise-identical to the unobserved call with the same config.
+pub fn entropy_filter_observed<O: QueryObserver>(
+    dataset: &Dataset,
+    eta: f64,
+    config: &SwopeConfig,
+    observer: &mut O,
+) -> Result<FilterResult, SwopeError> {
     config.validate()?;
     if !eta.is_finite() || eta < 0.0 {
         return Err(SwopeError::InvalidThreshold(eta));
@@ -55,41 +70,56 @@ pub fn entropy_filter(
     let mut states: Vec<EntropyState> =
         (0..h).map(|attr| EntropyState::new(dataset, attr)).collect();
     let mut accepted: Vec<AttrScore> = Vec::new();
-    let mut stats = QueryStats::default();
+    let mut it = Instrumented::start(observer, QueryKind::EntropyFilter, h, n, config);
 
+    let mut converged_early = false;
     let mut m_target = schedule.m0();
     while !states.is_empty() {
+        it.begin_iteration();
+        let span = it.phase_start();
         let delta: Vec<u32> = sampler.grow_to(m_target).to_vec();
+        it.phase_end(Phase::SampleGrow, span);
         let m = sampler.sampled();
-        stats.record_iteration(
-            m,
-            states.len(),
-            swope_estimate::bounds::lambda(m as u64, n as u64, p_prime),
-        );
-        stats.rows_scanned += (delta.len() * states.len()) as u64;
+        it.iteration(m, states.len(), swope_estimate::bounds::lambda(m as u64, n as u64, p_prime));
+        it.record_work(delta.len(), states.len(), WorkKind::EntropyMarginals);
 
+        let span = it.phase_start();
         for_each_mut(&mut states, config.threads, |st| {
             st.ingest(dataset.column(st.attr), &delta);
+        });
+        it.phase_end(Phase::Ingest, span);
+        let span = it.phase_start();
+        for_each_mut(&mut states, config.threads, |st| {
             st.update_bounds(n as u64, p_prime);
         });
+        it.phase_end(Phase::UpdateBounds, span);
 
         // Decide candidates (Alg. 2 lines 6-14).
+        let span = it.phase_start();
         states.retain(|st| {
             let b = &st.bounds;
             if b.width() < 2.0 * epsilon * eta {
                 // Tight enough: decide by the point estimate.
+                let iter = it.attr_retired(st.attr, b.lower, b.upper);
                 if b.point_estimate() >= eta {
-                    accepted.push(attr_score(dataset, st));
+                    accepted.push(attr_score(dataset, st, iter));
                 }
                 false
             } else if b.lower >= (1.0 - epsilon) * eta {
-                accepted.push(attr_score(dataset, st));
+                let iter = it.attr_retired(st.attr, b.lower, b.upper);
+                accepted.push(attr_score(dataset, st, iter));
                 false
-            } else { b.upper >= (1.0 + epsilon) * eta }
+            } else if b.upper >= (1.0 + epsilon) * eta {
+                true
+            } else {
+                it.attr_retired(st.attr, b.lower, b.upper);
+                false
+            }
         });
 
         if states.is_empty() {
-            stats.converged_early = m < n;
+            converged_early = m < n;
+            it.phase_end(Phase::Decide, span);
             break;
         }
         if m >= n {
@@ -97,12 +127,15 @@ pub fn entropy_filter(
             // here is εη = 0, where case 2 already accepted everything with
             // lower ≥ 0. Decide any stragglers by the exact value.
             for st in states.drain(..) {
+                let iter = it.attr_retired(st.attr, st.bounds.lower, st.bounds.upper);
                 if st.sample_entropy() >= eta {
-                    accepted.push(attr_score(dataset, &st));
+                    accepted.push(attr_score(dataset, &st, iter));
                 }
             }
+            it.phase_end(Phase::Decide, span);
             break;
         }
+        it.phase_end(Phase::Decide, span);
         m_target = (m * 2).min(n);
     }
 
@@ -112,7 +145,7 @@ pub fn entropy_filter(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.attr.cmp(&b.attr))
     });
-    Ok(FilterResult { accepted, stats })
+    Ok(FilterResult { accepted, stats: it.finish(converged_early) })
 }
 
 #[cfg(test)]
@@ -122,11 +155,8 @@ mod tests {
     use swope_estimate::entropy::column_entropy;
 
     fn cyclic_dataset(n: usize, supports: &[u32]) -> Dataset {
-        let fields = supports
-            .iter()
-            .enumerate()
-            .map(|(i, &u)| Field::new(format!("c{i}"), u))
-            .collect();
+        let fields =
+            supports.iter().enumerate().map(|(i, &u)| Field::new(format!("c{i}"), u)).collect();
         let columns = supports
             .iter()
             .map(|&u| Column::new((0..n).map(|r| (r as u32 * 7 + u) % u).collect(), u).unwrap())
@@ -213,20 +243,14 @@ mod tests {
     fn empty_dataset_rejected() {
         let schema = Schema::new(vec![Field::new("a", 2)]);
         let ds = Dataset::new(schema, vec![Column::new(vec![], 2).unwrap()]).unwrap();
-        assert!(matches!(
-            entropy_filter(&ds, 1.0, &config()),
-            Err(SwopeError::EmptyDataset)
-        ));
+        assert!(matches!(entropy_filter(&ds, 1.0, &config()), Err(SwopeError::EmptyDataset)));
     }
 
     #[test]
     fn deterministic_given_seed() {
         let ds = cyclic_dataset(30_000, &[2, 8, 32, 128]);
         let c = config().with_seed(42);
-        assert_eq!(
-            entropy_filter(&ds, 3.0, &c).unwrap(),
-            entropy_filter(&ds, 3.0, &c).unwrap()
-        );
+        assert_eq!(entropy_filter(&ds, 3.0, &c).unwrap(), entropy_filter(&ds, 3.0, &c).unwrap());
     }
 
     #[test]

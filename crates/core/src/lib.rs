@@ -63,18 +63,27 @@ mod error;
 mod filter;
 mod mi_filter;
 mod mi_topk;
+mod observe;
 pub mod parallel;
 mod profile;
 mod report;
 pub mod state;
 mod topk;
 
-pub use batch::mi_top_k_batch;
+pub use batch::{mi_top_k_batch, mi_top_k_batch_observed};
 pub use config::{SamplingStrategy, SwopeConfig};
 pub use error::SwopeError;
-pub use filter::entropy_filter;
-pub use mi_filter::mi_filter;
-pub use mi_topk::mi_top_k;
-pub use profile::{entropy_profile, mi_profile, ProfileResult};
-pub use report::{AttrScore, FilterResult, QueryStats, TopKResult};
-pub use topk::entropy_top_k;
+pub use filter::{entropy_filter, entropy_filter_observed};
+pub use mi_filter::{mi_filter, mi_filter_observed};
+pub use mi_topk::{mi_top_k, mi_top_k_observed};
+pub use profile::{
+    entropy_profile, entropy_profile_observed, mi_profile, mi_profile_observed, ProfileResult,
+};
+pub use report::{AttrScore, FilterResult, IterationTrace, QueryStats, TopKResult, WorkKind};
+pub use topk::{entropy_top_k, entropy_top_k_observed};
+
+// Re-export the observer vocabulary so downstream crates can attach
+// observers without depending on `swope-obs` directly.
+pub use swope_obs::{
+    ComposedObserver, JsonlSink, MetricsRegistry, NoopObserver, Phase, QueryKind, QueryObserver,
+};

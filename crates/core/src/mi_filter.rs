@@ -2,11 +2,13 @@
 //! information.
 
 use swope_columnar::{AttrIndex, Dataset};
+use swope_obs::{NoopObserver, Phase, QueryKind, QueryObserver};
 use swope_sampling::DoublingSchedule;
 
 use crate::mi_topk::mi_score;
+use crate::observe::Instrumented;
 use crate::parallel::for_each_mut;
-use crate::report::{AttrScore, FilterResult, QueryStats};
+use crate::report::{AttrScore, FilterResult, WorkKind};
 use crate::state::{make_sampler, MiState, TargetState};
 use crate::{SwopeConfig, SwopeError};
 
@@ -35,6 +37,20 @@ pub fn mi_filter(
     eta: f64,
     config: &SwopeConfig,
 ) -> Result<FilterResult, SwopeError> {
+    mi_filter_observed(dataset, target, eta, config, &mut NoopObserver)
+}
+
+/// [`mi_filter`] with a [`QueryObserver`] attached.
+///
+/// The result is bitwise-identical to the unobserved call with the same
+/// config.
+pub fn mi_filter_observed<O: QueryObserver>(
+    dataset: &Dataset,
+    target: AttrIndex,
+    eta: f64,
+    config: &SwopeConfig,
+    observer: &mut O,
+) -> Result<FilterResult, SwopeError> {
     config.validate()?;
     if !eta.is_finite() || eta < 0.0 {
         return Err(SwopeError::InvalidThreshold(eta));
@@ -61,62 +77,76 @@ pub fn mi_filter(
     let mut sampler = make_sampler(n, config.sampling);
     let mut target_state = TargetState::new(dataset, target);
     let u_t = target_state.support;
-    let mut states: Vec<MiState> = (0..h)
-        .filter(|&a| a != target)
-        .map(|a| MiState::new(a, u_t, dataset.support(a)))
-        .collect();
+    let mut states: Vec<MiState> =
+        (0..h).filter(|&a| a != target).map(|a| MiState::new(a, u_t, dataset.support(a))).collect();
     let mut accepted: Vec<AttrScore> = Vec::new();
-    let mut stats = QueryStats::default();
+    let mut it = Instrumented::start(observer, QueryKind::MiFilter, h, n, config);
 
+    let mut converged_early = false;
     let mut m_target = schedule.m0();
     while !states.is_empty() {
+        it.begin_iteration();
+        let span = it.phase_start();
         let delta: Vec<u32> = sampler.grow_to(m_target).to_vec();
+        it.phase_end(Phase::SampleGrow, span);
         let m = sampler.sampled();
-        stats.record_iteration(
-            m,
-            states.len(),
-            swope_estimate::bounds::lambda(m as u64, n as u64, p_prime),
-        );
+        it.iteration(m, states.len(), swope_estimate::bounds::lambda(m as u64, n as u64, p_prime));
+        it.record_work(delta.len(), states.len(), WorkKind::MiPerTarget);
 
+        let span = it.phase_start();
         let t_codes = target_state.ingest(dataset.column(target), &delta);
-        let h_t = target_state.sample_entropy();
-        stats.rows_scanned += delta.len() as u64;
-        stats.rows_scanned += (2 * delta.len() * states.len()) as u64;
-
         for_each_mut(&mut states, config.threads, |st| {
             st.ingest(dataset.column(st.attr), &t_codes, &delta);
+        });
+        it.phase_end(Phase::Ingest, span);
+        let span = it.phase_start();
+        let h_t = target_state.sample_entropy();
+        for_each_mut(&mut states, config.threads, |st| {
             st.update_bounds(h_t, u_t, n as u64, p_prime);
         });
+        it.phase_end(Phase::UpdateBounds, span);
 
+        let span = it.phase_start();
         states.retain(|st| {
             let b = &st.bounds;
             if b.width() < 2.0 * epsilon * eta {
+                let iter = it.attr_retired(st.attr, b.lower, b.upper);
                 if b.point_estimate() >= eta {
-                    accepted.push(mi_score(dataset, st));
+                    accepted.push(mi_score(dataset, st, iter));
                 }
                 false
             } else if b.lower >= (1.0 - epsilon) * eta {
-                accepted.push(mi_score(dataset, st));
+                let iter = it.attr_retired(st.attr, b.lower, b.upper);
+                accepted.push(mi_score(dataset, st, iter));
                 false
-            } else { b.upper >= (1.0 + epsilon) * eta }
+            } else if b.upper >= (1.0 + epsilon) * eta {
+                true
+            } else {
+                it.attr_retired(st.attr, b.lower, b.upper);
+                false
+            }
         });
 
         if states.is_empty() {
-            stats.converged_early = m < n;
+            converged_early = m < n;
+            it.phase_end(Phase::Decide, span);
             break;
         }
         if m >= n {
             // Exact values; only reachable stragglers are the εη = 0 case.
             for st in states.drain(..) {
+                let iter = it.attr_retired(st.attr, st.bounds.lower, st.bounds.upper);
                 let exact_mi = (target_state.sample_entropy() + st.sample_entropy()
                     - st.sample_joint_entropy())
                 .max(0.0);
                 if exact_mi >= eta {
-                    accepted.push(mi_score(dataset, &st));
+                    accepted.push(mi_score(dataset, &st, iter));
                 }
             }
+            it.phase_end(Phase::Decide, span);
             break;
         }
+        it.phase_end(Phase::Decide, span);
         m_target = (m * 2).min(n);
     }
 
@@ -126,7 +156,7 @@ pub fn mi_filter(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.attr.cmp(&b.attr))
     });
-    Ok(FilterResult { accepted, stats })
+    Ok(FilterResult { accepted, stats: it.finish(converged_early) })
 }
 
 #[cfg(test)]
@@ -155,8 +185,13 @@ mod tests {
             columns.push(Column::new(codes, 4).unwrap());
         }
         fields.push(Field::new("indep", 4));
-        columns
-            .push(Column::new((0..n).map(|r| ((r as u32).wrapping_mul(2654435761) >> 13) % 4).collect(), 4).unwrap());
+        columns.push(
+            Column::new(
+                (0..n).map(|r| ((r as u32).wrapping_mul(2654435761) >> 13) % 4).collect(),
+                4,
+            )
+            .unwrap(),
+        );
         Dataset::new(Schema::new(fields), columns).unwrap()
     }
 
@@ -212,10 +247,7 @@ mod tests {
             mi_filter(&ds, 42, 0.3, &config()),
             Err(SwopeError::TargetOutOfRange { .. })
         ));
-        assert!(matches!(
-            mi_filter(&ds, 0, -0.5, &config()),
-            Err(SwopeError::InvalidThreshold(_))
-        ));
+        assert!(matches!(mi_filter(&ds, 0, -0.5, &config()), Err(SwopeError::InvalidThreshold(_))));
     }
 
     #[test]

@@ -2,10 +2,12 @@
 
 use swope_columnar::{AttrIndex, Dataset};
 use swope_estimate::bounds::lambda;
+use swope_obs::{NoopObserver, Phase, QueryKind, QueryObserver};
 use swope_sampling::DoublingSchedule;
 
+use crate::observe::Instrumented;
 use crate::parallel::for_each_mut;
-use crate::report::{AttrScore, QueryStats, TopKResult};
+use crate::report::{AttrScore, TopKResult, WorkKind};
 use crate::state::{make_sampler, MiState, TargetState};
 use crate::topk::top_k_indices;
 use crate::{SwopeConfig, SwopeError};
@@ -68,6 +70,20 @@ pub fn mi_top_k(
     k: usize,
     config: &SwopeConfig,
 ) -> Result<TopKResult, SwopeError> {
+    mi_top_k_observed(dataset, target, k, config, &mut NoopObserver)
+}
+
+/// [`mi_top_k`] with a [`QueryObserver`] attached.
+///
+/// The result is bitwise-identical to the unobserved call with the same
+/// config.
+pub fn mi_top_k_observed<O: QueryObserver>(
+    dataset: &Dataset,
+    target: AttrIndex,
+    k: usize,
+    config: &SwopeConfig,
+    observer: &mut O,
+) -> Result<TopKResult, SwopeError> {
     config.validate()?;
     let h = dataset.num_attrs();
     let n = dataset.num_rows();
@@ -95,68 +111,83 @@ pub fn mi_top_k(
     let mut sampler = make_sampler(n, config.sampling);
     let mut target_state = TargetState::new(dataset, target);
     let u_t = target_state.support;
-    let mut states: Vec<MiState> = (0..h)
-        .filter(|&a| a != target)
-        .map(|a| MiState::new(a, u_t, dataset.support(a)))
-        .collect();
-    let mut stats = QueryStats::default();
+    let mut states: Vec<MiState> =
+        (0..h).filter(|&a| a != target).map(|a| MiState::new(a, u_t, dataset.support(a))).collect();
+    let mut it = Instrumented::start(observer, QueryKind::MiTopK, h, n, config);
 
     let mut m_target = schedule.m0();
     loop {
+        it.begin_iteration();
+        let span = it.phase_start();
         let delta: Vec<u32> = sampler.grow_to(m_target).to_vec();
+        it.phase_end(Phase::SampleGrow, span);
         let m = sampler.sampled();
         let lam = lambda(m as u64, n as u64, p_prime);
-        stats.record_iteration(m, states.len(), lam);
+        it.iteration(m, states.len(), lam);
+        // Target scan + per-candidate marginal and joint updates.
+        it.record_work(delta.len(), states.len(), WorkKind::MiPerTarget);
 
+        let span = it.phase_start();
         // Gather the target codes once; every candidate reuses them.
         let t_codes = target_state.ingest(dataset.column(target), &delta);
-        let h_t = target_state.sample_entropy();
-        stats.rows_scanned += delta.len() as u64; // target scan
-        stats.rows_scanned += (2 * delta.len() * states.len()) as u64; // marginal + joint
-
         for_each_mut(&mut states, config.threads, |st| {
             st.ingest(dataset.column(st.attr), &t_codes, &delta);
+        });
+        it.phase_end(Phase::Ingest, span);
+        let span = it.phase_start();
+        let h_t = target_state.sample_entropy();
+        for_each_mut(&mut states, config.threads, |st| {
             st.update_bounds(h_t, u_t, n as u64, p_prime);
         });
+        it.phase_end(Phase::UpdateBounds, span);
 
+        let span = it.phase_start();
         // R <- top-k candidates by upper bound (Alg. 3 lines 7-9).
         let by_upper = top_k_indices(&states, k, |st| st.bounds.upper);
         let kth_upper = states[by_upper[k - 1]].bounds.upper;
-        let b_max = by_upper
-            .iter()
-            .map(|&i| states[i].bounds.bias_total)
-            .fold(0.0f64, f64::max);
+        let b_max = by_upper.iter().map(|&i| states[i].bounds.bias_total).fold(0.0f64, f64::max);
 
         // Stopping rule (Alg. 3 line 10).
-        let stop =
-            kth_upper > 0.0 && (kth_upper - 6.0 * lam - b_max) / kth_upper >= 1.0 - epsilon;
+        let stop = kth_upper > 0.0 && (kth_upper - 6.0 * lam - b_max) / kth_upper >= 1.0 - epsilon;
         if stop || m >= n {
-            stats.converged_early = stop && m < n;
-            let top = by_upper.iter().map(|&i| mi_score(dataset, &states[i])).collect();
-            return Ok(TopKResult { top, stats });
+            it.phase_end(Phase::Decide, span);
+            for st in &states {
+                it.attr_retired(st.attr, st.bounds.lower, st.bounds.upper);
+            }
+            let retired_iteration = it.current_iteration();
+            let top = by_upper
+                .iter()
+                .map(|&i| mi_score(dataset, &states[i], retired_iteration))
+                .collect();
+            let converged_early = stop && m < n;
+            return Ok(TopKResult { top, stats: it.finish(converged_early) });
         }
 
         // Prune candidates whose upper bound falls below the k-th largest
         // lower bound (lines 16-19).
         let by_lower = top_k_indices(&states, k, |st| st.bounds.lower);
         let kth_lower = states[by_lower[k - 1]].bounds.lower;
-        states.retain(|st| st.bounds.upper >= kth_lower);
+        states.retain(|st| {
+            let keep = st.bounds.upper >= kth_lower;
+            if !keep {
+                it.attr_retired(st.attr, st.bounds.lower, st.bounds.upper);
+            }
+            keep
+        });
+        it.phase_end(Phase::Decide, span);
 
         m_target = (m * 2).min(n);
     }
 }
 
-pub(crate) fn mi_score(dataset: &Dataset, st: &MiState) -> AttrScore {
+pub(crate) fn mi_score(dataset: &Dataset, st: &MiState, retired_iteration: usize) -> AttrScore {
     AttrScore {
         attr: st.attr,
-        name: dataset
-            .schema()
-            .field(st.attr)
-            .map(|f| f.name().to_owned())
-            .unwrap_or_default(),
+        name: dataset.schema().field(st.attr).map(|f| f.name().to_owned()).unwrap_or_default(),
         estimate: st.bounds.point_estimate(),
         lower: st.bounds.lower,
         upper: st.bounds.upper,
+        retired_iteration,
     }
 }
 
@@ -189,8 +220,13 @@ mod tests {
         }
         // Independent column.
         fields.push(Field::new("indep", 4));
-        columns
-            .push(Column::new((0..n).map(|r| ((r as u32).wrapping_mul(2654435761) >> 13) % 4).collect(), 4).unwrap());
+        columns.push(
+            Column::new(
+                (0..n).map(|r| ((r as u32).wrapping_mul(2654435761) >> 13) % 4).collect(),
+                4,
+            )
+            .unwrap(),
+        );
         Dataset::new(Schema::new(fields), columns).unwrap()
     }
 
@@ -229,14 +265,8 @@ mod tests {
             mi_top_k(&ds, 99, 1, &config()),
             Err(SwopeError::TargetOutOfRange { .. })
         ));
-        assert!(matches!(
-            mi_top_k(&ds, 0, 0, &config()),
-            Err(SwopeError::InvalidK { .. })
-        ));
-        assert!(matches!(
-            mi_top_k(&ds, 0, 5, &config()),
-            Err(SwopeError::InvalidK { .. })
-        ));
+        assert!(matches!(mi_top_k(&ds, 0, 0, &config()), Err(SwopeError::InvalidK { .. })));
+        assert!(matches!(mi_top_k(&ds, 0, 5, &config()), Err(SwopeError::InvalidK { .. })));
         // Single-attribute dataset has no candidates.
         let schema = Schema::new(vec![Field::new("only", 2)]);
         let ds1 = Dataset::new(schema, vec![Column::new(vec![0, 1], 2).unwrap()]).unwrap();

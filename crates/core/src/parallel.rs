@@ -26,16 +26,15 @@ where
         return;
     }
     let chunk = items.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for shard in items.chunks_mut(chunk) {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 for item in shard.iter_mut() {
                     f(item);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 #[cfg(test)]

@@ -10,10 +10,12 @@
 //! extension beyond the paper, built from its Lemma 3/§4.1 intervals.
 
 use swope_columnar::{AttrIndex, Dataset};
+use swope_obs::{NoopObserver, Phase, QueryKind, QueryObserver};
 use swope_sampling::DoublingSchedule;
 
+use crate::observe::Instrumented;
 use crate::parallel::for_each_mut;
-use crate::report::{AttrScore, QueryStats};
+use crate::report::{AttrScore, QueryStats, WorkKind};
 use crate::state::{make_sampler, EntropyState, MiState, TargetState};
 use crate::topk::attr_score;
 use crate::{SwopeConfig, SwopeError};
@@ -41,6 +43,19 @@ pub fn entropy_profile(
     floor: f64,
     config: &SwopeConfig,
 ) -> Result<ProfileResult, SwopeError> {
+    entropy_profile_observed(dataset, floor, config, &mut NoopObserver)
+}
+
+/// [`entropy_profile`] with a [`QueryObserver`] attached.
+///
+/// The result is bitwise-identical to the unobserved call with the same
+/// config.
+pub fn entropy_profile_observed<O: QueryObserver>(
+    dataset: &Dataset,
+    floor: f64,
+    config: &SwopeConfig,
+    observer: &mut O,
+) -> Result<ProfileResult, SwopeError> {
     config.validate()?;
     if !floor.is_finite() || floor < 0.0 {
         return Err(SwopeError::InvalidThreshold(floor));
@@ -61,45 +76,54 @@ pub fn entropy_profile(
     let mut states: Vec<EntropyState> =
         (0..h).map(|attr| EntropyState::new(dataset, attr)).collect();
     let mut done: Vec<AttrScore> = Vec::new();
-    let mut stats = QueryStats::default();
+    let mut it = Instrumented::start(observer, QueryKind::EntropyProfile, h, n, config);
 
+    let mut converged_early = false;
     let mut m_target = schedule.m0();
     while !states.is_empty() {
+        it.begin_iteration();
+        let span = it.phase_start();
         let delta: Vec<u32> = sampler.grow_to(m_target).to_vec();
+        it.phase_end(Phase::SampleGrow, span);
         let m = sampler.sampled();
-        stats.record_iteration(
-            m,
-            states.len(),
-            swope_estimate::bounds::lambda(m as u64, n as u64, p_prime),
-        );
-        stats.rows_scanned += (delta.len() * states.len()) as u64;
+        it.iteration(m, states.len(), swope_estimate::bounds::lambda(m as u64, n as u64, p_prime));
+        it.record_work(delta.len(), states.len(), WorkKind::EntropyMarginals);
 
+        let span = it.phase_start();
         for_each_mut(&mut states, config.threads, |st| {
             st.ingest(dataset.column(st.attr), &delta);
+        });
+        it.phase_end(Phase::Ingest, span);
+        let span = it.phase_start();
+        for_each_mut(&mut states, config.threads, |st| {
             st.update_bounds(n as u64, p_prime);
         });
+        it.phase_end(Phase::UpdateBounds, span);
 
+        let span = it.phase_start();
         let exact_now = m >= n;
         states.retain(|st| {
             let b = &st.bounds;
             let budget = (epsilon * b.point_estimate()).max(floor);
             if b.width() <= budget || exact_now {
-                done.push(attr_score(dataset, st));
+                let iter = it.attr_retired(st.attr, b.lower, b.upper);
+                done.push(attr_score(dataset, st, iter));
                 false
             } else {
                 true
             }
         });
+        it.phase_end(Phase::Decide, span);
 
         if states.is_empty() {
-            stats.converged_early = m < n;
+            converged_early = m < n;
             break;
         }
         m_target = (m * 2).min(n);
     }
 
     done.sort_by_key(|s| s.attr);
-    Ok(ProfileResult { scores: done, stats })
+    Ok(ProfileResult { scores: done, stats: it.finish(converged_early) })
 }
 
 /// Estimates every candidate attribute's empirical mutual information
@@ -110,6 +134,20 @@ pub fn mi_profile(
     target: AttrIndex,
     floor: f64,
     config: &SwopeConfig,
+) -> Result<ProfileResult, SwopeError> {
+    mi_profile_observed(dataset, target, floor, config, &mut NoopObserver)
+}
+
+/// [`mi_profile`] with a [`QueryObserver`] attached.
+///
+/// The result is bitwise-identical to the unobserved call with the same
+/// config.
+pub fn mi_profile_observed<O: QueryObserver>(
+    dataset: &Dataset,
+    target: AttrIndex,
+    floor: f64,
+    config: &SwopeConfig,
+    observer: &mut O,
 ) -> Result<ProfileResult, SwopeError> {
     config.validate()?;
     if !floor.is_finite() || floor < 0.0 {
@@ -137,53 +175,59 @@ pub fn mi_profile(
     let mut sampler = make_sampler(n, config.sampling);
     let mut target_state = TargetState::new(dataset, target);
     let u_t = target_state.support;
-    let mut states: Vec<MiState> = (0..h)
-        .filter(|&a| a != target)
-        .map(|a| MiState::new(a, u_t, dataset.support(a)))
-        .collect();
+    let mut states: Vec<MiState> =
+        (0..h).filter(|&a| a != target).map(|a| MiState::new(a, u_t, dataset.support(a))).collect();
     let mut done: Vec<AttrScore> = Vec::new();
-    let mut stats = QueryStats::default();
+    let mut it = Instrumented::start(observer, QueryKind::MiProfile, h, n, config);
 
+    let mut converged_early = false;
     let mut m_target = schedule.m0();
     while !states.is_empty() {
+        it.begin_iteration();
+        let span = it.phase_start();
         let delta: Vec<u32> = sampler.grow_to(m_target).to_vec();
+        it.phase_end(Phase::SampleGrow, span);
         let m = sampler.sampled();
-        stats.record_iteration(
-            m,
-            states.len(),
-            swope_estimate::bounds::lambda(m as u64, n as u64, p_prime),
-        );
-        let t_codes = target_state.ingest(dataset.column(target), &delta);
-        let h_t = target_state.sample_entropy();
-        stats.rows_scanned += delta.len() as u64;
-        stats.rows_scanned += (2 * delta.len() * states.len()) as u64;
+        it.iteration(m, states.len(), swope_estimate::bounds::lambda(m as u64, n as u64, p_prime));
+        it.record_work(delta.len(), states.len(), WorkKind::MiPerTarget);
 
+        let span = it.phase_start();
+        let t_codes = target_state.ingest(dataset.column(target), &delta);
         for_each_mut(&mut states, config.threads, |st| {
             st.ingest(dataset.column(st.attr), &t_codes, &delta);
+        });
+        it.phase_end(Phase::Ingest, span);
+        let span = it.phase_start();
+        let h_t = target_state.sample_entropy();
+        for_each_mut(&mut states, config.threads, |st| {
             st.update_bounds(h_t, u_t, n as u64, p_prime);
         });
+        it.phase_end(Phase::UpdateBounds, span);
 
+        let span = it.phase_start();
         let exact_now = m >= n;
         states.retain(|st| {
             let b = &st.bounds;
             let budget = (epsilon * b.point_estimate()).max(floor);
             if b.width() <= budget || exact_now {
-                done.push(crate::mi_topk::mi_score(dataset, st));
+                let iter = it.attr_retired(st.attr, b.lower, b.upper);
+                done.push(crate::mi_topk::mi_score(dataset, st, iter));
                 false
             } else {
                 true
             }
         });
+        it.phase_end(Phase::Decide, span);
 
         if states.is_empty() {
-            stats.converged_early = m < n;
+            converged_early = m < n;
             break;
         }
         m_target = (m * 2).min(n);
     }
 
     done.sort_by_key(|s| s.attr);
-    Ok(ProfileResult { scores: done, stats })
+    Ok(ProfileResult { scores: done, stats: it.finish(converged_early) })
 }
 
 #[cfg(test)]
@@ -194,11 +238,8 @@ mod tests {
     use swope_estimate::joint::mutual_information;
 
     fn cyclic_dataset(n: usize, supports: &[u32]) -> Dataset {
-        let fields = supports
-            .iter()
-            .enumerate()
-            .map(|(i, &u)| Field::new(format!("c{i}"), u))
-            .collect();
+        let fields =
+            supports.iter().enumerate().map(|(i, &u)| Field::new(format!("c{i}"), u)).collect();
         let columns = supports
             .iter()
             .map(|&u| Column::new((0..n).map(|r| r as u32 % u).collect(), u).unwrap())
@@ -248,11 +289,7 @@ mod tests {
         // Candidate 1 is a function of the target; candidate 2 cycles
         // independently-ish.
         let n = 40_000;
-        let fields = vec![
-            Field::new("t", 8),
-            Field::new("copy", 8),
-            Field::new("other", 4),
-        ];
+        let fields = vec![Field::new("t", 8), Field::new("copy", 8), Field::new("other", 4)];
         let cols = vec![
             Column::new((0..n).map(|r| r as u32 % 8).collect(), 8).unwrap(),
             Column::new((0..n).map(|r| (r as u32 % 8) / 2).collect(), 8).unwrap(),

@@ -278,8 +278,7 @@ mod tests {
     fn make_sampler_respects_strategy() {
         let mut row = make_sampler(100, SamplingStrategy::Row { seed: 1 });
         assert_eq!(row.grow_to(10).len(), 10);
-        let mut page =
-            make_sampler(100, SamplingStrategy::Page { page_rows: 8, seed: 1 });
+        let mut page = make_sampler(100, SamplingStrategy::Page { page_rows: 8, seed: 1 });
         // Page sampler rounds up to whole pages.
         assert_eq!(page.grow_to(10).len(), 16);
     }

@@ -2,10 +2,12 @@
 
 use swope_columnar::Dataset;
 use swope_estimate::bounds::lambda;
+use swope_obs::{NoopObserver, Phase, QueryKind, QueryObserver};
 use swope_sampling::DoublingSchedule;
 
+use crate::observe::Instrumented;
 use crate::parallel::for_each_mut;
-use crate::report::{AttrScore, QueryStats, TopKResult};
+use crate::report::{AttrScore, TopKResult, WorkKind};
 use crate::state::{make_sampler, EntropyState};
 use crate::{SwopeConfig, SwopeError};
 
@@ -35,6 +37,21 @@ pub fn entropy_top_k(
     k: usize,
     config: &SwopeConfig,
 ) -> Result<TopKResult, SwopeError> {
+    entropy_top_k_observed(dataset, k, config, &mut NoopObserver)
+}
+
+/// [`entropy_top_k`] with a [`QueryObserver`] attached.
+///
+/// The observer receives the query lifecycle (`query_start`, one
+/// `iteration` + phase spans per doubling round, one `attr_retired` per
+/// candidate, `query_end`); the returned result is bitwise-identical to
+/// the unobserved call with the same config.
+pub fn entropy_top_k_observed<O: QueryObserver>(
+    dataset: &Dataset,
+    k: usize,
+    config: &SwopeConfig,
+    observer: &mut O,
+) -> Result<TopKResult, SwopeError> {
     config.validate()?;
     let h = dataset.num_attrs();
     let n = dataset.num_rows();
@@ -56,46 +73,65 @@ pub fn entropy_top_k(
     let mut sampler = make_sampler(n, config.sampling);
     let mut states: Vec<EntropyState> =
         (0..h).map(|attr| EntropyState::new(dataset, attr)).collect();
-    let mut stats = QueryStats::default();
+    let mut it = Instrumented::start(observer, QueryKind::EntropyTopK, h, n, config);
 
     let mut m_target = schedule.m0();
     loop {
+        it.begin_iteration();
+        let span = it.phase_start();
         let delta: Vec<u32> = sampler.grow_to(m_target).to_vec();
+        it.phase_end(Phase::SampleGrow, span);
         let m = sampler.sampled();
         let lam = lambda(m as u64, n as u64, p_prime);
-        stats.record_iteration(m, states.len(), lam);
-        stats.rows_scanned += (delta.len() * states.len()) as u64;
+        it.iteration(m, states.len(), lam);
+        it.record_work(delta.len(), states.len(), WorkKind::EntropyMarginals);
 
+        let span = it.phase_start();
         for_each_mut(&mut states, config.threads, |st| {
             st.ingest(dataset.column(st.attr), &delta);
+        });
+        it.phase_end(Phase::Ingest, span);
+        let span = it.phase_start();
+        for_each_mut(&mut states, config.threads, |st| {
             st.update_bounds(n as u64, p_prime);
         });
+        it.phase_end(Phase::UpdateBounds, span);
 
+        let span = it.phase_start();
         // R <- top-k attributes by upper bound (Alg. 1 lines 5-7).
         let by_upper = top_k_indices(&states, k, |st| st.bounds.upper);
         let kth_upper = states[by_upper[k - 1]].bounds.upper;
-        let b_max = by_upper
-            .iter()
-            .map(|&i| states[i].bounds.bias)
-            .fold(0.0f64, f64::max);
+        let b_max = by_upper.iter().map(|&i| states[i].bounds.bias).fold(0.0f64, f64::max);
 
         // Stopping rule (Alg. 1 line 8).
-        let stop =
-            kth_upper > 0.0 && (kth_upper - 2.0 * lam - b_max) / kth_upper >= 1.0 - epsilon;
+        let stop = kth_upper > 0.0 && (kth_upper - 2.0 * lam - b_max) / kth_upper >= 1.0 - epsilon;
         if stop || m >= n {
-            stats.converged_early = stop && m < n;
+            it.phase_end(Phase::Decide, span);
+            // Everything still alive leaves the race now, returned or not.
+            for st in &states {
+                it.attr_retired(st.attr, st.bounds.lower, st.bounds.upper);
+            }
+            let retired_iteration = it.current_iteration();
             let top = by_upper
                 .iter()
-                .map(|&i| attr_score(dataset, &states[i]))
+                .map(|&i| attr_score(dataset, &states[i], retired_iteration))
                 .collect();
-            return Ok(TopKResult { top, stats });
+            let converged_early = stop && m < n;
+            return Ok(TopKResult { top, stats: it.finish(converged_early) });
         }
 
         // Prune candidates that cannot reach the top-k (lines 14-17):
         // drop α with H̄(α) below the k-th largest lower bound.
         let by_lower = top_k_indices(&states, k, |st| st.bounds.lower);
         let kth_lower = states[by_lower[k - 1]].bounds.lower;
-        states.retain(|st| st.bounds.upper >= kth_lower);
+        states.retain(|st| {
+            let keep = st.bounds.upper >= kth_lower;
+            if !keep {
+                it.attr_retired(st.attr, st.bounds.lower, st.bounds.upper);
+            }
+            keep
+        });
+        it.phase_end(Phase::Decide, span);
 
         m_target = (m * 2).min(n);
     }
@@ -115,17 +151,18 @@ pub(crate) fn top_k_indices<T>(states: &[T], k: usize, key: impl Fn(&T) -> f64) 
     order
 }
 
-pub(crate) fn attr_score(dataset: &Dataset, st: &EntropyState) -> AttrScore {
+pub(crate) fn attr_score(
+    dataset: &Dataset,
+    st: &EntropyState,
+    retired_iteration: usize,
+) -> AttrScore {
     AttrScore {
         attr: st.attr,
-        name: dataset
-            .schema()
-            .field(st.attr)
-            .map(|f| f.name().to_owned())
-            .unwrap_or_default(),
+        name: dataset.schema().field(st.attr).map(|f| f.name().to_owned()).unwrap_or_default(),
         estimate: st.bounds.point_estimate(),
         lower: st.bounds.lower,
         upper: st.bounds.upper,
+        retired_iteration,
     }
 }
 
@@ -137,16 +174,18 @@ mod tests {
     /// A dataset whose entropy ranking is unambiguous: column `i` cycles
     /// through `supports[i]` values, giving entropy ~log2(supports[i]).
     fn cyclic_dataset(n: usize, supports: &[u32]) -> Dataset {
-        let fields = supports
-            .iter()
-            .enumerate()
-            .map(|(i, &u)| Field::new(format!("c{i}"), u))
-            .collect();
+        let fields =
+            supports.iter().enumerate().map(|(i, &u)| Field::new(format!("c{i}"), u)).collect();
         let columns = supports
             .iter()
             .map(|&u| {
-                Column::new((0..n).map(|r| (r as u32).wrapping_mul(2654435761u32.wrapping_add(u)) % u).collect(), u)
-                    .unwrap()
+                Column::new(
+                    (0..n)
+                        .map(|r| (r as u32).wrapping_mul(2654435761u32.wrapping_add(u)) % u)
+                        .collect(),
+                    u,
+                )
+                .unwrap()
             })
             .collect();
         Dataset::new(Schema::new(fields), columns).unwrap()
@@ -186,14 +225,8 @@ mod tests {
     #[test]
     fn validation_errors() {
         let ds = cyclic_dataset(100, &[2, 4]);
-        assert!(matches!(
-            entropy_top_k(&ds, 0, &config()),
-            Err(SwopeError::InvalidK { .. })
-        ));
-        assert!(matches!(
-            entropy_top_k(&ds, 3, &config()),
-            Err(SwopeError::InvalidK { .. })
-        ));
+        assert!(matches!(entropy_top_k(&ds, 0, &config()), Err(SwopeError::InvalidK { .. })));
+        assert!(matches!(entropy_top_k(&ds, 3, &config()), Err(SwopeError::InvalidK { .. })));
         assert!(matches!(
             entropy_top_k(&ds, 1, &SwopeConfig::with_epsilon(2.0)),
             Err(SwopeError::InvalidEpsilon(_))
@@ -204,10 +237,7 @@ mod tests {
     fn empty_dataset_is_rejected() {
         let schema = Schema::new(vec![Field::new("a", 2)]);
         let ds = Dataset::new(schema, vec![Column::new(vec![], 2).unwrap()]).unwrap();
-        assert!(matches!(
-            entropy_top_k(&ds, 1, &config()),
-            Err(SwopeError::EmptyDataset)
-        ));
+        assert!(matches!(entropy_top_k(&ds, 1, &config()), Err(SwopeError::EmptyDataset)));
     }
 
     #[test]

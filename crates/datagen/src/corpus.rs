@@ -82,8 +82,7 @@ fn census_like(shape: PaperShape, scale: f64, mix_seed: u64) -> DatasetProfile {
     // η up to 0.5 and expects nontrivial answer sets), so the factors
     // are wide enough and the couplings strong enough that typical
     // attribute pairs sharing a factor carry ~0.3–2 bits of MI.
-    let latent_supports: Vec<u32> =
-        (0..6).map(|_| 8 + rng.next_below(25) as u32).collect();
+    let latent_supports: Vec<u32> = (0..6).map(|_| 8 + rng.next_below(25) as u32).collect();
 
     let mut columns = Vec::with_capacity(shape.columns);
     for i in 0..shape.columns {
@@ -101,10 +100,9 @@ fn census_like(shape: PaperShape, scale: f64, mix_seed: u64) -> DatasetProfile {
                 s: 0.8 + rng.next_f64() * 0.8,
             },
             // ~30%: medium categorical answers.
-            30..=59 => Distribution::Zipf {
-                u: 8 + rng.next_below(121) as u32,
-                s: 0.5 + rng.next_f64(),
-            },
+            30..=59 => {
+                Distribution::Zipf { u: 8 + rng.next_below(121) as u32, s: 0.5 + rng.next_f64() }
+            }
             // ~20%: wide domains with mild skew.
             60..=79 => Distribution::Zipf {
                 u: 128 + rng.next_below(873) as u32,

@@ -71,8 +71,7 @@ impl Distribution {
             }
             Self::Geometric { u, p } => {
                 let p = p.clamp(1e-9, 1.0 - 1e-9);
-                let weights: Vec<f64> =
-                    (0..u.max(1)).map(|i| (1.0 - p).powi(i as i32)).collect();
+                let weights: Vec<f64> = (0..u.max(1)).map(|i| (1.0 - p).powi(i as i32)).collect();
                 normalize(weights)
             }
             Self::TwoTier { u, head, head_mass } => {
@@ -99,11 +98,7 @@ impl Distribution {
     /// Empirical entropy of a generated column converges to this value;
     /// useful for designing workloads with prescribed score spreads.
     pub fn entropy(&self) -> f64 {
-        self.probabilities()
-            .iter()
-            .filter(|&&p| p > 0.0)
-            .map(|&p| -p * p.log2())
-            .sum()
+        self.probabilities().iter().filter(|&&p| p > 0.0).map(|&p| -p * p.log2()).sum()
     }
 
     /// Compiles the model into an O(1) [`AliasTable`] sampler.

@@ -34,11 +34,7 @@ pub fn generate(profile: &DatasetProfile, seed: u64) -> Dataset {
 ///
 /// # Panics
 /// Panics if `profile.validate()` fails or `run_len == 0`.
-pub fn generate_with_locality(
-    profile: &DatasetProfile,
-    seed: u64,
-    run_len: usize,
-) -> Dataset {
+pub fn generate_with_locality(profile: &DatasetProfile, seed: u64, run_len: usize) -> Dataset {
     assert!(run_len > 0, "run_len must be positive");
     profile.validate().expect("invalid dataset profile");
     let n = profile.rows;
@@ -105,9 +101,7 @@ fn spread_latent(z: u32, latent_u: u64, column_u: u32, column_salt: u64) -> u32 
     } else {
         // Compress via a salted mix so different columns merge different
         // latent values together.
-        let mixed = (z as u64)
-            .wrapping_add(column_salt)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mixed = (z as u64).wrapping_add(column_salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         ((mixed >> 33) % column_u as u64) as u32
     }
 }
@@ -239,8 +233,7 @@ mod tests {
         // ...but adjacent-row agreement skyrockets.
         let agree = |ds: &swope_columnar::Dataset| {
             let codes = ds.column(0).codes();
-            codes.windows(2).filter(|w| w[0] == w[1]).count() as f64
-                / (codes.len() - 1) as f64
+            codes.windows(2).filter(|w| w[0] == w[1]).count() as f64 / (codes.len() - 1) as f64
         };
         assert!(agree(&iid) < 0.25);
         assert!(agree(&clustered) > 0.9);
@@ -271,12 +264,7 @@ mod tests {
             name: "bad".into(),
             rows: 10,
             latent_supports: vec![],
-            columns: vec![ColumnSpec::dependent(
-                "c",
-                Distribution::Uniform { u: 4 },
-                0,
-                0.5,
-            )],
+            columns: vec![ColumnSpec::dependent("c", Distribution::Uniform { u: 4 }, 0, 0.5)],
         };
         generate(&p, 1);
     }

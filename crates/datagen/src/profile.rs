@@ -42,11 +42,7 @@ impl ColumnSpec {
         latent: usize,
         strength: f64,
     ) -> Self {
-        Self {
-            name: name.into(),
-            distribution,
-            dependence: Some(Dependence { latent, strength }),
-        }
+        Self { name: name.into(), distribution, dependence: Some(Dependence { latent, strength }) }
     }
 }
 
@@ -115,12 +111,7 @@ mod tests {
             name: "t".into(),
             rows: 10,
             latent_supports: vec![4],
-            columns: vec![ColumnSpec::dependent(
-                "c",
-                Distribution::Uniform { u: 4 },
-                3,
-                0.5,
-            )],
+            columns: vec![ColumnSpec::dependent("c", Distribution::Uniform { u: 4 }, 3, 0.5)],
         };
         assert!(p.validate().is_err());
     }
@@ -131,12 +122,7 @@ mod tests {
             name: "t".into(),
             rows: 10,
             latent_supports: vec![4],
-            columns: vec![ColumnSpec::dependent(
-                "c",
-                Distribution::Uniform { u: 4 },
-                0,
-                1.5,
-            )],
+            columns: vec![ColumnSpec::dependent("c", Distribution::Uniform { u: 4 }, 0, 1.5)],
         };
         assert!(p.validate().is_err());
     }

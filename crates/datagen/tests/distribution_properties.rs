@@ -1,105 +1,141 @@
-//! Property tests for the distribution models and the alias sampler.
+//! Randomized tests for the distribution models and the alias sampler,
+//! driven by fixed-seed loops over the workspace RNG.
 
-use proptest::prelude::*;
 use swope_datagen::{AliasTable, Distribution};
 use swope_sampling::rng::Xoshiro256pp;
 
-fn distributions() -> impl Strategy<Value = Distribution> {
-    prop_oneof![
-        (1u32..200).prop_map(|u| Distribution::Uniform { u }),
-        (1u32..200, 0.0f64..3.0).prop_map(|(u, s)| Distribution::Zipf { u, s }),
-        (1u32..200, 0.01f64..0.99).prop_map(|(u, p)| Distribution::Geometric { u, p }),
-        (2u32..200, 0.05f64..0.95).prop_flat_map(|(u, head_mass)| {
-            (1..=u).prop_map(move |head| Distribution::TwoTier { u, head, head_mass })
-        }),
-        (1u32..200).prop_map(|u| Distribution::Constant { u }),
-    ]
+const CASES: usize = 128;
+
+fn rng(label: u64) -> Xoshiro256pp {
+    Xoshiro256pp::seed_from_u64(0xD157 ^ label)
 }
 
-proptest! {
-    /// Every model yields a proper probability vector of the declared
-    /// support size.
-    #[test]
-    fn probabilities_are_a_distribution(dist in distributions()) {
+/// Draws one distribution model of a random family and shape.
+fn random_distribution(r: &mut Xoshiro256pp) -> Distribution {
+    match r.next_below(5) {
+        0 => Distribution::Uniform { u: 1 + r.next_below(199) as u32 },
+        1 => Distribution::Zipf { u: 1 + r.next_below(199) as u32, s: r.next_f64() * 3.0 },
+        2 => Distribution::Geometric {
+            u: 1 + r.next_below(199) as u32,
+            p: 0.01 + 0.98 * r.next_f64(),
+        },
+        3 => {
+            let u = 2 + r.next_below(198) as u32;
+            Distribution::TwoTier {
+                u,
+                head: 1 + r.next_below(u as u64) as u32,
+                head_mass: 0.05 + 0.9 * r.next_f64(),
+            }
+        }
+        _ => Distribution::Constant { u: 1 + r.next_below(199) as u32 },
+    }
+}
+
+/// Every model yields a proper probability vector of the declared support
+/// size.
+#[test]
+fn probabilities_are_a_distribution() {
+    let mut r = rng(1);
+    for case in 0..CASES {
+        let dist = random_distribution(&mut r);
         let p = dist.probabilities();
-        prop_assert_eq!(p.len(), dist.support() as usize);
-        prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+        assert_eq!(p.len(), dist.support() as usize, "case {case}: {dist:?}");
+        assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)), "case {case}: {dist:?}");
         let total: f64 = p.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+        assert!((total - 1.0).abs() < 1e-9, "case {case}: sum {total} for {dist:?}");
     }
+}
 
-    /// Model entropy is within [0, log2(u)].
-    #[test]
-    fn model_entropy_in_range(dist in distributions()) {
+/// Model entropy is within [0, log2(u)].
+#[test]
+fn model_entropy_in_range() {
+    let mut r = rng(2);
+    for case in 0..CASES {
+        let dist = random_distribution(&mut r);
         let h = dist.entropy();
-        prop_assert!(h >= -1e-12);
-        prop_assert!(h <= (dist.support().max(1) as f64).log2() + 1e-9);
+        assert!(h >= -1e-12, "case {case}: {dist:?}");
+        assert!(
+            h <= (dist.support().max(1) as f64).log2() + 1e-9,
+            "case {case}: h={h} for {dist:?}"
+        );
     }
+}
 
-    /// The alias sampler only emits codes with nonzero probability and
-    /// stays within the support.
-    #[test]
-    fn alias_sampler_respects_support(dist in distributions(), seed in 0u64..1000) {
+/// The alias sampler only emits codes with nonzero probability and stays
+/// within the support.
+#[test]
+fn alias_sampler_respects_support() {
+    let mut r = rng(3);
+    for case in 0..CASES {
+        let dist = random_distribution(&mut r);
         let table = dist.sampler();
         let p = dist.probabilities();
-        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut draw_rng = Xoshiro256pp::seed_from_u64(r.next_below(1000));
         for _ in 0..200 {
-            let code = table.sample(&mut rng) as usize;
-            prop_assert!(code < p.len());
-            prop_assert!(p[code] > 0.0, "sampled zero-probability code {code}");
+            let code = table.sample(&mut draw_rng) as usize;
+            assert!(code < p.len(), "case {case}: {dist:?}");
+            assert!(p[code] > 0.0, "case {case}: sampled zero-probability code {code}");
         }
     }
+}
 
-    /// Alias tables built from arbitrary positive weight vectors sample
-    /// every positive-weight index and no zero-weight index.
-    #[test]
-    fn alias_table_arbitrary_weights(
-        weights in proptest::collection::vec(0.0f64..10.0, 1..32),
-        seed in 0u64..100,
-    ) {
-        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+/// Alias tables built from arbitrary positive weight vectors sample every
+/// heavy index and no zero-weight index.
+#[test]
+fn alias_table_arbitrary_weights() {
+    let mut r = rng(4);
+    for case in 0..CASES {
+        let len = 1 + r.next_below(31) as usize;
+        // Random weights in [0, 10) with random zero entries mixed in.
+        let weights: Vec<f64> = (0..len)
+            .map(|_| if r.next_below(4) == 0 { 0.0 } else { r.next_f64() * 10.0 })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            continue;
+        }
         let table = AliasTable::new(&weights);
-        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut draw_rng = Xoshiro256pp::seed_from_u64(r.next_below(100));
         let mut seen = vec![false; weights.len()];
         for _ in 0..2000 {
-            let code = table.sample(&mut rng) as usize;
-            prop_assert!(weights[code] > 0.0, "zero-weight code {code}");
+            let code = table.sample(&mut draw_rng) as usize;
+            assert!(weights[code] > 0.0, "case {case}: zero-weight code {code}");
             seen[code] = true;
         }
         // Indices carrying at least ~5% of the mass must show up in 2000
         // draws (probability of missing is < 1e-44).
-        let total: f64 = weights.iter().sum();
         for (i, &w) in weights.iter().enumerate() {
             if w / total >= 0.05 {
-                prop_assert!(seen[i], "heavy index {i} never sampled");
+                assert!(seen[i], "case {case}: heavy index {i} never sampled");
             }
         }
     }
+}
 
-    /// Empirical frequencies track model probabilities (loose statistical
-    /// tolerance; deterministic seeds keep this stable).
-    #[test]
-    fn empirical_frequencies_track_model(
-        u in 2u32..20,
-        s in 0.0f64..2.0,
-        seed in 0u64..20,
-    ) {
+/// Empirical frequencies track model probabilities (loose statistical
+/// tolerance; deterministic seeds keep this stable).
+#[test]
+fn empirical_frequencies_track_model() {
+    let mut r = rng(5);
+    for case in 0..24 {
+        let u = 2 + r.next_below(18) as u32;
+        let s = r.next_f64() * 2.0;
         let dist = Distribution::Zipf { u, s };
         let table = dist.sampler();
         let p = dist.probabilities();
-        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut draw_rng = Xoshiro256pp::seed_from_u64(r.next_below(20));
         let draws = 30_000;
         let mut counts = vec![0u32; u as usize];
         for _ in 0..draws {
-            counts[table.sample(&mut rng) as usize] += 1;
+            counts[table.sample(&mut draw_rng) as usize] += 1;
         }
         for (i, &c) in counts.iter().enumerate() {
             let observed = c as f64 / draws as f64;
             // 5-sigma binomial tolerance.
             let sigma = (p[i] * (1.0 - p[i]) / draws as f64).sqrt();
-            prop_assert!(
+            assert!(
                 (observed - p[i]).abs() < 5.0 * sigma + 1e-3,
-                "code {i}: observed {observed}, model {}",
+                "case {case}, code {i}: observed {observed}, model {}",
                 p[i]
             );
         }

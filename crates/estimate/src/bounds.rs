@@ -404,10 +404,7 @@ mod tests {
             let m = sample_size_for_width(kappa, n, u, p);
             if m < n {
                 let width = 2.0 * lambda(m, n, p) + bias(u, m, n);
-                assert!(
-                    width <= kappa * 1.0001,
-                    "κ={kappa}: M*={m} gives width {width}"
-                );
+                assert!(width <= kappa * 1.0001, "κ={kappa}: M*={m} gives width {width}");
             }
         }
     }

@@ -21,11 +21,7 @@ pub fn empirical_distribution(column: &Column) -> Vec<f64> {
     if n == 0 {
         return vec![0.0; column.support() as usize];
     }
-    column
-        .value_counts()
-        .iter()
-        .map(|&c| c as f64 / n as f64)
-        .collect()
+    column.value_counts().iter().map(|&c| c as f64 / n as f64).collect()
 }
 
 /// Kullback–Leibler divergence `D(p ‖ q)` in bits.
@@ -133,10 +129,7 @@ mod tests {
         let q = [0.0, 1.0];
         let d = jensen_shannon_divergence(&p, &q);
         assert!((d - 1.0).abs() < 1e-12, "disjoint supports hit the 1-bit maximum");
-        assert_eq!(
-            jensen_shannon_divergence(&p, &q),
-            jensen_shannon_divergence(&q, &p)
-        );
+        assert_eq!(jensen_shannon_divergence(&p, &q), jensen_shannon_divergence(&q, &p));
         assert_eq!(jensen_shannon_divergence(&p, &p), 0.0);
     }
 

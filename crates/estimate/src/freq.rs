@@ -96,12 +96,7 @@ impl FxPairMap {
     /// rehashing.
     pub fn with_expected(expected: usize) -> Self {
         let cap = (expected.max(8) * 8 / 7).next_power_of_two();
-        Self {
-            keys: vec![EMPTY; cap],
-            values: vec![0; cap],
-            len: 0,
-            mask: cap - 1,
-        }
+        Self { keys: vec![EMPTY; cap], values: vec![0; cap], len: 0, mask: cap - 1 }
     }
 
     /// Number of distinct keys.
@@ -155,11 +150,7 @@ impl FxPairMap {
 
     /// Iterates `(key, count)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.keys
-            .iter()
-            .zip(&self.values)
-            .filter(|(&k, _)| k != EMPTY)
-            .map(|(&k, &v)| (k, v))
+        self.keys.iter().zip(&self.values).filter(|(&k, _)| k != EMPTY).map(|(&k, &v)| (k, v))
     }
 
     fn grow(&mut self) {
@@ -236,12 +227,7 @@ impl PairCounter {
     pub fn new(u_t: u32, u_a: u32) -> Self {
         let key_space = u_t as u64 * u_a as u64;
         if key_space <= DENSE_PAIR_LIMIT {
-            Self::Dense {
-                counts: vec![0; key_space as usize],
-                stride: u_a,
-                total: 0,
-                distinct: 0,
-            }
+            Self::Dense { counts: vec![0; key_space as usize], stride: u_a, total: 0, distinct: 0 }
         } else {
             Self::Sparse { map: FxPairMap::with_expected(1024), total: 0 }
         }
@@ -304,13 +290,11 @@ impl PairCounter {
         match self {
             Self::Dense { counts, stride, .. } => {
                 let stride = *stride as u64;
-                Box::new(counts.iter().enumerate().filter(|(_, &c)| c > 0).map(
-                    move |(i, &c)| {
-                        let a = i as u64 / stride;
-                        let b = i as u64 % stride;
-                        (pack_pair(a as u32, b as u32), c)
-                    },
-                ))
+                Box::new(counts.iter().enumerate().filter(|(_, &c)| c > 0).map(move |(i, &c)| {
+                    let a = i as u64 / stride;
+                    let b = i as u64 % stride;
+                    (pack_pair(a as u32, b as u32), c)
+                }))
             }
             Self::Sparse { map, .. } => Box::new(map.iter()),
         }

@@ -1,0 +1,421 @@
+//! Minimal hand-rolled JSON: an object writer for the event sink and a
+//! recursive-descent parser for reading events back (tests, tooling).
+//!
+//! The workspace builds without crates.io access, so `serde_json` is not
+//! an option. The subset implemented here is exactly what the
+//! observability layer needs: flat-ish objects of strings, numbers,
+//! booleans, and nulls, with full string escaping on both sides.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `buf` as a JSON string literal (with quotes).
+pub fn escape_into(buf: &mut String, s: &str) {
+    buf.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Incremental writer for one JSON object.
+///
+/// Field order follows call order; keys are written verbatim (callers use
+/// static identifiers, so keys are not escaped — values always are).
+#[derive(Debug)]
+pub struct ObjectWriter {
+    buf: String,
+    first: bool,
+}
+
+impl ObjectWriter {
+    /// Starts a new object (`{`).
+    pub fn new() -> Self {
+        Self { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(key);
+        self.buf.push_str("\":");
+    }
+
+    /// Writes a string field (escaped).
+    pub fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        escape_into(&mut self.buf, value);
+        self
+    }
+
+    /// Writes a float field. Non-finite values become `null` (JSON has no
+    /// NaN/Inf); finite values use Rust's shortest round-trip formatting.
+    pub fn f64_field(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            // Rust's `{}` is shortest-round-trip but prints integral floats
+            // without a dot; add `.0` so the value stays visibly a float.
+            let mut text = String::new();
+            let _ = write!(text, "{value}");
+            if !text.contains(['.', 'e', 'E']) {
+                text.push_str(".0");
+            }
+            self.buf.push_str(&text);
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Writes an unsigned integer field.
+    pub fn u64_field(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Writes a `usize` field.
+    pub fn usize_field(&mut self, key: &str, value: usize) -> &mut Self {
+        self.u64_field(key, value as u64)
+    }
+
+    /// Writes a boolean field.
+    pub fn bool_field(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Closes the object and returns the serialized text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for ObjectWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document. Trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric accessor.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer accessor (errors on fractional values).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at offset {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?} at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar. Slice on char boundary via
+                    // str indexing over the remaining input.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_parseable_object() {
+        let mut w = ObjectWriter::new();
+        w.str_field("event", "query_start")
+            .usize_field("h", 100)
+            .f64_field("epsilon", 0.1)
+            .bool_field("ok", true)
+            .f64_field("bad", f64::NAN);
+        let text = w.finish();
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.get("event").unwrap().as_str(), Some("query_start"));
+        assert_eq!(v.get("h").unwrap().as_u64(), Some(100));
+        assert_eq!(v.get("epsilon").unwrap().as_f64(), Some(0.1));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("bad"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let nasty = "a\"b\\c\nd\te\u{1}f λ";
+        let mut w = ObjectWriter::new();
+        w.str_field("s", nasty);
+        let text = w.finish();
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn integral_floats_stay_numbers() {
+        let mut w = ObjectWriter::new();
+        w.f64_field("x", 3.0);
+        let text = w.finish();
+        assert!(text.contains("3.0"), "{text}");
+        assert_eq!(Json::parse(&text).unwrap().get("x").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_ws() {
+        let v = Json::parse(" {\"a\": [1, 2.5, {\"b\": null}], \"c\": false} ").unwrap();
+        let arr = match v.get("a").unwrap() {
+            Json::Arr(items) => items,
+            other => panic!("not an array: {other:?}"),
+        };
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(v.get("c").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\":1} extra").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers() {
+        let v = Json::parse("[-3, 1e3, -2.5e-2]").unwrap();
+        let arr = match v {
+            Json::Arr(a) => a,
+            _ => unreachable!(),
+        };
+        assert_eq!(arr[0].as_f64(), Some(-3.0));
+        assert_eq!(arr[1].as_f64(), Some(1000.0));
+        assert_eq!(arr[2].as_f64(), Some(-0.025));
+        assert_eq!(arr[0].as_u64(), None);
+    }
+}

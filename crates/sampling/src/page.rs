@@ -32,12 +32,7 @@ impl PageShuffle {
     pub fn new(num_rows: usize, page_rows: usize, seed: u64) -> Self {
         assert!(page_rows > 0, "page_rows must be positive");
         let num_pages = num_rows.div_ceil(page_rows);
-        Self {
-            pages: PrefixShuffle::new(num_pages, seed),
-            page_rows,
-            num_rows,
-            rows: Vec::new(),
-        }
+        Self { pages: PrefixShuffle::new(num_pages, seed), page_rows, num_rows, rows: Vec::new() }
     }
 
     /// Number of rows each full page contains.

@@ -37,10 +37,7 @@ fn grow(dataset: &Dataset, label: usize, rows: Vec<usize>, depth: usize, out: &m
     // SWOPE picks the highest-information-gain attribute on this node's
     // data. ε = 0.5 suffices: any near-best split is fine for a tree.
     let cfg = SwopeConfig::with_epsilon(0.5);
-    let best = mi_top_k(&node_data, label, 1, &cfg)
-        .expect("valid query")
-        .top
-        .remove(0);
+    let best = mi_top_k(&node_data, label, 1, &cfg).expect("valid query").top.remove(0);
     if best.estimate < 0.02 {
         // No attribute is informative; make a leaf.
         out.push(Node { depth, rows, split: None, label_entropy });
@@ -54,7 +51,12 @@ fn grow(dataset: &Dataset, label: usize, rows: Vec<usize>, depth: usize, out: &m
     for &r in &rows {
         parts.entry(col.code(r)).or_default().push(r);
     }
-    out.push(Node { depth, rows: rows_u32.iter().map(|&r| r as usize).collect(), split: Some(split_attr), label_entropy });
+    out.push(Node {
+        depth,
+        rows: rows_u32.iter().map(|&r| r as usize).collect(),
+        split: Some(split_attr),
+        label_entropy,
+    });
     for (_, part) in parts {
         if !part.is_empty() {
             grow(dataset, label, part, depth + 1, out);
@@ -68,17 +70,10 @@ fn grow(dataset: &Dataset, label: usize, rows: Vec<usize>, depth: usize, out: &m
 /// small — ID3-style multiway splits on wide columns shatter the data
 /// (the classic information-gain bias).
 fn build_profile() -> DatasetProfile {
-    let mut columns = vec![ColumnSpec::dependent(
-        "label",
-        Distribution::Uniform { u: 4 },
-        0,
-        0.95,
-    )];
-    for (name, strength, u) in [
-        ("plan_type", 0.8, 6u32),
-        ("usage_tier", 0.6, 8),
-        ("region", 0.35, 5),
-    ] {
+    let mut columns = vec![ColumnSpec::dependent("label", Distribution::Uniform { u: 4 }, 0, 0.95)];
+    for (name, strength, u) in
+        [("plan_type", 0.8, 6u32), ("usage_tier", 0.6, 8), ("region", 0.35, 5)]
+    {
         columns.push(ColumnSpec::dependent(name, Distribution::Uniform { u }, 0, strength));
     }
     for i in 0..6 {
@@ -87,12 +82,7 @@ fn build_profile() -> DatasetProfile {
             Distribution::Zipf { u: 6 + i, s: 1.0 },
         ));
     }
-    DatasetProfile {
-        name: "churn".into(),
-        rows: 120_000,
-        latent_supports: vec![6],
-        columns,
-    }
+    DatasetProfile { name: "churn".into(), rows: 120_000, latent_supports: vec![6], columns }
 }
 
 fn main() {
@@ -121,11 +111,9 @@ fn main() {
                     n.label_entropy
                 );
             }
-            None => println!(
-                "{indent}leaf ({} rows, label H = {:.3})",
-                n.rows.len(),
-                n.label_entropy
-            ),
+            None => {
+                println!("{indent}leaf ({} rows, label H = {:.3})", n.rows.len(), n.label_entropy)
+            }
         }
     }
 

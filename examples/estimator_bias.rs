@@ -23,9 +23,7 @@ fn main() {
     let dist = Distribution::Zipf { u: 500, s: 0.6 };
     let column = generate_column(&dist, n, 99);
     let h_exact = column_entropy(&column);
-    println!(
-        "population: N = {n}, Zipf(u=500, s=0.6), exact H_D = {h_exact:.4} bits\n"
-    );
+    println!("population: N = {n}, Zipf(u=500, s=0.6), exact H_D = {h_exact:.4} bits\n");
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
         "M", "plug-in", "Miller-M.", "jackknife", "bias", "Lemma1 b(α)"

@@ -22,9 +22,8 @@ fn select_features(dataset: &Dataset, label: usize, want: usize) -> Vec<(usize, 
     // Shortlist: the ~3x oversampled approximate top-k by MI with the
     // label. SWOPE does the heavy lifting over all N rows here.
     let shortlist_size = (3 * want).min(dataset.num_attrs() - 1);
-    let shortlist = mi_top_k(dataset, label, shortlist_size, &config)
-        .expect("valid query")
-        .attr_indices();
+    let shortlist =
+        mi_top_k(dataset, label, shortlist_size, &config).expect("valid query").attr_indices();
 
     // Exact relevance for the shortlist only (cheap: few columns).
     let relevance: Vec<(usize, f64)> = shortlist
@@ -67,12 +66,7 @@ fn mrmr_score(dataset: &Dataset, attr: usize, relevance: f64, selected: &[(usize
 /// features f0–f4 also reflect factor 0 (relevant, mutually redundant),
 /// g0–g2 reflect factor 1 (irrelevant to the label), the rest is noise.
 fn build_profile() -> DatasetProfile {
-    let mut columns = vec![ColumnSpec::dependent(
-        "label",
-        Distribution::Uniform { u: 4 },
-        0,
-        0.9,
-    )];
+    let mut columns = vec![ColumnSpec::dependent("label", Distribution::Uniform { u: 4 }, 0, 0.9)];
     for (i, strength) in [0.85, 0.7, 0.6, 0.5, 0.4].iter().enumerate() {
         columns.push(ColumnSpec::dependent(
             format!("relevant_{i}"),
@@ -95,39 +89,24 @@ fn build_profile() -> DatasetProfile {
             Distribution::Zipf { u: 12 + i, s: 0.9 },
         ));
     }
-    DatasetProfile {
-        name: "features".into(),
-        rows: 150_000,
-        latent_supports: vec![8, 8],
-        columns,
-    }
+    DatasetProfile { name: "features".into(), rows: 150_000, latent_supports: vec![8, 8], columns }
 }
 
 fn main() {
     let dataset = generate(&build_profile(), 7);
     let label = 0;
-    println!(
-        "selecting 8 of {} features for label attribute {label}",
-        dataset.num_attrs() - 1
-    );
+    println!("selecting 8 of {} features for label attribute {label}", dataset.num_attrs() - 1);
 
     let selected = select_features(&dataset, label, 8);
     println!("\nselected features (mRMR score = relevance − mean redundancy):");
     for (rank, (attr, score)) in selected.iter().enumerate() {
         let name = dataset.schema().field(*attr).map(|f| f.name()).unwrap_or("?");
         let rel = mutual_information(dataset.column(label), dataset.column(*attr));
-        println!(
-            "  {}. {:<12} relevance {:.4} bits, mRMR score {:.4}",
-            rank + 1,
-            name,
-            rel,
-            score
-        );
+        println!("  {}. {:<12} relevance {:.4} bits, mRMR score {:.4}", rank + 1, name, rel, score);
     }
 
     // Show what a pure-relevance (MIM) ranking would have picked, to make
     // the redundancy penalty's effect visible.
-    let mim = mi_top_k(&dataset, label, 8, &SwopeConfig::with_epsilon(0.5))
-        .expect("valid query");
+    let mim = mi_top_k(&dataset, label, 8, &SwopeConfig::with_epsilon(0.5)).expect("valid query");
     println!("\npure-relevance (MIM) top-8 for comparison: {:?}", mim.attr_indices());
 }

@@ -71,10 +71,8 @@ fn main() {
 
     // Individual queries for comparison.
     let t0 = Instant::now();
-    let individual: Vec<_> = labels
-        .iter()
-        .map(|&t| mi_top_k(&dataset, t, k, &config).expect("valid query"))
-        .collect();
+    let individual: Vec<_> =
+        labels.iter().map(|&t| mi_top_k(&dataset, t, k, &config).expect("valid query")).collect();
     let individual_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     for (i, (batch_res, single_res)) in batched.iter().zip(&individual).enumerate() {

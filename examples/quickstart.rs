@@ -26,7 +26,10 @@ fn main() {
     let topk = entropy_top_k(&dataset, 5, &config).expect("valid query");
     println!("\ntop-5 attributes by empirical entropy (ε = 0.1):");
     for s in &topk.top {
-        println!("  {:<12} H ∈ [{:.3}, {:.3}], estimate {:.3}", s.name, s.lower, s.upper, s.estimate);
+        println!(
+            "  {:<12} H ∈ [{:.3}, {:.3}], estimate {:.3}",
+            s.name, s.lower, s.upper, s.estimate
+        );
     }
     println!(
         "  sampled {} of {} rows ({} iterations, early stop: {})",
@@ -72,21 +75,19 @@ fn main() {
             let sb: f64 = b.iter().map(|(_, s)| s).sum();
             sa.partial_cmp(&sb).unwrap()
         })
-        .and_then(|cols| {
-            cols.iter()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                .map(|&(i, _)| i)
-        })
+        .and_then(|cols| cols.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).map(|&(i, _)| i))
         .unwrap_or(0);
     let mi_cfg = SwopeConfig::with_epsilon(0.5);
     let mi = mi_top_k(&dataset, target, 5, &mi_cfg).expect("valid query");
     println!("\ntop-5 attributes by MI with attribute {target}:");
     for s in &mi.top {
-        println!("  {:<12} I ∈ [{:.3}, {:.3}], estimate {:.3}", s.name, s.lower, s.upper, s.estimate);
+        println!(
+            "  {:<12} I ∈ [{:.3}, {:.3}], estimate {:.3}",
+            s.name, s.lower, s.upper, s.estimate
+        );
     }
     let exact_mi = exact_mi_scores(&dataset, target);
-    let mut mi_order: Vec<usize> =
-        (0..exact_mi.len()).filter(|&a| a != target).collect();
+    let mut mi_order: Vec<usize> = (0..exact_mi.len()).filter(|&a| a != target).collect();
     mi_order.sort_by(|&a, &b| exact_mi[b].partial_cmp(&exact_mi[a]).unwrap());
     println!("  exact top-5: {:?}", &mi_order[..5]);
 

@@ -18,11 +18,7 @@ use swope_datagen::{corpus, generate};
 
 fn main() {
     let dataset = generate(&corpus::cdc(0.01), 3); // ~37.5k rows x 100 cols
-    println!(
-        "screening {} columns over {} rows",
-        dataset.num_attrs(),
-        dataset.num_rows()
-    );
+    println!("screening {} columns over {} rows", dataset.num_attrs(), dataset.num_rows());
 
     // Keep columns with at least 0.5 bits of entropy.
     let eta = 0.5;
@@ -80,11 +76,7 @@ fn main() {
 
     let dropped = dataset.num_attrs() - kept.accepted.len();
     let scan_note = if kept.stats.sample_size < dataset.num_rows() {
-        format!(
-            "full scan avoided: {} of {} rows read",
-            kept.stats.sample_size,
-            dataset.num_rows()
-        )
+        format!("full scan avoided: {} of {} rows read", kept.stats.sample_size, dataset.num_rows())
     } else {
         // At this small N the ε-band around η needs most of the data; on
         // paper-scale datasets the same query samples a tiny fraction.

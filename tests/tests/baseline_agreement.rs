@@ -2,9 +2,8 @@
 //! SWOPE's cost advantage over them must materialize on the corpus.
 
 use swope_baselines::{
-    entropy_filter_exact_sampling, entropy_rank_top_k, exact_entropy_filter,
-    exact_entropy_top_k, exact_mi_filter, exact_mi_top_k, mi_filter_exact_sampling,
-    mi_rank_top_k,
+    entropy_filter_exact_sampling, entropy_rank_top_k, exact_entropy_filter, exact_entropy_top_k,
+    exact_mi_filter, exact_mi_top_k, mi_filter_exact_sampling, mi_rank_top_k,
 };
 use swope_core::{entropy_filter, entropy_top_k, SwopeConfig};
 use swope_datagen::{corpus, generate};

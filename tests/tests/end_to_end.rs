@@ -68,8 +68,7 @@ fn mi_topk_satisfies_definition5_on_corpus() {
     let epsilon = 0.5;
     for target in [0usize, 7, 13] {
         let exact = exact_mi_scores(&ds, target);
-        let order: Vec<usize> =
-            order_desc(&exact).into_iter().filter(|&a| a != target).collect();
+        let order: Vec<usize> = order_desc(&exact).into_iter().filter(|&a| a != target).collect();
         let cfg = SwopeConfig::with_epsilon(epsilon).with_seed(target as u64);
         let res = mi_top_k(&ds, target, 4, &cfg).unwrap();
         for (i, s) in res.top.iter().enumerate() {
@@ -134,19 +133,10 @@ fn all_four_census_profiles_run_all_queries() {
 fn queries_are_reproducible_across_runs() {
     let ds = generate(&corpus::tiny(30_000, 20), 109);
     let cfg = SwopeConfig::with_epsilon(0.1).with_seed(5);
-    assert_eq!(
-        entropy_top_k(&ds, 5, &cfg).unwrap(),
-        entropy_top_k(&ds, 5, &cfg).unwrap()
-    );
-    assert_eq!(
-        entropy_filter(&ds, 1.5, &cfg).unwrap(),
-        entropy_filter(&ds, 1.5, &cfg).unwrap()
-    );
+    assert_eq!(entropy_top_k(&ds, 5, &cfg).unwrap(), entropy_top_k(&ds, 5, &cfg).unwrap());
+    assert_eq!(entropy_filter(&ds, 1.5, &cfg).unwrap(), entropy_filter(&ds, 1.5, &cfg).unwrap());
     let mi_cfg = SwopeConfig::with_epsilon(0.5).with_seed(5);
-    assert_eq!(
-        mi_top_k(&ds, 2, 3, &mi_cfg).unwrap(),
-        mi_top_k(&ds, 2, 3, &mi_cfg).unwrap()
-    );
+    assert_eq!(mi_top_k(&ds, 2, 3, &mi_cfg).unwrap(), mi_top_k(&ds, 2, 3, &mi_cfg).unwrap());
 }
 
 #[test]
@@ -154,20 +144,14 @@ fn threads_do_not_change_any_result() {
     let ds = generate(&corpus::tiny(30_000, 20), 111);
     let base = SwopeConfig::with_epsilon(0.1).with_seed(9);
     let threaded = base.clone().with_threads(8);
-    assert_eq!(
-        entropy_top_k(&ds, 5, &base).unwrap(),
-        entropy_top_k(&ds, 5, &threaded).unwrap()
-    );
+    assert_eq!(entropy_top_k(&ds, 5, &base).unwrap(), entropy_top_k(&ds, 5, &threaded).unwrap());
     assert_eq!(
         entropy_filter(&ds, 2.0, &base).unwrap(),
         entropy_filter(&ds, 2.0, &threaded).unwrap()
     );
     let mi_base = SwopeConfig::with_epsilon(0.5).with_seed(9);
     let mi_threaded = mi_base.clone().with_threads(8);
-    assert_eq!(
-        mi_top_k(&ds, 1, 4, &mi_base).unwrap(),
-        mi_top_k(&ds, 1, 4, &mi_threaded).unwrap()
-    );
+    assert_eq!(mi_top_k(&ds, 1, 4, &mi_base).unwrap(), mi_top_k(&ds, 1, 4, &mi_threaded).unwrap());
     assert_eq!(
         mi_filter(&ds, 1, 0.2, &mi_base).unwrap(),
         mi_filter(&ds, 1, 0.2, &mi_threaded).unwrap()

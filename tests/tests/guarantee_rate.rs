@@ -19,16 +19,12 @@ fn adversarial_dataset(seed: u64) -> Dataset {
     let n = 4_000usize;
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let supports = [16u32, 15, 14, 13, 12, 2];
-    let fields = supports
-        .iter()
-        .enumerate()
-        .map(|(i, &u)| Field::new(format!("c{i}"), u))
-        .collect();
+    let fields =
+        supports.iter().enumerate().map(|(i, &u)| Field::new(format!("c{i}"), u)).collect();
     let columns = supports
         .iter()
         .map(|&u| {
-            let codes: Vec<u32> =
-                (0..n).map(|_| rng.next_below(u as u64) as u32).collect();
+            let codes: Vec<u32> = (0..n).map(|_| rng.next_below(u as u64) as u32).collect();
             Column::new(codes, u).unwrap()
         })
         .collect();
@@ -63,10 +59,7 @@ fn topk_definition5_failure_rate_within_budget() {
         }
     }
     // E[violations] <= 24; with 5-sigma slack (σ ≈ 4.4) allow 46.
-    assert!(
-        violations <= 46,
-        "{violations}/{RUNS} Definition 5 violations at p_f = {P_F}"
-    );
+    assert!(violations <= 46, "{violations}/{RUNS} Definition 5 violations at p_f = {P_F}");
 }
 
 #[test]
@@ -99,8 +92,5 @@ fn filter_definition6_failure_rate_within_budget() {
             violations += 1;
         }
     }
-    assert!(
-        violations <= 46,
-        "{violations}/{RUNS} Definition 6 violations at p_f = {P_F}"
-    );
+    assert!(violations <= 46, "{violations}/{RUNS} Definition 6 violations at p_f = {P_F}");
 }

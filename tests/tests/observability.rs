@@ -1,0 +1,235 @@
+//! Observer-layer integration: every adaptive loop emits a well-formed
+//! event stream, the metrics registry agrees with the per-query
+//! statistics, and attaching observers never changes query answers.
+
+use swope_core::{
+    entropy_filter, entropy_filter_observed, entropy_profile, entropy_profile_observed,
+    entropy_top_k, entropy_top_k_observed, mi_filter, mi_filter_observed, mi_profile,
+    mi_profile_observed, mi_top_k, mi_top_k_batch, mi_top_k_batch_observed, mi_top_k_observed,
+    JsonlSink, MetricsRegistry, SwopeConfig,
+};
+use swope_datagen::{corpus, generate};
+use swope_obs::json::Json;
+use swope_obs::{Phase, PhaseAccumulator, QueryKind};
+
+fn dataset() -> swope_columnar::Dataset {
+    generate(&corpus::tiny(20_000, 12), 0x0B5)
+}
+
+fn cfg(seed: u64) -> SwopeConfig {
+    SwopeConfig::with_epsilon(0.2).with_seed(seed)
+}
+
+/// Runs `f` against an in-memory JSONL sink and returns the parsed lines.
+fn capture(f: impl FnOnce(&mut JsonlSink<Vec<u8>>)) -> Vec<Json> {
+    let mut sink = JsonlSink::new(Vec::new());
+    f(&mut sink);
+    let bytes = sink.finish().unwrap();
+    let text = String::from_utf8(bytes).unwrap();
+    text.lines().map(|l| Json::parse(l).expect(l)).collect()
+}
+
+fn event(v: &Json) -> &str {
+    v.get("event").and_then(Json::as_str).expect("line without event field")
+}
+
+/// Checks the lifecycle shape shared by every loop: one `query_start`
+/// first, one `query_end` last, `iterations` iteration events, exactly
+/// `candidates` retirements, and only known phase names.
+fn assert_stream_shape(events: &[Json], kind: QueryKind, candidates: u64) {
+    assert_eq!(event(&events[0]), "query_start");
+    assert_eq!(
+        events[0].get("kind").unwrap().as_str(),
+        Some(kind.name()),
+        "query_start kind mismatch"
+    );
+    let last = events.last().unwrap();
+    assert_eq!(event(last), "query_end");
+    assert_eq!(events.iter().filter(|e| event(e) == "query_start").count(), 1);
+    assert_eq!(events.iter().filter(|e| event(e) == "query_end").count(), 1);
+
+    let iterations = last.get("iterations").unwrap().as_u64().unwrap();
+    let iter_events = events.iter().filter(|e| event(e) == "iteration").count() as u64;
+    assert_eq!(iter_events, iterations, "one iteration event per doubling round");
+
+    let retired = events.iter().filter(|e| event(e) == "attr_retired").count() as u64;
+    assert_eq!(retired, candidates, "every candidate retires exactly once");
+
+    let phase_names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+    for e in events.iter().filter(|e| event(e) == "phase") {
+        let name = e.get("phase").unwrap().as_str().unwrap();
+        assert!(phase_names.contains(&name), "unknown phase {name}");
+    }
+}
+
+#[test]
+fn jsonl_stream_is_parseable_for_all_six_loops() {
+    let ds = dataset();
+    let h = ds.num_attrs() as u64;
+    let target = 3;
+    let batch_targets = [0usize, 5];
+
+    let events = capture(|s| {
+        entropy_top_k_observed(&ds, 4, &cfg(1), s).unwrap();
+    });
+    assert_stream_shape(&events, QueryKind::EntropyTopK, h);
+
+    let events = capture(|s| {
+        entropy_filter_observed(&ds, 1.5, &cfg(2), s).unwrap();
+    });
+    assert_stream_shape(&events, QueryKind::EntropyFilter, h);
+
+    let events = capture(|s| {
+        entropy_profile_observed(&ds, 0.25, &cfg(3), s).unwrap();
+    });
+    assert_stream_shape(&events, QueryKind::EntropyProfile, h);
+
+    let events = capture(|s| {
+        mi_top_k_observed(&ds, target, 4, &cfg(4), s).unwrap();
+    });
+    assert_stream_shape(&events, QueryKind::MiTopK, h - 1);
+
+    let events = capture(|s| {
+        mi_filter_observed(&ds, target, 0.05, &cfg(5), s).unwrap();
+    });
+    assert_stream_shape(&events, QueryKind::MiFilter, h - 1);
+
+    let events = capture(|s| {
+        mi_profile_observed(&ds, target, 0.1, &cfg(6), s).unwrap();
+    });
+    assert_stream_shape(&events, QueryKind::MiProfile, h - 1);
+
+    let events = capture(|s| {
+        mi_top_k_batch_observed(&ds, &batch_targets, 3, &cfg(7), s).unwrap();
+    });
+    assert_stream_shape(&events, QueryKind::MiTopKBatch, batch_targets.len() as u64 * (h - 1));
+}
+
+#[test]
+fn jsonl_query_end_matches_returned_stats() {
+    let ds = dataset();
+    let mut sink = JsonlSink::new(Vec::new());
+    let res = entropy_top_k_observed(&ds, 3, &cfg(11), &mut sink).unwrap();
+    let bytes = sink.finish().unwrap();
+    let text = String::from_utf8(bytes).unwrap();
+    let end =
+        text.lines().map(|l| Json::parse(l).unwrap()).find(|v| event(v) == "query_end").unwrap();
+    assert_eq!(end.get("sample_size").unwrap().as_u64(), Some(res.stats.sample_size as u64));
+    assert_eq!(end.get("iterations").unwrap().as_u64(), Some(res.stats.iterations as u64));
+    assert_eq!(end.get("rows_scanned").unwrap().as_u64(), Some(res.stats.rows_scanned));
+    assert_eq!(end.get("converged_early").unwrap().as_bool(), Some(res.stats.converged_early));
+}
+
+#[test]
+fn metrics_registry_totals_match_query_stats() {
+    let ds = dataset();
+    let registry = MetricsRegistry::new();
+    let h = ds.num_attrs() as u64;
+
+    let topk = entropy_top_k_observed(&ds, 4, &cfg(21), &mut &registry).unwrap();
+    let filt = entropy_filter_observed(&ds, 1.5, &cfg(22), &mut &registry).unwrap();
+    let mi = mi_top_k_observed(&ds, 2, 3, &cfg(23), &mut &registry).unwrap();
+
+    assert_eq!(registry.queries_all_kinds(), 3);
+    assert_eq!(registry.queries_total(QueryKind::EntropyTopK), 1);
+    assert_eq!(registry.queries_total(QueryKind::EntropyFilter), 1);
+    assert_eq!(registry.queries_total(QueryKind::MiTopK), 1);
+    assert_eq!(registry.queries_total(QueryKind::MiFilter), 0);
+
+    let stats = [&topk.stats, &filt.stats, &mi.stats];
+    assert_eq!(registry.rows_scanned_total(), stats.iter().map(|s| s.rows_scanned).sum::<u64>());
+    assert_eq!(registry.iterations_total(), stats.iter().map(|s| s.iterations as u64).sum::<u64>());
+    assert_eq!(
+        registry.sample_rows_total(),
+        stats.iter().map(|s| s.sample_size as u64).sum::<u64>()
+    );
+    assert_eq!(
+        registry.converged_early_total(),
+        stats.iter().filter(|s| s.converged_early).count() as u64
+    );
+    // Two entropy queries retire h candidates each; the MI query h-1.
+    assert_eq!(registry.attrs_retired_total(), 2 * h + (h - 1));
+    assert_eq!(registry.retirement_iterations().count(), 2 * h + (h - 1));
+
+    // Phase timing was recorded for a live registry (enabled() is true),
+    // and both renderings include the counters.
+    let total_phase: u64 = Phase::ALL.iter().map(|&p| registry.phase_nanos_total(p)).sum();
+    assert!(total_phase > 0, "phase timers should have fired");
+    let table = registry.render_table();
+    assert!(table.contains("rows_scanned_total"), "{table}");
+    let prom = registry.render_prometheus();
+    assert!(prom.contains("swope_queries_total"), "{prom}");
+}
+
+#[test]
+fn observers_never_change_answers() {
+    let ds = dataset();
+    let target = 4;
+    let targets = [1usize, 6];
+
+    // Each pair runs the same seed with and without observation; results
+    // must be bitwise identical (PartialEq covers every field, including
+    // the full iteration trace).
+    let registry = MetricsRegistry::new();
+    let mut acc = PhaseAccumulator::new();
+
+    let plain = entropy_top_k(&ds, 4, &cfg(31)).unwrap();
+    let seen = entropy_top_k_observed(&ds, 4, &cfg(31), &mut &registry).unwrap();
+    assert_eq!(plain, seen);
+
+    let plain = entropy_filter(&ds, 1.5, &cfg(32)).unwrap();
+    let seen = entropy_filter_observed(&ds, 1.5, &cfg(32), &mut acc).unwrap();
+    assert_eq!(plain, seen);
+
+    let plain = entropy_profile(&ds, 0.25, &cfg(33)).unwrap();
+    let seen = entropy_profile_observed(&ds, 0.25, &cfg(33), &mut &registry).unwrap();
+    assert_eq!(plain, seen);
+
+    let plain = mi_top_k(&ds, target, 3, &cfg(34)).unwrap();
+    let seen = mi_top_k_observed(&ds, target, 3, &cfg(34), &mut &registry).unwrap();
+    assert_eq!(plain, seen);
+
+    let plain = mi_filter(&ds, target, 0.05, &cfg(35)).unwrap();
+    let seen = mi_filter_observed(&ds, target, 0.05, &cfg(35), &mut &registry).unwrap();
+    assert_eq!(plain, seen);
+
+    let plain = mi_profile(&ds, target, 0.1, &cfg(36)).unwrap();
+    let seen = mi_profile_observed(&ds, target, 0.1, &cfg(36), &mut &registry).unwrap();
+    assert_eq!(plain, seen);
+
+    let plain = mi_top_k_batch(&ds, &targets, 3, &cfg(37)).unwrap();
+    let seen = mi_top_k_batch_observed(&ds, &targets, 3, &cfg(37), &mut &registry).unwrap();
+    assert_eq!(plain, seen);
+
+    // The filter pair ran through the accumulator: phases were timed.
+    assert!(acc.total_nanos() > 0);
+}
+
+#[test]
+fn observers_never_change_answers_multithreaded() {
+    let ds = dataset();
+    let threaded = |seed: u64| SwopeConfig::with_epsilon(0.2).with_seed(seed).with_threads(4);
+
+    let registry = MetricsRegistry::new();
+    let plain = entropy_top_k(&ds, 4, &threaded(41)).unwrap();
+    let seen = entropy_top_k_observed(&ds, 4, &threaded(41), &mut &registry).unwrap();
+    assert_eq!(plain, seen);
+
+    let serial = entropy_top_k(&ds, 4, &cfg(41)).unwrap();
+    assert_eq!(plain, serial, "thread count must not change results");
+
+    let plain = mi_top_k_batch(&ds, &[0, 5], 3, &threaded(42)).unwrap();
+    let seen = mi_top_k_batch_observed(&ds, &[0, 5], 3, &threaded(42), &mut &registry).unwrap();
+    assert_eq!(plain, seen);
+}
+
+#[test]
+fn phase_accumulator_covers_every_phase() {
+    let ds = dataset();
+    let mut acc = PhaseAccumulator::new();
+    entropy_top_k_observed(&ds, 4, &cfg(51), &mut acc).unwrap();
+    for p in Phase::ALL {
+        assert!(acc.calls[p.index()] > 0, "phase {} never reported", p.name());
+    }
+    assert_eq!(acc.total_nanos(), acc.nanos.iter().sum::<u64>());
+}

@@ -1,9 +1,15 @@
 //! Robustness: malformed inputs must produce errors, never panics or
-//! silent corruption.
+//! silent corruption. Fixed-seed randomized loops over the workspace RNG.
 
-use proptest::prelude::*;
-use swope_columnar::csv::{read_csv, CsvOptions};
+use swope_columnar::csv::{read_csv, write_csv, CsvOptions};
 use swope_columnar::{snapshot, DatasetBuilder};
+use swope_sampling::rng::Xoshiro256pp;
+
+const CASES: usize = 200;
+
+fn rng(label: u64) -> Xoshiro256pp {
+    Xoshiro256pp::seed_from_u64(0xB0B ^ label)
+}
 
 fn sample_bytes() -> Vec<u8> {
     let mut b = DatasetBuilder::new(vec!["a".into(), "b".into()]);
@@ -13,80 +19,103 @@ fn sample_bytes() -> Vec<u8> {
     snapshot::encode(&b.finish()).to_vec()
 }
 
-proptest! {
-    /// Decoding arbitrary bytes never panics.
-    #[test]
-    fn snapshot_decode_arbitrary_bytes_never_panics(
-        bytes in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
+/// Decoding arbitrary bytes never panics.
+#[test]
+fn snapshot_decode_arbitrary_bytes_never_panics() {
+    let mut r = rng(1);
+    for _ in 0..CASES {
+        let len = r.next_below(512) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| r.next_below(256) as u8).collect();
         let _ = snapshot::decode(&bytes);
     }
+}
 
-    /// Truncating a valid snapshot anywhere yields an error (not a panic,
-    /// not a silently short dataset).
-    #[test]
-    fn snapshot_truncation_always_errors(cut_fraction in 0.0f64..1.0) {
-        let bytes = sample_bytes();
-        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
-        prop_assume!(cut < bytes.len());
-        prop_assert!(snapshot::decode(&bytes[..cut]).is_err());
+/// Truncating a valid snapshot anywhere yields an error (not a panic, not
+/// a silently short dataset).
+#[test]
+fn snapshot_truncation_always_errors() {
+    let bytes = sample_bytes();
+    for cut in 0..bytes.len() {
+        assert!(snapshot::decode(&bytes[..cut]).is_err(), "cut at {cut}");
     }
+}
 
-    /// Flipping one byte of a valid snapshot either errors or yields a
-    /// dataset that still satisfies its own invariants (codes < support) —
-    /// it must never panic.
-    #[test]
-    fn snapshot_single_byte_corruption_is_contained(
-        pos_fraction in 0.0f64..1.0,
-        xor in 1u8..=255,
-    ) {
-        let mut bytes = sample_bytes();
-        let pos = ((bytes.len() - 1) as f64 * pos_fraction) as usize;
-        bytes[pos] ^= xor;
-        if let Ok(ds) = snapshot::decode(&bytes) {
+/// Flipping one byte of a valid snapshot either errors or yields a
+/// dataset that still satisfies its own invariants (codes < support) — it
+/// must never panic.
+#[test]
+fn snapshot_single_byte_corruption_is_contained() {
+    let mut r = rng(2);
+    let bytes = sample_bytes();
+    for case in 0..CASES {
+        let mut corrupted = bytes.clone();
+        let pos = r.next_below(bytes.len() as u64) as usize;
+        let xor = 1 + r.next_below(255) as u8;
+        corrupted[pos] ^= xor;
+        if let Ok(ds) = snapshot::decode(&corrupted) {
             for attr in 0..ds.num_attrs() {
                 let col = ds.column(attr);
                 let support = col.support();
-                prop_assert!(col.codes().iter().all(|&c| c < support));
+                assert!(
+                    col.codes().iter().all(|&c| c < support),
+                    "case {case}: code out of support after corrupting byte {pos}"
+                );
             }
         }
     }
+}
 
-    /// Parsing arbitrary text as CSV never panics.
-    #[test]
-    fn csv_arbitrary_text_never_panics(text in "\\PC{0,300}") {
-        let _ = read_csv(text.as_bytes(), &CsvOptions::default());
-    }
-
-    /// Parsing arbitrary *bytes* (possibly invalid UTF-8) as CSV never
-    /// panics.
-    #[test]
-    fn csv_arbitrary_bytes_never_panics(
-        bytes in proptest::collection::vec(any::<u8>(), 0..300),
-    ) {
+/// Parsing arbitrary bytes (printable text, control characters, or
+/// invalid UTF-8) as CSV never panics.
+#[test]
+fn csv_arbitrary_bytes_never_panics() {
+    let mut r = rng(3);
+    for _ in 0..CASES {
+        let len = r.next_below(300) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| r.next_below(256) as u8).collect();
         let _ = read_csv(bytes.as_slice(), &CsvOptions::default());
     }
+    // Structured-looking text too: quotes, commas, and newlines in
+    // adversarial positions.
+    for _ in 0..CASES {
+        let len = r.next_below(120) as usize;
+        let alphabet: &[u8] = b"a,\"\n\r;x 0\t";
+        let bytes: Vec<u8> =
+            (0..len).map(|_| alphabet[r.next_below(alphabet.len() as u64) as usize]).collect();
+        let _ = read_csv(bytes.as_slice(), &CsvOptions::default());
+    }
+}
 
-    /// Well-formed CSV with any cell content round-trips through
-    /// write_csv -> read_csv.
-    #[test]
-    fn csv_round_trip_arbitrary_cells(
-        cells in proptest::collection::vec(
-            proptest::collection::vec("[ -~]{0,12}", 2..=2),
-            1..30,
-        ),
-    ) {
+/// Well-formed CSV with any printable cell content round-trips through
+/// write_csv -> read_csv.
+#[test]
+fn csv_round_trip_arbitrary_cells() {
+    let mut r = rng(4);
+    for case in 0..CASES {
+        let rows = 1 + r.next_below(29) as usize;
+        let cells: Vec<Vec<String>> = (0..rows)
+            .map(|_| {
+                (0..2)
+                    .map(|_| {
+                        let len = r.next_below(13) as usize;
+                        (0..len)
+                            .map(|_| (b' ' + r.next_below(95) as u8) as char)
+                            .collect::<String>()
+                    })
+                    .collect()
+            })
+            .collect();
         let mut b = DatasetBuilder::new(vec!["x".into(), "y".into()]);
         for row in &cells {
             b.push_row(row).unwrap();
         }
         let ds = b.finish();
         let mut out = Vec::new();
-        swope_columnar::csv::write_csv(&ds, &mut out).unwrap();
+        write_csv(&ds, &mut out).unwrap();
         let back = read_csv(out.as_slice(), &CsvOptions::default()).unwrap();
-        prop_assert_eq!(back.num_rows(), ds.num_rows());
+        assert_eq!(back.num_rows(), ds.num_rows(), "case {case}");
         for attr in 0..2 {
-            prop_assert_eq!(back.column(attr).codes(), ds.column(attr).codes());
+            assert_eq!(back.column(attr).codes(), ds.column(attr).codes(), "case {case}");
         }
     }
 }
