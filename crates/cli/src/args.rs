@@ -16,6 +16,7 @@ commands:
   gen <profile> --out <file>           generate a synthetic dataset
                                        (profiles: cdc hus pus enem tiny)
   convert <in> <out>                   convert between .csv and .swop
+  serve [<file>...]                    HTTP query server over the given datasets
 
 common options:
   --algo swope|rank|exact   query algorithm (default swope)
@@ -29,7 +30,13 @@ common options:
 
 observability (swope algo only):
   --events-out <path>       write per-query observer events as JSON lines
-  --metrics                 print a metrics summary table after the query";
+  --metrics                 print a metrics summary table after the query
+
+serve options:
+  --addr <host:port>        listen address (default 127.0.0.1:7878; port 0 = any)
+  --queue-depth <n>         bounded request queue size (default 64)
+  --cache-capacity <n>      result-cache entries, 0 disables (default 256)
+  --deadline-ms <n>         max queueing time before answering 503 (default 10000)";
 
 /// Which algorithm a query should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,6 +85,14 @@ pub struct Options {
     pub events_out: Option<String>,
     /// `--metrics`: print a metrics summary after the query.
     pub metrics: bool,
+    /// `--addr` (serve): listen address.
+    pub addr: Option<String>,
+    /// `--queue-depth` (serve): bounded request queue size.
+    pub queue_depth: Option<usize>,
+    /// `--cache-capacity` (serve): result-cache entries.
+    pub cache_capacity: Option<usize>,
+    /// `--deadline-ms` (serve): max queueing milliseconds before 503.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Parses everything after the command word.
@@ -100,6 +115,10 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--out" => o.out = Some(raw_value(args, &mut i, "--out")?),
             "--events-out" => o.events_out = Some(raw_value(args, &mut i, "--events-out")?),
             "--metrics" => o.metrics = true,
+            "--addr" => o.addr = Some(raw_value(args, &mut i, "--addr")?),
+            "--queue-depth" => o.queue_depth = Some(value(args, &mut i, "--queue-depth")?),
+            "--cache-capacity" => o.cache_capacity = Some(value(args, &mut i, "--cache-capacity")?),
+            "--deadline-ms" => o.deadline_ms = Some(value(args, &mut i, "--deadline-ms")?),
             "--algo" => {
                 let v = raw_value(args, &mut i, "--algo")?;
                 o.algo = match v.as_str() {
@@ -182,6 +201,28 @@ mod tests {
         let o = parse(&["d.swop"]).unwrap();
         assert!(o.events_out.is_none());
         assert!(!o.metrics);
+    }
+
+    #[test]
+    fn serve_options() {
+        let o = parse(&[
+            "a.swop",
+            "--addr",
+            "127.0.0.1:0",
+            "--queue-depth",
+            "8",
+            "--cache-capacity",
+            "32",
+            "--deadline-ms",
+            "250",
+        ])
+        .unwrap();
+        assert_eq!(o.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(o.queue_depth, Some(8));
+        assert_eq!(o.cache_capacity, Some(32));
+        assert_eq!(o.deadline_ms, Some(250));
+        assert!(parse(&["--queue-depth", "lots"]).is_err());
+        assert!(parse(&["--addr"]).is_err());
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "drift" => cmd_drift(&opts),
         "gen" => cmd_gen(&opts),
         "convert" => cmd_convert(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", crate::args::USAGE);
             Ok(())
@@ -94,12 +95,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
 /// applies the support cap.
 fn load(opts: &Options) -> Result<Dataset, String> {
     let path = opts.positional.first().ok_or("expected a dataset file argument")?;
-    let ds = if path.ends_with(".swop") {
-        snapshot::read_file(path).map_err(|e| format!("loading {path}: {e}"))?
-    } else {
-        csv::read_csv_file(path, &csv::CsvOptions::default())
-            .map_err(|e| format!("loading {path}: {e}"))?
-    };
+    let ds = Dataset::from_path(path).map_err(|e| format!("loading {path}: {e}"))?;
     let cap = opts.max_support.unwrap_or(1000);
     let (capped, kept) = ds.cap_support(cap);
     if kept.len() < ds.num_attrs() {
@@ -299,12 +295,7 @@ fn cmd_drift(opts: &Options) -> Result<(), String> {
         return Err("drift expects two dataset files".into());
     };
     let load_one = |path: &str| -> Result<swope_columnar::Dataset, String> {
-        if path.ends_with(".swop") {
-            snapshot::read_file(path).map_err(|e| format!("loading {path}: {e}"))
-        } else {
-            csv::read_csv_file(path, &csv::CsvOptions::default())
-                .map_err(|e| format!("loading {path}: {e}"))
-        }
+        Dataset::from_path(path).map_err(|e| format!("loading {path}: {e}"))
     };
     let a = load_one(a_path)?;
     let b = load_one(b_path)?;
@@ -356,13 +347,44 @@ fn cmd_convert(opts: &Options) -> Result<(), String> {
     let [input, output] = opts.positional.as_slice() else {
         return Err("convert expects <in> <out>".into());
     };
-    let ds = if input.ends_with(".swop") {
-        snapshot::read_file(input).map_err(|e| e.to_string())?
-    } else {
-        csv::read_csv_file(input, &csv::CsvOptions::default()).map_err(|e| e.to_string())?
-    };
+    let ds = Dataset::from_path(input).map_err(|e| e.to_string())?;
     write_dataset(&ds, output)?;
     println!("wrote {output}");
+    Ok(())
+}
+
+/// `swope serve [<file>...]`: load the given datasets, bind, and serve
+/// until SIGINT/SIGTERM.
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    let config = swope_server::ServerConfig {
+        addr: opts.addr.clone().unwrap_or_else(|| "127.0.0.1:7878".into()),
+        threads: opts.threads.unwrap_or(4),
+        queue_capacity: opts.queue_depth.unwrap_or(64),
+        cache_capacity: opts.cache_capacity.unwrap_or(256),
+        deadline: std::time::Duration::from_millis(opts.deadline_ms.unwrap_or(10_000)),
+        max_support: opts.max_support.unwrap_or(1000),
+        handle_signals: true,
+        ..swope_server::ServerConfig::default()
+    };
+    let server = swope_server::Server::bind(config).map_err(|e| format!("binding: {e}"))?;
+    for path in &opts.positional {
+        let entry = server.registry().load_path(path)?;
+        println!(
+            "loaded {:?} as {:?} ({} rows x {} columns)",
+            path,
+            entry.name,
+            entry.dataset.num_rows(),
+            entry.dataset.num_attrs()
+        );
+    }
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on http://{addr}");
+    // Scripts (and the CI smoke test) wait for the line above before
+    // sending requests; make sure it is visible before we block serving.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run();
+    println!("shut down cleanly");
     Ok(())
 }
 

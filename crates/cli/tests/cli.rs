@@ -109,6 +109,96 @@ fn missing_required_options_error_cleanly() {
 }
 
 #[test]
+fn malformed_flags_fail_with_one_line_error_and_usage() {
+    let path = tmp("badflags.swop");
+    let o =
+        swope(&["gen", "tiny", "--rows", "100", "--cols", "4", "--out", path.to_str().unwrap()]);
+    assert!(o.status.success());
+    let p = path.to_str().unwrap();
+
+    // Unknown flag.
+    let o = swope(&["entropy-topk", p, "-k", "2", "--definitely-not-a-flag"]);
+    assert!(!o.status.success());
+    let err = stderr(&o);
+    assert!(err.contains("error: unknown option \"--definitely-not-a-flag\""), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+    assert!(stdout(&o).is_empty(), "errors must not pollute stdout");
+
+    // Flag at the end with its value missing.
+    let o = swope(&["mi-topk", p, "-k", "2", "--target"]);
+    assert!(!o.status.success());
+    let err = stderr(&o);
+    assert!(err.contains("error: --target requires a value"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+
+    // Non-numeric value for a numeric flag.
+    let o = swope(&["entropy-topk", p, "-k", "three"]);
+    assert!(!o.status.success());
+    let err = stderr(&o);
+    assert!(err.contains("error: invalid value \"three\" for -k"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+
+    // The one-line error comes first, then a blank line, then usage.
+    let mut lines = err.lines();
+    assert!(lines.next().unwrap().starts_with("error: "));
+    assert_eq!(lines.next(), Some(""));
+    assert!(lines.next().unwrap().starts_with("usage:"));
+}
+
+#[test]
+fn serve_answers_health_and_queries() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let path = tmp("serve.swop");
+    let p = path.to_str().unwrap();
+    let o = swope(&["gen", "tiny", "--rows", "500", "--cols", "5", "--out", p]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_swope"))
+        .args(["serve", p, "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+
+    // The server prints its bound address once ready.
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            let mut err = String::new();
+            let _ = child.stderr.take().unwrap().read_to_string(&mut err);
+            panic!("server exited before listening: {err}");
+        }
+        if let Some(rest) = line.trim().strip_prefix("listening on http://") {
+            break rest.to_owned();
+        }
+    };
+
+    let request = |target: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream.write_all(format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    };
+
+    let health = request("/healthz");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+    assert!(health.contains("\"datasets\":1"), "{health}");
+
+    let query = request("/query/entropy-topk?dataset=serve&k=2");
+    assert!(query.starts_with("HTTP/1.1 200"), "{query}");
+    assert!(query.contains("\"query\":\"entropy_top_k\""), "{query}");
+
+    let metrics = request("/metrics");
+    assert!(metrics.contains("swope_http_requests_total"), "{metrics}");
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+}
+
+#[test]
 fn target_by_name_resolves() {
     let path = tmp("byname.csv");
     std::fs::write(&path, "label,f1\n0,a\n1,b\n0,a\n1,b\n").unwrap();

@@ -38,6 +38,19 @@ impl Dataset {
         Ok(Self { schema, columns, num_rows })
     }
 
+    /// Loads a dataset from `path`, dispatching on the extension: `.swop`
+    /// is read as a [`crate::snapshot`], anything else as CSV with default
+    /// options. This is the one loader shared by the CLI and the server's
+    /// dataset registry, so both agree on what a path means.
+    pub fn from_path(path: impl AsRef<std::path::Path>) -> Result<Dataset, ColumnarError> {
+        let path = path.as_ref();
+        if path.extension().is_some_and(|e| e == "swop") {
+            crate::snapshot::read_file(path)
+        } else {
+            crate::csv::read_csv_file(path, &crate::csv::CsvOptions::default())
+        }
+    }
+
     /// The schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

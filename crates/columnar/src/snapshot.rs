@@ -97,6 +97,9 @@ pub fn decode(mut bytes: &[u8]) -> Result<Dataset, ColumnarError> {
         let name = get_str(buf)?;
         let support = get_u32(buf)?;
         let has_dict = get_u8(buf)?;
+        if has_dict > 1 {
+            return Err(ColumnarError::Snapshot(format!("invalid dictionary flag {has_dict}")));
+        }
         let field = if has_dict == 1 {
             let count = get_u32(buf)? as usize;
             // Each value needs at least its 4-byte length prefix.
@@ -253,9 +256,12 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        let mut bytes = encode(&sample()).to_vec();
-        bytes[0] = b'X';
-        assert!(decode(&bytes).is_err());
+        // Corrupting any of the four magic bytes must fail, not misparse.
+        for i in 0..4 {
+            let mut bytes = encode(&sample()).to_vec();
+            bytes[i] ^= 0xff;
+            assert!(decode(&bytes).is_err(), "corrupt magic byte {i} should fail");
+        }
     }
 
     #[test]
@@ -267,10 +273,86 @@ mod tests {
 
     #[test]
     fn rejects_truncation_at_every_prefix_boundary() {
+        // Every strict prefix of a valid buffer crosses some field boundary
+        // mid-read; decode must return an error at all of them — never
+        // panic, never accept a shorter dataset.
         let bytes = encode(&sample()).to_vec();
-        for cut in [0, 3, 5, 10, bytes.len() - 1] {
+        for cut in 0..bytes.len() {
             assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
         }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics() {
+        // Flip every byte in turn: decode may reject or (for payload bytes
+        // like dictionary text) accept a different value, but it must
+        // always return rather than panic or over-allocate.
+        let bytes = encode(&sample()).to_vec();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xff;
+            let _ = decode(&corrupt);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_dictionary_flag() {
+        let ds = sample();
+        let bytes = encode(&ds);
+        // The first field's has_dict flag sits right after the fixed header
+        // (4 magic + 2 version + 2 flags + 4 h + 8 n), the name (4 + len),
+        // and the 4-byte support.
+        let name_len = ds.schema().field(0).unwrap().name().len();
+        let flag_at = 20 + 4 + name_len + 4;
+        assert_eq!(bytes[flag_at], 1, "offset arithmetic drifted");
+        let mut corrupt = bytes.clone();
+        corrupt[flag_at] = 2;
+        let err = decode(&corrupt).unwrap_err();
+        assert!(err.to_string().contains("dictionary flag"), "{err}");
+    }
+
+    #[test]
+    fn rejects_dictionary_support_mismatch() {
+        // Hand-assemble a snapshot whose dictionary has fewer values than
+        // the declared support: h=1, n=0, field "a" with support 2 but a
+        // one-entry dictionary.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // h
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // n
+        put_str(&mut bytes, "a");
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // support
+        bytes.push(1); // has_dict
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // dict count
+        put_str(&mut bytes, "x");
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("disagrees"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_utf8_field_name() {
+        let ds = sample();
+        let mut bytes = encode(&ds);
+        // First byte of the first field name (after the 20-byte header and
+        // the 4-byte length prefix).
+        bytes[24] = 0xff;
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("UTF-8"), "{err}");
+    }
+
+    #[test]
+    fn rejects_oversized_declared_sizes_without_allocating() {
+        // A header declaring astronomically many rows/attrs must fail the
+        // up-front size check instead of attempting the allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // h
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // n
+        assert!(decode(&bytes).is_err());
     }
 
     #[test]

@@ -27,6 +27,28 @@ pub fn escape_into(buf: &mut String, s: &str) {
     buf.push('"');
 }
 
+/// Appends `value` to `buf` as a JSON number.
+///
+/// Non-finite values become `null` (JSON has no NaN/Inf); finite values
+/// use Rust's shortest round-trip formatting, so parsing the text back
+/// with [`Json::parse`] reproduces the exact same bits. This is the one
+/// float formatter shared by every JSON producer in the workspace —
+/// anything that needs serialized results to compare bitwise (the result
+/// cache, the bitwise-identity integration tests) depends on that.
+pub fn f64_into(buf: &mut String, value: f64) {
+    if value.is_finite() {
+        // Rust's `{}` is shortest-round-trip but prints integral floats
+        // without a dot; add `.0` so the value stays visibly a float.
+        let start = buf.len();
+        let _ = write!(buf, "{value}");
+        if !buf[start..].contains(['.', 'e', 'E']) {
+            buf.push_str(".0");
+        }
+    } else {
+        buf.push_str("null");
+    }
+}
+
 /// Incremental writer for one JSON object.
 ///
 /// Field order follows call order; keys are written verbatim (callers use
@@ -64,18 +86,7 @@ impl ObjectWriter {
     /// NaN/Inf); finite values use Rust's shortest round-trip formatting.
     pub fn f64_field(&mut self, key: &str, value: f64) -> &mut Self {
         self.key(key);
-        if value.is_finite() {
-            // Rust's `{}` is shortest-round-trip but prints integral floats
-            // without a dot; add `.0` so the value stays visibly a float.
-            let mut text = String::new();
-            let _ = write!(text, "{value}");
-            if !text.contains(['.', 'e', 'E']) {
-                text.push_str(".0");
-            }
-            self.buf.push_str(&text);
-        } else {
-            self.buf.push_str("null");
-        }
+        f64_into(&mut self.buf, value);
         self
     }
 
@@ -171,6 +182,14 @@ impl Json {
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
             _ => None,
         }
     }

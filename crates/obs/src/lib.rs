@@ -26,6 +26,7 @@
 pub mod json;
 mod jsonl;
 mod metrics;
+pub mod names;
 
 pub use jsonl::JsonlSink;
 pub use metrics::{Histogram, MetricsRegistry};

@@ -63,7 +63,11 @@ impl Histogram {
         &self.bounds
     }
 
-    fn render_prometheus(&self, name: &str, out: &mut String) {
+    /// Appends this histogram to `out` as a Prometheus `histogram` family
+    /// named `name` (cumulative `_bucket{le=...}` lines plus `_sum` and
+    /// `_count`). Public so other subsystems — e.g. the request-duration
+    /// histogram in `swope-server` — render through the exact same shape.
+    pub fn render_prometheus(&self, name: &str, out: &mut String) {
         let _ = writeln!(out, "# TYPE {name} histogram");
         let mut cumulative = 0u64;
         for (i, &bound) in self.bounds.iter().enumerate() {

@@ -1,0 +1,43 @@
+//! Canonical metric names for the serving subsystem.
+//!
+//! `swope-server` feeds its counters and histograms into the same
+//! Prometheus exposition text as [`crate::MetricsRegistry`]'s query
+//! metrics. The names live here — next to the query-metric families they
+//! share a scrape with — so the server, the docs, and any dashboards
+//! agree on one spelling. All families follow the `swope_*` prefix the
+//! registry already uses.
+
+/// Counter: HTTP requests fully parsed and routed (sheds and unparseable
+/// connections are counted by their own families below).
+pub const HTTP_REQUESTS_TOTAL: &str = "swope_http_requests_total";
+
+/// Counter with a `class` label (`"2xx"`..`"5xx"`): responses written by
+/// the router.
+pub const HTTP_RESPONSES_TOTAL: &str = "swope_http_responses_total";
+
+/// Counter: connections shed with `503` at the accept loop because the
+/// bounded request queue was full.
+pub const HTTP_REJECTED_TOTAL: &str = "swope_http_rejected_total";
+
+/// Counter: requests answered `503` because they aged past the
+/// per-request deadline while waiting in the queue.
+pub const HTTP_DEADLINE_EXPIRED_TOTAL: &str = "swope_http_deadline_expired_total";
+
+/// Histogram: wall-clock microseconds from request parse to response
+/// written, for requests that reached the router.
+pub const HTTP_REQUEST_MICROS: &str = "swope_http_request_duration_microseconds";
+
+/// Counter: query responses served straight from the result cache.
+pub const CACHE_HITS_TOTAL: &str = "swope_cache_hits_total";
+
+/// Counter: query-cache lookups that missed and ran the adaptive loop.
+pub const CACHE_MISSES_TOTAL: &str = "swope_cache_misses_total";
+
+/// Counter: cache entries evicted to make room (least-recently-used).
+pub const CACHE_EVICTIONS_TOTAL: &str = "swope_cache_evictions_total";
+
+/// Gauge: requests currently waiting in the bounded queue.
+pub const QUEUE_DEPTH: &str = "swope_queue_depth";
+
+/// Gauge: datasets resident in the registry.
+pub const DATASETS_LOADED: &str = "swope_datasets_loaded";

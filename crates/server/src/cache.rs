@@ -1,0 +1,163 @@
+//! LRU cache of serialized query results.
+//!
+//! Keys encode `(dataset id + generation, query shape, params, seed)` —
+//! see `query::cache_key` — so a hit is guaranteed to be byte-identical
+//! to re-running the query: SWOPE queries are deterministic given the
+//! dataset and the sampling seed, and replacing a dataset bumps its
+//! generation, which changes every key that referenced it.
+//!
+//! Eviction is least-recently-used via a logical clock: each access
+//! stamps the entry, and inserting past capacity removes the entry with
+//! the oldest stamp (an `O(capacity)` scan — capacities are hundreds, not
+//! millions). Hit/miss/eviction counters are atomic so the metrics
+//! endpoint reads them without taking the map lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Entry {
+    body: Arc<String>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<String, Entry>,
+    clock: u64,
+}
+
+/// A bounded, thread-safe LRU map from cache key to response body.
+pub struct ResultCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries; `0` disables caching
+    /// (every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(Inner { map: HashMap::new(), clock: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<String>> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.body))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `body` under `key`, evicting the least-recently-used entry
+    /// if the cache is at capacity.
+    pub fn put(&self, key: String, body: Arc<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.map.insert(key, Entry { body, last_used: clock });
+        if inner.map.len() > self.capacity {
+            if let Some(oldest) =
+                inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<String> {
+        Arc::new(s.to_owned())
+    }
+
+    #[test]
+    fn hit_after_put_and_counters() {
+        let cache = ResultCache::new(4);
+        assert!(cache.get("a").is_none());
+        cache.put("a".into(), body("1"));
+        assert_eq!(cache.get("a").unwrap().as_str(), "1");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = ResultCache::new(2);
+        cache.put("a".into(), body("1"));
+        cache.put("b".into(), body("2"));
+        assert!(cache.get("a").is_some()); // refresh "a"; "b" is now oldest
+        cache.put("c".into(), body("3"));
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get("b").is_none(), "b should have been evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = ResultCache::new(0);
+        cache.put("a".into(), body("1"));
+        assert!(cache.get("a").is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn replacing_a_key_keeps_len_bounded() {
+        let cache = ResultCache::new(2);
+        cache.put("a".into(), body("1"));
+        cache.put("a".into(), body("2"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get("a").unwrap().as_str(), "2");
+    }
+}

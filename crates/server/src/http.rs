@@ -1,0 +1,365 @@
+//! Minimal HTTP/1.1 support: request parsing and response writing.
+//!
+//! The workspace builds without crates.io access, so this implements
+//! exactly the subset the query server needs: one request per connection
+//! (`Connection: close` on every response), request bodies sized by
+//! `Content-Length`, and percent-decoded query strings. No chunked
+//! transfer, no keep-alive, no TLS.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on one header line (request line included).
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Upper bound on the number of header lines.
+const MAX_HEADERS: usize = 100;
+
+/// A parse-level failure (distinct from transport I/O errors).
+#[derive(Debug)]
+pub enum HttpError {
+    /// The underlying socket failed (timeout, reset, ...).
+    Io(io::Error),
+    /// The peer closed the connection before sending a request line.
+    ConnectionClosed,
+    /// The bytes received do not form an HTTP/1.x request.
+    Malformed(String),
+    /// The declared `Content-Length` exceeds the configured cap.
+    BodyTooLarge {
+        /// Bytes the request declared.
+        declared: usize,
+        /// The server's configured cap.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::ConnectionClosed => write!(f, "connection closed before request"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds limit of {limit}")
+            }
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Percent-decoded path without the query string.
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter named `name`.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First header named `name` (case-insensitive; pass lower-case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request from `reader`, rejecting bodies above `max_body`.
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, HttpError> {
+    let line = read_line(reader)?;
+    if line.is_empty() {
+        return Err(HttpError::ConnectionClosed);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(HttpError::Malformed(format!("bad request line {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported version {version:?}")));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge { declared: content_length, limit: max_body });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Request {
+        method: method.to_owned(),
+        path: percent_decode(raw_path),
+        query: parse_query(raw_query),
+        headers,
+        body,
+    })
+}
+
+/// Reads one CRLF- (or LF-) terminated line, without the terminator.
+/// Returns an empty string at EOF-before-any-byte or on a blank line.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<String, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            break; // EOF
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&buf[..pos]);
+            reader.consume(pos + 1);
+            break;
+        }
+        line.extend_from_slice(buf);
+        let n = buf.len();
+        reader.consume(n);
+        if line.len() > MAX_LINE_BYTES {
+            return Err(HttpError::Malformed("header line too long".into()));
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 header".into()))
+}
+
+/// Splits and percent-decodes an `a=1&b=two` query string.
+pub fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Decodes `%XX` escapes and `+`-as-space; invalid escapes pass through
+/// verbatim, invalid UTF-8 becomes replacement characters.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => match (hex(bytes.get(i + 1)), hex(bytes.get(i + 2))) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex(b: Option<&u8>) -> Option<u8> {
+    (*b? as char).to_digit(16).map(|d| d as u8)
+}
+
+/// One HTTP response, written with `Connection: close`.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Additional headers (e.g. `Retry-After`, `X-Swope-Cache`).
+    pub extra_headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self { status, content_type: "application/json", body: body.into(), extra_headers: vec![] }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            extra_headers: vec![],
+        }
+    }
+
+    /// A JSON error response with a `{"error": ...}` body.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut w = swope_obs::json::ObjectWriter::new();
+        w.str_field("error", message);
+        Self::json(status, w.finish())
+    }
+
+    /// Returns `self` with an extra header appended.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.extra_headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Serializes the response (status line, headers, body) into `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = parse(
+            "GET /query/entropy-topk?dataset=tiny&k=3&name=a%20b HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/query/entropy-topk");
+        assert_eq!(r.param("dataset"), Some("tiny"));
+        assert_eq!(r.param("k"), Some("3"));
+        assert_eq!(r.param("name"), Some("a b"));
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let r = parse("POST /datasets?name=d HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_oversized_body_and_bad_lines() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(HttpError::BodyTooLarge { declared: 9999, .. })
+        ));
+        assert!(matches!(parse("NONSENSE\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse("GET / SPDY/99\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse(""), Err(HttpError::ConnectionClosed)));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nnocolonhere\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn percent_decoding_handles_escapes() {
+        assert_eq!(percent_decode("a%2Fb+c"), "a/b c");
+        assert_eq!(percent_decode("100%"), "100%"); // dangling escape passes through
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn response_writes_headers_and_body() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .with_header("X-Swope-Cache", "hit")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("X-Swope-Cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_response_is_json() {
+        let r = Response::error(404, "no such dataset");
+        assert_eq!(r.status, 404);
+        assert_eq!(r.body, b"{\"error\":\"no such dataset\"}");
+    }
+}

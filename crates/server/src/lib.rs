@@ -1,0 +1,60 @@
+//! # swope-server
+//!
+//! A long-running, dependency-free query server for SWOPE's adaptive
+//! entropy/mutual-information queries, hand-rolled over
+//! `std::net::TcpListener` (the workspace builds without crates.io
+//! access).
+//!
+//! Four pieces compose the subsystem:
+//!
+//! * [`registry::DatasetRegistry`] — named, immutable `Arc<Dataset>`
+//!   handles loaded at startup or via `POST /datasets`, with a generation
+//!   counter so replacement can never serve stale cache entries.
+//! * [`pool::WorkerPool`] — a fixed thread count over a bounded queue;
+//!   the accept loop sheds load with `503 + Retry-After` when the queue
+//!   is full, and requests that outlive their queueing deadline are
+//!   answered 503 without running.
+//! * [`cache::ResultCache`] — an LRU of serialized response bodies keyed
+//!   by `(dataset@generation, shape, params, seed)`. Queries are
+//!   deterministic, so a hit is byte-identical to re-execution and skips
+//!   the adaptive loop entirely.
+//! * [`metrics::ServerMetrics`] — HTTP-layer counters stacked on the
+//!   query-level [`swope_obs::MetricsRegistry`], all rendered as one
+//!   Prometheus document at `GET /metrics`.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness + dataset/queue gauges |
+//! | `GET /metrics` | Prometheus exposition text |
+//! | `GET /datasets` | registered datasets with per-column stats |
+//! | `POST /datasets` | load `{"path": ..., "name"?: ...}` |
+//! | `GET /query/entropy-topk` | Algorithm 1 (`dataset`, `k`) |
+//! | `GET /query/entropy-filter` | Algorithm 2 (`dataset`, `eta`) |
+//! | `GET /query/mi-topk` | Algorithm 3 (`dataset`, `target`, `k`) |
+//! | `GET /query/mi-filter` | Algorithm 4 (`dataset`, `target`, `eta`) |
+//! | `GET /query/entropy-profile` | all-attribute entropy (`dataset`) |
+//! | `GET /query/mi-profile` | all-attribute MI (`dataset`, `target`) |
+//!
+//! Query endpoints share optional `epsilon`, `pf`, `seed`, and `threads`
+//! parameters with the same defaults as the CLI, so the server is a
+//! transport around the exact same computation.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod query;
+pub mod registry;
+pub mod server;
+pub mod signal;
+
+pub use cache::ResultCache;
+pub use metrics::ServerMetrics;
+pub use pool::WorkerPool;
+pub use registry::{DatasetEntry, DatasetRegistry};
+pub use server::{Server, ServerConfig, ServerHandle};

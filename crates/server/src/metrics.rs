@@ -1,0 +1,168 @@
+//! Server-level metrics: HTTP traffic counters layered on top of the
+//! query-level [`MetricsRegistry`].
+//!
+//! The embedded registry is fed directly by the adaptive query loops (it
+//! is all atomics, so workers observe through a shared reference), while
+//! the HTTP counters here track what happened *around* those queries:
+//! requests seen, responses by status class, load-shed rejections,
+//! deadline expiries, and request latency. [`ServerMetrics::render_prometheus`]
+//! concatenates both layers plus cache and registry gauges into one
+//! exposition document for `GET /metrics`.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use swope_obs::{names, Histogram, MetricsRegistry};
+
+use crate::cache::ResultCache;
+
+/// Response status classes tracked by [`ServerMetrics`].
+const CLASSES: [&str; 4] = ["2xx", "3xx", "4xx", "5xx"];
+
+/// Atomic HTTP-layer counters plus the shared query-metrics registry.
+pub struct ServerMetrics {
+    /// Query-level aggregates; the adaptive loops observe into this.
+    pub registry: MetricsRegistry,
+    requests: AtomicU64,
+    responses: [AtomicU64; 4],
+    rejected: AtomicU64,
+    deadline_expired: AtomicU64,
+    request_micros: Histogram,
+}
+
+impl ServerMetrics {
+    /// Fresh metrics with all counters at zero.
+    pub fn new() -> Self {
+        Self {
+            registry: MetricsRegistry::new(),
+            requests: AtomicU64::new(0),
+            responses: std::array::from_fn(|_| AtomicU64::new(0)),
+            rejected: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            // Latencies span cache hits (~tens of µs) to large adaptive
+            // scans; powers of four from 64 µs to ~4.3 s.
+            request_micros: Histogram::new((3..=16).map(|i| 1u64 << (2 * i)).collect()),
+        }
+    }
+
+    /// Records an accepted request (before routing).
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed response with its status code and end-to-end
+    /// duration in microseconds.
+    pub fn record_response(&self, status: u16, micros: u64) {
+        let idx = match status {
+            200..=299 => 0,
+            300..=399 => 1,
+            400..=499 => 2,
+            _ => 3,
+        };
+        self.responses[idx].fetch_add(1, Ordering::Relaxed);
+        self.request_micros.observe(micros);
+    }
+
+    /// Records a load-shed rejection (503 from the accept loop).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request whose deadline expired while queued.
+    pub fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests accepted so far.
+    pub fn requests_total(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Load-shed rejections so far.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Queued-past-deadline expiries so far.
+    pub fn deadline_expired_total(&self) -> u64 {
+        self.deadline_expired.load(Ordering::Relaxed)
+    }
+
+    /// Renders the full `/metrics` document: HTTP counters, cache
+    /// counters, live gauges, then the query-level registry.
+    pub fn render_prometheus(
+        &self,
+        cache: &ResultCache,
+        queue_depth: usize,
+        datasets_loaded: usize,
+    ) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE {} counter", names::HTTP_REQUESTS_TOTAL);
+        let _ = writeln!(out, "{} {}", names::HTTP_REQUESTS_TOTAL, self.requests_total());
+        let _ = writeln!(out, "# TYPE {} counter", names::HTTP_RESPONSES_TOTAL);
+        for (i, class) in CLASSES.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{}{{class=\"{class}\"}} {}",
+                names::HTTP_RESPONSES_TOTAL,
+                self.responses[i].load(Ordering::Relaxed)
+            );
+        }
+        for (name, value) in [
+            (names::HTTP_REJECTED_TOTAL, self.rejected_total()),
+            (names::HTTP_DEADLINE_EXPIRED_TOTAL, self.deadline_expired_total()),
+            (names::CACHE_HITS_TOTAL, cache.hits()),
+            (names::CACHE_MISSES_TOTAL, cache.misses()),
+            (names::CACHE_EVICTIONS_TOTAL, cache.evictions()),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in [
+            (names::QUEUE_DEPTH, queue_depth as u64),
+            (names::DATASETS_LOADED, datasets_loaded as u64),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        self.request_micros.render_prometheus(names::HTTP_REQUEST_MICROS, &mut out);
+        out.push_str(&self.registry.render_prometheus());
+        out
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_classes() {
+        let m = ServerMetrics::new();
+        m.record_request();
+        m.record_request();
+        m.record_response(200, 120);
+        m.record_response(404, 15);
+        m.record_rejected();
+        m.record_deadline_expired();
+        assert_eq!(m.requests_total(), 2);
+        assert_eq!(m.rejected_total(), 1);
+        assert_eq!(m.deadline_expired_total(), 1);
+        let cache = ResultCache::new(4);
+        let text = m.render_prometheus(&cache, 3, 2);
+        assert!(text.contains(&format!("{} 2\n", names::HTTP_REQUESTS_TOTAL)));
+        assert!(text.contains(&format!("{}{{class=\"2xx\"}} 1", names::HTTP_RESPONSES_TOTAL)));
+        assert!(text.contains(&format!("{}{{class=\"4xx\"}} 1", names::HTTP_RESPONSES_TOTAL)));
+        assert!(text.contains(&format!("{} 1\n", names::HTTP_REJECTED_TOTAL)));
+        assert!(text.contains(&format!("{} 3\n", names::QUEUE_DEPTH)));
+        assert!(text.contains(&format!("{} 2\n", names::DATASETS_LOADED)));
+        assert!(text.contains(&format!("{}_count 2", names::HTTP_REQUEST_MICROS)));
+        // The query-level registry rides along in the same document.
+        assert!(text.contains("swope_queries_total"));
+    }
+}

@@ -1,0 +1,422 @@
+//! Query-endpoint plumbing: parse a `/query/<shape>` request into a
+//! [`QuerySpec`], derive its cache key, execute it against a dataset, and
+//! serialize the result as JSON.
+//!
+//! Parameter semantics deliberately mirror the CLI so the server is a
+//! drop-in transport: per-shape ε defaults (0.1 entropy top-k, 0.05
+//! entropy filter, 0.5 for MI), `p_f` defaulting to the paper's `1/N`,
+//! one worker thread, and the library's fixed default seed unless `seed`
+//! is given. Floats in responses use the same shortest-round-trip
+//! formatting as the JSONL event stream ([`swope_obs::json::f64_into`]),
+//! so a served score parses back to the exact bits the query computed —
+//! which is what lets integration tests assert bitwise identity with the
+//! direct library path.
+
+use std::fmt::Write as _;
+
+use swope_core::{
+    entropy_filter_observed, entropy_profile_observed, entropy_top_k_observed, mi_filter_observed,
+    mi_profile_observed, mi_top_k_observed, AttrScore, QueryObserver, QueryStats, SwopeConfig,
+};
+use swope_obs::json::{escape_into, f64_into};
+
+use crate::http::Request;
+use crate::registry::DatasetEntry;
+
+/// The relative-error floor used by both profile endpoints (matches the
+/// CLI's hardcoded profile floor).
+const PROFILE_FLOOR: f64 = 0.05;
+
+/// Which of the six adaptive queries a request names, with its
+/// shape-specific parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryShape {
+    /// `GET /query/entropy-topk?dataset=..&k=..`
+    EntropyTopK {
+        /// How many attributes to return.
+        k: usize,
+    },
+    /// `GET /query/entropy-filter?dataset=..&eta=..`
+    EntropyFilter {
+        /// The entropy threshold η.
+        eta: f64,
+    },
+    /// `GET /query/mi-topk?dataset=..&target=..&k=..`
+    MiTopK {
+        /// Target attribute (index or name, resolved at run time).
+        target: String,
+        /// How many attributes to return.
+        k: usize,
+    },
+    /// `GET /query/mi-filter?dataset=..&target=..&eta=..`
+    MiFilter {
+        /// Target attribute (index or name).
+        target: String,
+        /// The MI threshold η.
+        eta: f64,
+    },
+    /// `GET /query/entropy-profile?dataset=..`
+    EntropyProfile,
+    /// `GET /query/mi-profile?dataset=..&target=..`
+    MiProfile {
+        /// Target attribute (index or name).
+        target: String,
+    },
+}
+
+impl QueryShape {
+    /// Snake-case shape name used in cache keys and response bodies.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryShape::EntropyTopK { .. } => "entropy_top_k",
+            QueryShape::EntropyFilter { .. } => "entropy_filter",
+            QueryShape::MiTopK { .. } => "mi_top_k",
+            QueryShape::MiFilter { .. } => "mi_filter",
+            QueryShape::EntropyProfile => "entropy_profile",
+            QueryShape::MiProfile { .. } => "mi_profile",
+        }
+    }
+
+    /// The CLI-matching default ε for this shape.
+    pub fn default_epsilon(&self) -> f64 {
+        match self {
+            QueryShape::EntropyTopK { .. } | QueryShape::EntropyProfile => 0.1,
+            QueryShape::EntropyFilter { .. } => 0.05,
+            QueryShape::MiTopK { .. }
+            | QueryShape::MiFilter { .. }
+            | QueryShape::MiProfile { .. } => 0.5,
+        }
+    }
+}
+
+/// A fully-parsed query request: dataset name, shape, and the shared
+/// sampling parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Registry name of the dataset to query.
+    pub dataset: String,
+    /// The query shape with its parameters.
+    pub shape: QueryShape,
+    /// Approximation parameter ε (shape default applied).
+    pub epsilon: f64,
+    /// Failure probability override, `None` for the paper's `1/N`.
+    pub pf: Option<f64>,
+    /// Sampling-seed override, `None` for the library default.
+    pub seed: Option<u64>,
+    /// Worker threads (default 1, matching the CLI).
+    pub threads: usize,
+}
+
+fn parse_param<T: std::str::FromStr>(req: &Request, name: &str) -> Result<Option<T>, String> {
+    match req.param(name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("malformed value {raw:?} for parameter {name:?}")),
+    }
+}
+
+fn require_param<T: std::str::FromStr>(req: &Request, name: &str) -> Result<T, String> {
+    parse_param(req, name)?.ok_or_else(|| format!("missing required parameter {name:?}"))
+}
+
+/// Parses the `/query/<segment>` path segment plus the request's query
+/// parameters into a [`QuerySpec`]. Errors are user-facing 400 messages.
+pub fn parse_spec(segment: &str, req: &Request) -> Result<QuerySpec, String> {
+    let shape = match segment {
+        "entropy-topk" => QueryShape::EntropyTopK { k: require_param(req, "k")? },
+        "entropy-filter" => QueryShape::EntropyFilter { eta: require_param(req, "eta")? },
+        "mi-topk" => QueryShape::MiTopK {
+            target: require_param(req, "target")?,
+            k: require_param(req, "k")?,
+        },
+        "mi-filter" => QueryShape::MiFilter {
+            target: require_param(req, "target")?,
+            eta: require_param(req, "eta")?,
+        },
+        "entropy-profile" => QueryShape::EntropyProfile,
+        "mi-profile" => QueryShape::MiProfile { target: require_param(req, "target")? },
+        other => return Err(format!("unknown query shape {other:?}")),
+    };
+    let spec = QuerySpec {
+        dataset: require_param(req, "dataset")?,
+        epsilon: parse_param(req, "epsilon")?.unwrap_or_else(|| shape.default_epsilon()),
+        pf: parse_param(req, "pf")?,
+        seed: parse_param(req, "seed")?,
+        threads: parse_param(req, "threads")?.unwrap_or(1),
+        shape,
+    };
+    if let QueryShape::EntropyTopK { k } | QueryShape::MiTopK { k, .. } = spec.shape {
+        if k == 0 {
+            return Err("k must be at least 1".into());
+        }
+    }
+    Ok(spec)
+}
+
+/// The result-cache key for `spec` against dataset generation
+/// `generation`. Every parameter that can influence the answer bytes is
+/// folded in, including the generation so replaced datasets never serve
+/// stale bodies.
+pub fn cache_key(spec: &QuerySpec, generation: u64) -> String {
+    let mut key = format!("{}@{generation}|{}", spec.dataset, spec.shape.name());
+    match &spec.shape {
+        QueryShape::EntropyTopK { k } => {
+            let _ = write!(key, "|k={k}");
+        }
+        QueryShape::EntropyFilter { eta } => {
+            let _ = write!(key, "|eta={eta}");
+        }
+        QueryShape::MiTopK { target, k } => {
+            let _ = write!(key, "|target={target}|k={k}");
+        }
+        QueryShape::MiFilter { target, eta } => {
+            let _ = write!(key, "|target={target}|eta={eta}");
+        }
+        QueryShape::EntropyProfile => {}
+        QueryShape::MiProfile { target } => {
+            let _ = write!(key, "|target={target}");
+        }
+    }
+    let _ = write!(key, "|eps={}", spec.epsilon);
+    if let Some(pf) = spec.pf {
+        let _ = write!(key, "|pf={pf}");
+    }
+    if let Some(seed) = spec.seed {
+        let _ = write!(key, "|seed={seed}");
+    }
+    let _ = write!(key, "|threads={}", spec.threads);
+    key
+}
+
+fn config_for(spec: &QuerySpec) -> SwopeConfig {
+    let mut cfg = SwopeConfig::with_epsilon(spec.epsilon);
+    cfg.failure_probability = spec.pf;
+    cfg = cfg.with_threads(spec.threads);
+    if let Some(seed) = spec.seed {
+        cfg = cfg.with_seed(seed);
+    }
+    cfg
+}
+
+/// Resolves a target given as index or name — the CLI's rule.
+fn resolve_target(entry: &DatasetEntry, raw: &str) -> Result<usize, String> {
+    if let Ok(idx) = raw.parse::<usize>() {
+        if idx < entry.dataset.num_attrs() {
+            return Ok(idx);
+        }
+        return Err(format!("target index {idx} out of range"));
+    }
+    entry.dataset.attr_index(raw).map_err(|e| e.to_string())
+}
+
+/// Executes `spec` against `entry` and returns the serialized JSON body,
+/// or `(status, message)` for client errors (422 for semantic problems
+/// the query layer rejects).
+pub fn run_query<O: QueryObserver>(
+    entry: &DatasetEntry,
+    spec: &QuerySpec,
+    obs: &mut O,
+) -> Result<String, (u16, String)> {
+    let cfg = config_for(spec);
+    let ds = &*entry.dataset;
+    let fail = |e: swope_core::SwopeError| (422, e.to_string());
+    let (scores, stats, target) = match &spec.shape {
+        QueryShape::EntropyTopK { k } => {
+            let r = entropy_top_k_observed(ds, *k, &cfg, obs).map_err(fail)?;
+            (r.top, r.stats, None)
+        }
+        QueryShape::EntropyFilter { eta } => {
+            let r = entropy_filter_observed(ds, *eta, &cfg, obs).map_err(fail)?;
+            (r.accepted, r.stats, None)
+        }
+        QueryShape::MiTopK { target, k } => {
+            let t = resolve_target(entry, target).map_err(|m| (422, m))?;
+            let r = mi_top_k_observed(ds, t, *k, &cfg, obs).map_err(fail)?;
+            (r.top, r.stats, Some(t))
+        }
+        QueryShape::MiFilter { target, eta } => {
+            let t = resolve_target(entry, target).map_err(|m| (422, m))?;
+            let r = mi_filter_observed(ds, t, *eta, &cfg, obs).map_err(fail)?;
+            (r.accepted, r.stats, Some(t))
+        }
+        QueryShape::EntropyProfile => {
+            let r = entropy_profile_observed(ds, PROFILE_FLOOR, &cfg, obs).map_err(fail)?;
+            (r.scores, r.stats, None)
+        }
+        QueryShape::MiProfile { target } => {
+            let t = resolve_target(entry, target).map_err(|m| (422, m))?;
+            let r = mi_profile_observed(ds, t, PROFILE_FLOOR, &cfg, obs).map_err(fail)?;
+            (r.scores, r.stats, Some(t))
+        }
+    };
+    Ok(serialize(entry, spec, target, &scores, &stats))
+}
+
+fn serialize(
+    entry: &DatasetEntry,
+    spec: &QuerySpec,
+    target: Option<usize>,
+    scores: &[AttrScore],
+    stats: &QueryStats,
+) -> String {
+    let mut out = String::from("{\"query\":");
+    escape_into(&mut out, spec.shape.name());
+    out.push_str(",\"dataset\":");
+    escape_into(&mut out, &spec.dataset);
+    let _ = write!(out, ",\"generation\":{}", entry.generation);
+    match &spec.shape {
+        QueryShape::EntropyTopK { k } | QueryShape::MiTopK { k, .. } => {
+            let _ = write!(out, ",\"k\":{k}");
+        }
+        QueryShape::EntropyFilter { eta } | QueryShape::MiFilter { eta, .. } => {
+            out.push_str(",\"eta\":");
+            f64_into(&mut out, *eta);
+        }
+        QueryShape::EntropyProfile | QueryShape::MiProfile { .. } => {}
+    }
+    if let Some(t) = target {
+        let name = entry.dataset.schema().field(t).map(|f| f.name()).unwrap_or("?");
+        let _ = write!(out, ",\"target\":{{\"attr\":{t},\"name\":");
+        escape_into(&mut out, name);
+        out.push('}');
+    }
+    out.push_str(",\"epsilon\":");
+    f64_into(&mut out, spec.epsilon);
+    out.push_str(",\"scores\":[");
+    for (i, s) in scores.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"attr\":{},\"name\":", s.attr);
+        escape_into(&mut out, &s.name);
+        out.push_str(",\"estimate\":");
+        f64_into(&mut out, s.estimate);
+        out.push_str(",\"lower\":");
+        f64_into(&mut out, s.lower);
+        out.push_str(",\"upper\":");
+        f64_into(&mut out, s.upper);
+        let _ = write!(out, ",\"retired_iteration\":{}}}", s.retired_iteration);
+    }
+    let _ = write!(
+        out,
+        "],\"stats\":{{\"sample_size\":{},\"iterations\":{},\"rows_scanned\":{},\
+         \"converged_early\":{}}}}}",
+        stats.sample_size, stats.iterations, stats.rows_scanned, stats.converged_early
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::DatasetRegistry;
+    use swope_core::NoopObserver;
+    use swope_obs::json::Json;
+
+    fn req(params: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".into(),
+            path: "/query/x".into(),
+            query: params.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn entry() -> std::sync::Arc<DatasetEntry> {
+        let mut b = swope_columnar::DatasetBuilder::new(vec!["uniform".into(), "skewed".into()]);
+        for i in 0..400u32 {
+            let skewed = if i % 20 == 0 { "rare" } else { "common" };
+            b.push_row(&[format!("v{}", i % 16), skewed.to_string()]).unwrap();
+        }
+        DatasetRegistry::new(1000).insert("t", b.finish())
+    }
+
+    #[test]
+    fn parse_applies_shape_defaults() {
+        let spec = parse_spec("entropy-topk", &req(&[("dataset", "t"), ("k", "2")])).unwrap();
+        assert_eq!(spec.shape, QueryShape::EntropyTopK { k: 2 });
+        assert_eq!(spec.epsilon, 0.1);
+        assert_eq!(spec.threads, 1);
+        assert_eq!((spec.pf, spec.seed), (None, None));
+        let spec = parse_spec("entropy-filter", &req(&[("dataset", "t"), ("eta", "0.5")])).unwrap();
+        assert_eq!(spec.epsilon, 0.05);
+        let spec =
+            parse_spec("mi-topk", &req(&[("dataset", "t"), ("target", "0"), ("k", "1")])).unwrap();
+        assert_eq!(spec.epsilon, 0.5);
+        let spec = parse_spec("entropy-profile", &req(&[("dataset", "t")])).unwrap();
+        assert_eq!(spec.shape, QueryShape::EntropyProfile);
+    }
+
+    #[test]
+    fn parse_rejects_missing_and_malformed() {
+        assert!(parse_spec("entropy-topk", &req(&[("dataset", "t")]))
+            .unwrap_err()
+            .contains("\"k\""));
+        assert!(parse_spec("entropy-topk", &req(&[("dataset", "t"), ("k", "abc")]))
+            .unwrap_err()
+            .contains("malformed"));
+        assert!(parse_spec("entropy-topk", &req(&[("dataset", "t"), ("k", "0")]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_spec("mi-topk", &req(&[("dataset", "t"), ("k", "1")]))
+            .unwrap_err()
+            .contains("target"));
+        assert!(parse_spec("nope", &req(&[("dataset", "t")])).unwrap_err().contains("shape"));
+        assert!(parse_spec("entropy-profile", &req(&[])).unwrap_err().contains("dataset"));
+    }
+
+    #[test]
+    fn cache_keys_separate_params_and_generations() {
+        let base = parse_spec("entropy-topk", &req(&[("dataset", "t"), ("k", "2")])).unwrap();
+        let other_k = parse_spec("entropy-topk", &req(&[("dataset", "t"), ("k", "3")])).unwrap();
+        let seeded =
+            parse_spec("entropy-topk", &req(&[("dataset", "t"), ("k", "2"), ("seed", "7")]))
+                .unwrap();
+        let keys = [
+            cache_key(&base, 1),
+            cache_key(&base, 2),
+            cache_key(&other_k, 1),
+            cache_key(&seeded, 1),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn run_query_returns_parseable_deterministic_json() {
+        let entry = entry();
+        let spec = parse_spec("entropy-topk", &req(&[("dataset", "t"), ("k", "1")])).unwrap();
+        let body = run_query(&entry, &spec, &mut NoopObserver).unwrap();
+        let again = run_query(&entry, &spec, &mut NoopObserver).unwrap();
+        assert_eq!(body, again, "same spec must serve identical bytes");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("query").unwrap().as_str(), Some("entropy_top_k"));
+        let Json::Arr(scores) = v.get("scores").unwrap() else { panic!("scores not an array") };
+        assert_eq!(scores.len(), 1);
+        assert_eq!(scores[0].get("name").unwrap().as_str(), Some("uniform"));
+        assert!(v.get("stats").unwrap().get("rows_scanned").unwrap().as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn run_query_reports_target_and_semantic_errors() {
+        let entry = entry();
+        let spec =
+            parse_spec("mi-profile", &req(&[("dataset", "t"), ("target", "skewed")])).unwrap();
+        let body = run_query(&entry, &spec, &mut NoopObserver).unwrap();
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("target").unwrap().get("name").unwrap().as_str(), Some("skewed"));
+        let bad =
+            parse_spec("mi-profile", &req(&[("dataset", "t"), ("target", "missing")])).unwrap();
+        let (status, msg) = run_query(&entry, &bad, &mut NoopObserver).unwrap_err();
+        assert_eq!(status, 422);
+        assert!(!msg.is_empty());
+        let huge_k = parse_spec("entropy-topk", &req(&[("dataset", "t"), ("k", "99")])).unwrap();
+        assert_eq!(run_query(&entry, &huge_k, &mut NoopObserver).unwrap_err().0, 422);
+    }
+}

@@ -1,0 +1,211 @@
+//! Dataset registry: named, immutable, shareable datasets.
+//!
+//! The whole point of the server is amortization — load a dataset once,
+//! answer many cheap adaptive queries against it. The registry holds
+//! each dataset behind an `Arc` so worker threads answer queries against
+//! a consistent snapshot even while an operator replaces the dataset
+//! under the same name; replacement bumps a monotonically increasing
+//! *generation* that the result cache folds into its keys, so stale
+//! cached answers can never be served for a reloaded dataset.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use swope_columnar::{stats, Dataset};
+
+/// One registered dataset plus its identity metadata.
+pub struct DatasetEntry {
+    /// Registry name (the `dataset` query parameter).
+    pub name: String,
+    /// Monotonic insert counter; a replaced dataset gets a new generation.
+    pub generation: u64,
+    /// The dataset itself (already support-capped at load).
+    pub dataset: Arc<Dataset>,
+    /// Columns dropped at load because their support exceeded the cap.
+    pub dropped_columns: usize,
+}
+
+/// A concurrent name → dataset map.
+pub struct DatasetRegistry {
+    inner: RwLock<HashMap<String, Arc<DatasetEntry>>>,
+    next_generation: AtomicU64,
+    max_support: u32,
+}
+
+impl DatasetRegistry {
+    /// An empty registry. Datasets are capped to `max_support` at load,
+    /// mirroring the CLI's `--max-support` behaviour so the server path
+    /// and the CLI path answer queries over identical data.
+    pub fn new(max_support: u32) -> Self {
+        Self { inner: RwLock::new(HashMap::new()), next_generation: AtomicU64::new(1), max_support }
+    }
+
+    /// Registers `dataset` under `name`, replacing any previous holder of
+    /// the name. Returns the new entry.
+    pub fn insert(&self, name: &str, dataset: Dataset) -> Arc<DatasetEntry> {
+        let before = dataset.num_attrs();
+        let (capped, kept) = dataset.cap_support(self.max_support);
+        let entry = Arc::new(DatasetEntry {
+            name: name.to_owned(),
+            generation: self.next_generation.fetch_add(1, Ordering::Relaxed),
+            dataset: Arc::new(capped),
+            dropped_columns: before - kept.len(),
+        });
+        let mut map = self.inner.write().expect("registry lock poisoned");
+        map.insert(name.to_owned(), Arc::clone(&entry));
+        entry
+    }
+
+    /// Loads the `.swop`/`.csv` file at `path` and registers it under its
+    /// file stem (`data/cdc.swop` → `cdc`).
+    pub fn load_path(&self, path: &str) -> Result<Arc<DatasetEntry>, String> {
+        let dataset = Dataset::from_path(path).map_err(|e| format!("loading {path}: {e}"))?;
+        let name = Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("cannot derive a dataset name from {path:?}"))?
+            .to_owned();
+        Ok(self.insert(&name, dataset))
+    }
+
+    /// The current entry registered under `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<DatasetEntry>> {
+        self.inner.read().expect("registry lock poisoned").get(name).cloned()
+    }
+
+    /// All entries, sorted by name.
+    pub fn list(&self) -> Vec<Arc<DatasetEntry>> {
+        let map = self.inner.read().expect("registry lock poisoned");
+        let mut entries: Vec<_> = map.values().cloned().collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("registry lock poisoned").len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl DatasetEntry {
+    /// Serializes this entry (shape + per-column stats) as a JSON object.
+    pub fn describe_json(&self) -> String {
+        use std::fmt::Write as _;
+        use swope_obs::json::{escape_into, f64_into};
+
+        let summary = stats::summarize(&self.dataset);
+        let mut out = String::from("{");
+        out.push_str("\"name\":");
+        escape_into(&mut out, &self.name);
+        let _ = write!(
+            out,
+            ",\"generation\":{},\"rows\":{},\"columns\":{},\"max_support\":{},\
+             \"dropped_columns\":{},\"column_stats\":[",
+            self.generation,
+            summary.rows,
+            summary.columns,
+            summary.max_support,
+            self.dropped_columns
+        );
+        for (i, s) in stats::dataset_stats(&self.dataset).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"attr\":");
+            let _ = write!(out, "{}", s.attr);
+            out.push_str(",\"name\":");
+            escape_into(&mut out, &s.name);
+            let _ = write!(
+                out,
+                ",\"support\":{},\"observed_distinct\":{},\"mode_fraction\":",
+                s.support, s.observed_distinct
+            );
+            f64_into(&mut out, s.mode_fraction);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swope_columnar::DatasetBuilder;
+    use swope_obs::json::Json;
+
+    fn sample() -> Dataset {
+        let mut b = DatasetBuilder::new(vec!["color".into(), "size".into()]);
+        for row in [["red", "s"], ["blue", "m"], ["red", "l"]] {
+            b.push_row(&row).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn insert_get_and_generations() {
+        let reg = DatasetRegistry::new(1000);
+        assert!(reg.is_empty());
+        let first = reg.insert("t", sample());
+        let second = reg.insert("t", sample());
+        assert!(second.generation > first.generation);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get("t").unwrap().generation, second.generation);
+        assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    fn support_cap_applies_at_insert() {
+        let reg = DatasetRegistry::new(2);
+        let entry = reg.insert("t", sample()); // "color" has support 3
+        assert_eq!(entry.dataset.num_attrs(), 1);
+        assert_eq!(entry.dropped_columns, 1);
+    }
+
+    #[test]
+    fn load_path_uses_file_stem() {
+        let dir = std::env::temp_dir().join("swope-registry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("colors.swop");
+        swope_columnar::snapshot::write_file(&sample(), &path).unwrap();
+        let reg = DatasetRegistry::new(1000);
+        let entry = reg.load_path(path.to_str().unwrap()).unwrap();
+        assert_eq!(entry.name, "colors");
+        assert_eq!(entry.dataset.num_rows(), 3);
+        assert!(reg.load_path("/no/such/file.swop").is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn describe_json_parses_and_lists_columns() {
+        let reg = DatasetRegistry::new(1000);
+        let entry = reg.insert("t", sample());
+        let v = Json::parse(&entry.describe_json()).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("t"));
+        assert_eq!(v.get("rows").unwrap().as_u64(), Some(3));
+        match v.get("column_stats").unwrap() {
+            Json::Arr(cols) => {
+                assert_eq!(cols.len(), 2);
+                assert_eq!(cols[0].get("name").unwrap().as_str(), Some("color"));
+            }
+            other => panic!("not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_is_sorted_by_name() {
+        let reg = DatasetRegistry::new(1000);
+        reg.insert("zeta", sample());
+        reg.insert("alpha", sample());
+        let names: Vec<_> = reg.list().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

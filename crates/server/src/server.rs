@@ -1,0 +1,419 @@
+//! The server proper: accept loop, admission control, routing, and
+//! graceful shutdown.
+//!
+//! One thread accepts; a fixed [`WorkerPool`] serves. The accept loop is
+//! the sole producer into the pool's bounded queue, so checking the queue
+//! depth before submitting is an exact admission decision: when the queue
+//! is full the connection is answered `503 + Retry-After` right on the
+//! accept thread and never touches a worker. Accepted connections carry
+//! their accept timestamp; a worker that dequeues one past its deadline
+//! answers 503 without running the query. Shutdown (via
+//! [`ServerHandle::shutdown`] or, when enabled, SIGINT/SIGTERM) stops the
+//! accept loop and drains every queued connection before `run` returns.
+
+use std::io::{BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use swope_columnar::Dataset;
+use swope_obs::json::Json;
+
+use crate::cache::ResultCache;
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::metrics::ServerMetrics;
+use crate::pool::{QueueWatcher, WorkerPool};
+use crate::query::{cache_key, parse_spec, run_query};
+use crate::registry::DatasetRegistry;
+use crate::signal;
+
+/// Tunables for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads serving requests.
+    pub threads: usize,
+    /// Bounded queue of accepted-but-unserved connections; beyond this the
+    /// server sheds with 503.
+    pub queue_capacity: usize,
+    /// Result-cache entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Maximum time a request may wait in the queue before a worker picks
+    /// it up; older requests are answered 503 without running.
+    pub deadline: Duration,
+    /// Per-connection read timeout while parsing the request.
+    pub read_timeout: Duration,
+    /// Maximum accepted request-body size.
+    pub max_body_bytes: usize,
+    /// Support cap applied to datasets at load (the CLI's default 1000).
+    pub max_support: u32,
+    /// Install SIGINT/SIGTERM handlers and honour them in the accept loop.
+    pub handle_signals: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            threads: 4,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            deadline: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(5),
+            max_body_bytes: 1 << 20,
+            max_support: 1000,
+            handle_signals: false,
+        }
+    }
+}
+
+/// State shared by the accept loop, the workers, and [`ServerHandle`]s.
+struct Shared {
+    registry: DatasetRegistry,
+    cache: ResultCache,
+    metrics: ServerMetrics,
+    stop: AtomicBool,
+}
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    config: Arc<ServerConfig>,
+    shared: Arc<Shared>,
+}
+
+/// A cloneable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Asks the accept loop to stop; `run` drains queued work and returns.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+    }
+}
+
+impl Server {
+    /// Binds the listen socket (nonblocking, so the accept loop can poll
+    /// shutdown flags) and builds the shared state.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            registry: DatasetRegistry::new(config.max_support),
+            cache: ResultCache::new(config.cache_capacity),
+            metrics: ServerMetrics::new(),
+            stop: AtomicBool::new(false),
+        });
+        Ok(Self { listener, config: Arc::new(config), shared })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The dataset registry, for preloading datasets before `run`.
+    pub fn registry(&self) -> &DatasetRegistry {
+        &self.shared.registry
+    }
+
+    /// A handle that can stop the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Serves until shut down, then drains queued connections and returns.
+    pub fn run(self) {
+        if self.config.handle_signals {
+            signal::install();
+        }
+        let pool = WorkerPool::new(self.config.threads, self.config.queue_capacity);
+        let watcher = pool.watcher();
+        loop {
+            if self.shared.stop.load(Ordering::Acquire)
+                || (self.config.handle_signals && signal::signalled())
+            {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.shared.metrics.record_request();
+                    // Sole producer: depth() vs capacity is an exact
+                    // admission check, and shedding here keeps the stream
+                    // out of the (move-only) job closure.
+                    if watcher.depth() >= self.config.queue_capacity {
+                        shed(stream, &self.shared.metrics);
+                        continue;
+                    }
+                    let shared = Arc::clone(&self.shared);
+                    let config = Arc::clone(&self.config);
+                    let watcher = watcher.clone();
+                    let accepted_at = Instant::now();
+                    let _ = pool.try_execute(move || {
+                        handle_connection(stream, accepted_at, &shared, &watcher, &config);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        pool.shutdown();
+    }
+}
+
+/// Answers an over-capacity connection 503 on the accept thread.
+fn shed(stream: TcpStream, metrics: &ServerMetrics) {
+    metrics.record_rejected();
+    let resp =
+        Response::error(503, "server overloaded, retry shortly").with_header("Retry-After", "1");
+    write_and_close(stream, &resp);
+    metrics.record_response(503, 0);
+}
+
+/// Writes `resp`, half-closes the write side, and drains unread request
+/// bytes. Closing with unread data in the receive queue makes the kernel
+/// send RST and discard the in-flight response, so endpoints that answer
+/// without reading the request (shedding, expired deadlines, parse
+/// errors) must drain before dropping the stream.
+fn write_and_close(mut stream: TcpStream, resp: &Response) {
+    let _ = stream.set_nonblocking(false);
+    let _ = resp.write_to(&mut stream);
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Nonblocking: empty what has already arrived without waiting for the
+    // peer's FIN (a worker must not stall on a lingering client).
+    let _ = stream.set_nonblocking(true);
+    let mut scratch = [0u8; 4096];
+    while matches!(std::io::Read::read(&mut stream, &mut scratch), Ok(n) if n > 0) {}
+}
+
+/// One dequeued connection: deadline check, parse, route, respond.
+fn handle_connection(
+    stream: TcpStream,
+    accepted_at: Instant,
+    shared: &Shared,
+    watcher: &QueueWatcher,
+    config: &ServerConfig,
+) {
+    if accepted_at.elapsed() > config.deadline {
+        shared.metrics.record_deadline_expired();
+        let resp = Response::error(503, "request deadline expired while queued")
+            .with_header("Retry-After", "1");
+        write_and_close(stream, &resp);
+        shared.metrics.record_response(503, accepted_at.elapsed().as_micros() as u64);
+        return;
+    }
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let response = match read_request(&mut reader, config.max_body_bytes) {
+        Ok(req) => route(&req, shared, watcher),
+        Err(HttpError::ConnectionClosed) => return,
+        Err(HttpError::Io(_)) => return,
+        Err(e @ HttpError::BodyTooLarge { .. }) => Response::error(413, &e.to_string()),
+        Err(e) => Response::error(400, &e.to_string()),
+    };
+    write_and_close(stream, &response);
+    shared.metrics.record_response(response.status, accepted_at.elapsed().as_micros() as u64);
+}
+
+/// Dispatches a parsed request to an endpoint.
+fn route(req: &Request, shared: &Shared, watcher: &QueueWatcher) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared, watcher),
+        ("GET", "/metrics") => Response::text(
+            200,
+            shared.metrics.render_prometheus(&shared.cache, watcher.depth(), shared.registry.len()),
+        ),
+        ("GET", "/datasets") => list_datasets(shared),
+        ("POST", "/datasets") => load_dataset(req, shared),
+        ("GET", path) if path.starts_with("/query/") => {
+            serve_query(&path["/query/".len()..], req, shared)
+        }
+        (_, "/healthz" | "/metrics" | "/datasets") => {
+            Response::error(405, &format!("method {} not allowed here", req.method))
+        }
+        (_, path) if path.starts_with("/query/") => {
+            Response::error(405, &format!("method {} not allowed here", req.method))
+        }
+        (_, path) => Response::error(404, &format!("no such endpoint {path:?}")),
+    }
+}
+
+fn healthz(shared: &Shared, watcher: &QueueWatcher) -> Response {
+    let body = format!(
+        "{{\"status\":\"ok\",\"datasets\":{},\"queue_depth\":{}}}",
+        shared.registry.len(),
+        watcher.depth()
+    );
+    Response::json(200, body)
+}
+
+fn list_datasets(shared: &Shared) -> Response {
+    let mut body = String::from("{\"datasets\":[");
+    for (i, entry) in shared.registry.list().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&entry.describe_json());
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// `POST /datasets` with body `{"path": "...", "name": "..."}` (`name`
+/// optional — defaults to the file stem).
+fn load_dataset(req: &Request, shared: &Shared) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "request body is not UTF-8"),
+    };
+    let parsed = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("request body is not JSON: {e}")),
+    };
+    let Some(path) = parsed.get("path").and_then(|v| v.as_str().map(str::to_owned)) else {
+        return Response::error(400, "body must contain a string \"path\" field");
+    };
+    let name = parsed.get("name").and_then(|v| v.as_str().map(str::to_owned));
+    let entry = match name {
+        Some(name) => match Dataset::from_path(&path) {
+            Ok(ds) => Ok(shared.registry.insert(&name, ds)),
+            Err(e) => Err(format!("loading {path}: {e}")),
+        },
+        None => shared.registry.load_path(&path),
+    };
+    match entry {
+        Ok(entry) => Response::json(201, entry.describe_json()),
+        Err(msg) => Response::error(422, &msg),
+    }
+}
+
+/// `GET /query/<shape>`: cache lookup, then the adaptive loop on a miss.
+fn serve_query(segment: &str, req: &Request, shared: &Shared) -> Response {
+    let spec = match parse_spec(segment, req) {
+        Ok(spec) => spec,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let Some(entry) = shared.registry.get(&spec.dataset) else {
+        return Response::error(404, &format!("no dataset named {:?} is loaded", spec.dataset));
+    };
+    let key = cache_key(&spec, entry.generation);
+    if let Some(body) = shared.cache.get(&key) {
+        return Response::json(200, body.as_str()).with_header("X-Swope-Cache", "hit");
+    }
+    match run_query(&entry, &spec, &mut &shared.metrics.registry) {
+        Ok(body) => {
+            let body = Arc::new(body);
+            shared.cache.put(key, Arc::clone(&body));
+            Response::json(200, body.as_str()).with_header("X-Swope-Cache", "miss")
+        }
+        Err((status, msg)) => Response::error(status, &msg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swope_columnar::DatasetBuilder;
+
+    fn shared_with_dataset() -> (Shared, QueueWatcher) {
+        let shared = Shared {
+            registry: DatasetRegistry::new(1000),
+            cache: ResultCache::new(8),
+            metrics: ServerMetrics::new(),
+            stop: AtomicBool::new(false),
+        };
+        let mut b = DatasetBuilder::new(vec!["a".into(), "b".into()]);
+        for i in 0..200u32 {
+            b.push_row(&[format!("v{}", i % 8), format!("w{}", i % 2)]).unwrap();
+        }
+        shared.registry.insert("t", b.finish());
+        let pool = WorkerPool::new(1, 1);
+        let watcher = pool.watcher();
+        pool.shutdown();
+        (shared, watcher)
+    }
+
+    fn get(path: &str) -> Request {
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p.to_owned(), crate::http::parse_query(q)),
+            None => (path.to_owned(), Vec::new()),
+        };
+        Request { method: "GET".into(), path, query, headers: Vec::new(), body: Vec::new() }
+    }
+
+    #[test]
+    fn routes_cover_ops_endpoints() {
+        let (shared, watcher) = shared_with_dataset();
+        assert_eq!(route(&get("/healthz"), &shared, &watcher).status, 200);
+        let metrics = route(&get("/metrics"), &shared, &watcher);
+        assert_eq!(metrics.status, 200);
+        assert!(String::from_utf8(metrics.body.clone())
+            .unwrap()
+            .contains("swope_http_requests_total"));
+        assert_eq!(route(&get("/datasets"), &shared, &watcher).status, 200);
+        assert_eq!(route(&get("/nope"), &shared, &watcher).status, 404);
+        let mut del = get("/healthz");
+        del.method = "DELETE".into();
+        assert_eq!(route(&del, &shared, &watcher).status, 405);
+    }
+
+    #[test]
+    fn query_route_caches_and_errors() {
+        let (shared, watcher) = shared_with_dataset();
+        let req = get("/query/entropy-topk?dataset=t&k=1");
+        let first = route(&req, &shared, &watcher);
+        assert_eq!(first.status, 200);
+        assert!(first.extra_headers.iter().any(|(_, v)| v == "miss"));
+        let second = route(&req, &shared, &watcher);
+        assert!(second.extra_headers.iter().any(|(_, v)| v == "hit"));
+        assert_eq!(first.body, second.body);
+        assert_eq!(route(&get("/query/entropy-topk?dataset=t"), &shared, &watcher).status, 400);
+        assert_eq!(
+            route(&get("/query/entropy-topk?dataset=gone&k=1"), &shared, &watcher).status,
+            404
+        );
+        assert_eq!(route(&get("/query/bogus?dataset=t"), &shared, &watcher).status, 400);
+    }
+
+    #[test]
+    fn post_datasets_round_trip() {
+        let (shared, watcher) = shared_with_dataset();
+        let dir = std::env::temp_dir().join("swope-server-route-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("extra.swop");
+        let mut b = DatasetBuilder::new(vec!["x".into()]);
+        b.push_row(&["1".to_string()]).unwrap();
+        swope_columnar::snapshot::write_file(&b.finish(), &path).unwrap();
+        let body = format!("{{\"path\":{:?}}}", path.to_str().unwrap());
+        let req = Request {
+            method: "POST".into(),
+            path: "/datasets".into(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        };
+        assert_eq!(route(&req, &shared, &watcher).status, 201);
+        assert!(shared.registry.get("extra").is_some());
+        let bad = Request {
+            method: "POST".into(),
+            path: "/datasets".into(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: b"{\"path\":\"/no/such.swop\"}".to_vec(),
+        };
+        assert_eq!(route(&bad, &shared, &watcher).status, 422);
+        std::fs::remove_file(&path).ok();
+    }
+}

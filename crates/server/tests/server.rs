@@ -1,0 +1,358 @@
+//! End-to-end tests over a real loopback `TcpStream`: bitwise identity
+//! with the direct library path, cache-hit semantics, load shedding,
+//! queueing deadlines, dataset management, and graceful shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use swope_core::{
+    entropy_filter, entropy_profile, entropy_top_k, mi_filter, mi_profile, mi_top_k, AttrScore,
+    QueryStats, SwopeConfig,
+};
+use swope_obs::json::Json;
+use swope_server::{Server, ServerConfig, ServerHandle};
+
+fn tiny_dataset() -> swope_columnar::Dataset {
+    swope_datagen::generate(&swope_datagen::corpus::tiny(300, 5), 0x5170)
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestServer {
+    fn start(config: ServerConfig) -> Self {
+        let server = Server::bind(ServerConfig { addr: "127.0.0.1:0".into(), ..config }).unwrap();
+        server.registry().insert("tiny", tiny_dataset());
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let thread = Some(std::thread::spawn(move || server.run()));
+        Self { addr, handle, thread }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+struct HttpReply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl HttpReply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+fn parse_reply(raw: &str) -> HttpReply {
+    let (head, body) = raw.split_once("\r\n\r\n").expect("no header/body separator");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("empty response");
+    let status = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let headers = lines
+        .map(|l| {
+            let (k, v) = l.split_once(':').unwrap();
+            (k.trim().to_ascii_lowercase(), v.trim().to_owned())
+        })
+        .collect();
+    HttpReply { status, headers, body: body.to_owned() }
+}
+
+fn send_raw(addr: SocketAddr, request: &str) -> HttpReply {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    parse_reply(&raw)
+}
+
+fn get(addr: SocketAddr, path: &str) -> HttpReply {
+    send_raw(addr, &format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> HttpReply {
+    send_raw(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Value of a plain `name value` line in Prometheus exposition text.
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.trim().parse().ok()))
+        .unwrap_or_else(|| panic!("metric {name} not found in:\n{text}"))
+}
+
+/// Asserts a served `scores` array is bitwise-identical to the library's.
+fn assert_scores_match(served: &Json, expected: &[AttrScore], stats: &QueryStats) {
+    let Json::Arr(scores) = served.get("scores").unwrap() else { panic!("scores not an array") };
+    assert_eq!(scores.len(), expected.len());
+    for (got, want) in scores.iter().zip(expected) {
+        assert_eq!(got.get("attr").unwrap().as_u64(), Some(want.attr as u64));
+        assert_eq!(got.get("name").unwrap().as_str(), Some(want.name.as_str()));
+        for (field, value) in
+            [("estimate", want.estimate), ("lower", want.lower), ("upper", want.upper)]
+        {
+            let served_bits = got.get(field).unwrap().as_f64().unwrap().to_bits();
+            assert_eq!(served_bits, value.to_bits(), "{field} differs for attr {}", want.attr);
+        }
+    }
+    let served_stats = served.get("stats").unwrap();
+    assert_eq!(served_stats.get("sample_size").unwrap().as_u64(), Some(stats.sample_size as u64));
+    assert_eq!(served_stats.get("iterations").unwrap().as_u64(), Some(stats.iterations as u64));
+    assert_eq!(served_stats.get("rows_scanned").unwrap().as_u64(), Some(stats.rows_scanned));
+}
+
+#[test]
+fn all_six_shapes_serve_library_identical_results() {
+    let server = TestServer::start(ServerConfig::default());
+    // The registry caps support at 1000 exactly like the CLI load path.
+    let (ds, _) = tiny_dataset().cap_support(1000);
+
+    let reply = get(server.addr, "/query/entropy-topk?dataset=tiny&k=2");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let r = entropy_top_k(&ds, 2, &SwopeConfig::with_epsilon(0.1)).unwrap();
+    assert_scores_match(&Json::parse(&reply.body).unwrap(), &r.top, &r.stats);
+
+    let reply = get(server.addr, "/query/entropy-filter?dataset=tiny&eta=1.0");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let r = entropy_filter(&ds, 1.0, &SwopeConfig::with_epsilon(0.05)).unwrap();
+    assert_scores_match(&Json::parse(&reply.body).unwrap(), &r.accepted, &r.stats);
+
+    let reply = get(server.addr, "/query/mi-topk?dataset=tiny&target=0&k=2");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let r = mi_top_k(&ds, 0, 2, &SwopeConfig::with_epsilon(0.5)).unwrap();
+    assert_scores_match(&Json::parse(&reply.body).unwrap(), &r.top, &r.stats);
+
+    let reply = get(server.addr, "/query/mi-filter?dataset=tiny&target=0&eta=0.05");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let r = mi_filter(&ds, 0, 0.05, &SwopeConfig::with_epsilon(0.5)).unwrap();
+    assert_scores_match(&Json::parse(&reply.body).unwrap(), &r.accepted, &r.stats);
+
+    let reply = get(server.addr, "/query/entropy-profile?dataset=tiny");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let r = entropy_profile(&ds, 0.05, &SwopeConfig::with_epsilon(0.1)).unwrap();
+    assert_scores_match(&Json::parse(&reply.body).unwrap(), &r.scores, &r.stats);
+
+    let reply = get(server.addr, "/query/mi-profile?dataset=tiny&target=0");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let r = mi_profile(&ds, 0, 0.05, &SwopeConfig::with_epsilon(0.5)).unwrap();
+    assert_scores_match(&Json::parse(&reply.body).unwrap(), &r.scores, &r.stats);
+
+    // Explicit seed/epsilon overrides flow through to the library config.
+    let reply = get(server.addr, "/query/entropy-topk?dataset=tiny&k=2&seed=7&epsilon=0.2");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let r = entropy_top_k(&ds, 2, &SwopeConfig::with_epsilon(0.2).with_seed(7)).unwrap();
+    assert_scores_match(&Json::parse(&reply.body).unwrap(), &r.top, &r.stats);
+}
+
+#[test]
+fn cache_hit_serves_identical_bytes_without_rerunning_the_query() {
+    let server = TestServer::start(ServerConfig::default());
+    let path = "/query/entropy-topk?dataset=tiny&k=3";
+
+    let first = get(server.addr, path);
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-swope-cache"), Some("miss"));
+    let metrics_before = get(server.addr, "/metrics").body;
+    let scanned_before = metric(&metrics_before, "swope_rows_scanned_total");
+    let hits_before = metric(&metrics_before, "swope_cache_hits_total");
+    assert!(scanned_before > 0, "the miss must have run the adaptive loop");
+
+    let second = get(server.addr, path);
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-swope-cache"), Some("hit"));
+    assert_eq!(first.body, second.body, "hit must serve identical bytes");
+
+    let metrics_after = get(server.addr, "/metrics").body;
+    assert_eq!(
+        metric(&metrics_after, "swope_rows_scanned_total"),
+        scanned_before,
+        "a cache hit must not scan any rows"
+    );
+    assert_eq!(metric(&metrics_after, "swope_cache_hits_total"), hits_before + 1);
+
+    // A different parameterization misses again.
+    let third = get(server.addr, "/query/entropy-topk?dataset=tiny&k=3&seed=9");
+    assert_eq!(third.header("x-swope-cache"), Some("miss"));
+}
+
+#[test]
+fn overload_sheds_with_503_and_retry_after() {
+    let server = TestServer::start(ServerConfig {
+        threads: 1,
+        queue_capacity: 1,
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    });
+    // Occupy the single worker with a connection that never sends bytes.
+    let idle_busy = TcpStream::connect(server.addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    // Fill the one queue slot with a second idle connection.
+    let idle_queued = TcpStream::connect(server.addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    let reply = get(server.addr, "/healthz");
+    assert_eq!(reply.status, 503, "{}", reply.body);
+    assert_eq!(reply.header("retry-after"), Some("1"));
+    assert!(reply.body.contains("overloaded"));
+
+    // Free the worker; service must recover.
+    drop(idle_busy);
+    drop(idle_queued);
+    let mut recovered = false;
+    for _ in 0..50 {
+        std::thread::sleep(Duration::from_millis(20));
+        if get(server.addr, "/healthz").status == 200 {
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "server did not recover after shedding");
+    let metrics = get(server.addr, "/metrics").body;
+    assert!(metric(&metrics, "swope_http_rejected_total") >= 1);
+}
+
+#[test]
+fn requests_queued_past_their_deadline_get_503() {
+    let server = TestServer::start(ServerConfig {
+        threads: 1,
+        queue_capacity: 4,
+        deadline: Duration::from_millis(100),
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    });
+    let idle_busy = TcpStream::connect(server.addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // This request queues behind the stuck worker and ages past 100 ms.
+    let mut queued = TcpStream::connect(server.addr).unwrap();
+    queued.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    queued.write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    drop(idle_busy);
+
+    let mut raw = String::new();
+    queued.read_to_string(&mut raw).unwrap();
+    let reply = parse_reply(&raw);
+    assert_eq!(reply.status, 503, "{}", reply.body);
+    assert!(reply.body.contains("deadline"));
+    let metrics = get(server.addr, "/metrics").body;
+    assert!(metric(&metrics, "swope_http_deadline_expired_total") >= 1);
+}
+
+#[test]
+fn datasets_can_be_posted_listed_and_queried() {
+    let server = TestServer::start(ServerConfig::default());
+    let dir = std::env::temp_dir().join("swope-server-int-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("uploaded.swop");
+    swope_columnar::snapshot::write_file(&tiny_dataset(), &path).unwrap();
+
+    let body = format!("{{\"path\":{:?},\"name\":\"fresh\"}}", path.to_str().unwrap());
+    let reply = post(server.addr, "/datasets", &body);
+    assert_eq!(reply.status, 201, "{}", reply.body);
+    let described = Json::parse(&reply.body).unwrap();
+    assert_eq!(described.get("name").unwrap().as_str(), Some("fresh"));
+    assert_eq!(described.get("rows").unwrap().as_u64(), Some(300));
+
+    let listing = get(server.addr, "/datasets");
+    let parsed = Json::parse(&listing.body).unwrap();
+    let Json::Arr(datasets) = parsed.get("datasets").unwrap() else { panic!("not an array") };
+    let names: Vec<_> =
+        datasets.iter().map(|d| d.get("name").unwrap().as_str().unwrap().to_owned()).collect();
+    assert_eq!(names, vec!["fresh", "tiny"]);
+
+    let reply = get(server.addr, "/query/entropy-topk?dataset=fresh&k=1");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+
+    // Re-posting under the same name bumps the generation, so the cache
+    // key changes and the first query against it is a miss, not a stale hit.
+    let gen_before = described.get("generation").unwrap().as_u64().unwrap();
+    let reply = post(server.addr, "/datasets", &body);
+    let gen_after = Json::parse(&reply.body).unwrap().get("generation").unwrap().as_u64().unwrap();
+    assert!(gen_after > gen_before);
+    let requery = get(server.addr, "/query/entropy-topk?dataset=fresh&k=1");
+    assert_eq!(requery.header("x-swope-cache"), Some("miss"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn error_paths_return_structured_json() {
+    let server = TestServer::start(ServerConfig::default());
+    let cases = [
+        ("/no/such/endpoint", 404),
+        ("/query/entropy-topk?dataset=missing&k=1", 404),
+        ("/query/entropy-topk?dataset=tiny", 400),
+        ("/query/entropy-topk?dataset=tiny&k=abc", 400),
+        ("/query/unknown-shape?dataset=tiny", 400),
+        ("/query/entropy-topk?dataset=tiny&k=999", 422),
+        ("/query/mi-topk?dataset=tiny&target=notacolumn&k=1", 422),
+    ];
+    for (path, want) in cases {
+        let reply = get(server.addr, path);
+        assert_eq!(reply.status, want, "for {path}: {}", reply.body);
+        assert!(Json::parse(&reply.body).unwrap().get("error").is_some(), "for {path}");
+    }
+    let reply = post(server.addr, "/healthz", "");
+    assert_eq!(reply.status, 405);
+    let reply = post(server.addr, "/datasets", "this is not json");
+    assert_eq!(reply.status, 400);
+    let reply = send_raw(server.addr, "NOT-HTTP\r\n\r\n");
+    assert_eq!(reply.status, 400);
+}
+
+#[test]
+fn shutdown_drains_queued_requests_before_returning() {
+    let server = TestServer::start(ServerConfig {
+        threads: 1,
+        queue_capacity: 4,
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    });
+    let idle_busy = TcpStream::connect(server.addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let mut queued = TcpStream::connect(server.addr).unwrap();
+    queued.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    queued.write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Stop the server while the request is still queued, then release the
+    // worker: the drain must still answer the queued request.
+    let mut server = server;
+    server.handle.shutdown();
+    drop(idle_busy);
+    server.thread.take().unwrap().join().unwrap();
+
+    let mut raw = String::new();
+    queued.read_to_string(&mut raw).unwrap();
+    let reply = parse_reply(&raw);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(reply.body.contains("\"status\":\"ok\""));
+}
+
+#[test]
+fn healthz_reports_gauges() {
+    let server = TestServer::start(ServerConfig::default());
+    let reply = get(server.addr, "/healthz");
+    assert_eq!(reply.status, 200);
+    let v = Json::parse(&reply.body).unwrap();
+    assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(v.get("datasets").unwrap().as_u64(), Some(1));
+}

@@ -1,1 +1,88 @@
-//! Examples live in the crate root (`examples/*.rs`); this library is empty.
+//! Shared helpers for the runnable examples (`examples/*.rs`).
+//!
+//! Currently: a minimal HTTP/1.1 client over `std::net::TcpStream`, enough
+//! to talk to `swope serve` without pulling in any external crates.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// A parsed HTTP response from the SWOPE server.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code (200, 404, 503, ...).
+    pub status: u16,
+    /// Response headers, lowercase names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Response body (JSON for every `/query` and `/datasets` endpoint).
+    pub body: String,
+}
+
+impl HttpReply {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == want).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends `GET <target>` to `addr` and reads the full response.
+///
+/// The server closes each connection after one exchange
+/// (`Connection: close`), so reading to EOF delimits the body.
+pub fn http_get(addr: &str, target: &str) -> std::io::Result<HttpReply> {
+    exchange(addr, &format!("GET {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"))
+}
+
+/// Sends `POST <target>` with a JSON body and reads the full response.
+pub fn http_post(addr: &str, target: &str, body: &str) -> std::io::Result<HttpReply> {
+    exchange(
+        addr,
+        &format!(
+            "POST {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+             Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn exchange(addr: &str, request: &str) -> std::io::Result<HttpReply> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_reply(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+fn parse_reply(raw: &str) -> Option<HttpReply> {
+    let (head, body) = raw.split_once("\r\n\r\n")?;
+    let mut lines = head.lines();
+    let status = lines.next()?.split_whitespace().nth(1)?.parse().ok()?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    Some(HttpReply { status, headers, body: body.to_owned() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_reply() {
+        let r = parse_reply(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nX-Swope-Cache: hit\r\n\r\n{}",
+        )
+        .unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("x-swope-cache"), Some("hit"));
+        assert_eq!(r.header("X-Swope-Cache"), Some("hit"));
+        assert_eq!(r.body, "{}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_reply("not http").is_none());
+    }
+}

@@ -10,7 +10,9 @@ use swope_core::{
 };
 use swope_datagen::{corpus, generate};
 use swope_obs::json::Json;
-use swope_obs::{Phase, PhaseAccumulator, QueryKind};
+use swope_obs::{
+    AttrBounds, Phase, PhaseAccumulator, QueryKind, QueryMeta, QueryObserver, RunStats,
+};
 
 fn dataset() -> swope_columnar::Dataset {
     generate(&corpus::tiny(20_000, 12), 0x0B5)
@@ -159,6 +161,94 @@ fn metrics_registry_totals_match_query_stats() {
     assert!(table.contains("rows_scanned_total"), "{table}");
     let prom = registry.render_prometheus();
     assert!(prom.contains("swope_queries_total"), "{prom}");
+}
+
+#[test]
+fn metrics_registry_totals_survive_concurrent_hammering() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const THREADS: u64 = 8;
+    const ROUNDS: u64 = 400;
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // A reader renders both exposition formats for the whole run; a torn
+    // read or panic here means rendering is not safe against live writers.
+    let reader = {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut renders = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let prom = registry.render_prometheus();
+                assert!(prom.contains("swope_queries_total"), "{prom}");
+                let table = registry.render_table();
+                assert!(table.contains("rows_scanned_total"), "{table}");
+                renders += 1;
+            }
+            renders
+        })
+    };
+
+    // Writers drive every observer hook through the `&MetricsRegistry`
+    // impl, each thread with magnitudes derived from its index so any
+    // lost update shows up as a total mismatch below.
+    let writers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    let mut obs = &*registry;
+                    obs.query_start(&QueryMeta {
+                        kind: QueryKind::EntropyTopK,
+                        num_attrs: 4,
+                        num_rows: 1000,
+                        epsilon: 0.1,
+                        threads: 1,
+                    });
+                    for phase in Phase::ALL {
+                        obs.phase(phase, round as usize, t + 1);
+                    }
+                    obs.attr_retired(
+                        t as usize,
+                        (round % 7 + 1) as usize,
+                        AttrBounds { lower: 0.0, upper: 1.0 },
+                    );
+                    obs.query_end(&RunStats {
+                        sample_size: (t + 1) as usize,
+                        iterations: (round % 5 + 1) as usize,
+                        rows_scanned: (t + 1) * 10,
+                        converged_early: round % 2 == 0,
+                    });
+                }
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let renders = reader.join().unwrap();
+    assert!(renders > 0, "reader never got a render in");
+
+    // Every total equals the sum of the per-thread contributions.
+    let thread_sum: u64 = (1..=THREADS).sum(); // Σ (t+1)
+    assert_eq!(registry.queries_total(QueryKind::EntropyTopK), THREADS * ROUNDS);
+    assert_eq!(registry.queries_all_kinds(), THREADS * ROUNDS);
+    assert_eq!(registry.attrs_retired_total(), THREADS * ROUNDS);
+    assert_eq!(registry.sample_rows_total(), ROUNDS * thread_sum);
+    assert_eq!(registry.rows_scanned_total(), ROUNDS * thread_sum * 10);
+    assert_eq!(registry.converged_early_total(), THREADS * ROUNDS / 2);
+    let per_round_iterations: u64 = (0..ROUNDS).map(|r| r % 5 + 1).sum();
+    assert_eq!(registry.iterations_total(), THREADS * per_round_iterations);
+    for phase in Phase::ALL {
+        assert_eq!(registry.phase_nanos_total(phase), ROUNDS * thread_sum);
+    }
+    assert_eq!(registry.retirement_iterations().count(), THREADS * ROUNDS);
+    assert_eq!(registry.iterations_per_query().count(), THREADS * ROUNDS);
 }
 
 #[test]
