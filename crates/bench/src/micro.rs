@@ -42,8 +42,10 @@ impl Group {
         Self { name, budget: budget() }
     }
 
-    /// Benchmarks `f`, timing whole batches of calls.
-    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+    /// Benchmarks `f`, timing whole batches of calls. Returns the median
+    /// nanoseconds per iteration so benches can derive ratios or persist
+    /// machine-readable results.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> f64 {
         // Calibrate: how many calls fit in one batch slice?
         let slice = self.budget / BATCHES as u32;
         let t0 = Instant::now();
@@ -61,18 +63,18 @@ impl Group {
             per_iter_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
             total_iters += iters;
         }
-        self.report(name, &mut per_iter_ns, total_iters);
+        self.report(name, &mut per_iter_ns, total_iters)
     }
 
     /// Benchmarks `f` with a fresh `setup()` value per call; only `f` is
     /// timed, so benches can consume their input without paying for its
-    /// construction.
+    /// construction. Returns the median nanoseconds per iteration.
     pub fn bench_with_setup<S, T>(
         &mut self,
         name: &str,
         mut setup: impl FnMut() -> S,
         mut f: impl FnMut(S) -> T,
-    ) {
+    ) -> f64 {
         let slice = self.budget / BATCHES as u32;
         let s = setup();
         let t0 = Instant::now();
@@ -93,10 +95,10 @@ impl Group {
             per_iter_ns.push(timed.as_nanos() as f64 / iters as f64);
             total_iters += iters;
         }
-        self.report(name, &mut per_iter_ns, total_iters);
+        self.report(name, &mut per_iter_ns, total_iters)
     }
 
-    fn report(&self, name: &str, per_iter_ns: &mut [f64], total_iters: usize) {
+    fn report(&self, name: &str, per_iter_ns: &mut [f64], total_iters: usize) -> f64 {
         per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
         let median = per_iter_ns[per_iter_ns.len() / 2];
         let min = per_iter_ns[0];
@@ -106,6 +108,7 @@ impl Group {
             pretty_ns(median),
             pretty_ns(min),
         );
+        median
     }
 }
 

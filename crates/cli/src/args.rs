@@ -36,7 +36,8 @@ serve options:
   --addr <host:port>        listen address (default 127.0.0.1:7878; port 0 = any)
   --queue-depth <n>         bounded request queue size (default 64)
   --cache-capacity <n>      result-cache entries, 0 disables (default 256)
-  --deadline-ms <n>         max queueing time before answering 503 (default 10000)";
+  --deadline-ms <n>         max queueing time before answering 503 (default 10000)
+  --exec-threads <n>        shared query execution-pool size (default: all cores)";
 
 /// Which algorithm a query should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -93,6 +94,9 @@ pub struct Options {
     pub cache_capacity: Option<usize>,
     /// `--deadline-ms` (serve): max queueing milliseconds before 503.
     pub deadline_ms: Option<u64>,
+    /// `--exec-threads` (serve): shared execution-pool size for queries
+    /// asking for `threads > 1` (default: available parallelism).
+    pub exec_threads: Option<usize>,
 }
 
 /// Parses everything after the command word.
@@ -119,6 +123,7 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--queue-depth" => o.queue_depth = Some(value(args, &mut i, "--queue-depth")?),
             "--cache-capacity" => o.cache_capacity = Some(value(args, &mut i, "--cache-capacity")?),
             "--deadline-ms" => o.deadline_ms = Some(value(args, &mut i, "--deadline-ms")?),
+            "--exec-threads" => o.exec_threads = Some(value(args, &mut i, "--exec-threads")?),
             "--algo" => {
                 let v = raw_value(args, &mut i, "--algo")?;
                 o.algo = match v.as_str() {
@@ -215,12 +220,15 @@ mod tests {
             "32",
             "--deadline-ms",
             "250",
+            "--exec-threads",
+            "3",
         ])
         .unwrap();
         assert_eq!(o.addr.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(o.queue_depth, Some(8));
         assert_eq!(o.cache_capacity, Some(32));
         assert_eq!(o.deadline_ms, Some(250));
+        assert_eq!(o.exec_threads, Some(3));
         assert!(parse(&["--queue-depth", "lots"]).is_err());
         assert!(parse(&["--addr"]).is_err());
     }

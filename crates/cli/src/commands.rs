@@ -364,6 +364,9 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         deadline: std::time::Duration::from_millis(opts.deadline_ms.unwrap_or(10_000)),
         max_support: opts.max_support.unwrap_or(1000),
         handle_signals: true,
+        exec_threads: opts
+            .exec_threads
+            .unwrap_or_else(|| swope_server::ServerConfig::default().exec_threads),
         ..swope_server::ServerConfig::default()
     };
     let server = swope_server::Server::bind(config).map_err(|e| format!("binding: {e}"))?;

@@ -27,9 +27,9 @@ use swope_estimate::joint::JointEntropyCounter;
 use swope_obs::{AttrBounds, NoopObserver, Phase, QueryKind, QueryMeta, QueryObserver, RunStats};
 use swope_sampling::DoublingSchedule;
 
-use crate::parallel::for_each_mut;
+use crate::exec::Executor;
 use crate::report::{AttrScore, QueryStats, TopKResult, WorkKind};
-use crate::state::make_sampler;
+use crate::state::{make_sampler, INGEST_BLOCK_ROWS};
 use crate::{SwopeConfig, SwopeError};
 
 /// One target's in-flight state.
@@ -85,6 +85,21 @@ pub fn mi_top_k_batch_observed<O: QueryObserver>(
     k: usize,
     config: &SwopeConfig,
     observer: &mut O,
+) -> Result<Vec<TopKResult>, SwopeError> {
+    mi_top_k_batch_exec(dataset, targets, k, config, observer, &Executor::new(config.threads))
+}
+
+/// [`mi_top_k_batch_observed`] with an injected [`Executor`].
+///
+/// See [`crate::exec`]: the executor supplies the (possibly shared)
+/// worker pool, and results are bitwise identical for any executor.
+pub fn mi_top_k_batch_exec<O: QueryObserver>(
+    dataset: &Dataset,
+    targets: &[AttrIndex],
+    k: usize,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
 ) -> Result<Vec<TopKResult>, SwopeError> {
     config.validate()?;
     let h = dataset.num_attrs();
@@ -155,8 +170,7 @@ pub fn mi_top_k_batch_observed<O: QueryObserver>(
     // every target's joint update then streams sequential memory. This is
     // where the batch API beats |T| standalone queries, which each pay
     // the random gather per candidate.
-    const BLOCK_ROWS: usize = 8192;
-    let mut gathered: Vec<Vec<Code>> = vec![Vec::with_capacity(BLOCK_ROWS); h];
+    let mut gathered: Vec<Vec<Code>> = vec![Vec::with_capacity(INGEST_BLOCK_ROWS); h];
 
     observer.query_start(&QueryMeta {
         kind: QueryKind::MiTopKBatch,
@@ -174,18 +188,19 @@ pub fn mi_top_k_batch_observed<O: QueryObserver>(
         outer_iter += 1;
         let iter = outer_iter;
         let span = phase_start(observed);
-        let delta: Vec<u32> = sampler.grow_to(m_target).to_vec();
+        let delta_range = sampler.grow_delta(m_target);
         if let Some(s) = span {
             observer.phase(Phase::SampleGrow, iter, s.elapsed().as_nanos() as u64);
         }
         let m = sampler.sampled();
+        let delta = &sampler.rows()[delta_range];
         let lam = lambda(m as u64, n as u64, p_prime);
         let live: usize =
             queries.iter().filter(|q| q.result.is_none()).map(|q| q.candidates.len()).sum();
         observer.iteration(iter, m, live, lam);
 
         let span = phase_start(observed);
-        for block in delta.chunks(BLOCK_ROWS.max(1)) {
+        for block in delta.chunks(INGEST_BLOCK_ROWS) {
             for (attr, buf) in gathered.iter_mut().enumerate() {
                 let codes = dataset.column(attr).codes();
                 buf.clear();
@@ -197,7 +212,7 @@ pub fn mi_top_k_batch_observed<O: QueryObserver>(
                 }
             }
             let gathered_ref = &gathered;
-            for_each_mut(&mut queries, config.threads, |q| {
+            exec.for_each_mut(&mut queries, |q| {
                 if q.result.is_some() {
                     return;
                 }
@@ -217,7 +232,7 @@ pub fn mi_top_k_batch_observed<O: QueryObserver>(
         // Per-target bound refresh (cheap arithmetic).
         let span = phase_start(observed);
         let marginal_entropies: Vec<f64> = marginals.iter().map(EntropyCounter::entropy).collect();
-        for_each_mut(&mut queries, config.threads, |q| {
+        exec.for_each_mut(&mut queries, |q| {
             if q.result.is_some() {
                 return;
             }
@@ -244,7 +259,7 @@ pub fn mi_top_k_batch_observed<O: QueryObserver>(
 
         // Per-target stopping check + pruning.
         let span = phase_start(observed);
-        for_each_mut(&mut queries, config.threads, |q| {
+        exec.for_each_mut(&mut queries, |q| {
             if q.result.is_some() {
                 return;
             }

@@ -4,10 +4,10 @@ use swope_columnar::Dataset;
 use swope_obs::{NoopObserver, Phase, QueryKind, QueryObserver};
 use swope_sampling::DoublingSchedule;
 
+use crate::exec::Executor;
 use crate::observe::Instrumented;
-use crate::parallel::for_each_mut;
 use crate::report::{AttrScore, FilterResult, WorkKind};
-use crate::state::{make_sampler, EntropyState};
+use crate::state::{make_sampler, EntropyState, GatherScratch};
 use crate::topk::attr_score;
 use crate::{SwopeConfig, SwopeError};
 
@@ -50,6 +50,20 @@ pub fn entropy_filter_observed<O: QueryObserver>(
     config: &SwopeConfig,
     observer: &mut O,
 ) -> Result<FilterResult, SwopeError> {
+    entropy_filter_exec(dataset, eta, config, observer, &Executor::new(config.threads))
+}
+
+/// [`entropy_filter_observed`] with an injected [`Executor`].
+///
+/// See [`crate::exec`]: the executor supplies the (possibly shared)
+/// worker pool, and results are bitwise identical for any executor.
+pub fn entropy_filter_exec<O: QueryObserver>(
+    dataset: &Dataset,
+    eta: f64,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+) -> Result<FilterResult, SwopeError> {
     config.validate()?;
     if !eta.is_finite() || eta < 0.0 {
         return Err(SwopeError::InvalidThreshold(eta));
@@ -69,6 +83,7 @@ pub fn entropy_filter_observed<O: QueryObserver>(
     let mut sampler = make_sampler(n, config.sampling);
     let mut states: Vec<EntropyState> =
         (0..h).map(|attr| EntropyState::new(dataset, attr)).collect();
+    let mut scratch = GatherScratch::new(h);
     let mut accepted: Vec<AttrScore> = Vec::new();
     let mut it = Instrumented::start(observer, QueryKind::EntropyFilter, h, n, config);
 
@@ -77,19 +92,21 @@ pub fn entropy_filter_observed<O: QueryObserver>(
     while !states.is_empty() {
         it.begin_iteration();
         let span = it.phase_start();
-        let delta: Vec<u32> = sampler.grow_to(m_target).to_vec();
+        let delta_range = sampler.grow_delta(m_target);
         it.phase_end(Phase::SampleGrow, span);
         let m = sampler.sampled();
-        it.iteration(m, states.len(), swope_estimate::bounds::lambda(m as u64, n as u64, p_prime));
-        it.record_work(delta.len(), states.len(), WorkKind::EntropyMarginals);
+        let delta = &sampler.rows()[delta_range];
+        let live = states.len();
+        it.iteration(m, live, swope_estimate::bounds::lambda(m as u64, n as u64, p_prime));
+        it.record_work(delta.len(), live, WorkKind::EntropyMarginals);
 
         let span = it.phase_start();
-        for_each_mut(&mut states, config.threads, |st| {
-            st.ingest(dataset.column(st.attr), &delta);
+        exec.for_each2(&mut states, scratch.slots(live), |st, buf| {
+            st.ingest_staged(dataset.column(st.attr), delta, buf);
         });
         it.phase_end(Phase::Ingest, span);
         let span = it.phase_start();
-        for_each_mut(&mut states, config.threads, |st| {
+        exec.for_each_mut(&mut states, |st| {
             st.update_bounds(n as u64, p_prime);
         });
         it.phase_end(Phase::UpdateBounds, span);

@@ -60,6 +60,7 @@
 mod batch;
 mod config;
 mod error;
+pub mod exec;
 mod filter;
 mod mi_filter;
 mod mi_topk;
@@ -70,17 +71,19 @@ mod report;
 pub mod state;
 mod topk;
 
-pub use batch::{mi_top_k_batch, mi_top_k_batch_observed};
+pub use batch::{mi_top_k_batch, mi_top_k_batch_exec, mi_top_k_batch_observed};
 pub use config::{SamplingStrategy, SwopeConfig};
 pub use error::SwopeError;
-pub use filter::{entropy_filter, entropy_filter_observed};
-pub use mi_filter::{mi_filter, mi_filter_observed};
-pub use mi_topk::{mi_top_k, mi_top_k_observed};
+pub use exec::{ExecPool, ExecStats, Executor};
+pub use filter::{entropy_filter, entropy_filter_exec, entropy_filter_observed};
+pub use mi_filter::{mi_filter, mi_filter_exec, mi_filter_observed};
+pub use mi_topk::{mi_top_k, mi_top_k_exec, mi_top_k_observed};
 pub use profile::{
-    entropy_profile, entropy_profile_observed, mi_profile, mi_profile_observed, ProfileResult,
+    entropy_profile, entropy_profile_exec, entropy_profile_observed, mi_profile, mi_profile_exec,
+    mi_profile_observed, ProfileResult,
 };
 pub use report::{AttrScore, FilterResult, IterationTrace, QueryStats, TopKResult, WorkKind};
-pub use topk::{entropy_top_k, entropy_top_k_observed};
+pub use topk::{entropy_top_k, entropy_top_k_exec, entropy_top_k_observed};
 
 // Re-export the observer vocabulary so downstream crates can attach
 // observers without depending on `swope-obs` directly.

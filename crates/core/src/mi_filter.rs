@@ -5,11 +5,11 @@ use swope_columnar::{AttrIndex, Dataset};
 use swope_obs::{NoopObserver, Phase, QueryKind, QueryObserver};
 use swope_sampling::DoublingSchedule;
 
+use crate::exec::Executor;
 use crate::mi_topk::mi_score;
 use crate::observe::Instrumented;
-use crate::parallel::for_each_mut;
 use crate::report::{AttrScore, FilterResult, WorkKind};
-use crate::state::{make_sampler, MiState, TargetState};
+use crate::state::{make_sampler, GatherScratch, MiState, TargetState};
 use crate::{SwopeConfig, SwopeError};
 
 /// Approximate filtering query on empirical mutual information against a
@@ -51,6 +51,21 @@ pub fn mi_filter_observed<O: QueryObserver>(
     config: &SwopeConfig,
     observer: &mut O,
 ) -> Result<FilterResult, SwopeError> {
+    mi_filter_exec(dataset, target, eta, config, observer, &Executor::new(config.threads))
+}
+
+/// [`mi_filter_observed`] with an injected [`Executor`].
+///
+/// See [`crate::exec`]: the executor supplies the (possibly shared)
+/// worker pool, and results are bitwise identical for any executor.
+pub fn mi_filter_exec<O: QueryObserver>(
+    dataset: &Dataset,
+    target: AttrIndex,
+    eta: f64,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+) -> Result<FilterResult, SwopeError> {
     config.validate()?;
     if !eta.is_finite() || eta < 0.0 {
         return Err(SwopeError::InvalidThreshold(eta));
@@ -79,6 +94,7 @@ pub fn mi_filter_observed<O: QueryObserver>(
     let u_t = target_state.support;
     let mut states: Vec<MiState> =
         (0..h).filter(|&a| a != target).map(|a| MiState::new(a, u_t, dataset.support(a))).collect();
+    let mut scratch = GatherScratch::new(candidates);
     let mut accepted: Vec<AttrScore> = Vec::new();
     let mut it = Instrumented::start(observer, QueryKind::MiFilter, h, n, config);
 
@@ -87,21 +103,25 @@ pub fn mi_filter_observed<O: QueryObserver>(
     while !states.is_empty() {
         it.begin_iteration();
         let span = it.phase_start();
-        let delta: Vec<u32> = sampler.grow_to(m_target).to_vec();
+        let delta_range = sampler.grow_delta(m_target);
         it.phase_end(Phase::SampleGrow, span);
         let m = sampler.sampled();
-        it.iteration(m, states.len(), swope_estimate::bounds::lambda(m as u64, n as u64, p_prime));
-        it.record_work(delta.len(), states.len(), WorkKind::MiPerTarget);
+        let delta = &sampler.rows()[delta_range];
+        let live = states.len();
+        it.iteration(m, live, swope_estimate::bounds::lambda(m as u64, n as u64, p_prime));
+        it.record_work(delta.len(), live, WorkKind::MiPerTarget);
 
         let span = it.phase_start();
-        let t_codes = target_state.ingest(dataset.column(target), &delta);
-        for_each_mut(&mut states, config.threads, |st| {
-            st.ingest(dataset.column(st.attr), &t_codes, &delta);
+        let (t_buf, slots) = scratch.target_and_slots(live);
+        target_state.ingest_into(dataset.column(target), delta, t_buf);
+        let t_codes: &[u32] = t_buf;
+        exec.for_each2(&mut states, slots, |st, buf| {
+            st.ingest_staged(dataset.column(st.attr), t_codes, delta, buf);
         });
         it.phase_end(Phase::Ingest, span);
         let span = it.phase_start();
         let h_t = target_state.sample_entropy();
-        for_each_mut(&mut states, config.threads, |st| {
+        exec.for_each_mut(&mut states, |st| {
             st.update_bounds(h_t, u_t, n as u64, p_prime);
         });
         it.phase_end(Phase::UpdateBounds, span);

@@ -5,10 +5,10 @@ use swope_estimate::bounds::lambda;
 use swope_obs::{NoopObserver, Phase, QueryKind, QueryObserver};
 use swope_sampling::DoublingSchedule;
 
+use crate::exec::Executor;
 use crate::observe::Instrumented;
-use crate::parallel::for_each_mut;
 use crate::report::{AttrScore, TopKResult, WorkKind};
-use crate::state::{make_sampler, MiState, TargetState};
+use crate::state::{make_sampler, GatherScratch, MiState, TargetState};
 use crate::topk::top_k_indices;
 use crate::{SwopeConfig, SwopeError};
 
@@ -84,6 +84,21 @@ pub fn mi_top_k_observed<O: QueryObserver>(
     config: &SwopeConfig,
     observer: &mut O,
 ) -> Result<TopKResult, SwopeError> {
+    mi_top_k_exec(dataset, target, k, config, observer, &Executor::new(config.threads))
+}
+
+/// [`mi_top_k_observed`] with an injected [`Executor`].
+///
+/// See [`crate::exec`]: the executor supplies the (possibly shared)
+/// worker pool, and results are bitwise identical for any executor.
+pub fn mi_top_k_exec<O: QueryObserver>(
+    dataset: &Dataset,
+    target: AttrIndex,
+    k: usize,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+) -> Result<TopKResult, SwopeError> {
     config.validate()?;
     let h = dataset.num_attrs();
     let n = dataset.num_rows();
@@ -113,30 +128,35 @@ pub fn mi_top_k_observed<O: QueryObserver>(
     let u_t = target_state.support;
     let mut states: Vec<MiState> =
         (0..h).filter(|&a| a != target).map(|a| MiState::new(a, u_t, dataset.support(a))).collect();
+    let mut scratch = GatherScratch::new(candidates);
     let mut it = Instrumented::start(observer, QueryKind::MiTopK, h, n, config);
 
     let mut m_target = schedule.m0();
     loop {
         it.begin_iteration();
         let span = it.phase_start();
-        let delta: Vec<u32> = sampler.grow_to(m_target).to_vec();
+        let delta_range = sampler.grow_delta(m_target);
         it.phase_end(Phase::SampleGrow, span);
         let m = sampler.sampled();
+        let delta = &sampler.rows()[delta_range];
         let lam = lambda(m as u64, n as u64, p_prime);
-        it.iteration(m, states.len(), lam);
+        let live = states.len();
+        it.iteration(m, live, lam);
         // Target scan + per-candidate marginal and joint updates.
-        it.record_work(delta.len(), states.len(), WorkKind::MiPerTarget);
+        it.record_work(delta.len(), live, WorkKind::MiPerTarget);
 
         let span = it.phase_start();
         // Gather the target codes once; every candidate reuses them.
-        let t_codes = target_state.ingest(dataset.column(target), &delta);
-        for_each_mut(&mut states, config.threads, |st| {
-            st.ingest(dataset.column(st.attr), &t_codes, &delta);
+        let (t_buf, slots) = scratch.target_and_slots(live);
+        target_state.ingest_into(dataset.column(target), delta, t_buf);
+        let t_codes: &[u32] = t_buf;
+        exec.for_each2(&mut states, slots, |st, buf| {
+            st.ingest_staged(dataset.column(st.attr), t_codes, delta, buf);
         });
         it.phase_end(Phase::Ingest, span);
         let span = it.phase_start();
         let h_t = target_state.sample_entropy();
-        for_each_mut(&mut states, config.threads, |st| {
+        exec.for_each_mut(&mut states, |st| {
             st.update_bounds(h_t, u_t, n as u64, p_prime);
         });
         it.phase_end(Phase::UpdateBounds, span);

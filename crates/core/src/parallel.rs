@@ -3,44 +3,87 @@
 //! Every SWOPE iteration performs independent work per candidate attribute
 //! (ingest the ΔM new sampled records into that attribute's counters and
 //! recompute its bounds). Candidates share nothing mutable, so the natural
-//! parallelization is to shard the candidate slice across scoped threads.
-//! A full thread-pool or rayon-style scheduler would be overkill: the
-//! workload is one fork-join per iteration with uniform-cost items.
+//! parallelization is to shard the candidate slice across worker threads.
+//!
+//! This free function spawns a fresh `thread::scope` per call and is kept
+//! for one-shot callers (the exact baselines in `swope-baselines`). The
+//! adaptive loops instead dispatch through [`crate::exec::Executor`],
+//! which amortizes thread creation across a whole query; both use the
+//! same dynamic-chunking discipline: workers claim index ranges from an
+//! atomic cursor, so no worker is ever handed an empty static shard and
+//! uneven per-item cost no longer straggles one shard.
 
-/// Applies `f` to every element of `items`, splitting the slice across up
-/// to `threads` scoped worker threads.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Shared base pointer for the claim loop; soundness comes from the
+/// cursor protocol (each index claimed exactly once) exactly as in
+/// `crate::exec` — see the safety discussion there.
+struct SendPtr<T>(*mut T);
+
+// SAFETY: disjoint index claims make concurrent `&mut` derivation from
+// the shared base pointer sound; the scope joins before returning.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// `Sync` wrapper, not the raw pointer field itself.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Applies `f` to every element of `items` exactly once, using up to
+/// `threads` threads (the calling thread participates, so at most
+/// `threads − 1` are spawned — and none when `threads <= 1` or the slice
+/// has fewer than two items).
 ///
-/// Falls back to a plain sequential loop when `threads <= 1` or there are
-/// fewer than two items, avoiding any thread overhead on the common
-/// single-threaded configuration.
+/// Work is claimed dynamically from an atomic cursor rather than split
+/// into static shards, so `items.len() < threads` cannot produce empty
+/// or lopsided shards: at most `min(threads, len)` threads ever touch
+/// the slice, and a zero-item call returns without spawning anything.
 pub fn for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
 where
     T: Send,
     F: Fn(&mut T) + Sync,
 {
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads <= 1 {
+    let len = items.len();
+    let workers = threads.max(1).min(len);
+    if workers <= 1 {
         for item in items.iter_mut() {
             f(item);
         }
         return;
     }
-    let chunk = items.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for shard in items.chunks_mut(chunk) {
-            scope.spawn(|| {
-                for item in shard.iter_mut() {
-                    f(item);
-                }
-            });
+    // Same chunking policy as `crate::exec`: ~4 chunks per worker keeps
+    // cursor traffic negligible while letting fast workers absorb slack.
+    let chunk = (len / (workers * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let base = SendPtr(items.as_mut_ptr());
+    let claim = || loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= len {
+            break;
         }
+        let end = (start + chunk).min(len);
+        for i in start..end {
+            // SAFETY: each index is claimed by exactly one fetch_add
+            // winner, so the derived `&mut` references are disjoint, and
+            // the scope below joins before `items` is used again.
+            f(unsafe { &mut *base.get().add(i) });
+        }
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..workers {
+            scope.spawn(claim);
+        }
+        claim();
     });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn sequential_path_applies_all() {
@@ -71,9 +114,36 @@ mod tests {
     }
 
     #[test]
+    fn fewer_items_than_threads_applies_exactly_once() {
+        // 3 items, 16 requested threads: the old div_ceil sharding would
+        // have produced empty shards; the cursor dispatcher must apply
+        // each item exactly once with no stragglers.
+        let mut items = vec![0u64; 3];
+        let calls = AtomicUsize::new(0);
+        for_each_mut(&mut items, 16, |x| {
+            *x += 1;
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(items, vec![1, 1, 1]);
+    }
+
+    #[test]
     fn empty_slice_is_a_noop() {
         let mut items: Vec<i32> = vec![];
         for_each_mut(&mut items, 4, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn single_item_runs_on_the_calling_thread() {
+        // len < 2 must not spawn: observe that `f` runs on the caller.
+        let caller = std::thread::current().id();
+        let mut items = vec![0u8];
+        for_each_mut(&mut items, 64, |x| {
+            assert_eq!(std::thread::current().id(), caller);
+            *x = 1;
+        });
+        assert_eq!(items, vec![1]);
     }
 
     #[test]

@@ -13,10 +13,10 @@ use swope_columnar::{AttrIndex, Dataset};
 use swope_obs::{NoopObserver, Phase, QueryKind, QueryObserver};
 use swope_sampling::DoublingSchedule;
 
+use crate::exec::Executor;
 use crate::observe::Instrumented;
-use crate::parallel::for_each_mut;
 use crate::report::{AttrScore, QueryStats, WorkKind};
-use crate::state::{make_sampler, EntropyState, MiState, TargetState};
+use crate::state::{make_sampler, EntropyState, GatherScratch, MiState, TargetState};
 use crate::topk::attr_score;
 use crate::{SwopeConfig, SwopeError};
 
@@ -56,6 +56,20 @@ pub fn entropy_profile_observed<O: QueryObserver>(
     config: &SwopeConfig,
     observer: &mut O,
 ) -> Result<ProfileResult, SwopeError> {
+    entropy_profile_exec(dataset, floor, config, observer, &Executor::new(config.threads))
+}
+
+/// [`entropy_profile_observed`] with an injected [`Executor`].
+///
+/// See [`crate::exec`]: the executor supplies the (possibly shared)
+/// worker pool, and results are bitwise identical for any executor.
+pub fn entropy_profile_exec<O: QueryObserver>(
+    dataset: &Dataset,
+    floor: f64,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+) -> Result<ProfileResult, SwopeError> {
     config.validate()?;
     if !floor.is_finite() || floor < 0.0 {
         return Err(SwopeError::InvalidThreshold(floor));
@@ -75,6 +89,7 @@ pub fn entropy_profile_observed<O: QueryObserver>(
     let mut sampler = make_sampler(n, config.sampling);
     let mut states: Vec<EntropyState> =
         (0..h).map(|attr| EntropyState::new(dataset, attr)).collect();
+    let mut scratch = GatherScratch::new(h);
     let mut done: Vec<AttrScore> = Vec::new();
     let mut it = Instrumented::start(observer, QueryKind::EntropyProfile, h, n, config);
 
@@ -83,19 +98,21 @@ pub fn entropy_profile_observed<O: QueryObserver>(
     while !states.is_empty() {
         it.begin_iteration();
         let span = it.phase_start();
-        let delta: Vec<u32> = sampler.grow_to(m_target).to_vec();
+        let delta_range = sampler.grow_delta(m_target);
         it.phase_end(Phase::SampleGrow, span);
         let m = sampler.sampled();
-        it.iteration(m, states.len(), swope_estimate::bounds::lambda(m as u64, n as u64, p_prime));
-        it.record_work(delta.len(), states.len(), WorkKind::EntropyMarginals);
+        let delta = &sampler.rows()[delta_range];
+        let live = states.len();
+        it.iteration(m, live, swope_estimate::bounds::lambda(m as u64, n as u64, p_prime));
+        it.record_work(delta.len(), live, WorkKind::EntropyMarginals);
 
         let span = it.phase_start();
-        for_each_mut(&mut states, config.threads, |st| {
-            st.ingest(dataset.column(st.attr), &delta);
+        exec.for_each2(&mut states, scratch.slots(live), |st, buf| {
+            st.ingest_staged(dataset.column(st.attr), delta, buf);
         });
         it.phase_end(Phase::Ingest, span);
         let span = it.phase_start();
-        for_each_mut(&mut states, config.threads, |st| {
+        exec.for_each_mut(&mut states, |st| {
             st.update_bounds(n as u64, p_prime);
         });
         it.phase_end(Phase::UpdateBounds, span);
@@ -149,6 +166,21 @@ pub fn mi_profile_observed<O: QueryObserver>(
     config: &SwopeConfig,
     observer: &mut O,
 ) -> Result<ProfileResult, SwopeError> {
+    mi_profile_exec(dataset, target, floor, config, observer, &Executor::new(config.threads))
+}
+
+/// [`mi_profile_observed`] with an injected [`Executor`].
+///
+/// See [`crate::exec`]: the executor supplies the (possibly shared)
+/// worker pool, and results are bitwise identical for any executor.
+pub fn mi_profile_exec<O: QueryObserver>(
+    dataset: &Dataset,
+    target: AttrIndex,
+    floor: f64,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+) -> Result<ProfileResult, SwopeError> {
     config.validate()?;
     if !floor.is_finite() || floor < 0.0 {
         return Err(SwopeError::InvalidThreshold(floor));
@@ -177,6 +209,7 @@ pub fn mi_profile_observed<O: QueryObserver>(
     let u_t = target_state.support;
     let mut states: Vec<MiState> =
         (0..h).filter(|&a| a != target).map(|a| MiState::new(a, u_t, dataset.support(a))).collect();
+    let mut scratch = GatherScratch::new(candidates);
     let mut done: Vec<AttrScore> = Vec::new();
     let mut it = Instrumented::start(observer, QueryKind::MiProfile, h, n, config);
 
@@ -185,21 +218,25 @@ pub fn mi_profile_observed<O: QueryObserver>(
     while !states.is_empty() {
         it.begin_iteration();
         let span = it.phase_start();
-        let delta: Vec<u32> = sampler.grow_to(m_target).to_vec();
+        let delta_range = sampler.grow_delta(m_target);
         it.phase_end(Phase::SampleGrow, span);
         let m = sampler.sampled();
-        it.iteration(m, states.len(), swope_estimate::bounds::lambda(m as u64, n as u64, p_prime));
-        it.record_work(delta.len(), states.len(), WorkKind::MiPerTarget);
+        let delta = &sampler.rows()[delta_range];
+        let live = states.len();
+        it.iteration(m, live, swope_estimate::bounds::lambda(m as u64, n as u64, p_prime));
+        it.record_work(delta.len(), live, WorkKind::MiPerTarget);
 
         let span = it.phase_start();
-        let t_codes = target_state.ingest(dataset.column(target), &delta);
-        for_each_mut(&mut states, config.threads, |st| {
-            st.ingest(dataset.column(st.attr), &t_codes, &delta);
+        let (t_buf, slots) = scratch.target_and_slots(live);
+        target_state.ingest_into(dataset.column(target), delta, t_buf);
+        let t_codes: &[u32] = t_buf;
+        exec.for_each2(&mut states, slots, |st, buf| {
+            st.ingest_staged(dataset.column(st.attr), t_codes, delta, buf);
         });
         it.phase_end(Phase::Ingest, span);
         let span = it.phase_start();
         let h_t = target_state.sample_entropy();
-        for_each_mut(&mut states, config.threads, |st| {
+        exec.for_each_mut(&mut states, |st| {
             st.update_bounds(h_t, u_t, n as u64, p_prime);
         });
         it.phase_end(Phase::UpdateBounds, span);

@@ -20,6 +20,69 @@ use swope_sampling::{PageShuffle, PrefixShuffle, Sampler};
 
 use crate::SamplingStrategy;
 
+/// Row-block granularity of the gather-staged ingest path.
+///
+/// Staged ingest splits an iteration's ΔM rows into blocks of this many
+/// rows, gathers one block of a column's codes into a reusable buffer,
+/// then counts the block sequentially. The block bound keeps every
+/// scratch buffer at most `4 · INGEST_BLOCK_ROWS` bytes (32 KiB — L1/L2
+/// resident) no matter how large ΔM grows under doubling, which is what
+/// makes the steady-state loop allocation-free: buffers reach block size
+/// once and are never regrown. Matches the batch engine's block size.
+pub const INGEST_BLOCK_ROWS: usize = 8192;
+
+/// Gathers `codes[r]` for each row in `rows` into `buf` (cleared first).
+///
+/// This is the only cache-miss-heavy step of an ingest: random reads
+/// into the column. Splitting it from counting turns the counter update
+/// into a sequential pass over a contiguous slice.
+#[inline]
+fn gather_block(codes: &[Code], rows: &[u32], buf: &mut Vec<Code>) {
+    buf.clear();
+    buf.extend(rows.iter().map(|&r| codes[r as usize]));
+}
+
+/// Reusable per-query scratch buffers for gather-staged ingest.
+///
+/// One `GatherScratch` lives for the whole adaptive loop: `target` holds
+/// the MI target column's gathered codes for the current iteration, and
+/// `slots[i]` is candidate state `i`'s private block buffer (private so
+/// the executor can fan candidates out without sharing buffers). All
+/// buffers grow to their high-water mark once and are then reused, so
+/// steady-state iterations allocate nothing.
+#[derive(Debug, Default)]
+pub struct GatherScratch {
+    target: Vec<Code>,
+    slots: Vec<Vec<Code>>,
+}
+
+impl GatherScratch {
+    /// Scratch with `slots` per-candidate block buffers (more are added
+    /// on demand by [`GatherScratch::slots`]).
+    pub fn new(slots: usize) -> Self {
+        Self { target: Vec::new(), slots: (0..slots).map(|_| Vec::new()).collect() }
+    }
+
+    /// The first `n` per-candidate block buffers, growing the slot list
+    /// if needed. Pair with states via `Executor::for_each2`.
+    pub fn slots(&mut self, n: usize) -> &mut [Vec<Code>] {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, Vec::new);
+        }
+        &mut self.slots[..n]
+    }
+
+    /// Splits the scratch into the target-code buffer and the first `n`
+    /// candidate slots, so an MI iteration can fill the target buffer
+    /// and then fan candidates out over it in one borrow.
+    pub fn target_and_slots(&mut self, n: usize) -> (&mut Vec<Code>, &mut [Vec<Code>]) {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, Vec::new);
+        }
+        (&mut self.target, &mut self.slots[..n])
+    }
+}
+
 /// Constructs the sampler a query's `SamplingStrategy` asks for.
 pub fn make_sampler(num_rows: usize, strategy: SamplingStrategy) -> Box<dyn Sampler> {
     match strategy {
@@ -66,6 +129,20 @@ impl EntropyState {
         let codes = column.codes();
         for &r in new_rows {
             self.counter.add(codes[r as usize]);
+        }
+    }
+
+    /// Gather-staged form of [`EntropyState::ingest`]: materializes the
+    /// column's codes block-by-block into `buf`, then counts each block
+    /// as a sequential `&[Code]` pass. Bitwise identical to `ingest`
+    /// (same codes in the same order); O(Δrows) with zero steady-state
+    /// allocation once `buf` has reached [`INGEST_BLOCK_ROWS`].
+    #[inline]
+    pub fn ingest_staged(&mut self, column: &Column, new_rows: &[u32], buf: &mut Vec<Code>) {
+        let codes = column.codes();
+        for block in new_rows.chunks(INGEST_BLOCK_ROWS) {
+            gather_block(codes, block, buf);
+            self.counter.add_all(buf);
         }
     }
 
@@ -137,6 +214,31 @@ impl MiState {
         }
     }
 
+    /// Gather-staged form of [`MiState::ingest`]: the candidate column's
+    /// codes are gathered block-by-block into `buf`, then zipped with
+    /// the matching block of pre-gathered `target_codes`. Bitwise
+    /// identical to `ingest` (same `(counter, joint)` update sequence).
+    #[inline]
+    pub fn ingest_staged(
+        &mut self,
+        column: &Column,
+        target_codes: &[Code],
+        new_rows: &[u32],
+        buf: &mut Vec<Code>,
+    ) {
+        debug_assert_eq!(target_codes.len(), new_rows.len());
+        let codes = column.codes();
+        for (rows, tcs) in
+            new_rows.chunks(INGEST_BLOCK_ROWS).zip(target_codes.chunks(INGEST_BLOCK_ROWS))
+        {
+            gather_block(codes, rows, buf);
+            for (&c, &tc) in buf.iter().zip(tcs) {
+                self.counter.add(c);
+                self.joint.add(tc, c);
+            }
+        }
+    }
+
     /// Recomputes the §4.1 interval for the current sample.
     ///
     /// * `h_t`, `u_t` — the target attribute's sample entropy and support,
@@ -191,14 +293,25 @@ impl TargetState {
     /// Ingests newly sampled rows, returning their target codes for reuse
     /// by every candidate's [`MiState::ingest`].
     pub fn ingest(&mut self, column: &Column, new_rows: &[u32]) -> Vec<Code> {
+        let mut gathered = Vec::new();
+        self.ingest_into(column, new_rows, &mut gathered);
+        gathered
+    }
+
+    /// Allocation-reusing form of [`TargetState::ingest`]: gathers the
+    /// target codes into `out` (cleared first) instead of a fresh `Vec`,
+    /// so the doubling loop reuses one buffer across iterations. The
+    /// whole delta is gathered (not blocked) because every candidate's
+    /// [`MiState::ingest_staged`] needs the full iteration's codes.
+    pub fn ingest_into(&mut self, column: &Column, new_rows: &[u32], out: &mut Vec<Code>) {
         let codes = column.codes();
-        let mut gathered = Vec::with_capacity(new_rows.len());
+        out.clear();
+        out.reserve(new_rows.len());
         for &r in new_rows {
             let c = codes[r as usize];
             self.counter.add(c);
-            gathered.push(c);
+            out.push(c);
         }
-        gathered
     }
 
     /// The target's sample entropy `H_S(α_t)`.
@@ -264,6 +377,55 @@ mod tests {
         let exact = mutual_information(ds.column(0), ds.column(1));
         assert!((cand.bounds.lower - exact).abs() < 1e-9);
         assert!((cand.bounds.upper - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staged_ingest_is_bitwise_identical_to_direct() {
+        // Use a delta larger than one block so the blocked path is
+        // exercised, with a deterministic shuffled row order.
+        let n = 3 * INGEST_BLOCK_ROWS + 137;
+        let schema = Schema::new(vec![Field::new("a", 8), Field::new("b", 3)]);
+        let a = Column::new((0..n as u32).map(|i| (i * 7 + i / 5) % 8).collect(), 8).unwrap();
+        let b = Column::new((0..n as u32).map(|i| (i / 3) % 3).collect(), 3).unwrap();
+        let ds = Dataset::new(schema, vec![a, b]).unwrap();
+        let mut sampler = PrefixShuffle::new(n, 42);
+        let rows: Vec<u32> = sampler.grow_to(n).to_vec();
+
+        let mut direct = EntropyState::new(&ds, 0);
+        direct.ingest(ds.column(0), &rows);
+        let mut staged = EntropyState::new(&ds, 0);
+        let mut buf = Vec::new();
+        staged.ingest_staged(ds.column(0), &rows, &mut buf);
+        assert_eq!(direct.sampled(), staged.sampled());
+        assert_eq!(direct.sample_entropy().to_bits(), staged.sample_entropy().to_bits());
+        // The buffer must stay block-sized (allow allocator rounding)
+        // rather than growing with the 3-block delta.
+        assert!(buf.capacity() < 2 * INGEST_BLOCK_ROWS, "block buffer must stay block-sized");
+
+        let mut target = TargetState::new(&ds, 1);
+        let mut t_codes = Vec::new();
+        target.ingest_into(ds.column(1), &rows, &mut t_codes);
+        let mut direct_mi = MiState::new(0, ds.support(1), ds.support(0));
+        direct_mi.ingest(ds.column(0), &t_codes, &rows);
+        let mut staged_mi = MiState::new(0, ds.support(1), ds.support(0));
+        staged_mi.ingest_staged(ds.column(0), &t_codes, &rows, &mut buf);
+        assert_eq!(direct_mi.sample_entropy().to_bits(), staged_mi.sample_entropy().to_bits());
+        assert_eq!(
+            direct_mi.sample_joint_entropy().to_bits(),
+            staged_mi.sample_joint_entropy().to_bits()
+        );
+    }
+
+    #[test]
+    fn gather_scratch_grows_slots_on_demand() {
+        let mut scratch = GatherScratch::new(2);
+        assert_eq!(scratch.slots(5).len(), 5);
+        let (target, slots) = scratch.target_and_slots(3);
+        target.push(1);
+        assert_eq!(slots.len(), 3);
+        // Existing slots are preserved (buffers are reused, not rebuilt).
+        scratch.slots(5)[4].push(9);
+        assert_eq!(scratch.slots(5)[4], vec![9]);
     }
 
     #[test]

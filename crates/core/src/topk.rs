@@ -5,10 +5,10 @@ use swope_estimate::bounds::lambda;
 use swope_obs::{NoopObserver, Phase, QueryKind, QueryObserver};
 use swope_sampling::DoublingSchedule;
 
+use crate::exec::Executor;
 use crate::observe::Instrumented;
-use crate::parallel::for_each_mut;
 use crate::report::{AttrScore, TopKResult, WorkKind};
-use crate::state::{make_sampler, EntropyState};
+use crate::state::{make_sampler, EntropyState, GatherScratch};
 use crate::{SwopeConfig, SwopeError};
 
 /// Approximate top-k query on empirical entropy (paper Algorithm 1).
@@ -52,6 +52,22 @@ pub fn entropy_top_k_observed<O: QueryObserver>(
     config: &SwopeConfig,
     observer: &mut O,
 ) -> Result<TopKResult, SwopeError> {
+    entropy_top_k_exec(dataset, k, config, observer, &Executor::new(config.threads))
+}
+
+/// [`entropy_top_k_observed`] with an injected [`Executor`].
+///
+/// The executor supplies the worker pool for per-candidate fan-outs;
+/// `swope-server` passes a process-wide pool here so HTTP requests don't
+/// pay per-query thread spawns. Results are bitwise identical for any
+/// executor (see [`crate::exec`] for the determinism argument).
+pub fn entropy_top_k_exec<O: QueryObserver>(
+    dataset: &Dataset,
+    k: usize,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+) -> Result<TopKResult, SwopeError> {
     config.validate()?;
     let h = dataset.num_attrs();
     let n = dataset.num_rows();
@@ -73,26 +89,29 @@ pub fn entropy_top_k_observed<O: QueryObserver>(
     let mut sampler = make_sampler(n, config.sampling);
     let mut states: Vec<EntropyState> =
         (0..h).map(|attr| EntropyState::new(dataset, attr)).collect();
+    let mut scratch = GatherScratch::new(h);
     let mut it = Instrumented::start(observer, QueryKind::EntropyTopK, h, n, config);
 
     let mut m_target = schedule.m0();
     loop {
         it.begin_iteration();
         let span = it.phase_start();
-        let delta: Vec<u32> = sampler.grow_to(m_target).to_vec();
+        let delta_range = sampler.grow_delta(m_target);
         it.phase_end(Phase::SampleGrow, span);
         let m = sampler.sampled();
+        let delta = &sampler.rows()[delta_range];
         let lam = lambda(m as u64, n as u64, p_prime);
-        it.iteration(m, states.len(), lam);
-        it.record_work(delta.len(), states.len(), WorkKind::EntropyMarginals);
+        let live = states.len();
+        it.iteration(m, live, lam);
+        it.record_work(delta.len(), live, WorkKind::EntropyMarginals);
 
         let span = it.phase_start();
-        for_each_mut(&mut states, config.threads, |st| {
-            st.ingest(dataset.column(st.attr), &delta);
+        exec.for_each2(&mut states, scratch.slots(live), |st, buf| {
+            st.ingest_staged(dataset.column(st.attr), delta, buf);
         });
         it.phase_end(Phase::Ingest, span);
         let span = it.phase_start();
-        for_each_mut(&mut states, config.threads, |st| {
+        exec.for_each_mut(&mut states, |st| {
             st.update_bounds(n as u64, p_prime);
         });
         it.phase_end(Phase::UpdateBounds, span);

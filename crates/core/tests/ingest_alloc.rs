@@ -1,0 +1,98 @@
+//! Steady-state allocation audit for gather-staged ingest.
+//!
+//! The execution layer's claim is that once a query's scratch buffers
+//! reach their high-water mark, iterating allocates nothing: block
+//! buffers are capped at [`swope_core::state::INGEST_BLOCK_ROWS`] and
+//! reused, and the MI target buffer only regrows past its largest delta.
+//! This binary installs a counting global allocator and asserts exactly
+//! that. It holds a single test on purpose: the harness is per-process,
+//! and a concurrently running neighbour test would count its own
+//! allocations into ours.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use swope_columnar::{Column, Dataset, Field, Schema};
+use swope_core::state::{EntropyState, GatherScratch, MiState, TargetState};
+use swope_sampling::rng::Xoshiro256pp;
+
+/// Counts every allocation and reallocation; frees are not interesting
+/// here (a steady-state loop that frees must have allocated first).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn staged_ingest_allocates_nothing_in_steady_state() {
+    let n = 65_536usize;
+    let mut r = Xoshiro256pp::seed_from_u64(0x5170);
+    let make = |support: u32, r: &mut Xoshiro256pp| -> Vec<u32> {
+        (0..n).map(|_| r.next_below(support as u64) as u32).collect()
+    };
+    let ds = Dataset::new(
+        Schema::new(vec![Field::new("cand", 8), Field::new("target", 4)]),
+        vec![Column::new(make(8, &mut r), 8).unwrap(), Column::new(make(4, &mut r), 4).unwrap()],
+    )
+    .unwrap();
+    let rows: Vec<u32> = {
+        let mut rows: Vec<u32> = (0..n as u32).collect();
+        // Fisher–Yates so the gather sees sampler-like random row order.
+        for i in (1..n).rev() {
+            rows.swap(i, r.next_below(i as u64 + 1) as usize);
+        }
+        rows
+    };
+
+    let cand = ds.column(0);
+    let target = ds.column(1);
+    let mut entropy = EntropyState::new(&ds, 0);
+    let mut target_state = TargetState::new(&ds, 1);
+    let mut mi = MiState::new(0, target_state.support, ds.support(0));
+    let mut scratch = GatherScratch::new(2);
+
+    // Warm-up: the first delta grows every buffer to its high-water mark
+    // (block buffers cap at INGEST_BLOCK_ROWS; the target buffer sizes to
+    // the largest delta) and observes every (target, cand) pair so the
+    // counters' structures are fully built.
+    let warm = &rows[..20_000];
+    entropy.ingest_staged(cand, warm, &mut scratch.slots(2)[0]);
+    let (t_buf, slots) = scratch.target_and_slots(2);
+    target_state.ingest_into(target, warm, t_buf);
+    mi.ingest_staged(cand, t_buf, warm, &mut slots[1]);
+
+    // Steady state: more ingests of never-larger deltas (sizes chosen to
+    // land both on and off block boundaries) must not allocate at all.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for delta in rows[20_000..].chunks(7_321) {
+        entropy.ingest_staged(cand, delta, &mut scratch.slots(2)[0]);
+        let (t_buf, slots) = scratch.target_and_slots(2);
+        target_state.ingest_into(target, delta, t_buf);
+        mi.ingest_staged(cand, t_buf, delta, &mut slots[1]);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "steady-state ingest performed {} allocations", after - before);
+}

@@ -1,0 +1,130 @@
+//! Determinism property: every adaptive loop must return bitwise-identical
+//! results for any thread count.
+//!
+//! The executor only changes *which thread* updates a candidate's state —
+//! each state still sees its delta rows sequentially and in order, and all
+//! cross-candidate reductions stay on the dispatching thread — so results
+//! must match the sequential run exactly, floats included. The datasets
+//! mix supports and skews so candidates retire at different iterations,
+//! exercising dispatches over shrinking (and eventually tiny) slices.
+
+use swope_columnar::{Column, Dataset, Field, Schema};
+use swope_core::{
+    entropy_filter, entropy_profile, entropy_top_k, mi_filter, mi_profile, mi_top_k,
+    mi_top_k_batch, SwopeConfig,
+};
+use swope_sampling::rng::Xoshiro256pp;
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+/// Columns with wildly different supports and skews: a constant column,
+/// heavily skewed small supports, and near-uniform wide ones. Their
+/// confidence intervals close at very different sample sizes, so the
+/// live-candidate set shrinks iteration by iteration.
+fn dataset(seed: u64, n: usize) -> Dataset {
+    let mut r = Xoshiro256pp::seed_from_u64(seed);
+    let mut fields = Vec::new();
+    let mut columns = Vec::new();
+    for (i, &support) in [1u32, 2, 3, 8, 40, 200].iter().enumerate() {
+        let skew = i % 2 == 0;
+        let codes: Vec<u32> = (0..n)
+            .map(|_| {
+                let c = r.next_below(support as u64) as u32;
+                // Every odd column stays as drawn (near-uniform); even
+                // columns collapse most draws to 0 for a skewed marginal.
+                if skew && r.next_below(4) != 0 {
+                    0
+                } else {
+                    c
+                }
+            })
+            .collect();
+        fields.push(Field::new(format!("a{i}"), support));
+        columns.push(Column::new(codes, support).unwrap());
+    }
+    Dataset::new(Schema::new(fields), columns).unwrap()
+}
+
+fn config(seed: u64, threads: usize) -> SwopeConfig {
+    SwopeConfig::with_epsilon(0.2).with_seed(seed).with_threads(threads)
+}
+
+#[test]
+fn retirement_is_staggered_in_the_test_dataset() {
+    // Precondition for the invariance tests below to mean anything: the
+    // candidates must not all retire in the same iteration.
+    let ds = dataset(11, 12_000);
+    let r = entropy_profile(&ds, 0.05, &config(11, 1)).unwrap();
+    let mut iters: Vec<usize> = r.scores.iter().map(|s| s.retired_iteration).collect();
+    iters.sort_unstable();
+    iters.dedup();
+    assert!(iters.len() > 1, "all candidates retired together: {:?}", r.scores);
+}
+
+#[test]
+fn entropy_top_k_is_thread_invariant() {
+    let ds = dataset(1, 12_000);
+    let baseline = entropy_top_k(&ds, 3, &config(1, 1)).unwrap();
+    for t in THREADS {
+        assert_eq!(entropy_top_k(&ds, 3, &config(1, t)).unwrap(), baseline, "threads = {t}");
+    }
+}
+
+#[test]
+fn entropy_filter_is_thread_invariant() {
+    let ds = dataset(2, 12_000);
+    let baseline = entropy_filter(&ds, 1.0, &config(2, 1)).unwrap();
+    for t in THREADS {
+        assert_eq!(entropy_filter(&ds, 1.0, &config(2, t)).unwrap(), baseline, "threads = {t}");
+    }
+}
+
+#[test]
+fn mi_top_k_is_thread_invariant() {
+    let ds = dataset(3, 12_000);
+    let baseline = mi_top_k(&ds, 5, 3, &config(3, 1)).unwrap();
+    for t in THREADS {
+        assert_eq!(mi_top_k(&ds, 5, 3, &config(3, t)).unwrap(), baseline, "threads = {t}");
+    }
+}
+
+#[test]
+fn mi_filter_is_thread_invariant() {
+    let ds = dataset(4, 12_000);
+    let baseline = mi_filter(&ds, 5, 0.1, &config(4, 1)).unwrap();
+    for t in THREADS {
+        assert_eq!(mi_filter(&ds, 5, 0.1, &config(4, t)).unwrap(), baseline, "threads = {t}");
+    }
+}
+
+#[test]
+fn entropy_profile_is_thread_invariant() {
+    let ds = dataset(5, 12_000);
+    let baseline = entropy_profile(&ds, 0.05, &config(5, 1)).unwrap();
+    for t in THREADS {
+        assert_eq!(entropy_profile(&ds, 0.05, &config(5, t)).unwrap(), baseline, "threads = {t}");
+    }
+}
+
+#[test]
+fn mi_profile_is_thread_invariant() {
+    let ds = dataset(6, 12_000);
+    let baseline = mi_profile(&ds, 5, 0.05, &config(6, 1)).unwrap();
+    for t in THREADS {
+        assert_eq!(mi_profile(&ds, 5, 0.05, &config(6, t)).unwrap(), baseline, "threads = {t}");
+    }
+}
+
+#[test]
+fn mi_top_k_batch_is_thread_invariant() {
+    let ds = dataset(7, 12_000);
+    let targets = [0usize, 3, 5];
+    let baseline = mi_top_k_batch(&ds, &targets, 2, &config(7, 1)).unwrap();
+    for t in THREADS {
+        assert_eq!(
+            mi_top_k_batch(&ds, &targets, 2, &config(7, t)).unwrap(),
+            baseline,
+            "threads = {t}"
+        );
+    }
+}

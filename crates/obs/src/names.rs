@@ -41,3 +41,18 @@ pub const QUEUE_DEPTH: &str = "swope_queue_depth";
 
 /// Gauge: datasets resident in the registry.
 pub const DATASETS_LOADED: &str = "swope_datasets_loaded";
+
+/// Gauge: worker threads in the process-wide execution pool that the
+/// adaptive loops dispatch per-attribute work onto.
+pub const EXEC_POOL_WORKERS: &str = "swope_exec_pool_workers";
+
+/// Counter: parallel fan-outs dispatched onto the execution pool (one
+/// per ingest or bounds-update phase that ran on the pool).
+pub const EXEC_DISPATCHES_TOTAL: &str = "swope_exec_dispatches_total";
+
+/// Counter: work chunks claimed from the pool's atomic cursor across all
+/// dispatches.
+pub const EXEC_CHUNKS_TOTAL: &str = "swope_exec_chunks_total";
+
+/// Counter: per-attribute work items processed by pool dispatches.
+pub const EXEC_ITEMS_TOTAL: &str = "swope_exec_items_total";

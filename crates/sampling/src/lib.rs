@@ -55,4 +55,18 @@ pub trait Sampler {
 
     /// All currently sampled row indices, in sampling order.
     fn rows(&self) -> &[u32];
+
+    /// Grows the sample like [`Sampler::grow_to`], but returns the delta
+    /// as a **range into [`Sampler::rows`]** instead of a borrowed slice.
+    ///
+    /// This is the zero-copy form the adaptive loops use: holding
+    /// `grow_to`'s returned slice borrows the sampler mutably for the
+    /// whole iteration, so callers historically copied it into a fresh
+    /// `Vec` every iteration. With a range, the caller re-slices
+    /// `self.rows()[range]` immutably and nothing is allocated.
+    fn grow_delta(&mut self, target: usize) -> std::ops::Range<usize> {
+        let before = self.sampled();
+        self.grow_to(target);
+        before..self.sampled()
+    }
 }

@@ -124,6 +124,17 @@ mod tests {
     }
 
     #[test]
+    fn grow_delta_covers_page_overshoot() {
+        let mut by_slice = PageShuffle::new(97, 10, 3);
+        let mut by_range = PageShuffle::new(97, 10, 3);
+        for target in [25usize, 25, 60, 97] {
+            let delta: Vec<u32> = by_slice.grow_to(target).to_vec();
+            let range = by_range.grow_delta(target);
+            assert_eq!(&by_range.rows()[range], delta.as_slice(), "target = {target}");
+        }
+    }
+
+    #[test]
     fn grow_past_population_caps() {
         let mut s = PageShuffle::new(23, 10, 2);
         s.grow_to(1000);

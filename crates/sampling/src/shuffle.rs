@@ -101,6 +101,17 @@ mod tests {
     }
 
     #[test]
+    fn grow_delta_matches_grow_to() {
+        let mut by_slice = PrefixShuffle::new(50, 7);
+        let mut by_range = PrefixShuffle::new(50, 7);
+        for target in [10usize, 25, 25, 50, 80] {
+            let delta: Vec<u32> = by_slice.grow_to(target).to_vec();
+            let range = by_range.grow_delta(target);
+            assert_eq!(&by_range.rows()[range], delta.as_slice(), "target = {target}");
+        }
+    }
+
+    #[test]
     fn full_growth_is_a_permutation() {
         let n = 200;
         let mut s = PrefixShuffle::new(n, 3);

@@ -12,6 +12,7 @@
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use swope_core::ExecStats;
 use swope_obs::{names, Histogram, MetricsRegistry};
 
 use crate::cache::ResultCache;
@@ -89,12 +90,14 @@ impl ServerMetrics {
     }
 
     /// Renders the full `/metrics` document: HTTP counters, cache
-    /// counters, live gauges, then the query-level registry.
+    /// counters, live gauges, execution-pool stats, then the query-level
+    /// registry.
     pub fn render_prometheus(
         &self,
         cache: &ResultCache,
         queue_depth: usize,
         datasets_loaded: usize,
+        exec: ExecStats,
     ) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "# TYPE {} counter", names::HTTP_REQUESTS_TOTAL);
@@ -121,8 +124,17 @@ impl ServerMetrics {
         for (name, value) in [
             (names::QUEUE_DEPTH, queue_depth as u64),
             (names::DATASETS_LOADED, datasets_loaded as u64),
+            (names::EXEC_POOL_WORKERS, exec.workers as u64),
         ] {
             let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in [
+            (names::EXEC_DISPATCHES_TOTAL, exec.dispatches),
+            (names::EXEC_CHUNKS_TOTAL, exec.chunks),
+            (names::EXEC_ITEMS_TOTAL, exec.items),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
         }
         self.request_micros.render_prometheus(names::HTTP_REQUEST_MICROS, &mut out);
@@ -154,13 +166,18 @@ mod tests {
         assert_eq!(m.rejected_total(), 1);
         assert_eq!(m.deadline_expired_total(), 1);
         let cache = ResultCache::new(4);
-        let text = m.render_prometheus(&cache, 3, 2);
+        let exec = ExecStats { workers: 2, dispatches: 5, chunks: 9, items: 40 };
+        let text = m.render_prometheus(&cache, 3, 2, exec);
         assert!(text.contains(&format!("{} 2\n", names::HTTP_REQUESTS_TOTAL)));
         assert!(text.contains(&format!("{}{{class=\"2xx\"}} 1", names::HTTP_RESPONSES_TOTAL)));
         assert!(text.contains(&format!("{}{{class=\"4xx\"}} 1", names::HTTP_RESPONSES_TOTAL)));
         assert!(text.contains(&format!("{} 1\n", names::HTTP_REJECTED_TOTAL)));
         assert!(text.contains(&format!("{} 3\n", names::QUEUE_DEPTH)));
         assert!(text.contains(&format!("{} 2\n", names::DATASETS_LOADED)));
+        assert!(text.contains(&format!("{} 2\n", names::EXEC_POOL_WORKERS)));
+        assert!(text.contains(&format!("{} 5\n", names::EXEC_DISPATCHES_TOTAL)));
+        assert!(text.contains(&format!("{} 9\n", names::EXEC_CHUNKS_TOTAL)));
+        assert!(text.contains(&format!("{} 40\n", names::EXEC_ITEMS_TOTAL)));
         assert!(text.contains(&format!("{}_count 2", names::HTTP_REQUEST_MICROS)));
         // The query-level registry rides along in the same document.
         assert!(text.contains("swope_queries_total"));

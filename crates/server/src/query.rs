@@ -15,8 +15,8 @@
 use std::fmt::Write as _;
 
 use swope_core::{
-    entropy_filter_observed, entropy_profile_observed, entropy_top_k_observed, mi_filter_observed,
-    mi_profile_observed, mi_top_k_observed, AttrScore, QueryObserver, QueryStats, SwopeConfig,
+    entropy_filter_exec, entropy_profile_exec, entropy_top_k_exec, mi_filter_exec, mi_profile_exec,
+    mi_top_k_exec, AttrScore, Executor, QueryObserver, QueryStats, SwopeConfig,
 };
 use swope_obs::json::{escape_into, f64_into};
 
@@ -211,12 +211,18 @@ fn resolve_target(entry: &DatasetEntry, raw: &str) -> Result<usize, String> {
     entry.dataset.attr_index(raw).map_err(|e| e.to_string())
 }
 
-/// Executes `spec` against `entry` and returns the serialized JSON body,
-/// or `(status, message)` for client errors (422 for semantic problems
-/// the query layer rejects).
+/// Executes `spec` against `entry` on `exec` and returns the serialized
+/// JSON body, or `(status, message)` for client errors (422 for semantic
+/// problems the query layer rejects).
+///
+/// `exec` only affects *how* the adaptive loop is scheduled, never the
+/// answer: the loops guarantee bitwise-identical results for any
+/// executor, so the response bytes (and therefore the result cache) are
+/// executor-independent.
 pub fn run_query<O: QueryObserver>(
     entry: &DatasetEntry,
     spec: &QuerySpec,
+    exec: &Executor,
     obs: &mut O,
 ) -> Result<String, (u16, String)> {
     let cfg = config_for(spec);
@@ -224,30 +230,30 @@ pub fn run_query<O: QueryObserver>(
     let fail = |e: swope_core::SwopeError| (422, e.to_string());
     let (scores, stats, target) = match &spec.shape {
         QueryShape::EntropyTopK { k } => {
-            let r = entropy_top_k_observed(ds, *k, &cfg, obs).map_err(fail)?;
+            let r = entropy_top_k_exec(ds, *k, &cfg, obs, exec).map_err(fail)?;
             (r.top, r.stats, None)
         }
         QueryShape::EntropyFilter { eta } => {
-            let r = entropy_filter_observed(ds, *eta, &cfg, obs).map_err(fail)?;
+            let r = entropy_filter_exec(ds, *eta, &cfg, obs, exec).map_err(fail)?;
             (r.accepted, r.stats, None)
         }
         QueryShape::MiTopK { target, k } => {
             let t = resolve_target(entry, target).map_err(|m| (422, m))?;
-            let r = mi_top_k_observed(ds, t, *k, &cfg, obs).map_err(fail)?;
+            let r = mi_top_k_exec(ds, t, *k, &cfg, obs, exec).map_err(fail)?;
             (r.top, r.stats, Some(t))
         }
         QueryShape::MiFilter { target, eta } => {
             let t = resolve_target(entry, target).map_err(|m| (422, m))?;
-            let r = mi_filter_observed(ds, t, *eta, &cfg, obs).map_err(fail)?;
+            let r = mi_filter_exec(ds, t, *eta, &cfg, obs, exec).map_err(fail)?;
             (r.accepted, r.stats, Some(t))
         }
         QueryShape::EntropyProfile => {
-            let r = entropy_profile_observed(ds, PROFILE_FLOOR, &cfg, obs).map_err(fail)?;
+            let r = entropy_profile_exec(ds, PROFILE_FLOOR, &cfg, obs, exec).map_err(fail)?;
             (r.scores, r.stats, None)
         }
         QueryShape::MiProfile { target } => {
             let t = resolve_target(entry, target).map_err(|m| (422, m))?;
-            let r = mi_profile_observed(ds, t, PROFILE_FLOOR, &cfg, obs).map_err(fail)?;
+            let r = mi_profile_exec(ds, t, PROFILE_FLOOR, &cfg, obs, exec).map_err(fail)?;
             (r.scores, r.stats, Some(t))
         }
     };
@@ -392,9 +398,10 @@ mod tests {
     fn run_query_returns_parseable_deterministic_json() {
         let entry = entry();
         let spec = parse_spec("entropy-topk", &req(&[("dataset", "t"), ("k", "1")])).unwrap();
-        let body = run_query(&entry, &spec, &mut NoopObserver).unwrap();
-        let again = run_query(&entry, &spec, &mut NoopObserver).unwrap();
-        assert_eq!(body, again, "same spec must serve identical bytes");
+        let body = run_query(&entry, &spec, &Executor::sequential(), &mut NoopObserver).unwrap();
+        // A pooled executor must serve the exact same bytes.
+        let again = run_query(&entry, &spec, &Executor::new(2), &mut NoopObserver).unwrap();
+        assert_eq!(body, again, "same spec must serve identical bytes for any executor");
         let v = Json::parse(&body).unwrap();
         assert_eq!(v.get("query").unwrap().as_str(), Some("entropy_top_k"));
         let Json::Arr(scores) = v.get("scores").unwrap() else { panic!("scores not an array") };
@@ -406,17 +413,18 @@ mod tests {
     #[test]
     fn run_query_reports_target_and_semantic_errors() {
         let entry = entry();
+        let exec = Executor::sequential();
         let spec =
             parse_spec("mi-profile", &req(&[("dataset", "t"), ("target", "skewed")])).unwrap();
-        let body = run_query(&entry, &spec, &mut NoopObserver).unwrap();
+        let body = run_query(&entry, &spec, &exec, &mut NoopObserver).unwrap();
         let v = Json::parse(&body).unwrap();
         assert_eq!(v.get("target").unwrap().get("name").unwrap().as_str(), Some("skewed"));
         let bad =
             parse_spec("mi-profile", &req(&[("dataset", "t"), ("target", "missing")])).unwrap();
-        let (status, msg) = run_query(&entry, &bad, &mut NoopObserver).unwrap_err();
+        let (status, msg) = run_query(&entry, &bad, &exec, &mut NoopObserver).unwrap_err();
         assert_eq!(status, 422);
         assert!(!msg.is_empty());
         let huge_k = parse_spec("entropy-topk", &req(&[("dataset", "t"), ("k", "99")])).unwrap();
-        assert_eq!(run_query(&entry, &huge_k, &mut NoopObserver).unwrap_err().0, 422);
+        assert_eq!(run_query(&entry, &huge_k, &exec, &mut NoopObserver).unwrap_err().0, 422);
     }
 }

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use swope_columnar::Dataset;
+use swope_core::Executor;
 use swope_obs::json::Json;
 
 use crate::cache::ResultCache;
@@ -51,6 +52,12 @@ pub struct ServerConfig {
     pub max_support: u32,
     /// Install SIGINT/SIGTERM handlers and honour them in the accept loop.
     pub handle_signals: bool,
+    /// Threads in the process-wide execution pool that queries asking for
+    /// `threads > 1` share (`<= 1` disables the pool entirely). The pool
+    /// is built once at bind time and reused by every query, so no query
+    /// pays thread-spawn latency. Defaults to the machine's available
+    /// parallelism.
+    pub exec_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +72,7 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             max_support: 1000,
             handle_signals: false,
+            exec_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         }
     }
 }
@@ -74,6 +82,10 @@ struct Shared {
     registry: DatasetRegistry,
     cache: ResultCache,
     metrics: ServerMetrics,
+    /// Process-wide execution pool handle; queries with `threads > 1`
+    /// clone this (sharing the parked workers), `threads <= 1` runs
+    /// inline on the HTTP worker.
+    exec: Executor,
     stop: AtomicBool,
 }
 
@@ -107,6 +119,7 @@ impl Server {
             registry: DatasetRegistry::new(config.max_support),
             cache: ResultCache::new(config.cache_capacity),
             metrics: ServerMetrics::new(),
+            exec: Executor::new(config.exec_threads),
             stop: AtomicBool::new(false),
         });
         Ok(Self { listener, config: Arc::new(config), shared })
@@ -233,7 +246,12 @@ fn route(req: &Request, shared: &Shared, watcher: &QueueWatcher) -> Response {
         ("GET", "/healthz") => healthz(shared, watcher),
         ("GET", "/metrics") => Response::text(
             200,
-            shared.metrics.render_prometheus(&shared.cache, watcher.depth(), shared.registry.len()),
+            shared.metrics.render_prometheus(
+                &shared.cache,
+                watcher.depth(),
+                shared.registry.len(),
+                shared.exec.stats(),
+            ),
         ),
         ("GET", "/datasets") => list_datasets(shared),
         ("POST", "/datasets") => load_dataset(req, shared),
@@ -312,7 +330,12 @@ fn serve_query(segment: &str, req: &Request, shared: &Shared) -> Response {
     if let Some(body) = shared.cache.get(&key) {
         return Response::json(200, body.as_str()).with_header("X-Swope-Cache", "hit");
     }
-    match run_query(&entry, &spec, &mut &shared.metrics.registry) {
+    // Single-threaded queries run inline on the HTTP worker; anything
+    // else shares the process-wide pool. Either way the answer bytes are
+    // identical (the loops are executor-invariant), so cached bodies stay
+    // valid across the choice.
+    let exec = if spec.threads <= 1 { Executor::sequential() } else { shared.exec.clone() };
+    match run_query(&entry, &spec, &exec, &mut &shared.metrics.registry) {
         Ok(body) => {
             let body = Arc::new(body);
             shared.cache.put(key, Arc::clone(&body));
@@ -332,6 +355,7 @@ mod tests {
             registry: DatasetRegistry::new(1000),
             cache: ResultCache::new(8),
             metrics: ServerMetrics::new(),
+            exec: Executor::new(2),
             stop: AtomicBool::new(false),
         };
         let mut b = DatasetBuilder::new(vec!["a".into(), "b".into()]);

@@ -348,6 +348,34 @@ fn shutdown_drains_queued_requests_before_returning() {
 }
 
 #[test]
+fn pooled_queries_report_exec_stats_and_serve_identical_bytes() {
+    let server = TestServer::start(ServerConfig { exec_threads: 2, ..ServerConfig::default() });
+    let metrics = get(server.addr, "/metrics").body;
+    assert_eq!(metric(&metrics, "swope_exec_pool_workers"), 2);
+    assert_eq!(metric(&metrics, "swope_exec_dispatches_total"), 0);
+
+    // threads=1 (the default) runs inline on the HTTP worker and must
+    // leave the pool counters untouched.
+    let seq = get(server.addr, "/query/entropy-topk?dataset=tiny&k=2");
+    assert_eq!(seq.status, 200, "{}", seq.body);
+    let metrics = get(server.addr, "/metrics").body;
+    assert_eq!(metric(&metrics, "swope_exec_dispatches_total"), 0);
+
+    // threads=2 dispatches on the shared pool. The cache key includes
+    // `threads`, so this reruns the loop — and the response body carries
+    // no executor detail, so the bytes must match the inline run exactly.
+    let pooled = get(server.addr, "/query/entropy-topk?dataset=tiny&k=2&threads=2");
+    assert_eq!(pooled.status, 200, "{}", pooled.body);
+    assert_eq!(pooled.header("x-swope-cache"), Some("miss"));
+    assert_eq!(seq.body, pooled.body, "pooled run must serve bitwise-identical bytes");
+
+    let metrics = get(server.addr, "/metrics").body;
+    assert!(metric(&metrics, "swope_exec_dispatches_total") > 0);
+    assert!(metric(&metrics, "swope_exec_chunks_total") > 0);
+    assert!(metric(&metrics, "swope_exec_items_total") > 0);
+}
+
+#[test]
 fn healthz_reports_gauges() {
     let server = TestServer::start(ServerConfig::default());
     let reply = get(server.addr, "/healthz");
