@@ -1,0 +1,87 @@
+//! Storage-layer microbenchmarks: gather+ingest throughput of the
+//! width-generic path at each physical code width.
+//!
+//! The same logical column (support 200, so its codes fit all three
+//! widths) is repacked at u8/u16/u32 and pushed through
+//! `EntropyState::ingest_staged`, i.e. the exact path every adaptive
+//! loop takes. Narrow widths move fewer bytes per gathered block, so
+//! the cache-hostile gather should get cheaper as the packing shrinks —
+//! this bench checks that and records the memory footprint alongside.
+//!
+//! Medians are persisted to `results/BENCH_store.json` so the numbers
+//! backing the DESIGN.md storage-layer notes are checked in and
+//! reproducible. The CI smoke step runs it with `SWOPE_MICRO_MS=1` and
+//! only asserts the JSON parses; real numbers come from a default run.
+
+use swope_bench::micro::{black_box, Group};
+use swope_columnar::{CodeBuf, Column, Dataset, Field, Schema, Width};
+use swope_core::state::EntropyState;
+use swope_obs::json::ObjectWriter;
+use swope_sampling::rng::Xoshiro256pp;
+
+/// Rows per simulated iteration delta (same as the exec bench): 1M
+/// gathered codes, comfortably past L2 at every width.
+const DELTA_ROWS: usize = 1 << 20;
+
+/// Support of the benched column: fits u8, so the identical logical
+/// data can be packed at all three widths.
+const SUPPORT: u32 = 200;
+
+/// A sampler-like row permutation: multiplying by an odd constant is a
+/// bijection modulo a power of two, so every row index appears exactly
+/// once but in cache-hostile order.
+fn shuffled_rows(n: usize) -> Vec<u32> {
+    debug_assert!(n.is_power_of_two());
+    (0..n).map(|i| (i.wrapping_mul(0x9E37_79B1) & (n - 1)) as u32).collect()
+}
+
+fn dataset(width: Width) -> Dataset {
+    let mut r = Xoshiro256pp::seed_from_u64(0x5170);
+    let codes: Vec<u32> = (0..DELTA_ROWS).map(|_| r.next_below(SUPPORT as u64) as u32).collect();
+    let column =
+        Column::new(codes, SUPPORT).unwrap().with_width(width).expect("support fits every width");
+    Dataset::new(Schema::new(vec![Field::new("a0", SUPPORT)]), vec![column]).unwrap()
+}
+
+/// Gather+ingest one full delta through the width-generic staged path.
+fn bench_width(g: &mut Group, width: Width) -> (f64, usize) {
+    let ds = dataset(width);
+    let rows = shuffled_rows(DELTA_ROWS);
+    let column = ds.column(0);
+    let bytes = column.bytes_in_memory();
+    let mut buf = CodeBuf::new();
+    let ns = g.bench_with_setup(
+        &format!("staged_ingest_{}_1m_rows", width.name()),
+        || EntropyState::new(&ds, 0),
+        |mut st| {
+            st.ingest_staged(column, &rows, &mut buf);
+            black_box(st.sampled())
+        },
+    );
+    (ns, bytes)
+}
+
+fn main() {
+    let mut g = Group::new("store_ingest");
+    let (u8_ns, u8_bytes) = bench_width(&mut g, Width::U8);
+    let (u16_ns, u16_bytes) = bench_width(&mut g, Width::U16);
+    let (u32_ns, u32_bytes) = bench_width(&mut g, Width::U32);
+
+    let mut w = ObjectWriter::new();
+    w.str_field("bench", "store")
+        .usize_field("delta_rows", DELTA_ROWS)
+        .usize_field("support", SUPPORT as usize)
+        .f64_field("ingest_u8_ns", u8_ns)
+        .f64_field("ingest_u16_ns", u16_ns)
+        .f64_field("ingest_u32_ns", u32_ns)
+        .f64_field("ingest_u32_over_u8", u32_ns / u8_ns)
+        .usize_field("column_bytes_u8", u8_bytes)
+        .usize_field("column_bytes_u16", u16_bytes)
+        .usize_field("column_bytes_u32", u32_bytes);
+    let json = w.finish();
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_store.json");
+    std::fs::write(out, format!("{json}\n")).expect("writing results/BENCH_store.json");
+    println!("\nwrote {out}");
+    println!("{json}");
+}

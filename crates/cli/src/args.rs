@@ -5,6 +5,8 @@ pub const USAGE: &str = "usage: swope <command> [options]
 
 commands:
   stats <file>                         dataset summary and per-column statistics
+  inspect <file>                       storage layout: per-column code width,
+                                       bytes in memory, savings vs all-u32
   entropy-topk <file> -k <n>           top-k attributes by empirical entropy
   entropy-filter <file> --eta <t>      attributes with entropy >= eta
   mi-topk <file> --target <a> -k <n>   top-k attributes by mutual information

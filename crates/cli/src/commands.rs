@@ -72,6 +72,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let opts = parse_options(rest)?;
     match command.as_str() {
         "stats" => cmd_stats(&opts),
+        "inspect" => cmd_inspect(&opts),
         "entropy-topk" => cmd_entropy_topk(&opts),
         "entropy-filter" => cmd_entropy_filter(&opts),
         "mi-topk" => cmd_mi_topk(&opts),
@@ -145,6 +146,34 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
             s.mode_fraction * 100.0
         );
     }
+    Ok(())
+}
+
+/// `swope inspect <file>`: physical storage layout — which code width
+/// each column packed to, how many bytes it occupies, and what the
+/// width packing saves over a uniform u32 representation.
+fn cmd_inspect(opts: &Options) -> Result<(), String> {
+    let ds = load(opts)?;
+    let summary = stats::summarize(&ds);
+    println!(
+        "rows: {}   columns: {}   max support: {}",
+        summary.rows, summary.columns, summary.max_support
+    );
+    println!("{:<24} {:>8} {:>6} {:>12}", "column", "support", "width", "bytes");
+    for s in stats::dataset_stats(&ds) {
+        println!(
+            "{:<24} {:>8} {:>5}b {:>12}",
+            truncate(&s.name, 24),
+            s.support,
+            s.code_width,
+            s.bytes_in_memory
+        );
+    }
+    let packed = stats::bytes_in_memory(&ds);
+    let unpacked = stats::bytes_unpacked(&ds);
+    let saved = unpacked.saturating_sub(packed);
+    let pct = if unpacked > 0 { saved as f64 / unpacked as f64 * 100.0 } else { 0.0 };
+    println!("total: {packed} bytes packed ({unpacked} at u32; saves {saved} bytes, {pct:.1}%)");
     Ok(())
 }
 

@@ -71,6 +71,22 @@ fn gen_stats_and_queries_pipeline() {
 }
 
 #[test]
+fn inspect_reports_widths_and_savings() {
+    let csv_path = tmp("inspect.csv");
+    std::fs::write(&csv_path, "color,size\nred,s\nblue,m\nred,l\ngreen,s\n").unwrap();
+
+    let o = swope(&["inspect", csv_path.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("rows: 4"), "{out}");
+    assert!(out.contains("width"), "{out}");
+    // Both columns have support <= 256, so they pack to 8-bit codes: 4
+    // bytes each, and the footer reports the 75% saving vs all-u32.
+    assert!(out.lines().filter(|l| l.contains(" 8b ")).count() == 2, "{out}");
+    assert!(out.contains("total: 8 bytes packed (32 at u32; saves 24 bytes, 75.0%)"), "{out}");
+}
+
+#[test]
 fn convert_round_trips_csv_and_snapshot() {
     let csv_path = tmp("convert.csv");
     std::fs::write(&csv_path, "color,size\nred,s\nblue,m\nred,l\n").unwrap();

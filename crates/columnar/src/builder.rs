@@ -98,8 +98,8 @@ mod tests {
         b.push_row(&["blue", "m"]).unwrap();
         b.push_row(&["red", "l"]).unwrap();
         let ds = b.finish();
-        assert_eq!(ds.column(0).codes(), &[0, 1, 0]);
-        assert_eq!(ds.column(1).codes(), &[0, 1, 2]);
+        assert_eq!(ds.column(0).to_codes(), vec![0, 1, 0]);
+        assert_eq!(ds.column(1).to_codes(), vec![0, 1, 2]);
         assert_eq!(ds.support(0), 2);
         assert_eq!(ds.support(1), 3);
     }

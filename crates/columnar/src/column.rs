@@ -1,27 +1,34 @@
+use swope_store::{PackedColumn, StoreError, Width};
+
 use crate::{Code, ColumnarError};
 
 /// A dictionary-encoded categorical column.
 ///
-/// Stores one `u32` code per row, with the invariant that every code is
+/// Logically one code per row with the invariant that every code is
 /// `< support()`. Codes are dense: support equals the number of *possible*
 /// distinct codes (typically the number actually observed, when built via
 /// [`crate::DatasetBuilder`]).
 ///
-/// The column is the unit the SWOPE algorithms scan: a sampling iteration
-/// reads `codes()[perm[m0..m1]]` for the permutation prefix extension.
+/// Physical storage is delegated to [`swope_store::PackedColumn`], which
+/// packs codes at the narrowest width the support allows (`u8` up to
+/// support 256, `u16` up to 65536, `u32` beyond). Hot paths read the
+/// width-tagged storage through [`Column::packed`]; cold paths use
+/// [`Column::code`] / [`Column::to_codes`], which widen on the fly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
-    codes: Vec<Code>,
-    support: u32,
+    packed: PackedColumn,
 }
 
 impl Column {
     /// Creates a column from raw codes, validating `code < support` for all.
     pub fn new(codes: Vec<Code>, support: u32) -> Result<Self, ColumnarError> {
-        if let Some(&bad) = codes.iter().find(|&&c| c >= support) {
-            return Err(ColumnarError::CodeOutOfRange { attr: 0, code: bad, support });
+        match PackedColumn::new(codes, support) {
+            Ok(packed) => Ok(Self { packed }),
+            Err(StoreError::CodeOutOfRange { code, support }) => {
+                Err(ColumnarError::CodeOutOfRange { attr: 0, code, support })
+            }
+            Err(e) => Err(ColumnarError::Snapshot(e.to_string())),
         }
-        Ok(Self { codes, support })
     }
 
     /// Creates a column without validating codes.
@@ -31,8 +38,25 @@ impl Column {
     /// memory — counters use checked indexing in debug builds and sized
     /// allocations in release).
     pub fn new_unchecked(codes: Vec<Code>, support: u32) -> Self {
-        debug_assert!(codes.iter().all(|&c| c < support));
-        Self { codes, support }
+        Self { packed: PackedColumn::new_unchecked(codes, support) }
+    }
+
+    /// Wraps an already-validated packed column (the snapshot reader's
+    /// path, which decodes pages straight at their stored width).
+    pub fn from_packed(packed: PackedColumn) -> Self {
+        Self { packed }
+    }
+
+    /// The same logical column re-packed at a forced (wider) `width`.
+    ///
+    /// Used by width-invariance tests and the store bench to compare the
+    /// byte traffic of identical data at `u8`/`u16`/`u32`; errors if the
+    /// width cannot hold the support.
+    pub fn with_width(&self, width: Width) -> Result<Self, ColumnarError> {
+        self.packed
+            .repacked(width)
+            .map(|packed| Self { packed })
+            .map_err(|e| ColumnarError::Snapshot(e.to_string()))
     }
 
     /// Builds a column by densely re-encoding arbitrary `u32` values.
@@ -42,7 +66,7 @@ impl Column {
     pub fn from_raw_values(values: &[u32]) -> (Self, Vec<u32>) {
         let mut map = std::collections::HashMap::new();
         let mut order = Vec::new();
-        let codes = values
+        let codes: Vec<Code> = values
             .iter()
             .map(|&v| {
                 *map.entry(v).or_insert_with(|| {
@@ -52,37 +76,55 @@ impl Column {
             })
             .collect();
         let support = order.len() as u32;
-        (Self { codes, support }, order)
+        (Self::new_unchecked(codes, support), order)
     }
 
-    /// The per-row codes.
+    /// The width-packed physical storage (what the adaptive loops scan).
     #[inline]
-    pub fn codes(&self) -> &[Code] {
-        &self.codes
+    pub fn packed(&self) -> &PackedColumn {
+        &self.packed
+    }
+
+    /// The storage width the codes are packed at.
+    #[inline]
+    pub fn width(&self) -> Width {
+        self.packed.width()
+    }
+
+    /// Bytes the codes occupy in memory at the current width.
+    #[inline]
+    pub fn bytes_in_memory(&self) -> usize {
+        self.packed.bytes_in_memory()
+    }
+
+    /// The per-row codes, widened into a fresh vector (cold paths only:
+    /// exact baselines, concatenation, format conversion).
+    pub fn to_codes(&self) -> Vec<Code> {
+        self.packed.to_codes()
     }
 
     /// The support size `u_alpha` (number of possible distinct codes).
     #[inline]
     pub fn support(&self) -> u32 {
-        self.support
+        self.packed.support()
     }
 
     /// Number of rows.
     #[inline]
     pub fn len(&self) -> usize {
-        self.codes.len()
+        self.packed.len()
     }
 
     /// Whether the column has no rows.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.codes.is_empty()
+        self.packed.is_empty()
     }
 
     /// The code at `row`. Panics if out of range.
     #[inline]
     pub fn code(&self, row: usize) -> Code {
-        self.codes[row]
+        self.packed.code(row)
     }
 
     /// Counts occurrences of each code over all rows.
@@ -90,11 +132,7 @@ impl Column {
     /// The result has length `support()`; entry `i` is `n_i` in the paper's
     /// notation.
     pub fn value_counts(&self) -> Vec<u64> {
-        let mut counts = vec![0u64; self.support as usize];
-        for &c in &self.codes {
-            counts[c as usize] += 1;
-        }
-        counts
+        self.packed.value_counts()
     }
 
     /// Number of codes that actually occur at least once.
@@ -119,7 +157,7 @@ mod tests {
     #[test]
     fn from_raw_values_densifies() {
         let (col, order) = Column::from_raw_values(&[10, 50, 10, 7]);
-        assert_eq!(col.codes(), &[0, 1, 0, 2]);
+        assert_eq!(col.to_codes(), vec![0, 1, 0, 2]);
         assert_eq!(col.support(), 3);
         assert_eq!(order, vec![10, 50, 7]);
     }
@@ -145,5 +183,26 @@ mod tests {
         let col = Column::new(vec![], 4).unwrap();
         assert!(col.is_empty());
         assert_eq!(col.value_counts(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn packs_at_narrowest_width_for_support() {
+        assert_eq!(Column::new(vec![0, 255], 256).unwrap().width(), Width::U8);
+        assert_eq!(Column::new(vec![0, 256], 257).unwrap().width(), Width::U16);
+        assert_eq!(Column::new(vec![0, 65536], 65537).unwrap().width(), Width::U32);
+        let col = Column::new(vec![0, 1, 2, 3], 4).unwrap();
+        assert_eq!(col.bytes_in_memory(), 4);
+    }
+
+    #[test]
+    fn with_width_preserves_logical_content_and_equality() {
+        let col = Column::new(vec![0, 7, 3, 7], 8).unwrap();
+        for width in [Width::U8, Width::U16, Width::U32] {
+            let re = col.with_width(width).unwrap();
+            assert_eq!(re.width(), width);
+            assert_eq!(re, col, "columns compare logically across widths");
+            assert_eq!(re.to_codes(), col.to_codes());
+        }
+        assert!(Column::new(vec![0], 300).unwrap().with_width(Width::U8).is_err());
     }
 }

@@ -238,7 +238,7 @@ mod tests {
         assert_eq!(ds.num_rows(), 3);
         assert_eq!(ds.num_attrs(), 2);
         assert_eq!(ds.attr_index("b").unwrap(), 1);
-        assert_eq!(ds.column(0).codes(), &[0, 1, 0]);
+        assert_eq!(ds.column(0).to_codes(), vec![0, 1, 0]);
     }
 
     #[test]
@@ -283,7 +283,7 @@ mod tests {
         let mut out = Vec::new();
         write_csv(&ds, &mut out).unwrap();
         let back = read_csv(out.as_slice(), &CsvOptions::default()).unwrap();
-        assert_eq!(back.column(0).codes(), ds.column(0).codes());
+        assert_eq!(back.column(0).to_codes(), ds.column(0).to_codes());
     }
 
     #[test]
@@ -334,7 +334,7 @@ mod tests {
         let ds2 = read_csv(out.as_slice(), &CsvOptions::default()).unwrap();
         assert_eq!(ds2.num_rows(), ds.num_rows());
         for attr in 0..ds.num_attrs() {
-            assert_eq!(ds2.column(attr).codes(), ds.column(attr).codes());
+            assert_eq!(ds2.column(attr).to_codes(), ds.column(attr).to_codes());
         }
     }
 }

@@ -157,18 +157,18 @@ impl Dataset {
                             merged.intern(value)
                         })
                         .collect();
-                    let mut codes = Vec::with_capacity(ca.len() + cb.len());
-                    codes.extend_from_slice(ca.codes());
-                    codes.extend(cb.codes().iter().map(|&c| remap[c as usize]));
+                    let mut codes = ca.to_codes();
+                    codes.reserve(cb.len());
+                    codes.extend(cb.to_codes().iter().map(|&c| remap[c as usize]));
                     let support = merged.len() as u32;
                     fields.push(crate::Field::with_dictionary(fa.name(), merged));
                     columns.push(Column::new_unchecked(codes, support));
                 }
                 _ => {
                     let support = ca.support().max(cb.support());
-                    let mut codes = Vec::with_capacity(ca.len() + cb.len());
-                    codes.extend_from_slice(ca.codes());
-                    codes.extend_from_slice(cb.codes());
+                    let mut codes = ca.to_codes();
+                    codes.reserve(cb.len());
+                    codes.extend(cb.to_codes());
                     fields.push(crate::Field::new(fa.name(), support));
                     columns.push(Column::new_unchecked(codes, support));
                 }
@@ -263,8 +263,8 @@ mod tests {
         let joined = a.concat(&b).unwrap();
         assert_eq!(joined.num_rows(), 8);
         assert_eq!(joined.num_attrs(), 2);
-        assert_eq!(&joined.column(0).codes()[..4], a.column(0).codes());
-        assert_eq!(&joined.column(0).codes()[4..], b.column(0).codes());
+        assert_eq!(joined.column(0).to_codes()[..4], a.column(0).to_codes());
+        assert_eq!(joined.column(0).to_codes()[4..], b.column(0).to_codes());
     }
 
     #[test]
@@ -281,7 +281,7 @@ mod tests {
         let dict = joined.schema().field(0).unwrap().dictionary().unwrap();
         assert_eq!(dict.len(), 3);
         // Row 2 ("blue") must share row 1's code; row 3 is the new value.
-        let codes = joined.column(0).codes();
+        let codes = joined.column(0).to_codes();
         assert_eq!(codes[2], codes[1]);
         assert_eq!(dict.decode(codes[3]), Some("green"));
     }
@@ -305,8 +305,8 @@ mod tests {
     fn take_rows_reorders_and_preserves_support() {
         let ds = small().take_rows(&[3, 0]);
         assert_eq!(ds.num_rows(), 2);
-        assert_eq!(ds.column(0).codes(), &[0, 0]);
-        assert_eq!(ds.column(1).codes(), &[1, 1]);
+        assert_eq!(ds.column(0).to_codes(), vec![0, 0]);
+        assert_eq!(ds.column(1).to_codes(), vec![1, 1]);
         assert_eq!(ds.support(0), 3); // not re-densified
     }
 }

@@ -10,7 +10,8 @@
 //! * [`Dictionary`] — interning of raw attribute values into dense codes
 //!   `0..u` where `u` is the support size (the paper assumes values in
 //!   `[1, u_alpha]`; we use zero-based codes internally).
-//! * [`Column`] — a dictionary-encoded categorical column of `u32` codes.
+//! * [`Column`] — a dictionary-encoded categorical column, width-packed
+//!   by `swope-store` (`u8`/`u16`/`u32` selected from the support).
 //! * [`Schema`] / [`Field`] — attribute names and support sizes.
 //! * [`Dataset`] — an immutable columnar table plus its schema.
 //! * [`DatasetBuilder`] — row-oriented construction from raw string values.
@@ -53,6 +54,9 @@ pub use dataset::Dataset;
 pub use dictionary::Dictionary;
 pub use error::ColumnarError;
 pub use schema::{Field, Schema};
+// Storage-layer types callers of this crate routinely need: the width a
+// column is packed at and the packed storage the hot loops scan.
+pub use swope_store::{CodeBuf, CodeRepr, PackedCodes, PackedColumn, Width};
 
 /// Index of an attribute (column) within a dataset. Always in `0..h`.
 pub type AttrIndex = usize;

@@ -1,43 +1,132 @@
-//! A compact binary on-disk format for datasets.
+//! The `SWOP` binary on-disk format for datasets.
 //!
-//! Layout (all integers little-endian):
+//! Version 2 (the writer's format) is paged and checksummed so a reader
+//! can reject bit rot before trusting anything, and sectioned so the
+//! layout is validated against the file's real size before any payload
+//! byte is touched. All integers little-endian:
 //!
 //! ```text
-//! magic   b"SWOP"          4 bytes
-//! version u16              currently 1
-//! flags   u16              reserved, 0
-//! h       u32              number of attributes
-//! N       u64              number of rows
-//! field*h:
-//!   name_len u32, name bytes (UTF-8)
-//!   support  u32
-//!   has_dict u8
-//!   if has_dict: count u32, then count * (len u32, bytes)
-//! column*h:
-//!   N * u32 codes
+//! header (12 bytes):
+//!   magic         b"SWOP"      4 bytes
+//!   version       u16          2
+//!   flags         u16          reserved, 0
+//!   section_count u32          1 (schema) + h (one per column)
+//! section table (24 bytes per entry, see `swope_store::section`):
+//!   kind u32, attr u32, offset u64, len u64
+//! schema section payload:
+//!   h u32, N u64
+//!   field*h:
+//!     name_len u32, name bytes (UTF-8)
+//!     support  u32
+//!     has_dict u8
+//!     if has_dict: count u32, then count * (len u32, bytes)
+//!   crc u32                    CRC32 of the schema payload above
+//! column section payload (one per attribute, in attribute order):
+//!   width u8                   bytes per code: 1, 2, or 4
+//!   paged codes                see `swope_store::page` (per-page CRC32)
 //! ```
 //!
-//! The format is self-describing enough for version checks and cheap to
-//! write/read with plain little-endian byte pushes over a `Vec<u8>`.
-//! Large datasets (tens of millions of rows) serialize at memcpy-like
-//! speed since codes are written as one `u32` run.
+//! Column codes are stored at their in-memory packed width, so a `u8`
+//! column costs one byte per row on disk too. Every section length is a
+//! pure function of the schema and row count, which lets [`write`]
+//! stream: it emits the complete header and section table first, then
+//! pages each column through one reusable page buffer — no
+//! whole-snapshot staging in memory.
+//!
+//! Version 1 (one flat `u32` run per column, no checksums) is still
+//! *read* for back-compat; v1 columns materialize as `u32`-packed
+//! storage. [`encode_v1`] keeps the legacy writer available for tests
+//! and downgrade tooling.
 
 use std::io::{Read, Write};
 use std::path::Path;
 
+use swope_store::crc32::crc32;
+use swope_store::section::{validate_sections, Section, SECTION_COLUMN, SECTION_SCHEMA};
+use swope_store::{page, PackedColumn, Width};
+
 use crate::{Column, ColumnarError, Dataset, Dictionary, Field, Schema};
 
 const MAGIC: &[u8; 4] = b"SWOP";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+const V1: u16 = 1;
 
-/// Serializes `dataset` into a byte buffer.
+/// Bytes before the section table: magic + version + flags + count.
+const HEADER_BYTES: usize = 12;
+
+/// Serializes `dataset` into a byte buffer (v2 format).
 pub fn encode(dataset: &Dataset) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write(dataset, &mut buf).expect("Vec writes are infallible");
+    buf
+}
+
+/// Streams `dataset` in v2 snapshot format to `writer`.
+///
+/// The header and section table are emitted first (every section length
+/// is computable up front), then columns are paged out through one
+/// reusable buffer — peak extra memory is one page, not the snapshot.
+pub fn write<W: Write>(dataset: &Dataset, writer: &mut W) -> Result<(), ColumnarError> {
     let h = dataset.num_attrs();
     let n = dataset.num_rows();
-    // Rough pre-size: header + columns.
+
+    let mut schema_payload = Vec::new();
+    schema_payload.extend_from_slice(&(h as u32).to_le_bytes());
+    schema_payload.extend_from_slice(&(n as u64).to_le_bytes());
+    for field in dataset.schema().fields() {
+        put_str(&mut schema_payload, field.name());
+        schema_payload.extend_from_slice(&field.support().to_le_bytes());
+        match field.dictionary() {
+            Some(dict) => {
+                schema_payload.push(1);
+                schema_payload.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+                for (_, v) in dict.iter() {
+                    put_str(&mut schema_payload, v);
+                }
+            }
+            None => schema_payload.push(0),
+        }
+    }
+    let crc = crc32(&schema_payload);
+    schema_payload.extend_from_slice(&crc.to_le_bytes());
+
+    let section_count = 1 + h;
+    let mut offset =
+        (HEADER_BYTES + section_count * swope_store::section::SECTION_ENTRY_BYTES) as u64;
+    let mut table = Vec::with_capacity(section_count * swope_store::section::SECTION_ENTRY_BYTES);
+    let schema_section =
+        Section { kind: SECTION_SCHEMA, attr: 0, offset, len: schema_payload.len() as u64 };
+    schema_section.write_into(&mut table);
+    offset += schema_section.len;
+    for attr in 0..h {
+        let width = dataset.column(attr).width();
+        let len = 1 + page::encoded_len(n, width) as u64;
+        Section { kind: SECTION_COLUMN, attr: attr as u32, offset, len }.write_into(&mut table);
+        offset += len;
+    }
+
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&0u16.to_le_bytes())?;
+    writer.write_all(&(section_count as u32).to_le_bytes())?;
+    writer.write_all(&table)?;
+    writer.write_all(&schema_payload)?;
+    for attr in 0..h {
+        let packed = dataset.column(attr).packed();
+        writer.write_all(&[packed.width().tag()])?;
+        page::write_pages(packed.codes(), writer)?;
+    }
+    Ok(())
+}
+
+/// Serializes `dataset` in the legacy v1 format (flat `u32` runs, no
+/// checksums). Kept for back-compat tests and downgrade tooling.
+pub fn encode_v1(dataset: &Dataset) -> Vec<u8> {
+    let h = dataset.num_attrs();
+    let n = dataset.num_rows();
     let mut buf = Vec::with_capacity(64 + h * 32 + h * n * 4);
     buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&V1.to_le_bytes());
     buf.extend_from_slice(&0u16.to_le_bytes());
     buf.extend_from_slice(&(h as u32).to_le_bytes());
     buf.extend_from_slice(&(n as u64).to_le_bytes());
@@ -56,27 +145,120 @@ pub fn encode(dataset: &Dataset) -> Vec<u8> {
         }
     }
     for attr in 0..h {
-        for &code in dataset.column(attr).codes() {
+        for code in dataset.column(attr).to_codes() {
             buf.extend_from_slice(&code.to_le_bytes());
         }
     }
     buf
 }
 
-/// Deserializes a dataset from `bytes`.
-pub fn decode(mut bytes: &[u8]) -> Result<Dataset, ColumnarError> {
-    let buf = &mut bytes;
+/// Deserializes a dataset from `bytes`, dispatching on the format
+/// version: v2 (paged, checksummed) or legacy v1 (flat `u32` runs,
+/// materialized as `u32`-packed columns).
+pub fn decode(bytes: &[u8]) -> Result<Dataset, ColumnarError> {
+    let mut buf = bytes;
     let mut magic = [0u8; 4];
-    take(buf, &mut magic)?;
+    take(&mut buf, &mut magic)?;
     if &magic != MAGIC {
         return Err(ColumnarError::Snapshot("bad magic".into()));
     }
-    let version = get_u16(buf)?;
-    if version != VERSION {
+    let version = get_u16(&mut buf)?;
+    match version {
+        V1 => decode_v1(buf),
+        VERSION => decode_v2(bytes, buf),
+        other => Err(ColumnarError::Snapshot(format!(
+            "unsupported version {other} (expected {V1} or {VERSION})"
+        ))),
+    }
+}
+
+/// Decodes the v2 body. `bytes` is the full snapshot (for offset-based
+/// section slicing); `buf` starts right after the version field.
+fn decode_v2(bytes: &[u8], mut buf: &[u8]) -> Result<Dataset, ColumnarError> {
+    let _flags = get_u16(&mut buf)?;
+    let section_count = get_u32(&mut buf)? as usize;
+    // The table must fit the bytes present before a single entry (or a
+    // sections Vec) is allocated: a corrupt count fails here, cheaply.
+    let entry = swope_store::section::SECTION_ENTRY_BYTES;
+    if (section_count as u64).saturating_mul(entry as u64) > buf.len() as u64 {
+        return Err(truncated());
+    }
+    let mut sections = Vec::with_capacity(section_count);
+    for _ in 0..section_count {
+        sections.push(Section::parse(&mut buf).map_err(store_err)?);
+    }
+    let body_start = (HEADER_BYTES + section_count * entry) as u64;
+    validate_sections(&sections, body_start, bytes.len() as u64).map_err(store_err)?;
+
+    let (schema_section, column_sections) = sections
+        .split_first()
+        .filter(|(s, _)| s.kind == SECTION_SCHEMA)
+        .ok_or_else(|| ColumnarError::Snapshot("first section must be the schema".into()))?;
+
+    // Schema payload: body + trailing CRC32 of the body.
+    let slice = section_slice(bytes, schema_section);
+    if slice.len() < 4 {
+        return Err(truncated());
+    }
+    let (body, crc_bytes) = slice.split_at(slice.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("split at len-4"));
+    if crc32(body) != stored {
+        return Err(ColumnarError::Snapshot("schema section checksum mismatch".into()));
+    }
+    let mut sbuf = body;
+    let h = get_u32(&mut sbuf)? as usize;
+    let n = get_u64(&mut sbuf)? as usize;
+    // Each field needs at least 9 bytes (name_len + support + has_dict);
+    // check before the fields Vec is sized from h.
+    if (h as u64).saturating_mul(9) > sbuf.len() as u64 {
+        return Err(truncated());
+    }
+    let mut fields = Vec::with_capacity(h);
+    for _ in 0..h {
+        fields.push(parse_field(&mut sbuf)?);
+    }
+    if !sbuf.is_empty() {
         return Err(ColumnarError::Snapshot(format!(
-            "unsupported version {version} (expected {VERSION})"
+            "{} trailing bytes after schema fields",
+            sbuf.len()
         )));
     }
+
+    if column_sections.len() != h {
+        return Err(ColumnarError::Snapshot(format!(
+            "{} column sections for {h} attributes",
+            column_sections.len()
+        )));
+    }
+    let mut columns = Vec::with_capacity(h);
+    for (attr, (section, field)) in column_sections.iter().zip(&fields).enumerate() {
+        if section.kind != SECTION_COLUMN || section.attr != attr as u32 {
+            return Err(ColumnarError::Snapshot(format!(
+                "section {} is not column {attr}",
+                attr + 1
+            )));
+        }
+        let slice = section_slice(bytes, section);
+        let (&tag, payload) = slice
+            .split_first()
+            .ok_or_else(|| ColumnarError::Snapshot("empty column section".into()))?;
+        let width = Width::from_tag(tag).ok_or_else(|| {
+            ColumnarError::Snapshot(format!("column {attr}: bad width tag {tag}"))
+        })?;
+        let codes = page::decode_pages(payload, n, width)
+            .map_err(|e| ColumnarError::Snapshot(format!("column {attr}: {e}")))?;
+        let packed = PackedColumn::from_packed(codes, field.support())
+            .map_err(|e| ColumnarError::Snapshot(format!("column {attr}: {e}")))?;
+        columns.push(Column::from_packed(packed));
+    }
+    Dataset::new(Schema::new(fields), columns)
+}
+
+/// Decodes the legacy v1 body (after magic + version). Columns are
+/// materialized at `u32` width — v1 carries no width information and
+/// pre-dates packing.
+fn decode_v1(mut bytes: &[u8]) -> Result<Dataset, ColumnarError> {
+    let buf = &mut bytes;
     let _flags = get_u16(buf)?;
     let h = get_u32(buf)? as usize;
     let n = get_u64(buf)? as usize;
@@ -94,34 +276,7 @@ pub fn decode(mut bytes: &[u8]) -> Result<Dataset, ColumnarError> {
 
     let mut fields = Vec::with_capacity(h);
     for _ in 0..h {
-        let name = get_str(buf)?;
-        let support = get_u32(buf)?;
-        let has_dict = get_u8(buf)?;
-        if has_dict > 1 {
-            return Err(ColumnarError::Snapshot(format!("invalid dictionary flag {has_dict}")));
-        }
-        let field = if has_dict == 1 {
-            let count = get_u32(buf)? as usize;
-            // Each value needs at least its 4-byte length prefix.
-            if (count as u64).saturating_mul(4) > buf.len() as u64 {
-                return Err(truncated());
-            }
-            let mut values = Vec::with_capacity(count);
-            for _ in 0..count {
-                values.push(get_str(buf)?);
-            }
-            let dict = Dictionary::from_values(values)
-                .ok_or_else(|| ColumnarError::Snapshot("duplicate dictionary value".into()))?;
-            if dict.len() as u32 != support {
-                return Err(ColumnarError::Snapshot(
-                    "dictionary size disagrees with support".into(),
-                ));
-            }
-            Field::with_dictionary(name, dict)
-        } else {
-            Field::new(name, support)
-        };
-        fields.push(field);
+        fields.push(parse_field(buf)?);
     }
 
     let mut columns = Vec::with_capacity(h);
@@ -130,9 +285,11 @@ pub fn decode(mut bytes: &[u8]) -> Result<Dataset, ColumnarError> {
         for _ in 0..n {
             codes.push(get_u32(buf)?);
         }
-        let col = Column::new(codes, field.support()).map_err(|_| {
-            ColumnarError::Snapshot(format!("column {attr} contains out-of-range codes"))
-        })?;
+        let col = PackedColumn::with_width(codes, field.support(), Width::U32)
+            .map(Column::from_packed)
+            .map_err(|_| {
+                ColumnarError::Snapshot(format!("column {attr} contains out-of-range codes"))
+            })?;
         columns.push(col);
     }
     if !buf.is_empty() {
@@ -141,10 +298,44 @@ pub fn decode(mut bytes: &[u8]) -> Result<Dataset, ColumnarError> {
     Dataset::new(Schema::new(fields), columns)
 }
 
-/// Writes `dataset` in snapshot format to `writer`.
-pub fn write<W: Write>(dataset: &Dataset, writer: &mut W) -> Result<(), ColumnarError> {
-    writer.write_all(&encode(dataset))?;
-    Ok(())
+/// Parses one schema field record (shared by the v1 body and the v2
+/// schema section, which use the same field encoding).
+fn parse_field(buf: &mut &[u8]) -> Result<Field, ColumnarError> {
+    let name = get_str(buf)?;
+    let support = get_u32(buf)?;
+    let has_dict = get_u8(buf)?;
+    if has_dict > 1 {
+        return Err(ColumnarError::Snapshot(format!("invalid dictionary flag {has_dict}")));
+    }
+    if has_dict == 1 {
+        let count = get_u32(buf)? as usize;
+        // Each value needs at least its 4-byte length prefix.
+        if (count as u64).saturating_mul(4) > buf.len() as u64 {
+            return Err(truncated());
+        }
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            values.push(get_str(buf)?);
+        }
+        let dict = Dictionary::from_values(values)
+            .ok_or_else(|| ColumnarError::Snapshot("duplicate dictionary value".into()))?;
+        if dict.len() as u32 != support {
+            return Err(ColumnarError::Snapshot("dictionary size disagrees with support".into()));
+        }
+        Ok(Field::with_dictionary(name, dict))
+    } else {
+        Ok(Field::new(name, support))
+    }
+}
+
+/// The payload bytes of a validated section (offsets were checked
+/// against `bytes.len()` by `validate_sections`).
+fn section_slice<'a>(bytes: &'a [u8], s: &Section) -> &'a [u8] {
+    &bytes[s.offset as usize..(s.offset + s.len) as usize]
+}
+
+fn store_err(e: swope_store::StoreError) -> ColumnarError {
+    ColumnarError::Snapshot(e.to_string())
 }
 
 /// Reads a snapshot dataset from `reader`.
@@ -236,12 +427,60 @@ mod tests {
         b.finish()
     }
 
+    /// A dataset spanning all three storage widths.
+    fn tri_width() -> Dataset {
+        let schema = Schema::new(vec![
+            Field::new("narrow", 256),
+            Field::new("mid", 70_000 - 30_000), // u16
+            Field::new("wide", 70_000),         // u32
+        ]);
+        let n = 3000u32;
+        let cols = vec![
+            Column::new((0..n).map(|i| i % 256).collect(), 256).unwrap(),
+            Column::new((0..n).map(|i| (i * 13) % 40_000).collect(), 40_000).unwrap(),
+            Column::new((0..n).map(|i| (i * 23) % 70_000).collect(), 70_000).unwrap(),
+        ];
+        Dataset::new(schema, cols).unwrap()
+    }
+
     #[test]
     fn encode_decode_round_trips() {
         let ds = sample();
         let bytes = encode(&ds);
         let back = decode(&bytes).unwrap();
         assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn v2_round_trip_preserves_widths() {
+        let ds = tri_width();
+        let back = decode(&encode(&ds)).unwrap();
+        assert_eq!(back, ds);
+        assert_eq!(back.column(0).width(), Width::U8);
+        assert_eq!(back.column(1).width(), Width::U16);
+        assert_eq!(back.column(2).width(), Width::U32);
+        // Narrow columns really are narrower on disk: the u8 column's
+        // section is about a quarter of the u32 column's.
+        let bytes = encode(&ds);
+        assert!(bytes.len() < 3000 * 3 * 4, "paged v2 should be smaller than all-u32 runs");
+    }
+
+    #[test]
+    fn v1_round_trips_into_u32_packed_columns() {
+        let ds = tri_width();
+        let bytes = encode_v1(&ds);
+        let back = decode(&bytes).unwrap();
+        // Logical equality holds even though v1 forgets widths…
+        assert_eq!(back, ds);
+        // …and every column materializes as u32 (v1 has no width tags).
+        for attr in 0..back.num_attrs() {
+            assert_eq!(back.column(attr).width(), Width::U32, "attr {attr}");
+        }
+        // Dictionaries survive the v1 path too.
+        let dict_ds = sample();
+        let back = decode(&encode_v1(&dict_ds)).unwrap();
+        assert_eq!(back, dict_ds);
+        assert!(back.schema().field(0).unwrap().dictionary().is_some());
     }
 
     #[test]
@@ -273,20 +512,27 @@ mod tests {
 
     #[test]
     fn rejects_truncation_at_every_prefix_boundary() {
-        // Every strict prefix of a valid buffer crosses some field boundary
-        // mid-read; decode must return an error at all of them — never
-        // panic, never accept a shorter dataset.
+        // Every strict prefix of a valid buffer crosses the header, the
+        // section table, or some section mid-payload; decode must return
+        // an error at all of them — never panic, never accept a shorter
+        // dataset. (Covers the section-table boundaries in particular:
+        // with 3 sections the table spans bytes 12..84.)
         let bytes = encode(&sample()).to_vec();
         for cut in 0..bytes.len() {
             assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+        // Same property for the legacy format.
+        let v1 = encode_v1(&sample());
+        for cut in 0..v1.len() {
+            assert!(decode(&v1[..cut]).is_err(), "v1 cut at {cut} should fail");
         }
     }
 
     #[test]
     fn single_byte_corruption_never_panics() {
-        // Flip every byte in turn: decode may reject or (for payload bytes
-        // like dictionary text) accept a different value, but it must
-        // always return rather than panic or over-allocate.
+        // Flip every byte in turn: decode may reject or (for bytes that
+        // don't affect meaning, like the reserved flags) accept, but it
+        // must always return rather than panic or over-allocate.
         let bytes = encode(&sample()).to_vec();
         for i in 0..bytes.len() {
             let mut corrupt = bytes.clone();
@@ -296,29 +542,61 @@ mod tests {
     }
 
     #[test]
-    fn rejects_invalid_dictionary_flag() {
+    fn column_page_corruption_fails_checksum() {
+        let ds = tri_width();
+        let bytes = encode(&ds);
+        // The last byte of the file is inside the last column's page
+        // payload; flipping it must trip that page's CRC.
+        let mut corrupt = bytes.clone();
+        *corrupt.last_mut().unwrap() ^= 1;
+        let err = decode(&corrupt).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn schema_corruption_fails_checksum() {
         let ds = sample();
         let bytes = encode(&ds);
-        // The first field's has_dict flag sits right after the fixed header
-        // (4 magic + 2 version + 2 flags + 4 h + 8 n), the name (4 + len),
-        // and the 4-byte support.
-        let name_len = ds.schema().field(0).unwrap().name().len();
-        let flag_at = 20 + 4 + name_len + 4;
-        assert_eq!(bytes[flag_at], 1, "offset arithmetic drifted");
+        // First byte of the first field name: header (12) + table
+        // (3 sections × 24) + h (4) + n (8) + name_len (4).
+        let name_at = 12 + 3 * 24 + 4 + 8 + 4;
+        assert_eq!(bytes[name_at], b'c', "offset arithmetic drifted");
         let mut corrupt = bytes.clone();
-        corrupt[flag_at] = 2;
+        corrupt[name_at] = b'x';
         let err = decode(&corrupt).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn rejects_invalid_dictionary_flag() {
+        let ds = sample();
+        let mut bytes = encode(&ds);
+        // The first field's has_dict flag: header + table + h + n +
+        // (name_len + name) + support.
+        let name_len = ds.schema().field(0).unwrap().name().len();
+        let flag_at = 12 + 3 * 24 + 4 + 8 + 4 + name_len + 4;
+        assert_eq!(bytes[flag_at], 1, "offset arithmetic drifted");
+        bytes[flag_at] = 2;
+        // Re-seal the schema CRC so the flag check itself is reached.
+        let schema_len_at = 12 + 16; // first section entry's len field
+        let len = u64::from_le_bytes(bytes[schema_len_at..schema_len_at + 8].try_into().unwrap())
+            as usize;
+        let body_start = 12 + 3 * 24;
+        let crc = crc32(&bytes[body_start..body_start + len - 4]);
+        bytes[body_start + len - 4..body_start + len].copy_from_slice(&crc.to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
         assert!(err.to_string().contains("dictionary flag"), "{err}");
     }
 
     #[test]
     fn rejects_dictionary_support_mismatch() {
-        // Hand-assemble a snapshot whose dictionary has fewer values than
-        // the declared support: h=1, n=0, field "a" with support 2 but a
-        // one-entry dictionary.
+        // Hand-assemble a *v1* snapshot (that path has no CRC to
+        // re-seal) whose dictionary has fewer values than the declared
+        // support: h=1, n=0, field "a" with support 2 but a one-entry
+        // dictionary.
         let mut bytes = Vec::new();
         bytes.extend_from_slice(MAGIC);
-        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&V1.to_le_bytes());
         bytes.extend_from_slice(&0u16.to_le_bytes());
         bytes.extend_from_slice(&1u32.to_le_bytes()); // h
         bytes.extend_from_slice(&0u64.to_le_bytes()); // n
@@ -335,24 +613,39 @@ mod tests {
     fn rejects_non_utf8_field_name() {
         let ds = sample();
         let mut bytes = encode(&ds);
-        // First byte of the first field name (after the 20-byte header and
-        // the 4-byte length prefix).
-        bytes[24] = 0xff;
+        // Corrupt the first field-name byte and re-seal the schema CRC
+        // so the UTF-8 check (not the checksum) is what rejects it.
+        let name_at = 12 + 3 * 24 + 4 + 8 + 4;
+        bytes[name_at] = 0xff;
+        let schema_len_at = 12 + 16;
+        let len = u64::from_le_bytes(bytes[schema_len_at..schema_len_at + 8].try_into().unwrap())
+            as usize;
+        let body_start = 12 + 3 * 24;
+        let crc = crc32(&bytes[body_start..body_start + len - 4]);
+        bytes[body_start + len - 4..body_start + len].copy_from_slice(&crc.to_le_bytes());
         let err = decode(&bytes).unwrap_err();
         assert!(err.to_string().contains("UTF-8"), "{err}");
     }
 
     #[test]
     fn rejects_oversized_declared_sizes_without_allocating() {
-        // A header declaring astronomically many rows/attrs must fail the
-        // up-front size check instead of attempting the allocation.
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(MAGIC);
-        bytes.extend_from_slice(&VERSION.to_le_bytes());
-        bytes.extend_from_slice(&0u16.to_le_bytes());
-        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // h
-        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // n
-        assert!(decode(&bytes).is_err());
+        // Headers declaring astronomically many sections/rows/attrs must
+        // fail the up-front size checks instead of attempting the
+        // allocation — in both formats.
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(MAGIC);
+        v2.extend_from_slice(&VERSION.to_le_bytes());
+        v2.extend_from_slice(&0u16.to_le_bytes());
+        v2.extend_from_slice(&u32::MAX.to_le_bytes()); // section_count
+        assert!(decode(&v2).is_err());
+
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&V1.to_le_bytes());
+        v1.extend_from_slice(&0u16.to_le_bytes());
+        v1.extend_from_slice(&u32::MAX.to_le_bytes()); // h
+        v1.extend_from_slice(&u64::MAX.to_le_bytes()); // n
+        assert!(decode(&v1).is_err());
     }
 
     #[test]
@@ -360,6 +653,9 @@ mod tests {
         let mut bytes = encode(&sample()).to_vec();
         bytes.push(0);
         assert!(decode(&bytes).is_err());
+        let mut v1 = encode_v1(&sample());
+        v1.push(0);
+        assert!(decode(&v1).is_err());
     }
 
     #[test]

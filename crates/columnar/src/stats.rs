@@ -23,6 +23,10 @@ pub struct ColumnStats {
     pub mode: Option<u32>,
     /// `max_count / N` — how concentrated the column is. 0 for empty data.
     pub mode_fraction: f64,
+    /// Bits per code at the column's packed storage width (8, 16, or 32).
+    pub code_width: u8,
+    /// Bytes the column's codes occupy in memory at that width.
+    pub bytes_in_memory: usize,
 }
 
 /// Computes statistics for one column of `dataset`.
@@ -46,7 +50,20 @@ pub fn column_stats(dataset: &Dataset, attr: AttrIndex) -> ColumnStats {
         max_count,
         mode: if n == 0 { None } else { mode },
         mode_fraction,
+        code_width: col.width().bits() as u8,
+        bytes_in_memory: col.bytes_in_memory(),
     }
+}
+
+/// Total bytes of width-packed code storage across all columns.
+pub fn bytes_in_memory(dataset: &Dataset) -> usize {
+    (0..dataset.num_attrs()).map(|a| dataset.column(a).bytes_in_memory()).sum()
+}
+
+/// Bytes the same columns would occupy unpacked (4 bytes per code) —
+/// the denominator for "savings vs all-u32" reporting.
+pub fn bytes_unpacked(dataset: &Dataset) -> usize {
+    dataset.num_attrs() * dataset.num_rows() * 4
 }
 
 /// Computes statistics for all columns of `dataset`.
@@ -122,6 +139,16 @@ mod tests {
     #[test]
     fn dataset_stats_covers_all_columns() {
         assert_eq!(dataset_stats(&ds()).len(), 2);
+    }
+
+    #[test]
+    fn stats_report_packed_width_and_bytes() {
+        let s = column_stats(&ds(), 0);
+        // Support 3 packs at u8: one byte per row.
+        assert_eq!(s.code_width, 8);
+        assert_eq!(s.bytes_in_memory, 5);
+        assert_eq!(bytes_in_memory(&ds()), 10);
+        assert_eq!(bytes_unpacked(&ds()), 40);
     }
 
     #[test]

@@ -202,9 +202,11 @@ pub fn mi_top_k_batch_exec<O: QueryObserver>(
         let span = phase_start(observed);
         for block in delta.chunks(INGEST_BLOCK_ROWS) {
             for (attr, buf) in gathered.iter_mut().enumerate() {
-                let codes = dataset.column(attr).codes();
-                buf.clear();
-                buf.extend(block.iter().map(|&r| codes[r as usize]));
+                // Widen at gather: these buffers are shared by every query
+                // whose target or candidate set touches `attr`, so they use
+                // a common u32 representation; the random reads still move
+                // only the column's packed width through the cache.
+                dataset.column(attr).packed().codes().gather_widen(block, buf);
             }
             for (attr, counter) in marginals.iter_mut().enumerate() {
                 for &c in &gathered[attr] {

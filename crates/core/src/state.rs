@@ -11,12 +11,22 @@
 //! iteration, so the total counting work over a whole query is
 //! `O(candidates × final M)` — the quantity the paper's complexity
 //! analysis bounds — rather than re-scanning the sample every iteration.
+//!
+//! Every ingest is **width-generic**: columns arrive width-packed
+//! (`u8`/`u16`/`u32`, see [`swope_store::PackedColumn`]) and each public
+//! ingest dispatches once per call via [`swope_store::for_packed!`] into
+//! a monomorphized inner loop over the native code type — no per-row
+//! branching, no widening until the counter update (a register
+//! zero-extension). Gathered block buffers are [`CodeBuf`]s so scratch
+//! stays at the column's width too: a `u8` column moves a quarter of the
+//! bytes an unpacked gather would.
 
-use swope_columnar::{AttrIndex, Code, Column, Dataset};
+use swope_columnar::{AttrIndex, Code, CodeBuf, CodeRepr, Column, Dataset};
 use swope_estimate::bounds::{entropy_bounds, mi_bounds, EntropyBounds, MiBounds};
 use swope_estimate::entropy::EntropyCounter;
 use swope_estimate::joint::JointEntropyCounter;
 use swope_sampling::{PageShuffle, PrefixShuffle, Sampler};
+use swope_store::{for_packed, gather};
 
 use crate::SamplingStrategy;
 
@@ -26,48 +36,41 @@ use crate::SamplingStrategy;
 /// rows, gathers one block of a column's codes into a reusable buffer,
 /// then counts the block sequentially. The block bound keeps every
 /// scratch buffer at most `4 · INGEST_BLOCK_ROWS` bytes (32 KiB — L1/L2
-/// resident) no matter how large ΔM grows under doubling, which is what
-/// makes the steady-state loop allocation-free: buffers reach block size
-/// once and are never regrown. Matches the batch engine's block size.
+/// resident; narrower columns use proportionally less) no matter how
+/// large ΔM grows under doubling, which is what makes the steady-state
+/// loop allocation-free: buffers reach block size once and are never
+/// regrown. Matches the batch engine's block size.
 pub const INGEST_BLOCK_ROWS: usize = 8192;
-
-/// Gathers `codes[r]` for each row in `rows` into `buf` (cleared first).
-///
-/// This is the only cache-miss-heavy step of an ingest: random reads
-/// into the column. Splitting it from counting turns the counter update
-/// into a sequential pass over a contiguous slice.
-#[inline]
-fn gather_block(codes: &[Code], rows: &[u32], buf: &mut Vec<Code>) {
-    buf.clear();
-    buf.extend(rows.iter().map(|&r| codes[r as usize]));
-}
 
 /// Reusable per-query scratch buffers for gather-staged ingest.
 ///
 /// One `GatherScratch` lives for the whole adaptive loop: `target` holds
-/// the MI target column's gathered codes for the current iteration, and
-/// `slots[i]` is candidate state `i`'s private block buffer (private so
-/// the executor can fan candidates out without sharing buffers). All
-/// buffers grow to their high-water mark once and are then reused, so
-/// steady-state iterations allocate nothing.
+/// the MI target column's gathered codes for the current iteration
+/// (always widened to `u32` — it is shared by every candidate, so it is
+/// gathered once), and `slots[i]` is candidate state `i`'s private block
+/// buffer (private so the executor can fan candidates out without
+/// sharing buffers). A slot is a [`CodeBuf`], so it holds codes at
+/// whatever width the candidate's column is packed at. All buffers grow
+/// to their high-water mark once and are then reused, so steady-state
+/// iterations allocate nothing.
 #[derive(Debug, Default)]
 pub struct GatherScratch {
     target: Vec<Code>,
-    slots: Vec<Vec<Code>>,
+    slots: Vec<CodeBuf>,
 }
 
 impl GatherScratch {
     /// Scratch with `slots` per-candidate block buffers (more are added
     /// on demand by [`GatherScratch::slots`]).
     pub fn new(slots: usize) -> Self {
-        Self { target: Vec::new(), slots: (0..slots).map(|_| Vec::new()).collect() }
+        Self { target: Vec::new(), slots: (0..slots).map(|_| CodeBuf::new()).collect() }
     }
 
     /// The first `n` per-candidate block buffers, growing the slot list
     /// if needed. Pair with states via `Executor::for_each2`.
-    pub fn slots(&mut self, n: usize) -> &mut [Vec<Code>] {
+    pub fn slots(&mut self, n: usize) -> &mut [CodeBuf] {
         if self.slots.len() < n {
-            self.slots.resize_with(n, Vec::new);
+            self.slots.resize_with(n, CodeBuf::new);
         }
         &mut self.slots[..n]
     }
@@ -75,9 +78,9 @@ impl GatherScratch {
     /// Splits the scratch into the target-code buffer and the first `n`
     /// candidate slots, so an MI iteration can fill the target buffer
     /// and then fan candidates out over it in one borrow.
-    pub fn target_and_slots(&mut self, n: usize) -> (&mut Vec<Code>, &mut [Vec<Code>]) {
+    pub fn target_and_slots(&mut self, n: usize) -> (&mut Vec<Code>, &mut [CodeBuf]) {
         if self.slots.len() < n {
-            self.slots.resize_with(n, Vec::new);
+            self.slots.resize_with(n, CodeBuf::new);
         }
         (&mut self.target, &mut self.slots[..n])
     }
@@ -126,23 +129,42 @@ impl EntropyState {
     /// Ingests newly sampled rows (O(Δrows)).
     #[inline]
     pub fn ingest(&mut self, column: &Column, new_rows: &[u32]) {
-        let codes = column.codes();
+        for_packed!(column.packed().codes(), |codes| self.ingest_repr(codes, new_rows))
+    }
+
+    #[inline]
+    fn ingest_repr<R: CodeRepr>(&mut self, codes: &[R], new_rows: &[u32]) {
         for &r in new_rows {
-            self.counter.add(codes[r as usize]);
+            self.counter.add(codes[r as usize].widen());
         }
     }
 
     /// Gather-staged form of [`EntropyState::ingest`]: materializes the
-    /// column's codes block-by-block into `buf`, then counts each block
-    /// as a sequential `&[Code]` pass. Bitwise identical to `ingest`
-    /// (same codes in the same order); O(Δrows) with zero steady-state
-    /// allocation once `buf` has reached [`INGEST_BLOCK_ROWS`].
+    /// column's codes block-by-block into `buf` at the column's native
+    /// width, then counts each block as a sequential pass. Bitwise
+    /// identical to `ingest` (same codes in the same order); O(Δrows)
+    /// with zero steady-state allocation once `buf` has reached
+    /// [`INGEST_BLOCK_ROWS`].
     #[inline]
-    pub fn ingest_staged(&mut self, column: &Column, new_rows: &[u32], buf: &mut Vec<Code>) {
-        let codes = column.codes();
+    pub fn ingest_staged(&mut self, column: &Column, new_rows: &[u32], buf: &mut CodeBuf) {
+        for_packed!(column.packed().codes(), |codes| {
+            self.ingest_staged_repr(codes, new_rows, buf)
+        })
+    }
+
+    #[inline]
+    fn ingest_staged_repr<R: CodeRepr>(
+        &mut self,
+        codes: &[R],
+        new_rows: &[u32],
+        buf: &mut CodeBuf,
+    ) {
+        let buf = R::buf(buf);
         for block in new_rows.chunks(INGEST_BLOCK_ROWS) {
-            gather_block(codes, block, buf);
-            self.counter.add_all(buf);
+            gather(codes, block, buf);
+            for &c in buf.iter() {
+                self.counter.add(c.widen());
+            }
         }
     }
 
@@ -202,37 +224,60 @@ impl MiState {
 
     /// Ingests newly sampled rows. `target_codes[i]` must be the target
     /// attribute's code at `new_rows[i]` (pre-gathered once per iteration
-    /// so `h−1` candidates don't each re-read the target column).
+    /// so `h−1` candidates don't each re-read the target column; the
+    /// shared buffer is widened to `u32`, only the candidate's own codes
+    /// stay at their packed width).
     #[inline]
     pub fn ingest(&mut self, column: &Column, target_codes: &[Code], new_rows: &[u32]) {
+        for_packed!(column.packed().codes(), |codes| {
+            self.ingest_repr(codes, target_codes, new_rows)
+        })
+    }
+
+    #[inline]
+    fn ingest_repr<R: CodeRepr>(&mut self, codes: &[R], target_codes: &[Code], new_rows: &[u32]) {
         debug_assert_eq!(target_codes.len(), new_rows.len());
-        let codes = column.codes();
         for (&r, &tc) in new_rows.iter().zip(target_codes) {
-            let c = codes[r as usize];
+            let c = codes[r as usize].widen();
             self.counter.add(c);
             self.joint.add(tc, c);
         }
     }
 
     /// Gather-staged form of [`MiState::ingest`]: the candidate column's
-    /// codes are gathered block-by-block into `buf`, then zipped with
-    /// the matching block of pre-gathered `target_codes`. Bitwise
-    /// identical to `ingest` (same `(counter, joint)` update sequence).
+    /// codes are gathered block-by-block into `buf` at their native
+    /// width, then zipped with the matching block of pre-gathered
+    /// `target_codes`. Bitwise identical to `ingest` (same
+    /// `(counter, joint)` update sequence).
     #[inline]
     pub fn ingest_staged(
         &mut self,
         column: &Column,
         target_codes: &[Code],
         new_rows: &[u32],
-        buf: &mut Vec<Code>,
+        buf: &mut CodeBuf,
+    ) {
+        for_packed!(column.packed().codes(), |codes| {
+            self.ingest_staged_repr(codes, target_codes, new_rows, buf)
+        })
+    }
+
+    #[inline]
+    fn ingest_staged_repr<R: CodeRepr>(
+        &mut self,
+        codes: &[R],
+        target_codes: &[Code],
+        new_rows: &[u32],
+        buf: &mut CodeBuf,
     ) {
         debug_assert_eq!(target_codes.len(), new_rows.len());
-        let codes = column.codes();
+        let buf = R::buf(buf);
         for (rows, tcs) in
             new_rows.chunks(INGEST_BLOCK_ROWS).zip(target_codes.chunks(INGEST_BLOCK_ROWS))
         {
-            gather_block(codes, rows, buf);
+            gather(codes, rows, buf);
             for (&c, &tc) in buf.iter().zip(tcs) {
+                let c = c.widen();
                 self.counter.add(c);
                 self.joint.add(tc, c);
             }
@@ -302,13 +347,22 @@ impl TargetState {
     /// target codes into `out` (cleared first) instead of a fresh `Vec`,
     /// so the doubling loop reuses one buffer across iterations. The
     /// whole delta is gathered (not blocked) because every candidate's
-    /// [`MiState::ingest_staged`] needs the full iteration's codes.
+    /// [`MiState::ingest_staged`] needs the full iteration's codes, and
+    /// it is widened to `u32` because candidates of any width share it.
     pub fn ingest_into(&mut self, column: &Column, new_rows: &[u32], out: &mut Vec<Code>) {
-        let codes = column.codes();
+        for_packed!(column.packed().codes(), |codes| self.ingest_into_repr(codes, new_rows, out))
+    }
+
+    fn ingest_into_repr<R: CodeRepr>(
+        &mut self,
+        codes: &[R],
+        new_rows: &[u32],
+        out: &mut Vec<Code>,
+    ) {
         out.clear();
         out.reserve(new_rows.len());
         for &r in new_rows {
-            let c = codes[r as usize];
+            let c = codes[r as usize].widen();
             self.counter.add(c);
             out.push(c);
         }
@@ -323,7 +377,7 @@ impl TargetState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use swope_columnar::{Field, Schema};
+    use swope_columnar::{Field, Schema, Width};
     use swope_estimate::entropy::column_entropy;
     use swope_estimate::joint::mutual_information;
 
@@ -394,7 +448,7 @@ mod tests {
         let mut direct = EntropyState::new(&ds, 0);
         direct.ingest(ds.column(0), &rows);
         let mut staged = EntropyState::new(&ds, 0);
-        let mut buf = Vec::new();
+        let mut buf = CodeBuf::new();
         staged.ingest_staged(ds.column(0), &rows, &mut buf);
         assert_eq!(direct.sampled(), staged.sampled());
         assert_eq!(direct.sample_entropy().to_bits(), staged.sample_entropy().to_bits());
@@ -417,6 +471,34 @@ mod tests {
     }
 
     #[test]
+    fn staged_ingest_matches_direct_across_widths() {
+        // The same logical column forced to each storage width must
+        // produce identical counters via both ingest paths, and the
+        // scratch buffer must land on the column's native width.
+        let n = INGEST_BLOCK_ROWS + 321;
+        let codes: Vec<Code> = (0..n as u32).map(|i| (i * 31 + i / 7) % 200).collect();
+        let base = Column::new(codes, 200).unwrap();
+        let mut sampler = PrefixShuffle::new(n, 7);
+        let rows: Vec<u32> = sampler.grow_to(n / 2).to_vec();
+
+        let schema = Schema::new(vec![Field::new("a", 200)]);
+        let reference = {
+            let ds = Dataset::new(schema.clone(), vec![base.clone()]).unwrap();
+            let mut st = EntropyState::new(&ds, 0);
+            st.ingest(ds.column(0), &rows);
+            st.sample_entropy().to_bits()
+        };
+        for width in [Width::U8, Width::U16, Width::U32] {
+            let col = base.with_width(width).unwrap();
+            let ds = Dataset::new(schema.clone(), vec![col]).unwrap();
+            let mut st = EntropyState::new(&ds, 0);
+            let mut buf = CodeBuf::new();
+            st.ingest_staged(ds.column(0), &rows, &mut buf);
+            assert_eq!(st.sample_entropy().to_bits(), reference, "width {width}");
+        }
+    }
+
+    #[test]
     fn gather_scratch_grows_slots_on_demand() {
         let mut scratch = GatherScratch::new(2);
         assert_eq!(scratch.slots(5).len(), 5);
@@ -424,8 +506,8 @@ mod tests {
         target.push(1);
         assert_eq!(slots.len(), 3);
         // Existing slots are preserved (buffers are reused, not rebuilt).
-        scratch.slots(5)[4].push(9);
-        assert_eq!(scratch.slots(5)[4], vec![9]);
+        <u32 as CodeRepr>::buf(&mut scratch.slots(5)[4]).push(9);
+        assert_eq!(<u32 as CodeRepr>::buf(&mut scratch.slots(5)[4]), &vec![9]);
     }
 
     #[test]

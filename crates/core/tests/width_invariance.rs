@@ -1,0 +1,114 @@
+//! Determinism property: every adaptive loop must return bitwise-identical
+//! results regardless of the physical width columns are packed at.
+//!
+//! Width packing changes only how codes are *stored* (`u8`/`u16`/`u32`);
+//! every ingest widens each code to `u32` before touching a counter, so
+//! the `(counter, joint)` update sequence — and therefore every float —
+//! is identical across widths. This is the acceptance bar for the
+//! width-generic gather path: a dataset loaded from a v1 snapshot
+//! (all-`u32`) must answer queries exactly like the same dataset packed
+//! narrow, at any thread count.
+
+use swope_columnar::{Column, Dataset, Field, Schema, Width};
+use swope_core::{
+    entropy_filter, entropy_profile, entropy_top_k, mi_filter, mi_profile, mi_top_k,
+    mi_top_k_batch, SwopeConfig,
+};
+use swope_sampling::rng::Xoshiro256pp;
+
+const THREADS: [usize; 2] = [1, 8];
+
+/// Mixed supports and skews (like the thread-invariance dataset) so
+/// candidates retire at different iterations. Supports stay ≤ 200 so
+/// every column can be repacked at all three widths.
+fn dataset(seed: u64, n: usize) -> Dataset {
+    let mut r = Xoshiro256pp::seed_from_u64(seed);
+    let mut fields = Vec::new();
+    let mut columns = Vec::new();
+    for (i, &support) in [1u32, 2, 3, 8, 40, 200].iter().enumerate() {
+        let skew = i % 2 == 0;
+        let codes: Vec<u32> = (0..n)
+            .map(|_| {
+                let c = r.next_below(support as u64) as u32;
+                if skew && r.next_below(4) != 0 {
+                    0
+                } else {
+                    c
+                }
+            })
+            .collect();
+        fields.push(Field::new(format!("a{i}"), support));
+        columns.push(Column::new(codes, support).unwrap());
+    }
+    Dataset::new(Schema::new(fields), columns).unwrap()
+}
+
+/// The same logical dataset with every column forced to `width`.
+fn repacked(ds: &Dataset, width: Width) -> Dataset {
+    let columns = (0..ds.num_attrs())
+        .map(|a| ds.column(a).with_width(width).expect("supports fit every width"))
+        .collect();
+    Dataset::new(ds.schema().clone(), columns).unwrap()
+}
+
+fn config(seed: u64, threads: usize) -> SwopeConfig {
+    SwopeConfig::with_epsilon(0.2).with_seed(seed).with_threads(threads)
+}
+
+/// Runs `query` on the dataset packed at each width × each thread count
+/// and asserts every result equals the natural-width single-thread run.
+fn assert_width_invariant<R: PartialEq + std::fmt::Debug>(
+    seed: u64,
+    query: impl Fn(&Dataset, &SwopeConfig) -> R,
+) {
+    let ds = dataset(seed, 12_000);
+    let baseline = query(&ds, &config(seed, 1));
+    for width in [Width::U8, Width::U16, Width::U32] {
+        let packed = repacked(&ds, width);
+        for a in 0..packed.num_attrs() {
+            assert_eq!(packed.column(a).width(), width);
+        }
+        for t in THREADS {
+            assert_eq!(
+                query(&packed, &config(seed, t)),
+                baseline,
+                "width = {width}, threads = {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn entropy_top_k_is_width_invariant() {
+    assert_width_invariant(21, |ds, cfg| entropy_top_k(ds, 3, cfg).unwrap());
+}
+
+#[test]
+fn entropy_filter_is_width_invariant() {
+    assert_width_invariant(22, |ds, cfg| entropy_filter(ds, 1.0, cfg).unwrap());
+}
+
+#[test]
+fn mi_top_k_is_width_invariant() {
+    assert_width_invariant(23, |ds, cfg| mi_top_k(ds, 5, 3, cfg).unwrap());
+}
+
+#[test]
+fn mi_filter_is_width_invariant() {
+    assert_width_invariant(24, |ds, cfg| mi_filter(ds, 5, 0.1, cfg).unwrap());
+}
+
+#[test]
+fn entropy_profile_is_width_invariant() {
+    assert_width_invariant(25, |ds, cfg| entropy_profile(ds, 0.05, cfg).unwrap());
+}
+
+#[test]
+fn mi_profile_is_width_invariant() {
+    assert_width_invariant(26, |ds, cfg| mi_profile(ds, 5, 0.05, cfg).unwrap());
+}
+
+#[test]
+fn mi_top_k_batch_is_width_invariant() {
+    assert_width_invariant(27, |ds, cfg| mi_top_k_batch(ds, &[0, 3, 5], 2, cfg).unwrap());
+}

@@ -151,7 +151,7 @@ mod tests {
         let b = generate(&profile(), 9);
         assert_eq!(a, b);
         let c = generate(&profile(), 10);
-        assert_ne!(a.column(0).codes(), c.column(0).codes());
+        assert_ne!(a.column(0).to_codes(), c.column(0).to_codes());
     }
 
     #[test]
@@ -232,7 +232,7 @@ mod tests {
         assert!((h_iid - h_clustered).abs() < 0.05, "{h_iid} vs {h_clustered}");
         // ...but adjacent-row agreement skyrockets.
         let agree = |ds: &swope_columnar::Dataset| {
-            let codes = ds.column(0).codes();
+            let codes = ds.column(0).to_codes();
             codes.windows(2).filter(|w| w[0] == w[1]).count() as f64 / (codes.len() - 1) as f64
         };
         assert!(agree(&iid) < 0.25);

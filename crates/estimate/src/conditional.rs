@@ -110,7 +110,7 @@ pub fn triple_entropy(a: &Column, b: &Column, c: &Column) -> f64 {
         "support too large for triple packing"
     );
     let mut counter = TripleEntropyCounter::new();
-    let (ca, cb, cc) = (a.codes(), b.codes(), c.codes());
+    let (ca, cb, cc) = (a.to_codes(), b.to_codes(), c.to_codes());
     for i in 0..ca.len() {
         counter.add(ca[i], cb[i], cc[i]);
     }

@@ -71,7 +71,7 @@ impl JointEntropyCounter {
 pub fn joint_entropy(a: &Column, b: &Column) -> f64 {
     assert_eq!(a.len(), b.len(), "joint entropy requires aligned columns");
     let mut c = JointEntropyCounter::new(a.support(), b.support());
-    let (ca, cb) = (a.codes(), b.codes());
+    let (ca, cb) = (a.to_codes(), b.to_codes());
     for i in 0..ca.len() {
         c.add(ca[i], cb[i]);
     }

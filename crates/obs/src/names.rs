@@ -56,3 +56,15 @@ pub const EXEC_CHUNKS_TOTAL: &str = "swope_exec_chunks_total";
 
 /// Counter: per-attribute work items processed by pool dispatches.
 pub const EXEC_ITEMS_TOTAL: &str = "swope_exec_items_total";
+
+/// Gauge: bytes of width-packed code storage held by all registered
+/// datasets (the storage layer's resident footprint).
+pub const STORE_BYTES_IN_MEMORY: &str = "swope_store_bytes_in_memory";
+
+/// Gauge: bytes saved by width packing versus storing every code as
+/// `u32` (`4·rows·columns − bytes_in_memory`, summed over datasets).
+pub const STORE_BYTES_SAVED: &str = "swope_store_bytes_saved";
+
+/// Gauge with a `width` label (`"u8"`/`"u16"`/`"u32"`): registered
+/// columns packed at each storage width.
+pub const STORE_COLUMNS: &str = "swope_store_columns";

@@ -56,5 +56,5 @@ pub mod signal;
 pub use cache::ResultCache;
 pub use metrics::ServerMetrics;
 pub use pool::WorkerPool;
-pub use registry::{DatasetEntry, DatasetRegistry};
+pub use registry::{DatasetEntry, DatasetRegistry, StoreStats};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -16,6 +16,7 @@ use swope_core::ExecStats;
 use swope_obs::{names, Histogram, MetricsRegistry};
 
 use crate::cache::ResultCache;
+use crate::registry::StoreStats;
 
 /// Response status classes tracked by [`ServerMetrics`].
 const CLASSES: [&str; 4] = ["2xx", "3xx", "4xx", "5xx"];
@@ -90,14 +91,15 @@ impl ServerMetrics {
     }
 
     /// Renders the full `/metrics` document: HTTP counters, cache
-    /// counters, live gauges, execution-pool stats, then the query-level
-    /// registry.
+    /// counters, live gauges, execution-pool and storage-layer stats,
+    /// then the query-level registry.
     pub fn render_prometheus(
         &self,
         cache: &ResultCache,
         queue_depth: usize,
         datasets_loaded: usize,
         exec: ExecStats,
+        store: StoreStats,
     ) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "# TYPE {} counter", names::HTTP_REQUESTS_TOTAL);
@@ -137,6 +139,19 @@ impl ServerMetrics {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
         }
+        for (name, value) in [
+            (names::STORE_BYTES_IN_MEMORY, store.bytes_in_memory),
+            (names::STORE_BYTES_SAVED, store.bytes_saved()),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let _ = writeln!(out, "# TYPE {} gauge", names::STORE_COLUMNS);
+        for (width, value) in
+            [("u8", store.columns_u8), ("u16", store.columns_u16), ("u32", store.columns_u32)]
+        {
+            let _ = writeln!(out, "{}{{width=\"{width}\"}} {value}", names::STORE_COLUMNS);
+        }
         self.request_micros.render_prometheus(names::HTTP_REQUEST_MICROS, &mut out);
         out.push_str(&self.registry.render_prometheus());
         out
@@ -167,7 +182,14 @@ mod tests {
         assert_eq!(m.deadline_expired_total(), 1);
         let cache = ResultCache::new(4);
         let exec = ExecStats { workers: 2, dispatches: 5, chunks: 9, items: 40 };
-        let text = m.render_prometheus(&cache, 3, 2, exec);
+        let store = StoreStats {
+            bytes_in_memory: 100,
+            bytes_unpacked: 400,
+            columns_u8: 6,
+            columns_u16: 1,
+            columns_u32: 0,
+        };
+        let text = m.render_prometheus(&cache, 3, 2, exec, store);
         assert!(text.contains(&format!("{} 2\n", names::HTTP_REQUESTS_TOTAL)));
         assert!(text.contains(&format!("{}{{class=\"2xx\"}} 1", names::HTTP_RESPONSES_TOTAL)));
         assert!(text.contains(&format!("{}{{class=\"4xx\"}} 1", names::HTTP_RESPONSES_TOTAL)));
@@ -178,6 +200,11 @@ mod tests {
         assert!(text.contains(&format!("{} 5\n", names::EXEC_DISPATCHES_TOTAL)));
         assert!(text.contains(&format!("{} 9\n", names::EXEC_CHUNKS_TOTAL)));
         assert!(text.contains(&format!("{} 40\n", names::EXEC_ITEMS_TOTAL)));
+        assert!(text.contains(&format!("{} 100\n", names::STORE_BYTES_IN_MEMORY)));
+        assert!(text.contains(&format!("{} 300\n", names::STORE_BYTES_SAVED)));
+        assert!(text.contains(&format!("{}{{width=\"u8\"}} 6", names::STORE_COLUMNS)));
+        assert!(text.contains(&format!("{}{{width=\"u16\"}} 1", names::STORE_COLUMNS)));
+        assert!(text.contains(&format!("{}{{width=\"u32\"}} 0", names::STORE_COLUMNS)));
         assert!(text.contains(&format!("{}_count 2", names::HTTP_REQUEST_MICROS)));
         // The query-level registry rides along in the same document.
         assert!(text.contains("swope_queries_total"));

@@ -13,7 +13,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use swope_columnar::{stats, Dataset};
+use swope_columnar::{stats, Dataset, Width};
 
 /// One registered dataset plus its identity metadata.
 pub struct DatasetEntry {
@@ -93,6 +93,47 @@ impl DatasetRegistry {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Aggregates the storage layer's footprint over all registered
+    /// datasets, for the `swope_store_*` metric families.
+    pub fn store_stats(&self) -> StoreStats {
+        let mut agg = StoreStats::default();
+        for entry in self.list() {
+            let ds = &entry.dataset;
+            agg.bytes_in_memory += stats::bytes_in_memory(ds) as u64;
+            agg.bytes_unpacked += stats::bytes_unpacked(ds) as u64;
+            for attr in 0..ds.num_attrs() {
+                match ds.column(attr).width() {
+                    Width::U8 => agg.columns_u8 += 1,
+                    Width::U16 => agg.columns_u16 += 1,
+                    Width::U32 => agg.columns_u32 += 1,
+                }
+            }
+        }
+        agg
+    }
+}
+
+/// Registry-wide storage-layer footprint (see [`DatasetRegistry::store_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Bytes of width-packed code storage resident in memory.
+    pub bytes_in_memory: u64,
+    /// Bytes the same codes would occupy unpacked at 4 bytes each.
+    pub bytes_unpacked: u64,
+    /// Registered columns packed at `u8`.
+    pub columns_u8: u64,
+    /// Registered columns packed at `u16`.
+    pub columns_u16: u64,
+    /// Registered columns packed at `u32`.
+    pub columns_u32: u64,
+}
+
+impl StoreStats {
+    /// Bytes saved by width packing versus all-`u32` storage.
+    pub fn bytes_saved(&self) -> u64 {
+        self.bytes_unpacked.saturating_sub(self.bytes_in_memory)
+    }
 }
 
 impl DatasetEntry {
@@ -125,8 +166,9 @@ impl DatasetEntry {
             escape_into(&mut out, &s.name);
             let _ = write!(
                 out,
-                ",\"support\":{},\"observed_distinct\":{},\"mode_fraction\":",
-                s.support, s.observed_distinct
+                ",\"support\":{},\"observed_distinct\":{},\"code_width\":{},\
+                 \"bytes_in_memory\":{},\"mode_fraction\":",
+                s.support, s.observed_distinct, s.code_width, s.bytes_in_memory
             );
             f64_into(&mut out, s.mode_fraction);
             out.push('}');
@@ -195,6 +237,9 @@ mod tests {
             Json::Arr(cols) => {
                 assert_eq!(cols.len(), 2);
                 assert_eq!(cols[0].get("name").unwrap().as_str(), Some("color"));
+                // Support 3 packs at u8: one byte per row.
+                assert_eq!(cols[0].get("code_width").unwrap().as_u64(), Some(8));
+                assert_eq!(cols[0].get("bytes_in_memory").unwrap().as_u64(), Some(3));
             }
             other => panic!("not an array: {other:?}"),
         }

@@ -251,6 +251,7 @@ fn route(req: &Request, shared: &Shared, watcher: &QueueWatcher) -> Response {
                 watcher.depth(),
                 shared.registry.len(),
                 shared.exec.stats(),
+                shared.registry.store_stats(),
             ),
         ),
         ("GET", "/datasets") => list_datasets(shared),

@@ -230,6 +230,43 @@ fn overload_sheds_with_503_and_retry_after() {
 }
 
 #[test]
+fn burst_load_sheds_exactly_the_overflow_and_serves_the_rest() {
+    // Batched admission (workers claim up to ADMIT_BATCH jobs per
+    // wakeup) must not change shedding semantics: with the single
+    // worker stuck and a queue of 2, a 12-connection burst gets exactly
+    // (12 − queued) 503s, the queued ones are eventually served, and
+    // the shed counter agrees with what clients observed.
+    let server = TestServer::start(ServerConfig {
+        threads: 1,
+        queue_capacity: 2,
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    });
+    let idle_busy = TcpStream::connect(server.addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    let burst: Vec<_> = (0..12)
+        .map(|_| {
+            let addr = server.addr;
+            std::thread::spawn(move || get(addr, "/healthz").status)
+        })
+        .collect();
+    // Let the burst land (queue fills, overflow sheds), then free the
+    // worker so the queued requests drain.
+    std::thread::sleep(Duration::from_millis(300));
+    drop(idle_busy);
+    let statuses: Vec<u16> = burst.into_iter().map(|t| t.join().unwrap()).collect();
+
+    let ok = statuses.iter().filter(|&&s| s == 200).count();
+    let shed = statuses.iter().filter(|&&s| s == 503).count();
+    assert_eq!(ok + shed, 12, "unexpected statuses: {statuses:?}");
+    assert!(ok >= 1, "queued requests must still be served: {statuses:?}");
+    assert!(shed >= 1, "overflow must shed: {statuses:?}");
+    let metrics = get(server.addr, "/metrics").body;
+    assert_eq!(metric(&metrics, "swope_http_rejected_total"), shed as u64);
+}
+
+#[test]
 fn requests_queued_past_their_deadline_get_503() {
     let server = TestServer::start(ServerConfig {
         threads: 1,
@@ -373,6 +410,30 @@ fn pooled_queries_report_exec_stats_and_serve_identical_bytes() {
     assert!(metric(&metrics, "swope_exec_dispatches_total") > 0);
     assert!(metric(&metrics, "swope_exec_chunks_total") > 0);
     assert!(metric(&metrics, "swope_exec_items_total") > 0);
+}
+
+#[test]
+fn datasets_report_column_widths_and_store_metrics() {
+    let server = TestServer::start(ServerConfig::default());
+    let listing = get(server.addr, "/datasets");
+    let parsed = Json::parse(&listing.body).unwrap();
+    let Json::Arr(datasets) = parsed.get("datasets").unwrap() else { panic!("not an array") };
+    let rows = datasets[0].get("rows").unwrap().as_u64().unwrap();
+    let Json::Arr(cols) = datasets[0].get("column_stats").unwrap() else { panic!("not an array") };
+    for c in cols {
+        let width = c.get("code_width").unwrap().as_u64().unwrap();
+        let bytes = c.get("bytes_in_memory").unwrap().as_u64().unwrap();
+        assert!(matches!(width, 8 | 16 | 32), "width {width}");
+        assert_eq!(bytes, rows * width / 8, "bytes must be rows × width");
+    }
+
+    let metrics = get(server.addr, "/metrics").body;
+    let in_memory = metric(&metrics, "swope_store_bytes_in_memory");
+    let saved = metric(&metrics, "swope_store_bytes_saved");
+    assert!(in_memory > 0);
+    // in_memory + saved reconstructs the all-u32 footprint exactly.
+    assert_eq!(in_memory + saved, rows * 4 * cols.len() as u64);
+    assert!(metrics.contains("swope_store_columns{width=\"u8\"}"));
 }
 
 #[test]

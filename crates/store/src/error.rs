@@ -1,0 +1,40 @@
+//! Storage-layer errors.
+
+use crate::{Code, Width};
+
+/// Errors from packing, validating, or decoding stored codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A code was `>= support`.
+    CodeOutOfRange {
+        /// The offending code.
+        code: Code,
+        /// The declared support.
+        support: u32,
+    },
+    /// A requested storage width cannot hold the column's support.
+    WidthTooNarrow {
+        /// The requested width.
+        width: Width,
+        /// The support that does not fit it.
+        support: u32,
+    },
+    /// On-disk bytes failed structural validation or a checksum.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::CodeOutOfRange { code, support } => {
+                write!(f, "code {code} out of range for support {support}")
+            }
+            StoreError::WidthTooNarrow { width, support } => {
+                write!(f, "width {width} cannot hold support {support}")
+            }
+            StoreError::Corrupt(msg) => write!(f, "corrupt store data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

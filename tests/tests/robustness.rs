@@ -57,7 +57,7 @@ fn snapshot_single_byte_corruption_is_contained() {
                 let col = ds.column(attr);
                 let support = col.support();
                 assert!(
-                    col.codes().iter().all(|&c| c < support),
+                    col.to_codes().iter().all(|&c| c < support),
                     "case {case}: code out of support after corrupting byte {pos}"
                 );
             }
@@ -115,7 +115,7 @@ fn csv_round_trip_arbitrary_cells() {
         let back = read_csv(out.as_slice(), &CsvOptions::default()).unwrap();
         assert_eq!(back.num_rows(), ds.num_rows(), "case {case}");
         for attr in 0..2 {
-            assert_eq!(back.column(attr).codes(), ds.column(attr).codes(), "case {case}");
+            assert_eq!(back.column(attr).to_codes(), ds.column(attr).to_codes(), "case {case}");
         }
     }
 }
