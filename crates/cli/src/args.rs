@@ -39,7 +39,12 @@ serve options:
   --queue-depth <n>         bounded request queue size (default 64)
   --cache-capacity <n>      result-cache entries, 0 disables (default 256)
   --deadline-ms <n>         max queueing time before answering 503 (default 10000)
-  --exec-threads <n>        shared query execution-pool size (default: all cores)";
+  --exec-threads <n>        shared query execution-pool size (default: all cores)
+  --trace                   trace every query (otherwise only requests sending
+                            an X-Swope-Trace header); see GET /debug/traces
+  --slow-ms <n>             flight-recorder threshold for GET /debug/slow
+                            (default 250)
+  --access-log <path>       append one logfmt line per served request";
 
 /// Which algorithm a query should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -99,6 +104,12 @@ pub struct Options {
     /// `--exec-threads` (serve): shared execution-pool size for queries
     /// asking for `threads > 1` (default: available parallelism).
     pub exec_threads: Option<usize>,
+    /// `--trace` (serve): trace every query request.
+    pub trace: bool,
+    /// `--slow-ms` (serve): slow-query flight-recorder threshold.
+    pub slow_ms: Option<u64>,
+    /// `--access-log` (serve): per-request logfmt file path.
+    pub access_log: Option<String>,
 }
 
 /// Parses everything after the command word.
@@ -126,6 +137,9 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--cache-capacity" => o.cache_capacity = Some(value(args, &mut i, "--cache-capacity")?),
             "--deadline-ms" => o.deadline_ms = Some(value(args, &mut i, "--deadline-ms")?),
             "--exec-threads" => o.exec_threads = Some(value(args, &mut i, "--exec-threads")?),
+            "--trace" => o.trace = true,
+            "--slow-ms" => o.slow_ms = Some(value(args, &mut i, "--slow-ms")?),
+            "--access-log" => o.access_log = Some(raw_value(args, &mut i, "--access-log")?),
             "--algo" => {
                 let v = raw_value(args, &mut i, "--algo")?;
                 o.algo = match v.as_str() {
@@ -233,6 +247,20 @@ mod tests {
         assert_eq!(o.exec_threads, Some(3));
         assert!(parse(&["--queue-depth", "lots"]).is_err());
         assert!(parse(&["--addr"]).is_err());
+    }
+
+    #[test]
+    fn serve_tracing_options() {
+        let o =
+            parse(&["a.swop", "--trace", "--slow-ms", "50", "--access-log", "req.log"]).unwrap();
+        assert!(o.trace);
+        assert_eq!(o.slow_ms, Some(50));
+        assert_eq!(o.access_log.as_deref(), Some("req.log"));
+        assert!(parse(&["--slow-ms", "fast"]).is_err());
+        assert!(parse(&["--access-log"]).is_err());
+        let o = parse(&["a.swop"]).unwrap();
+        assert!(!o.trace);
+        assert_eq!((o.slow_ms, o.access_log), (None, None));
     }
 
     #[test]

@@ -396,6 +396,9 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         exec_threads: opts
             .exec_threads
             .unwrap_or_else(|| swope_server::ServerConfig::default().exec_threads),
+        trace: opts.trace,
+        slow_ms: opts.slow_ms.unwrap_or(250),
+        access_log: opts.access_log.clone(),
         ..swope_server::ServerConfig::default()
     };
     let server = swope_server::Server::bind(config).map_err(|e| format!("binding: {e}"))?;

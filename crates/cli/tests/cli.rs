@@ -215,6 +215,88 @@ fn serve_answers_health_and_queries() {
 }
 
 #[test]
+fn serve_access_log_records_requests_with_trace_ids() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let path = tmp("serve-log.swop");
+    let p = path.to_str().unwrap();
+    let o = swope(&["gen", "tiny", "--rows", "400", "--cols", "4", "--out", p]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let log_path = tmp("serve-access.log");
+    std::fs::remove_file(&log_path).ok();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_swope"))
+        .args([
+            "serve",
+            p,
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--slow-ms",
+            "0",
+            "--access-log",
+            log_path.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            let mut err = String::new();
+            let _ = child.stderr.take().unwrap().read_to_string(&mut err);
+            panic!("server exited before listening: {err}");
+        }
+        if let Some(rest) = line.trim().strip_prefix("listening on http://") {
+            break rest.to_owned();
+        }
+    };
+
+    let request = |raw: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    };
+
+    let health = request("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+    let traced = request(
+        "GET /query/entropy-topk?dataset=serve-log&k=1 HTTP/1.1\r\nHost: t\r\n\
+         X-Swope-Trace: abc123\r\n\r\n",
+    );
+    assert!(traced.starts_with("HTTP/1.1 200"), "{traced}");
+    assert!(traced.contains("X-Swope-Trace: 0000000000abc123"), "{traced}");
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Each served request left one flushed logfmt line.
+    let log = std::fs::read_to_string(&log_path).unwrap();
+    let health_line = log
+        .lines()
+        .find(|l| l.contains("path=/healthz"))
+        .unwrap_or_else(|| panic!("no /healthz line in:\n{log}"));
+    assert!(health_line.contains("method=GET"), "{health_line}");
+    assert!(health_line.contains("status=200"), "{health_line}");
+    assert!(health_line.contains("trace=-"), "{health_line}");
+    assert!(health_line.contains("dur_us="), "{health_line}");
+    let query_line = log
+        .lines()
+        .find(|l| l.contains("path=/query/entropy-topk"))
+        .unwrap_or_else(|| panic!("no query line in:\n{log}"));
+    assert!(query_line.contains("trace=0000000000abc123"), "{query_line}");
+    assert!(query_line.contains("cache=miss"), "{query_line}");
+    assert!(query_line.contains("bytes="), "{query_line}");
+    std::fs::remove_file(&log_path).ok();
+}
+
+#[test]
 fn target_by_name_resolves() {
     let path = tmp("byname.csv");
     std::fs::write(&path, "label,f1\n0,a\n1,b\n0,a\n1,b\n").unwrap();

@@ -287,15 +287,40 @@ fn worker_loop(shared: &PoolShared) {
 /// Either sequential (plain loop, no threads, no overhead) or backed by
 /// a shared [`ExecPool`]. Cloning is cheap and clones share the pool, so
 /// `swope-server` hands one process-wide executor to every request.
+///
+/// An executor may additionally carry a trace binding
+/// ([`with_trace`](Self::with_trace)): each pooled dispatch then records
+/// an `exec_dispatch` span into the bound sink. Sequential fan-outs and
+/// unbound executors never touch a clock.
 #[derive(Clone)]
 pub struct Executor {
     pool: Option<Arc<ExecPool>>,
+    trace: Option<ExecTrace>,
+}
+
+#[derive(Clone)]
+struct ExecTrace {
+    sink: Arc<swope_obs::trace::SpanSink>,
+    parent: u32,
+}
+
+impl ExecTrace {
+    fn dispatch_span(&self, start_ns: u64, items: usize) {
+        self.sink.record(
+            "exec_dispatch",
+            Some(self.parent),
+            start_ns,
+            self.sink.now_ns(),
+            0,
+            items as u64,
+        );
+    }
 }
 
 impl Executor {
     /// An executor that runs everything inline on the calling thread.
     pub fn sequential() -> Self {
-        Self { pool: None }
+        Self { pool: None, trace: None }
     }
 
     /// An executor of total parallelism `threads`: sequential when
@@ -304,13 +329,22 @@ impl Executor {
         if threads <= 1 {
             Self::sequential()
         } else {
-            Self { pool: Some(Arc::new(ExecPool::new(threads))) }
+            Self { pool: Some(Arc::new(ExecPool::new(threads))), trace: None }
         }
     }
 
     /// An executor sharing an existing pool (the server injection path).
     pub fn pooled(pool: Arc<ExecPool>) -> Self {
-        Self { pool: Some(pool) }
+        Self { pool: Some(pool), trace: None }
+    }
+
+    /// Binds a trace sink: every subsequent pooled dispatch through this
+    /// executor (or its clones) records an `exec_dispatch` span under
+    /// `parent`. Purely observational — scheduling and results are
+    /// unchanged, which `core/tests/trace_invariance.rs` enforces.
+    pub fn with_trace(mut self, sink: Arc<swope_obs::trace::SpanSink>, parent: u32) -> Self {
+        self.trace = Some(ExecTrace { sink, parent });
+        self
     }
 
     /// Total threads a fan-out may use (1 for sequential executors).
@@ -336,6 +370,7 @@ impl Executor {
         let len = items.len();
         if len > 1 {
             if let Some(pool) = &self.pool {
+                let start_ns = self.trace.as_ref().map(|t| t.sink.now_ns());
                 let base = SendPtr(items.as_mut_ptr());
                 pool.dispatch(len, |i| {
                     // SAFETY: each index is claimed exactly once, so the
@@ -343,6 +378,9 @@ impl Executor {
                     // blocks until every claim completes.
                     f(unsafe { &mut *base.get().add(i) });
                 });
+                if let (Some(t), Some(start)) = (&self.trace, start_ns) {
+                    t.dispatch_span(start, len);
+                }
                 return;
             }
         }
@@ -364,6 +402,7 @@ impl Executor {
         let len = a.len();
         if len > 1 {
             if let Some(pool) = &self.pool {
+                let start_ns = self.trace.as_ref().map(|t| t.sink.now_ns());
                 let pa = SendPtr(a.as_mut_ptr());
                 let pb = SendPtr(b.as_mut_ptr());
                 pool.dispatch(len, |i| {
@@ -371,6 +410,9 @@ impl Executor {
                     // distinct borrows, so pair `i` is touched once.
                     f(unsafe { &mut *pa.get().add(i) }, unsafe { &mut *pb.get().add(i) });
                 });
+                if let (Some(t), Some(start)) = (&self.trace, start_ns) {
+                    t.dispatch_span(start, len);
+                }
                 return;
             }
         }
@@ -425,6 +467,24 @@ mod tests {
         exec.for_each_mut(&mut items, |x| *x = 7);
         assert_eq!(items, vec![7]);
         assert_eq!(exec.stats().dispatches, 0);
+    }
+
+    #[test]
+    fn traced_executor_records_dispatch_spans() {
+        use swope_obs::trace::{SpanSink, TraceId};
+        let sink = SpanSink::new(TraceId(7));
+        let root = sink.open_at("request", None, 0);
+        let exec = Executor::new(3).with_trace(Arc::clone(&sink), root);
+        let mut items: Vec<u64> = (0..100).collect();
+        exec.for_each_mut(&mut items, |x| *x += 1);
+        let mut single = vec![9u64];
+        exec.for_each_mut(&mut single, |x| *x += 1); // inline: no span
+        let (spans, _) = sink.drain();
+        let dispatches: Vec<_> = spans.iter().filter(|s| s.name == "exec_dispatch").collect();
+        assert_eq!(dispatches.len(), 1);
+        assert_eq!(dispatches[0].parent, Some(root));
+        assert_eq!(dispatches[0].items, 100);
+        assert!(dispatches[0].end_ns >= dispatches[0].start_ns);
     }
 
     #[test]

@@ -90,3 +90,7 @@ pub use topk::{entropy_top_k, entropy_top_k_exec, entropy_top_k_observed};
 pub use swope_obs::{
     ComposedObserver, JsonlSink, MetricsRegistry, NoopObserver, Phase, QueryKind, QueryObserver,
 };
+
+// Re-export the storage layer's gather instrumentation for the server's
+// request tracer (the server depends on core, not on swope-store).
+pub use swope_store::gather_stats;

@@ -109,6 +109,21 @@ impl ObjectWriter {
         self
     }
 
+    /// Writes an explicit `null` field.
+    pub fn null_field(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Writes `raw` verbatim as the field value. The caller guarantees it
+    /// is well-formed JSON (used to nest arrays/objects built separately).
+    pub fn raw_field(&mut self, key: &str, raw: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(raw);
+        self
+    }
+
     /// Closes the object and returns the serialized text.
     pub fn finish(mut self) -> String {
         self.buf.push('}');
@@ -383,6 +398,18 @@ mod tests {
         assert_eq!(v.get("epsilon").unwrap().as_f64(), Some(0.1));
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("bad"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn null_and_raw_fields_nest() {
+        let mut inner = ObjectWriter::new();
+        inner.u64_field("id", 7);
+        let mut w = ObjectWriter::new();
+        w.null_field("parent").raw_field("spans", &format!("[{}]", inner.finish()));
+        let v = Json::parse(&w.finish()).unwrap();
+        assert_eq!(v.get("parent"), Some(&Json::Null));
+        let spans = v.get("spans").unwrap().as_array().unwrap();
+        assert_eq!(spans[0].get("id").unwrap().as_u64(), Some(7));
     }
 
     #[test]

@@ -55,6 +55,45 @@ impl<W: Write> JsonlSink<W> {
             self.error = Some(e);
         }
     }
+
+    fn flush(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.flush() {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Parses a JSONL event stream back into values, tolerating a truncated
+/// final record.
+///
+/// Sinks flush at `query_end`, so a crash (or a reader racing the writer)
+/// can leave at most one partial line at the end of the file — and only
+/// there. A final fragment without a trailing newline that fails to parse
+/// is silently skipped; a malformed *newline-terminated* line is still an
+/// error, because that indicates corruption, not truncation.
+pub fn parse_jsonl(text: &str) -> Result<Vec<crate::json::Json>, String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while !rest.is_empty() {
+        let (line, terminated, next) = match rest.find('\n') {
+            Some(i) => (&rest[..i], true, &rest[i + 1..]),
+            None => (rest, false, ""),
+        };
+        rest = next;
+        let line = line.trim_end_matches('\r');
+        if line.trim().is_empty() {
+            continue;
+        }
+        match crate::json::Json::parse(line) {
+            Ok(v) => out.push(v),
+            Err(_) if !terminated => break, // truncated tail, drop it
+            Err(e) => return Err(format!("bad JSONL line {}: {e}", out.len() + 1)),
+        }
+    }
+    Ok(out)
 }
 
 impl<W: Write> QueryObserver for JsonlSink<W> {
@@ -106,6 +145,10 @@ impl<W: Write> QueryObserver for JsonlSink<W> {
             .u64_field("rows_scanned", stats.rows_scanned)
             .bool_field("converged_early", stats.converged_early);
         self.emit(w.finish());
+        // Queries are complete units: flush so a tail of the file is never
+        // more than one query stale, even if the process dies before
+        // `finish()` runs.
+        self.flush();
     }
 }
 
@@ -185,5 +228,60 @@ mod tests {
         sink.iteration(1, 10, 5, 0.1);
         sink.iteration(2, 20, 5, 0.1); // swallowed, no panic
         assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn query_end_flushes_through_buffered_writers() {
+        // Shared byte buffer observed *without* calling finish(): only a
+        // flush can have pushed the lines through the BufWriter.
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let mut sink = JsonlSink::new(BufWriter::with_capacity(1 << 20, shared.clone()));
+        sink.iteration(1, 128, 20, 1.25);
+        assert!(shared.0.lock().unwrap().is_empty(), "BufWriter should still hold the line");
+        sink.query_end(&RunStats::default());
+        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2, "query_end must flush: {text:?}");
+        drop(sink);
+    }
+
+    #[test]
+    fn parse_jsonl_skips_truncated_final_line() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sample_events(&mut sink);
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+
+        // Cut mid-way through the final record (no trailing newline).
+        let cut = &text[..text.len() - 17];
+        assert!(!cut.ends_with('\n'));
+        let events = parse_jsonl(cut).unwrap();
+        assert_eq!(events.len(), 4, "truncated tail dropped");
+        assert_eq!(events[3].get("event").unwrap().as_str(), Some("attr_retired"));
+
+        // The intact stream parses fully, with or without final newline.
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 5);
+        assert_eq!(parse_jsonl(text.trim_end()).unwrap().len(), 5);
+
+        // A malformed line in the *middle* (newline-terminated) is real
+        // corruption and still errors.
+        let corrupt = text.replacen("\"iteration\"", "\"iteration", 1);
+        assert!(parse_jsonl(&corrupt).is_err());
+
+        // Blank lines are tolerated.
+        assert_eq!(parse_jsonl("\n\n{\"a\":1}\n\n").unwrap().len(), 1);
     }
 }

@@ -22,13 +22,19 @@
 //! nesting); `Option<O>` and `&mut O` also implement the trait, so call
 //! sites can assemble "JSONL if requested, metrics if requested" without
 //! boxing.
+//!
+//! The [`trace`] module builds on the same hooks to record per-request
+//! span trees ([`trace::TraceObserver`] into a [`trace::SpanSink`]) and
+//! keep a bounded flight recorder of finished traces
+//! ([`trace::TraceRecorder`]) behind the server's `/debug` endpoints.
 
 pub mod json;
 mod jsonl;
 mod metrics;
 pub mod names;
+pub mod trace;
 
-pub use jsonl::JsonlSink;
+pub use jsonl::{parse_jsonl, JsonlSink};
 pub use metrics::{Histogram, MetricsRegistry};
 
 /// Which adaptive query produced an event stream.

@@ -63,21 +63,84 @@ impl Histogram {
         &self.bounds
     }
 
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the observed values
+    /// by rank interpolation within the owning bucket.
+    ///
+    /// When the bucket bounds enumerate every distinct observed value the
+    /// estimate is exact; otherwise it is linear within one bucket. A
+    /// quantile landing in the overflow bucket is clamped to the last
+    /// finite bound (the histogram cannot know how far past it the tail
+    /// reaches). An empty histogram reports `0.0`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if cumulative + count >= rank {
+                if i == self.bounds.len() {
+                    break; // overflow bucket
+                }
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] } as f64;
+                let upper = self.bounds[i] as f64;
+                return lower + (upper - lower) * (rank - cumulative) as f64 / count as f64;
+            }
+            cumulative += count;
+        }
+        *self.bounds.last().unwrap() as f64
+    }
+
     /// Appends this histogram to `out` as a Prometheus `histogram` family
     /// named `name` (cumulative `_bucket{le=...}` lines plus `_sum` and
     /// `_count`). Public so other subsystems — e.g. the request-duration
     /// histogram in `swope-server` — render through the exact same shape.
     pub fn render_prometheus(&self, name: &str, out: &mut String) {
         let _ = writeln!(out, "# TYPE {name} histogram");
+        self.render_prometheus_labelled(name, "", out);
+    }
+
+    /// Like [`render_prometheus`](Self::render_prometheus) but with a
+    /// fixed label prefix (e.g. `endpoint="query_mi_top_k",dataset="d"`)
+    /// on every sample line and no `# TYPE` header — the caller emits one
+    /// header per family and then renders each labelled instance through
+    /// this. An empty `labels` renders the plain family.
+    pub fn render_prometheus_labelled(&self, name: &str, labels: &str, out: &mut String) {
+        let prefix = if labels.is_empty() { String::new() } else { format!("{labels},") };
         let mut cumulative = 0u64;
         for (i, &bound) in self.bounds.iter().enumerate() {
             cumulative += self.counts[i].load(Ordering::Relaxed);
-            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_bucket{{{prefix}le=\"{bound}\"}} {cumulative}");
         }
         cumulative += self.counts[self.bounds.len()].load(Ordering::Relaxed);
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-        let _ = writeln!(out, "{name}_sum {}", self.sum());
-        let _ = writeln!(out, "{name}_count {cumulative}");
+        let _ = writeln!(out, "{name}_bucket{{{prefix}le=\"+Inf\"}} {cumulative}");
+        if labels.is_empty() {
+            let _ = writeln!(out, "{name}_sum {}", self.sum());
+            let _ = writeln!(out, "{name}_count {cumulative}");
+        } else {
+            let _ = writeln!(out, "{name}_sum{{{labels}}} {}", self.sum());
+            let _ = writeln!(out, "{name}_count{{{labels}}} {cumulative}");
+        }
+    }
+
+    /// Appends p50/p95/p99 estimates as `<name>_approx_quantile` gauge
+    /// samples (`quantile="0.5" | "0.95" | "0.99"` labels, merged after
+    /// `labels` if non-empty). The caller emits the family's `# TYPE
+    /// <name>_approx_quantile gauge` header once.
+    pub fn render_quantiles(&self, name: &str, labels: &str, out: &mut String) {
+        let prefix = if labels.is_empty() { String::new() } else { format!("{labels},") };
+        for (q, tag) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            let _ = writeln!(
+                out,
+                "{name}_approx_quantile{{{prefix}quantile=\"{tag}\"}} {}",
+                self.quantile(q)
+            );
+        }
     }
 }
 
@@ -226,6 +289,21 @@ impl MetricsRegistry {
                 let _ = writeln!(out, "  le=+Inf  {}", counts[hist.bounds().len()]);
             }
         }
+        for (name, hist) in [
+            ("iterations_per_query", &self.iterations_per_query),
+            ("rows_scanned_per_query", &self.rows_scanned_per_query),
+        ] {
+            if hist.count() > 0 {
+                let _ = writeln!(
+                    out,
+                    "{:<29}  p50={:.1} p95={:.1} p99={:.1}",
+                    name,
+                    hist.quantile(0.5),
+                    hist.quantile(0.95),
+                    hist.quantile(0.99)
+                );
+            }
+        }
         out
     }
 
@@ -263,6 +341,14 @@ impl MetricsRegistry {
         self.retirement_iteration.render_prometheus("swope_retirement_iteration", &mut out);
         self.iterations_per_query.render_prometheus("swope_iterations_per_query", &mut out);
         self.rows_scanned_per_query.render_prometheus("swope_rows_scanned_per_query", &mut out);
+        for (name, hist) in [
+            ("swope_retirement_iteration", &self.retirement_iteration),
+            ("swope_iterations_per_query", &self.iterations_per_query),
+            ("swope_rows_scanned_per_query", &self.rows_scanned_per_query),
+        ] {
+            let _ = writeln!(out, "# TYPE {name}_approx_quantile gauge");
+            hist.render_quantiles(name, "", &mut out);
+        }
         out
     }
 }
@@ -340,6 +426,76 @@ mod tests {
     #[should_panic(expected = "ascend")]
     fn histogram_rejects_unsorted_bounds() {
         Histogram::new(vec![10, 10]);
+    }
+
+    #[test]
+    fn quantiles_exact_on_enumerating_bounds() {
+        // Bounds enumerate every distinct value, so rank interpolation
+        // must reproduce the textbook order statistics exactly.
+        let h = Histogram::new((1..=100).collect());
+        for v in 1..=100 {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.5), 50.0);
+        assert_eq!(h.quantile(0.95), 95.0);
+        assert_eq!(h.quantile(0.99), 99.0);
+        assert_eq!(h.quantile(0.01), 1.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new(vec![10, 20]);
+        for _ in 0..4 {
+            h.observe(5); // all mass in the first bucket
+        }
+        // Ranks 1..=4 of 4 spread linearly across (0, 10].
+        assert_eq!(h.quantile(0.25), 2.5);
+        assert_eq!(h.quantile(0.5), 5.0);
+        assert_eq!(h.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_last_bound_on_overflow() {
+        let h = Histogram::new(vec![10, 100]);
+        h.observe(5);
+        h.observe(1_000_000); // overflow bucket
+        assert_eq!(h.quantile(0.99), 100.0, "overflow clamps to last finite bound");
+        assert_eq!(h.quantile(0.25), 10.0, "sole observation owns its whole bucket");
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new(vec![1, 2]);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn labelled_exposition_is_valid() {
+        let h = Histogram::new(vec![10, 100]);
+        h.observe(7);
+        h.observe(70);
+        h.observe(700);
+        let mut out = String::new();
+        out.push_str("# TYPE lat histogram\n");
+        h.render_prometheus_labelled("lat", "endpoint=\"q\",dataset=\"d\"", &mut out);
+        assert!(out.contains("lat_bucket{endpoint=\"q\",dataset=\"d\",le=\"10\"} 1\n"), "{out}");
+        assert!(out.contains("lat_bucket{endpoint=\"q\",dataset=\"d\",le=\"+Inf\"} 3\n"), "{out}");
+        assert!(out.contains("lat_sum{endpoint=\"q\",dataset=\"d\"} 777\n"), "{out}");
+        assert!(out.contains("lat_count{endpoint=\"q\",dataset=\"d\"} 3\n"), "{out}");
+        // Every non-comment line is `name{labels} value` with a parseable
+        // value — the shape Prometheus' text parser requires.
+        for line in out.lines().filter(|l| !l.starts_with('#')) {
+            let (name_and_labels, value) = line.rsplit_once(' ').unwrap();
+            assert!(name_and_labels.starts_with("lat"), "{line}");
+            assert!(name_and_labels.ends_with('}'), "{line}");
+            value.parse::<f64>().unwrap();
+        }
+        // Labelled quantile gauges merge labels before the quantile tag.
+        let mut q = String::new();
+        h.render_quantiles("lat", "endpoint=\"q\",dataset=\"d\"", &mut q);
+        assert!(q.contains("lat_approx_quantile{endpoint=\"q\",dataset=\"d\",quantile=\"0.5\"}"));
+        assert_eq!(q.lines().count(), 3);
     }
 
     #[test]

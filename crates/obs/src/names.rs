@@ -68,3 +68,19 @@ pub const STORE_BYTES_SAVED: &str = "swope_store_bytes_saved";
 /// Gauge with a `width` label (`"u8"`/`"u16"`/`"u32"`): registered
 /// columns packed at each storage width.
 pub const STORE_COLUMNS: &str = "swope_store_columns";
+
+/// Histogram with `endpoint` and `dataset` labels: wall-clock
+/// microseconds per request, broken out by what was served and against
+/// which dataset (`dataset="-"` for non-query endpoints). Bounded
+/// cardinality: endpoints are a fixed vocabulary and datasets collapse
+/// into `other` past a cap.
+pub const HTTP_ENDPOINT_MICROS: &str = "swope_http_endpoint_duration_microseconds";
+
+/// Counter: traces captured by the flight recorder (one per traced
+/// request, whether client-initiated via `X-Swope-Trace` or enabled
+/// server-wide with `--trace`).
+pub const TRACES_RECORDED_TOTAL: &str = "swope_traces_recorded_total";
+
+/// Counter: traced requests whose wall time crossed the `--slow-ms`
+/// threshold and were retained in the slow ring (`GET /debug/slow`).
+pub const SLOW_QUERIES_TOTAL: &str = "swope_slow_queries_total";

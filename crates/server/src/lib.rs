@@ -36,10 +36,20 @@
 //! | `GET /query/mi-filter` | Algorithm 4 (`dataset`, `target`, `eta`) |
 //! | `GET /query/entropy-profile` | all-attribute entropy (`dataset`) |
 //! | `GET /query/mi-profile` | all-attribute MI (`dataset`, `target`) |
+//! | `GET /debug/traces` | recent request traces (span trees, JSON) |
+//! | `GET /debug/slow` | slow-query flight recorder (wall ≥ `slow_ms`) |
 //!
 //! Query endpoints share optional `epsilon`, `pf`, `seed`, and `threads`
 //! parameters with the same defaults as the CLI, so the server is a
 //! transport around the exact same computation.
+//!
+//! Any query request carrying an `X-Swope-Trace` header (or every query,
+//! when serving with tracing on) is recorded as a span tree — queue
+//! wait, cache lookup, the adaptive loop's phases, pooled exec
+//! dispatches, and aggregate store-gather time — retrievable from the
+//! `/debug` endpoints; the trace id is echoed back in the response's
+//! `X-Swope-Trace` header. See `docs/observability.md` for the span
+//! schema and curl recipes.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

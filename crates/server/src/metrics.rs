@@ -9,8 +9,10 @@
 //! concatenates both layers plus cache and registry gauges into one
 //! exposition document for `GET /metrics`.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use swope_core::ExecStats;
 use swope_obs::{names, Histogram, MetricsRegistry};
@@ -21,6 +23,11 @@ use crate::registry::StoreStats;
 /// Response status classes tracked by [`ServerMetrics`].
 const CLASSES: [&str; 4] = ["2xx", "3xx", "4xx", "5xx"];
 
+/// Cap on distinct `(endpoint, dataset)` latency families; past it new
+/// pairs collapse into `("other", "other")` so a client inventing dataset
+/// names cannot grow the scrape without bound.
+const MAX_LABELLED: usize = 64;
+
 /// Atomic HTTP-layer counters plus the shared query-metrics registry.
 pub struct ServerMetrics {
     /// Query-level aggregates; the adaptive loops observe into this.
@@ -30,6 +37,10 @@ pub struct ServerMetrics {
     rejected: AtomicU64,
     deadline_expired: AtomicU64,
     request_micros: Histogram,
+    /// Per-`(endpoint, dataset)` latency histograms. A `Mutex` (not a
+    /// lock-free map) is fine here: the critical section is one BTreeMap
+    /// lookup, and the interesting work per request dwarfs it.
+    labelled_micros: Mutex<BTreeMap<(String, String), Histogram>>,
 }
 
 impl ServerMetrics {
@@ -44,6 +55,7 @@ impl ServerMetrics {
             // Latencies span cache hits (~tens of µs) to large adaptive
             // scans; powers of four from 64 µs to ~4.3 s.
             request_micros: Histogram::new((3..=16).map(|i| 1u64 << (2 * i)).collect()),
+            labelled_micros: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -63,6 +75,24 @@ impl ServerMetrics {
         };
         self.responses[idx].fetch_add(1, Ordering::Relaxed);
         self.request_micros.observe(micros);
+    }
+
+    /// Records the same response duration under its `(endpoint, dataset)`
+    /// labels. `endpoint` comes from the fixed route vocabulary and
+    /// `dataset` from the query's `dataset` parameter (`-` elsewhere);
+    /// both are sanitized to label-safe characters and the family count is
+    /// capped at [`MAX_LABELLED`].
+    pub fn record_labelled(&self, endpoint: &str, dataset: &str, micros: u64) {
+        let key = (sanitize_label(endpoint), sanitize_label(dataset));
+        let mut map = self.labelled_micros.lock().unwrap();
+        let key = if map.contains_key(&key) || map.len() < MAX_LABELLED {
+            key
+        } else {
+            ("other".into(), "other".into())
+        };
+        map.entry(key)
+            .or_insert_with(|| Histogram::new((3..=16).map(|i| 1u64 << (2 * i)).collect()))
+            .observe(micros);
     }
 
     /// Records a load-shed rejection (503 from the accept loop).
@@ -91,8 +121,8 @@ impl ServerMetrics {
     }
 
     /// Renders the full `/metrics` document: HTTP counters, cache
-    /// counters, live gauges, execution-pool and storage-layer stats,
-    /// then the query-level registry.
+    /// counters, live gauges, execution-pool, storage-layer, and
+    /// flight-recorder stats, then the query-level registry.
     pub fn render_prometheus(
         &self,
         cache: &ResultCache,
@@ -100,6 +130,7 @@ impl ServerMetrics {
         datasets_loaded: usize,
         exec: ExecStats,
         store: StoreStats,
+        traces: TraceCounters,
     ) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "# TYPE {} counter", names::HTTP_REQUESTS_TOTAL);
@@ -152,10 +183,65 @@ impl ServerMetrics {
         {
             let _ = writeln!(out, "{}{{width=\"{width}\"}} {value}", names::STORE_COLUMNS);
         }
+        for (name, value) in [
+            (names::TRACES_RECORDED_TOTAL, traces.recorded),
+            (names::SLOW_QUERIES_TOTAL, traces.slow),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
         self.request_micros.render_prometheus(names::HTTP_REQUEST_MICROS, &mut out);
+        let _ = writeln!(out, "# TYPE {}_approx_quantile gauge", names::HTTP_REQUEST_MICROS);
+        self.request_micros.render_quantiles(names::HTTP_REQUEST_MICROS, "", &mut out);
+        {
+            let map = self.labelled_micros.lock().unwrap();
+            if !map.is_empty() {
+                let _ = writeln!(out, "# TYPE {} histogram", names::HTTP_ENDPOINT_MICROS);
+                for ((endpoint, dataset), hist) in map.iter() {
+                    let labels = format!("endpoint=\"{endpoint}\",dataset=\"{dataset}\"");
+                    hist.render_prometheus_labelled(names::HTTP_ENDPOINT_MICROS, &labels, &mut out);
+                }
+                let _ =
+                    writeln!(out, "# TYPE {}_approx_quantile gauge", names::HTTP_ENDPOINT_MICROS);
+                for ((endpoint, dataset), hist) in map.iter() {
+                    let labels = format!("endpoint=\"{endpoint}\",dataset=\"{dataset}\"");
+                    hist.render_quantiles(names::HTTP_ENDPOINT_MICROS, &labels, &mut out);
+                }
+            }
+        }
         out.push_str(&self.registry.render_prometheus());
         out
     }
+}
+
+/// Flight-recorder totals passed into the `/metrics` render (the recorder
+/// lives beside — not inside — the metrics, so the server snapshots it).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceCounters {
+    /// Traces recorded since startup.
+    pub recorded: u64,
+    /// Traces that crossed the slow threshold since startup.
+    pub slow: u64,
+}
+
+/// Restricts a label value to Prometheus-safe characters. Endpoint names
+/// are a fixed vocabulary already; dataset names are user input and get
+/// mapped onto `[A-Za-z0-9_:.-]` (at most 64 chars) so a hostile name
+/// cannot break exposition syntax.
+fn sanitize_label(value: &str) -> String {
+    value
+        .chars()
+        .take(64)
+        .map(
+            |c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '_' | ':' | '.' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            },
+        )
+        .collect()
 }
 
 impl Default for ServerMetrics {
@@ -189,7 +275,8 @@ mod tests {
             columns_u16: 1,
             columns_u32: 0,
         };
-        let text = m.render_prometheus(&cache, 3, 2, exec, store);
+        let text =
+            m.render_prometheus(&cache, 3, 2, exec, store, TraceCounters { recorded: 4, slow: 1 });
         assert!(text.contains(&format!("{} 2\n", names::HTTP_REQUESTS_TOTAL)));
         assert!(text.contains(&format!("{}{{class=\"2xx\"}} 1", names::HTTP_RESPONSES_TOTAL)));
         assert!(text.contains(&format!("{}{{class=\"4xx\"}} 1", names::HTTP_RESPONSES_TOTAL)));
@@ -206,7 +293,62 @@ mod tests {
         assert!(text.contains(&format!("{}{{width=\"u16\"}} 1", names::STORE_COLUMNS)));
         assert!(text.contains(&format!("{}{{width=\"u32\"}} 0", names::STORE_COLUMNS)));
         assert!(text.contains(&format!("{}_count 2", names::HTTP_REQUEST_MICROS)));
+        assert!(text.contains(&format!("{} 4\n", names::TRACES_RECORDED_TOTAL)));
+        assert!(text.contains(&format!("{} 1\n", names::SLOW_QUERIES_TOTAL)));
+        // Latency quantile gauges ride along with the histogram.
+        assert!(text.contains(&format!(
+            "{}_approx_quantile{{quantile=\"0.99\"}}",
+            names::HTTP_REQUEST_MICROS
+        )));
         // The query-level registry rides along in the same document.
         assert!(text.contains("swope_queries_total"));
+    }
+
+    #[test]
+    fn labelled_latency_families_render_and_cap() {
+        let m = ServerMetrics::new();
+        m.record_labelled("query_entropy_top_k", "households", 120);
+        m.record_labelled("query_entropy_top_k", "households", 90_000);
+        m.record_labelled("healthz", "-", 10);
+        // A hostile dataset name cannot break exposition syntax.
+        m.record_labelled("query_mi_top_k", "we\"ird{} name", 50);
+        let text = m.render_prometheus(
+            &ResultCache::new(4),
+            0,
+            0,
+            ExecStats::default(),
+            StoreStats::default(),
+            TraceCounters::default(),
+        );
+        let fam = names::HTTP_ENDPOINT_MICROS;
+        assert!(text.contains(&format!("# TYPE {fam} histogram")));
+        assert!(text.contains(&format!(
+            "{fam}_count{{endpoint=\"query_entropy_top_k\",dataset=\"households\"}} 2"
+        )));
+        assert!(text.contains(&format!("{fam}_count{{endpoint=\"healthz\",dataset=\"-\"}} 1")));
+        assert!(
+            text.contains(&format!(
+                "{fam}_sum{{endpoint=\"query_mi_top_k\",dataset=\"we_ird___name\"}} 50"
+            )),
+            "{text}"
+        );
+        assert!(text.contains(&format!(
+            "{fam}_approx_quantile{{endpoint=\"healthz\",dataset=\"-\",quantile=\"0.5\"}}"
+        )));
+        // Past the cardinality cap, new pairs collapse into other/other.
+        for i in 0..(MAX_LABELLED + 10) {
+            m.record_labelled("query_mi_top_k", &format!("ds{i}"), 10);
+        }
+        let text = m.render_prometheus(
+            &ResultCache::new(4),
+            0,
+            0,
+            ExecStats::default(),
+            StoreStats::default(),
+            TraceCounters::default(),
+        );
+        assert!(text.contains(&format!("{fam}_count{{endpoint=\"other\",dataset=\"other\"}}")));
+        let families = text.matches(&format!("{fam}_count{{")).count();
+        assert!(families <= MAX_LABELLED + 1, "cardinality exploded: {families}");
     }
 }

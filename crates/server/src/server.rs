@@ -10,22 +10,37 @@
 //! answers 503 without running the query. Shutdown (via
 //! [`ServerHandle::shutdown`] or, when enabled, SIGINT/SIGTERM) stops the
 //! accept loop and drains every queued connection before `run` returns.
+//!
+//! ## Request tracing
+//!
+//! Every `/query/*` request is traced when the server runs with
+//! `trace: true` or when the client sends an `X-Swope-Trace` header
+//! (any 1–16 hex digits; an unparseable value gets a fresh id). The
+//! trace's clock is anchored at the *accept* timestamp, so `start_ns: 0`
+//! is the moment the connection was accepted and the root `request`
+//! span's children expose queue wait directly. Finished traces land in a
+//! bounded [`TraceRecorder`] behind `GET /debug/traces`, with slow ones
+//! (wall time ≥ `slow_ms`) retained preferentially behind
+//! `GET /debug/slow`. The trace id is echoed back in the response's
+//! `X-Swope-Trace` header in canonical 16-hex-digit form.
 
-use std::io::{BufReader, Write as _};
+use std::fs::OpenOptions;
+use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime};
 
 use swope_columnar::Dataset;
-use swope_core::Executor;
+use swope_core::{gather_stats, ComposedObserver, Executor};
 use swope_obs::json::Json;
+use swope_obs::trace::{SpanSink, TraceId, TraceObserver, TraceRecord, TraceRecorder};
 
 use crate::cache::ResultCache;
 use crate::http::{read_request, HttpError, Request, Response};
-use crate::metrics::ServerMetrics;
+use crate::metrics::{ServerMetrics, TraceCounters};
 use crate::pool::{QueueWatcher, WorkerPool};
-use crate::query::{cache_key, parse_spec, run_query};
+use crate::query::{cache_key, parse_spec, run_query, QuerySpec};
 use crate::registry::DatasetRegistry;
 use crate::signal;
 
@@ -58,6 +73,15 @@ pub struct ServerConfig {
     /// pays thread-spawn latency. Defaults to the machine's available
     /// parallelism.
     pub exec_threads: usize,
+    /// Trace every query request (otherwise only requests carrying an
+    /// `X-Swope-Trace` header are traced). Also enables the storage
+    /// layer's gather timing, so traces include `store_gather` spans.
+    pub trace: bool,
+    /// Wall-time threshold above which a traced request is retained in
+    /// the slow-query flight recorder (`GET /debug/slow`).
+    pub slow_ms: u64,
+    /// Append one logfmt line per served request to this file.
+    pub access_log: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -73,8 +97,19 @@ impl Default for ServerConfig {
             max_support: 1000,
             handle_signals: false,
             exec_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            trace: false,
+            slow_ms: 250,
+            access_log: None,
         }
     }
+}
+
+/// Per-request context threaded from the accept loop into routing: when
+/// the connection was accepted (the traced clock's zero point) and
+/// whether tracing is on for everyone or only header-opt-in requests.
+struct RequestContext {
+    accepted_at: Instant,
+    trace_default: bool,
 }
 
 /// State shared by the accept loop, the workers, and [`ServerHandle`]s.
@@ -86,6 +121,12 @@ struct Shared {
     /// clone this (sharing the parked workers), `threads <= 1` runs
     /// inline on the HTTP worker.
     exec: Executor,
+    /// Flight recorder of finished traces behind `/debug/traces` and
+    /// `/debug/slow`.
+    recorder: TraceRecorder,
+    /// Open access-log writer; one logfmt line per parsed request,
+    /// flushed per line so `tail -f` works.
+    access_log: Option<Mutex<BufWriter<std::fs::File>>>,
     stop: AtomicBool,
 }
 
@@ -111,15 +152,30 @@ impl ServerHandle {
 
 impl Server {
     /// Binds the listen socket (nonblocking, so the accept loop can poll
-    /// shutdown flags) and builds the shared state.
+    /// shutdown flags), opens the access log if configured, and builds
+    /// the shared state.
     pub fn bind(config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        let access_log = match &config.access_log {
+            Some(path) => {
+                let file = OpenOptions::new().create(true).append(true).open(path)?;
+                Some(Mutex::new(BufWriter::new(file)))
+            }
+            None => None,
+        };
+        if config.trace {
+            // Gather timing is process-global (it runs on exec workers far
+            // below any request context); flip it on once at startup.
+            gather_stats::set_enabled(true);
+        }
         let shared = Arc::new(Shared {
             registry: DatasetRegistry::new(config.max_support),
             cache: ResultCache::new(config.cache_capacity),
             metrics: ServerMetrics::new(),
             exec: Executor::new(config.exec_threads),
+            recorder: TraceRecorder::with_slow_ms(config.slow_ms),
+            access_log,
             stop: AtomicBool::new(false),
         });
         Ok(Self { listener, config: Arc::new(config), shared })
@@ -230,7 +286,15 @@ fn handle_connection(
         Err(_) => return,
     });
     let response = match read_request(&mut reader, config.max_body_bytes) {
-        Ok(req) => route(&req, shared, watcher),
+        Ok(req) => {
+            let ctx = RequestContext { accepted_at, trace_default: config.trace };
+            let resp = route(&req, shared, watcher, &ctx);
+            let micros = accepted_at.elapsed().as_micros() as u64;
+            let dataset = req.param("dataset").unwrap_or("-");
+            shared.metrics.record_labelled(endpoint_label(&req.path), dataset, micros);
+            log_access(shared, &req, &resp, micros);
+            resp
+        }
         Err(HttpError::ConnectionClosed) => return,
         Err(HttpError::Io(_)) => return,
         Err(e @ HttpError::BodyTooLarge { .. }) => Response::error(413, &e.to_string()),
@@ -240,8 +304,56 @@ fn handle_connection(
     shared.metrics.record_response(response.status, accepted_at.elapsed().as_micros() as u64);
 }
 
+/// The fixed label vocabulary for per-endpoint latency families — a
+/// closed set so an attacker probing random paths cannot mint metric
+/// label values (those all collapse into `other`/`query_other`).
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/datasets" => "datasets",
+        "/debug/traces" => "debug_traces",
+        "/debug/slow" => "debug_slow",
+        _ if path.starts_with("/query/") => match &path["/query/".len()..] {
+            "entropy-topk" => "query_entropy_top_k",
+            "entropy-filter" => "query_entropy_filter",
+            "mi-topk" => "query_mi_top_k",
+            "mi-filter" => "query_mi_filter",
+            "entropy-profile" => "query_entropy_profile",
+            "mi-profile" => "query_mi_profile",
+            _ => "query_other",
+        },
+        _ => "other",
+    }
+}
+
+/// Appends one logfmt line for a served request and flushes it.
+fn log_access(shared: &Shared, req: &Request, resp: &Response, micros: u64) {
+    let Some(log) = &shared.access_log else { return };
+    let ts = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let header = |name: &str| {
+        resp.extra_headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str()).unwrap_or("-")
+    };
+    let line = format!(
+        "ts={ts} method={} path={} status={} bytes={} dur_us={micros} trace={} cache={}\n",
+        req.method,
+        req.path,
+        resp.status,
+        resp.body.len(),
+        header("X-Swope-Trace"),
+        header("X-Swope-Cache"),
+    );
+    if let Ok(mut w) = log.lock() {
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+}
+
 /// Dispatches a parsed request to an endpoint.
-fn route(req: &Request, shared: &Shared, watcher: &QueueWatcher) -> Response {
+fn route(req: &Request, shared: &Shared, watcher: &QueueWatcher, ctx: &RequestContext) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(shared, watcher),
         ("GET", "/metrics") => Response::text(
@@ -252,14 +364,20 @@ fn route(req: &Request, shared: &Shared, watcher: &QueueWatcher) -> Response {
                 shared.registry.len(),
                 shared.exec.stats(),
                 shared.registry.store_stats(),
+                TraceCounters {
+                    recorded: shared.recorder.recorded_total(),
+                    slow: shared.recorder.slow_total(),
+                },
             ),
         ),
         ("GET", "/datasets") => list_datasets(shared),
         ("POST", "/datasets") => load_dataset(req, shared),
+        ("GET", "/debug/traces") => Response::json(200, shared.recorder.recent_json()),
+        ("GET", "/debug/slow") => Response::json(200, shared.recorder.slow_json()),
         ("GET", path) if path.starts_with("/query/") => {
-            serve_query(&path["/query/".len()..], req, shared)
+            serve_query(&path["/query/".len()..], req, shared, ctx)
         }
-        (_, "/healthz" | "/metrics" | "/datasets") => {
+        (_, "/healthz" | "/metrics" | "/datasets" | "/debug/traces" | "/debug/slow") => {
             Response::error(405, &format!("method {} not allowed here", req.method))
         }
         (_, path) if path.starts_with("/query/") => {
@@ -319,24 +437,102 @@ fn load_dataset(req: &Request, shared: &Shared) -> Response {
 }
 
 /// `GET /query/<shape>`: cache lookup, then the adaptive loop on a miss.
-fn serve_query(segment: &str, req: &Request, shared: &Shared) -> Response {
+/// Traced when the server traces by default or the request carries an
+/// `X-Swope-Trace` header.
+fn serve_query(segment: &str, req: &Request, shared: &Shared, ctx: &RequestContext) -> Response {
     let spec = match parse_spec(segment, req) {
         Ok(spec) => spec,
         Err(msg) => return Response::error(400, &msg),
     };
+    let header = req.header("x-swope-trace");
+    if !(ctx.trace_default || header.is_some()) {
+        return execute_query(&spec, shared, None);
+    }
+    // A malformed header value still gets a trace — just under a fresh id.
+    let trace_id = header.and_then(TraceId::parse).unwrap_or_else(TraceId::next_seeded);
+    let sink = SpanSink::anchored(trace_id, ctx.accepted_at);
+    let root = sink.open_at("request", None, 0);
+    sink.set_items(root, req.body.len() as u64);
+    // Everything between accept and this point: queue wait + parsing.
+    sink.record("queue_wait", Some(root), 0, sink.now_ns(), 0, 0);
+    let response = execute_query(&spec, shared, Some((&sink, root)));
+    sink.close(root);
+    let wall_ns = sink.now_ns();
+    let (spans, dropped_spans) = sink.drain();
+    let cache = response
+        .extra_headers
+        .iter()
+        .find(|(k, _)| k == "X-Swope-Cache")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| "-".into());
+    shared.recorder.record(TraceRecord {
+        trace_id: sink.trace_id().to_string(),
+        endpoint: endpoint_label(&req.path).to_owned(),
+        dataset: spec.dataset.clone(),
+        status: response.status,
+        cache,
+        wall_ns,
+        dropped_spans,
+        spans,
+    });
+    response.with_header("X-Swope-Trace", &sink.trace_id().to_string())
+}
+
+/// Runs a parsed query spec: registry lookup, cache, then the adaptive
+/// loop. With a trace attached, records `cache_lookup`, the query's span
+/// tree (via [`TraceObserver`]), `exec_dispatch` spans from the pooled
+/// executor, and an aggregate `store_gather` span from the storage
+/// layer's global gather counters (exact when one query runs at a time;
+/// approximate under concurrent traced queries).
+fn execute_query(
+    spec: &QuerySpec,
+    shared: &Shared,
+    trace: Option<(&Arc<SpanSink>, u32)>,
+) -> Response {
     let Some(entry) = shared.registry.get(&spec.dataset) else {
         return Response::error(404, &format!("no dataset named {:?} is loaded", spec.dataset));
     };
-    let key = cache_key(&spec, entry.generation);
-    if let Some(body) = shared.cache.get(&key) {
+    let key = cache_key(spec, entry.generation);
+    let lookup = trace.map(|(sink, root)| sink.open("cache_lookup", Some(root)));
+    let cached = shared.cache.get(&key);
+    if let (Some((sink, _)), Some(span)) = (trace, lookup) {
+        sink.close(span);
+    }
+    if let Some(body) = cached {
         return Response::json(200, body.as_str()).with_header("X-Swope-Cache", "hit");
     }
     // Single-threaded queries run inline on the HTTP worker; anything
     // else shares the process-wide pool. Either way the answer bytes are
     // identical (the loops are executor-invariant), so cached bodies stay
-    // valid across the choice.
+    // valid across the choice — and so does tracing, which is purely
+    // observational (enforced by `core/tests/trace_invariance.rs`).
     let exec = if spec.threads <= 1 { Executor::sequential() } else { shared.exec.clone() };
-    match run_query(&entry, &spec, &exec, &mut &shared.metrics.registry) {
+    let result = match trace {
+        None => run_query(&entry, spec, &exec, &mut &shared.metrics.registry),
+        Some((sink, root)) => {
+            let exec = exec.with_trace(Arc::clone(sink), root);
+            let mut obs = ComposedObserver::new(
+                TraceObserver::new(Arc::clone(sink), Some(root)),
+                &shared.metrics.registry,
+            );
+            let start_ns = sink.now_ns();
+            let before = gather_stats::snapshot();
+            let result = run_query(&entry, spec, &exec, &mut obs);
+            let delta = gather_stats::snapshot().since(before);
+            if delta.calls > 0 {
+                sink.record(
+                    "store_gather",
+                    Some(root),
+                    start_ns,
+                    start_ns + delta.nanos,
+                    0,
+                    delta.rows,
+                );
+            }
+            result
+        }
+    };
+    match result {
         Ok(body) => {
             let body = Arc::new(body);
             shared.cache.put(key, Arc::clone(&body));
@@ -357,6 +553,8 @@ mod tests {
             cache: ResultCache::new(8),
             metrics: ServerMetrics::new(),
             exec: Executor::new(2),
+            recorder: TraceRecorder::with_slow_ms(0),
+            access_log: None,
             stop: AtomicBool::new(false),
         };
         let mut b = DatasetBuilder::new(vec!["a".into(), "b".into()]);
@@ -370,6 +568,10 @@ mod tests {
         (shared, watcher)
     }
 
+    fn ctx() -> RequestContext {
+        RequestContext { accepted_at: Instant::now(), trace_default: false }
+    }
+
     fn get(path: &str) -> Request {
         let (path, query) = match path.split_once('?') {
             Some((p, q)) => (p.to_owned(), crate::http::parse_query(q)),
@@ -381,35 +583,38 @@ mod tests {
     #[test]
     fn routes_cover_ops_endpoints() {
         let (shared, watcher) = shared_with_dataset();
-        assert_eq!(route(&get("/healthz"), &shared, &watcher).status, 200);
-        let metrics = route(&get("/metrics"), &shared, &watcher);
+        assert_eq!(route(&get("/healthz"), &shared, &watcher, &ctx()).status, 200);
+        let metrics = route(&get("/metrics"), &shared, &watcher, &ctx());
         assert_eq!(metrics.status, 200);
         assert!(String::from_utf8(metrics.body.clone())
             .unwrap()
             .contains("swope_http_requests_total"));
-        assert_eq!(route(&get("/datasets"), &shared, &watcher).status, 200);
-        assert_eq!(route(&get("/nope"), &shared, &watcher).status, 404);
+        assert_eq!(route(&get("/datasets"), &shared, &watcher, &ctx()).status, 200);
+        assert_eq!(route(&get("/nope"), &shared, &watcher, &ctx()).status, 404);
         let mut del = get("/healthz");
         del.method = "DELETE".into();
-        assert_eq!(route(&del, &shared, &watcher).status, 405);
+        assert_eq!(route(&del, &shared, &watcher, &ctx()).status, 405);
     }
 
     #[test]
     fn query_route_caches_and_errors() {
         let (shared, watcher) = shared_with_dataset();
         let req = get("/query/entropy-topk?dataset=t&k=1");
-        let first = route(&req, &shared, &watcher);
+        let first = route(&req, &shared, &watcher, &ctx());
         assert_eq!(first.status, 200);
         assert!(first.extra_headers.iter().any(|(_, v)| v == "miss"));
-        let second = route(&req, &shared, &watcher);
+        let second = route(&req, &shared, &watcher, &ctx());
         assert!(second.extra_headers.iter().any(|(_, v)| v == "hit"));
         assert_eq!(first.body, second.body);
-        assert_eq!(route(&get("/query/entropy-topk?dataset=t"), &shared, &watcher).status, 400);
         assert_eq!(
-            route(&get("/query/entropy-topk?dataset=gone&k=1"), &shared, &watcher).status,
+            route(&get("/query/entropy-topk?dataset=t"), &shared, &watcher, &ctx()).status,
+            400
+        );
+        assert_eq!(
+            route(&get("/query/entropy-topk?dataset=gone&k=1"), &shared, &watcher, &ctx()).status,
             404
         );
-        assert_eq!(route(&get("/query/bogus?dataset=t"), &shared, &watcher).status, 400);
+        assert_eq!(route(&get("/query/bogus?dataset=t"), &shared, &watcher, &ctx()).status, 400);
     }
 
     #[test]
@@ -429,7 +634,7 @@ mod tests {
             headers: Vec::new(),
             body: body.into_bytes(),
         };
-        assert_eq!(route(&req, &shared, &watcher).status, 201);
+        assert_eq!(route(&req, &shared, &watcher, &ctx()).status, 201);
         assert!(shared.registry.get("extra").is_some());
         let bad = Request {
             method: "POST".into(),
@@ -438,7 +643,87 @@ mod tests {
             headers: Vec::new(),
             body: b"{\"path\":\"/no/such.swop\"}".to_vec(),
         };
-        assert_eq!(route(&bad, &shared, &watcher).status, 422);
+        assert_eq!(route(&bad, &shared, &watcher, &ctx()).status, 422);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn traced_query_records_span_tree_and_echoes_id() {
+        let (shared, watcher) = shared_with_dataset();
+        let mut req = get("/query/entropy-topk?dataset=t&k=1");
+        req.headers.push(("x-swope-trace".into(), "deadbeef".into()));
+        let resp = route(&req, &shared, &watcher, &ctx());
+        assert_eq!(resp.status, 200);
+        assert!(
+            resp.extra_headers.iter().any(|(k, v)| k == "X-Swope-Trace" && v == "00000000deadbeef"),
+            "trace id not echoed canonically: {:?}",
+            resp.extra_headers
+        );
+        assert_eq!(shared.recorder.recorded_total(), 1);
+        let json = shared.recorder.recent_json();
+        for name in [
+            "request",
+            "queue_wait",
+            "cache_lookup",
+            "query:entropy_top_k",
+            "sample_grow",
+            "ingest",
+            "update_bounds",
+            "decide",
+        ] {
+            assert!(json.contains(&format!("\"name\":\"{name}\"")), "missing {name} in {json}");
+        }
+        assert!(json.contains("\"trace_id\":\"00000000deadbeef\""));
+        assert!(json.contains("\"endpoint\":\"query_entropy_top_k\""));
+        // Cache hits are traced too, tagged with the outcome.
+        let hit = route(&req, &shared, &watcher, &ctx());
+        assert!(hit.extra_headers.iter().any(|(_, v)| v == "hit"));
+        assert_eq!(shared.recorder.recorded_total(), 2);
+        assert!(shared.recorder.recent_json().contains("\"cache\":\"hit\""));
+        // With slow_ms = 0 every traced request lands in the flight recorder.
+        assert_eq!(shared.recorder.slow_total(), 2);
+        assert!(shared.recorder.slow_json().contains("\"trace_id\":\"00000000deadbeef\""));
+        // Untraced requests leave no record.
+        let plain = route(&get("/query/entropy-topk?dataset=t&k=2"), &shared, &watcher, &ctx());
+        assert_eq!(plain.status, 200);
+        assert!(plain.extra_headers.iter().all(|(k, _)| k != "X-Swope-Trace"));
+        assert_eq!(shared.recorder.recorded_total(), 2);
+    }
+
+    #[test]
+    fn trace_default_traces_without_header() {
+        let (shared, watcher) = shared_with_dataset();
+        let req = get("/query/entropy-profile?dataset=t");
+        let ctx = RequestContext { accepted_at: Instant::now(), trace_default: true };
+        let resp = route(&req, &shared, &watcher, &ctx);
+        assert_eq!(resp.status, 200);
+        assert!(resp.extra_headers.iter().any(|(k, _)| k == "X-Swope-Trace"));
+        assert_eq!(shared.recorder.recorded_total(), 1);
+        assert!(shared.recorder.recent_json().contains("query:entropy_profile"));
+    }
+
+    #[test]
+    fn debug_endpoints_serve_json_and_reject_writes() {
+        let (shared, watcher) = shared_with_dataset();
+        for path in ["/debug/traces", "/debug/slow"] {
+            let resp = route(&get(path), &shared, &watcher, &ctx());
+            assert_eq!(resp.status, 200);
+            let body = String::from_utf8(resp.body).unwrap();
+            let v = Json::parse(&body).unwrap();
+            assert_eq!(v.get("recorded_total").unwrap().as_u64(), Some(0));
+            let mut post = get(path);
+            post.method = "POST".into();
+            assert_eq!(route(&post, &shared, &watcher, &ctx()).status, 405);
+        }
+    }
+
+    #[test]
+    fn endpoint_labels_are_a_closed_vocabulary() {
+        assert_eq!(endpoint_label("/healthz"), "healthz");
+        assert_eq!(endpoint_label("/query/entropy-topk"), "query_entropy_top_k");
+        assert_eq!(endpoint_label("/query/mi-profile"), "query_mi_profile");
+        assert_eq!(endpoint_label("/query/../etc/passwd"), "query_other");
+        assert_eq!(endpoint_label("/debug/slow"), "debug_slow");
+        assert_eq!(endpoint_label("/anything-else"), "other");
     }
 }

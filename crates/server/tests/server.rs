@@ -437,6 +437,91 @@ fn datasets_report_column_widths_and_store_metrics() {
 }
 
 #[test]
+fn traced_request_round_trips_span_tree_through_debug_endpoints() {
+    let server = TestServer::start(ServerConfig { slow_ms: 0, ..ServerConfig::default() });
+    let reply = send_raw(
+        server.addr,
+        "GET /query/entropy-topk?dataset=tiny&k=2 HTTP/1.1\r\nHost: test\r\n\
+         X-Swope-Trace: deadbeef1234\r\n\r\n",
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(reply.header("x-swope-trace"), Some("0000deadbeef1234"), "canonical echo");
+    assert_eq!(reply.header("x-swope-cache"), Some("miss"));
+
+    let traces = get(server.addr, "/debug/traces");
+    assert_eq!(traces.status, 200);
+    let v = Json::parse(&traces.body).unwrap();
+    assert_eq!(v.get("recorded_total").unwrap().as_u64(), Some(1));
+    let Json::Arr(list) = v.get("traces").unwrap() else { panic!("traces not an array") };
+    let t = &list[0];
+    assert_eq!(t.get("trace_id").unwrap().as_str(), Some("0000deadbeef1234"));
+    assert_eq!(t.get("endpoint").unwrap().as_str(), Some("query_entropy_top_k"));
+    assert_eq!(t.get("dataset").unwrap().as_str(), Some("tiny"));
+    assert_eq!(t.get("cache").unwrap().as_str(), Some("miss"));
+    assert_eq!(t.get("status").unwrap().as_u64(), Some(200));
+    let wall = t.get("wall_ns").unwrap().as_u64().unwrap();
+
+    let Json::Arr(spans) = t.get("spans").unwrap() else { panic!("spans not an array") };
+    let span = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some(name))
+            .unwrap_or_else(|| panic!("missing span {name:?} in {spans:?}"))
+    };
+    let root = span("request");
+    assert!(root.get("parent").unwrap().as_u64().is_none(), "request must be the root");
+    span("queue_wait");
+    span("cache_lookup");
+    let query = span("query:entropy_top_k");
+    let query_id = query.get("id").unwrap().as_u64().unwrap();
+    let query_ns = query.get("end_ns").unwrap().as_u64().unwrap()
+        - query.get("start_ns").unwrap().as_u64().unwrap();
+    assert!(query_ns <= wall, "query span exceeds request wall time");
+    // The adaptive loop's phases parent onto the query span, run
+    // sequentially, and their nanos sum within the query's wall time.
+    let mut phase_total = 0u64;
+    for phase in ["sample_grow", "ingest", "update_bounds", "decide"] {
+        let s = span(phase);
+        assert_eq!(s.get("parent").unwrap().as_u64(), Some(query_id), "{phase} parent");
+        phase_total += s.get("end_ns").unwrap().as_u64().unwrap()
+            - s.get("start_ns").unwrap().as_u64().unwrap();
+    }
+    assert!(phase_total > 0, "phases recorded no time");
+    assert!(phase_total <= query_ns, "phase nanos {phase_total} exceed query wall {query_ns}");
+
+    // slow_ms = 0 classifies every traced request as slow.
+    let slow = get(server.addr, "/debug/slow");
+    assert!(slow.body.contains("0000deadbeef1234"), "{}", slow.body);
+    let metrics = get(server.addr, "/metrics").body;
+    assert_eq!(metric(&metrics, "swope_traces_recorded_total"), 1);
+    assert_eq!(metric(&metrics, "swope_slow_queries_total"), 1);
+
+    // An untraced request records nothing new.
+    get(server.addr, "/query/entropy-topk?dataset=tiny&k=1");
+    let v = Json::parse(&get(server.addr, "/debug/traces").body).unwrap();
+    assert_eq!(v.get("recorded_total").unwrap().as_u64(), Some(1));
+}
+
+#[test]
+fn trace_mode_traces_every_query_and_labels_endpoint_latency() {
+    let server = TestServer::start(ServerConfig { trace: true, ..ServerConfig::default() });
+    let reply = get(server.addr, "/query/mi-profile?dataset=tiny&target=0");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let id = reply.header("x-swope-trace").expect("trace id assigned without a header");
+    assert_eq!(id.len(), 16, "canonical id: {id}");
+    let traces = get(server.addr, "/debug/traces").body;
+    assert!(traces.contains("query:mi_profile"), "{traces}");
+    // Tracing enables store gather timing, so the aggregate span appears.
+    assert!(traces.contains("\"name\":\"store_gather\""), "{traces}");
+    let metrics = get(server.addr, "/metrics").body;
+    assert!(metrics.contains(
+        "swope_http_endpoint_duration_microseconds_count\
+         {endpoint=\"query_mi_profile\",dataset=\"tiny\"}"
+    ));
+    assert!(metrics.contains("swope_http_request_duration_microseconds_approx_quantile"));
+}
+
+#[test]
 fn healthz_reports_gauges() {
     let server = TestServer::start(ServerConfig::default());
     let reply = get(server.addr, "/healthz");

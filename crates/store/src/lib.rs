@@ -36,6 +36,7 @@
 
 pub mod crc32;
 mod error;
+pub mod gather_stats;
 mod packed;
 pub mod page;
 pub mod section;

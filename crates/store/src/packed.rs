@@ -96,6 +96,14 @@ impl PackedCodes {
 /// bytes the old `u32` path did.
 #[inline]
 pub fn gather<R: CodeRepr>(codes: &[R], rows: &[u32], buf: &mut Vec<R>) {
+    // One relaxed load when tracing is off; clock reads only when on.
+    if crate::gather_stats::enabled() {
+        let start = std::time::Instant::now();
+        buf.clear();
+        buf.extend(rows.iter().map(|&r| codes[r as usize]));
+        crate::gather_stats::record(rows.len(), start.elapsed().as_nanos() as u64);
+        return;
+    }
     buf.clear();
     buf.extend(rows.iter().map(|&r| codes[r as usize]));
 }
