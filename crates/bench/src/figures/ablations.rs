@@ -5,6 +5,8 @@ use swope_baselines::{exact_entropy_scores, oneshot_entropy_top_k};
 use swope_core::{entropy_top_k, mi_top_k, SamplingStrategy, SwopeConfig};
 use swope_datagen::generate_with_locality;
 
+use swope_obs::Phase;
+
 use crate::figures::entropy_topk::order_desc;
 use crate::harness::{time_ms, ExpConfig, Row};
 use crate::metrics::topk_accuracy;
@@ -35,7 +37,7 @@ pub fn run_sampling(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: topk_accuracy(&res.attr_indices(), exact_topk),
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
         }
     }
@@ -59,7 +61,7 @@ pub fn run_threads(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: 1.0,
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
             let mi_cfg = SwopeConfig::with_epsilon(0.5).with_seed(cfg.seed).with_threads(threads);
             let (ms, res) = time_ms(|| mi_top_k(&ds, 0, 4, &mi_cfg).unwrap());
@@ -72,7 +74,7 @@ pub fn run_threads(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: 1.0,
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
         }
     }
@@ -102,7 +104,7 @@ pub fn run_oneshot(cfg: &ExpConfig) -> Vec<Row> {
             accuracy: topk_accuracy(&swope.attr_indices(), exact_topk),
             sample_size: budget,
             rows_scanned: swope.stats.rows_scanned,
-            phase_ns: [0; 4],
+            phase_ns: [0; Phase::COUNT],
         });
 
         for (frac, div) in [(1.0, 1usize), (0.25, 4), (0.0625, 16)] {
@@ -117,7 +119,7 @@ pub fn run_oneshot(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: topk_accuracy(&res.attr_indices(), exact_topk),
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
         }
     }
@@ -177,7 +179,7 @@ pub fn run_locality(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: covered as f64 / total.max(1) as f64,
                 sample_size: sample_sum / SEEDS as usize,
                 rows_scanned: scanned_sum / SEEDS,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
         }
     }
@@ -210,7 +212,7 @@ pub fn run_m0(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: topk_accuracy(&res.attr_indices(), exact_topk),
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
         }
     }

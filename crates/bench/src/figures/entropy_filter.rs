@@ -6,7 +6,7 @@
 
 use swope_baselines::{entropy_filter_exact_sampling, exact_entropy_scores};
 use swope_core::{entropy_filter_observed, SwopeConfig};
-use swope_obs::PhaseAccumulator;
+use swope_obs::{Phase, PhaseAccumulator};
 
 use crate::harness::{time_ms, ExpConfig, Row};
 use crate::metrics::filter_accuracy;
@@ -37,7 +37,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: 1.0,
                 sample_size: ds.num_rows(),
                 rows_scanned: (ds.num_rows() * ds.num_attrs()) as u64,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
 
             let base_cfg = SwopeConfig::default().with_seed(cfg.seed ^ eta.to_bits());
@@ -51,7 +51,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: filter_accuracy(&res.attr_indices(), &exact_answer).f1,
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
 
             let swope_cfg =

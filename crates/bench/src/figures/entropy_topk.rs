@@ -7,7 +7,7 @@
 
 use swope_baselines::{entropy_rank_top_k, exact_entropy_scores};
 use swope_core::{entropy_top_k_observed, SwopeConfig};
-use swope_obs::PhaseAccumulator;
+use swope_obs::{Phase, PhaseAccumulator};
 
 use crate::harness::{time_ms, ExpConfig, Row};
 use crate::metrics::topk_accuracy;
@@ -39,7 +39,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: 1.0,
                 sample_size: ds.num_rows(),
                 rows_scanned: (ds.num_rows() * ds.num_attrs()) as u64,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
 
             let rank_cfg = SwopeConfig::default().with_seed(cfg.seed ^ k as u64);
@@ -53,7 +53,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: topk_accuracy(&res.attr_indices(), exact_topk),
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
 
             let swope_cfg = SwopeConfig::with_epsilon(SWOPE_EPSILON).with_seed(cfg.seed ^ k as u64);

@@ -6,7 +6,7 @@
 
 use swope_baselines::{exact_mi_scores, mi_filter_exact_sampling};
 use swope_core::{mi_filter_observed, SwopeConfig};
-use swope_obs::PhaseAccumulator;
+use swope_obs::{Phase, PhaseAccumulator};
 
 use crate::harness::{time_ms, ExpConfig, Row};
 use crate::metrics::filter_accuracy;
@@ -40,7 +40,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: 1.0,
                 sample_size: ds.num_rows(),
                 rows_scanned: (ds.num_rows() * (2 * ds.num_attrs() - 1)) as u64,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
 
             for (algo, eps) in [("EntropyFilter", None), ("SWOPE", Some(SWOPE_EPSILON))] {

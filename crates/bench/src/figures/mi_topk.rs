@@ -7,7 +7,7 @@
 
 use swope_baselines::{exact_mi_scores, mi_rank_top_k};
 use swope_core::{mi_top_k_observed, SwopeConfig};
-use swope_obs::PhaseAccumulator;
+use swope_obs::{Phase, PhaseAccumulator};
 
 use crate::figures::entropy_topk::order_desc;
 use crate::harness::{time_ms, ExpConfig, Row};
@@ -46,7 +46,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: 1.0,
                 sample_size: ds.num_rows(),
                 rows_scanned: (ds.num_rows() * (2 * ds.num_attrs() - 1)) as u64,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
 
             for (algo, eps) in [("EntropyRank", None), ("SWOPE", Some(SWOPE_EPSILON))] {

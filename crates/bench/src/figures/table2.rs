@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 
 use swope_columnar::stats::summarize;
+use swope_obs::Phase;
 
 use crate::harness::{time_ms, ExpConfig, Row};
 
@@ -25,7 +26,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: 1.0,
                 sample_size: s.rows,
                 rows_scanned: s.max_support as u64,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             }
         })
         .collect()

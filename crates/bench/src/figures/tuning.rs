@@ -9,6 +9,8 @@
 use swope_baselines::{exact_entropy_scores, exact_mi_scores};
 use swope_core::{entropy_filter, entropy_top_k, mi_filter, mi_top_k, SwopeConfig};
 
+use swope_obs::Phase;
+
 use crate::figures::entropy_topk::order_desc;
 use crate::harness::{time_ms, ExpConfig, Row};
 use crate::metrics::{filter_accuracy, topk_accuracy};
@@ -43,7 +45,7 @@ pub fn run_entropy_topk(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: topk_accuracy(&res.attr_indices(), exact_topk),
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
         }
     }
@@ -73,7 +75,7 @@ pub fn run_entropy_filter(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: filter_accuracy(&res.attr_indices(), &exact_answer).f1,
                 sample_size: res.stats.sample_size,
                 rows_scanned: res.stats.rows_scanned,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
         }
     }
@@ -120,7 +122,7 @@ pub fn run_mi_topk(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: acc_sum / n_t,
                 sample_size: sample_sum / targets.len(),
                 rows_scanned: scanned_sum / targets.len() as u64,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
         }
     }
@@ -165,7 +167,7 @@ pub fn run_mi_filter(cfg: &ExpConfig) -> Vec<Row> {
                 accuracy: acc_sum / n_t,
                 sample_size: sample_sum / targets.len(),
                 rows_scanned: scanned_sum / targets.len() as u64,
-                phase_ns: [0; 4],
+                phase_ns: [0; Phase::COUNT],
             });
         }
     }

@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use swope_columnar::Dataset;
 use swope_datagen::{corpus, generate};
+use swope_obs::Phase;
 
 /// One measured cell of an experiment.
 #[derive(Debug, Clone)]
@@ -26,9 +27,9 @@ pub struct Row {
     /// Counter-update work units (the paper's cost model).
     pub rows_scanned: u64,
     /// Per-phase wall-clock nanoseconds, indexed by `swope_obs::Phase`
-    /// (sample_grow, ingest, update_bounds, decide). All zeros for
-    /// algorithms that don't run the adaptive loop.
-    pub phase_ns: [u64; 4],
+    /// (sample_grow, ingest, update_bounds, decide, store_sketch). All
+    /// zeros for algorithms that don't run the adaptive loop.
+    pub phase_ns: [u64; Phase::COUNT],
 }
 
 /// Experiment-wide configuration shared by all runners.

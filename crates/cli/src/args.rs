@@ -6,7 +6,8 @@ pub const USAGE: &str = "usage: swope <command> [options]
 commands:
   stats <file>                         dataset summary and per-column statistics
   inspect <file>                       storage layout: per-column code width,
-                                       bytes in memory, savings vs all-u32
+                                       bytes in memory, savings vs all-u32,
+                                       and the partition sketch (if present)
   entropy-topk <file> -k <n>           top-k attributes by empirical entropy
   entropy-filter <file> --eta <t>      attributes with entropy >= eta
   mi-topk <file> --target <a> -k <n>   top-k attributes by mutual information
@@ -29,6 +30,12 @@ common options:
   --max-support <n>         drop columns with support above this (default 1000)
   --scale <f>               row scale for `gen` (default 0.01)
   --rows <n> --cols <n>     shape for `gen tiny`
+
+scoped queries (swope algo only):
+  --row-start <n>           first row of the query scope (inclusive, default 0)
+  --row-end <n>             one past the last row of the scope (default: all)
+  --where <attr=value>      restrict to rows where the attribute equals the
+                            value (name or index = raw value or code)
 
 observability (swope algo only):
   --events-out <path>       write per-query observer events as JSON lines
@@ -89,6 +96,12 @@ pub struct Options {
     pub cols: Option<usize>,
     /// `--out` (gen).
     pub out: Option<String>,
+    /// `--row-start`: first row of the query scope (inclusive).
+    pub row_start: Option<usize>,
+    /// `--row-end`: one past the last row of the query scope.
+    pub row_end: Option<usize>,
+    /// `--where`: `attr=value` equality predicate restricting the scope.
+    pub where_clause: Option<String>,
     /// `--events-out`: JSONL observer event sink path.
     pub events_out: Option<String>,
     /// `--metrics`: print a metrics summary after the query.
@@ -130,6 +143,9 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--rows" => o.rows = Some(value(args, &mut i, "--rows")?),
             "--cols" => o.cols = Some(value(args, &mut i, "--cols")?),
             "--out" => o.out = Some(raw_value(args, &mut i, "--out")?),
+            "--row-start" => o.row_start = Some(value(args, &mut i, "--row-start")?),
+            "--row-end" => o.row_end = Some(value(args, &mut i, "--row-end")?),
+            "--where" => o.where_clause = Some(raw_value(args, &mut i, "--where")?),
             "--events-out" => o.events_out = Some(raw_value(args, &mut i, "--events-out")?),
             "--metrics" => o.metrics = true,
             "--addr" => o.addr = Some(raw_value(args, &mut i, "--addr")?),
@@ -211,6 +227,30 @@ mod tests {
         assert_eq!(o.cols, Some(8));
         assert_eq!(o.out.as_deref(), Some("t.swop"));
         assert_eq!(o.scale, Some(0.5));
+    }
+
+    #[test]
+    fn scope_flags() {
+        let o = parse(&[
+            "d.swop",
+            "-k",
+            "2",
+            "--row-start",
+            "100",
+            "--row-end",
+            "900",
+            "--where",
+            "state=CA",
+        ])
+        .unwrap();
+        assert_eq!(o.row_start, Some(100));
+        assert_eq!(o.row_end, Some(900));
+        assert_eq!(o.where_clause.as_deref(), Some("state=CA"));
+        assert!(parse(&["--row-start", "early"]).is_err());
+        assert!(parse(&["--where"]).is_err());
+        let o = parse(&["d.swop"]).unwrap();
+        assert_eq!((o.row_start, o.row_end), (None, None));
+        assert!(o.where_clause.is_none());
     }
 
     #[test]

@@ -7,11 +7,13 @@ use swope_baselines::{
     exact_mi_filter, exact_mi_top_k, mi_filter_exact_sampling, mi_rank_top_k,
 };
 
-use swope_columnar::{csv, snapshot, stats, Dataset};
+use swope_columnar::{csv, snapshot, stats, Dataset, DatasetSketch, PAGE_ROWS};
 use swope_core::{
-    entropy_filter_observed, entropy_profile_observed, entropy_top_k, entropy_top_k_observed,
-    mi_filter_observed, mi_profile_observed, mi_top_k_observed, AttrScore, ComposedObserver,
-    FilterResult, JsonlSink, MetricsRegistry, ProfileResult, SwopeConfig, TopKResult,
+    entropy_filter_observed, entropy_filter_scoped_exec, entropy_profile_observed,
+    entropy_profile_scoped_exec, entropy_top_k, entropy_top_k_observed, entropy_top_k_scoped_exec,
+    mi_filter_observed, mi_filter_scoped_exec, mi_profile_observed, mi_profile_scoped_exec,
+    mi_top_k_observed, mi_top_k_scoped_exec, AttrScore, ComposedObserver, Executor, FilterResult,
+    JsonlSink, MetricsRegistry, ProfileResult, Scope, SwopeConfig, TopKResult,
 };
 
 use crate::args::{parse_options, Algo, Options};
@@ -95,14 +97,59 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
 /// Loads a dataset by extension (`.swop` snapshot or CSV otherwise) and
 /// applies the support cap.
 fn load(opts: &Options) -> Result<Dataset, String> {
+    Ok(load_with_sketch(opts)?.0)
+}
+
+/// [`load`] plus the snapshot-carried partition sketch, if any. The
+/// sketch is dropped when the support cap removed columns — its column
+/// set no longer matches the capped dataset.
+fn load_with_sketch(opts: &Options) -> Result<(Dataset, Option<DatasetSketch>), String> {
     let path = opts.positional.first().ok_or("expected a dataset file argument")?;
-    let ds = Dataset::from_path(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let (ds, sketch) =
+        Dataset::from_path_with_sketch(path).map_err(|e| format!("loading {path}: {e}"))?;
     let cap = opts.max_support.unwrap_or(1000);
     let (capped, kept) = ds.cap_support(cap);
-    if kept.len() < ds.num_attrs() {
-        eprintln!("note: dropped {} column(s) with support > {cap}", ds.num_attrs() - kept.len());
+    let dropped = ds.num_attrs() - kept.len();
+    if dropped > 0 {
+        eprintln!("note: dropped {dropped} column(s) with support > {cap}");
     }
-    Ok(capped)
+    Ok((capped, sketch.filter(|_| dropped == 0)))
+}
+
+/// Builds the query scope from `--row-start`/`--row-end`/`--where`, or
+/// `None` when no scope flag was given. Scopes only exist on the SWOPE
+/// path — the rank/exact baselines always scan the whole dataset.
+fn scope_from_opts(ds: &Dataset, opts: &Options) -> Result<Option<Scope>, String> {
+    if opts.row_start.is_none() && opts.row_end.is_none() && opts.where_clause.is_none() {
+        return Ok(None);
+    }
+    if opts.algo != Algo::Swope {
+        return Err("scoped queries (--row-start/--row-end/--where) require --algo swope".into());
+    }
+    let mut scope =
+        Scope::range(opts.row_start.unwrap_or(0), opts.row_end.unwrap_or(ds.num_rows()));
+    if let Some(clause) = opts.where_clause.as_deref() {
+        let (attr_raw, value_raw) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("malformed --where clause {clause:?}: expected attr=value"))?;
+        let attr = resolve_attr(ds, attr_raw)?;
+        let code = match value_raw.parse::<u32>() {
+            Ok(code) => code,
+            Err(_) => ds
+                .schema()
+                .field(attr)
+                .and_then(|f| f.dictionary())
+                .ok_or_else(|| {
+                    format!("attribute {attr_raw:?} has no dictionary; use a numeric code")
+                })?
+                .lookup(value_raw)
+                .ok_or_else(|| {
+                    format!("value {value_raw:?} not found in attribute {attr_raw:?}")
+                })?,
+        };
+        scope = scope.with_predicate(attr, code);
+    }
+    Ok(Some(scope))
 }
 
 fn query_config(opts: &Options, default_epsilon: f64) -> SwopeConfig {
@@ -118,12 +165,16 @@ fn query_config(opts: &Options, default_epsilon: f64) -> SwopeConfig {
 }
 
 fn resolve_target(ds: &Dataset, opts: &Options) -> Result<usize, String> {
-    let raw = opts.target.as_deref().ok_or("--target is required")?;
+    resolve_attr(ds, opts.target.as_deref().ok_or("--target is required")?)
+}
+
+/// Resolves an attribute named by index or by schema name.
+fn resolve_attr(ds: &Dataset, raw: &str) -> Result<usize, String> {
     if let Ok(idx) = raw.parse::<usize>() {
         if idx < ds.num_attrs() {
             return Ok(idx);
         }
-        return Err(format!("target index {idx} out of range"));
+        return Err(format!("attribute index {idx} out of range"));
     }
     ds.attr_index(raw).map_err(|e| e.to_string())
 }
@@ -150,23 +201,29 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
 }
 
 /// `swope inspect <file>`: physical storage layout — which code width
-/// each column packed to, how many bytes it occupies, and what the
-/// width packing saves over a uniform u32 representation.
+/// each column packed to, how many bytes it occupies, what the width
+/// packing saves over a uniform u32 representation, and the partition
+/// sketch a `.swop` v2 snapshot carries (per-column histogram layout
+/// plus the whole-sketch footprint). A dataset without a sketch (CSV
+/// input or a pre-sketch snapshot) degrades to `sketch: none`.
 fn cmd_inspect(opts: &Options) -> Result<(), String> {
-    let ds = load(opts)?;
+    let (ds, sketch) = load_with_sketch(opts)?;
     let summary = stats::summarize(&ds);
     println!(
         "rows: {}   columns: {}   max support: {}",
         summary.rows, summary.columns, summary.max_support
     );
-    println!("{:<24} {:>8} {:>6} {:>12}", "column", "support", "width", "bytes");
-    for s in stats::dataset_stats(&ds) {
+    println!("{:<24} {:>8} {:>6} {:>12} {:>8}", "column", "support", "width", "bytes", "sketch");
+    for (attr, s) in stats::dataset_stats(&ds).iter().enumerate() {
+        let kind =
+            sketch.as_ref().and_then(|sk| sk.column(attr)).map(|c| c.kind().name()).unwrap_or("-");
         println!(
-            "{:<24} {:>8} {:>5}b {:>12}",
+            "{:<24} {:>8} {:>5}b {:>12} {:>8}",
             truncate(&s.name, 24),
             s.support,
             s.code_width,
-            s.bytes_in_memory
+            s.bytes_in_memory,
+            kind
         );
     }
     let packed = stats::bytes_in_memory(&ds);
@@ -174,19 +231,43 @@ fn cmd_inspect(opts: &Options) -> Result<(), String> {
     let saved = unpacked.saturating_sub(packed);
     let pct = if unpacked > 0 { saved as f64 / unpacked as f64 * 100.0 } else { 0.0 };
     println!("total: {packed} bytes packed ({unpacked} at u32; saves {saved} bytes, {pct:.1}%)");
+    match &sketch {
+        Some(sk) => {
+            let covered = ds.num_rows() - ds.num_rows() % PAGE_ROWS;
+            let cov_pct =
+                if ds.num_rows() > 0 { covered as f64 / ds.num_rows() as f64 * 100.0 } else { 0.0 };
+            println!(
+                "sketch: {} page(s) x {} column(s), {} bytes encoded, \
+                 {cov_pct:.1}% of rows in fully-covered pages",
+                sk.num_pages(),
+                sk.num_columns(),
+                sk.encoded_len()
+            );
+        }
+        None => println!("sketch: none (CSV input or snapshot without a sketch section)"),
+    }
     Ok(())
 }
 
 fn cmd_entropy_topk(opts: &Options) -> Result<(), String> {
-    let ds = load(opts)?;
+    let (ds, sketch) = load_with_sketch(opts)?;
     let k = opts.k.ok_or("-k is required")?;
+    let scope = scope_from_opts(&ds, opts)?;
     let mut obs = Observability::from_opts(opts)?;
-    let result = match opts.algo {
-        Algo::Swope => {
-            entropy_top_k_observed(&ds, k, &query_config(opts, 0.1), &mut obs.observer())
-        }
-        Algo::Rank => entropy_rank_top_k(&ds, k, &query_config(opts, 0.1)),
-        Algo::Exact => exact_entropy_top_k(&ds, k),
+    let cfg = query_config(opts, 0.1);
+    let result = match (opts.algo, &scope) {
+        (Algo::Swope, Some(scope)) => entropy_top_k_scoped_exec(
+            &ds,
+            k,
+            scope,
+            sketch.as_ref(),
+            &cfg,
+            &mut obs.observer(),
+            &Executor::new(cfg.threads),
+        ),
+        (Algo::Swope, None) => entropy_top_k_observed(&ds, k, &cfg, &mut obs.observer()),
+        (Algo::Rank, _) => entropy_rank_top_k(&ds, k, &cfg),
+        (Algo::Exact, _) => exact_entropy_top_k(&ds, k),
     }
     .map_err(|e| e.to_string())?;
     print_topk("entropy", &result);
@@ -194,15 +275,24 @@ fn cmd_entropy_topk(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_entropy_filter(opts: &Options) -> Result<(), String> {
-    let ds = load(opts)?;
+    let (ds, sketch) = load_with_sketch(opts)?;
     let eta = opts.eta.ok_or("--eta is required")?;
+    let scope = scope_from_opts(&ds, opts)?;
     let mut obs = Observability::from_opts(opts)?;
-    let result = match opts.algo {
-        Algo::Swope => {
-            entropy_filter_observed(&ds, eta, &query_config(opts, 0.05), &mut obs.observer())
-        }
-        Algo::Rank => entropy_filter_exact_sampling(&ds, eta, &query_config(opts, 0.05)),
-        Algo::Exact => exact_entropy_filter(&ds, eta),
+    let cfg = query_config(opts, 0.05);
+    let result = match (opts.algo, &scope) {
+        (Algo::Swope, Some(scope)) => entropy_filter_scoped_exec(
+            &ds,
+            eta,
+            scope,
+            sketch.as_ref(),
+            &cfg,
+            &mut obs.observer(),
+            &Executor::new(cfg.threads),
+        ),
+        (Algo::Swope, None) => entropy_filter_observed(&ds, eta, &cfg, &mut obs.observer()),
+        (Algo::Rank, _) => entropy_filter_exact_sampling(&ds, eta, &cfg),
+        (Algo::Exact, _) => exact_entropy_filter(&ds, eta),
     }
     .map_err(|e| e.to_string())?;
     print_filter("entropy", eta, &result);
@@ -210,16 +300,26 @@ fn cmd_entropy_filter(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_mi_topk(opts: &Options) -> Result<(), String> {
-    let ds = load(opts)?;
+    let (ds, sketch) = load_with_sketch(opts)?;
     let k = opts.k.ok_or("-k is required")?;
     let target = resolve_target(&ds, opts)?;
+    let scope = scope_from_opts(&ds, opts)?;
     let mut obs = Observability::from_opts(opts)?;
-    let result = match opts.algo {
-        Algo::Swope => {
-            mi_top_k_observed(&ds, target, k, &query_config(opts, 0.5), &mut obs.observer())
-        }
-        Algo::Rank => mi_rank_top_k(&ds, target, k, &query_config(opts, 0.5)),
-        Algo::Exact => exact_mi_top_k(&ds, target, k),
+    let cfg = query_config(opts, 0.5);
+    let result = match (opts.algo, &scope) {
+        (Algo::Swope, Some(scope)) => mi_top_k_scoped_exec(
+            &ds,
+            target,
+            k,
+            scope,
+            sketch.as_ref(),
+            &cfg,
+            &mut obs.observer(),
+            &Executor::new(cfg.threads),
+        ),
+        (Algo::Swope, None) => mi_top_k_observed(&ds, target, k, &cfg, &mut obs.observer()),
+        (Algo::Rank, _) => mi_rank_top_k(&ds, target, k, &cfg),
+        (Algo::Exact, _) => exact_mi_top_k(&ds, target, k),
     }
     .map_err(|e| e.to_string())?;
     println!("target: {} ({})", ds.schema().field(target).map(|f| f.name()).unwrap_or("?"), target);
@@ -228,16 +328,26 @@ fn cmd_mi_topk(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_mi_filter(opts: &Options) -> Result<(), String> {
-    let ds = load(opts)?;
+    let (ds, sketch) = load_with_sketch(opts)?;
     let eta = opts.eta.ok_or("--eta is required")?;
     let target = resolve_target(&ds, opts)?;
+    let scope = scope_from_opts(&ds, opts)?;
     let mut obs = Observability::from_opts(opts)?;
-    let result = match opts.algo {
-        Algo::Swope => {
-            mi_filter_observed(&ds, target, eta, &query_config(opts, 0.5), &mut obs.observer())
-        }
-        Algo::Rank => mi_filter_exact_sampling(&ds, target, eta, &query_config(opts, 0.5)),
-        Algo::Exact => exact_mi_filter(&ds, target, eta),
+    let cfg = query_config(opts, 0.5);
+    let result = match (opts.algo, &scope) {
+        (Algo::Swope, Some(scope)) => mi_filter_scoped_exec(
+            &ds,
+            target,
+            eta,
+            scope,
+            sketch.as_ref(),
+            &cfg,
+            &mut obs.observer(),
+            &Executor::new(cfg.threads),
+        ),
+        (Algo::Swope, None) => mi_filter_observed(&ds, target, eta, &cfg, &mut obs.observer()),
+        (Algo::Rank, _) => mi_filter_exact_sampling(&ds, target, eta, &cfg),
+        (Algo::Exact, _) => exact_mi_filter(&ds, target, eta),
     }
     .map_err(|e| e.to_string())?;
     print_filter("mutual information", eta, &result);
@@ -245,21 +355,47 @@ fn cmd_mi_filter(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_entropy_profile(opts: &Options) -> Result<(), String> {
-    let ds = load(opts)?;
+    let (ds, sketch) = load_with_sketch(opts)?;
+    let scope = scope_from_opts(&ds, opts)?;
     let mut obs = Observability::from_opts(opts)?;
-    let result = entropy_profile_observed(&ds, 0.05, &query_config(opts, 0.1), &mut obs.observer())
-        .map_err(|e| e.to_string())?;
+    let cfg = query_config(opts, 0.1);
+    let result = match &scope {
+        Some(scope) => entropy_profile_scoped_exec(
+            &ds,
+            0.05,
+            scope,
+            sketch.as_ref(),
+            &cfg,
+            &mut obs.observer(),
+            &Executor::new(cfg.threads),
+        ),
+        None => entropy_profile_observed(&ds, 0.05, &cfg, &mut obs.observer()),
+    }
+    .map_err(|e| e.to_string())?;
     print_profile("entropy", &result);
     obs.finish()
 }
 
 fn cmd_mi_profile(opts: &Options) -> Result<(), String> {
-    let ds = load(opts)?;
+    let (ds, sketch) = load_with_sketch(opts)?;
     let target = resolve_target(&ds, opts)?;
+    let scope = scope_from_opts(&ds, opts)?;
     let mut obs = Observability::from_opts(opts)?;
-    let result =
-        mi_profile_observed(&ds, target, 0.05, &query_config(opts, 0.5), &mut obs.observer())
-            .map_err(|e| e.to_string())?;
+    let cfg = query_config(opts, 0.5);
+    let result = match &scope {
+        Some(scope) => mi_profile_scoped_exec(
+            &ds,
+            target,
+            0.05,
+            scope,
+            sketch.as_ref(),
+            &cfg,
+            &mut obs.observer(),
+            &Executor::new(cfg.threads),
+        ),
+        None => mi_profile_observed(&ds, target, 0.05, &cfg, &mut obs.observer()),
+    }
+    .map_err(|e| e.to_string())?;
     println!("target: {} ({})", ds.schema().field(target).map(|f| f.name()).unwrap_or("?"), target);
     print_profile("mutual information", &result);
     obs.finish()

@@ -87,6 +87,98 @@ fn inspect_reports_widths_and_savings() {
 }
 
 #[test]
+fn inspect_reports_sketch_and_degrades_without_one() {
+    // CSV input has no snapshot to carry a sketch: inspect degrades to a
+    // one-line "none" note instead of failing.
+    let csv_path = tmp("sketchless.csv");
+    std::fs::write(&csv_path, "color,size\nred,s\nblue,m\nred,l\n").unwrap();
+    let o = swope(&["inspect", csv_path.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("sketch: none"), "{}", stdout(&o));
+
+    // A v2 snapshot carries the sketch section: inspect reports its
+    // footprint and each column's histogram layout.
+    let swop = tmp("sketchful.swop");
+    let p = swop.to_str().unwrap();
+    let o = swope(&["gen", "tiny", "--rows", "2000", "--cols", "4", "--out", p]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let o = swope(&["inspect", p]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("sketch: 1 page(s) x 4 column(s)"), "{out}");
+    assert!(out.contains("bytes encoded"), "{out}");
+    assert!(out.contains("compact") || out.contains("sparse"), "{out}");
+}
+
+#[test]
+fn inspect_rejects_corrupt_sketch_section_with_one_line_error() {
+    let swop = tmp("corrupt-sketch.swop");
+    let p = swop.to_str().unwrap();
+    let o = swope(&["gen", "tiny", "--rows", "2000", "--cols", "4", "--out", p]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    // The sketch is the final section of a v2 snapshot and carries its
+    // own trailing CRC; flipping a byte near the end of the file lands
+    // inside it while every column section stays valid.
+    let mut bytes = std::fs::read(&swop).unwrap();
+    let last = bytes.len() - 5;
+    bytes[last] ^= 0x40;
+    std::fs::write(&swop, &bytes).unwrap();
+    let o = swope(&["inspect", p]);
+    assert!(!o.status.success());
+    let err = stderr(&o);
+    let first = err.lines().next().unwrap();
+    assert!(first.starts_with("error: "), "{err}");
+    assert!(first.contains("sketch"), "{err}");
+}
+
+#[test]
+fn scoped_queries_restrict_rows_and_validate_flags() {
+    let swop = tmp("scoped.swop");
+    let p = swop.to_str().unwrap();
+    let o = swope(&["gen", "tiny", "--rows", "4000", "--cols", "6", "--out", p]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    // A scope covering every row answers identically to the unscoped run.
+    let a = swope(&["entropy-topk", p, "-k", "3", "--seed", "7"]);
+    let b = swope(&[
+        "entropy-topk",
+        p,
+        "-k",
+        "3",
+        "--seed",
+        "7",
+        "--row-start",
+        "0",
+        "--row-end",
+        "4000",
+    ]);
+    assert!(a.status.success() && b.status.success(), "{}", stderr(&b));
+    assert_eq!(stdout(&a), stdout(&b), "full-range scope must match the unscoped query");
+
+    // A sub-range samples from just the scoped rows.
+    let o = swope(&["entropy-topk", p, "-k", "3", "--row-start", "1000", "--row-end", "1500"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    let sampled: usize =
+        out.split("sampled ").nth(1).unwrap().split(' ').next().unwrap().parse().unwrap();
+    assert!(sampled <= 500, "scope of 500 rows sampled {sampled}: {out}");
+
+    // Predicate scopes accept numeric codes for dictionary-less columns.
+    let o = swope(&["entropy-topk", p, "-k", "2", "--where", "0=1"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    // Scope flags are swope-only; the exact baseline rejects them.
+    let o = swope(&["entropy-topk", p, "-k", "2", "--row-start", "10", "--algo", "exact"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("require --algo swope"), "{}", stderr(&o));
+
+    // An inverted range is a one-line error from the core, not a panic.
+    let o = swope(&["entropy-topk", p, "-k", "2", "--row-start", "300", "--row-end", "100"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).starts_with("error: "), "{}", stderr(&o));
+}
+
+#[test]
 fn convert_round_trips_csv_and_snapshot() {
     let csv_path = tmp("convert.csv");
     std::fs::write(&csv_path, "color,size\nred,s\nblue,m\nred,l\n").unwrap();

@@ -51,6 +51,20 @@ impl Dataset {
         }
     }
 
+    /// [`Dataset::from_path`] that also surfaces the snapshot's partition
+    /// sketch when the file carries one. CSV files and v2 snapshots
+    /// without a sketch section load with `None`.
+    pub fn from_path_with_sketch(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(Dataset, Option<swope_sketch::DatasetSketch>), ColumnarError> {
+        let path = path.as_ref();
+        if path.extension().is_some_and(|e| e == "swop") {
+            crate::snapshot::read_file_with_sketch(path)
+        } else {
+            crate::csv::read_csv_file(path, &crate::csv::CsvOptions::default()).map(|ds| (ds, None))
+        }
+    }
+
     /// The schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -57,6 +57,14 @@ pub use schema::{Field, Schema};
 // Storage-layer types callers of this crate routinely need: the width a
 // column is packed at and the packed storage the hot loops scan.
 pub use swope_store::{CodeBuf, CodeRepr, PackedCodes, PackedColumn, Width};
+// The partition sketch a snapshot carries alongside its columns; scoped
+// queries in `swope-core` consume it.
+pub use swope_sketch::{ColumnSketch, DatasetSketch, SketchKind};
+
+// The sketch/scope page granularity, re-exported so downstream crates
+// (server, CLI, benches) can reason about page alignment without a
+// direct swope-store dependency.
+pub use swope_store::page::PAGE_ROWS;
 
 /// Index of an attribute (column) within a dataset. Always in `0..h`.
 pub type AttrIndex = usize;

@@ -10,7 +10,7 @@
 //!   magic         b"SWOP"      4 bytes
 //!   version       u16          2
 //!   flags         u16          reserved, 0
-//!   section_count u32          1 (schema) + h (one per column)
+//!   section_count u32          1 (schema) + h (one per column) [+ 1 sketch]
 //! section table (24 bytes per entry, see `swope_store::section`):
 //!   kind u32, attr u32, offset u64, len u64
 //! schema section payload:
@@ -24,7 +24,14 @@
 //! column section payload (one per attribute, in attribute order):
 //!   width u8                   bytes per code: 1, 2, or 4
 //!   paged codes                see `swope_store::page` (per-page CRC32)
+//! sketch section payload (optional, at most one, last):
+//!   per-page code histograms   see `swope_sketch` (own trailing CRC32)
 //! ```
+//!
+//! The sketch section is *optional on read*: v2 files written before it
+//! existed decode exactly as they always did, and [`decode_with_sketch`]
+//! reports `None` for them. The writer always emits one so freshly
+//! written snapshots support scoped queries without a load-time rebuild.
 //!
 //! Column codes are stored at their in-memory packed width, so a `u8`
 //! column costs one byte per row on disk too. Every section length is a
@@ -41,8 +48,11 @@
 use std::io::{Read, Write};
 use std::path::Path;
 
+use swope_sketch::DatasetSketch;
 use swope_store::crc32::crc32;
-use swope_store::section::{validate_sections, Section, SECTION_COLUMN, SECTION_SCHEMA};
+use swope_store::section::{
+    validate_sections, Section, SECTION_COLUMN, SECTION_SCHEMA, SECTION_SKETCH,
+};
 use swope_store::{page, PackedColumn, Width};
 
 use crate::{Column, ColumnarError, Dataset, Dictionary, Field, Schema};
@@ -90,7 +100,12 @@ pub fn write<W: Write>(dataset: &Dataset, writer: &mut W) -> Result<(), Columnar
     let crc = crc32(&schema_payload);
     schema_payload.extend_from_slice(&crc.to_le_bytes());
 
-    let section_count = 1 + h;
+    // The sketch is tiny next to the columns (histogram counts, not
+    // rows), so encoding it up front keeps the section table computable
+    // before any payload is streamed.
+    let sketch_payload = build_sketch(dataset).encode();
+
+    let section_count = 1 + h + 1;
     let mut offset =
         (HEADER_BYTES + section_count * swope_store::section::SECTION_ENTRY_BYTES) as u64;
     let mut table = Vec::with_capacity(section_count * swope_store::section::SECTION_ENTRY_BYTES);
@@ -104,6 +119,8 @@ pub fn write<W: Write>(dataset: &Dataset, writer: &mut W) -> Result<(), Columnar
         Section { kind: SECTION_COLUMN, attr: attr as u32, offset, len }.write_into(&mut table);
         offset += len;
     }
+    Section { kind: SECTION_SKETCH, attr: 0, offset, len: sketch_payload.len() as u64 }
+        .write_into(&mut table);
 
     writer.write_all(MAGIC)?;
     writer.write_all(&VERSION.to_le_bytes())?;
@@ -116,7 +133,17 @@ pub fn write<W: Write>(dataset: &Dataset, writer: &mut W) -> Result<(), Columnar
         writer.write_all(&[packed.width().tag()])?;
         page::write_pages(packed.codes(), writer)?;
     }
+    writer.write_all(&sketch_payload)?;
     Ok(())
+}
+
+/// Builds the per-page partition sketch for `dataset` from its packed
+/// columns (exact per-page code histograms; see `swope_sketch`).
+pub fn build_sketch(dataset: &Dataset) -> DatasetSketch {
+    DatasetSketch::build(
+        dataset.num_rows(),
+        (0..dataset.num_attrs()).map(|attr| dataset.column(attr).packed()),
+    )
 }
 
 /// Serializes `dataset` in the legacy v1 format (flat `u32` runs, no
@@ -156,6 +183,15 @@ pub fn encode_v1(dataset: &Dataset) -> Vec<u8> {
 /// version: v2 (paged, checksummed) or legacy v1 (flat `u32` runs,
 /// materialized as `u32`-packed columns).
 pub fn decode(bytes: &[u8]) -> Result<Dataset, ColumnarError> {
+    decode_with_sketch(bytes).map(|(dataset, _)| dataset)
+}
+
+/// Like [`decode`], but also returns the partition sketch when the
+/// snapshot carries one. v1 snapshots and pre-sketch v2 snapshots yield
+/// `None`; a *present but* truncated or corrupt sketch section is an
+/// error (a reader must not silently serve scoped queries from bad
+/// counts).
+pub fn decode_with_sketch(bytes: &[u8]) -> Result<(Dataset, Option<DatasetSketch>), ColumnarError> {
     let mut buf = bytes;
     let mut magic = [0u8; 4];
     take(&mut buf, &mut magic)?;
@@ -164,7 +200,7 @@ pub fn decode(bytes: &[u8]) -> Result<Dataset, ColumnarError> {
     }
     let version = get_u16(&mut buf)?;
     match version {
-        V1 => decode_v1(buf),
+        V1 => decode_v1(buf).map(|dataset| (dataset, None)),
         VERSION => decode_v2(bytes, buf),
         other => Err(ColumnarError::Snapshot(format!(
             "unsupported version {other} (expected {V1} or {VERSION})"
@@ -174,7 +210,10 @@ pub fn decode(bytes: &[u8]) -> Result<Dataset, ColumnarError> {
 
 /// Decodes the v2 body. `bytes` is the full snapshot (for offset-based
 /// section slicing); `buf` starts right after the version field.
-fn decode_v2(bytes: &[u8], mut buf: &[u8]) -> Result<Dataset, ColumnarError> {
+fn decode_v2(
+    bytes: &[u8],
+    mut buf: &[u8],
+) -> Result<(Dataset, Option<DatasetSketch>), ColumnarError> {
     let _flags = get_u16(&mut buf)?;
     let section_count = get_u32(&mut buf)? as usize;
     // The table must fit the bytes present before a single entry (or a
@@ -224,6 +263,13 @@ fn decode_v2(bytes: &[u8], mut buf: &[u8]) -> Result<Dataset, ColumnarError> {
         )));
     }
 
+    // The sketch section, when present, is exactly one entry after the
+    // column sections. Anything else trailing the columns is a layout
+    // error, not something to skip over.
+    let (column_sections, sketch_section) = match column_sections.split_last() {
+        Some((last, rest)) if last.kind == SECTION_SKETCH => (rest, Some(last)),
+        _ => (column_sections, None),
+    };
     if column_sections.len() != h {
         return Err(ColumnarError::Snapshot(format!(
             "{} column sections for {h} attributes",
@@ -251,7 +297,22 @@ fn decode_v2(bytes: &[u8], mut buf: &[u8]) -> Result<Dataset, ColumnarError> {
             .map_err(|e| ColumnarError::Snapshot(format!("column {attr}: {e}")))?;
         columns.push(Column::from_packed(packed));
     }
-    Dataset::new(Schema::new(fields), columns)
+    let sketch = match sketch_section {
+        Some(section) => {
+            let sketch = DatasetSketch::decode(section_slice(bytes, section))
+                .map_err(|e| ColumnarError::Snapshot(format!("sketch section: {e}")))?;
+            if sketch.num_rows() != n || sketch.num_columns() != h {
+                return Err(ColumnarError::Snapshot(format!(
+                    "sketch covers {} rows x {} columns but dataset is {n} x {h}",
+                    sketch.num_rows(),
+                    sketch.num_columns()
+                )));
+            }
+            Some(sketch)
+        }
+        None => None,
+    };
+    Dataset::new(Schema::new(fields), columns).map(|dataset| (dataset, sketch))
 }
 
 /// Decodes the legacy v1 body (after magic + version). Columns are
@@ -357,6 +418,16 @@ pub fn read_file(path: impl AsRef<Path>) -> Result<Dataset, ColumnarError> {
     read(&mut f)
 }
 
+/// Reads a dataset plus its partition sketch (when present) from
+/// `path`. See [`decode_with_sketch`] for the sketch semantics.
+pub fn read_file_with_sketch(
+    path: impl AsRef<Path>,
+) -> Result<(Dataset, Option<DatasetSketch>), ColumnarError> {
+    let mut bytes = Vec::new();
+    std::io::BufReader::new(std::fs::File::open(path)?).read_to_end(&mut bytes)?;
+    decode_with_sketch(&bytes)
+}
+
 fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
     buf.extend_from_slice(s.as_bytes());
@@ -427,6 +498,37 @@ mod tests {
         b.finish()
     }
 
+    /// Offset and length of a v2 snapshot's last section (the sketch,
+    /// for anything the writer in this file produced).
+    fn last_section(bytes: &[u8]) -> (usize, usize) {
+        let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let entry = HEADER_BYTES + (count - 1) * swope_store::section::SECTION_ENTRY_BYTES;
+        let off = u64::from_le_bytes(bytes[entry + 8..entry + 16].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[entry + 16..entry + 24].try_into().unwrap());
+        (off as usize, len as usize)
+    }
+
+    /// Rewrites a freshly encoded snapshot into the pre-sketch v2
+    /// layout: drops the last (sketch) section and shifts every
+    /// remaining offset back over the removed table entry.
+    fn strip_sketch(bytes: &[u8]) -> Vec<u8> {
+        let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let entry = swope_store::section::SECTION_ENTRY_BYTES;
+        let (sketch_off, _) = last_section(bytes);
+        let mut out = Vec::new();
+        out.extend_from_slice(&bytes[..8]);
+        out.extend_from_slice(&((count - 1) as u32).to_le_bytes());
+        for i in 0..count - 1 {
+            let e = HEADER_BYTES + i * entry;
+            out.extend_from_slice(&bytes[e..e + 8]);
+            let off = u64::from_le_bytes(bytes[e + 8..e + 16].try_into().unwrap()) - entry as u64;
+            out.extend_from_slice(&off.to_le_bytes());
+            out.extend_from_slice(&bytes[e + 16..e + 24]);
+        }
+        out.extend_from_slice(&bytes[HEADER_BYTES + count * entry..sketch_off]);
+        out
+    }
+
     /// A dataset spanning all three storage widths.
     fn tri_width() -> Dataset {
         let schema = Schema::new(vec![
@@ -460,9 +562,12 @@ mod tests {
         assert_eq!(back.column(1).width(), Width::U16);
         assert_eq!(back.column(2).width(), Width::U32);
         // Narrow columns really are narrower on disk: the u8 column's
-        // section is about a quarter of the u32 column's.
+        // section is about a quarter of the u32 column's. Measured net
+        // of the sketch section, which scales with distinct codes, not
+        // rows.
         let bytes = encode(&ds);
-        assert!(bytes.len() < 3000 * 3 * 4, "paged v2 should be smaller than all-u32 runs");
+        let (sketch_off, _) = last_section(&bytes);
+        assert!(sketch_off < 3000 * 3 * 4, "paged v2 should be smaller than all-u32 runs");
     }
 
     #[test]
@@ -516,7 +621,9 @@ mod tests {
         // section table, or some section mid-payload; decode must return
         // an error at all of them — never panic, never accept a shorter
         // dataset. (Covers the section-table boundaries in particular:
-        // with 3 sections the table spans bytes 12..84.)
+        // with 4 sections the table spans bytes 12..108 — and every cut
+        // inside the trailing sketch section, satisfying the
+        // truncated-sketch boundary requirement.)
         let bytes = encode(&sample()).to_vec();
         for cut in 0..bytes.len() {
             assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
@@ -545,12 +652,70 @@ mod tests {
     fn column_page_corruption_fails_checksum() {
         let ds = tri_width();
         let bytes = encode(&ds);
-        // The last byte of the file is inside the last column's page
-        // payload; flipping it must trip that page's CRC.
+        // The byte just before the sketch section is inside the last
+        // column's page payload; flipping it must trip that page's CRC.
+        let (sketch_off, _) = last_section(&bytes);
         let mut corrupt = bytes.clone();
-        *corrupt.last_mut().unwrap() ^= 1;
+        corrupt[sketch_off - 1] ^= 1;
         let err = decode(&corrupt).unwrap_err();
         assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn sketch_round_trips_and_matches_rebuild() {
+        for ds in [sample(), tri_width()] {
+            let (back, sketch) = decode_with_sketch(&encode(&ds)).unwrap();
+            assert_eq!(back, ds);
+            assert_eq!(sketch.expect("writer always emits a sketch"), build_sketch(&ds));
+        }
+    }
+
+    #[test]
+    fn pre_sketch_v2_snapshot_reads_with_none() {
+        let ds = tri_width();
+        let stripped = strip_sketch(&encode(&ds));
+        let (back, sketch) = decode_with_sketch(&stripped).unwrap();
+        assert_eq!(back, ds);
+        assert!(sketch.is_none(), "pre-sketch v2 files must degrade gracefully");
+        // The plain reader sees the same dataset.
+        assert_eq!(decode(&stripped).unwrap(), ds);
+    }
+
+    #[test]
+    fn sketch_corruption_is_a_one_line_error() {
+        let ds = tri_width();
+        let bytes = encode(&ds);
+        let (sketch_off, sketch_len) = last_section(&bytes);
+        // Flip every byte of the sketch section in turn: the reader
+        // must reject (CRC guards the payload; the length/kind checks
+        // guard a forged CRC) with an error naming the sketch — and the
+        // plain dataset path must reject too, not silently drop it.
+        for i in sketch_off..sketch_off + sketch_len {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xff;
+            let err = decode_with_sketch(&corrupt).unwrap_err();
+            assert!(err.to_string().contains("sketch"), "byte {i}: {err}");
+            assert!(decode(&corrupt).is_err(), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn sketch_shape_mismatch_is_rejected() {
+        // Splice in a syntactically valid sketch describing a different
+        // dataset shape (0 rows, 0 columns): the cross-check against
+        // the schema must fail even though the sketch's own CRC passes.
+        let ds = sample();
+        let bytes = encode(&ds);
+        let (sketch_off, _) = last_section(&bytes);
+        let other = DatasetSketch::build(0, std::iter::empty());
+        let payload = other.encode();
+        let mut out = bytes[..sketch_off].to_vec();
+        out.extend_from_slice(&payload);
+        let count = u32::from_le_bytes(out[8..12].try_into().unwrap()) as usize;
+        let len_at = HEADER_BYTES + (count - 1) * swope_store::section::SECTION_ENTRY_BYTES + 16;
+        out[len_at..len_at + 8].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+        let err = decode_with_sketch(&out).unwrap_err();
+        assert!(err.to_string().contains("sketch covers"), "{err}");
     }
 
     #[test]
@@ -558,8 +723,8 @@ mod tests {
         let ds = sample();
         let bytes = encode(&ds);
         // First byte of the first field name: header (12) + table
-        // (3 sections × 24) + h (4) + n (8) + name_len (4).
-        let name_at = 12 + 3 * 24 + 4 + 8 + 4;
+        // (4 sections × 24) + h (4) + n (8) + name_len (4).
+        let name_at = 12 + 4 * 24 + 4 + 8 + 4;
         assert_eq!(bytes[name_at], b'c', "offset arithmetic drifted");
         let mut corrupt = bytes.clone();
         corrupt[name_at] = b'x';
@@ -574,14 +739,14 @@ mod tests {
         // The first field's has_dict flag: header + table + h + n +
         // (name_len + name) + support.
         let name_len = ds.schema().field(0).unwrap().name().len();
-        let flag_at = 12 + 3 * 24 + 4 + 8 + 4 + name_len + 4;
+        let flag_at = 12 + 4 * 24 + 4 + 8 + 4 + name_len + 4;
         assert_eq!(bytes[flag_at], 1, "offset arithmetic drifted");
         bytes[flag_at] = 2;
         // Re-seal the schema CRC so the flag check itself is reached.
         let schema_len_at = 12 + 16; // first section entry's len field
         let len = u64::from_le_bytes(bytes[schema_len_at..schema_len_at + 8].try_into().unwrap())
             as usize;
-        let body_start = 12 + 3 * 24;
+        let body_start = 12 + 4 * 24;
         let crc = crc32(&bytes[body_start..body_start + len - 4]);
         bytes[body_start + len - 4..body_start + len].copy_from_slice(&crc.to_le_bytes());
         let err = decode(&bytes).unwrap_err();
@@ -615,12 +780,12 @@ mod tests {
         let mut bytes = encode(&ds);
         // Corrupt the first field-name byte and re-seal the schema CRC
         // so the UTF-8 check (not the checksum) is what rejects it.
-        let name_at = 12 + 3 * 24 + 4 + 8 + 4;
+        let name_at = 12 + 4 * 24 + 4 + 8 + 4;
         bytes[name_at] = 0xff;
         let schema_len_at = 12 + 16;
         let len = u64::from_le_bytes(bytes[schema_len_at..schema_len_at + 8].try_into().unwrap())
             as usize;
-        let body_start = 12 + 3 * 24;
+        let body_start = 12 + 4 * 24;
         let crc = crc32(&bytes[body_start..body_start + len - 4]);
         bytes[body_start + len - 4..body_start + len].copy_from_slice(&crc.to_le_bytes());
         let err = decode(&bytes).unwrap_err();

@@ -103,18 +103,31 @@ impl SwopeConfig {
     /// set, otherwise the paper's `1/N` (clamped into `(0, 0.5]` for tiny
     /// datasets where `1/N` would not be a meaningful probability).
     pub fn resolve_p_f(&self, dataset: &Dataset) -> f64 {
+        self.resolve_p_f_rows(dataset.num_rows())
+    }
+
+    /// [`SwopeConfig::resolve_p_f`] against an explicit population size.
+    /// Scoped queries resolve against the scope's row count `n_s`, not the
+    /// dataset's `N` — the guarantees hold over the scoped population.
+    pub fn resolve_p_f_rows(&self, num_rows: usize) -> f64 {
         match self.failure_probability {
             Some(p) => p,
-            None => (1.0 / dataset.num_rows().max(2) as f64).min(0.5),
+            None => (1.0 / num_rows.max(2) as f64).min(0.5),
         }
     }
 
     /// The initial sample size `M0` to use for `dataset`.
     pub fn resolve_m0(&self, dataset: &Dataset, p_f: f64) -> usize {
+        self.resolve_m0_rows(dataset, dataset.num_rows(), p_f)
+    }
+
+    /// [`SwopeConfig::resolve_m0`] against an explicit population size
+    /// (attribute count and supports still come from `dataset`).
+    pub fn resolve_m0_rows(&self, dataset: &Dataset, num_rows: usize, p_f: f64) -> usize {
         match self.initial_sample {
-            Some(m0) => m0.clamp(1, dataset.num_rows().max(1)),
+            Some(m0) => m0.clamp(1, num_rows.max(1)),
             None => initial_sample_size(
-                dataset.num_rows() as u64,
+                num_rows as u64,
                 dataset.num_attrs(),
                 p_f,
                 dataset.schema().max_support() as u64,

@@ -31,6 +31,9 @@ pub enum SwopeError {
     },
     /// A mutual-information query needs at least one non-target attribute.
     NoCandidates,
+    /// The query scope is malformed: an inverted row range, a predicate
+    /// attribute out of range, or a predicate code outside its support.
+    InvalidScope(String),
 }
 
 impl fmt::Display for SwopeError {
@@ -55,6 +58,7 @@ impl fmt::Display for SwopeError {
             Self::NoCandidates => {
                 write!(f, "mutual information query needs at least one candidate attribute")
             }
+            Self::InvalidScope(reason) => write!(f, "invalid scope: {reason}"),
         }
     }
 }

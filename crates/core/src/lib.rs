@@ -68,6 +68,7 @@ mod observe;
 pub mod parallel;
 mod profile;
 mod report;
+mod scope;
 pub mod state;
 mod topk;
 
@@ -83,6 +84,12 @@ pub use profile::{
     mi_profile_observed, ProfileResult,
 };
 pub use report::{AttrScore, FilterResult, IterationTrace, QueryStats, TopKResult, WorkKind};
+pub use scope::{
+    entropy_filter_scoped, entropy_filter_scoped_exec, entropy_profile_scoped,
+    entropy_profile_scoped_exec, entropy_top_k_scoped, entropy_top_k_scoped_exec, mi_filter_scoped,
+    mi_filter_scoped_exec, mi_profile_scoped, mi_profile_scoped_exec, mi_top_k_scoped,
+    mi_top_k_scoped_exec, CoveredDist, Scope,
+};
 pub use topk::{entropy_top_k, entropy_top_k_exec, entropy_top_k_observed};
 
 // Re-export the observer vocabulary so downstream crates can attach

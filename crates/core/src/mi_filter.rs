@@ -9,7 +9,8 @@ use crate::exec::Executor;
 use crate::mi_topk::mi_score;
 use crate::observe::Instrumented;
 use crate::report::{AttrScore, FilterResult, WorkKind};
-use crate::state::{make_sampler, GatherScratch, MiState, TargetState};
+use crate::scope::Population;
+use crate::state::{GatherScratch, MiState, TargetState};
 use crate::{SwopeConfig, SwopeError};
 
 /// Approximate filtering query on empirical mutual information against a
@@ -81,15 +82,31 @@ pub fn mi_filter_exec<O: QueryObserver>(
     if h < 2 {
         return Err(SwopeError::NoCandidates);
     }
-    let candidates = h - 1;
+    mi_filter_run(dataset, target, eta, config, observer, exec, Population::unscoped(n, config))
+}
 
+/// The adaptive loop body, generic over the sampled population (see
+/// [`crate::scope`]). MI populations are always physical — covered-page
+/// histograms cannot synthesize joint co-occurrences.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mi_filter_run<O: QueryObserver>(
+    dataset: &Dataset,
+    target: AttrIndex,
+    eta: f64,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+    mut pop: Population,
+) -> Result<FilterResult, SwopeError> {
+    let h = dataset.num_attrs();
+    let n = pop.n();
+    let candidates = h - 1;
     let epsilon = config.epsilon;
-    let p_f = config.resolve_p_f(dataset);
-    let m0 = config.resolve_m0(dataset, p_f);
+    let p_f = config.resolve_p_f_rows(n);
+    let m0 = config.resolve_m0_rows(dataset, n, p_f);
     let schedule = DoublingSchedule::new(n, m0);
     let p_prime = p_f / (3.0 * schedule.i_max() as f64 * candidates as f64);
 
-    let mut sampler = make_sampler(n, config.sampling);
     let mut target_state = TargetState::new(dataset, target);
     let u_t = target_state.support;
     let mut states: Vec<MiState> =
@@ -97,16 +114,17 @@ pub fn mi_filter_exec<O: QueryObserver>(
     let mut scratch = GatherScratch::new(candidates);
     let mut accepted: Vec<AttrScore> = Vec::new();
     let mut it = Instrumented::start(observer, QueryKind::MiFilter, h, n, config);
+    it.setup(pop.setup_rows(), pop.setup_nanos());
 
     let mut converged_early = false;
     let mut m_target = schedule.m0();
     while !states.is_empty() {
         it.begin_iteration();
         let span = it.phase_start();
-        let delta_range = sampler.grow_delta(m_target);
+        let (delta_range, _covered) = pop.grow(m_target);
         it.phase_end(Phase::SampleGrow, span);
-        let m = sampler.sampled();
-        let delta = &sampler.rows()[delta_range];
+        let m = pop.sampled();
+        let delta = &pop.rows()[delta_range];
         let live = states.len();
         it.iteration(m, live, swope_estimate::bounds::lambda(m as u64, n as u64, p_prime));
         it.record_work(delta.len(), live, WorkKind::MiPerTarget);

@@ -8,7 +8,8 @@ use swope_sampling::DoublingSchedule;
 use crate::exec::Executor;
 use crate::observe::Instrumented;
 use crate::report::{AttrScore, TopKResult, WorkKind};
-use crate::state::{make_sampler, GatherScratch, MiState, TargetState};
+use crate::scope::Population;
+use crate::state::{GatherScratch, MiState, TargetState};
 use crate::topk::top_k_indices;
 use crate::{SwopeConfig, SwopeError};
 
@@ -115,30 +116,48 @@ pub fn mi_top_k_exec<O: QueryObserver>(
     if k == 0 || k > candidates {
         return Err(SwopeError::InvalidK { k, candidates });
     }
+    mi_top_k_run(dataset, target, k, config, observer, exec, Population::unscoped(n, config))
+}
 
+/// The adaptive loop body, generic over the sampled population (see
+/// [`crate::scope`]). MI populations are always physical — covered-page
+/// histograms cannot synthesize joint co-occurrences.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mi_top_k_run<O: QueryObserver>(
+    dataset: &Dataset,
+    target: AttrIndex,
+    k: usize,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+    mut pop: Population,
+) -> Result<TopKResult, SwopeError> {
+    let h = dataset.num_attrs();
+    let n = pop.n();
+    let candidates = h - 1;
     let epsilon = config.epsilon;
-    let p_f = config.resolve_p_f(dataset);
-    let m0 = config.resolve_m0(dataset, p_f);
+    let p_f = config.resolve_p_f_rows(n);
+    let m0 = config.resolve_m0_rows(dataset, n, p_f);
     let schedule = DoublingSchedule::new(n, m0);
     // Three Lemma-3 applications per candidate per iteration (Alg. 3 line 1).
     let p_prime = p_f / (3.0 * schedule.i_max() as f64 * candidates as f64);
 
-    let mut sampler = make_sampler(n, config.sampling);
     let mut target_state = TargetState::new(dataset, target);
     let u_t = target_state.support;
     let mut states: Vec<MiState> =
         (0..h).filter(|&a| a != target).map(|a| MiState::new(a, u_t, dataset.support(a))).collect();
     let mut scratch = GatherScratch::new(candidates);
     let mut it = Instrumented::start(observer, QueryKind::MiTopK, h, n, config);
+    it.setup(pop.setup_rows(), pop.setup_nanos());
 
     let mut m_target = schedule.m0();
     loop {
         it.begin_iteration();
         let span = it.phase_start();
-        let delta_range = sampler.grow_delta(m_target);
+        let (delta_range, _covered) = pop.grow(m_target);
         it.phase_end(Phase::SampleGrow, span);
-        let m = sampler.sampled();
-        let delta = &sampler.rows()[delta_range];
+        let m = pop.sampled();
+        let delta = &pop.rows()[delta_range];
         let lam = lambda(m as u64, n as u64, p_prime);
         let live = states.len();
         it.iteration(m, live, lam);

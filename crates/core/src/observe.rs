@@ -50,6 +50,18 @@ impl<'a, O: QueryObserver> Instrumented<'a, O> {
         Self { obs, stats: QueryStats::default(), iter: 0 }
     }
 
+    /// Accounts a scoped query's scope-resolution work, done before the
+    /// first iteration: `rows` physical rows scanned while materializing
+    /// the scope (predicate matching), plus an optional wall-clock span
+    /// emitted as a `store_sketch` phase at iteration 0. A no-op for
+    /// unscoped populations (`rows == 0`, `nanos == None`).
+    pub fn setup(&mut self, rows: u64, nanos: Option<u64>) {
+        self.stats.rows_scanned += rows;
+        if let Some(ns) = nanos {
+            self.obs.phase(Phase::StoreSketch, 0, ns);
+        }
+    }
+
     /// Advances to the next doubling iteration. Call at the top of the
     /// loop, before any phase of that iteration.
     pub fn begin_iteration(&mut self) {

@@ -16,7 +16,8 @@ use swope_sampling::DoublingSchedule;
 use crate::exec::Executor;
 use crate::observe::Instrumented;
 use crate::report::{AttrScore, QueryStats, WorkKind};
-use crate::state::{make_sampler, EntropyState, GatherScratch, MiState, TargetState};
+use crate::scope::Population;
+use crate::state::{EntropyState, GatherScratch, MiState, TargetState};
 use crate::topk::attr_score;
 use crate::{SwopeConfig, SwopeError};
 
@@ -79,35 +80,51 @@ pub fn entropy_profile_exec<O: QueryObserver>(
     if h == 0 || n == 0 {
         return Err(SwopeError::EmptyDataset);
     }
+    entropy_profile_run(dataset, floor, config, observer, exec, Population::unscoped(n, config))
+}
 
+/// The adaptive loop body, generic over the sampled population (see
+/// [`crate::scope`]).
+pub(crate) fn entropy_profile_run<O: QueryObserver>(
+    dataset: &Dataset,
+    floor: f64,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+    mut pop: Population,
+) -> Result<ProfileResult, SwopeError> {
+    let h = dataset.num_attrs();
+    let n = pop.n();
     let epsilon = config.epsilon;
-    let p_f = config.resolve_p_f(dataset);
-    let m0 = config.resolve_m0(dataset, p_f);
+    let p_f = config.resolve_p_f_rows(n);
+    let m0 = config.resolve_m0_rows(dataset, n, p_f);
     let schedule = DoublingSchedule::new(n, m0);
     let p_prime = p_f / (schedule.i_max() as f64 * h as f64);
 
-    let mut sampler = make_sampler(n, config.sampling);
     let mut states: Vec<EntropyState> =
         (0..h).map(|attr| EntropyState::new(dataset, attr)).collect();
+    pop.attach_covered(&mut states);
     let mut scratch = GatherScratch::new(h);
     let mut done: Vec<AttrScore> = Vec::new();
     let mut it = Instrumented::start(observer, QueryKind::EntropyProfile, h, n, config);
+    it.setup(pop.setup_rows(), pop.setup_nanos());
 
     let mut converged_early = false;
     let mut m_target = schedule.m0();
     while !states.is_empty() {
         it.begin_iteration();
         let span = it.phase_start();
-        let delta_range = sampler.grow_delta(m_target);
+        let (delta_range, covered_k) = pop.grow(m_target);
         it.phase_end(Phase::SampleGrow, span);
-        let m = sampler.sampled();
-        let delta = &sampler.rows()[delta_range];
+        let m = pop.sampled();
+        let delta = &pop.rows()[delta_range];
         let live = states.len();
         it.iteration(m, live, swope_estimate::bounds::lambda(m as u64, n as u64, p_prime));
         it.record_work(delta.len(), live, WorkKind::EntropyMarginals);
 
         let span = it.phase_start();
         exec.for_each2(&mut states, scratch.slots(live), |st, buf| {
+            st.ingest_covered(covered_k);
             st.ingest_staged(dataset.column(st.attr), delta, buf);
         });
         it.phase_end(Phase::Ingest, span);
@@ -196,15 +213,31 @@ pub fn mi_profile_exec<O: QueryObserver>(
     if h < 2 {
         return Err(SwopeError::NoCandidates);
     }
-    let candidates = h - 1;
+    mi_profile_run(dataset, target, floor, config, observer, exec, Population::unscoped(n, config))
+}
 
+/// The adaptive loop body, generic over the sampled population (see
+/// [`crate::scope`]). MI populations are always physical — covered-page
+/// histograms cannot synthesize joint co-occurrences.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mi_profile_run<O: QueryObserver>(
+    dataset: &Dataset,
+    target: AttrIndex,
+    floor: f64,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+    mut pop: Population,
+) -> Result<ProfileResult, SwopeError> {
+    let h = dataset.num_attrs();
+    let n = pop.n();
+    let candidates = h - 1;
     let epsilon = config.epsilon;
-    let p_f = config.resolve_p_f(dataset);
-    let m0 = config.resolve_m0(dataset, p_f);
+    let p_f = config.resolve_p_f_rows(n);
+    let m0 = config.resolve_m0_rows(dataset, n, p_f);
     let schedule = DoublingSchedule::new(n, m0);
     let p_prime = p_f / (3.0 * schedule.i_max() as f64 * candidates as f64);
 
-    let mut sampler = make_sampler(n, config.sampling);
     let mut target_state = TargetState::new(dataset, target);
     let u_t = target_state.support;
     let mut states: Vec<MiState> =
@@ -212,16 +245,17 @@ pub fn mi_profile_exec<O: QueryObserver>(
     let mut scratch = GatherScratch::new(candidates);
     let mut done: Vec<AttrScore> = Vec::new();
     let mut it = Instrumented::start(observer, QueryKind::MiProfile, h, n, config);
+    it.setup(pop.setup_rows(), pop.setup_nanos());
 
     let mut converged_early = false;
     let mut m_target = schedule.m0();
     while !states.is_empty() {
         it.begin_iteration();
         let span = it.phase_start();
-        let delta_range = sampler.grow_delta(m_target);
+        let (delta_range, _covered) = pop.grow(m_target);
         it.phase_end(Phase::SampleGrow, span);
-        let m = sampler.sampled();
-        let delta = &sampler.rows()[delta_range];
+        let m = pop.sampled();
+        let delta = &pop.rows()[delta_range];
         let live = states.len();
         it.iteration(m, live, swope_estimate::bounds::lambda(m as u64, n as u64, p_prime));
         it.record_work(delta.len(), live, WorkKind::MiPerTarget);

@@ -1,0 +1,1228 @@
+//! Scoped queries: restricting any SWOPE query to a row range and/or a
+//! single-attribute predicate, accelerated by the snapshot's per-page
+//! partition sketch.
+//!
+//! A [`Scope`] names a sub-population of the dataset: the rows in
+//! `[row_start, row_end)` that also satisfy an optional `attr = code`
+//! predicate. Every adaptive loop runs unchanged over the scoped
+//! population of size `n_s` — the sample is uniform without replacement
+//! *from the scope*, bounds use `n = n_s`, and `p_f` defaults to `1/n_s`
+//! — so the paper's guarantees hold verbatim over the scoped rows.
+//!
+//! ## How a scope is sampled
+//!
+//! * **Full scope** — delegates to the unscoped entry point; results are
+//!   bitwise identical to an unscoped call by construction.
+//! * **Range scope, entropy queries** — the range is split at page
+//!   (64Ki-row) boundaries into fully *covered* pages, whose exact
+//!   per-code histograms the [`DatasetSketch`] already holds, and a
+//!   *fringe* of at most `2·PAGE_ROWS − 2` boundary rows. The sampler
+//!   simulates a uniform WOR draw over the whole scope: each draw first
+//!   chooses covered-vs-fringe with the hypergeometric odds
+//!   `rem_covered / (rem_covered + rem_fringe)`; a fringe draw yields a
+//!   physical row (incremental Fisher–Yates over the materialized fringe),
+//!   while a covered draw yields, per attribute, a code drawn WOR from the
+//!   covered region's remaining code multiset ([`CoveredDist`]). Covered
+//!   draws never touch the store. Marginally per attribute this is
+//!   exactly a uniform WOR sample of the scoped code multiset (the
+//!   membership process matches row sampling's, and within each side the
+//!   draw is uniform WOR), so Lemma 3's bound applies per attribute;
+//!   attributes are dependent only across the covered region, which the
+//!   union bound over per-attribute events never relied on. At
+//!   `m = n_s` every counter holds the exact scoped counts.
+//! * **Range scope, MI queries / no sketch** — MI needs joint
+//!   co-occurrences, which per-attribute histograms cannot synthesize, so
+//!   the scope is sampled physically: a prefix shuffle over `n_s`
+//!   offset-mapped into the range.
+//! * **Predicate scope** — matching rows are materialized by scanning the
+//!   predicate column once, skipping every page whose sketch histogram
+//!   proves zero matches; queries then sample the row list physically.
+//!
+//! ## `rows_scanned` accounting
+//!
+//! Scoped queries charge physical work only: rows examined while
+//! materializing a predicate scope (setup) plus rows gathered from the
+//! store during sampling. Covered-region draws are synthesized from
+//! sketch histograms without touching the store and are charged zero —
+//! `rows_scanned` measures store traffic, which is precisely what the
+//! sketch exists to avoid.
+//!
+//! ## Empty scopes
+//!
+//! A scope selecting zero rows is well-defined, not an error: every score
+//! is 0 with collapsed bounds `[0, 0]` (the empirical entropy of an empty
+//! population is 0 by convention), top-k returns the first `k`
+//! (candidate) attributes in index order, filters accept exactly when
+//! `η = 0`, and the stats report zero iterations with
+//! `converged_early = true`.
+
+use std::ops::Range;
+use std::time::Instant;
+
+use swope_columnar::{AttrIndex, Code, CodeRepr, Dataset, DatasetSketch};
+use swope_estimate::entropy::EntropyCounter;
+use swope_obs::{QueryKind, QueryObserver};
+use swope_sampling::rng::Xoshiro256pp;
+use swope_sampling::Sampler;
+use swope_store::for_packed;
+use swope_store::page::PAGE_ROWS;
+
+use crate::exec::Executor;
+use crate::observe::Instrumented;
+use crate::report::{AttrScore, FilterResult, QueryStats, TopKResult};
+use crate::state::{make_sampler, EntropyState};
+use crate::{ProfileResult, SamplingStrategy, SwopeConfig, SwopeError};
+
+/// A restriction of a query to part of the dataset: a row range
+/// intersected with an optional single-attribute equality predicate.
+///
+/// `None` bounds mean "unbounded on that side"; `row_end` is exclusive
+/// and clamped to the dataset's row count. The default scope selects
+/// everything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Scope {
+    /// First row of the scope (inclusive). `None` means row 0.
+    pub row_start: Option<usize>,
+    /// One past the last row of the scope. `None` means the dataset end;
+    /// larger values are clamped.
+    pub row_end: Option<usize>,
+    /// Keep only rows whose `attr` column equals `code`.
+    pub predicate: Option<(AttrIndex, Code)>,
+}
+
+impl Scope {
+    /// The unrestricted scope (every row).
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// A pure row-range scope `[start, end)`.
+    pub fn range(start: usize, end: usize) -> Self {
+        Self { row_start: Some(start), row_end: Some(end), predicate: None }
+    }
+
+    /// Returns a copy with the predicate `attr = code` added.
+    pub fn with_predicate(mut self, attr: AttrIndex, code: Code) -> Self {
+        self.predicate = Some((attr, code));
+        self
+    }
+
+    /// Whether this scope is syntactically unrestricted (no predicate,
+    /// no effective bounds). A bounded scope that happens to cover every
+    /// row is also treated as full, but only [`resolve_scope`] can tell.
+    pub fn is_all(&self) -> bool {
+        self.predicate.is_none() && self.row_start.unwrap_or(0) == 0 && self.row_end.is_none()
+    }
+}
+
+/// What a [`Scope`] resolved to against a concrete dataset.
+pub(crate) enum ResolvedScope {
+    /// The scope covers the whole dataset.
+    Full,
+    /// A proper sub-range of rows, no predicate.
+    RowRange(Range<usize>),
+    /// An explicit, ascending list of matching physical rows.
+    Rows(Vec<u32>),
+}
+
+/// A resolved scope plus the bookkeeping the loops need.
+pub(crate) struct ScopeSetup {
+    pub(crate) resolved: ResolvedScope,
+    /// Scoped population size `n_s`.
+    pub(crate) n: usize,
+    /// Physical rows examined while materializing the scope.
+    pub(crate) setup_rows: u64,
+}
+
+/// A sketch is only trusted when its shape matches the dataset; anything
+/// else (stale file, wrong dataset) is treated as absent, which costs
+/// speed but never correctness.
+fn usable_sketch<'a>(
+    dataset: &Dataset,
+    sketch: Option<&'a DatasetSketch>,
+) -> Option<&'a DatasetSketch> {
+    sketch
+        .filter(|sk| sk.num_rows() == dataset.num_rows() && sk.num_columns() == dataset.num_attrs())
+}
+
+/// Validates `scope` against `dataset` and materializes predicate scopes
+/// (with sketch-based page pruning when a matching sketch is supplied).
+pub(crate) fn resolve_scope(
+    dataset: &Dataset,
+    sketch: Option<&DatasetSketch>,
+    scope: &Scope,
+) -> Result<ScopeSetup, SwopeError> {
+    let num_rows = dataset.num_rows();
+    let start = scope.row_start.unwrap_or(0);
+    let end = scope.row_end.unwrap_or(num_rows).min(num_rows);
+    if start > end {
+        return Err(SwopeError::InvalidScope(format!(
+            "row range starts at {start} but ends at {end}"
+        )));
+    }
+    match scope.predicate {
+        None if start == 0 && end == num_rows => {
+            Ok(ScopeSetup { resolved: ResolvedScope::Full, n: num_rows, setup_rows: 0 })
+        }
+        None => Ok(ScopeSetup {
+            resolved: ResolvedScope::RowRange(start..end),
+            n: end - start,
+            setup_rows: 0,
+        }),
+        Some((attr, code)) => {
+            let h = dataset.num_attrs();
+            if attr >= h {
+                return Err(SwopeError::InvalidScope(format!(
+                    "predicate attribute {attr} out of range (dataset has {h})"
+                )));
+            }
+            let support = dataset.support(attr);
+            if code >= support {
+                return Err(SwopeError::InvalidScope(format!(
+                    "predicate code {code} outside attribute {attr}'s support {support}"
+                )));
+            }
+            let sketch = usable_sketch(dataset, sketch);
+            let (rows, scanned) = scan_predicate(dataset, sketch, start..end, attr, code);
+            let n = rows.len();
+            Ok(ScopeSetup { resolved: ResolvedScope::Rows(rows), n, setup_rows: scanned })
+        }
+    }
+}
+
+/// Collects the rows in `range` whose `attr` code equals `code`, skipping
+/// pages the sketch proves empty of matches. Returns the rows (ascending)
+/// and the number of rows actually examined.
+fn scan_predicate(
+    dataset: &Dataset,
+    sketch: Option<&DatasetSketch>,
+    range: Range<usize>,
+    attr: AttrIndex,
+    code: Code,
+) -> (Vec<u32>, u64) {
+    let column = dataset.column(attr);
+    let mut rows = Vec::new();
+    let mut scanned = 0u64;
+    let first_page = range.start / PAGE_ROWS;
+    let last_page = range.end.div_ceil(PAGE_ROWS);
+    for_packed!(column.packed().codes(), |codes| {
+        for page in first_page..last_page {
+            if let Some(sk) = sketch {
+                if sk.column(attr).is_some_and(|c| c.page_count(page, code) == 0) {
+                    continue;
+                }
+            }
+            let lo = range.start.max(page * PAGE_ROWS);
+            let hi = range.end.min((page + 1) * PAGE_ROWS);
+            scanned += (hi - lo) as u64;
+            for (off, c) in codes[lo..hi].iter().enumerate() {
+                if c.widen() == code {
+                    rows.push((lo + off) as u32);
+                }
+            }
+        }
+    });
+    (rows, scanned)
+}
+
+/// WOR sampler over a multiset of codes: the covered region's remaining
+/// per-code counts, kept in a Fenwick tree so each draw costs
+/// `O(log u)`. One per attribute, each with an independently forked RNG,
+/// so per-attribute draw sequences are deterministic regardless of
+/// executor thread count or candidate pruning order.
+#[derive(Debug, Clone)]
+pub struct CoveredDist {
+    /// 1-based Fenwick tree over remaining per-code counts.
+    tree: Vec<u64>,
+    remaining: u64,
+    rng: Xoshiro256pp,
+}
+
+impl CoveredDist {
+    pub(crate) fn new(counts: &[u64], rng: Xoshiro256pp) -> Self {
+        let u = counts.len();
+        let mut tree = vec![0u64; u + 1];
+        for (i, &c) in counts.iter().enumerate() {
+            let i = i + 1;
+            tree[i] += c;
+            let j = i + (i & i.wrapping_neg());
+            if j <= u {
+                tree[j] += tree[i];
+            }
+        }
+        Self { tree, remaining: counts.iter().sum(), rng }
+    }
+
+    /// Covered records not yet drawn.
+    #[cfg(test)]
+    pub(crate) fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Draws `k` codes uniformly without replacement and ingests them
+    /// into `counter`. Drawing everything that remains skips the
+    /// per-draw walk and bulk-adds the leftover counts (the multiset is
+    /// fully consumed whatever the order).
+    pub(crate) fn draw_into(&mut self, counter: &mut EntropyCounter, k: u64) {
+        debug_assert!(k <= self.remaining, "covered overdraw: {k} > {}", self.remaining);
+        if k == 0 {
+            return;
+        }
+        if k >= self.remaining {
+            self.drain_all(counter);
+            return;
+        }
+        for _ in 0..k {
+            let rank = self.rng.next_below(self.remaining);
+            let code = self.descend(rank);
+            self.dec(code);
+            counter.add(code);
+        }
+    }
+
+    /// The code whose cumulative-count interval contains `rank`
+    /// (classic Fenwick descend).
+    fn descend(&self, mut rank: u64) -> u32 {
+        let u = self.tree.len() - 1;
+        let mut pos = 0usize;
+        let mut bit = u.next_power_of_two();
+        if bit > u {
+            bit >>= 1;
+        }
+        while bit > 0 {
+            let next = pos + bit;
+            if next <= u && self.tree[next] <= rank {
+                rank -= self.tree[next];
+                pos = next;
+            }
+            bit >>= 1;
+        }
+        pos as u32
+    }
+
+    fn dec(&mut self, code: u32) {
+        self.remaining -= 1;
+        let u = self.tree.len() - 1;
+        let mut i = code as usize + 1;
+        while i <= u {
+            self.tree[i] -= 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn prefix(&self, mut i: usize) -> u64 {
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i &= i - 1;
+        }
+        sum
+    }
+
+    fn drain_all(&mut self, counter: &mut EntropyCounter) {
+        for code in 0..self.tree.len() - 1 {
+            let count = self.prefix(code + 1) - self.prefix(code);
+            counter.add_count(code as u32, count);
+        }
+        self.tree.fill(0);
+        self.remaining = 0;
+    }
+}
+
+/// RNG fork labels for the hybrid sampler's independent streams.
+const MEMBER_LABEL: u64 = 0x5C09;
+const FRINGE_LABEL: u64 = 0xF219;
+const DIST_LABEL: u64 = 0xD157;
+
+/// The hybrid covered/fringe sampler for range-scoped entropy queries.
+pub(crate) struct HybridPop {
+    n: usize,
+    drawn: usize,
+    rem_covered: u64,
+    rem_fringe: u64,
+    member_rng: Xoshiro256pp,
+    fringe_rows: Vec<u32>,
+    fringe_fixed: usize,
+    fringe_rng: Xoshiro256pp,
+    /// Fringe rows in draw order (the physical delta the loops ingest).
+    rows: Vec<u32>,
+    /// Per-attribute covered-region code counts (summed sketch pages).
+    covered_counts: Vec<Vec<u64>>,
+    dist_base: Xoshiro256pp,
+}
+
+impl HybridPop {
+    fn grow(&mut self, target: usize) -> (Range<usize>, u64) {
+        let target = target.min(self.n);
+        let before = self.rows.len();
+        let mut covered_k = 0u64;
+        while self.drawn < target {
+            let rem = self.rem_covered + self.rem_fringe;
+            if self.member_rng.next_below(rem) < self.rem_covered {
+                self.rem_covered -= 1;
+                covered_k += 1;
+            } else {
+                // One incremental Fisher–Yates step over the fringe.
+                let i = self.fringe_fixed;
+                let span = (self.fringe_rows.len() - i) as u64;
+                let j = i + self.fringe_rng.next_below(span) as usize;
+                self.fringe_rows.swap(i, j);
+                self.rows.push(self.fringe_rows[i]);
+                self.fringe_fixed += 1;
+                self.rem_fringe -= 1;
+            }
+            self.drawn += 1;
+        }
+        (before..self.rows.len(), covered_k)
+    }
+
+    fn dist_for(&self, attr: AttrIndex) -> CoveredDist {
+        CoveredDist::new(&self.covered_counts[attr], self.dist_base.fork(attr as u64))
+    }
+}
+
+/// How a physical sampler's draws map to dataset rows.
+enum RowMap {
+    /// Draws are dataset rows (unscoped).
+    Identity,
+    /// Draws index a contiguous range starting here (range scope).
+    Offset(u32),
+    /// Draws index an explicit row list (predicate scope).
+    List(Vec<u32>),
+}
+
+enum PopKind {
+    Physical { sampler: Box<dyn Sampler>, map: RowMap, rows: Vec<u32> },
+    Hybrid(HybridPop),
+}
+
+/// The population an adaptive loop samples from: the whole dataset, a
+/// mapped sub-population, or the hybrid covered/fringe simulation. All
+/// six loops are written against this, so scoped and unscoped queries
+/// share one loop body.
+pub(crate) struct Population {
+    n: usize,
+    setup_rows: u64,
+    setup_nanos: Option<u64>,
+    kind: PopKind,
+}
+
+impl Population {
+    /// The whole dataset, sampled exactly as the pre-scope code did.
+    pub(crate) fn unscoped(num_rows: usize, config: &SwopeConfig) -> Self {
+        Self {
+            n: num_rows,
+            setup_rows: 0,
+            setup_nanos: None,
+            kind: PopKind::Physical {
+                sampler: make_sampler(num_rows, config.sampling),
+                map: RowMap::Identity,
+                rows: Vec::new(),
+            },
+        }
+    }
+
+    /// A non-full, non-empty resolved scope. `hybrid` enables the
+    /// covered/fringe simulation (valid for entropy queries only; MI
+    /// queries need joint co-occurrences and must sample physically).
+    pub(crate) fn scoped(
+        dataset: &Dataset,
+        sketch: Option<&DatasetSketch>,
+        setup: ScopeSetup,
+        config: &SwopeConfig,
+        hybrid: bool,
+    ) -> Self {
+        let seed = match config.sampling {
+            SamplingStrategy::Row { seed } | SamplingStrategy::Page { seed, .. } => seed,
+        };
+        let sketch = usable_sketch(dataset, sketch);
+        let kind = match setup.resolved {
+            ResolvedScope::Full => unreachable!("full scopes delegate to the unscoped loops"),
+            ResolvedScope::RowRange(range) => {
+                // Pages fully inside the range are covered; the rest of
+                // the range is fringe.
+                let first_page = range.start.div_ceil(PAGE_ROWS);
+                let last_page = range.end / PAGE_ROWS;
+                match sketch {
+                    Some(sk) if hybrid && first_page < last_page => {
+                        let covered_rows = (last_page - first_page) * PAGE_ROWS;
+                        let covered_counts = (0..dataset.num_attrs())
+                            .map(|attr| {
+                                sk.column(attr)
+                                    .map(|c| c.range_counts(first_page..last_page))
+                                    .unwrap_or_default()
+                            })
+                            .collect();
+                        let mut fringe_rows =
+                            Vec::with_capacity(range.end - range.start - covered_rows);
+                        fringe_rows.extend(range.start as u32..(first_page * PAGE_ROWS) as u32);
+                        fringe_rows.extend((last_page * PAGE_ROWS) as u32..range.end as u32);
+                        let base = Xoshiro256pp::seed_from_u64(seed);
+                        PopKind::Hybrid(HybridPop {
+                            n: range.end - range.start,
+                            drawn: 0,
+                            rem_covered: covered_rows as u64,
+                            rem_fringe: fringe_rows.len() as u64,
+                            member_rng: base.fork(MEMBER_LABEL),
+                            fringe_rows,
+                            fringe_fixed: 0,
+                            fringe_rng: base.fork(FRINGE_LABEL),
+                            rows: Vec::new(),
+                            covered_counts,
+                            dist_base: base.fork(DIST_LABEL),
+                        })
+                    }
+                    _ => PopKind::Physical {
+                        sampler: make_sampler(range.end - range.start, config.sampling),
+                        map: RowMap::Offset(range.start as u32),
+                        rows: Vec::new(),
+                    },
+                }
+            }
+            ResolvedScope::Rows(list) => PopKind::Physical {
+                sampler: make_sampler(list.len(), config.sampling),
+                map: RowMap::List(list),
+                rows: Vec::new(),
+            },
+        };
+        Self { n: setup.n, setup_rows: setup.setup_rows, setup_nanos: None, kind }
+    }
+
+    /// Stamps the scope-resolution wall-clock span (observer-enabled
+    /// scoped runs only).
+    pub(crate) fn with_setup_nanos(mut self, nanos: Option<u64>) -> Self {
+        self.setup_nanos = nanos;
+        self
+    }
+
+    /// Population size the loop samples from (`N` unscoped, `n_s` scoped).
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total draws so far (physical + covered).
+    pub(crate) fn sampled(&self) -> usize {
+        match &self.kind {
+            PopKind::Physical { sampler, .. } => sampler.sampled(),
+            PopKind::Hybrid(hp) => hp.drawn,
+        }
+    }
+
+    /// Grows the sample to `target` draws. Returns the new physical
+    /// rows as a range into [`Population::rows`], plus the number of
+    /// covered-region draws this growth step (0 for physical
+    /// populations).
+    pub(crate) fn grow(&mut self, target: usize) -> (Range<usize>, u64) {
+        match &mut self.kind {
+            PopKind::Physical { sampler, map: RowMap::Identity, .. } => {
+                (sampler.grow_delta(target), 0)
+            }
+            PopKind::Physical { sampler, map, rows } => {
+                let before = rows.len();
+                let delta_range = sampler.grow_delta(target);
+                let delta = &sampler.rows()[delta_range];
+                match map {
+                    RowMap::Identity => unreachable!(),
+                    RowMap::Offset(off) => rows.extend(delta.iter().map(|&r| r + *off)),
+                    RowMap::List(list) => rows.extend(delta.iter().map(|&r| list[r as usize])),
+                }
+                (before..rows.len(), 0)
+            }
+            PopKind::Hybrid(hp) => hp.grow(target),
+        }
+    }
+
+    /// All physical rows drawn so far, in draw order.
+    pub(crate) fn rows(&self) -> &[u32] {
+        match &self.kind {
+            PopKind::Physical { sampler, map: RowMap::Identity, .. } => sampler.rows(),
+            PopKind::Physical { rows, .. } => rows,
+            PopKind::Hybrid(hp) => &hp.rows,
+        }
+    }
+
+    /// Physical rows examined while resolving the scope.
+    pub(crate) fn setup_rows(&self) -> u64 {
+        self.setup_rows
+    }
+
+    /// Scope-resolution span for the `store_sketch` trace phase.
+    pub(crate) fn setup_nanos(&self) -> Option<u64> {
+        self.setup_nanos
+    }
+
+    /// Hands each entropy state its covered-region distribution (no-op
+    /// for physical populations).
+    pub(crate) fn attach_covered(&self, states: &mut [EntropyState]) {
+        if let PopKind::Hybrid(hp) = &self.kind {
+            for st in states {
+                st.set_covered(hp.dist_for(st.attr));
+            }
+        }
+    }
+}
+
+/// Stats for a query whose scope selected zero rows: zero iterations,
+/// trivially converged, charging only the scope-resolution scan.
+fn empty_stats<O: QueryObserver>(
+    observer: &mut O,
+    kind: QueryKind,
+    num_attrs: usize,
+    config: &SwopeConfig,
+    setup: &ScopeSetup,
+    started: Option<Instant>,
+) -> QueryStats {
+    let mut it = Instrumented::start(observer, kind, num_attrs, 0, config);
+    it.setup(setup.setup_rows, started.map(|t| t.elapsed().as_nanos() as u64));
+    it.finish(true)
+}
+
+/// The score of any attribute over an empty population: 0 with collapsed
+/// bounds, not produced by an adaptive iteration.
+fn zero_score(dataset: &Dataset, attr: AttrIndex) -> AttrScore {
+    AttrScore {
+        attr,
+        name: dataset.schema().field(attr).map(|f| f.name().to_owned()).unwrap_or_default(),
+        estimate: 0.0,
+        lower: 0.0,
+        upper: 0.0,
+        retired_iteration: 0,
+    }
+}
+
+fn elapsed_nanos(started: Option<Instant>) -> Option<u64> {
+    started.map(|t| t.elapsed().as_nanos() as u64)
+}
+
+/// [`crate::entropy_top_k`] restricted to `scope`.
+///
+/// A full scope returns bitwise-identical results to the unscoped query;
+/// a proper range scope with a matching `sketch` seeds covered pages
+/// from sketch histograms and only reads fringe rows from the store.
+pub fn entropy_top_k_scoped(
+    dataset: &Dataset,
+    k: usize,
+    scope: &Scope,
+    sketch: Option<&DatasetSketch>,
+    config: &SwopeConfig,
+) -> Result<TopKResult, SwopeError> {
+    entropy_top_k_scoped_exec(
+        dataset,
+        k,
+        scope,
+        sketch,
+        config,
+        &mut swope_obs::NoopObserver,
+        &Executor::new(config.threads),
+    )
+}
+
+/// [`entropy_top_k_scoped`] with an observer and executor attached.
+pub fn entropy_top_k_scoped_exec<O: QueryObserver>(
+    dataset: &Dataset,
+    k: usize,
+    scope: &Scope,
+    sketch: Option<&DatasetSketch>,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+) -> Result<TopKResult, SwopeError> {
+    config.validate()?;
+    let h = dataset.num_attrs();
+    if h == 0 || dataset.num_rows() == 0 {
+        return Err(SwopeError::EmptyDataset);
+    }
+    if k == 0 || k > h {
+        return Err(SwopeError::InvalidK { k, candidates: h });
+    }
+    let started = observer.enabled().then(Instant::now);
+    let setup = resolve_scope(dataset, sketch, scope)?;
+    if matches!(setup.resolved, ResolvedScope::Full) {
+        return crate::topk::entropy_top_k_exec(dataset, k, config, observer, exec);
+    }
+    if setup.n == 0 {
+        let top = (0..h).take(k).map(|a| zero_score(dataset, a)).collect();
+        let stats = empty_stats(observer, QueryKind::EntropyTopK, h, config, &setup, started);
+        return Ok(TopKResult { top, stats });
+    }
+    let pop = Population::scoped(dataset, sketch, setup, config, true)
+        .with_setup_nanos(elapsed_nanos(started));
+    crate::topk::entropy_top_k_run(dataset, k, config, observer, exec, pop)
+}
+
+/// [`crate::entropy_filter`] restricted to `scope`.
+pub fn entropy_filter_scoped(
+    dataset: &Dataset,
+    eta: f64,
+    scope: &Scope,
+    sketch: Option<&DatasetSketch>,
+    config: &SwopeConfig,
+) -> Result<FilterResult, SwopeError> {
+    entropy_filter_scoped_exec(
+        dataset,
+        eta,
+        scope,
+        sketch,
+        config,
+        &mut swope_obs::NoopObserver,
+        &Executor::new(config.threads),
+    )
+}
+
+/// [`entropy_filter_scoped`] with an observer and executor attached.
+pub fn entropy_filter_scoped_exec<O: QueryObserver>(
+    dataset: &Dataset,
+    eta: f64,
+    scope: &Scope,
+    sketch: Option<&DatasetSketch>,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+) -> Result<FilterResult, SwopeError> {
+    config.validate()?;
+    if !eta.is_finite() || eta < 0.0 {
+        return Err(SwopeError::InvalidThreshold(eta));
+    }
+    let h = dataset.num_attrs();
+    if h == 0 || dataset.num_rows() == 0 {
+        return Err(SwopeError::EmptyDataset);
+    }
+    let started = observer.enabled().then(Instant::now);
+    let setup = resolve_scope(dataset, sketch, scope)?;
+    if matches!(setup.resolved, ResolvedScope::Full) {
+        return crate::filter::entropy_filter_exec(dataset, eta, config, observer, exec);
+    }
+    if setup.n == 0 {
+        let accepted =
+            if eta == 0.0 { (0..h).map(|a| zero_score(dataset, a)).collect() } else { Vec::new() };
+        let stats = empty_stats(observer, QueryKind::EntropyFilter, h, config, &setup, started);
+        return Ok(FilterResult { accepted, stats });
+    }
+    let pop = Population::scoped(dataset, sketch, setup, config, true)
+        .with_setup_nanos(elapsed_nanos(started));
+    crate::filter::entropy_filter_run(dataset, eta, config, observer, exec, pop)
+}
+
+/// [`crate::entropy_profile`] restricted to `scope`.
+pub fn entropy_profile_scoped(
+    dataset: &Dataset,
+    floor: f64,
+    scope: &Scope,
+    sketch: Option<&DatasetSketch>,
+    config: &SwopeConfig,
+) -> Result<ProfileResult, SwopeError> {
+    entropy_profile_scoped_exec(
+        dataset,
+        floor,
+        scope,
+        sketch,
+        config,
+        &mut swope_obs::NoopObserver,
+        &Executor::new(config.threads),
+    )
+}
+
+/// [`entropy_profile_scoped`] with an observer and executor attached.
+pub fn entropy_profile_scoped_exec<O: QueryObserver>(
+    dataset: &Dataset,
+    floor: f64,
+    scope: &Scope,
+    sketch: Option<&DatasetSketch>,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+) -> Result<ProfileResult, SwopeError> {
+    config.validate()?;
+    if !floor.is_finite() || floor < 0.0 {
+        return Err(SwopeError::InvalidThreshold(floor));
+    }
+    let h = dataset.num_attrs();
+    if h == 0 || dataset.num_rows() == 0 {
+        return Err(SwopeError::EmptyDataset);
+    }
+    let started = observer.enabled().then(Instant::now);
+    let setup = resolve_scope(dataset, sketch, scope)?;
+    if matches!(setup.resolved, ResolvedScope::Full) {
+        return crate::profile::entropy_profile_exec(dataset, floor, config, observer, exec);
+    }
+    if setup.n == 0 {
+        let scores = (0..h).map(|a| zero_score(dataset, a)).collect();
+        let stats = empty_stats(observer, QueryKind::EntropyProfile, h, config, &setup, started);
+        return Ok(ProfileResult { scores, stats });
+    }
+    let pop = Population::scoped(dataset, sketch, setup, config, true)
+        .with_setup_nanos(elapsed_nanos(started));
+    crate::profile::entropy_profile_run(dataset, floor, config, observer, exec, pop)
+}
+
+/// [`crate::mi_top_k`] restricted to `scope`. MI scopes always sample
+/// physically (joint co-occurrences cannot be synthesized from marginal
+/// histograms), but predicate scopes still use the sketch to skip
+/// matchless pages during row materialization.
+pub fn mi_top_k_scoped(
+    dataset: &Dataset,
+    target: AttrIndex,
+    k: usize,
+    scope: &Scope,
+    sketch: Option<&DatasetSketch>,
+    config: &SwopeConfig,
+) -> Result<TopKResult, SwopeError> {
+    mi_top_k_scoped_exec(
+        dataset,
+        target,
+        k,
+        scope,
+        sketch,
+        config,
+        &mut swope_obs::NoopObserver,
+        &Executor::new(config.threads),
+    )
+}
+
+/// [`mi_top_k_scoped`] with an observer and executor attached.
+#[allow(clippy::too_many_arguments)]
+pub fn mi_top_k_scoped_exec<O: QueryObserver>(
+    dataset: &Dataset,
+    target: AttrIndex,
+    k: usize,
+    scope: &Scope,
+    sketch: Option<&DatasetSketch>,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+) -> Result<TopKResult, SwopeError> {
+    config.validate()?;
+    let h = dataset.num_attrs();
+    if h == 0 || dataset.num_rows() == 0 {
+        return Err(SwopeError::EmptyDataset);
+    }
+    if target >= h {
+        return Err(SwopeError::TargetOutOfRange { target, num_attrs: h });
+    }
+    if h < 2 {
+        return Err(SwopeError::NoCandidates);
+    }
+    let candidates = h - 1;
+    if k == 0 || k > candidates {
+        return Err(SwopeError::InvalidK { k, candidates });
+    }
+    let started = observer.enabled().then(Instant::now);
+    let setup = resolve_scope(dataset, sketch, scope)?;
+    if matches!(setup.resolved, ResolvedScope::Full) {
+        return crate::mi_topk::mi_top_k_exec(dataset, target, k, config, observer, exec);
+    }
+    if setup.n == 0 {
+        let top = (0..h).filter(|&a| a != target).take(k).map(|a| zero_score(dataset, a)).collect();
+        let stats = empty_stats(observer, QueryKind::MiTopK, h, config, &setup, started);
+        return Ok(TopKResult { top, stats });
+    }
+    let pop = Population::scoped(dataset, sketch, setup, config, false)
+        .with_setup_nanos(elapsed_nanos(started));
+    crate::mi_topk::mi_top_k_run(dataset, target, k, config, observer, exec, pop)
+}
+
+/// [`crate::mi_filter`] restricted to `scope`.
+pub fn mi_filter_scoped(
+    dataset: &Dataset,
+    target: AttrIndex,
+    eta: f64,
+    scope: &Scope,
+    sketch: Option<&DatasetSketch>,
+    config: &SwopeConfig,
+) -> Result<FilterResult, SwopeError> {
+    mi_filter_scoped_exec(
+        dataset,
+        target,
+        eta,
+        scope,
+        sketch,
+        config,
+        &mut swope_obs::NoopObserver,
+        &Executor::new(config.threads),
+    )
+}
+
+/// [`mi_filter_scoped`] with an observer and executor attached.
+#[allow(clippy::too_many_arguments)]
+pub fn mi_filter_scoped_exec<O: QueryObserver>(
+    dataset: &Dataset,
+    target: AttrIndex,
+    eta: f64,
+    scope: &Scope,
+    sketch: Option<&DatasetSketch>,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+) -> Result<FilterResult, SwopeError> {
+    config.validate()?;
+    if !eta.is_finite() || eta < 0.0 {
+        return Err(SwopeError::InvalidThreshold(eta));
+    }
+    let h = dataset.num_attrs();
+    if h == 0 || dataset.num_rows() == 0 {
+        return Err(SwopeError::EmptyDataset);
+    }
+    if target >= h {
+        return Err(SwopeError::TargetOutOfRange { target, num_attrs: h });
+    }
+    if h < 2 {
+        return Err(SwopeError::NoCandidates);
+    }
+    let started = observer.enabled().then(Instant::now);
+    let setup = resolve_scope(dataset, sketch, scope)?;
+    if matches!(setup.resolved, ResolvedScope::Full) {
+        return crate::mi_filter::mi_filter_exec(dataset, target, eta, config, observer, exec);
+    }
+    if setup.n == 0 {
+        let accepted = if eta == 0.0 {
+            (0..h).filter(|&a| a != target).map(|a| zero_score(dataset, a)).collect()
+        } else {
+            Vec::new()
+        };
+        let stats = empty_stats(observer, QueryKind::MiFilter, h, config, &setup, started);
+        return Ok(FilterResult { accepted, stats });
+    }
+    let pop = Population::scoped(dataset, sketch, setup, config, false)
+        .with_setup_nanos(elapsed_nanos(started));
+    crate::mi_filter::mi_filter_run(dataset, target, eta, config, observer, exec, pop)
+}
+
+/// [`crate::mi_profile`] restricted to `scope`.
+pub fn mi_profile_scoped(
+    dataset: &Dataset,
+    target: AttrIndex,
+    floor: f64,
+    scope: &Scope,
+    sketch: Option<&DatasetSketch>,
+    config: &SwopeConfig,
+) -> Result<ProfileResult, SwopeError> {
+    mi_profile_scoped_exec(
+        dataset,
+        target,
+        floor,
+        scope,
+        sketch,
+        config,
+        &mut swope_obs::NoopObserver,
+        &Executor::new(config.threads),
+    )
+}
+
+/// [`mi_profile_scoped`] with an observer and executor attached.
+#[allow(clippy::too_many_arguments)]
+pub fn mi_profile_scoped_exec<O: QueryObserver>(
+    dataset: &Dataset,
+    target: AttrIndex,
+    floor: f64,
+    scope: &Scope,
+    sketch: Option<&DatasetSketch>,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+) -> Result<ProfileResult, SwopeError> {
+    config.validate()?;
+    if !floor.is_finite() || floor < 0.0 {
+        return Err(SwopeError::InvalidThreshold(floor));
+    }
+    let h = dataset.num_attrs();
+    if h == 0 || dataset.num_rows() == 0 {
+        return Err(SwopeError::EmptyDataset);
+    }
+    if target >= h {
+        return Err(SwopeError::TargetOutOfRange { target, num_attrs: h });
+    }
+    if h < 2 {
+        return Err(SwopeError::NoCandidates);
+    }
+    let started = observer.enabled().then(Instant::now);
+    let setup = resolve_scope(dataset, sketch, scope)?;
+    if matches!(setup.resolved, ResolvedScope::Full) {
+        return crate::profile::mi_profile_exec(dataset, target, floor, config, observer, exec);
+    }
+    if setup.n == 0 {
+        let scores = (0..h).filter(|&a| a != target).map(|a| zero_score(dataset, a)).collect();
+        let stats = empty_stats(observer, QueryKind::MiProfile, h, config, &setup, started);
+        return Ok(ProfileResult { scores, stats });
+    }
+    let pop = Population::scoped(dataset, sketch, setup, config, false)
+        .with_setup_nanos(elapsed_nanos(started));
+    crate::profile::mi_profile_run(dataset, target, floor, config, observer, exec, pop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swope_columnar::{Column, Field, Schema};
+    use swope_estimate::entropy::entropy_from_counts;
+
+    fn dataset(n: usize, supports: &[u32]) -> Dataset {
+        let fields =
+            supports.iter().enumerate().map(|(i, &u)| Field::new(format!("c{i}"), u)).collect();
+        let columns = supports
+            .iter()
+            .map(|&u| {
+                Column::new(
+                    (0..n)
+                        .map(|r| (r as u32).wrapping_mul(2654435761u32.wrapping_add(u)) % u)
+                        .collect(),
+                    u,
+                )
+                .unwrap()
+            })
+            .collect();
+        Dataset::new(Schema::new(fields), columns).unwrap()
+    }
+
+    fn sketch_of(ds: &Dataset) -> DatasetSketch {
+        DatasetSketch::build(ds.num_rows(), (0..ds.num_attrs()).map(|a| ds.column(a).packed()))
+    }
+
+    fn exact_entropy_over(ds: &Dataset, attr: usize, rows: impl Iterator<Item = usize>) -> f64 {
+        let mut counts = vec![0u64; ds.support(attr) as usize];
+        for r in rows {
+            counts[ds.column(attr).code(r) as usize] += 1;
+        }
+        entropy_from_counts(&counts)
+    }
+
+    #[test]
+    fn covered_dist_drains_to_exact_counts() {
+        let counts = vec![5u64, 0, 3, 9, 0, 1];
+        let mut dist = CoveredDist::new(&counts, Xoshiro256pp::seed_from_u64(7));
+        let mut counter = EntropyCounter::new(6);
+        // Draw one at a time so the per-draw path (not the bulk drain)
+        // is exercised until the very last draw.
+        let total: u64 = counts.iter().sum();
+        for _ in 0..total - 1 {
+            dist.draw_into(&mut counter, 1);
+        }
+        dist.draw_into(&mut counter, 1);
+        assert_eq!(dist.remaining(), 0);
+        assert_eq!(counter.counts(), counts.as_slice());
+    }
+
+    #[test]
+    fn covered_dist_bulk_drain_matches_counts() {
+        let counts = vec![2u64, 7, 0, 4];
+        let mut dist = CoveredDist::new(&counts, Xoshiro256pp::seed_from_u64(3));
+        let mut counter = EntropyCounter::new(4);
+        dist.draw_into(&mut counter, 13);
+        assert_eq!(counter.counts(), counts.as_slice());
+        assert_eq!(counter.total(), 13);
+    }
+
+    #[test]
+    fn resolve_rejects_malformed_scopes() {
+        let ds = dataset(100, &[4, 8]);
+        let inverted = Scope::range(50, 10);
+        assert!(matches!(resolve_scope(&ds, None, &inverted), Err(SwopeError::InvalidScope(_))));
+        let bad_attr = Scope::all().with_predicate(9, 0);
+        assert!(matches!(resolve_scope(&ds, None, &bad_attr), Err(SwopeError::InvalidScope(_))));
+        let bad_code = Scope::all().with_predicate(0, 99);
+        assert!(matches!(resolve_scope(&ds, None, &bad_code), Err(SwopeError::InvalidScope(_))));
+    }
+
+    #[test]
+    fn resolve_detects_full_and_clamps() {
+        let ds = dataset(100, &[4]);
+        for scope in [Scope::all(), Scope::range(0, 100), Scope::range(0, 500)] {
+            let setup = resolve_scope(&ds, None, &scope).unwrap();
+            assert!(matches!(setup.resolved, ResolvedScope::Full), "{scope:?}");
+            assert_eq!(setup.n, 100);
+        }
+        let setup = resolve_scope(&ds, None, &Scope::range(10, 10)).unwrap();
+        assert_eq!(setup.n, 0);
+    }
+
+    #[test]
+    fn predicate_scope_materializes_matching_rows() {
+        let ds = dataset(1000, &[4, 8]);
+        let scope = Scope::all().with_predicate(0, 2);
+        let setup = resolve_scope(&ds, Some(&sketch_of(&ds)), &scope).unwrap();
+        let ResolvedScope::Rows(rows) = &setup.resolved else { panic!("expected rows") };
+        let expected: Vec<u32> =
+            (0..1000).filter(|&r| ds.column(0).code(r) == 2).map(|r| r as u32).collect();
+        assert_eq!(rows, &expected);
+        assert_eq!(setup.n, expected.len());
+        assert_eq!(setup.setup_rows, 1000);
+    }
+
+    #[test]
+    fn full_scope_is_bitwise_identical_to_unscoped() {
+        let ds = dataset(20_000, &[2, 64, 8]);
+        let cfg = SwopeConfig::default().with_seed(11);
+        let unscoped = crate::entropy_top_k(&ds, 2, &cfg).unwrap();
+        let scoped =
+            entropy_top_k_scoped(&ds, 2, &Scope::all(), Some(&sketch_of(&ds)), &cfg).unwrap();
+        assert_eq!(unscoped, scoped);
+    }
+
+    #[test]
+    fn range_scope_without_sketch_matches_brute_force() {
+        // A range small enough that the query degenerates to an exact
+        // scan of the scope: the result must equal a brute-force recount.
+        let ds = dataset(10_000, &[4, 16]);
+        let scope = Scope::range(100, 600);
+        let r = entropy_top_k_scoped(&ds, 2, &scope, None, &SwopeConfig::default()).unwrap();
+        for s in &r.top {
+            let exact = exact_entropy_over(&ds, s.attr, 100..600);
+            assert!(
+                (s.estimate - exact).abs() < 1e-9,
+                "attr {}: {} vs {exact}",
+                s.attr,
+                s.estimate
+            );
+        }
+        assert_eq!(r.stats.sample_size, 500);
+    }
+
+    #[test]
+    fn hybrid_range_scope_is_exact_at_full_sample() {
+        // Scope spans 3 full pages plus unaligned edges on both sides;
+        // epsilon is tight enough on this small scope that the loop runs
+        // to m = n_s, where hybrid counters must be exactly the scoped
+        // counts.
+        let n = 6 * PAGE_ROWS;
+        let ds = dataset(n, &[3, 7]);
+        let sk = sketch_of(&ds);
+        let (start, end) = (PAGE_ROWS - 123, 4 * PAGE_ROWS + 456);
+        let scope = Scope::range(start, end);
+        let cfg = SwopeConfig { epsilon: 0.001, ..SwopeConfig::default() };
+        let r = entropy_profile_scoped(&ds, 1e-6, &scope, Some(&sk), &cfg).unwrap();
+        assert_eq!(r.stats.sample_size, end - start);
+        for s in &r.scores {
+            let exact = exact_entropy_over(&ds, s.attr, start..end);
+            assert!(
+                (s.estimate - exact).abs() < 1e-9,
+                "attr {}: {} vs {exact}",
+                s.attr,
+                s.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_range_scope_scans_only_fringe_rows() {
+        // 17 pages, scope covering 4 full pages plus 500 rows of fringe
+        // on each side (~24% of the rows): the hybrid sampler must charge
+        // store work only for the 1000 fringe rows it actually gathers,
+        // far below the unscoped query's bill.
+        let n = 17 * PAGE_ROWS;
+        let ds = dataset(n, &[16, 64]);
+        let sk = sketch_of(&ds);
+        let cfg = SwopeConfig::default().with_seed(3);
+        let scope = Scope::range(PAGE_ROWS - 500, 5 * PAGE_ROWS + 500);
+        let scoped = entropy_top_k_scoped(&ds, 1, &scope, Some(&sk), &cfg).unwrap();
+        let unscoped = crate::entropy_top_k(&ds, 1, &cfg).unwrap();
+        assert!(
+            scoped.stats.rows_scanned * 4 <= unscoped.stats.rows_scanned,
+            "scoped {} vs unscoped {}",
+            scoped.stats.rows_scanned,
+            unscoped.stats.rows_scanned
+        );
+        // And the answer still matches the scoped brute force.
+        let exact =
+            exact_entropy_over(&ds, scoped.top[0].attr, PAGE_ROWS - 500..5 * PAGE_ROWS + 500);
+        assert!(scoped.top[0].lower <= exact + 1e-9 && exact <= scoped.top[0].upper + 1e-9);
+    }
+
+    #[test]
+    fn empty_scope_results_are_well_defined() {
+        let ds = dataset(1000, &[4, 8, 2]);
+        let cfg = SwopeConfig::default();
+        let scope = Scope::range(500, 500);
+        let top = entropy_top_k_scoped(&ds, 2, &scope, None, &cfg).unwrap();
+        assert_eq!(top.top.len(), 2);
+        assert!(top.top.iter().all(|s| s.estimate == 0.0 && s.upper == 0.0));
+        assert!(top.stats.converged_early);
+        assert_eq!(top.stats.iterations, 0);
+
+        let none = entropy_filter_scoped(&ds, 1.0, &scope, None, &cfg).unwrap();
+        assert!(none.accepted.is_empty());
+        let all = entropy_filter_scoped(&ds, 0.0, &scope, None, &cfg).unwrap();
+        assert_eq!(all.accepted.len(), 3);
+
+        let prof = mi_profile_scoped(&ds, 0, 0.05, &scope, None, &cfg).unwrap();
+        assert_eq!(prof.scores.len(), 2);
+        assert!(prof.scores.iter().all(|s| s.estimate == 0.0));
+    }
+
+    #[test]
+    fn mi_scoped_range_matches_full_scan_of_scope() {
+        use swope_estimate::joint::mutual_information;
+        // Candidate 1 copies the target inside the scope only, so scoped
+        // MI differs sharply from unscoped MI.
+        let n = 4000;
+        let target: Vec<u32> = (0..n).map(|r| (r % 4) as u32).collect();
+        let copy: Vec<u32> = (0..n).map(|r| if r < 2000 { (r % 4) as u32 } else { 0 }).collect();
+        let ds = Dataset::new(
+            Schema::new(vec![Field::new("t", 4), Field::new("c", 4)]),
+            vec![Column::new(target, 4).unwrap(), Column::new(copy, 4).unwrap()],
+        )
+        .unwrap();
+        let scope = Scope::range(0, 2000);
+        let cfg = SwopeConfig { epsilon: 0.01, ..SwopeConfig::default() };
+        let r = mi_top_k_scoped(&ds, 0, 1, &scope, None, &cfg).unwrap();
+        // Exact MI over the scoped rows: candidate copies target -> 2 bits.
+        let scoped_cols = (
+            Column::new((0..2000).map(|r| (r % 4) as u32).collect(), 4).unwrap(),
+            Column::new((0..2000).map(|r| (r % 4) as u32).collect(), 4).unwrap(),
+        );
+        let exact = mutual_information(&scoped_cols.0, &scoped_cols.1);
+        assert!(
+            (r.top[0].estimate - exact).abs() < 0.1,
+            "scoped MI {} vs exact {exact}",
+            r.top[0].estimate
+        );
+    }
+
+    #[test]
+    fn predicate_scope_entropy_matches_brute_force() {
+        let ds = dataset(8_000, &[4, 32]);
+        let sk = sketch_of(&ds);
+        let scope = Scope::all().with_predicate(0, 1);
+        let cfg = SwopeConfig { epsilon: 0.01, ..SwopeConfig::default() };
+        let r = entropy_profile_scoped(&ds, 1e-6, &scope, Some(&sk), &cfg).unwrap();
+        let rows: Vec<usize> = (0..8_000).filter(|&row| ds.column(0).code(row) == 1).collect();
+        for s in &r.scores {
+            let exact = exact_entropy_over(&ds, s.attr, rows.iter().copied());
+            assert!(
+                (s.estimate - exact).abs() < 1e-6,
+                "attr {}: {} vs {exact}",
+                s.attr,
+                s.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn scoped_queries_are_deterministic_and_thread_invariant() {
+        let n = 3 * PAGE_ROWS;
+        let ds = dataset(n, &[8, 128, 2]);
+        let sk = sketch_of(&ds);
+        let scope = Scope::range(1000, 2 * PAGE_ROWS + 777);
+        let cfg = SwopeConfig::default().with_seed(42);
+        let a = entropy_top_k_scoped(&ds, 2, &scope, Some(&sk), &cfg).unwrap();
+        let b = entropy_top_k_scoped(&ds, 2, &scope, Some(&sk), &cfg).unwrap();
+        assert_eq!(a, b);
+        let par =
+            entropy_top_k_scoped(&ds, 2, &scope, Some(&sk), &cfg.clone().with_threads(8)).unwrap();
+        assert_eq!(a, par);
+    }
+
+    #[test]
+    fn mismatched_sketch_is_ignored() {
+        let ds = dataset(2_000, &[4, 8]);
+        let other = dataset(500, &[4, 8]);
+        let stale = sketch_of(&other);
+        // Must still answer correctly (physically) rather than trusting
+        // the wrong histograms.
+        let scope = Scope::range(100, 1100);
+        let cfg = SwopeConfig { epsilon: 0.01, ..SwopeConfig::default() };
+        let r = entropy_profile_scoped(&ds, 1e-6, &scope, Some(&stale), &cfg).unwrap();
+        for s in &r.scores {
+            let exact = exact_entropy_over(&ds, s.attr, 100..1100);
+            assert!((s.estimate - exact).abs() < 1e-6);
+        }
+    }
+}

@@ -28,6 +28,7 @@ use swope_estimate::joint::JointEntropyCounter;
 use swope_sampling::{PageShuffle, PrefixShuffle, Sampler};
 use swope_store::{for_packed, gather};
 
+use crate::scope::CoveredDist;
 use crate::SamplingStrategy;
 
 /// Row-block granularity of the gather-staged ingest path.
@@ -104,6 +105,9 @@ pub struct EntropyState {
     /// The attribute's support size `u_alpha`.
     pub support: u32,
     counter: EntropyCounter,
+    /// Covered-region code distribution of a scoped hybrid sample
+    /// (see [`crate::scope`]); `None` for unscoped queries.
+    covered: Option<CoveredDist>,
     /// Confidence interval from the most recent [`EntropyState::update_bounds`].
     pub bounds: EntropyBounds,
 }
@@ -116,6 +120,7 @@ impl EntropyState {
             attr,
             support,
             counter: EntropyCounter::new(support),
+            covered: None,
             bounds: EntropyBounds {
                 sample_entropy: 0.0,
                 lower: 0.0,
@@ -123,6 +128,26 @@ impl EntropyState {
                 lambda: f64::INFINITY,
                 bias: f64::INFINITY,
             },
+        }
+    }
+
+    /// Attaches the covered-region code distribution of a scoped hybrid
+    /// sample; [`EntropyState::ingest_covered`] draws from it.
+    pub fn set_covered(&mut self, dist: CoveredDist) {
+        self.covered = Some(dist);
+    }
+
+    /// Draws `k` covered-region records from the attached distribution
+    /// into the counter (no-op without one, or when `k == 0`). Scoped
+    /// hybrid iterations call this with the iteration's covered draw
+    /// count before ingesting the physical fringe delta.
+    #[inline]
+    pub fn ingest_covered(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        if let Some(dist) = &mut self.covered {
+            dist.draw_into(&mut self.counter, k);
         }
     }
 

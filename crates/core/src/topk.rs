@@ -8,7 +8,8 @@ use swope_sampling::DoublingSchedule;
 use crate::exec::Executor;
 use crate::observe::Instrumented;
 use crate::report::{AttrScore, TopKResult, WorkKind};
-use crate::state::{make_sampler, EntropyState, GatherScratch};
+use crate::scope::Population;
+use crate::state::{EntropyState, GatherScratch};
 use crate::{SwopeConfig, SwopeError};
 
 /// Approximate top-k query on empirical entropy (paper Algorithm 1).
@@ -77,29 +78,46 @@ pub fn entropy_top_k_exec<O: QueryObserver>(
     if k == 0 || k > h {
         return Err(SwopeError::InvalidK { k, candidates: h });
     }
+    entropy_top_k_run(dataset, k, config, observer, exec, Population::unscoped(n, config))
+}
 
+/// The adaptive loop body, generic over the sampled population. Unscoped
+/// queries pass [`Population::unscoped`] (exactly the pre-scope
+/// behavior); scoped queries pass a range-, predicate-, or
+/// hybrid-sampled population with `n = n_s`.
+pub(crate) fn entropy_top_k_run<O: QueryObserver>(
+    dataset: &Dataset,
+    k: usize,
+    config: &SwopeConfig,
+    observer: &mut O,
+    exec: &Executor,
+    mut pop: Population,
+) -> Result<TopKResult, SwopeError> {
+    let h = dataset.num_attrs();
+    let n = pop.n();
     let epsilon = config.epsilon;
-    let p_f = config.resolve_p_f(dataset);
-    let m0 = config.resolve_m0(dataset, p_f);
+    let p_f = config.resolve_p_f_rows(n);
+    let m0 = config.resolve_m0_rows(dataset, n, p_f);
     let schedule = DoublingSchedule::new(n, m0);
     // Union-bound budget: bounds are applied to at most h attributes in
     // each of at most i_max iterations (Theorem 1's proof).
     let p_prime = p_f / (schedule.i_max() as f64 * h as f64);
 
-    let mut sampler = make_sampler(n, config.sampling);
     let mut states: Vec<EntropyState> =
         (0..h).map(|attr| EntropyState::new(dataset, attr)).collect();
+    pop.attach_covered(&mut states);
     let mut scratch = GatherScratch::new(h);
     let mut it = Instrumented::start(observer, QueryKind::EntropyTopK, h, n, config);
+    it.setup(pop.setup_rows(), pop.setup_nanos());
 
     let mut m_target = schedule.m0();
     loop {
         it.begin_iteration();
         let span = it.phase_start();
-        let delta_range = sampler.grow_delta(m_target);
+        let (delta_range, covered_k) = pop.grow(m_target);
         it.phase_end(Phase::SampleGrow, span);
-        let m = sampler.sampled();
-        let delta = &sampler.rows()[delta_range];
+        let m = pop.sampled();
+        let delta = &pop.rows()[delta_range];
         let lam = lambda(m as u64, n as u64, p_prime);
         let live = states.len();
         it.iteration(m, live, lam);
@@ -107,6 +125,7 @@ pub fn entropy_top_k_exec<O: QueryObserver>(
 
         let span = it.phase_start();
         exec.for_each2(&mut states, scratch.slots(live), |st, buf| {
+            st.ingest_covered(covered_k);
             st.ingest_staged(dataset.column(st.attr), delta, buf);
         });
         it.phase_end(Phase::Ingest, span);

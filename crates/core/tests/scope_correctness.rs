@@ -1,0 +1,227 @@
+//! Correctness properties of scoped queries (`Scope` + partition
+//! sketches), across all six adaptive loops:
+//!
+//! * a scope covering every row is *bitwise identical* to the unscoped
+//!   query — scoping must never perturb existing answers;
+//! * at full sample (`m = n_s`) a range scope reproduces the exact
+//!   brute-force statistic over the scoped rows, whether the range is
+//!   page-aligned or straddles 65 536-row page boundaries — the hybrid
+//!   sketch-seeded path and the physical fringe path must agree with a
+//!   plain scan;
+//! * an empty range is well-defined (zero scores, zero rows sampled),
+//!   not an error or a panic;
+//! * scoped answers are invariant to thread count (1 vs 8) and to the
+//!   width columns are packed at (`u8`/`u16`/`u32`).
+
+use swope_columnar::{Column, Dataset, DatasetSketch, Field, Schema, Width, PAGE_ROWS};
+use swope_core::{
+    entropy_filter, entropy_filter_scoped, entropy_profile, entropy_profile_scoped, entropy_top_k,
+    entropy_top_k_scoped, mi_filter, mi_filter_scoped, mi_profile, mi_profile_scoped, mi_top_k,
+    mi_top_k_scoped, Scope, SwopeConfig,
+};
+use swope_estimate::entropy::entropy_from_counts;
+use swope_estimate::joint::mutual_information_over_rows;
+use swope_sampling::rng::Xoshiro256pp;
+
+const TARGET: usize = 5;
+
+/// Mixed supports and skews over `pages` full sketch pages plus a
+/// ragged tail, so scopes can be aligned, unaligned, and tail-covering.
+fn dataset(seed: u64, n: usize) -> Dataset {
+    let mut r = Xoshiro256pp::seed_from_u64(seed);
+    let mut fields = Vec::new();
+    let mut columns = Vec::new();
+    for (i, &support) in [2u32, 3, 8, 40, 200, 16].iter().enumerate() {
+        let skew = i % 2 == 0;
+        let codes: Vec<u32> = (0..n)
+            .map(|_| {
+                let c = r.next_below(support as u64) as u32;
+                if skew && r.next_below(4) != 0 {
+                    0
+                } else {
+                    c
+                }
+            })
+            .collect();
+        fields.push(Field::new(format!("a{i}"), support));
+        columns.push(Column::new(codes, support).unwrap());
+    }
+    Dataset::new(Schema::new(fields), columns).unwrap()
+}
+
+fn sketch_of(ds: &Dataset) -> DatasetSketch {
+    DatasetSketch::build(ds.num_rows(), (0..ds.num_attrs()).map(|a| ds.column(a).packed()))
+}
+
+fn config(seed: u64, epsilon: f64, threads: usize) -> SwopeConfig {
+    SwopeConfig::with_epsilon(epsilon).with_seed(seed).with_threads(threads)
+}
+
+/// Exact entropy of `attr` over `range` by a plain scan.
+fn brute_entropy(ds: &Dataset, attr: usize, range: std::ops::Range<usize>) -> f64 {
+    let col = ds.column(attr);
+    let mut counts = vec![0u64; col.support() as usize];
+    for r in range {
+        counts[col.code(r) as usize] += 1;
+    }
+    entropy_from_counts(&counts)
+}
+
+#[test]
+fn full_range_scope_is_bitwise_identical_across_all_six_loops() {
+    let ds = dataset(31, 2 * PAGE_ROWS + 1234);
+    let sk = sketch_of(&ds);
+    let n = ds.num_rows();
+    // Both spellings of "everything": the explicit 0..n range and the
+    // unrestricted default scope.
+    for scope in [Scope::range(0, n), Scope::all()] {
+        let cfg = config(31, 0.15, 1);
+        assert_eq!(
+            entropy_top_k_scoped(&ds, 3, &scope, Some(&sk), &cfg).unwrap(),
+            entropy_top_k(&ds, 3, &cfg).unwrap()
+        );
+        assert_eq!(
+            entropy_filter_scoped(&ds, 1.0, &scope, Some(&sk), &cfg).unwrap(),
+            entropy_filter(&ds, 1.0, &cfg).unwrap()
+        );
+        assert_eq!(
+            entropy_profile_scoped(&ds, 0.05, &scope, Some(&sk), &cfg).unwrap(),
+            entropy_profile(&ds, 0.05, &cfg).unwrap()
+        );
+        let cfg = config(31, 0.5, 1);
+        assert_eq!(
+            mi_top_k_scoped(&ds, TARGET, 3, &scope, Some(&sk), &cfg).unwrap(),
+            mi_top_k(&ds, TARGET, 3, &cfg).unwrap()
+        );
+        assert_eq!(
+            mi_filter_scoped(&ds, TARGET, 0.1, &scope, Some(&sk), &cfg).unwrap(),
+            mi_filter(&ds, TARGET, 0.1, &cfg).unwrap()
+        );
+        assert_eq!(
+            mi_profile_scoped(&ds, TARGET, 0.05, &scope, Some(&sk), &cfg).unwrap(),
+            mi_profile(&ds, TARGET, 0.05, &cfg).unwrap()
+        );
+    }
+}
+
+#[test]
+fn range_scopes_at_page_boundaries_match_brute_force_at_full_sample() {
+    let ds = dataset(32, 3 * PAGE_ROWS + 777);
+    let sk = sketch_of(&ds);
+    // A tiny epsilon drives the adaptive loops to m = n_s, where the
+    // estimate must be *exact* over the scoped rows. The ranges cover
+    // the interesting alignments: page-aligned on both ends, straddling
+    // boundaries on either side, within one page, and into the ragged
+    // tail page.
+    let ranges = [
+        PAGE_ROWS..2 * PAGE_ROWS,               // aligned both ends
+        PAGE_ROWS - 1..2 * PAGE_ROWS + 1,       // unaligned both ends
+        0..PAGE_ROWS + 1,                       // aligned start only
+        PAGE_ROWS + 9..PAGE_ROWS + 5000,        // inside one page
+        2 * PAGE_ROWS + 5..3 * PAGE_ROWS + 700, // ends in the tail
+    ];
+    let cfg = config(32, 0.0005, 1);
+    for range in ranges {
+        let scope = Scope::range(range.start, range.end);
+        let n_s = range.len();
+        let prof = entropy_profile_scoped(&ds, 0.0, &scope, Some(&sk), &cfg).unwrap();
+        assert_eq!(prof.stats.sample_size, n_s, "{range:?} should sample to exhaustion");
+        for s in &prof.scores {
+            let exact = brute_entropy(&ds, s.attr, range.clone());
+            assert!(
+                (s.estimate - exact).abs() < 1e-9,
+                "attr {} over {range:?}: estimate {} vs exact {exact}",
+                s.attr,
+                s.estimate
+            );
+        }
+        let prof = mi_profile_scoped(&ds, TARGET, 0.0, &scope, Some(&sk), &cfg).unwrap();
+        let rows: Vec<u32> = (range.start as u32..range.end as u32).collect();
+        for s in &prof.scores {
+            let exact = mutual_information_over_rows(ds.column(TARGET), ds.column(s.attr), &rows);
+            assert!(
+                (s.estimate - exact).abs() < 1e-9,
+                "MI attr {} over {range:?}: estimate {} vs exact {exact}",
+                s.attr,
+                s.estimate
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_ranges_are_well_defined_across_all_six_loops() {
+    let ds = dataset(33, PAGE_ROWS + 100);
+    let sk = sketch_of(&ds);
+    let cfg = config(33, 0.1, 1);
+    for scope in [Scope::range(500, 500), Scope::range(PAGE_ROWS + 100, usize::MAX)] {
+        let r = entropy_top_k_scoped(&ds, 3, &scope, Some(&sk), &cfg).unwrap();
+        assert_eq!(r.stats.sample_size, 0);
+        assert_eq!(r.top.len(), 3);
+        assert!(r.top.iter().all(|s| s.estimate == 0.0 && s.lower == 0.0 && s.upper == 0.0));
+        let r = entropy_filter_scoped(&ds, 1.0, &scope, Some(&sk), &cfg).unwrap();
+        assert!(r.accepted.is_empty());
+        let r = entropy_filter_scoped(&ds, 0.0, &scope, Some(&sk), &cfg).unwrap();
+        assert_eq!(r.accepted.len(), ds.num_attrs(), "eta = 0 accepts everything vacuously");
+        let r = entropy_profile_scoped(&ds, 0.05, &scope, Some(&sk), &cfg).unwrap();
+        assert!(r.scores.iter().all(|s| s.estimate == 0.0));
+        let r = mi_top_k_scoped(&ds, TARGET, 2, &scope, Some(&sk), &cfg).unwrap();
+        assert_eq!(r.top.len(), 2);
+        assert!(r.top.iter().all(|s| s.estimate == 0.0));
+        let r = mi_filter_scoped(&ds, TARGET, 0.1, &scope, Some(&sk), &cfg).unwrap();
+        assert!(r.accepted.is_empty());
+        let r = mi_profile_scoped(&ds, TARGET, 0.05, &scope, Some(&sk), &cfg).unwrap();
+        assert!(r.scores.iter().all(|s| s.estimate == 0.0));
+    }
+}
+
+/// The same logical dataset with every column forced to `width`.
+fn repacked(ds: &Dataset, width: Width) -> Dataset {
+    let columns = (0..ds.num_attrs())
+        .map(|a| ds.column(a).with_width(width).expect("supports fit every width"))
+        .collect();
+    Dataset::new(ds.schema().clone(), columns).unwrap()
+}
+
+#[test]
+fn scoped_answers_are_thread_and_width_invariant() {
+    let ds = dataset(34, 2 * PAGE_ROWS + 4321);
+    // An unaligned range (hybrid path) and a predicate (row-list path).
+    let scopes = [
+        Scope::range(PAGE_ROWS - 250, 2 * PAGE_ROWS + 250),
+        Scope::range(0, ds.num_rows()).with_predicate(0, 0),
+    ];
+    for scope in &scopes {
+        let baseline_sk = sketch_of(&ds);
+        let baseline =
+            entropy_top_k_scoped(&ds, 3, scope, Some(&baseline_sk), &config(34, 0.15, 1)).unwrap();
+        let mi_baseline =
+            mi_top_k_scoped(&ds, TARGET, 3, scope, Some(&baseline_sk), &config(34, 0.5, 1))
+                .unwrap();
+        for width in [Width::U8, Width::U16, Width::U32] {
+            let packed = repacked(&ds, width);
+            let sk = sketch_of(&packed);
+            for threads in [1, 8] {
+                assert_eq!(
+                    entropy_top_k_scoped(&packed, 3, scope, Some(&sk), &config(34, 0.15, threads))
+                        .unwrap(),
+                    baseline,
+                    "entropy: width = {width}, threads = {threads}"
+                );
+                assert_eq!(
+                    mi_top_k_scoped(
+                        &packed,
+                        TARGET,
+                        3,
+                        scope,
+                        Some(&sk),
+                        &config(34, 0.5, threads)
+                    )
+                    .unwrap(),
+                    mi_baseline,
+                    "mi: width = {width}, threads = {threads}"
+                );
+            }
+        }
+    }
+}

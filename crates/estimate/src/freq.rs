@@ -35,6 +35,16 @@ impl DenseCounter {
         *slot
     }
 
+    /// Adds `k` occurrences of `code` in one step, returning the new
+    /// count. Scoped queries drain covered-page histograms through this.
+    #[inline]
+    pub fn add_n(&mut self, code: u32, k: u64) -> u64 {
+        let slot = &mut self.counts[code as usize];
+        *slot += k;
+        self.total += k;
+        *slot
+    }
+
     /// Current count of `code`.
     #[inline]
     pub fn count(&self, code: u32) -> u64 {

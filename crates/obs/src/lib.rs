@@ -98,7 +98,9 @@ impl QueryKind {
     }
 }
 
-/// The four phases every doubling iteration passes through.
+/// The four phases every doubling iteration passes through, plus the
+/// one-shot scope-setup phase a scoped query runs before its first
+/// iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Extending the shuffled sample prefix from `M` to the next target.
@@ -109,15 +111,19 @@ pub enum Phase {
     UpdateBounds,
     /// Applying the stopping rule and pruning/retiring candidates.
     Decide,
+    /// Resolving a query scope against the partition sketch: summing
+    /// covered-page histograms, materializing fringe/predicate rows.
+    /// Emitted once per scoped query with iteration 0.
+    StoreSketch,
 }
 
 impl Phase {
     /// Number of variants (array sizing).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// All variants, in `index()` order.
     pub const ALL: [Phase; Self::COUNT] =
-        [Phase::SampleGrow, Phase::Ingest, Phase::UpdateBounds, Phase::Decide];
+        [Phase::SampleGrow, Phase::Ingest, Phase::UpdateBounds, Phase::Decide, Phase::StoreSketch];
 
     /// Stable dense index for per-phase arrays.
     pub fn index(self) -> usize {
@@ -126,6 +132,7 @@ impl Phase {
             Phase::Ingest => 1,
             Phase::UpdateBounds => 2,
             Phase::Decide => 3,
+            Phase::StoreSketch => 4,
         }
     }
 
@@ -136,6 +143,7 @@ impl Phase {
             Phase::Ingest => "ingest",
             Phase::UpdateBounds => "update_bounds",
             Phase::Decide => "decide",
+            Phase::StoreSketch => "store_sketch",
         }
     }
 }

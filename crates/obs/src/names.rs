@@ -69,6 +69,19 @@ pub const STORE_BYTES_SAVED: &str = "swope_store_bytes_saved";
 /// columns packed at each storage width.
 pub const STORE_COLUMNS: &str = "swope_store_columns";
 
+/// Gauge: bytes the per-page partition sketches of all registered
+/// datasets occupy when encoded (the scoped-query index footprint).
+pub const SKETCH_BYTES: &str = "swope_sketch_bytes";
+
+/// Gauge: total sketch pages across registered datasets (one page per
+/// 65 536-row slab per column-set).
+pub const SKETCH_PAGES: &str = "swope_sketch_pages";
+
+/// Gauge: fraction of registered rows inside fully-covered sketch
+/// pages — range scopes aligned to those pages are answered from the
+/// sketch without touching the store.
+pub const SKETCH_COVERAGE: &str = "swope_sketch_coverage";
+
 /// Histogram with `endpoint` and `dataset` labels: wall-clock
 /// microseconds per request, broken out by what was served and against
 /// which dataset (`dataset="-"` for non-query endpoints). Bounded

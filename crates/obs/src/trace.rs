@@ -311,6 +311,9 @@ impl QueryObserver for TraceObserver {
             Phase::SampleGrow => 0, // patched by the next `iteration` hook
             Phase::Ingest => self.delta_m.saturating_mul(self.live),
             Phase::UpdateBounds | Phase::Decide => self.live,
+            // Scope setup fires before the first iteration; its item
+            // count (setup rows scanned) is folded into rows_scanned.
+            Phase::StoreSketch => 0,
         };
         let parent = (self.query_span != DROPPED).then_some(self.query_span);
         let id = self.sink.record(phase.name(), parent, start, end, iteration as u64, items);

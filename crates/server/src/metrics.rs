@@ -18,7 +18,7 @@ use swope_core::ExecStats;
 use swope_obs::{names, Histogram, MetricsRegistry};
 
 use crate::cache::ResultCache;
-use crate::registry::StoreStats;
+use crate::registry::{SketchStats, StoreStats};
 
 /// Response status classes tracked by [`ServerMetrics`].
 const CLASSES: [&str; 4] = ["2xx", "3xx", "4xx", "5xx"];
@@ -121,8 +121,9 @@ impl ServerMetrics {
     }
 
     /// Renders the full `/metrics` document: HTTP counters, cache
-    /// counters, live gauges, execution-pool, storage-layer, and
-    /// flight-recorder stats, then the query-level registry.
+    /// counters, live gauges, execution-pool, storage-layer, sketch,
+    /// and flight-recorder stats, then the query-level registry.
+    #[allow(clippy::too_many_arguments)] // one snapshot arg per subsystem
     pub fn render_prometheus(
         &self,
         cache: &ResultCache,
@@ -130,6 +131,7 @@ impl ServerMetrics {
         datasets_loaded: usize,
         exec: ExecStats,
         store: StoreStats,
+        sketch: SketchStats,
         traces: TraceCounters,
     ) -> String {
         let mut out = String::new();
@@ -183,6 +185,14 @@ impl ServerMetrics {
         {
             let _ = writeln!(out, "{}{{width=\"{width}\"}} {value}", names::STORE_COLUMNS);
         }
+        for (name, value) in
+            [(names::SKETCH_BYTES, sketch.bytes), (names::SKETCH_PAGES, sketch.pages)]
+        {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let _ = writeln!(out, "# TYPE {} gauge", names::SKETCH_COVERAGE);
+        let _ = writeln!(out, "{} {:.6}", names::SKETCH_COVERAGE, sketch.coverage());
         for (name, value) in [
             (names::TRACES_RECORDED_TOTAL, traces.recorded),
             (names::SLOW_QUERIES_TOTAL, traces.slow),
@@ -275,8 +285,17 @@ mod tests {
             columns_u16: 1,
             columns_u32: 0,
         };
-        let text =
-            m.render_prometheus(&cache, 3, 2, exec, store, TraceCounters { recorded: 4, slow: 1 });
+        let sketch =
+            SketchStats { bytes: 2048, pages: 7, rows_covered: 131072, rows_total: 200000 };
+        let text = m.render_prometheus(
+            &cache,
+            3,
+            2,
+            exec,
+            store,
+            sketch,
+            TraceCounters { recorded: 4, slow: 1 },
+        );
         assert!(text.contains(&format!("{} 2\n", names::HTTP_REQUESTS_TOTAL)));
         assert!(text.contains(&format!("{}{{class=\"2xx\"}} 1", names::HTTP_RESPONSES_TOTAL)));
         assert!(text.contains(&format!("{}{{class=\"4xx\"}} 1", names::HTTP_RESPONSES_TOTAL)));
@@ -292,6 +311,9 @@ mod tests {
         assert!(text.contains(&format!("{}{{width=\"u8\"}} 6", names::STORE_COLUMNS)));
         assert!(text.contains(&format!("{}{{width=\"u16\"}} 1", names::STORE_COLUMNS)));
         assert!(text.contains(&format!("{}{{width=\"u32\"}} 0", names::STORE_COLUMNS)));
+        assert!(text.contains(&format!("{} 2048\n", names::SKETCH_BYTES)));
+        assert!(text.contains(&format!("{} 7\n", names::SKETCH_PAGES)));
+        assert!(text.contains(&format!("{} 0.655360\n", names::SKETCH_COVERAGE)));
         assert!(text.contains(&format!("{}_count 2", names::HTTP_REQUEST_MICROS)));
         assert!(text.contains(&format!("{} 4\n", names::TRACES_RECORDED_TOTAL)));
         assert!(text.contains(&format!("{} 1\n", names::SLOW_QUERIES_TOTAL)));
@@ -318,6 +340,7 @@ mod tests {
             0,
             ExecStats::default(),
             StoreStats::default(),
+            SketchStats::default(),
             TraceCounters::default(),
         );
         let fam = names::HTTP_ENDPOINT_MICROS;
@@ -345,6 +368,7 @@ mod tests {
             0,
             ExecStats::default(),
             StoreStats::default(),
+            SketchStats::default(),
             TraceCounters::default(),
         );
         assert!(text.contains(&format!("{fam}_count{{endpoint=\"other\",dataset=\"other\"}}")));

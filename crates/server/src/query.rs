@@ -15,8 +15,9 @@
 use std::fmt::Write as _;
 
 use swope_core::{
-    entropy_filter_exec, entropy_profile_exec, entropy_top_k_exec, mi_filter_exec, mi_profile_exec,
-    mi_top_k_exec, AttrScore, Executor, QueryObserver, QueryStats, SwopeConfig,
+    entropy_filter_scoped_exec, entropy_profile_scoped_exec, entropy_top_k_scoped_exec,
+    mi_filter_scoped_exec, mi_profile_scoped_exec, mi_top_k_scoped_exec, AttrScore, Executor,
+    QueryObserver, QueryStats, Scope, SwopeConfig,
 };
 use swope_obs::json::{escape_into, f64_into};
 
@@ -105,6 +106,22 @@ pub struct QuerySpec {
     pub seed: Option<u64>,
     /// Worker threads (default 1, matching the CLI).
     pub threads: usize,
+    /// First row of the query scope (`row_start` parameter).
+    pub row_start: Option<usize>,
+    /// One past the last row of the scope (`row_end`; clamped to N).
+    pub row_end: Option<usize>,
+    /// Scope predicate from the `where` parameter, as `attr=value` with
+    /// the attribute given by index or name and the value by code or
+    /// dictionary label — resolved against the dataset at run time.
+    pub where_clause: Option<String>,
+}
+
+impl QuerySpec {
+    /// Whether this request restricts the scope at all. Unscoped requests
+    /// take exactly the pre-scope code path.
+    pub fn is_scoped(&self) -> bool {
+        self.row_start.is_some() || self.row_end.is_some() || self.where_clause.is_some()
+    }
 }
 
 fn parse_param<T: std::str::FromStr>(req: &Request, name: &str) -> Result<Option<T>, String> {
@@ -145,11 +162,24 @@ pub fn parse_spec(segment: &str, req: &Request) -> Result<QuerySpec, String> {
         pf: parse_param(req, "pf")?,
         seed: parse_param(req, "seed")?,
         threads: parse_param(req, "threads")?.unwrap_or(1),
+        row_start: parse_param(req, "row_start")?,
+        row_end: parse_param(req, "row_end")?,
+        where_clause: req.param("where").map(str::to_owned),
         shape,
     };
     if let QueryShape::EntropyTopK { k } | QueryShape::MiTopK { k, .. } = spec.shape {
         if k == 0 {
             return Err("k must be at least 1".into());
+        }
+    }
+    if let (Some(s), Some(e)) = (spec.row_start, spec.row_end) {
+        if s > e {
+            return Err(format!("row range starts at {s} but ends at {e}"));
+        }
+    }
+    if let Some(w) = &spec.where_clause {
+        if !w.contains('=') {
+            return Err(format!("malformed where clause {w:?}: expected attr=value"));
         }
     }
     Ok(spec)
@@ -187,6 +217,17 @@ pub fn cache_key(spec: &QuerySpec, generation: u64) -> String {
         let _ = write!(key, "|seed={seed}");
     }
     let _ = write!(key, "|threads={}", spec.threads);
+    // Scope parameters change the answer, so they must split the cache:
+    // two queries differing only in scope can never share an entry.
+    if let Some(s) = spec.row_start {
+        let _ = write!(key, "|row_start={s}");
+    }
+    if let Some(e) = spec.row_end {
+        let _ = write!(key, "|row_end={e}");
+    }
+    if let Some(w) = &spec.where_clause {
+        let _ = write!(key, "|where={w}");
+    }
     key
 }
 
@@ -211,6 +252,37 @@ fn resolve_target(entry: &DatasetEntry, raw: &str) -> Result<usize, String> {
     entry.dataset.attr_index(raw).map_err(|e| e.to_string())
 }
 
+/// Resolves a `where` clause `attr=value` into a predicate: the attribute
+/// by index or name (the target rule), the value by numeric code or, when
+/// the column carries a dictionary, by label.
+fn resolve_where(entry: &DatasetEntry, clause: &str) -> Result<(usize, u32), String> {
+    let (attr_raw, value_raw) = clause
+        .split_once('=')
+        .ok_or_else(|| format!("malformed where clause {clause:?}: expected attr=value"))?;
+    let attr = resolve_target(entry, attr_raw)?;
+    if let Ok(code) = value_raw.parse::<u32>() {
+        return Ok((attr, code));
+    }
+    let dict =
+        entry.dataset.schema().field(attr).and_then(|f| f.dictionary()).ok_or_else(|| {
+            format!("attribute {attr_raw:?} has no dictionary; use a numeric code")
+        })?;
+    let code = dict
+        .lookup(value_raw)
+        .ok_or_else(|| format!("value {value_raw:?} not found in attribute {attr_raw:?}"))?;
+    Ok((attr, code))
+}
+
+/// Builds the [`Scope`] a spec names against a concrete dataset.
+fn resolve_spec_scope(entry: &DatasetEntry, spec: &QuerySpec) -> Result<Scope, String> {
+    let mut scope = Scope { row_start: spec.row_start, row_end: spec.row_end, predicate: None };
+    if let Some(clause) = &spec.where_clause {
+        let (attr, code) = resolve_where(entry, clause)?;
+        scope.predicate = Some((attr, code));
+    }
+    Ok(scope)
+}
+
 /// Executes `spec` against `entry` on `exec` and returns the serialized
 /// JSON body, or `(status, message)` for client errors (422 for semantic
 /// problems the query layer rejects).
@@ -228,32 +300,41 @@ pub fn run_query<O: QueryObserver>(
     let cfg = config_for(spec);
     let ds = &*entry.dataset;
     let fail = |e: swope_core::SwopeError| (422, e.to_string());
+    // Every shape dispatches through its scoped entry point; a full scope
+    // (the common unscoped request) delegates inside swope-core to the
+    // exact pre-scope code path, bitwise identically.
+    let scope = resolve_spec_scope(entry, spec).map_err(|m| (422, m))?;
+    let sk = Some(&*entry.sketch);
     let (scores, stats, target) = match &spec.shape {
         QueryShape::EntropyTopK { k } => {
-            let r = entropy_top_k_exec(ds, *k, &cfg, obs, exec).map_err(fail)?;
+            let r = entropy_top_k_scoped_exec(ds, *k, &scope, sk, &cfg, obs, exec).map_err(fail)?;
             (r.top, r.stats, None)
         }
         QueryShape::EntropyFilter { eta } => {
-            let r = entropy_filter_exec(ds, *eta, &cfg, obs, exec).map_err(fail)?;
+            let r =
+                entropy_filter_scoped_exec(ds, *eta, &scope, sk, &cfg, obs, exec).map_err(fail)?;
             (r.accepted, r.stats, None)
         }
         QueryShape::MiTopK { target, k } => {
             let t = resolve_target(entry, target).map_err(|m| (422, m))?;
-            let r = mi_top_k_exec(ds, t, *k, &cfg, obs, exec).map_err(fail)?;
+            let r = mi_top_k_scoped_exec(ds, t, *k, &scope, sk, &cfg, obs, exec).map_err(fail)?;
             (r.top, r.stats, Some(t))
         }
         QueryShape::MiFilter { target, eta } => {
             let t = resolve_target(entry, target).map_err(|m| (422, m))?;
-            let r = mi_filter_exec(ds, t, *eta, &cfg, obs, exec).map_err(fail)?;
+            let r =
+                mi_filter_scoped_exec(ds, t, *eta, &scope, sk, &cfg, obs, exec).map_err(fail)?;
             (r.accepted, r.stats, Some(t))
         }
         QueryShape::EntropyProfile => {
-            let r = entropy_profile_exec(ds, PROFILE_FLOOR, &cfg, obs, exec).map_err(fail)?;
+            let r = entropy_profile_scoped_exec(ds, PROFILE_FLOOR, &scope, sk, &cfg, obs, exec)
+                .map_err(fail)?;
             (r.scores, r.stats, None)
         }
         QueryShape::MiProfile { target } => {
             let t = resolve_target(entry, target).map_err(|m| (422, m))?;
-            let r = mi_profile_exec(ds, t, PROFILE_FLOOR, &cfg, obs, exec).map_err(fail)?;
+            let r = mi_profile_scoped_exec(ds, t, PROFILE_FLOOR, &scope, sk, &cfg, obs, exec)
+                .map_err(fail)?;
             (r.scores, r.stats, Some(t))
         }
     };
@@ -290,6 +371,23 @@ fn serialize(
     }
     out.push_str(",\"epsilon\":");
     f64_into(&mut out, spec.epsilon);
+    if spec.is_scoped() {
+        out.push_str(",\"scope\":{");
+        let mut first = true;
+        if let Some(s) = spec.row_start {
+            let _ = write!(out, "\"row_start\":{s}");
+            first = false;
+        }
+        if let Some(e) = spec.row_end {
+            let _ = write!(out, "{}\"row_end\":{e}", if first { "" } else { "," });
+            first = false;
+        }
+        if let Some(w) = &spec.where_clause {
+            out.push_str(if first { "\"where\":" } else { ",\"where\":" });
+            escape_into(&mut out, w);
+        }
+        out.push('}');
+    }
     out.push_str(",\"scores\":[");
     for (i, s) in scores.iter().enumerate() {
         if i > 0 {
@@ -392,6 +490,98 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
+    }
+
+    /// Satellite audit: every scope parameter must split the cache for
+    /// every query shape — two specs differing only in scope can never
+    /// share an entry — and a dataset reload (generation bump) must
+    /// invalidate scoped entries just like unscoped ones.
+    #[test]
+    fn cache_keys_split_on_every_scope_parameter() {
+        let shapes: &[(&str, &[(&str, &str)])] = &[
+            ("entropy-topk", &[("dataset", "t"), ("k", "2")]),
+            ("entropy-filter", &[("dataset", "t"), ("eta", "0.5")]),
+            ("mi-topk", &[("dataset", "t"), ("target", "0"), ("k", "1")]),
+            ("mi-filter", &[("dataset", "t"), ("target", "0"), ("eta", "0.1")]),
+            ("entropy-profile", &[("dataset", "t")]),
+            ("mi-profile", &[("dataset", "t"), ("target", "0")]),
+        ];
+        let scope_variants: &[&[(&str, &str)]] = &[
+            &[],
+            &[("row_start", "100")],
+            &[("row_start", "200")],
+            &[("row_end", "300")],
+            &[("row_start", "100"), ("row_end", "300")],
+            &[("where", "skewed=rare")],
+            &[("where", "skewed=common")],
+            &[("row_start", "100"), ("row_end", "300"), ("where", "skewed=rare")],
+        ];
+        for (segment, base_params) in shapes {
+            let keys: Vec<String> = scope_variants
+                .iter()
+                .map(|extra| {
+                    let mut params = base_params.to_vec();
+                    params.extend_from_slice(extra);
+                    cache_key(&parse_spec(segment, &req(&params)).unwrap(), 1)
+                })
+                .collect();
+            for (i, a) in keys.iter().enumerate() {
+                for b in &keys[i + 1..] {
+                    assert_ne!(a, b, "{segment}: scoped specs must never share a cache entry");
+                }
+            }
+            let mut params = base_params.to_vec();
+            params.push(("row_start", "100"));
+            let scoped = parse_spec(segment, &req(&params)).unwrap();
+            assert_ne!(cache_key(&scoped, 1), cache_key(&scoped, 2));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_scopes() {
+        let base = &[("dataset", "t"), ("k", "2")];
+        let inverted = [base[0], base[1], ("row_start", "300"), ("row_end", "100")];
+        assert!(parse_spec("entropy-topk", &req(&inverted)).unwrap_err().contains("row range"));
+        let bad_where = [base[0], base[1], ("where", "noequals")];
+        assert!(parse_spec("entropy-topk", &req(&bad_where)).unwrap_err().contains("attr=value"));
+    }
+
+    #[test]
+    fn run_query_scoped_range_and_predicate() {
+        let entry = entry();
+        let exec = Executor::sequential();
+        // A full-range scope answers identically to the unscoped query
+        // (same scores, same stats), plus an echoed scope block.
+        let base = &[("dataset", "t"), ("k", "2"), ("seed", "3")];
+        let unscoped = parse_spec("entropy-topk", &req(base)).unwrap();
+        let full =
+            parse_spec("entropy-topk", &req(&[base[0], base[1], base[2], ("row_start", "0")]))
+                .unwrap();
+        let a =
+            Json::parse(&run_query(&entry, &unscoped, &exec, &mut NoopObserver).unwrap()).unwrap();
+        let b = Json::parse(&run_query(&entry, &full, &exec, &mut NoopObserver).unwrap()).unwrap();
+        assert_eq!(a.get("scores"), b.get("scores"));
+        assert_eq!(a.get("stats"), b.get("stats"));
+        assert!(a.get("scope").is_none());
+        assert_eq!(b.get("scope").unwrap().get("row_start").unwrap().as_u64(), Some(0));
+        // A predicate scope runs over just the matching rows and echoes
+        // the clause back.
+        let pred = parse_spec(
+            "entropy-topk",
+            &req(&[base[0], base[1], base[2], ("where", "skewed=rare")]),
+        )
+        .unwrap();
+        let v = Json::parse(&run_query(&entry, &pred, &exec, &mut NoopObserver).unwrap()).unwrap();
+        assert_eq!(v.get("scope").unwrap().get("where").unwrap().as_str(), Some("skewed=rare"));
+        // 400 rows, every 20th is "rare": the scoped population is 20.
+        assert_eq!(v.get("stats").unwrap().get("sample_size").unwrap().as_u64(), Some(20));
+        // An unresolvable predicate value is a semantic (422) error.
+        let bad = parse_spec(
+            "entropy-topk",
+            &req(&[base[0], base[1], base[2], ("where", "skewed=unheard-of")]),
+        )
+        .unwrap();
+        assert_eq!(run_query(&entry, &bad, &exec, &mut NoopObserver).unwrap_err().0, 422);
     }
 
     #[test]

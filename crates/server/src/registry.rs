@@ -13,7 +13,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use swope_columnar::{stats, Dataset, Width};
+use swope_columnar::{stats, Dataset, DatasetSketch, Width};
 
 /// One registered dataset plus its identity metadata.
 pub struct DatasetEntry {
@@ -23,6 +23,11 @@ pub struct DatasetEntry {
     pub generation: u64,
     /// The dataset itself (already support-capped at load).
     pub dataset: Arc<Dataset>,
+    /// Per-page partition sketch for scoped queries: read from the
+    /// snapshot when the file carries one (and no columns were capped
+    /// away), otherwise built at insert time so every registered dataset
+    /// can serve scoped queries.
+    pub sketch: Arc<DatasetSketch>,
     /// Columns dropped at load because their support exceeded the cap.
     pub dropped_columns: usize,
 }
@@ -45,12 +50,33 @@ impl DatasetRegistry {
     /// Registers `dataset` under `name`, replacing any previous holder of
     /// the name. Returns the new entry.
     pub fn insert(&self, name: &str, dataset: Dataset) -> Arc<DatasetEntry> {
+        self.insert_with_sketch(name, dataset, None)
+    }
+
+    /// [`DatasetRegistry::insert`] reusing a sketch read from a snapshot
+    /// file. The file sketch is kept only when support capping dropped no
+    /// columns (its column indices would be wrong otherwise); in every
+    /// other case the sketch is rebuilt from the capped dataset.
+    pub fn insert_with_sketch(
+        &self,
+        name: &str,
+        dataset: Dataset,
+        file_sketch: Option<DatasetSketch>,
+    ) -> Arc<DatasetEntry> {
         let before = dataset.num_attrs();
         let (capped, kept) = dataset.cap_support(self.max_support);
+        let sketch = match file_sketch {
+            Some(sk) if kept.len() == before => sk,
+            _ => DatasetSketch::build(
+                capped.num_rows(),
+                (0..capped.num_attrs()).map(|a| capped.column(a).packed()),
+            ),
+        };
         let entry = Arc::new(DatasetEntry {
             name: name.to_owned(),
             generation: self.next_generation.fetch_add(1, Ordering::Relaxed),
             dataset: Arc::new(capped),
+            sketch: Arc::new(sketch),
             dropped_columns: before - kept.len(),
         });
         let mut map = self.inner.write().expect("registry lock poisoned");
@@ -59,16 +85,18 @@ impl DatasetRegistry {
     }
 
     /// Loads the `.swop`/`.csv` file at `path` and registers it under its
-    /// file stem (`data/cdc.swop` → `cdc`).
+    /// file stem (`data/cdc.swop` → `cdc`). Snapshot sketches are reused
+    /// when present; otherwise one is built at load.
     pub fn load_path(&self, path: &str) -> Result<Arc<DatasetEntry>, String> {
-        let dataset = Dataset::from_path(path).map_err(|e| format!("loading {path}: {e}"))?;
+        let (dataset, sketch) =
+            Dataset::from_path_with_sketch(path).map_err(|e| format!("loading {path}: {e}"))?;
         let name = Path::new(path)
             .file_stem()
             .and_then(|s| s.to_str())
             .filter(|s| !s.is_empty())
             .ok_or_else(|| format!("cannot derive a dataset name from {path:?}"))?
             .to_owned();
-        Ok(self.insert(&name, dataset))
+        Ok(self.insert_with_sketch(&name, dataset, sketch))
     }
 
     /// The current entry registered under `name`.
@@ -112,6 +140,45 @@ impl DatasetRegistry {
         }
         agg
     }
+
+    /// Aggregates partition-sketch footprint over all registered
+    /// datasets, for the `swope_sketch_*` metric families.
+    pub fn sketch_stats(&self) -> SketchStats {
+        let mut agg = SketchStats::default();
+        for entry in self.list() {
+            agg.bytes += entry.sketch.encoded_len() as u64;
+            agg.pages += entry.sketch.num_pages() as u64;
+            agg.rows_covered += entry.covered_rows();
+            agg.rows_total += entry.dataset.num_rows() as u64;
+        }
+        agg
+    }
+}
+
+/// Registry-wide partition-sketch footprint
+/// (see [`DatasetRegistry::sketch_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SketchStats {
+    /// Bytes the registered sketches occupy when encoded.
+    pub bytes: u64,
+    /// Total sketch pages across registered datasets.
+    pub pages: u64,
+    /// Rows inside fully-covered pages (a range scope aligned to these
+    /// pages is answered entirely from sketch histograms).
+    pub rows_covered: u64,
+    /// Total rows across registered datasets.
+    pub rows_total: u64,
+}
+
+impl SketchStats {
+    /// Fraction of registered rows inside fully-covered sketch pages.
+    pub fn coverage(&self) -> f64 {
+        if self.rows_total == 0 {
+            0.0
+        } else {
+            self.rows_covered as f64 / self.rows_total as f64
+        }
+    }
 }
 
 /// Registry-wide storage-layer footprint (see [`DatasetRegistry::store_stats`]).
@@ -137,6 +204,13 @@ impl StoreStats {
 }
 
 impl DatasetEntry {
+    /// Rows inside fully-covered sketch pages (the final partial page,
+    /// if any, cannot seed scoped queries exactly).
+    pub fn covered_rows(&self) -> u64 {
+        let n = self.dataset.num_rows();
+        (n - n % swope_columnar::PAGE_ROWS) as u64
+    }
+
     /// Serializes this entry (shape + per-column stats) as a JSON object.
     pub fn describe_json(&self) -> String {
         use std::fmt::Write as _;
@@ -149,13 +223,23 @@ impl DatasetEntry {
         let _ = write!(
             out,
             ",\"generation\":{},\"rows\":{},\"columns\":{},\"max_support\":{},\
-             \"dropped_columns\":{},\"column_stats\":[",
+             \"dropped_columns\":{}",
             self.generation,
             summary.rows,
             summary.columns,
             summary.max_support,
             self.dropped_columns
         );
+        let rows = self.dataset.num_rows() as u64;
+        let coverage = if rows == 0 { 0.0 } else { self.covered_rows() as f64 / rows as f64 };
+        let _ = write!(
+            out,
+            ",\"sketch\":{{\"pages\":{},\"bytes\":{},\"coverage\":",
+            self.sketch.num_pages(),
+            self.sketch.encoded_len()
+        );
+        f64_into(&mut out, coverage);
+        out.push_str("},\"column_stats\":[");
         for (i, s) in stats::dataset_stats(&self.dataset).iter().enumerate() {
             if i > 0 {
                 out.push(',');

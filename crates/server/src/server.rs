@@ -364,6 +364,7 @@ fn route(req: &Request, shared: &Shared, watcher: &QueueWatcher, ctx: &RequestCo
                 shared.registry.len(),
                 shared.exec.stats(),
                 shared.registry.store_stats(),
+                shared.registry.sketch_stats(),
                 TraceCounters {
                     recorded: shared.recorder.recorded_total(),
                     slow: shared.recorder.slow_total(),

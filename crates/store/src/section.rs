@@ -28,6 +28,11 @@ pub const SECTION_SCHEMA: u32 = 1;
 /// Section kind tag: one column's paged code payload.
 pub const SECTION_COLUMN: u32 = 2;
 
+/// Section kind tag: the optional per-page partition sketch (code
+/// histograms per 64Ki-row page, own trailing CRC32). At most one per
+/// snapshot, last in the table; readers that predate it skip it.
+pub const SECTION_SKETCH: u32 = 3;
+
 /// Encoded bytes per section descriptor.
 pub const SECTION_ENTRY_BYTES: usize = 24;
 
