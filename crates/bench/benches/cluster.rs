@@ -1,0 +1,104 @@
+//! Cluster-layer benchmark: what the exact count-merge protocol costs.
+//!
+//! Two questions, one JSON. First, the shard overhead in-process: the
+//! same seeded entropy top-k unsharded vs split across 4 count-merge
+//! shards (the merge is pure integer addition, so any gap is shard
+//! bookkeeping, not estimation work). Second, the wire tax per
+//! iteration: encoding and decoding a representative `CountMerge`
+//! frame — the dominant frame class, one per shard per doubling — plus
+//! its encoded size. Medians are persisted to
+//! `results/BENCH_cluster.json`; the CI cluster-smoke step runs this
+//! with `SWOPE_MICRO_MS=1` and asserts the fields exist, not the
+//! wall-clock numbers.
+
+use std::io::Cursor;
+
+use swope_bench::micro::{black_box, Group};
+use swope_cluster::frame::{read_frame, write_frame, CountMergeFrame, Frame};
+use swope_columnar::Dataset;
+use swope_core::{entropy_top_k, entropy_top_k_sharded_exec, Executor, NoopObserver, SwopeConfig};
+use swope_datagen::{corpus, generate};
+use swope_obs::json::ObjectWriter;
+use swope_sampling::rng::Xoshiro256pp;
+
+const K: usize = 4;
+const SHARDS: usize = 4;
+const SEED: u64 = 0xC105;
+
+fn dataset() -> Dataset {
+    // ~29k rows x 100 columns of the cdc profile.
+    generate(&corpus::cdc(1.0 / 128.0), 0x5170)
+}
+
+/// A `CountMerge` the size a real doubling iteration produces: 32 live
+/// attributes with mid-sized marginal histograms plus joint runs.
+fn count_merge_frame() -> Frame {
+    let mut r = Xoshiro256pp::seed_from_u64(SEED);
+    let mut entries = |support: u32| -> Vec<(u32, u64)> {
+        (0..support).map(|c| (c, 1 + r.next_below(500))).collect()
+    };
+    let target = Some((64u32, entries(64)));
+    let attrs: Vec<(u32, Vec<(u32, u64)>)> =
+        (0..32).map(|i| (8 + i % 120, entries(8 + i % 120))).collect();
+    let joints: Vec<Vec<(u64, u64)>> = (0..32u64)
+        .map(|i| (0..(64 * (8 + i % 120))).step_by(7).map(|k| (k, 1 + r.next_below(40))).collect())
+        .collect();
+    Frame::CountMerge(CountMergeFrame { target, attrs, joints })
+}
+
+fn main() {
+    let ds = dataset();
+    let cfg = SwopeConfig::with_epsilon(0.1).with_seed(SEED);
+    let exec = Executor::sequential();
+
+    let mut g = Group::new("cluster_shard_overhead");
+    let unsharded_ns =
+        g.bench("entropy_topk_unsharded", || black_box(entropy_top_k(&ds, K, &cfg).unwrap()));
+    let sharded_ns = g.bench("entropy_topk_sharded_4", || {
+        black_box(
+            entropy_top_k_sharded_exec(&ds, K, SHARDS, &cfg, &mut NoopObserver, &exec).unwrap(),
+        )
+    });
+
+    // Sanity: the shard path must agree bitwise before its numbers mean
+    // anything.
+    let a = entropy_top_k(&ds, K, &cfg).unwrap();
+    let b = entropy_top_k_sharded_exec(&ds, K, SHARDS, &cfg, &mut NoopObserver, &exec).unwrap();
+    assert_eq!(a.top, b.top, "sharded run diverged from unsharded");
+    let rows_scanned = a.stats.rows_scanned;
+
+    let frame = count_merge_frame();
+    let mut encoded = Vec::new();
+    write_frame(&mut encoded, &frame).unwrap();
+    let frame_bytes = encoded.len();
+
+    let mut g = Group::new("cluster_frame_codec");
+    let encode_ns = g.bench("count_merge_encode", || {
+        let mut buf = Vec::with_capacity(frame_bytes);
+        write_frame(&mut buf, &frame).unwrap();
+        black_box(buf)
+    });
+    let decode_ns = g
+        .bench("count_merge_decode", || black_box(read_frame(&mut Cursor::new(&encoded)).unwrap()));
+
+    let mut w = ObjectWriter::new();
+    w.str_field("bench", "cluster")
+        .usize_field("rows", ds.num_rows())
+        .usize_field("attrs", ds.num_attrs())
+        .usize_field("shards", SHARDS)
+        .f64_field("unsharded_ns", unsharded_ns)
+        .f64_field("sharded_ns", sharded_ns)
+        .f64_field("shard_overhead", sharded_ns / unsharded_ns.max(1.0))
+        .u64_field("rows_scanned", rows_scanned)
+        .f64_field("unsharded_rows_per_sec", rows_scanned as f64 / (unsharded_ns / 1e9))
+        .f64_field("sharded_rows_per_sec", rows_scanned as f64 / (sharded_ns / 1e9))
+        .usize_field("count_merge_frame_bytes", frame_bytes)
+        .f64_field("count_merge_encode_ns", encode_ns)
+        .f64_field("count_merge_decode_ns", decode_ns);
+    let json = w.finish();
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_cluster.json");
+    std::fs::write(out, format!("{json}\n")).expect("writing results/BENCH_cluster.json");
+    println!("\nwrote {out}");
+    println!("{json}");
+}

@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn json_round_trips_through_parser() {
         let mut r = row("cdc", "SWOPE", 1.0, 2.5);
-        r.phase_ns = [10, 20, 30, 40, 50];
+        r.phase_ns = [10, 20, 30, 40, 50, 60];
         let text = to_json(&[r, row("hus", "Exact", 2.0, 9.0)]);
         let parsed = swope_obs::json::Json::parse(&text).unwrap();
         let arr = match parsed {

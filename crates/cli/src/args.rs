@@ -19,6 +19,9 @@ commands:
   gen <profile> --out <file>           generate a synthetic dataset
                                        (profiles: cdc hus pus enem tiny)
   convert <in> <out>                   convert between .csv and .swop
+  split <in> <out-a> <out-b> --at <n>  split rows [0,n) and [n,end) into two
+                                       files, preserving schema and supports
+                                       (shard servers for `serve --peer`)
   serve [<file>...]                    HTTP query server over the given datasets
 
 common options:
@@ -37,6 +40,11 @@ scoped queries (swope algo only):
   --where <attr=value>      restrict to rows where the attribute equals the
                             value (name or index = raw value or code)
 
+sharded queries (swope algo only):
+  --shards <n>              split the dataset into n row shards, count on
+                            each, and merge — answers are bitwise-identical
+                            to the unsharded run (cannot combine with scopes)
+
 observability (swope algo only):
   --events-out <path>       write per-query observer events as JSON lines
   --metrics                 print a metrics summary table after the query
@@ -51,7 +59,10 @@ serve options:
                             an X-Swope-Trace header); see GET /debug/traces
   --slow-ms <n>             flight-recorder threshold for GET /debug/slow
                             (default 250)
-  --access-log <path>       append one logfmt line per served request";
+  --access-log <path>       append one logfmt line per served request
+  --peer <host:port>        shard peer to fan queries out to (repeatable;
+                            makes this server a cluster coordinator)
+  --peer-timeout-ms <n>     per-peer connect/io timeout (default 2000/10000)";
 
 /// Which algorithm a query should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -123,6 +134,14 @@ pub struct Options {
     pub slow_ms: Option<u64>,
     /// `--access-log` (serve): per-request logfmt file path.
     pub access_log: Option<String>,
+    /// `--shards` (queries): shard-count for the count-merge path.
+    pub shards: Option<usize>,
+    /// `--at` (split): the row cut point.
+    pub at: Option<usize>,
+    /// `--peer` (serve, repeatable): shard peers to coordinate over.
+    pub peers: Vec<String>,
+    /// `--peer-timeout-ms` (serve): connect and io timeout per peer.
+    pub peer_timeout_ms: Option<u64>,
 }
 
 /// Parses everything after the command word.
@@ -156,6 +175,12 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--trace" => o.trace = true,
             "--slow-ms" => o.slow_ms = Some(value(args, &mut i, "--slow-ms")?),
             "--access-log" => o.access_log = Some(raw_value(args, &mut i, "--access-log")?),
+            "--shards" => o.shards = Some(value(args, &mut i, "--shards")?),
+            "--at" => o.at = Some(value(args, &mut i, "--at")?),
+            "--peer" => o.peers.push(raw_value(args, &mut i, "--peer")?),
+            "--peer-timeout-ms" => {
+                o.peer_timeout_ms = Some(value(args, &mut i, "--peer-timeout-ms")?)
+            }
             "--algo" => {
                 let v = raw_value(args, &mut i, "--algo")?;
                 o.algo = match v.as_str() {
@@ -301,6 +326,30 @@ mod tests {
         let o = parse(&["a.swop"]).unwrap();
         assert!(!o.trace);
         assert_eq!((o.slow_ms, o.access_log), (None, None));
+    }
+
+    #[test]
+    fn shard_and_peer_flags() {
+        let o = parse(&["d.swop", "-k", "2", "--shards", "4"]).unwrap();
+        assert_eq!(o.shards, Some(4));
+        assert!(parse(&["--shards", "many"]).is_err());
+        let o = parse(&[
+            "a.swop",
+            "--peer",
+            "10.0.0.1:7878",
+            "--peer",
+            "10.0.0.2:7878",
+            "--peer-timeout-ms",
+            "500",
+        ])
+        .unwrap();
+        assert_eq!(o.peers, vec!["10.0.0.1:7878", "10.0.0.2:7878"]);
+        assert_eq!(o.peer_timeout_ms, Some(500));
+        assert!(parse(&["--peer"]).is_err());
+        let o = parse(&["d.swop"]).unwrap();
+        assert!(o.shards.is_none());
+        assert!(o.peers.is_empty());
+        assert!(o.peer_timeout_ms.is_none());
     }
 
     #[test]

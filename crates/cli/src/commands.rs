@@ -9,11 +9,13 @@ use swope_baselines::{
 
 use swope_columnar::{csv, snapshot, stats, Dataset, DatasetSketch, PAGE_ROWS};
 use swope_core::{
-    entropy_filter_observed, entropy_filter_scoped_exec, entropy_profile_observed,
-    entropy_profile_scoped_exec, entropy_top_k, entropy_top_k_observed, entropy_top_k_scoped_exec,
-    mi_filter_observed, mi_filter_scoped_exec, mi_profile_observed, mi_profile_scoped_exec,
-    mi_top_k_observed, mi_top_k_scoped_exec, AttrScore, ComposedObserver, Executor, FilterResult,
-    JsonlSink, MetricsRegistry, ProfileResult, Scope, SwopeConfig, TopKResult,
+    entropy_filter_observed, entropy_filter_scoped_exec, entropy_filter_sharded_exec,
+    entropy_profile_observed, entropy_profile_scoped_exec, entropy_profile_sharded_exec,
+    entropy_top_k, entropy_top_k_observed, entropy_top_k_scoped_exec, entropy_top_k_sharded_exec,
+    mi_filter_observed, mi_filter_scoped_exec, mi_filter_sharded_exec, mi_profile_observed,
+    mi_profile_scoped_exec, mi_profile_sharded_exec, mi_top_k_observed, mi_top_k_scoped_exec,
+    mi_top_k_sharded_exec, AttrScore, ComposedObserver, Executor, FilterResult, JsonlSink,
+    MetricsRegistry, ProfileResult, Scope, SwopeConfig, TopKResult,
 };
 
 use crate::args::{parse_options, Algo, Options};
@@ -85,6 +87,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "drift" => cmd_drift(&opts),
         "gen" => cmd_gen(&opts),
         "convert" => cmd_convert(&opts),
+        "split" => cmd_split(&opts),
         "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", crate::args::USAGE);
@@ -150,6 +153,23 @@ fn scope_from_opts(ds: &Dataset, opts: &Options) -> Result<Option<Scope>, String
         scope = scope.with_predicate(attr, code);
     }
     Ok(Some(scope))
+}
+
+/// Validates `--shards`. The count-merge path answers whole-dataset
+/// queries only (a scope would change which rows each shard may count),
+/// and only the SWOPE algorithm has a sharded loop.
+fn shards_from_opts(opts: &Options) -> Result<Option<usize>, String> {
+    let Some(shards) = opts.shards else { return Ok(None) };
+    if opts.algo != Algo::Swope {
+        return Err("sharded queries (--shards) require --algo swope".into());
+    }
+    if opts.row_start.is_some() || opts.row_end.is_some() || opts.where_clause.is_some() {
+        return Err("--shards cannot be combined with --row-start/--row-end/--where".into());
+    }
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    Ok(Some(shards))
 }
 
 fn query_config(opts: &Options, default_epsilon: f64) -> SwopeConfig {
@@ -255,19 +275,30 @@ fn cmd_entropy_topk(opts: &Options) -> Result<(), String> {
     let scope = scope_from_opts(&ds, opts)?;
     let mut obs = Observability::from_opts(opts)?;
     let cfg = query_config(opts, 0.1);
-    let result = match (opts.algo, &scope) {
-        (Algo::Swope, Some(scope)) => entropy_top_k_scoped_exec(
+    let result = if let Some(shards) = shards_from_opts(opts)? {
+        entropy_top_k_sharded_exec(
             &ds,
             k,
-            scope,
-            sketch.as_ref(),
+            shards,
             &cfg,
             &mut obs.observer(),
             &Executor::new(cfg.threads),
-        ),
-        (Algo::Swope, None) => entropy_top_k_observed(&ds, k, &cfg, &mut obs.observer()),
-        (Algo::Rank, _) => entropy_rank_top_k(&ds, k, &cfg),
-        (Algo::Exact, _) => exact_entropy_top_k(&ds, k),
+        )
+    } else {
+        match (opts.algo, &scope) {
+            (Algo::Swope, Some(scope)) => entropy_top_k_scoped_exec(
+                &ds,
+                k,
+                scope,
+                sketch.as_ref(),
+                &cfg,
+                &mut obs.observer(),
+                &Executor::new(cfg.threads),
+            ),
+            (Algo::Swope, None) => entropy_top_k_observed(&ds, k, &cfg, &mut obs.observer()),
+            (Algo::Rank, _) => entropy_rank_top_k(&ds, k, &cfg),
+            (Algo::Exact, _) => exact_entropy_top_k(&ds, k),
+        }
     }
     .map_err(|e| e.to_string())?;
     print_topk("entropy", &result);
@@ -280,19 +311,30 @@ fn cmd_entropy_filter(opts: &Options) -> Result<(), String> {
     let scope = scope_from_opts(&ds, opts)?;
     let mut obs = Observability::from_opts(opts)?;
     let cfg = query_config(opts, 0.05);
-    let result = match (opts.algo, &scope) {
-        (Algo::Swope, Some(scope)) => entropy_filter_scoped_exec(
+    let result = if let Some(shards) = shards_from_opts(opts)? {
+        entropy_filter_sharded_exec(
             &ds,
             eta,
-            scope,
-            sketch.as_ref(),
+            shards,
             &cfg,
             &mut obs.observer(),
             &Executor::new(cfg.threads),
-        ),
-        (Algo::Swope, None) => entropy_filter_observed(&ds, eta, &cfg, &mut obs.observer()),
-        (Algo::Rank, _) => entropy_filter_exact_sampling(&ds, eta, &cfg),
-        (Algo::Exact, _) => exact_entropy_filter(&ds, eta),
+        )
+    } else {
+        match (opts.algo, &scope) {
+            (Algo::Swope, Some(scope)) => entropy_filter_scoped_exec(
+                &ds,
+                eta,
+                scope,
+                sketch.as_ref(),
+                &cfg,
+                &mut obs.observer(),
+                &Executor::new(cfg.threads),
+            ),
+            (Algo::Swope, None) => entropy_filter_observed(&ds, eta, &cfg, &mut obs.observer()),
+            (Algo::Rank, _) => entropy_filter_exact_sampling(&ds, eta, &cfg),
+            (Algo::Exact, _) => exact_entropy_filter(&ds, eta),
+        }
     }
     .map_err(|e| e.to_string())?;
     print_filter("entropy", eta, &result);
@@ -306,20 +348,32 @@ fn cmd_mi_topk(opts: &Options) -> Result<(), String> {
     let scope = scope_from_opts(&ds, opts)?;
     let mut obs = Observability::from_opts(opts)?;
     let cfg = query_config(opts, 0.5);
-    let result = match (opts.algo, &scope) {
-        (Algo::Swope, Some(scope)) => mi_top_k_scoped_exec(
+    let result = if let Some(shards) = shards_from_opts(opts)? {
+        mi_top_k_sharded_exec(
             &ds,
             target,
             k,
-            scope,
-            sketch.as_ref(),
+            shards,
             &cfg,
             &mut obs.observer(),
             &Executor::new(cfg.threads),
-        ),
-        (Algo::Swope, None) => mi_top_k_observed(&ds, target, k, &cfg, &mut obs.observer()),
-        (Algo::Rank, _) => mi_rank_top_k(&ds, target, k, &cfg),
-        (Algo::Exact, _) => exact_mi_top_k(&ds, target, k),
+        )
+    } else {
+        match (opts.algo, &scope) {
+            (Algo::Swope, Some(scope)) => mi_top_k_scoped_exec(
+                &ds,
+                target,
+                k,
+                scope,
+                sketch.as_ref(),
+                &cfg,
+                &mut obs.observer(),
+                &Executor::new(cfg.threads),
+            ),
+            (Algo::Swope, None) => mi_top_k_observed(&ds, target, k, &cfg, &mut obs.observer()),
+            (Algo::Rank, _) => mi_rank_top_k(&ds, target, k, &cfg),
+            (Algo::Exact, _) => exact_mi_top_k(&ds, target, k),
+        }
     }
     .map_err(|e| e.to_string())?;
     println!("target: {} ({})", ds.schema().field(target).map(|f| f.name()).unwrap_or("?"), target);
@@ -334,20 +388,32 @@ fn cmd_mi_filter(opts: &Options) -> Result<(), String> {
     let scope = scope_from_opts(&ds, opts)?;
     let mut obs = Observability::from_opts(opts)?;
     let cfg = query_config(opts, 0.5);
-    let result = match (opts.algo, &scope) {
-        (Algo::Swope, Some(scope)) => mi_filter_scoped_exec(
+    let result = if let Some(shards) = shards_from_opts(opts)? {
+        mi_filter_sharded_exec(
             &ds,
             target,
             eta,
-            scope,
-            sketch.as_ref(),
+            shards,
             &cfg,
             &mut obs.observer(),
             &Executor::new(cfg.threads),
-        ),
-        (Algo::Swope, None) => mi_filter_observed(&ds, target, eta, &cfg, &mut obs.observer()),
-        (Algo::Rank, _) => mi_filter_exact_sampling(&ds, target, eta, &cfg),
-        (Algo::Exact, _) => exact_mi_filter(&ds, target, eta),
+        )
+    } else {
+        match (opts.algo, &scope) {
+            (Algo::Swope, Some(scope)) => mi_filter_scoped_exec(
+                &ds,
+                target,
+                eta,
+                scope,
+                sketch.as_ref(),
+                &cfg,
+                &mut obs.observer(),
+                &Executor::new(cfg.threads),
+            ),
+            (Algo::Swope, None) => mi_filter_observed(&ds, target, eta, &cfg, &mut obs.observer()),
+            (Algo::Rank, _) => mi_filter_exact_sampling(&ds, target, eta, &cfg),
+            (Algo::Exact, _) => exact_mi_filter(&ds, target, eta),
+        }
     }
     .map_err(|e| e.to_string())?;
     print_filter("mutual information", eta, &result);
@@ -359,17 +425,28 @@ fn cmd_entropy_profile(opts: &Options) -> Result<(), String> {
     let scope = scope_from_opts(&ds, opts)?;
     let mut obs = Observability::from_opts(opts)?;
     let cfg = query_config(opts, 0.1);
-    let result = match &scope {
-        Some(scope) => entropy_profile_scoped_exec(
+    let result = if let Some(shards) = shards_from_opts(opts)? {
+        entropy_profile_sharded_exec(
             &ds,
             0.05,
-            scope,
-            sketch.as_ref(),
+            shards,
             &cfg,
             &mut obs.observer(),
             &Executor::new(cfg.threads),
-        ),
-        None => entropy_profile_observed(&ds, 0.05, &cfg, &mut obs.observer()),
+        )
+    } else {
+        match &scope {
+            Some(scope) => entropy_profile_scoped_exec(
+                &ds,
+                0.05,
+                scope,
+                sketch.as_ref(),
+                &cfg,
+                &mut obs.observer(),
+                &Executor::new(cfg.threads),
+            ),
+            None => entropy_profile_observed(&ds, 0.05, &cfg, &mut obs.observer()),
+        }
     }
     .map_err(|e| e.to_string())?;
     print_profile("entropy", &result);
@@ -382,18 +459,30 @@ fn cmd_mi_profile(opts: &Options) -> Result<(), String> {
     let scope = scope_from_opts(&ds, opts)?;
     let mut obs = Observability::from_opts(opts)?;
     let cfg = query_config(opts, 0.5);
-    let result = match &scope {
-        Some(scope) => mi_profile_scoped_exec(
+    let result = if let Some(shards) = shards_from_opts(opts)? {
+        mi_profile_sharded_exec(
             &ds,
             target,
             0.05,
-            scope,
-            sketch.as_ref(),
+            shards,
             &cfg,
             &mut obs.observer(),
             &Executor::new(cfg.threads),
-        ),
-        None => mi_profile_observed(&ds, target, 0.05, &cfg, &mut obs.observer()),
+        )
+    } else {
+        match &scope {
+            Some(scope) => mi_profile_scoped_exec(
+                &ds,
+                target,
+                0.05,
+                scope,
+                sketch.as_ref(),
+                &cfg,
+                &mut obs.observer(),
+                &Executor::new(cfg.threads),
+            ),
+            None => mi_profile_observed(&ds, target, 0.05, &cfg, &mut obs.observer()),
+        }
     }
     .map_err(|e| e.to_string())?;
     println!("target: {} ({})", ds.schema().field(target).map(|f| f.name()).unwrap_or("?"), target);
@@ -518,6 +607,28 @@ fn cmd_convert(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `swope split <in> <out-a> <out-b> --at <n>`: cut a dataset row-wise
+/// into `[0, n)` and `[n, end)`. Schema (dictionaries included) and
+/// per-column supports carry over unchanged, so two shard servers
+/// serving the halves form exactly the union a single box serving the
+/// input would answer for — the property `serve --peer` relies on.
+fn cmd_split(opts: &Options) -> Result<(), String> {
+    let [input, out_a, out_b] = opts.positional.as_slice() else {
+        return Err("split expects <in> <out-a> <out-b>".into());
+    };
+    let at = opts.at.ok_or("--at is required")?;
+    let ds = Dataset::from_path(input).map_err(|e| format!("loading {input}: {e}"))?;
+    if at == 0 || at >= ds.num_rows() {
+        return Err(format!("--at {at} must fall inside the {} rows", ds.num_rows()));
+    }
+    let head: Vec<usize> = (0..at).collect();
+    let tail: Vec<usize> = (at..ds.num_rows()).collect();
+    write_dataset(&ds.take_rows(&head), out_a)?;
+    write_dataset(&ds.take_rows(&tail), out_b)?;
+    println!("wrote {out_a} ({at} rows) and {out_b} ({} rows)", ds.num_rows() - at);
+    Ok(())
+}
+
 /// `swope serve [<file>...]`: load the given datasets, bind, and serve
 /// until SIGINT/SIGTERM.
 fn cmd_serve(opts: &Options) -> Result<(), String> {
@@ -535,6 +646,15 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         trace: opts.trace,
         slow_ms: opts.slow_ms.unwrap_or(250),
         access_log: opts.access_log.clone(),
+        peers: opts.peers.clone(),
+        peer_connect_timeout: opts
+            .peer_timeout_ms
+            .map(std::time::Duration::from_millis)
+            .unwrap_or(swope_server::ServerConfig::default().peer_connect_timeout),
+        peer_io_timeout: opts
+            .peer_timeout_ms
+            .map(std::time::Duration::from_millis)
+            .unwrap_or(swope_server::ServerConfig::default().peer_io_timeout),
         ..swope_server::ServerConfig::default()
     };
     let server = swope_server::Server::bind(config).map_err(|e| format!("binding: {e}"))?;

@@ -179,6 +179,81 @@ fn scoped_queries_restrict_rows_and_validate_flags() {
 }
 
 #[test]
+fn sharded_queries_match_unsharded_output_and_validate_flags() {
+    let swop = tmp("sharded.swop");
+    let p = swop.to_str().unwrap();
+    let o = swope(&["gen", "tiny", "--rows", "4000", "--cols", "6", "--out", p]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    // Every shard count prints byte-identical output — the count-merge
+    // protocol is exact, not approximate.
+    let baseline = swope(&["entropy-topk", p, "-k", "3", "--seed", "7"]);
+    assert!(baseline.status.success(), "{}", stderr(&baseline));
+    for shards in ["1", "2", "3", "7"] {
+        let o = swope(&["entropy-topk", p, "-k", "3", "--seed", "7", "--shards", shards]);
+        assert!(o.status.success(), "{}", stderr(&o));
+        assert_eq!(stdout(&o), stdout(&baseline), "--shards {shards} diverged");
+    }
+    let baseline = swope(&["mi-topk", p, "--target", "0", "-k", "2", "--seed", "7"]);
+    let o = swope(&["mi-topk", p, "--target", "0", "-k", "2", "--seed", "7", "--shards", "3"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert_eq!(stdout(&o), stdout(&baseline));
+
+    // Sharding is swope-only and cannot combine with scopes.
+    let o = swope(&["entropy-topk", p, "-k", "2", "--shards", "2", "--algo", "exact"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("require --algo swope"), "{}", stderr(&o));
+    let o = swope(&["entropy-topk", p, "-k", "2", "--shards", "2", "--row-start", "5"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("cannot be combined"), "{}", stderr(&o));
+    let o = swope(&["entropy-topk", p, "-k", "2", "--shards", "0"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("at least 1"), "{}", stderr(&o));
+}
+
+#[test]
+fn split_cuts_rows_and_preserves_supports() {
+    let u = tmp("split_u.swop");
+    let a = tmp("split_a.swop");
+    let b = tmp("split_b.swop");
+    let (u_s, a_s, b_s) = (u.to_str().unwrap(), a.to_str().unwrap(), b.to_str().unwrap());
+    let o = swope(&["gen", "tiny", "--rows", "3000", "--cols", "5", "--out", u_s]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    let o = swope(&["split", u_s, a_s, b_s, "--at", "1234"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("1234 rows"), "{}", stdout(&o));
+    assert!(stdout(&o).contains("1766 rows"), "{}", stdout(&o));
+
+    // Each half keeps the union's per-column (name, support) pairs even
+    // when a half observes fewer distinct values — the invariant that
+    // lets `serve --peer` merge their counts exactly.
+    let supports = |path: &str| -> Vec<(String, String)> {
+        let out = stdout(&swope(&["stats", path]));
+        out.lines()
+            .skip(2)
+            .map(|l| {
+                let mut it = l.split_whitespace();
+                (it.next().unwrap().to_owned(), it.next().unwrap().to_owned())
+            })
+            .collect()
+    };
+    let union_supports = supports(u_s);
+    assert_eq!(supports(a_s), union_supports);
+    assert_eq!(supports(b_s), union_supports);
+
+    // The cut must fall strictly inside the rows, and --at is required.
+    let o = swope(&["split", u_s, a_s, b_s, "--at", "0"]);
+    assert!(!o.status.success());
+    let o = swope(&["split", u_s, a_s, b_s, "--at", "3000"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("must fall inside"), "{}", stderr(&o));
+    let o = swope(&["split", u_s, a_s, b_s]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--at is required"), "{}", stderr(&o));
+}
+
+#[test]
 fn convert_round_trips_csv_and_snapshot() {
     let csv_path = tmp("convert.csv");
     std::fs::write(&csv_path, "color,size\nred,s\nblue,m\nred,l\n").unwrap();

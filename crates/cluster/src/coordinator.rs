@@ -1,0 +1,396 @@
+//! The coordinator side: a [`ShardTransport`] whose shards are remote
+//! peer servers.
+//!
+//! [`RemoteShardSource::connect`] dials every peer (with an explicit
+//! connect timeout), exchanges `Hello`s, and lays the peers' row slices
+//! end to end **in `--peer` flag order** to form the union population:
+//! peer `i` owns union rows `[Σ n_0..i, Σ n_0..i+1)`. That ordering is
+//! part of the query's identity — the same peers in the same order give
+//! the same union, and therefore the same bytes as a single box holding
+//! the concatenated dataset.
+//!
+//! Every wire interaction carries a read/write timeout, so a peer that
+//! dies mid-query surfaces as a one-line [`SwopeError::Transport`]
+//! ("peer addr: …") after at most the I/O timeout — never a hung
+//! worker. The server maps that error to `503 Retry-After`.
+//!
+//! Row-range scopes are handled by shrinking the sampled population to
+//! the range and routing the query only to peers whose slices intersect
+//! it — non-intersecting peers never hear about the query. Predicate
+//! scopes need a row-set scan the wire protocol deliberately does not
+//! carry; the server rejects them before reaching this module.
+
+use std::io::Write as _;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Duration;
+
+use swope_core::{AttrMeta, CountRequest, ShardCounts, ShardTransport, SwopeError};
+
+use crate::frame::{
+    read_frame, write_frame, ErrorFrame, Frame, GrowDelta, Hello, QuerySpecFrame, ResultFrame,
+    PROTOCOL_VERSION,
+};
+use crate::stats::ClusterStats;
+
+/// Explicit wire deadlines; both paths must be bounded for the dead-peer
+/// 503 guarantee to hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerTimeouts {
+    /// TCP connect deadline per peer.
+    pub connect: Duration,
+    /// Read/write deadline per frame (a slow iteration still exchanges
+    /// one frame pair, so this bounds every wait).
+    pub io: Duration,
+}
+
+impl Default for PeerTimeouts {
+    fn default() -> Self {
+        Self { connect: Duration::from_secs(2), io: Duration::from_secs(10) }
+    }
+}
+
+struct PeerConn {
+    addr: String,
+    stream: TcpStream,
+    /// This peer's slice of the union, in union row coordinates.
+    slice: Range<u64>,
+}
+
+/// One-line, addr-tagged transport error (the coordinator's whole error
+/// vocabulary: every failure names the peer and the reason).
+fn peer_err(addr: &str, reason: impl std::fmt::Display) -> SwopeError {
+    SwopeError::Transport(format!("peer {addr}: {reason}"))
+}
+
+fn dial(
+    addr: &str,
+    timeouts: &PeerTimeouts,
+    stats: &ClusterStats,
+) -> Result<TcpStream, SwopeError> {
+    dial_inner(addr, timeouts).map_err(|e| {
+        stats.record_peer_error();
+        e
+    })
+}
+
+fn dial_inner(addr: &str, timeouts: &PeerTimeouts) -> Result<TcpStream, SwopeError> {
+    let mut last = None;
+    let resolved = addr.to_socket_addrs().map_err(|e| peer_err(addr, e))?;
+    for sock in resolved {
+        match TcpStream::connect_timeout(&sock, timeouts.connect) {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(timeouts.io)).map_err(|e| peer_err(addr, e))?;
+                stream.set_write_timeout(Some(timeouts.io)).map_err(|e| peer_err(addr, e))?;
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(match last {
+        Some(e) => peer_err(addr, format!("connect failed: {e}")),
+        None => peer_err(addr, "address resolved to nothing"),
+    })
+}
+
+fn send(peer: &mut PeerConn, stats: &ClusterStats, frame: &Frame) -> Result<(), SwopeError> {
+    match write_frame(&mut peer.stream, frame) {
+        Ok(n) => {
+            stats.record_sent(n);
+            Ok(())
+        }
+        Err(e) => {
+            stats.record_peer_error();
+            Err(peer_err(&peer.addr, e))
+        }
+    }
+}
+
+fn recv(peer: &mut PeerConn, stats: &ClusterStats) -> Result<Frame, SwopeError> {
+    match read_frame(&mut peer.stream) {
+        Ok((frame, n)) => {
+            stats.record_received(n);
+            if let Frame::Error(e) = frame {
+                stats.record_peer_error();
+                return Err(peer_err(&peer.addr, e.message));
+            }
+            Ok(frame)
+        }
+        Err(e) => {
+            stats.record_peer_error();
+            Err(peer_err(&peer.addr, e))
+        }
+    }
+}
+
+/// What a startup probe learns about a peer fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterProbe {
+    /// Peers that answered, in configuration order.
+    pub peers: usize,
+    /// Total rows across the fleet's (default) datasets.
+    pub union_rows: u64,
+}
+
+/// Dials every peer once and sums their default datasets' rows — the
+/// server's startup validation and gauge source. Any unreachable peer is
+/// an error: a coordinator should not come up pointing at a dead fleet.
+pub fn probe(
+    addrs: &[String],
+    timeouts: &PeerTimeouts,
+    stats: &ClusterStats,
+) -> Result<ClusterProbe, SwopeError> {
+    let mut union_rows = 0u64;
+    for addr in addrs {
+        let mut peer =
+            PeerConn { addr: addr.clone(), stream: dial(addr, timeouts, stats)?, slice: 0..0 };
+        send(
+            &mut peer,
+            stats,
+            &Frame::Hello(Hello {
+                version: PROTOCOL_VERSION,
+                dataset: String::new(),
+                num_rows: 0,
+                attrs: Vec::new(),
+            }),
+        )?;
+        match recv(&mut peer, stats)? {
+            Frame::Hello(h) => union_rows += h.num_rows,
+            f => return Err(peer_err(addr, format!("expected Hello, got {}", f.name()))),
+        }
+    }
+    Ok(ClusterProbe { peers: addrs.len(), union_rows })
+}
+
+/// A wire-backed [`ShardTransport`]: one connected peer per shard.
+///
+/// Lives for one query. Dropping it (or calling
+/// [`RemoteShardSource::finish`]) tells every participant the query is
+/// over so peer sessions can await their next `QuerySpec`.
+pub struct RemoteShardSource {
+    peers: Vec<PeerConn>,
+    meta: Vec<AttrMeta>,
+    population: u64,
+    base: u64,
+    sampled: u64,
+    finished: bool,
+    stats: Arc<ClusterStats>,
+}
+
+impl RemoteShardSource {
+    /// Connects to `addrs`, opens `dataset`, and pins the query's
+    /// sampling frame (`seed`, optional row-range `scope` in union
+    /// coordinates).
+    ///
+    /// # Errors
+    ///
+    /// [`SwopeError::Transport`] when a peer is unreachable, times out,
+    /// disagrees on schema, or reports an error;
+    /// [`SwopeError::InvalidScope`] when `scope` falls outside the union;
+    /// [`SwopeError::EmptyDataset`] when the fleet holds no rows.
+    pub fn connect(
+        addrs: &[String],
+        dataset: &str,
+        seed: u64,
+        scope: Option<Range<u64>>,
+        timeouts: &PeerTimeouts,
+        stats: Arc<ClusterStats>,
+    ) -> Result<Self, SwopeError> {
+        if addrs.is_empty() {
+            return Err(SwopeError::Transport("no peers configured".into()));
+        }
+        stats.record_query();
+        let hello = Frame::Hello(Hello {
+            version: PROTOCOL_VERSION,
+            dataset: dataset.to_owned(),
+            num_rows: 0,
+            attrs: Vec::new(),
+        });
+        let mut peers = Vec::with_capacity(addrs.len());
+        let mut meta: Option<Vec<AttrMeta>> = None;
+        let mut offset = 0u64;
+        for addr in addrs {
+            let mut peer =
+                PeerConn { addr: addr.clone(), stream: dial(addr, timeouts, &stats)?, slice: 0..0 };
+            send(&mut peer, &stats, &hello)?;
+            let reply = match recv(&mut peer, &stats)? {
+                Frame::Hello(h) => h,
+                f => return Err(peer_err(addr, format!("expected Hello, got {}", f.name()))),
+            };
+            if reply.version != PROTOCOL_VERSION {
+                return Err(peer_err(addr, format!("speaks protocol v{}", reply.version)));
+            }
+            match &meta {
+                None => meta = Some(reply.attrs),
+                Some(m) if *m != reply.attrs => {
+                    return Err(peer_err(
+                        addr,
+                        "schema disagrees with the first peer (shards must share names and supports)",
+                    ));
+                }
+                Some(_) => {}
+            }
+            peer.slice = offset..offset + reply.num_rows;
+            offset += reply.num_rows;
+            peers.push(peer);
+        }
+        let union_rows = offset;
+        if union_rows == 0 {
+            return Err(SwopeError::EmptyDataset);
+        }
+        // Mirror the single-box scope rule: the end clamps to the union's
+        // row count, an empty range is an error.
+        let scope = scope.unwrap_or(0..union_rows);
+        let end = scope.end.min(union_rows);
+        if scope.start >= end {
+            return Err(SwopeError::InvalidScope(format!(
+                "row range [{}, {}) is empty against the union's {union_rows} rows",
+                scope.start, scope.end
+            )));
+        }
+        let scope = scope.start..end;
+        // Scoped queries involve only the peers whose slices intersect
+        // the range; the rest never hear about this query.
+        peers.retain(|p| p.slice.start < scope.end && p.slice.end > scope.start);
+        let spec = QuerySpecFrame {
+            seed,
+            population: scope.end - scope.start,
+            base: scope.start,
+            shard_start: 0,
+            shard_end: 0,
+        };
+        for peer in &mut peers {
+            let spec = QuerySpecFrame {
+                shard_start: peer.slice.start,
+                shard_end: peer.slice.end,
+                ..spec.clone()
+            };
+            send(peer, &stats, &Frame::QuerySpec(spec))?;
+        }
+        Ok(Self {
+            peers,
+            meta: meta.unwrap_or_default(),
+            population: scope.end - scope.start,
+            base: scope.start,
+            sampled: 0,
+            finished: false,
+            stats,
+        })
+    }
+
+    /// Total rows across the fleet for this query's population (scoped).
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// First union row of the scope (0 when unscoped).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Participating peers (after scope routing).
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Tells every participant the query is over (best effort) and stops
+    /// further use. Also runs on drop.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let frame = Frame::Result(ResultFrame { sampled: self.sampled });
+        for peer in &mut self.peers {
+            let _ = send(peer, &self.stats, &frame);
+            let _ = peer.stream.flush();
+        }
+    }
+
+    /// Aborts the query with a reason (best effort), e.g. when the
+    /// engine fails between iterations.
+    pub fn abort(&mut self, reason: &str) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let frame = Frame::Error(ErrorFrame { message: reason.to_owned() });
+        for peer in &mut self.peers {
+            let _ = send(peer, &self.stats, &frame);
+        }
+    }
+}
+
+impl std::fmt::Debug for RemoteShardSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteShardSource")
+            .field("peers", &self.peers.len())
+            .field("population", &self.population)
+            .field("base", &self.base)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+impl Drop for RemoteShardSource {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+impl ShardTransport for RemoteShardSource {
+    fn num_rows(&self) -> usize {
+        self.population as usize
+    }
+
+    fn attrs(&self) -> &[AttrMeta] {
+        &self.meta
+    }
+
+    fn num_shards(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn advance(
+        &mut self,
+        m_target: usize,
+        req: &CountRequest,
+    ) -> Result<Vec<ShardCounts>, SwopeError> {
+        if self.finished {
+            return Err(SwopeError::Transport("query already finished".into()));
+        }
+        let grow = Frame::GrowDelta(GrowDelta {
+            m_target: m_target as u64,
+            target: req.target.map(|t| t as u32),
+            live: req.live.iter().map(|&a| a as u32).collect(),
+        });
+        // Scatter to every participant first, then gather: peers count
+        // their deltas concurrently while we read replies in order.
+        for peer in &mut self.peers {
+            send(peer, &self.stats, &grow)?;
+        }
+        let mut out = Vec::with_capacity(self.peers.len());
+        for peer in &mut self.peers {
+            let counts = match recv(peer, &self.stats)? {
+                Frame::CountMerge(c) => c.into_counts().map_err(|e| peer_err(&peer.addr, e))?,
+                f => {
+                    return Err(peer_err(
+                        &peer.addr,
+                        format!("expected CountMerge, got {}", f.name()),
+                    ))
+                }
+            };
+            if counts.attrs.len() != req.live.len()
+                || counts.target.is_some() != req.target.is_some()
+            {
+                return Err(peer_err(&peer.addr, "CountMerge shape disagrees with the request"));
+            }
+            out.push(counts);
+        }
+        self.sampled = (m_target as u64).min(self.population);
+        self.stats.record_merge();
+        Ok(out)
+    }
+}

@@ -1,0 +1,702 @@
+//! The cluster wire format: length-prefixed, CRC32-trailed typed frames.
+//!
+//! Every frame on a coordinator↔peer connection has the same envelope,
+//! little-endian throughout:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "SWPC"
+//! 4       1     frame tag (1=Hello … 6=Error)
+//! 5       4     payload length (u32, ≤ 64 MiB)
+//! 9       len   payload
+//! 9+len   4     CRC32 over bytes [4, 9+len)  (tag + length + payload)
+//! ```
+//!
+//! The CRC covers the tag and length as well as the payload, mirroring
+//! the SWOP v2 snapshot sections: a flipped tag or a truncating length
+//! is as detectable as flipped payload bytes. The magic doubles as the
+//! connection sniff the server uses to tell cluster sessions from HTTP
+//! on a shared port — no HTTP method starts with `SWPC`.
+//!
+//! Variable-size fields use `u32` length + UTF-8 bytes for strings, and
+//! `u32` element counts for lists. Count histograms travel in canonical
+//! form — `(code, count)` entries in ascending code order, joint runs as
+//! `(packed_key, count)` in ascending key order — which is exactly the
+//! order-independent representation the exact-merge argument needs (see
+//! `swope_core::shard`): re-encoding a decoded frame is byte-identical.
+
+use std::io::{Read, Write};
+
+use swope_core::{AttrMeta, CountState, PairCountState, ShardCounts};
+use swope_store::crc32::crc32;
+
+/// Connection-sniffing magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"SWPC";
+
+/// Wire protocol version carried in [`Hello`] frames; peers reject
+/// mismatches rather than guessing.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload. A `CountMerge` over the widest
+/// supported attribute set stays far below this; anything larger is a
+/// corrupt or hostile length field.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+const HEADER_LEN: usize = 9;
+
+/// Why a frame could not be read or decoded. One line per variant —
+/// these surface verbatim in coordinator 503 bodies.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (including read timeouts).
+    Io(std::io::Error),
+    /// The stream did not start with [`MAGIC`] — not a cluster peer.
+    BadMagic([u8; 4]),
+    /// A tag outside the known frame vocabulary.
+    UnknownTag(u8),
+    /// A length field beyond [`MAX_PAYLOAD`].
+    Oversize(u32),
+    /// The CRC32 trailer did not match the received bytes.
+    Crc {
+        /// CRC computed over the received bytes.
+        computed: u32,
+        /// CRC carried in the trailer.
+        stored: u32,
+    },
+    /// The payload did not parse as its tag's layout.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o failed: {e}"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?} (expected \"SWPC\")"),
+            FrameError::UnknownTag(t) => write!(f, "unknown frame tag {t}"),
+            FrameError::Oversize(n) => write!(f, "frame payload of {n} bytes exceeds the limit"),
+            FrameError::Crc { computed, stored } => {
+                write!(f, "frame checksum mismatch: computed {computed:08x}, stored {stored:08x}")
+            }
+            FrameError::Malformed(what) => write!(f, "malformed frame payload: {what}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl FrameError {
+    /// True when the error is the peer closing the stream cleanly (EOF
+    /// before any frame byte) — end of session, not a failure.
+    pub fn is_eof(&self) -> bool {
+        matches!(self, FrameError::Io(e) if e.kind() == std::io::ErrorKind::UnexpectedEof)
+    }
+}
+
+/// `Hello`: the session opener, symmetric in shape. The coordinator
+/// sends the dataset name it wants (with `num_rows = 0` and no attrs);
+/// the peer replies with its row count and attribute metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hello {
+    /// Must equal [`PROTOCOL_VERSION`] on both sides.
+    pub version: u32,
+    /// Registry name of the dataset ("" asks the peer for its default).
+    pub dataset: String,
+    /// Peer's local row count (0 in the coordinator's request).
+    pub num_rows: u64,
+    /// Peer's attribute names and supports (empty in the request).
+    pub attrs: Vec<AttrMeta>,
+}
+
+/// `QuerySpec`: pins one query's global sampling frame. The peer replays
+/// the union-wide prefix shuffle from `seed` over `population` rows;
+/// sampled index `i` names union row `base + i`, and the peer counts it
+/// iff it falls in the peer's own `[shard_start, shard_end)` slice
+/// (local row `base + i - shard_start`). Unscoped queries have
+/// `base = 0` and `population = Σ n_peer`; a row-range scope shrinks
+/// `population` and offsets `base`, and only intersecting peers hear
+/// about the query at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpecFrame {
+    /// Global sampling seed shared by every peer.
+    pub seed: u64,
+    /// Rows in the (possibly scoped) union population.
+    pub population: u64,
+    /// First union row of the scope (0 when unscoped).
+    pub base: u64,
+    /// First union row this peer owns.
+    pub shard_start: u64,
+    /// One past the last union row this peer owns.
+    pub shard_end: u64,
+}
+
+/// `GrowDelta`: one doubling iteration's counting request — grow the
+/// shared sample to `m_target` and count the newly sampled rows for the
+/// still-live attributes (paired against `target` for MI queries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowDelta {
+    /// Cumulative sample-size target (absolute, not a delta).
+    pub m_target: u64,
+    /// MI target attribute index, `None` for entropy queries.
+    pub target: Option<u32>,
+    /// Still-live attribute indexes, in engine state order.
+    pub live: Vec<u32>,
+}
+
+/// `CountMerge`: a peer's integer count deltas for one `GrowDelta`, in
+/// canonical (sorted) form. Decoding reconstitutes a
+/// [`ShardCounts`] ready for the engine's exact merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountMergeFrame {
+    /// Target histogram as `(support, entries)` (`Some` iff the request
+    /// had a target).
+    pub target: Option<(u32, Vec<(u32, u64)>)>,
+    /// Per-live-attribute `(support, entries)` marginal histograms.
+    pub attrs: Vec<(u32, Vec<(u32, u64)>)>,
+    /// Per-live-attribute joint runs (empty lists for entropy queries).
+    pub joints: Vec<Vec<(u64, u64)>>,
+}
+
+/// `Result`: the coordinator's end-of-query signal (the answer itself
+/// never travels — peers only ever see counting work). `sampled` echoes
+/// the final sample size so peers can sanity-check and log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultFrame {
+    /// Final cumulative sample size when the query stopped.
+    pub sampled: u64,
+}
+
+/// `Error`: a one-line failure report, either direction. The receiving
+/// side surfaces the message and abandons the query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorFrame {
+    /// Human-readable single-line reason.
+    pub message: String,
+}
+
+/// One typed protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Session opener / metadata reply.
+    Hello(Hello),
+    /// Per-query sampling frame.
+    QuerySpec(QuerySpecFrame),
+    /// Per-iteration counting request.
+    GrowDelta(GrowDelta),
+    /// Per-iteration count reply.
+    CountMerge(CountMergeFrame),
+    /// End-of-query signal.
+    Result(ResultFrame),
+    /// One-line failure report.
+    Error(ErrorFrame),
+}
+
+impl Frame {
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Hello(_) => 1,
+            Frame::QuerySpec(_) => 2,
+            Frame::GrowDelta(_) => 3,
+            Frame::CountMerge(_) => 4,
+            Frame::Result(_) => 5,
+            Frame::Error(_) => 6,
+        }
+    }
+
+    /// The frame's type name, for error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Frame::Hello(_) => "Hello",
+            Frame::QuerySpec(_) => "QuerySpec",
+            Frame::GrowDelta(_) => "GrowDelta",
+            Frame::CountMerge(_) => "CountMerge",
+            Frame::Result(_) => "Result",
+            Frame::Error(_) => "Error",
+        }
+    }
+}
+
+impl CountMergeFrame {
+    /// Canonicalizes a shard's counts into wire form. Takes `&mut`
+    /// because joint runs are sorted and coalesced in place.
+    pub fn from_counts(counts: &mut ShardCounts) -> Self {
+        let encode = |cs: &CountState| (cs.support(), cs.sorted_entries());
+        Self {
+            target: counts.target.as_ref().map(&encode),
+            attrs: counts.attrs.iter().map(&encode).collect(),
+            joints: counts.joints.iter_mut().map(|j| j.canonical_runs().to_vec()).collect(),
+        }
+    }
+
+    /// Reconstitutes engine-side count states, validating every code
+    /// against its histogram's support (a hostile frame must not panic
+    /// the engine).
+    pub fn into_counts(self) -> Result<ShardCounts, FrameError> {
+        fn decode(support: u32, entries: Vec<(u32, u64)>) -> Result<CountState, FrameError> {
+            let mut cs = CountState::new(support);
+            for (code, k) in entries {
+                if code >= support {
+                    return Err(FrameError::Malformed("count entry code beyond support"));
+                }
+                cs.increment(code, k);
+            }
+            Ok(cs)
+        }
+        if self.attrs.len() != self.joints.len() {
+            return Err(FrameError::Malformed("attr/joint list length mismatch"));
+        }
+        let target = self.target.map(|(s, e)| decode(s, e)).transpose()?;
+        let attrs =
+            self.attrs.into_iter().map(|(s, e)| decode(s, e)).collect::<Result<Vec<_>, _>>()?;
+        let joints = self
+            .joints
+            .into_iter()
+            .map(|runs| {
+                let mut pc = PairCountState::new();
+                for (key, k) in runs {
+                    pc.increment(key, k);
+                }
+                pc
+            })
+            .collect();
+        Ok(ShardCounts { target, attrs, joints })
+    }
+}
+
+// ---- payload writers -------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_entries(out: &mut Vec<u8>, support: u32, entries: &[(u32, u64)]) {
+    put_u32(out, support);
+    put_u32(out, entries.len() as u32);
+    for &(code, k) in entries {
+        put_u32(out, code);
+        put_u64(out, k);
+    }
+}
+
+fn payload(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    match frame {
+        Frame::Hello(h) => {
+            put_u32(&mut out, h.version);
+            put_str(&mut out, &h.dataset);
+            put_u64(&mut out, h.num_rows);
+            put_u32(&mut out, h.attrs.len() as u32);
+            for a in &h.attrs {
+                put_str(&mut out, &a.name);
+                put_u32(&mut out, a.support);
+            }
+        }
+        Frame::QuerySpec(q) => {
+            put_u64(&mut out, q.seed);
+            put_u64(&mut out, q.population);
+            put_u64(&mut out, q.base);
+            put_u64(&mut out, q.shard_start);
+            put_u64(&mut out, q.shard_end);
+        }
+        Frame::GrowDelta(g) => {
+            put_u64(&mut out, g.m_target);
+            out.push(g.target.is_some() as u8);
+            put_u32(&mut out, g.target.unwrap_or(0));
+            put_u32(&mut out, g.live.len() as u32);
+            for &a in &g.live {
+                put_u32(&mut out, a);
+            }
+        }
+        Frame::CountMerge(c) => {
+            out.push(c.target.is_some() as u8);
+            if let Some((support, entries)) = &c.target {
+                put_entries(&mut out, *support, entries);
+            }
+            put_u32(&mut out, c.attrs.len() as u32);
+            for (support, entries) in &c.attrs {
+                put_entries(&mut out, *support, entries);
+            }
+            put_u32(&mut out, c.joints.len() as u32);
+            for runs in &c.joints {
+                put_u32(&mut out, runs.len() as u32);
+                for &(key, k) in runs {
+                    put_u64(&mut out, key);
+                    put_u64(&mut out, k);
+                }
+            }
+        }
+        Frame::Result(r) => put_u64(&mut out, r.sampled),
+        Frame::Error(e) => put_str(&mut out, &e.message),
+    }
+    out
+}
+
+// ---- payload reader --------------------------------------------------
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end =
+            self.pos.checked_add(n).ok_or(FrameError::Malformed("length overflows payload"))?;
+        if end > self.bytes.len() {
+            return Err(FrameError::Malformed("payload shorter than its layout"));
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, FrameError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| FrameError::Malformed("string field is not UTF-8"))
+    }
+
+    /// Guards list preallocation: a hostile count must not allocate more
+    /// than the payload could possibly hold.
+    fn list_len(&mut self, elem_size: usize) -> Result<usize, FrameError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(elem_size) > self.bytes.len() - self.pos {
+            return Err(FrameError::Malformed("list count exceeds payload size"));
+        }
+        Ok(n)
+    }
+
+    fn entries(&mut self) -> Result<(u32, Vec<(u32, u64)>), FrameError> {
+        let support = self.u32()?;
+        let n = self.list_len(12)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push((self.u32()?, self.u64()?));
+        }
+        Ok((support, entries))
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos != self.bytes.len() {
+            return Err(FrameError::Malformed("trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+fn decode_payload(tag: u8, bytes: &[u8]) -> Result<Frame, FrameError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let frame = match tag {
+        1 => {
+            let version = c.u32()?;
+            let dataset = c.str()?;
+            let num_rows = c.u64()?;
+            let n = c.list_len(8)?;
+            let mut attrs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = c.str()?;
+                let support = c.u32()?;
+                attrs.push(AttrMeta { name, support });
+            }
+            Frame::Hello(Hello { version, dataset, num_rows, attrs })
+        }
+        2 => Frame::QuerySpec(QuerySpecFrame {
+            seed: c.u64()?,
+            population: c.u64()?,
+            base: c.u64()?,
+            shard_start: c.u64()?,
+            shard_end: c.u64()?,
+        }),
+        3 => {
+            let m_target = c.u64()?;
+            let has_target = c.u8()? != 0;
+            let target_raw = c.u32()?;
+            let n = c.list_len(4)?;
+            let mut live = Vec::with_capacity(n);
+            for _ in 0..n {
+                live.push(c.u32()?);
+            }
+            Frame::GrowDelta(GrowDelta { m_target, target: has_target.then_some(target_raw), live })
+        }
+        4 => {
+            let target = if c.u8()? != 0 { Some(c.entries()?) } else { None };
+            let n = c.list_len(4)?;
+            let mut attrs = Vec::with_capacity(n);
+            for _ in 0..n {
+                attrs.push(c.entries()?);
+            }
+            let n = c.list_len(4)?;
+            let mut joints = Vec::with_capacity(n);
+            for _ in 0..n {
+                let r = c.list_len(16)?;
+                let mut runs = Vec::with_capacity(r);
+                for _ in 0..r {
+                    runs.push((c.u64()?, c.u64()?));
+                }
+                joints.push(runs);
+            }
+            Frame::CountMerge(CountMergeFrame { target, attrs, joints })
+        }
+        5 => Frame::Result(ResultFrame { sampled: c.u64()? }),
+        6 => Frame::Error(ErrorFrame { message: c.str()? }),
+        other => return Err(FrameError::UnknownTag(other)),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+// ---- envelope --------------------------------------------------------
+
+/// Encodes a frame into its full wire envelope (magic through CRC).
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let body = payload(frame);
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    out.push(frame.tag());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    let crc = crc32(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes one complete envelope. The input must be exactly one frame.
+pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
+    if bytes.len() < HEADER_LEN + 4 {
+        return Err(FrameError::Malformed("envelope shorter than header + trailer"));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(FrameError::BadMagic(bytes[..4].try_into().unwrap()));
+    }
+    let tag = bytes[4];
+    let len = u32::from_le_bytes(bytes[5..9].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversize(len));
+    }
+    if bytes.len() != HEADER_LEN + len as usize + 4 {
+        return Err(FrameError::Malformed("envelope length disagrees with length field"));
+    }
+    let crc_at = bytes.len() - 4;
+    let stored = u32::from_le_bytes(bytes[crc_at..].try_into().unwrap());
+    let computed = crc32(&bytes[4..crc_at]);
+    if computed != stored {
+        return Err(FrameError::Crc { computed, stored });
+    }
+    decode_payload(tag, &bytes[HEADER_LEN..crc_at])
+}
+
+/// Writes one frame to a stream, returning the bytes put on the wire.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<usize, FrameError> {
+    let bytes = encode(frame);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
+/// Reads one frame from a stream, returning it with its wire size.
+///
+/// A clean EOF before the first header byte surfaces as an
+/// [`FrameError::Io`] with `UnexpectedEof` (see [`FrameError::is_eof`]).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(Frame, usize), FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    if header[..4] != MAGIC {
+        return Err(FrameError::BadMagic(header[..4].try_into().unwrap()));
+    }
+    let tag = header[4];
+    let len = u32::from_le_bytes(header[5..9].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversize(len));
+    }
+    let mut rest = vec![0u8; len as usize + 4];
+    r.read_exact(&mut rest)?;
+    let crc_at = rest.len() - 4;
+    let stored = u32::from_le_bytes(rest[crc_at..].try_into().unwrap());
+    let mut covered = Vec::with_capacity(5 + crc_at);
+    covered.extend_from_slice(&header[4..]);
+    covered.extend_from_slice(&rest[..crc_at]);
+    let computed = crc32(&covered);
+    if computed != stored {
+        return Err(FrameError::Crc { computed, stored });
+    }
+    let frame = decode_payload(tag, &rest[..crc_at])?;
+    Ok((frame, HEADER_LEN + rest.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Frame> {
+        vec![
+            Frame::Hello(Hello {
+                version: PROTOCOL_VERSION,
+                dataset: "flights".into(),
+                num_rows: 12_345,
+                attrs: vec![
+                    AttrMeta { name: "carrier".into(), support: 14 },
+                    AttrMeta { name: "origin".into(), support: 350 },
+                ],
+            }),
+            Frame::Hello(Hello {
+                version: PROTOCOL_VERSION,
+                dataset: String::new(),
+                num_rows: 0,
+                attrs: Vec::new(),
+            }),
+            Frame::QuerySpec(QuerySpecFrame {
+                seed: 0xDEAD_BEEF,
+                population: 1_000_000,
+                base: 250,
+                shard_start: 500_000,
+                shard_end: 750_000,
+            }),
+            Frame::GrowDelta(GrowDelta { m_target: 4096, target: Some(3), live: vec![0, 1, 5] }),
+            Frame::GrowDelta(GrowDelta { m_target: 64, target: None, live: vec![2] }),
+            Frame::CountMerge(CountMergeFrame {
+                target: Some((4, vec![(0, 10), (3, 2)])),
+                attrs: vec![(8, vec![(1, 5), (7, 1)]), (2, vec![])],
+                joints: vec![vec![(0x0000_0003_0000_0001, 4)], vec![]],
+            }),
+            Frame::Result(ResultFrame { sampled: 8192 }),
+            Frame::Error(ErrorFrame { message: "no dataset named \"x\"".into() }),
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_frame() {
+        for frame in samples() {
+            let bytes = encode(&frame);
+            assert_eq!(decode(&bytes).unwrap(), frame, "{}", frame.name());
+            // Stream reader agrees with the one-shot decoder.
+            let mut cursor = std::io::Cursor::new(bytes.clone());
+            let (read, n) = read_frame(&mut cursor).unwrap();
+            assert_eq!(read, frame);
+            assert_eq!(n, bytes.len());
+        }
+    }
+
+    #[test]
+    fn frames_concatenate_on_a_stream() {
+        let frames = samples();
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        for f in &frames {
+            assert_eq!(&read_frame(&mut cursor).unwrap().0, f);
+        }
+        assert!(read_frame(&mut cursor).unwrap_err().is_eof());
+    }
+
+    #[test]
+    fn corruption_is_detected_everywhere() {
+        let frame = samples().remove(5);
+        let clean = encode(&frame);
+        // Flipping any single bit past the magic must be caught (the CRC
+        // covers tag, length, and payload; the magic check covers 0..4).
+        for byte in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[byte] ^= 0x40;
+            assert!(decode(&bad).is_err(), "flip at byte {byte} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_and_oversize_are_rejected() {
+        let bytes = encode(&samples().remove(0));
+        for cut in 0..bytes.len() {
+            let mut short = std::io::Cursor::new(bytes[..cut].to_vec());
+            assert!(read_frame(&mut short).is_err(), "truncation at {cut} accepted");
+            assert!(decode(&bytes[..cut]).is_err());
+        }
+        let mut huge = bytes.clone();
+        huge[5..9].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(decode(&huge), Err(FrameError::Oversize(_))));
+        let mut cursor = std::io::Cursor::new(huge);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Oversize(_))));
+    }
+
+    #[test]
+    fn http_bytes_are_not_frames() {
+        let mut http = std::io::Cursor::new(b"GET /healthz HTTP/1.1\r\n\r\n".to_vec());
+        assert!(matches!(read_frame(&mut http), Err(FrameError::BadMagic(_))));
+    }
+
+    #[test]
+    fn hostile_list_counts_do_not_allocate() {
+        // A Hello claiming 2^32-ish attrs in a tiny payload must fail
+        // cleanly instead of reserving gigabytes.
+        let mut body = Vec::new();
+        put_u32(&mut body, PROTOCOL_VERSION);
+        put_str(&mut body, "x");
+        put_u64(&mut body, 0);
+        put_u32(&mut body, u32::MAX);
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.push(1);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        let crc = crc32(&out[4..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(decode(&out), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn count_merge_round_trips_through_shard_counts() {
+        let mut a = CountState::new(6);
+        a.add(5);
+        a.add(1);
+        a.add(5);
+        let mut t = CountState::new(3);
+        t.add(2);
+        let mut j = PairCountState::new();
+        j.add(2, 5);
+        j.add(2, 5);
+        j.add(0, 1);
+        let mut counts =
+            ShardCounts { target: Some(t.clone()), attrs: vec![a.clone()], joints: vec![j] };
+        let frame = CountMergeFrame::from_counts(&mut counts);
+        let back = frame.clone().into_counts().unwrap();
+        assert_eq!(back.target.as_ref().unwrap().sorted_entries(), t.sorted_entries());
+        assert_eq!(back.attrs[0].sorted_entries(), a.sorted_entries());
+        let mut joint = back.joints[0].clone();
+        assert_eq!(joint.canonical_runs(), frame.joints[0].as_slice());
+        // Canonical in, canonical out: re-encoding is byte-identical.
+        let mut back2 = back;
+        assert_eq!(CountMergeFrame::from_counts(&mut back2), frame);
+    }
+
+    #[test]
+    fn count_merge_rejects_out_of_support_codes() {
+        let frame =
+            CountMergeFrame { target: None, attrs: vec![(4, vec![(4, 1)])], joints: vec![vec![]] };
+        assert!(frame.into_counts().is_err());
+    }
+}

@@ -124,14 +124,26 @@ impl SwopeConfig {
     /// [`SwopeConfig::resolve_m0`] against an explicit population size
     /// (attribute count and supports still come from `dataset`).
     pub fn resolve_m0_rows(&self, dataset: &Dataset, num_rows: usize, p_f: f64) -> usize {
+        self.resolve_m0_meta(num_rows, dataset.num_attrs(), dataset.schema().max_support(), p_f)
+    }
+
+    /// [`SwopeConfig::resolve_m0_rows`] from schema facts alone. The
+    /// shard-parallel loops resolve `M0` through this so a wire
+    /// coordinator — which knows each peer's attribute metadata but holds
+    /// no local `Dataset` — lands on exactly the same `M0` as a
+    /// single-box run over the union population.
+    pub fn resolve_m0_meta(
+        &self,
+        num_rows: usize,
+        num_attrs: usize,
+        max_support: u32,
+        p_f: f64,
+    ) -> usize {
         match self.initial_sample {
             Some(m0) => m0.clamp(1, num_rows.max(1)),
-            None => initial_sample_size(
-                num_rows as u64,
-                dataset.num_attrs(),
-                p_f,
-                dataset.schema().max_support() as u64,
-            ) as usize,
+            None => {
+                initial_sample_size(num_rows as u64, num_attrs, p_f, max_support as u64) as usize
+            }
         }
     }
 }

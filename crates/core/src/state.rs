@@ -20,6 +20,17 @@
 //! zero-extension). Gathered block buffers are [`CodeBuf`]s so scratch
 //! stays at the column's width too: a `u8` column moves a quarter of the
 //! bytes an unpacked gather would.
+//!
+//! Every ingest is also **canonically applied**: an ingest call first
+//! accumulates its rows into a pure-integer delta histogram
+//! ([`crate::shard::CountState`]; joint occurrences into a
+//! [`crate::shard::PairCountState`]) and then drains the histogram into
+//! the floating-point counters in ascending-code order. The counters'
+//! running `f64` sums therefore see an update sequence that depends only
+//! on the *multiset* of rows an ingest call covers, never on their
+//! order — which is what lets the shard-parallel loops ([`crate::shard`])
+//! count the same delta on any number of shards, merge the integer
+//! histograms, and land on bitwise-identical results.
 
 use swope_columnar::{AttrIndex, Code, CodeBuf, CodeRepr, Column, Dataset};
 use swope_estimate::bounds::{entropy_bounds, mi_bounds, EntropyBounds, MiBounds};
@@ -29,6 +40,7 @@ use swope_sampling::{PageShuffle, PrefixShuffle, Sampler};
 use swope_store::{for_packed, gather};
 
 use crate::scope::CoveredDist;
+use crate::shard::{CountState, PairCountState};
 use crate::SamplingStrategy;
 
 /// Row-block granularity of the gather-staged ingest path.
@@ -105,6 +117,7 @@ pub struct EntropyState {
     /// The attribute's support size `u_alpha`.
     pub support: u32,
     counter: EntropyCounter,
+    delta: CountState,
     /// Covered-region code distribution of a scoped hybrid sample
     /// (see [`crate::scope`]); `None` for unscoped queries.
     covered: Option<CoveredDist>,
@@ -115,11 +128,18 @@ pub struct EntropyState {
 impl EntropyState {
     /// Creates state for attribute `attr` of `dataset`.
     pub fn new(dataset: &Dataset, attr: AttrIndex) -> Self {
-        let support = dataset.support(attr);
+        Self::with_support(attr, dataset.support(attr))
+    }
+
+    /// Creates state from the attribute's support alone — the shard
+    /// engine's constructor, which holds attribute metadata but no local
+    /// [`Dataset`].
+    pub fn with_support(attr: AttrIndex, support: u32) -> Self {
         Self {
             attr,
             support,
             counter: EntropyCounter::new(support),
+            delta: CountState::new(support),
             covered: None,
             bounds: EntropyBounds {
                 sample_entropy: 0.0,
@@ -129,6 +149,13 @@ impl EntropyState {
                 bias: f64::INFINITY,
             },
         }
+    }
+
+    /// Drains an externally accumulated delta histogram (one iteration's
+    /// merged shard counts) into the counter in canonical code order —
+    /// the exact apply the ingest paths use on their own deltas.
+    pub fn apply_delta(&mut self, delta: &mut CountState) {
+        delta.apply_to(&mut self.counter);
     }
 
     /// Attaches the covered-region code distribution of a scoped hybrid
@@ -151,16 +178,18 @@ impl EntropyState {
         }
     }
 
-    /// Ingests newly sampled rows (O(Δrows)).
+    /// Ingests newly sampled rows (O(Δrows)), applied canonically: the
+    /// counter update depends only on the row multiset, not its order.
     #[inline]
     pub fn ingest(&mut self, column: &Column, new_rows: &[u32]) {
-        for_packed!(column.packed().codes(), |codes| self.ingest_repr(codes, new_rows))
+        for_packed!(column.packed().codes(), |codes| self.ingest_repr(codes, new_rows));
+        self.delta.apply_to(&mut self.counter);
     }
 
     #[inline]
     fn ingest_repr<R: CodeRepr>(&mut self, codes: &[R], new_rows: &[u32]) {
         for &r in new_rows {
-            self.counter.add(codes[r as usize].widen());
+            self.delta.add(codes[r as usize].widen());
         }
     }
 
@@ -174,7 +203,8 @@ impl EntropyState {
     pub fn ingest_staged(&mut self, column: &Column, new_rows: &[u32], buf: &mut CodeBuf) {
         for_packed!(column.packed().codes(), |codes| {
             self.ingest_staged_repr(codes, new_rows, buf)
-        })
+        });
+        self.delta.apply_to(&mut self.counter);
     }
 
     #[inline]
@@ -188,7 +218,7 @@ impl EntropyState {
         for block in new_rows.chunks(INGEST_BLOCK_ROWS) {
             gather(codes, block, buf);
             for &c in buf.iter() {
-                self.counter.add(c.widen());
+                self.delta.add(c.widen());
             }
         }
     }
@@ -224,6 +254,8 @@ pub struct MiState {
     pub support: u32,
     counter: EntropyCounter,
     joint: JointEntropyCounter,
+    delta: CountState,
+    jdelta: PairCountState,
     /// Confidence interval from the most recent [`MiState::update_bounds`].
     pub bounds: MiBounds,
 }
@@ -237,6 +269,8 @@ impl MiState {
             support: u_a,
             counter: EntropyCounter::new(u_a),
             joint: JointEntropyCounter::new(u_t, u_a),
+            delta: CountState::new(u_a),
+            jdelta: PairCountState::new(),
             bounds: MiBounds {
                 sample_mi: 0.0,
                 lower: 0.0,
@@ -245,6 +279,15 @@ impl MiState {
                 bias_total: f64::INFINITY,
             },
         }
+    }
+
+    /// Drains externally accumulated marginal and joint delta histograms
+    /// (one iteration's merged shard counts) into the counters in the
+    /// canonical order the ingest paths use: marginal first, then joint,
+    /// each ascending by code.
+    pub fn apply_delta(&mut self, delta: &mut CountState, joint: &mut PairCountState) {
+        delta.apply_to(&mut self.counter);
+        joint.apply_to(&mut self.joint);
     }
 
     /// Ingests newly sampled rows. `target_codes[i]` must be the target
@@ -256,7 +299,9 @@ impl MiState {
     pub fn ingest(&mut self, column: &Column, target_codes: &[Code], new_rows: &[u32]) {
         for_packed!(column.packed().codes(), |codes| {
             self.ingest_repr(codes, target_codes, new_rows)
-        })
+        });
+        self.delta.apply_to(&mut self.counter);
+        self.jdelta.apply_to(&mut self.joint);
     }
 
     #[inline]
@@ -264,8 +309,8 @@ impl MiState {
         debug_assert_eq!(target_codes.len(), new_rows.len());
         for (&r, &tc) in new_rows.iter().zip(target_codes) {
             let c = codes[r as usize].widen();
-            self.counter.add(c);
-            self.joint.add(tc, c);
+            self.delta.add(c);
+            self.jdelta.add(tc, c);
         }
     }
 
@@ -284,7 +329,9 @@ impl MiState {
     ) {
         for_packed!(column.packed().codes(), |codes| {
             self.ingest_staged_repr(codes, target_codes, new_rows, buf)
-        })
+        });
+        self.delta.apply_to(&mut self.counter);
+        self.jdelta.apply_to(&mut self.joint);
     }
 
     #[inline]
@@ -303,8 +350,8 @@ impl MiState {
             gather(codes, rows, buf);
             for (&c, &tc) in buf.iter().zip(tcs) {
                 let c = c.widen();
-                self.counter.add(c);
-                self.joint.add(tc, c);
+                self.delta.add(c);
+                self.jdelta.add(tc, c);
             }
         }
     }
@@ -351,13 +398,29 @@ pub struct TargetState {
     /// The target's support size `u_t`.
     pub support: u32,
     counter: EntropyCounter,
+    delta: CountState,
 }
 
 impl TargetState {
     /// Creates state for target attribute `attr` of `dataset`.
     pub fn new(dataset: &Dataset, attr: AttrIndex) -> Self {
-        let support = dataset.support(attr);
-        Self { attr, support, counter: EntropyCounter::new(support) }
+        Self::with_support(attr, dataset.support(attr))
+    }
+
+    /// Creates state from the target's support alone (shard engine).
+    pub fn with_support(attr: AttrIndex, support: u32) -> Self {
+        Self {
+            attr,
+            support,
+            counter: EntropyCounter::new(support),
+            delta: CountState::new(support),
+        }
+    }
+
+    /// Drains an externally accumulated target delta histogram into the
+    /// counter in canonical code order.
+    pub fn apply_delta(&mut self, delta: &mut CountState) {
+        delta.apply_to(&mut self.counter);
     }
 
     /// Ingests newly sampled rows, returning their target codes for reuse
@@ -375,7 +438,8 @@ impl TargetState {
     /// [`MiState::ingest_staged`] needs the full iteration's codes, and
     /// it is widened to `u32` because candidates of any width share it.
     pub fn ingest_into(&mut self, column: &Column, new_rows: &[u32], out: &mut Vec<Code>) {
-        for_packed!(column.packed().codes(), |codes| self.ingest_into_repr(codes, new_rows, out))
+        for_packed!(column.packed().codes(), |codes| self.ingest_into_repr(codes, new_rows, out));
+        self.delta.apply_to(&mut self.counter);
     }
 
     fn ingest_into_repr<R: CodeRepr>(
@@ -388,7 +452,7 @@ impl TargetState {
         out.reserve(new_rows.len());
         for &r in new_rows {
             let c = codes[r as usize].widen();
-            self.counter.add(c);
+            self.delta.add(c);
             out.push(c);
         }
     }

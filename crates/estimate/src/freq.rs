@@ -143,6 +143,31 @@ impl FxPairMap {
         }
     }
 
+    /// Adds `k` occurrences of `key` in one step, returning the new
+    /// count. Shard-merged pair histograms drain through this.
+    #[inline]
+    pub fn add_n(&mut self, key: u64, k: u64) -> u64 {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is the empty-slot sentinel");
+        if (self.len + 1) * 8 > self.keys.len() * 7 {
+            self.grow();
+        }
+        let mut i = fx_hash_u64(key) as usize & self.mask;
+        loop {
+            let slot = self.keys[i];
+            if slot == key {
+                self.values[i] += k;
+                return self.values[i];
+            }
+            if slot == EMPTY {
+                self.keys[i] = key;
+                self.values[i] = k;
+                self.len += 1;
+                return k;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
     /// Current count of `key` (0 if absent).
     pub fn count(&self, key: u64) -> u64 {
         let mut i = fx_hash_u64(key) as usize & self.mask;
@@ -270,6 +295,32 @@ impl PairCounter {
         }
     }
 
+    /// Adds `k` occurrences of the `(a, b)` pair in one step, returning
+    /// the new count. Equivalent to `k` unit [`PairCounter::add`] calls
+    /// as far as the stored counts are concerned.
+    #[inline]
+    pub fn add_n(&mut self, a: u32, b: u32, k: u64) -> u64 {
+        if k == 0 {
+            return self.count(a, b);
+        }
+        match self {
+            Self::Dense { counts, stride, total, distinct } => {
+                let idx = a as usize * *stride as usize + b as usize;
+                let slot = &mut counts[idx];
+                if *slot == 0 {
+                    *distinct += 1;
+                }
+                *slot += k;
+                *total += k;
+                *slot
+            }
+            Self::Sparse { map, total } => {
+                *total += k;
+                map.add_n(pack_pair(a, b), k)
+            }
+        }
+    }
+
     /// Current count of the `(a, b)` pair.
     pub fn count(&self, a: u32, b: u32) -> u64 {
         match self {
@@ -365,6 +416,45 @@ mod tests {
         let mut entries: Vec<_> = m.iter().collect();
         entries.sort_unstable();
         assert_eq!(entries, vec![(3, 1), (5, 2), (9, 1)]);
+    }
+
+    #[test]
+    fn fx_map_add_n_matches_repeated_add() {
+        let mut unit = FxPairMap::with_expected(2);
+        let mut bulk = FxPairMap::with_expected(2);
+        for k in 0..300u64 {
+            for _ in 0..(k % 5 + 1) {
+                unit.add(k);
+            }
+            bulk.add_n(k, k % 5 + 1);
+        }
+        assert_eq!(unit.len(), bulk.len());
+        for k in 0..300u64 {
+            assert_eq!(unit.count(k), bulk.count(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn pair_counter_add_n_matches_repeated_add() {
+        for mut counters in [
+            (PairCounter::new(8, 8), PairCounter::new(8, 8)),
+            (PairCounter::new_sparse(), PairCounter::new_sparse()),
+        ] {
+            let (unit, bulk) = (&mut counters.0, &mut counters.1);
+            for (a, b, k) in [(0, 0, 3u64), (1, 2, 1), (7, 7, 10), (1, 2, 0)] {
+                for _ in 0..k {
+                    unit.add(a, b);
+                }
+                bulk.add_n(a, b, k);
+            }
+            assert_eq!(unit.total(), bulk.total());
+            assert_eq!(unit.observed_distinct(), bulk.observed_distinct());
+            for a in 0..8 {
+                for b in 0..8 {
+                    assert_eq!(unit.count(a, b), bulk.count(a, b), "pair ({a},{b})");
+                }
+            }
+        }
     }
 
     #[test]

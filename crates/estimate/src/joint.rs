@@ -33,6 +33,22 @@ impl JointEntropyCounter {
         self.total += 1;
     }
 
+    /// Ingests `k` sampled records sharing one `(code_t, code_a)` pair in
+    /// a single telescoped update. The counts match `k` unit
+    /// [`JointEntropyCounter::add`] calls exactly; the float accumulator
+    /// takes one rounding step instead of `k`, so the canonical-order
+    /// delta-apply ingest path is deterministic for any sharding of the
+    /// same delta (see `swope_core::shard`).
+    #[inline]
+    pub fn add_count(&mut self, code_t: u32, code_a: u32, k: u64) {
+        if k == 0 {
+            return;
+        }
+        let new = self.pairs.add_n(code_t, code_a, k);
+        self.sum_xlog += xlog2(new) - xlog2(new - k);
+        self.total += k;
+    }
+
     /// Number of records ingested (`M`).
     #[inline]
     pub fn total(&self) -> u64 {
@@ -184,6 +200,24 @@ mod tests {
         assert!((c.entropy() - joint_entropy(&a, &b)).abs() < 1e-12);
         assert!((c.entropy() - c.entropy_recomputed()).abs() < 1e-9);
         assert_eq!(c.observed_distinct(), 4); // (0,1),(1,0),(1,1),(2,0)
+    }
+
+    #[test]
+    fn add_count_matches_unit_adds_on_counts() {
+        let mut unit = JointEntropyCounter::new(4, 4);
+        let mut bulk = JointEntropyCounter::new(4, 4);
+        for (t, a, k) in [(0u32, 1u32, 5u64), (2, 3, 1), (0, 1, 2), (3, 0, 7), (2, 3, 0)] {
+            for _ in 0..k {
+                unit.add(t, a);
+            }
+            bulk.add_count(t, a, k);
+        }
+        assert_eq!(unit.total(), bulk.total());
+        assert_eq!(unit.observed_distinct(), bulk.observed_distinct());
+        // The O(1) accumulators round differently (one telescoped step vs
+        // k unit steps) but both must agree with the exact recomputation.
+        assert!((unit.entropy() - bulk.entropy()).abs() < 1e-9);
+        assert!((bulk.entropy() - bulk.entropy_recomputed()).abs() < 1e-9);
     }
 
     #[test]

@@ -115,15 +115,26 @@ pub enum Phase {
     /// covered-page histograms, materializing fringe/predicate rows.
     /// Emitted once per scoped query with iteration 0.
     StoreSketch,
+    /// Merging per-shard count deltas and applying the merged histogram
+    /// to the master counters in canonical code order. Emitted only by
+    /// the shard-parallel loops (`swope_core::shard`), once per doubling
+    /// iteration, between ingest and the bounds update.
+    ShardMerge,
 }
 
 impl Phase {
     /// Number of variants (array sizing).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// All variants, in `index()` order.
-    pub const ALL: [Phase; Self::COUNT] =
-        [Phase::SampleGrow, Phase::Ingest, Phase::UpdateBounds, Phase::Decide, Phase::StoreSketch];
+    pub const ALL: [Phase; Self::COUNT] = [
+        Phase::SampleGrow,
+        Phase::Ingest,
+        Phase::UpdateBounds,
+        Phase::Decide,
+        Phase::StoreSketch,
+        Phase::ShardMerge,
+    ];
 
     /// Stable dense index for per-phase arrays.
     pub fn index(self) -> usize {
@@ -133,6 +144,7 @@ impl Phase {
             Phase::UpdateBounds => 2,
             Phase::Decide => 3,
             Phase::StoreSketch => 4,
+            Phase::ShardMerge => 5,
         }
     }
 
@@ -144,6 +156,7 @@ impl Phase {
             Phase::UpdateBounds => "update_bounds",
             Phase::Decide => "decide",
             Phase::StoreSketch => "store_sketch",
+            Phase::ShardMerge => "shard_merge",
         }
     }
 }

@@ -97,3 +97,33 @@ pub const TRACES_RECORDED_TOTAL: &str = "swope_traces_recorded_total";
 /// Counter: traced requests whose wall time crossed the `--slow-ms`
 /// threshold and were retained in the slow ring (`GET /debug/slow`).
 pub const SLOW_QUERIES_TOTAL: &str = "swope_slow_queries_total";
+
+/// Gauge: shard peers configured on a coordinator (`--peer` flags).
+pub const CLUSTER_PEERS: &str = "swope_cluster_peers";
+
+/// Gauge: rows in the union population the coordinator answers from
+/// (`n = Σ n_shard` over connected peers; 0 until the first fan-out).
+pub const CLUSTER_UNION_ROWS: &str = "swope_cluster_union_rows";
+
+/// Counter: queries fanned out to shard peers by the coordinator.
+pub const CLUSTER_QUERIES_TOTAL: &str = "swope_cluster_queries_total";
+
+/// Counter: shard-merge rounds executed (one per doubling iteration of a
+/// fanned-out query, merging every peer's count deltas).
+pub const CLUSTER_MERGES_TOTAL: &str = "swope_cluster_merges_total";
+
+/// Counter: protocol frames sent to peers (all types).
+pub const CLUSTER_FRAMES_SENT_TOTAL: &str = "swope_cluster_frames_sent_total";
+
+/// Counter: protocol frames received from peers (all types).
+pub const CLUSTER_FRAMES_RECEIVED_TOTAL: &str = "swope_cluster_frames_received_total";
+
+/// Counter: payload bytes sent to peers (frame headers included).
+pub const CLUSTER_BYTES_SENT_TOTAL: &str = "swope_cluster_bytes_sent_total";
+
+/// Counter: payload bytes received from peers (frame headers included).
+pub const CLUSTER_BYTES_RECEIVED_TOTAL: &str = "swope_cluster_bytes_received_total";
+
+/// Counter: fan-outs that failed because a peer was unreachable, timed
+/// out, or answered with a protocol error (the request maps to `503`).
+pub const CLUSTER_PEER_ERRORS_TOTAL: &str = "swope_cluster_peer_errors_total";

@@ -311,6 +311,8 @@ impl QueryObserver for TraceObserver {
             Phase::SampleGrow => 0, // patched by the next `iteration` hook
             Phase::Ingest => self.delta_m.saturating_mul(self.live),
             Phase::UpdateBounds | Phase::Decide => self.live,
+            // One merged count state is applied per live candidate.
+            Phase::ShardMerge => self.live,
             // Scope setup fires before the first iteration; its item
             // count (setup rows scanned) is folded into rows_scanned.
             Phase::StoreSketch => 0,
@@ -445,23 +447,61 @@ impl TraceRecorder {
         }
     }
 
+    /// Hard cap on a debug-listing body. Traces can carry hundreds of
+    /// spans each; past this budget the *oldest* requested traces are
+    /// dropped (the newest are the ones being debugged) and the body says
+    /// so via `"truncated":true`.
+    pub const MAX_BODY_BYTES: usize = 1 << 20;
+
     /// `GET /debug/traces` body: recent traces, oldest first.
     pub fn recent_json(&self) -> String {
-        let ring = self.recent.lock().unwrap();
-        Self::render(&ring, self.recorded_total(), self.slow_threshold_ns)
+        self.recent_json_n(usize::MAX)
     }
 
     /// `GET /debug/slow` body: retained slow traces, oldest first.
     pub fn slow_json(&self) -> String {
-        let ring = self.slow.lock().unwrap();
-        Self::render(&ring, self.slow_total(), self.slow_threshold_ns)
+        self.slow_json_n(usize::MAX)
     }
 
-    fn render(ring: &VecDeque<Arc<TraceRecord>>, total: u64, threshold_ns: u64) -> String {
-        let traces: Vec<String> = ring.iter().map(|r| r.to_json()).collect();
+    /// [`TraceRecorder::recent_json`] limited to the newest `n` traces.
+    pub fn recent_json_n(&self, n: usize) -> String {
+        let ring = self.recent.lock().unwrap();
+        Self::render(&ring, n, self.recorded_total(), self.slow_threshold_ns)
+    }
+
+    /// [`TraceRecorder::slow_json`] limited to the newest `n` traces.
+    pub fn slow_json_n(&self, n: usize) -> String {
+        let ring = self.slow.lock().unwrap();
+        Self::render(&ring, n, self.slow_total(), self.slow_threshold_ns)
+    }
+
+    fn render(
+        ring: &VecDeque<Arc<TraceRecord>>,
+        limit: usize,
+        total: u64,
+        threshold_ns: u64,
+    ) -> String {
+        // Walk newest-to-oldest so both limits (count and bytes) keep the
+        // newest traces, then flip back to oldest-first for the body.
+        let mut traces: Vec<String> = Vec::new();
+        let mut bytes = 0usize;
+        let mut truncated = false;
+        for record in ring.iter().rev().take(limit) {
+            let json = record.to_json();
+            if bytes + json.len() > Self::MAX_BODY_BYTES {
+                truncated = true;
+                break;
+            }
+            bytes += json.len();
+            traces.push(json);
+        }
+        truncated |= limit < ring.len();
+        traces.reverse();
         let mut w = ObjectWriter::new();
         w.u64_field("recorded_total", total)
             .u64_field("slow_threshold_ns", threshold_ns)
+            .u64_field("returned", traces.len() as u64)
+            .bool_field("truncated", truncated)
             .raw_field("traces", &format!("[{}]", traces.join(",")));
         w.finish()
     }

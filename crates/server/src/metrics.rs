@@ -14,6 +14,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use swope_cluster::ClusterSnapshot;
 use swope_core::ExecStats;
 use swope_obs::{names, Histogram, MetricsRegistry};
 
@@ -122,7 +123,10 @@ impl ServerMetrics {
 
     /// Renders the full `/metrics` document: HTTP counters, cache
     /// counters, live gauges, execution-pool, storage-layer, sketch,
-    /// and flight-recorder stats, then the query-level registry.
+    /// flight-recorder, and cluster stats, then the query-level registry.
+    /// `cluster` carries the coordinator's `(peers, union_rows)` gauges
+    /// (absent on a single-box server); the wire counters in `wire`
+    /// render unconditionally — a peer-only server racks up frames too.
     #[allow(clippy::too_many_arguments)] // one snapshot arg per subsystem
     pub fn render_prometheus(
         &self,
@@ -133,6 +137,8 @@ impl ServerMetrics {
         store: StoreStats,
         sketch: SketchStats,
         traces: TraceCounters,
+        cluster: Option<(u64, u64)>,
+        wire: ClusterSnapshot,
     ) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "# TYPE {} counter", names::HTTP_REQUESTS_TOTAL);
@@ -196,6 +202,26 @@ impl ServerMetrics {
         for (name, value) in [
             (names::TRACES_RECORDED_TOTAL, traces.recorded),
             (names::SLOW_QUERIES_TOTAL, traces.slow),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        if let Some((peers, union_rows)) = cluster {
+            for (name, value) in
+                [(names::CLUSTER_PEERS, peers), (names::CLUSTER_UNION_ROWS, union_rows)]
+            {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {value}");
+            }
+        }
+        for (name, value) in [
+            (names::CLUSTER_QUERIES_TOTAL, wire.queries),
+            (names::CLUSTER_MERGES_TOTAL, wire.merges),
+            (names::CLUSTER_FRAMES_SENT_TOTAL, wire.frames_sent),
+            (names::CLUSTER_FRAMES_RECEIVED_TOTAL, wire.frames_received),
+            (names::CLUSTER_BYTES_SENT_TOTAL, wire.bytes_sent),
+            (names::CLUSTER_BYTES_RECEIVED_TOTAL, wire.bytes_received),
+            (names::CLUSTER_PEER_ERRORS_TOTAL, wire.peer_errors),
         ] {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
@@ -295,6 +321,8 @@ mod tests {
             store,
             sketch,
             TraceCounters { recorded: 4, slow: 1 },
+            Some((2, 131072)),
+            ClusterSnapshot { queries: 3, ..Default::default() },
         );
         assert!(text.contains(&format!("{} 2\n", names::HTTP_REQUESTS_TOTAL)));
         assert!(text.contains(&format!("{}{{class=\"2xx\"}} 1", names::HTTP_RESPONSES_TOTAL)));
@@ -317,6 +345,10 @@ mod tests {
         assert!(text.contains(&format!("{}_count 2", names::HTTP_REQUEST_MICROS)));
         assert!(text.contains(&format!("{} 4\n", names::TRACES_RECORDED_TOTAL)));
         assert!(text.contains(&format!("{} 1\n", names::SLOW_QUERIES_TOTAL)));
+        assert!(text.contains(&format!("{} 2\n", names::CLUSTER_PEERS)));
+        assert!(text.contains(&format!("{} 131072\n", names::CLUSTER_UNION_ROWS)));
+        assert!(text.contains(&format!("{} 3\n", names::CLUSTER_QUERIES_TOTAL)));
+        assert!(text.contains(&format!("{} 0\n", names::CLUSTER_PEER_ERRORS_TOTAL)));
         // Latency quantile gauges ride along with the histogram.
         assert!(text.contains(&format!(
             "{}_approx_quantile{{quantile=\"0.99\"}}",
@@ -342,6 +374,8 @@ mod tests {
             StoreStats::default(),
             SketchStats::default(),
             TraceCounters::default(),
+            None,
+            ClusterSnapshot::default(),
         );
         let fam = names::HTTP_ENDPOINT_MICROS;
         assert!(text.contains(&format!("# TYPE {fam} histogram")));
@@ -370,6 +404,8 @@ mod tests {
             StoreStats::default(),
             SketchStats::default(),
             TraceCounters::default(),
+            None,
+            ClusterSnapshot::default(),
         );
         assert!(text.contains(&format!("{fam}_count{{endpoint=\"other\",dataset=\"other\"}}")));
         let families = text.matches(&format!("{fam}_count{{")).count();

@@ -13,11 +13,15 @@
 //! direct library path.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
+use swope_cluster::{ClusterStats, PeerTimeouts, RemoteShardSource};
 use swope_core::{
-    entropy_filter_scoped_exec, entropy_profile_scoped_exec, entropy_top_k_scoped_exec,
-    mi_filter_scoped_exec, mi_profile_scoped_exec, mi_top_k_scoped_exec, AttrScore, Executor,
-    QueryObserver, QueryStats, Scope, SwopeConfig,
+    entropy_filter_scoped_exec, entropy_filter_transport, entropy_profile_scoped_exec,
+    entropy_profile_transport, entropy_top_k_scoped_exec, entropy_top_k_transport,
+    mi_filter_scoped_exec, mi_filter_transport, mi_profile_scoped_exec, mi_profile_transport,
+    mi_top_k_scoped_exec, mi_top_k_transport, AttrMeta, AttrScore, Executor, QueryObserver,
+    QueryStats, SamplingStrategy, Scope, ShardTransport, SwopeConfig, SwopeError,
 };
 use swope_obs::json::{escape_into, f64_into};
 
@@ -338,13 +342,140 @@ pub fn run_query<O: QueryObserver>(
             (r.scores, r.stats, Some(t))
         }
     };
-    Ok(serialize(entry, spec, target, &scores, &stats))
+    let target = target
+        .map(|t| (t, entry.dataset.schema().field(t).map(|f| f.name()).unwrap_or("?").to_owned()));
+    Ok(serialize(entry.generation, spec, target, &scores, &stats))
+}
+
+/// Connection parameters for the coordinator query path: the peer fleet
+/// (in `--peer` flag order — the order defines the union) and its wire
+/// deadlines. `union_rows` comes from the startup probe and is only used
+/// to clamp `row_end`, mirroring the single-box scope rule.
+#[derive(Debug, Clone)]
+pub struct ClusterTarget {
+    /// Peer addresses in configuration order.
+    pub addrs: Vec<String>,
+    /// Connect/IO deadlines applied to every peer interaction.
+    pub timeouts: PeerTimeouts,
+    /// Union rows reported by the startup probe.
+    pub union_rows: u64,
+}
+
+/// Resolves a target given as index or name against the fleet's schema.
+fn resolve_target_meta(attrs: &[AttrMeta], raw: &str) -> Result<usize, String> {
+    if let Ok(idx) = raw.parse::<usize>() {
+        if idx < attrs.len() {
+            return Ok(idx);
+        }
+        return Err(format!("target index {idx} out of range"));
+    }
+    attrs.iter().position(|a| a.name == raw).ok_or_else(|| format!("no attribute named {raw:?}"))
+}
+
+/// Maps a cluster-path error onto an HTTP status: transport failures are
+/// retryable server trouble (503), everything else is a semantic 422.
+fn cluster_fail(e: SwopeError) -> (u16, String) {
+    match &e {
+        SwopeError::Transport(_) => (503, e.to_string()),
+        _ => (422, e.to_string()),
+    }
+}
+
+/// The coordinator version of [`run_query`]: fans the query out to the
+/// peer fleet over the exact count-merge protocol and serializes the
+/// merged answer. The response body is byte-for-byte what a single box
+/// holding the concatenated dataset would serve (generation is pinned to
+/// 1, a fresh box's first insert), which is what the CI cluster smoke
+/// test diffs.
+///
+/// Predicate (`where`) scopes need a row-set scan the wire protocol does
+/// not carry and are rejected with 422; row ranges are routed to the
+/// peers whose slices intersect them.
+pub fn run_query_cluster<O: QueryObserver>(
+    cluster: &ClusterTarget,
+    stats: &Arc<ClusterStats>,
+    spec: &QuerySpec,
+    exec: &Executor,
+    obs: &mut O,
+) -> Result<String, (u16, String)> {
+    if spec.where_clause.is_some() {
+        return Err((
+            422,
+            "predicate scopes (where=) are not supported on a cluster coordinator; \
+             use row_start/row_end"
+                .into(),
+        ));
+    }
+    let cfg = config_for(spec);
+    let SamplingStrategy::Row { seed } = cfg.sampling else {
+        return Err((422, "cluster queries support row sampling only".into()));
+    };
+    let scope = if spec.row_start.is_some() || spec.row_end.is_some() {
+        // Mirror the single-box rule: row_end clamps to N (the union),
+        // emptiness is rejected by the connect below.
+        let start = spec.row_start.unwrap_or(0) as u64;
+        let end = spec.row_end.map(|e| e as u64).unwrap_or(u64::MAX);
+        Some(start..end)
+    } else {
+        None
+    };
+    let mut src = RemoteShardSource::connect(
+        &cluster.addrs,
+        &spec.dataset,
+        seed,
+        scope,
+        &cluster.timeouts,
+        Arc::clone(stats),
+    )
+    .map_err(cluster_fail)?;
+    let resolve = |src: &RemoteShardSource, raw: &str| {
+        resolve_target_meta(src.attrs(), raw).map_err(|m| (422, m))
+    };
+    let (scores, stats, target) = match &spec.shape {
+        QueryShape::EntropyTopK { k } => {
+            let r = entropy_top_k_transport(&mut src, *k, &cfg, obs, exec).map_err(cluster_fail)?;
+            (r.top, r.stats, None)
+        }
+        QueryShape::EntropyFilter { eta } => {
+            let r =
+                entropy_filter_transport(&mut src, *eta, &cfg, obs, exec).map_err(cluster_fail)?;
+            (r.accepted, r.stats, None)
+        }
+        QueryShape::MiTopK { target, k } => {
+            let t = resolve(&src, target)?;
+            let r = mi_top_k_transport(&mut src, t, *k, &cfg, obs, exec).map_err(cluster_fail)?;
+            (r.top, r.stats, Some(t))
+        }
+        QueryShape::MiFilter { target, eta } => {
+            let t = resolve(&src, target)?;
+            let r =
+                mi_filter_transport(&mut src, t, *eta, &cfg, obs, exec).map_err(cluster_fail)?;
+            (r.accepted, r.stats, Some(t))
+        }
+        QueryShape::EntropyProfile => {
+            let r = entropy_profile_transport(&mut src, PROFILE_FLOOR, &cfg, obs, exec)
+                .map_err(cluster_fail)?;
+            (r.scores, r.stats, None)
+        }
+        QueryShape::MiProfile { target } => {
+            let t = resolve(&src, target)?;
+            let r = mi_profile_transport(&mut src, t, PROFILE_FLOOR, &cfg, obs, exec)
+                .map_err(cluster_fail)?;
+            (r.scores, r.stats, Some(t))
+        }
+    };
+    let target = target
+        .map(|t| (t, src.attrs().get(t).map(|a| a.name.clone()).unwrap_or_else(|| "?".into())));
+    src.finish();
+    // Generation 1 matches a fresh single box's first insert, keeping the
+    // coordinator's bytes diffable against a single-box run.
+    Ok(serialize(1, spec, target, &scores, &stats))
 }
 
 fn serialize(
-    entry: &DatasetEntry,
+    generation: u64,
     spec: &QuerySpec,
-    target: Option<usize>,
+    target: Option<(usize, String)>,
     scores: &[AttrScore],
     stats: &QueryStats,
 ) -> String {
@@ -352,7 +483,7 @@ fn serialize(
     escape_into(&mut out, spec.shape.name());
     out.push_str(",\"dataset\":");
     escape_into(&mut out, &spec.dataset);
-    let _ = write!(out, ",\"generation\":{}", entry.generation);
+    let _ = write!(out, ",\"generation\":{generation}");
     match &spec.shape {
         QueryShape::EntropyTopK { k } | QueryShape::MiTopK { k, .. } => {
             let _ = write!(out, ",\"k\":{k}");
@@ -363,10 +494,9 @@ fn serialize(
         }
         QueryShape::EntropyProfile | QueryShape::MiProfile { .. } => {}
     }
-    if let Some(t) = target {
-        let name = entry.dataset.schema().field(t).map(|f| f.name()).unwrap_or("?");
+    if let Some((t, name)) = target {
         let _ = write!(out, ",\"target\":{{\"attr\":{t},\"name\":");
-        escape_into(&mut out, name);
+        escape_into(&mut out, &name);
         out.push('}');
     }
     out.push_str(",\"epsilon\":");

@@ -31,6 +31,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 
+use swope_cluster::{probe, serve_connection, ClusterStats, PeerTimeouts, MAGIC};
 use swope_columnar::Dataset;
 use swope_core::{gather_stats, ComposedObserver, Executor};
 use swope_obs::json::Json;
@@ -40,7 +41,7 @@ use crate::cache::ResultCache;
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::metrics::{ServerMetrics, TraceCounters};
 use crate::pool::{QueueWatcher, WorkerPool};
-use crate::query::{cache_key, parse_spec, run_query, QuerySpec};
+use crate::query::{cache_key, parse_spec, run_query, run_query_cluster, ClusterTarget, QuerySpec};
 use crate::registry::DatasetRegistry;
 use crate::signal;
 
@@ -82,6 +83,20 @@ pub struct ServerConfig {
     pub slow_ms: u64,
     /// Append one logfmt line per served request to this file.
     pub access_log: Option<String>,
+    /// Peer shard-servers (`--peer host:port`, repeatable). When
+    /// non-empty this server is a cluster *coordinator*: every `/query/*`
+    /// is fanned out over the exact count-merge protocol and answered
+    /// from the union of the peers' datasets, laid end to end in this
+    /// order. Empty means single-box operation (the default). Any server
+    /// — coordinator or not — also answers the binary shard protocol on
+    /// its HTTP port (connections are sniffed by the `SWPC` magic).
+    pub peers: Vec<String>,
+    /// TCP connect deadline per peer (coordinator side).
+    pub peer_connect_timeout: Duration,
+    /// Read/write deadline per protocol frame (coordinator side). Bounds
+    /// every wait on a peer, so a killed peer degrades to a one-line 503
+    /// instead of a hung worker.
+    pub peer_io_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +115,9 @@ impl Default for ServerConfig {
             trace: false,
             slow_ms: 250,
             access_log: None,
+            peers: Vec::new(),
+            peer_connect_timeout: Duration::from_secs(2),
+            peer_io_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -127,6 +145,11 @@ struct Shared {
     /// Open access-log writer; one logfmt line per parsed request,
     /// flushed per line so `tail -f` works.
     access_log: Option<Mutex<BufWriter<std::fs::File>>>,
+    /// Wire/merge counters shared by the coordinator path and incoming
+    /// peer sessions, exported as `swope_cluster_*` families.
+    cluster_stats: Arc<ClusterStats>,
+    /// Coordinator fan-out target; `None` when serving single-box.
+    cluster: Option<ClusterTarget>,
     stop: AtomicBool,
 }
 
@@ -169,6 +192,22 @@ impl Server {
             // below any request context); flip it on once at startup.
             gather_stats::set_enabled(true);
         }
+        let cluster_stats = Arc::new(ClusterStats::new());
+        let cluster = if config.peers.is_empty() {
+            None
+        } else {
+            // A coordinator must not come up pointing at a dead fleet:
+            // dial every peer once and learn the union size.
+            let timeouts =
+                PeerTimeouts { connect: config.peer_connect_timeout, io: config.peer_io_timeout };
+            let probed = probe(&config.peers, &timeouts, &cluster_stats)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            Some(ClusterTarget {
+                addrs: config.peers.clone(),
+                timeouts,
+                union_rows: probed.union_rows,
+            })
+        };
         let shared = Arc::new(Shared {
             registry: DatasetRegistry::new(config.max_support),
             cache: ResultCache::new(config.cache_capacity),
@@ -176,6 +215,8 @@ impl Server {
             exec: Executor::new(config.exec_threads),
             recorder: TraceRecorder::with_slow_ms(config.slow_ms),
             access_log,
+            cluster_stats,
+            cluster,
             stop: AtomicBool::new(false),
         });
         Ok(Self { listener, config: Arc::new(config), shared })
@@ -281,6 +322,13 @@ fn handle_connection(
     }
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(config.read_timeout));
+    // One port speaks both protocols: shard-protocol connections open
+    // with the `SWPC` frame magic, which no HTTP method line can start
+    // with, so peeking four bytes cleanly splits the two.
+    if peeks_cluster_magic(&stream) {
+        serve_peer_session(stream, shared, config);
+        return;
+    }
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -302,6 +350,48 @@ fn handle_connection(
     };
     write_and_close(stream, &response);
     shared.metrics.record_response(response.status, accepted_at.elapsed().as_micros() as u64);
+}
+
+/// Whether the connection's first bytes are the shard-protocol magic.
+/// `peek` never consumes, so an HTTP request continues to parse normally
+/// after a `false`. Short reads (the client sent fewer than four bytes so
+/// far) retry until the prefix diverges, four bytes arrive, or the read
+/// timeout trips.
+fn peeks_cluster_magic(stream: &TcpStream) -> bool {
+    let mut buf = [0u8; 4];
+    loop {
+        match stream.peek(&mut buf) {
+            Ok(0) => return false,
+            Ok(n) if buf[..n] != MAGIC[..n] => return false,
+            Ok(n) if n >= 4 => return true,
+            Ok(_) => std::thread::sleep(Duration::from_millis(1)),
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Answers one shard-protocol session on the HTTP port: this server acts
+/// as a *peer*, counting over its registered datasets for a remote
+/// coordinator. The empty dataset name resolves to the sole registered
+/// dataset (the common one-dataset peer), names resolve through the
+/// registry.
+fn serve_peer_session(mut stream: TcpStream, shared: &Shared, config: &ServerConfig) {
+    // Peer counting can far outlast an HTTP parse; give the session the
+    // coordinator-facing I/O deadline instead of the HTTP read timeout.
+    let _ = stream.set_read_timeout(Some(config.peer_io_timeout));
+    let _ = stream.set_write_timeout(Some(config.peer_io_timeout));
+    let _ = stream.set_nodelay(true);
+    let resolve = |name: &str| {
+        if name.is_empty() {
+            let all = shared.registry.list();
+            return match all.as_slice() {
+                [only] => Some(Arc::clone(&only.dataset)),
+                _ => None,
+            };
+        }
+        shared.registry.get(name).map(|entry| Arc::clone(&entry.dataset))
+    };
+    serve_connection(&mut stream, &resolve, &shared.cluster_stats);
 }
 
 /// The fixed label vocabulary for per-endpoint latency families — a
@@ -369,12 +459,14 @@ fn route(req: &Request, shared: &Shared, watcher: &QueueWatcher, ctx: &RequestCo
                     recorded: shared.recorder.recorded_total(),
                     slow: shared.recorder.slow_total(),
                 },
+                shared.cluster.as_ref().map(|c| (c.addrs.len() as u64, c.union_rows)),
+                shared.cluster_stats.snapshot(),
             ),
         ),
         ("GET", "/datasets") => list_datasets(shared),
         ("POST", "/datasets") => load_dataset(req, shared),
-        ("GET", "/debug/traces") => Response::json(200, shared.recorder.recent_json()),
-        ("GET", "/debug/slow") => Response::json(200, shared.recorder.slow_json()),
+        ("GET", "/debug/traces") => debug_listing(req, shared, false),
+        ("GET", "/debug/slow") => debug_listing(req, shared, true),
         ("GET", path) if path.starts_with("/query/") => {
             serve_query(&path["/query/".len()..], req, shared, ctx)
         }
@@ -386,6 +478,25 @@ fn route(req: &Request, shared: &Shared, watcher: &QueueWatcher, ctx: &RequestCo
         }
         (_, path) => Response::error(404, &format!("no such endpoint {path:?}")),
     }
+}
+
+/// `GET /debug/traces` / `GET /debug/slow`: the retained ring, newest
+/// `?n=` traces only when given, always under the recorder's byte cap.
+fn debug_listing(req: &Request, shared: &Shared, slow: bool) -> Response {
+    let n = match req.param("n") {
+        None => usize::MAX,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(v) => v,
+            Err(_) => {
+                return Response::error(
+                    400,
+                    &format!("malformed value {raw:?} for parameter \"n\""),
+                )
+            }
+        },
+    };
+    let body = if slow { shared.recorder.slow_json_n(n) } else { shared.recorder.recent_json_n(n) };
+    Response::json(200, body)
 }
 
 fn healthz(shared: &Shared, watcher: &QueueWatcher) -> Response {
@@ -490,6 +601,9 @@ fn execute_query(
     shared: &Shared,
     trace: Option<(&Arc<SpanSink>, u32)>,
 ) -> Response {
+    if shared.cluster.is_some() {
+        return execute_query_cluster(spec, shared, trace);
+    }
     let Some(entry) = shared.registry.get(&spec.dataset) else {
         return Response::error(404, &format!("no dataset named {:?} is loaded", spec.dataset));
     };
@@ -543,6 +657,64 @@ fn execute_query(
     }
 }
 
+/// The coordinator flavour of [`execute_query`]: same cache and tracing
+/// plumbing, but the answer comes from fanning the query over the peer
+/// fleet. Cluster datasets live on the (static) peers, so bodies cache
+/// under the pinned cluster generation; a dead or hung peer maps onto a
+/// retryable 503, never a hang (every wire wait is deadline-bounded).
+fn execute_query_cluster(
+    spec: &QuerySpec,
+    shared: &Shared,
+    trace: Option<(&Arc<SpanSink>, u32)>,
+) -> Response {
+    let cluster = shared.cluster.as_ref().expect("cluster target configured");
+    // The union is immutable for the process lifetime; generation 1
+    // matches a fresh single box's first insert, so coordinator bodies
+    // diff cleanly against single-box bodies.
+    let key = cache_key(spec, 1);
+    let lookup = trace.map(|(sink, root)| sink.open("cache_lookup", Some(root)));
+    let cached = shared.cache.get(&key);
+    if let (Some((sink, _)), Some(span)) = (trace, lookup) {
+        sink.close(span);
+    }
+    if let Some(body) = cached {
+        return Response::json(200, body.as_str()).with_header("X-Swope-Cache", "hit");
+    }
+    let exec = if spec.threads <= 1 { Executor::sequential() } else { shared.exec.clone() };
+    let result = match trace {
+        None => run_query_cluster(
+            cluster,
+            &shared.cluster_stats,
+            spec,
+            &exec,
+            &mut &shared.metrics.registry,
+        ),
+        Some((sink, root)) => {
+            let exec = exec.with_trace(Arc::clone(sink), root);
+            let mut obs = ComposedObserver::new(
+                TraceObserver::new(Arc::clone(sink), Some(root)),
+                &shared.metrics.registry,
+            );
+            run_query_cluster(cluster, &shared.cluster_stats, spec, &exec, &mut obs)
+        }
+    };
+    match result {
+        Ok(body) => {
+            let body = Arc::new(body);
+            shared.cache.put(key, Arc::clone(&body));
+            Response::json(200, body.as_str()).with_header("X-Swope-Cache", "miss")
+        }
+        Err((status, msg)) => {
+            let resp = Response::error(status, &msg);
+            if status == 503 {
+                resp.with_header("Retry-After", "1")
+            } else {
+                resp
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,6 +728,8 @@ mod tests {
             exec: Executor::new(2),
             recorder: TraceRecorder::with_slow_ms(0),
             access_log: None,
+            cluster_stats: Arc::new(ClusterStats::new()),
+            cluster: None,
             stop: AtomicBool::new(false),
         };
         let mut b = DatasetBuilder::new(vec!["a".into(), "b".into()]);

@@ -4,8 +4,8 @@
 
 use swope_core::{
     entropy_filter, entropy_filter_observed, entropy_profile, entropy_profile_observed,
-    entropy_top_k, entropy_top_k_observed, entropy_top_k_scoped_exec, mi_filter,
-    mi_filter_observed, mi_profile, mi_profile_observed, mi_top_k, mi_top_k_batch,
+    entropy_top_k, entropy_top_k_observed, entropy_top_k_scoped_exec, entropy_top_k_sharded_exec,
+    mi_filter, mi_filter_observed, mi_profile, mi_profile_observed, mi_top_k, mi_top_k_batch,
     mi_top_k_batch_observed, mi_top_k_observed, Executor, JsonlSink, MetricsRegistry, Scope,
     SwopeConfig,
 };
@@ -323,6 +323,8 @@ fn phase_accumulator_covers_every_phase() {
     // queries; a sub-range scope covers it.
     let scope = Scope::range(100, ds.num_rows() - 100);
     entropy_top_k_scoped_exec(&ds, 4, &scope, None, &cfg(51), &mut acc, &Executor::new(1)).unwrap();
+    // The shard_merge phase only fires on sharded loops.
+    entropy_top_k_sharded_exec(&ds, 4, 2, &cfg(51), &mut acc, &Executor::new(1)).unwrap();
     for p in Phase::ALL {
         assert!(acc.calls[p.index()] > 0, "phase {} never reported", p.name());
     }
