@@ -60,6 +60,13 @@ serve options:
   --slow-ms <n>             flight-recorder threshold for GET /debug/slow
                             (default 250)
   --access-log <path>       append one logfmt line per served request
+  --keep-alive-ms <n>       idle keep-alive window before a connection is
+                            closed (default 30000)
+  --max-conns <n>           open-connection cap; extra clients get 503
+                            (default 4096)
+  --tenant-rps <f>          per-tenant request rate (token bucket keyed by
+                            X-Swope-Api-Key; over-rate gets 429, default off)
+  --tenant-burst <f>        per-tenant burst size (default 2x --tenant-rps)
   --peer <host:port>        shard peer to fan queries out to (repeatable;
                             makes this server a cluster coordinator)
   --peer-timeout-ms <n>     per-peer connect/io timeout (default 2000/10000)";
@@ -134,6 +141,14 @@ pub struct Options {
     pub slow_ms: Option<u64>,
     /// `--access-log` (serve): per-request logfmt file path.
     pub access_log: Option<String>,
+    /// `--keep-alive-ms` (serve): idle keep-alive window.
+    pub keep_alive_ms: Option<u64>,
+    /// `--max-conns` (serve): open-connection cap.
+    pub max_conns: Option<usize>,
+    /// `--tenant-rps` (serve): per-tenant token-bucket refill rate.
+    pub tenant_rps: Option<f64>,
+    /// `--tenant-burst` (serve): per-tenant token-bucket capacity.
+    pub tenant_burst: Option<f64>,
     /// `--shards` (queries): shard-count for the count-merge path.
     pub shards: Option<usize>,
     /// `--at` (split): the row cut point.
@@ -175,6 +190,10 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--trace" => o.trace = true,
             "--slow-ms" => o.slow_ms = Some(value(args, &mut i, "--slow-ms")?),
             "--access-log" => o.access_log = Some(raw_value(args, &mut i, "--access-log")?),
+            "--keep-alive-ms" => o.keep_alive_ms = Some(value(args, &mut i, "--keep-alive-ms")?),
+            "--max-conns" => o.max_conns = Some(value(args, &mut i, "--max-conns")?),
+            "--tenant-rps" => o.tenant_rps = Some(value(args, &mut i, "--tenant-rps")?),
+            "--tenant-burst" => o.tenant_burst = Some(value(args, &mut i, "--tenant-burst")?),
             "--shards" => o.shards = Some(value(args, &mut i, "--shards")?),
             "--at" => o.at = Some(value(args, &mut i, "--at")?),
             "--peer" => o.peers.push(raw_value(args, &mut i, "--peer")?),
@@ -326,6 +345,32 @@ mod tests {
         let o = parse(&["a.swop"]).unwrap();
         assert!(!o.trace);
         assert_eq!((o.slow_ms, o.access_log), (None, None));
+    }
+
+    #[test]
+    fn serve_connection_options() {
+        let o = parse(&[
+            "a.swop",
+            "--keep-alive-ms",
+            "5000",
+            "--max-conns",
+            "128",
+            "--tenant-rps",
+            "2.5",
+            "--tenant-burst",
+            "10",
+        ])
+        .unwrap();
+        assert_eq!(o.keep_alive_ms, Some(5000));
+        assert_eq!(o.max_conns, Some(128));
+        assert_eq!(o.tenant_rps, Some(2.5));
+        assert_eq!(o.tenant_burst, Some(10.0));
+        assert!(parse(&["--keep-alive-ms", "forever"]).is_err());
+        assert!(parse(&["--max-conns"]).is_err());
+        assert!(parse(&["--tenant-rps", "fast"]).is_err());
+        let o = parse(&["a.swop"]).unwrap();
+        assert!(o.keep_alive_ms.is_none() && o.max_conns.is_none());
+        assert!(o.tenant_rps.is_none() && o.tenant_burst.is_none());
     }
 
     #[test]

@@ -646,6 +646,10 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         trace: opts.trace,
         slow_ms: opts.slow_ms.unwrap_or(250),
         access_log: opts.access_log.clone(),
+        keep_alive: std::time::Duration::from_millis(opts.keep_alive_ms.unwrap_or(30_000)),
+        max_conns: opts.max_conns.unwrap_or(4096),
+        tenant_rps: opts.tenant_rps,
+        tenant_burst: opts.tenant_burst,
         peers: opts.peers.clone(),
         peer_connect_timeout: opts
             .peer_timeout_ms

@@ -360,7 +360,11 @@ fn serve_answers_health_and_queries() {
 
     let request = |target: &str| -> String {
         let mut stream = std::net::TcpStream::connect(&addr).unwrap();
-        stream.write_all(format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes()).unwrap();
+        stream
+            .write_all(
+                format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+            )
+            .unwrap();
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         out
@@ -431,11 +435,11 @@ fn serve_access_log_records_requests_with_trace_ids() {
         out
     };
 
-    let health = request("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    let health = request("GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
     assert!(health.starts_with("HTTP/1.1 200"), "{health}");
     let traced = request(
         "GET /query/entropy-topk?dataset=serve-log&k=1 HTTP/1.1\r\nHost: t\r\n\
-         X-Swope-Trace: abc123\r\n\r\n",
+         X-Swope-Trace: abc123\r\nConnection: close\r\n\r\n",
     );
     assert!(traced.starts_with("HTTP/1.1 200"), "{traced}");
     assert!(traced.contains("X-Swope-Trace: 0000000000abc123"), "{traced}");
@@ -460,6 +464,84 @@ fn serve_access_log_records_requests_with_trace_ids() {
     assert!(query_line.contains("trace=0000000000abc123"), "{query_line}");
     assert!(query_line.contains("cache=miss"), "{query_line}");
     assert!(query_line.contains("bytes="), "{query_line}");
+    std::fs::remove_file(&log_path).ok();
+}
+
+#[test]
+fn serve_access_log_numbers_pipelined_requests_on_one_connection() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let path = tmp("serve-pipeline.swop");
+    let p = path.to_str().unwrap();
+    let o = swope(&["gen", "tiny", "--rows", "400", "--cols", "4", "--out", p]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let log_path = tmp("serve-pipeline.log");
+    std::fs::remove_file(&log_path).ok();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_swope"))
+        .args([
+            "serve",
+            p,
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--access-log",
+            log_path.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            let mut err = String::new();
+            let _ = child.stderr.take().unwrap().read_to_string(&mut err);
+            panic!("server exited before listening: {err}");
+        }
+        if let Some(rest) = line.trim().strip_prefix("listening on http://") {
+            break rest.to_owned();
+        }
+    };
+
+    // Three requests written back-to-back on one socket; the last one
+    // closes, so reading to EOF collects all three responses in order.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+              GET /datasets HTTP/1.1\r\nHost: t\r\n\r\n\
+              GET /query/entropy-topk?dataset=serve-pipeline&k=1 HTTP/1.1\r\nHost: t\r\n\
+              Connection: close\r\n\r\n",
+        )
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert_eq!(raw.matches("HTTP/1.1 200").count(), 3, "{raw}");
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // One logfmt line per request (not per connection), all carrying the
+    // same conn id and 1-based request ordinals in arrival order.
+    let log = std::fs::read_to_string(&log_path).unwrap();
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 3, "expected one line per pipelined request:\n{log}");
+    let field = |line: &str, key: &str| -> String {
+        line.split_whitespace()
+            .find_map(|kv| kv.strip_prefix(key).map(str::to_owned))
+            .unwrap_or_else(|| panic!("no {key} field in: {line}"))
+    };
+    let conn_ids: Vec<String> = lines.iter().map(|l| field(l, "conn=")).collect();
+    assert!(conn_ids.iter().all(|c| c == &conn_ids[0]), "{log}");
+    let ordinals: Vec<String> = lines.iter().map(|l| field(l, "req=")).collect();
+    assert_eq!(ordinals, ["1", "2", "3"], "{log}");
+    assert_eq!(field(lines[0], "path="), "/healthz");
+    assert_eq!(field(lines[1], "path="), "/datasets");
+    assert_eq!(field(lines[2], "path="), "/query/entropy-topk");
     std::fs::remove_file(&log_path).ok();
 }
 

@@ -20,10 +20,11 @@
 //! scopes need a row-set scan the wire protocol deliberately does not
 //! carry; the server rejects them before reaching this module.
 
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use swope_core::{AttrMeta, CountRequest, ShardCounts, ShardTransport, SwopeError};
@@ -51,6 +52,64 @@ impl Default for PeerTimeouts {
     }
 }
 
+/// A bounded pool of idle peer sessions, shared by every query a
+/// coordinator runs.
+///
+/// Dialing a peer plus the `Hello` exchange costs a TCP handshake per
+/// query per peer; under keep-alive HTTP clients issuing many queries
+/// that dominates small fan-outs. The pool keeps up to `per_peer`
+/// finished sessions alive per peer address. A checkout is *not* trusted
+/// blindly: [`RemoteShardSource::connect`] health-checks the socket by
+/// running the `Hello` exchange it needed anyway — a stale socket (peer
+/// restarted, connection dropped while idle) fails that exchange at the
+/// wire level and is silently replaced by one fresh dial, without
+/// counting a peer error.
+///
+/// Streams are checked in only after a clean query end
+/// ([`RemoteShardSource::finish`]); aborted or errored sessions drop
+/// their sockets, because the peer side closes after any error.
+pub struct PeerPool {
+    per_peer: usize,
+    idle: Mutex<HashMap<String, Vec<TcpStream>>>,
+}
+
+impl PeerPool {
+    /// Creates a pool retaining at most `per_peer` idle sessions per
+    /// peer address (floored at 1).
+    pub fn new(per_peer: usize) -> Self {
+        Self { per_peer: per_peer.max(1), idle: Mutex::new(HashMap::new()) }
+    }
+
+    /// Takes an idle session for `addr`, newest first, if any.
+    pub fn checkout(&self, addr: &str) -> Option<TcpStream> {
+        self.idle.lock().expect("peer pool lock").get_mut(addr)?.pop()
+    }
+
+    /// Returns a healthy session to the pool; beyond the per-peer cap
+    /// the stream is simply dropped (closing it).
+    pub fn check_in(&self, addr: &str, stream: TcpStream) {
+        let mut idle = self.idle.lock().expect("peer pool lock");
+        let slot = idle.entry(addr.to_owned()).or_default();
+        if slot.len() < self.per_peer {
+            slot.push(stream);
+        }
+    }
+
+    /// Idle sessions currently pooled, across all peers.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().expect("peer pool lock").values().map(Vec::len).sum()
+    }
+}
+
+impl std::fmt::Debug for PeerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerPool")
+            .field("per_peer", &self.per_peer)
+            .field("idle", &self.idle_count())
+            .finish()
+    }
+}
+
 struct PeerConn {
     addr: String,
     stream: TcpStream,
@@ -69,10 +128,50 @@ fn dial(
     timeouts: &PeerTimeouts,
     stats: &ClusterStats,
 ) -> Result<TcpStream, SwopeError> {
-    dial_inner(addr, timeouts).map_err(|e| {
-        stats.record_peer_error();
-        e
-    })
+    dial_inner(addr, timeouts)
+        .map(|stream| {
+            stats.record_conn_opened();
+            stream
+        })
+        .map_err(|e| {
+            stats.record_peer_error();
+            e
+        })
+}
+
+/// Opens one peer session and runs the `Hello` exchange, preferring a
+/// pooled idle socket. A pooled socket that fails the exchange at the
+/// wire level went stale while idle (peer restart, dropped connection);
+/// it is replaced by exactly one fresh dial with no peer error counted.
+/// An [`ErrorFrame`] reply is a live peer objecting — a real error
+/// either way, so it propagates.
+fn open_session(
+    addr: &str,
+    hello: &Frame,
+    timeouts: &PeerTimeouts,
+    stats: &ClusterStats,
+    pool: Option<&PeerPool>,
+) -> Result<(PeerConn, Frame), SwopeError> {
+    if let Some(stream) = pool.and_then(|p| p.checkout(addr)) {
+        let mut peer = PeerConn { addr: addr.to_owned(), stream, slice: 0..0 };
+        if let Ok(n) = write_frame(&mut peer.stream, hello) {
+            stats.record_sent(n);
+            if let Ok((frame, n)) = read_frame(&mut peer.stream) {
+                stats.record_received(n);
+                if let Frame::Error(e) = frame {
+                    stats.record_peer_error();
+                    return Err(peer_err(addr, e.message));
+                }
+                stats.record_conn_reuse();
+                return Ok((peer, frame));
+            }
+        }
+    }
+    let mut peer =
+        PeerConn { addr: addr.to_owned(), stream: dial(addr, timeouts, stats)?, slice: 0..0 };
+    send(&mut peer, stats, hello)?;
+    let frame = recv(&mut peer, stats)?;
+    Ok((peer, frame))
 }
 
 fn dial_inner(addr: &str, timeouts: &PeerTimeouts) -> Result<TcpStream, SwopeError> {
@@ -177,12 +276,16 @@ pub struct RemoteShardSource {
     sampled: u64,
     finished: bool,
     stats: Arc<ClusterStats>,
+    pool: Option<Arc<PeerPool>>,
 }
 
 impl RemoteShardSource {
     /// Connects to `addrs`, opens `dataset`, and pins the query's
     /// sampling frame (`seed`, optional row-range `scope` in union
-    /// coordinates).
+    /// coordinates). With a `pool`, idle sessions from earlier queries
+    /// are reused after a `Hello` health check (and checked back in on
+    /// [`RemoteShardSource::finish`]); without one, every query dials
+    /// fresh.
     ///
     /// # Errors
     ///
@@ -197,6 +300,7 @@ impl RemoteShardSource {
         scope: Option<Range<u64>>,
         timeouts: &PeerTimeouts,
         stats: Arc<ClusterStats>,
+        pool: Option<Arc<PeerPool>>,
     ) -> Result<Self, SwopeError> {
         if addrs.is_empty() {
             return Err(SwopeError::Transport("no peers configured".into()));
@@ -212,10 +316,8 @@ impl RemoteShardSource {
         let mut meta: Option<Vec<AttrMeta>> = None;
         let mut offset = 0u64;
         for addr in addrs {
-            let mut peer =
-                PeerConn { addr: addr.clone(), stream: dial(addr, timeouts, &stats)?, slice: 0..0 };
-            send(&mut peer, &stats, &hello)?;
-            let reply = match recv(&mut peer, &stats)? {
+            let (mut peer, reply) = open_session(addr, &hello, timeouts, &stats, pool.as_deref())?;
+            let reply = match reply {
                 Frame::Hello(h) => h,
                 f => return Err(peer_err(addr, format!("expected Hello, got {}", f.name()))),
             };
@@ -252,8 +354,18 @@ impl RemoteShardSource {
         }
         let scope = scope.start..end;
         // Scoped queries involve only the peers whose slices intersect
-        // the range; the rest never hear about this query.
-        peers.retain(|p| p.slice.start < scope.end && p.slice.end > scope.start);
+        // the range; the rest never hear about this query. Their sessions
+        // are healthy (Hello only, no QuerySpec), so they go straight
+        // back to the pool instead of closing.
+        let mut kept = Vec::with_capacity(peers.len());
+        for peer in peers {
+            if peer.slice.start < scope.end && peer.slice.end > scope.start {
+                kept.push(peer);
+            } else if let Some(pool) = &pool {
+                pool.check_in(&peer.addr, peer.stream);
+            }
+        }
+        let mut peers = kept;
         let spec = QuerySpecFrame {
             seed,
             population: scope.end - scope.start,
@@ -277,6 +389,7 @@ impl RemoteShardSource {
             sampled: 0,
             finished: false,
             stats,
+            pool,
         })
     }
 
@@ -296,16 +409,22 @@ impl RemoteShardSource {
     }
 
     /// Tells every participant the query is over (best effort) and stops
-    /// further use. Also runs on drop.
+    /// further use. Also runs on drop. Sessions that acknowledge the end
+    /// cleanly are returned to the pool (when pooling) for the next
+    /// query; anything that failed the goodbye is closed.
     pub fn finish(&mut self) {
         if self.finished {
             return;
         }
         self.finished = true;
         let frame = Frame::Result(ResultFrame { sampled: self.sampled });
-        for peer in &mut self.peers {
-            let _ = send(peer, &self.stats, &frame);
-            let _ = peer.stream.flush();
+        for mut peer in self.peers.drain(..) {
+            let clean = send(&mut peer, &self.stats, &frame).is_ok() && peer.stream.flush().is_ok();
+            if clean {
+                if let Some(pool) = &self.pool {
+                    pool.check_in(&peer.addr, peer.stream);
+                }
+            }
         }
     }
 

@@ -31,7 +31,7 @@ pub mod frame;
 pub mod peer;
 pub mod stats;
 
-pub use coordinator::{probe, ClusterProbe, PeerTimeouts, RemoteShardSource};
+pub use coordinator::{probe, ClusterProbe, PeerPool, PeerTimeouts, RemoteShardSource};
 pub use frame::{Frame, FrameError, MAGIC, PROTOCOL_VERSION};
 pub use peer::{serve_connection, DatasetResolver, SessionEnd};
 pub use stats::{ClusterSnapshot, ClusterStats};

@@ -90,56 +90,72 @@ pub enum SessionEnd {
 /// `io` is the connected stream (already past any magic-byte sniffing —
 /// this function reads whole frames, starting with the coordinator's
 /// `Hello`). `resolve` maps dataset names to resident datasets.
+///
+/// A `Hello` is accepted at any point *between* queries, not just as the
+/// session opener: a coordinator reusing a pooled connection re-sends
+/// `Hello` as a health-check-plus-open for its next query (possibly
+/// against a different dataset), and the peer re-resolves and re-replies
+/// exactly as it did the first time.
 pub fn serve_connection<S: Read + Write>(
     io: &mut S,
     resolve: &DatasetResolver<'_>,
     stats: &ClusterStats,
 ) -> SessionEnd {
-    let hello = match recv(io, stats) {
-        Ok(Frame::Hello(h)) => h,
-        Ok(f) => return bail(io, stats, format!("expected Hello, got {}", f.name())),
-        Err(e) if e.is_eof() => return SessionEnd::Closed,
-        Err(e) => return bail(io, stats, e.to_string()),
-    };
-    if hello.version != PROTOCOL_VERSION {
-        return bail(
-            io,
-            stats,
-            format!(
-                "protocol version {} unsupported (peer speaks {PROTOCOL_VERSION})",
-                hello.version
-            ),
-        );
-    }
-    let Some(ds) = resolve(&hello.dataset) else {
-        return bail(io, stats, format!("no dataset named {:?} is loaded", hello.dataset));
-    };
-    let reply = Hello {
-        version: PROTOCOL_VERSION,
-        dataset: hello.dataset,
-        num_rows: ds.num_rows() as u64,
-        attrs: dataset_meta(&ds),
-    };
-    if let Err(e) = send(io, stats, &Frame::Hello(reply)) {
-        stats.record_peer_error();
-        return SessionEnd::Error(e.to_string());
-    }
-    // One query at a time; the connection is reusable across queries.
+    // No dataset is open until the first Hello resolves one; each later
+    // Hello (pooled-connection reuse) replaces it.
+    let mut ds: Option<Arc<Dataset>> = None;
     loop {
-        let spec = match recv(io, stats) {
-            Ok(Frame::QuerySpec(q)) => q,
-            Ok(f) => return bail(io, stats, format!("expected QuerySpec, got {}", f.name())),
+        match recv(io, stats) {
+            Ok(Frame::Hello(hello)) => {
+                if hello.version != PROTOCOL_VERSION {
+                    return bail(
+                        io,
+                        stats,
+                        format!(
+                            "protocol version {} unsupported (peer speaks {PROTOCOL_VERSION})",
+                            hello.version
+                        ),
+                    );
+                }
+                let Some(resolved) = resolve(&hello.dataset) else {
+                    return bail(
+                        io,
+                        stats,
+                        format!("no dataset named {:?} is loaded", hello.dataset),
+                    );
+                };
+                let reply = Hello {
+                    version: PROTOCOL_VERSION,
+                    dataset: hello.dataset,
+                    num_rows: resolved.num_rows() as u64,
+                    attrs: dataset_meta(&resolved),
+                };
+                if let Err(e) = send(io, stats, &Frame::Hello(reply)) {
+                    stats.record_peer_error();
+                    return SessionEnd::Error(e.to_string());
+                }
+                ds = Some(resolved);
+            }
+            Ok(Frame::QuerySpec(spec)) => {
+                let Some(ds) = &ds else {
+                    return bail(io, stats, "QuerySpec before any Hello".into());
+                };
+                if let Err(msg) = validate_spec(ds, &spec) {
+                    return bail(io, stats, msg);
+                }
+                match serve_query(io, ds, &spec, stats) {
+                    Ok(()) => {}
+                    Err(QueryEnd::Closed) => return SessionEnd::Closed,
+                    Err(QueryEnd::Aborted) => return SessionEnd::Closed,
+                    Err(QueryEnd::Fail(msg)) => return bail(io, stats, msg),
+                }
+            }
+            Ok(f) => {
+                let expected = if ds.is_some() { "Hello or QuerySpec" } else { "Hello" };
+                return bail(io, stats, format!("expected {expected}, got {}", f.name()));
+            }
             Err(e) if e.is_eof() => return SessionEnd::Closed,
             Err(e) => return bail(io, stats, e.to_string()),
-        };
-        if let Err(msg) = validate_spec(&ds, &spec) {
-            return bail(io, stats, msg);
-        }
-        match serve_query(io, &ds, &spec, stats) {
-            Ok(()) => {}
-            Err(QueryEnd::Closed) => return SessionEnd::Closed,
-            Err(QueryEnd::Aborted) => return SessionEnd::Closed,
-            Err(QueryEnd::Fail(msg)) => return bail(io, stats, msg),
         }
     }
 }

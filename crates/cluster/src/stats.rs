@@ -17,6 +17,8 @@ pub struct ClusterStats {
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
     peer_errors: AtomicU64,
+    conns_opened: AtomicU64,
+    conn_reuses: AtomicU64,
 }
 
 /// A point-in-time copy of [`ClusterStats`].
@@ -36,6 +38,10 @@ pub struct ClusterSnapshot {
     pub bytes_received: u64,
     /// Peer connections or frames that failed.
     pub peer_errors: u64,
+    /// Fresh TCP connections dialed to peers.
+    pub conns_opened: u64,
+    /// Pooled peer connections reused for a new query.
+    pub conn_reuses: u64,
 }
 
 impl ClusterStats {
@@ -71,6 +77,16 @@ impl ClusterStats {
         self.peer_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one fresh TCP connection dialed to a peer.
+    pub fn record_conn_opened(&self) {
+        self.conns_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one pooled connection reused across queries.
+    pub fn record_conn_reuse(&self) {
+        self.conn_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough copy for metrics scrapes.
     pub fn snapshot(&self) -> ClusterSnapshot {
         ClusterSnapshot {
@@ -81,6 +97,8 @@ impl ClusterStats {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             peer_errors: self.peer_errors.load(Ordering::Relaxed),
+            conns_opened: self.conns_opened.load(Ordering::Relaxed),
+            conn_reuses: self.conn_reuses.load(Ordering::Relaxed),
         }
     }
 }

@@ -8,7 +8,7 @@ use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use swope_cluster::coordinator::{probe, PeerTimeouts, RemoteShardSource};
+use swope_cluster::coordinator::{probe, PeerPool, PeerTimeouts, RemoteShardSource};
 use swope_cluster::frame::{read_frame, write_frame, Frame, Hello, PROTOCOL_VERSION};
 use swope_cluster::peer::serve_connection;
 use swope_cluster::stats::ClusterStats;
@@ -76,6 +76,7 @@ fn connect(
         scope,
         &PeerTimeouts::default(),
         Arc::new(ClusterStats::new()),
+        None,
     )
     .unwrap()
 }
@@ -189,9 +190,90 @@ fn scoped_queries_route_to_intersecting_peers_only() {
         Some((n as u64)..(n as u64) + 10),
         &PeerTimeouts::default(),
         Arc::new(ClusterStats::new()),
+        None,
     )
     .unwrap_err();
     assert!(matches!(err, SwopeError::InvalidScope(_)), "{err}");
+}
+
+/// Sequential queries through a [`PeerPool`] reuse the same peer
+/// sessions: the first round dials every peer, later rounds re-handshake
+/// over the pooled sockets — counted by `conn_reuses` — and the answers
+/// stay byte-identical to the direct library call.
+#[test]
+fn pooled_sessions_are_reused_across_queries() {
+    let union = union_dataset();
+    let n = union.num_rows();
+    let addrs =
+        vec![spawn_peer(slice_rows(&union, 0..n / 2)), spawn_peer(slice_rows(&union, n / 2..n))];
+    let config = cfg(0x9001);
+    let exec = Executor::sequential();
+    let stats = Arc::new(ClusterStats::new());
+    let pool = Arc::new(PeerPool::new(2));
+    let direct = entropy_top_k(&union, 3, &config).unwrap();
+    for round in 0..3 {
+        let mut src = RemoteShardSource::connect(
+            &addrs,
+            "t",
+            seed_of(&config),
+            None,
+            &PeerTimeouts::default(),
+            Arc::clone(&stats),
+            Some(Arc::clone(&pool)),
+        )
+        .unwrap();
+        let wire = entropy_top_k_transport(&mut src, 3, &config, &mut NoopObserver, &exec).unwrap();
+        assert_eq!(wire, direct, "round {round}");
+        src.finish();
+    }
+    assert_eq!(pool.idle_count(), 2, "both sessions parked after the last query");
+    let snap = stats.snapshot();
+    assert_eq!(snap.conns_opened, 2, "only the first round dialed");
+    assert_eq!(snap.conn_reuses, 4, "rounds 2 and 3 reused both sessions");
+    assert_eq!(snap.peer_errors, 0);
+}
+
+/// A pooled socket whose peer went away is detected by the `Hello`
+/// health check and replaced by one fresh dial — no peer error, and the
+/// query still answers correctly.
+#[test]
+fn stale_pooled_socket_redials_transparently() {
+    let union = union_dataset();
+    let addr = spawn_peer(slice_rows(&union, 0..union.num_rows()));
+    let pool = Arc::new(PeerPool::new(2));
+    // Manufacture a stale idle session: a socket whose remote end is gone.
+    let dead = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = std::net::TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let (server_side, _) = l.accept().unwrap();
+        drop(server_side);
+        client
+    };
+    pool.check_in(&addr, dead);
+    assert_eq!(pool.idle_count(), 1);
+    let config = cfg(0x57A1E);
+    let stats = Arc::new(ClusterStats::new());
+    let mut src = RemoteShardSource::connect(
+        std::slice::from_ref(&addr),
+        "t",
+        seed_of(&config),
+        None,
+        &PeerTimeouts::default(),
+        Arc::clone(&stats),
+        Some(Arc::clone(&pool)),
+    )
+    .unwrap();
+    let direct = entropy_top_k(&union, 3, &config).unwrap();
+    let wire =
+        entropy_top_k_transport(&mut src, 3, &config, &mut NoopObserver, &Executor::sequential())
+            .unwrap();
+    assert_eq!(wire, direct);
+    src.finish();
+    let snap = stats.snapshot();
+    assert_eq!(snap.conns_opened, 1, "the stale socket forced one fresh dial");
+    assert_eq!(snap.conn_reuses, 0);
+    assert_eq!(snap.peer_errors, 0, "staleness is not a peer error");
+    assert_eq!(pool.idle_count(), 1, "the replacement session was pooled");
 }
 
 #[test]
@@ -225,6 +307,7 @@ fn dead_peer_is_a_one_line_error() {
         None,
         &timeouts,
         Arc::new(ClusterStats::new()),
+        None,
     )
     .unwrap_err();
     assert!(start.elapsed() < Duration::from_secs(5), "dead peer hung the coordinator");
@@ -247,9 +330,16 @@ fn hung_peer_trips_the_io_timeout() {
     });
     let timeouts = PeerTimeouts { connect: Duration::from_secs(1), io: Duration::from_millis(250) };
     let start = Instant::now();
-    let err =
-        RemoteShardSource::connect(&[addr], "t", 1, None, &timeouts, Arc::new(ClusterStats::new()))
-            .unwrap_err();
+    let err = RemoteShardSource::connect(
+        &[addr],
+        "t",
+        1,
+        None,
+        &timeouts,
+        Arc::new(ClusterStats::new()),
+        None,
+    )
+    .unwrap_err();
     let elapsed = start.elapsed();
     assert!(elapsed < Duration::from_secs(5), "hung peer stalled the coordinator: {elapsed:?}");
     assert!(matches!(err, SwopeError::Transport(_)), "{err}");
@@ -302,6 +392,7 @@ fn peer_death_mid_query_fails_the_advance() {
         None,
         &timeouts,
         Arc::new(ClusterStats::new()),
+        None,
     )
     .unwrap();
     let start = Instant::now();

@@ -127,3 +127,48 @@ pub const CLUSTER_BYTES_RECEIVED_TOTAL: &str = "swope_cluster_bytes_received_tot
 /// Counter: fan-outs that failed because a peer was unreachable, timed
 /// out, or answered with a protocol error (the request maps to `503`).
 pub const CLUSTER_PEER_ERRORS_TOTAL: &str = "swope_cluster_peer_errors_total";
+
+/// Counter: fresh TCP connections the coordinator dialed to peers (one
+/// per pool miss or stale-socket replacement).
+pub const CLUSTER_CONNS_OPENED_TOTAL: &str = "swope_cluster_conns_opened_total";
+
+/// Counter: pooled peer connections reused for a new query after a
+/// successful re-handshake health check.
+pub const CLUSTER_CONN_REUSES_TOTAL: &str = "swope_cluster_conn_reuses_total";
+
+/// Gauge: client connections currently open on the event loop (every
+/// state: reading, dispatched, writing, keep-alive idle).
+pub const CONN_OPEN: &str = "swope_conn_open";
+
+/// Gauge: open connections parked in keep-alive idle, waiting for their
+/// next request (costing a file descriptor, not a thread).
+pub const CONN_IDLE: &str = "swope_conn_idle";
+
+/// Gauge: open connections mid-read (partial request bytes buffered, or
+/// freshly accepted and yet to send a byte).
+pub const CONN_READING: &str = "swope_conn_reading";
+
+/// Gauge: open connections with a serialized response partially flushed.
+pub const CONN_WRITING: &str = "swope_conn_writing";
+
+/// Counter: connections accepted by the event loop since startup.
+pub const CONN_ACCEPTED_TOTAL: &str = "swope_conn_accepted_total";
+
+/// Counter: requests served on an already-used keep-alive connection
+/// (the second and later requests on each socket).
+pub const CONN_KEEPALIVE_REUSES_TOTAL: &str = "swope_conn_keepalive_reuses_total";
+
+/// Counter: connections killed by the read/write timeout — slow-loris
+/// partial requests and stalled response writes (keep-alive idle expiry
+/// is a normal close and is *not* counted here).
+pub const CONN_TIMEOUTS_TOTAL: &str = "swope_conn_timeouts_total";
+
+/// Counter with a `tenant` label: requests attributed to each
+/// `X-Swope-Api-Key` bucket by admission control (only rendered when
+/// quotas are enabled; bounded cardinality — past the tenant cap new
+/// keys collapse into `overflow`).
+pub const TENANT_REQUESTS_TOTAL: &str = "swope_tenant_requests_total";
+
+/// Counter with a `tenant` label: requests answered `429 Too Many
+/// Requests` because the tenant's token bucket was empty.
+pub const TENANT_THROTTLED_TOTAL: &str = "swope_tenant_throttled_total";

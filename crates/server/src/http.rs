@@ -1,18 +1,32 @@
-//! Minimal HTTP/1.1 support: request parsing and response writing.
+//! Minimal HTTP/1.1 support: incremental request parsing and response
+//! writing.
 //!
 //! The workspace builds without crates.io access, so this implements
-//! exactly the subset the query server needs: one request per connection
-//! (`Connection: close` on every response), request bodies sized by
-//! `Content-Length`, and percent-decoded query strings. No chunked
-//! transfer, no keep-alive, no TLS.
+//! exactly the subset the query server needs: requests parsed
+//! *incrementally* out of a connection's accumulation buffer (so the
+//! nonblocking event loop can feed partial reads and pipelined requests
+//! through the same entry point), bodies sized by `Content-Length`,
+//! percent-decoded query strings, and keep-alive-aware response
+//! serialization. No chunked transfer, no TLS.
+//!
+//! [`parse_request`] is the one parsing entry point: given every byte
+//! received so far it either asks for more ([`ParseStatus::Incomplete`]),
+//! yields a request plus how many bytes it consumed (the remainder is the
+//! next pipelined request), or rejects the bytes as not-HTTP. Limits are
+//! enforced *during* accumulation — an over-long header line or header
+//! section fails fast, long before a slow-loris client could balloon the
+//! buffer.
 
 use std::fmt;
-use std::io::{self, BufRead, Write};
+use std::io::{self, Write};
 
 /// Upper bound on one header line (request line included).
 const MAX_LINE_BYTES: usize = 8 * 1024;
 /// Upper bound on the number of header lines.
 const MAX_HEADERS: usize = 100;
+/// Upper bound on the whole header section (request line through the
+/// blank line), enforced while the bytes accumulate.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// A parse-level failure (distinct from transport I/O errors).
 #[derive(Debug)]
@@ -78,34 +92,93 @@ impl Request {
     }
 }
 
-/// Reads one request from `reader`, rejecting bodies above `max_body`.
-pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, HttpError> {
-    let line = read_line(reader)?;
-    if line.is_empty() {
-        return Err(HttpError::ConnectionClosed);
+/// Outcome of one [`parse_request`] attempt over an accumulation buffer.
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// The buffer holds a prefix of a valid request; read more bytes.
+    Incomplete,
+    /// A complete request was parsed.
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request occupied; everything past
+        /// `consumed` belongs to the next pipelined request.
+        consumed: usize,
+        /// Whether the client's HTTP version + `Connection` header ask
+        /// for the connection to stay open after the response (HTTP/1.1
+        /// defaults to keep-alive, HTTP/1.0 to close).
+        keep_alive: bool,
+    },
+}
+
+/// Parses one request from the front of `buf`, incrementally: call again
+/// with a longer buffer on [`ParseStatus::Incomplete`]. Leading blank
+/// lines (a robustness allowance for sloppy pipelining clients) are
+/// skipped and counted into `consumed`.
+pub fn parse_request(buf: &[u8], max_body: usize) -> Result<ParseStatus, HttpError> {
+    // Skip leading CRLFs so "request CRLF body CRLF CRLF request" still
+    // pipelines cleanly.
+    let mut start = 0;
+    while start < buf.len() && (buf[start] == b'\r' || buf[start] == b'\n') {
+        start += 1;
     }
-    let mut parts = line.split_whitespace();
+    let head = &buf[start..];
+
+    // Walk the header section line by line; `head_end` is the offset just
+    // past the blank line terminating it.
+    let mut lines: Vec<&[u8]> = Vec::new();
+    let mut pos = 0;
+    let head_end = loop {
+        let Some(nl) = head[pos..].iter().position(|&b| b == b'\n') else {
+            if head.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::Malformed("header section too long".into()));
+            }
+            if head.len() - pos > MAX_LINE_BYTES {
+                return Err(HttpError::Malformed("header line too long".into()));
+            }
+            return Ok(ParseStatus::Incomplete);
+        };
+        let mut line = &head[pos..pos + nl];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        if line.len() > MAX_LINE_BYTES {
+            return Err(HttpError::Malformed("header line too long".into()));
+        }
+        pos += nl + 1;
+        if pos > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("header section too long".into()));
+        }
+        if line.is_empty() {
+            break pos;
+        }
+        if lines.len() > MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers".into()));
+        }
+        lines.push(line);
+    };
+
+    let mut it = lines.iter();
+    let request_line = std::str::from_utf8(it.next().expect("blank-line break implies a line"))
+        .map_err(|_| HttpError::Malformed("non-UTF-8 header".into()))?;
+    let mut parts = request_line.split_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) => (m, t, v),
-        _ => return Err(HttpError::Malformed(format!("bad request line {line:?}"))),
+        _ => return Err(HttpError::Malformed(format!("bad request line {request_line:?}"))),
     };
-    if !version.starts_with("HTTP/1.") {
+    let Some(minor) = version.strip_prefix("HTTP/1.") else {
         return Err(HttpError::Malformed(format!("unsupported version {version:?}")));
-    }
+    };
+    let http10 = minor == "0";
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
 
-    let mut headers = Vec::new();
-    loop {
-        let line = read_line(reader)?;
-        if line.is_empty() {
-            break;
-        }
-        if headers.len() >= MAX_HEADERS {
-            return Err(HttpError::Malformed("too many headers".into()));
-        }
+    let mut headers = Vec::with_capacity(lines.len() - 1);
+    for raw in it {
+        let line = std::str::from_utf8(raw)
+            .map_err(|_| HttpError::Malformed("non-UTF-8 header".into()))?;
         let (name, value) = line
             .split_once(':')
             .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
@@ -124,43 +197,40 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
     if content_length > max_body {
         return Err(HttpError::BodyTooLarge { declared: content_length, limit: max_body });
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    let body_start = start + head_end;
+    if buf.len() < body_start + content_length {
+        return Ok(ParseStatus::Incomplete);
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
 
-    Ok(Request {
-        method: method.to_owned(),
-        path: percent_decode(raw_path),
-        query: parse_query(raw_query),
-        headers,
-        body,
+    // HTTP/1.1 keeps the connection alive unless told otherwise;
+    // HTTP/1.0 closes unless the client opts in. `Connection` values are
+    // comma-separated token lists.
+    let keep_alive = {
+        let tokens = headers.iter().find(|(k, _)| k == "connection").map(|(_, v)| v.as_str());
+        let has = |tok: &str| {
+            tokens.is_some_and(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case(tok)))
+        };
+        if has("close") {
+            false
+        } else if has("keep-alive") {
+            true
+        } else {
+            !http10
+        }
+    };
+
+    Ok(ParseStatus::Complete {
+        request: Request {
+            method: method.to_owned(),
+            path: percent_decode(raw_path),
+            query: parse_query(raw_query),
+            headers,
+            body,
+        },
+        consumed: body_start + content_length,
+        keep_alive,
     })
-}
-
-/// Reads one CRLF- (or LF-) terminated line, without the terminator.
-/// Returns an empty string at EOF-before-any-byte or on a blank line.
-fn read_line<R: BufRead>(reader: &mut R) -> Result<String, HttpError> {
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        let buf = reader.fill_buf()?;
-        if buf.is_empty() {
-            break; // EOF
-        }
-        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            line.extend_from_slice(&buf[..pos]);
-            reader.consume(pos + 1);
-            break;
-        }
-        line.extend_from_slice(buf);
-        let n = buf.len();
-        reader.consume(n);
-        if line.len() > MAX_LINE_BYTES {
-            return Err(HttpError::Malformed("header line too long".into()));
-        }
-    }
-    if line.last() == Some(&b'\r') {
-        line.pop();
-    }
-    String::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 header".into()))
 }
 
 /// Splits and percent-decodes an `a=1&b=two` query string.
@@ -209,7 +279,8 @@ fn hex(b: Option<&u8>) -> Option<u8> {
     (*b? as char).to_digit(16).map(|d| d as u8)
 }
 
-/// One HTTP response, written with `Connection: close`.
+/// One HTTP response; the `Connection` header is chosen at serialization
+/// time, so the same response can close or keep the connection alive.
 #[derive(Debug)]
 pub struct Response {
     /// Status code.
@@ -251,14 +322,18 @@ impl Response {
         self
     }
 
-    /// Serializes the response (status line, headers, body) into `w`.
-    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+    /// Serializes the response (status line, headers, body) into one byte
+    /// vector, announcing `Connection: keep-alive` or `close` per
+    /// `keep_alive` — the body bytes are identical either way (the
+    /// byte-identity contract covers bodies, not transport framing).
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_text(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         );
         for (name, value) in &self.extra_headers {
             head.push_str(name);
@@ -267,8 +342,15 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serializes with `Connection: close` into `w` (the one-shot path
+    /// used by tests and inline error answers).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.serialize(false))?;
         w.flush()
     }
 }
@@ -281,8 +363,10 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -292,10 +376,12 @@ pub fn status_text(status: u16) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufReader;
 
     fn parse(raw: &str) -> Result<Request, HttpError> {
-        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+        match parse_request(raw.as_bytes(), 1024)? {
+            ParseStatus::Complete { request, .. } => Ok(request),
+            ParseStatus::Incomplete => Err(HttpError::ConnectionClosed),
+        }
     }
 
     #[test]
@@ -328,11 +414,87 @@ mod tests {
         ));
         assert!(matches!(parse("NONSENSE\r\n\r\n"), Err(HttpError::Malformed(_))));
         assert!(matches!(parse("GET / SPDY/99\r\n\r\n"), Err(HttpError::Malformed(_))));
-        assert!(matches!(parse(""), Err(HttpError::ConnectionClosed)));
         assert!(matches!(
             parse("GET / HTTP/1.1\r\nnocolonhere\r\n\r\n"),
             Err(HttpError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn incremental_parse_waits_for_the_full_request() {
+        let full = "POST /d HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        // Every proper prefix is Incomplete, never an error.
+        for cut in 0..full.len() {
+            assert!(
+                matches!(parse_request(&full.as_bytes()[..cut], 1024), Ok(ParseStatus::Incomplete)),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        let ParseStatus::Complete { request, consumed, keep_alive } =
+            parse_request(full.as_bytes(), 1024).unwrap()
+        else {
+            panic!("full request should parse");
+        };
+        assert_eq!(request.body, b"hello");
+        assert_eq!(consumed, full.len());
+        assert!(keep_alive);
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one_request_each() {
+        let two = "GET /a HTTP/1.1\r\n\r\nGET /b?x=1 HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let ParseStatus::Complete { request, consumed, keep_alive } =
+            parse_request(two.as_bytes(), 1024).unwrap()
+        else {
+            panic!("first request should parse");
+        };
+        assert_eq!(request.path, "/a");
+        assert!(keep_alive);
+        let ParseStatus::Complete { request, consumed: c2, keep_alive } =
+            parse_request(&two.as_bytes()[consumed..], 1024).unwrap()
+        else {
+            panic!("second request should parse");
+        };
+        assert_eq!(request.path, "/b");
+        assert_eq!(request.param("x"), Some("1"));
+        assert!(!keep_alive, "Connection: close must be honored");
+        assert_eq!(consumed + c2, two.len());
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        let ka = |raw: &str| match parse_request(raw.as_bytes(), 1024).unwrap() {
+            ParseStatus::Complete { keep_alive, .. } => keep_alive,
+            ParseStatus::Incomplete => panic!("incomplete: {raw:?}"),
+        };
+        assert!(ka("GET / HTTP/1.1\r\n\r\n"));
+        assert!(!ka("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!ka("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n"));
+        assert!(!ka("GET / HTTP/1.0\r\n\r\n"));
+        assert!(ka("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
+        assert!(!ka("GET / HTTP/1.0\r\nConnection: close, te\r\n\r\n"));
+    }
+
+    #[test]
+    fn header_limits_trip_during_accumulation() {
+        // A single over-long line fails before any terminator arrives.
+        let long = format!("GET /{} HTTP", "a".repeat(MAX_LINE_BYTES + 10));
+        assert!(matches!(
+            parse_request(long.as_bytes(), 1024),
+            Err(HttpError::Malformed(m)) if m.contains("too long")
+        ));
+        // An endless header section fails at the section cap.
+        let mut many = String::from("GET / HTTP/1.1\r\n");
+        while many.len() <= MAX_HEAD_BYTES {
+            many.push_str("a: b\r\n");
+        }
+        assert!(matches!(parse_request(many.as_bytes(), 1024), Err(HttpError::Malformed(_))));
+        // Too many tiny headers fail on the count cap.
+        let mut counted = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 2) {
+            counted.push_str(&format!("h{i}: v\r\n"));
+        }
+        assert!(matches!(parse_request(counted.as_bytes(), 1024), Err(HttpError::Malformed(_))));
     }
 
     #[test]
@@ -352,8 +514,23 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("X-Swope-Cache: hit\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn serialization_differs_only_in_the_connection_header() {
+        let resp = Response::json(200, "{\"ok\":true}");
+        let ka = String::from_utf8(resp.serialize(true)).unwrap();
+        let cl = String::from_utf8(resp.serialize(false)).unwrap();
+        assert!(ka.contains("Connection: keep-alive\r\n"));
+        assert!(cl.contains("Connection: close\r\n"));
+        assert_eq!(
+            ka.replace("Connection: keep-alive", "Connection: close"),
+            cl,
+            "bodies and all other headers must be identical"
+        );
     }
 
     #[test]
@@ -361,5 +538,7 @@ mod tests {
         let r = Response::error(404, "no such dataset");
         assert_eq!(r.status, 404);
         assert_eq!(r.body, b"{\"error\":\"no such dataset\"}");
+        assert_eq!(status_text(429), "Too Many Requests");
+        assert_eq!(status_text(408), "Request Timeout");
     }
 }

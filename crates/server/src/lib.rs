@@ -5,13 +5,24 @@
 //! `std::net::TcpListener` (the workspace builds without crates.io
 //! access).
 //!
-//! Four pieces compose the subsystem:
+//! The pieces compose like this:
 //!
+//! * [`event`] — a dependency-free readiness layer: raw-syscall epoll on
+//!   Linux, portable `poll(2)` elsewhere, behind one `Poller` trait,
+//!   plus the self-pipe workers use to wake the event thread.
+//! * [`conn`] — the per-connection state machine (reading → dispatched →
+//!   writing → keep-alive idle) with incremental HTTP/1.1 parsing and
+//!   pipelining out of one buffer; one thread multiplexes every
+//!   connection, so an idle client costs a file descriptor, not a
+//!   thread.
+//! * [`quota`] — per-tenant token-bucket admission keyed by
+//!   `X-Swope-Api-Key` (`429 + Retry-After`), run on the event thread
+//!   before a request can occupy a worker or queue slot.
 //! * [`registry::DatasetRegistry`] — named, immutable `Arc<Dataset>`
 //!   handles loaded at startup or via `POST /datasets`, with a generation
 //!   counter so replacement can never serve stale cache entries.
 //! * [`pool::WorkerPool`] — a fixed thread count over a bounded queue;
-//!   the accept loop sheds load with `503 + Retry-After` when the queue
+//!   the event thread sheds load with `503 + Retry-After` when the queue
 //!   is full, and requests that outlive their queueing deadline are
 //!   answered 503 without running.
 //! * [`cache::ResultCache`] — an LRU of serialized response bodies keyed
@@ -55,10 +66,13 @@
 #![warn(clippy::all)]
 
 pub mod cache;
+pub mod conn;
+pub mod event;
 pub mod http;
 pub mod metrics;
 pub mod pool;
 pub mod query;
+pub mod quota;
 pub mod registry;
 pub mod server;
 pub mod signal;
@@ -66,5 +80,6 @@ pub mod signal;
 pub use cache::ResultCache;
 pub use metrics::ServerMetrics;
 pub use pool::WorkerPool;
+pub use quota::TenantQuotas;
 pub use registry::{DatasetEntry, DatasetRegistry, StoreStats};
 pub use server::{Server, ServerConfig, ServerHandle};

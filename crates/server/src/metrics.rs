@@ -42,6 +42,15 @@ pub struct ServerMetrics {
     /// lock-free map) is fine here: the critical section is one BTreeMap
     /// lookup, and the interesting work per request dwarfs it.
     labelled_micros: Mutex<BTreeMap<(String, String), Histogram>>,
+    /// Connection-state gauges `[open, idle, reading, writing]`, set
+    /// wholesale by the event loop once per tick.
+    conn_states: [AtomicU64; 4],
+    conn_accepted: AtomicU64,
+    conn_keepalive_reuses: AtomicU64,
+    conn_timeouts: AtomicU64,
+    /// Per-tenant `(requests, throttled)` counters; tenant keys are user
+    /// input, so they are sanitized and capped like the latency labels.
+    tenants: Mutex<BTreeMap<String, (u64, u64)>>,
 }
 
 impl ServerMetrics {
@@ -57,6 +66,11 @@ impl ServerMetrics {
             // scans; powers of four from 64 µs to ~4.3 s.
             request_micros: Histogram::new((3..=16).map(|i| 1u64 << (2 * i)).collect()),
             labelled_micros: Mutex::new(BTreeMap::new()),
+            conn_states: std::array::from_fn(|_| AtomicU64::new(0)),
+            conn_accepted: AtomicU64::new(0),
+            conn_keepalive_reuses: AtomicU64::new(0),
+            conn_timeouts: AtomicU64::new(0),
+            tenants: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -104,6 +118,59 @@ impl ServerMetrics {
     /// Records a request whose deadline expired while queued.
     pub fn record_deadline_expired(&self) {
         self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the connection-state gauges wholesale (called once per event
+    /// loop tick with the current census).
+    pub fn set_conn_states(&self, open: u64, idle: u64, reading: u64, writing: u64) {
+        for (slot, value) in self.conn_states.iter().zip([open, idle, reading, writing]) {
+            slot.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one accepted connection.
+    pub fn record_conn_accepted(&self) {
+        self.conn_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request served on an already-used keep-alive socket.
+    pub fn record_keepalive_reuse(&self) {
+        self.conn_keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection killed by the read/write timeout.
+    pub fn record_conn_timeout(&self) {
+        self.conn_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one admission decision for `tenant` (`throttled` when the
+    /// request was answered 429). Tenant keys are user input: sanitized,
+    /// and capped at [`MAX_LABELLED`] distinct values (`other` past it).
+    pub fn record_tenant(&self, tenant: &str, throttled: bool) {
+        let key = sanitize_label(tenant);
+        let mut map = self.tenants.lock().unwrap();
+        let key =
+            if map.contains_key(&key) || map.len() < MAX_LABELLED { key } else { "other".into() };
+        let entry = map.entry(key).or_insert((0, 0));
+        entry.0 += 1;
+        if throttled {
+            entry.1 += 1;
+        }
+    }
+
+    /// Connections accepted so far.
+    pub fn conn_accepted_total(&self) -> u64 {
+        self.conn_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Keep-alive request reuses so far.
+    pub fn keepalive_reuses_total(&self) -> u64 {
+        self.conn_keepalive_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Read/write-timeout kills so far.
+    pub fn conn_timeouts_total(&self) -> u64 {
+        self.conn_timeouts.load(Ordering::Relaxed)
     }
 
     /// Requests accepted so far.
@@ -215,6 +282,44 @@ impl ServerMetrics {
             }
         }
         for (name, value) in [
+            (names::CONN_OPEN, &self.conn_states[0]),
+            (names::CONN_IDLE, &self.conn_states[1]),
+            (names::CONN_READING, &self.conn_states[2]),
+            (names::CONN_WRITING, &self.conn_states[3]),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", value.load(Ordering::Relaxed));
+        }
+        for (name, value) in [
+            (names::CONN_ACCEPTED_TOTAL, self.conn_accepted_total()),
+            (names::CONN_KEEPALIVE_REUSES_TOTAL, self.keepalive_reuses_total()),
+            (names::CONN_TIMEOUTS_TOTAL, self.conn_timeouts_total()),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        {
+            let tenants = self.tenants.lock().unwrap();
+            if !tenants.is_empty() {
+                let _ = writeln!(out, "# TYPE {} counter", names::TENANT_REQUESTS_TOTAL);
+                for (tenant, (requests, _)) in tenants.iter() {
+                    let _ = writeln!(
+                        out,
+                        "{}{{tenant=\"{tenant}\"}} {requests}",
+                        names::TENANT_REQUESTS_TOTAL
+                    );
+                }
+                let _ = writeln!(out, "# TYPE {} counter", names::TENANT_THROTTLED_TOTAL);
+                for (tenant, (_, throttled)) in tenants.iter() {
+                    let _ = writeln!(
+                        out,
+                        "{}{{tenant=\"{tenant}\"}} {throttled}",
+                        names::TENANT_THROTTLED_TOTAL
+                    );
+                }
+            }
+        }
+        for (name, value) in [
             (names::CLUSTER_QUERIES_TOTAL, wire.queries),
             (names::CLUSTER_MERGES_TOTAL, wire.merges),
             (names::CLUSTER_FRAMES_SENT_TOTAL, wire.frames_sent),
@@ -222,6 +327,8 @@ impl ServerMetrics {
             (names::CLUSTER_BYTES_SENT_TOTAL, wire.bytes_sent),
             (names::CLUSTER_BYTES_RECEIVED_TOTAL, wire.bytes_received),
             (names::CLUSTER_PEER_ERRORS_TOTAL, wire.peer_errors),
+            (names::CLUSTER_CONNS_OPENED_TOTAL, wire.conns_opened),
+            (names::CLUSTER_CONN_REUSES_TOTAL, wire.conn_reuses),
         ] {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
@@ -356,6 +463,69 @@ mod tests {
         )));
         // The query-level registry rides along in the same document.
         assert!(text.contains("swope_queries_total"));
+    }
+
+    #[test]
+    fn conn_and_tenant_families_render() {
+        let m = ServerMetrics::new();
+        m.set_conn_states(12, 9, 2, 1);
+        m.record_conn_accepted();
+        m.record_conn_accepted();
+        m.record_keepalive_reuse();
+        m.record_conn_timeout();
+        m.record_tenant("alice", false);
+        m.record_tenant("alice", true);
+        m.record_tenant("we\"ird", false);
+        let text = m.render_prometheus(
+            &ResultCache::new(4),
+            0,
+            0,
+            ExecStats::default(),
+            StoreStats::default(),
+            SketchStats::default(),
+            TraceCounters::default(),
+            None,
+            ClusterSnapshot::default(),
+        );
+        assert!(text.contains(&format!("{} 12\n", names::CONN_OPEN)));
+        assert!(text.contains(&format!("{} 9\n", names::CONN_IDLE)));
+        assert!(text.contains(&format!("{} 2\n", names::CONN_READING)));
+        assert!(text.contains(&format!("{} 1\n", names::CONN_WRITING)));
+        assert!(text.contains(&format!("{} 2\n", names::CONN_ACCEPTED_TOTAL)));
+        assert!(text.contains(&format!("{} 1\n", names::CONN_KEEPALIVE_REUSES_TOTAL)));
+        assert!(text.contains(&format!("{} 1\n", names::CONN_TIMEOUTS_TOTAL)));
+        assert!(text.contains(&format!("{}{{tenant=\"alice\"}} 2", names::TENANT_REQUESTS_TOTAL)));
+        assert!(text.contains(&format!("{}{{tenant=\"alice\"}} 1", names::TENANT_THROTTLED_TOTAL)));
+        // Hostile tenant keys cannot break exposition syntax.
+        assert!(
+            text.contains(&format!("{}{{tenant=\"we_ird\"}} 1", names::TENANT_REQUESTS_TOTAL)),
+            "{text}"
+        );
+        // Cluster conn-pool counters render with the wire family.
+        assert!(text.contains(&format!("{} 0\n", names::CLUSTER_CONNS_OPENED_TOTAL)));
+        assert!(text.contains(&format!("{} 0\n", names::CLUSTER_CONN_REUSES_TOTAL)));
+    }
+
+    #[test]
+    fn tenant_cardinality_is_capped() {
+        let m = ServerMetrics::new();
+        for i in 0..(MAX_LABELLED + 20) {
+            m.record_tenant(&format!("tenant-{i}"), false);
+        }
+        let text = m.render_prometheus(
+            &ResultCache::new(4),
+            0,
+            0,
+            ExecStats::default(),
+            StoreStats::default(),
+            SketchStats::default(),
+            TraceCounters::default(),
+            None,
+            ClusterSnapshot::default(),
+        );
+        assert!(text.contains(&format!("{}{{tenant=\"other\"}}", names::TENANT_REQUESTS_TOTAL)));
+        let families = text.matches(&format!("{}{{", names::TENANT_REQUESTS_TOTAL)).count();
+        assert!(families <= MAX_LABELLED + 1, "tenant cardinality exploded: {families}");
     }
 
     #[test]

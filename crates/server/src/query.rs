@@ -15,7 +15,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use swope_cluster::{ClusterStats, PeerTimeouts, RemoteShardSource};
+use swope_cluster::{ClusterStats, PeerPool, PeerTimeouts, RemoteShardSource};
 use swope_core::{
     entropy_filter_scoped_exec, entropy_filter_transport, entropy_profile_scoped_exec,
     entropy_profile_transport, entropy_top_k_scoped_exec, entropy_top_k_transport,
@@ -359,6 +359,9 @@ pub struct ClusterTarget {
     pub timeouts: PeerTimeouts,
     /// Union rows reported by the startup probe.
     pub union_rows: u64,
+    /// Idle peer sessions kept alive across queries; every fan-out
+    /// checks sessions out of (and back into) this pool.
+    pub pool: Arc<PeerPool>,
 }
 
 /// Resolves a target given as index or name against the fleet's schema.
@@ -426,6 +429,7 @@ pub fn run_query_cluster<O: QueryObserver>(
         scope,
         &cluster.timeouts,
         Arc::clone(stats),
+        Some(Arc::clone(&cluster.pool)),
     )
     .map_err(cluster_fail)?;
     let resolve = |src: &RemoteShardSource, raw: &str| {

@@ -1,47 +1,69 @@
-//! The server proper: accept loop, admission control, routing, and
+//! The server proper: the event loop, admission control, routing, and
 //! graceful shutdown.
 //!
-//! One thread accepts; a fixed [`WorkerPool`] serves. The accept loop is
-//! the sole producer into the pool's bounded queue, so checking the queue
-//! depth before submitting is an exact admission decision: when the queue
-//! is full the connection is answered `503 + Retry-After` right on the
-//! accept thread and never touches a worker. Accepted connections carry
-//! their accept timestamp; a worker that dequeues one past its deadline
-//! answers 503 without running the query. Shutdown (via
-//! [`ServerHandle::shutdown`] or, when enabled, SIGINT/SIGTERM) stops the
-//! accept loop and drains every queued connection before `run` returns.
+//! One *event thread* owns every connection: a level-triggered
+//! [`Poller`] (epoll on Linux, `poll(2)` elsewhere — see
+//! [`crate::event`]) drives per-connection state machines
+//! ([`crate::conn`]) through reading → dispatched → writing →
+//! keep-alive idle. Idle clients cost a file descriptor, not a thread:
+//! the fixed [`WorkerPool`] is purely a *compute* stage. When a complete
+//! request parses, the event thread runs admission control — per-tenant
+//! token buckets ([`crate::quota`], 429 + `Retry-After`), then the exact
+//! queue-depth shed check (503 + `Retry-After`) — and only then hands
+//! the request to a worker. The worker routes it and pushes the finished
+//! [`Response`] back through a completion queue, waking the event thread
+//! via a self-pipe; the event thread serializes and flushes it, honoring
+//! `Connection: close`/HTTP/1.0 semantics and parsing pipelined requests
+//! back-to-back out of the same buffer. The event thread is the sole
+//! producer into the pool's bounded queue, so checking the queue depth
+//! before dispatch remains an exact admission decision, and a worker
+//! that dequeues a request past its deadline answers 503 without running
+//! the query — both semantics carried over unchanged from the
+//! thread-per-connection server this replaced.
+//!
+//! Slow-loris clients (partial request older than the read timeout) and
+//! stalled response writes are killed by a periodic timeout scan;
+//! keep-alive idle expiry closes quietly. Shutdown (via
+//! [`ServerHandle::shutdown`] or, when enabled, SIGINT/SIGTERM) drains:
+//! stop accepting, close idle connections, finish in-flight requests,
+//! then return from `run`.
 //!
 //! ## Request tracing
 //!
 //! Every `/query/*` request is traced when the server runs with
 //! `trace: true` or when the client sends an `X-Swope-Trace` header
 //! (any 1–16 hex digits; an unparseable value gets a fresh id). The
-//! trace's clock is anchored at the *accept* timestamp, so `start_ns: 0`
-//! is the moment the connection was accepted and the root `request`
-//! span's children expose queue wait directly. Finished traces land in a
-//! bounded [`TraceRecorder`] behind `GET /debug/traces`, with slow ones
-//! (wall time ≥ `slow_ms`) retained preferentially behind
+//! trace's clock is anchored at the *arrival* timestamp (the first byte
+//! of the request — for the first request on a connection, the moment it
+//! was accepted), so `start_ns: 0` is request arrival and the root
+//! `request` span's children expose queue wait directly. Finished traces
+//! land in a bounded [`TraceRecorder`] behind `GET /debug/traces`, with
+//! slow ones (wall time ≥ `slow_ms`) retained preferentially behind
 //! `GET /debug/slow`. The trace id is echoed back in the response's
 //! `X-Swope-Trace` header in canonical 16-hex-digit form.
 
 use std::fs::OpenOptions;
-use std::io::{BufReader, BufWriter, Write as _};
+use std::io::{BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 
-use swope_cluster::{probe, serve_connection, ClusterStats, PeerTimeouts, MAGIC};
+use swope_cluster::{probe, serve_connection, ClusterStats, PeerPool, PeerTimeouts};
 use swope_columnar::Dataset;
 use swope_core::{gather_stats, ComposedObserver, Executor};
 use swope_obs::json::Json;
 use swope_obs::trace::{SpanSink, TraceId, TraceObserver, TraceRecord, TraceRecorder};
 
 use crate::cache::ResultCache;
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::conn::{Conn, ConnState, Parsed, Pump};
+use crate::event::{new_poller, Interest, Poller, WakePipe};
+use crate::http::{Request, Response};
 use crate::metrics::{ServerMetrics, TraceCounters};
 use crate::pool::{QueueWatcher, WorkerPool};
 use crate::query::{cache_key, parse_spec, run_query, run_query_cluster, ClusterTarget, QuerySpec};
+use crate::quota::{Admission, TenantQuotas, ANONYMOUS_TENANT};
 use crate::registry::DatasetRegistry;
 use crate::signal;
 
@@ -52,7 +74,7 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads serving requests.
     pub threads: usize,
-    /// Bounded queue of accepted-but-unserved connections; beyond this the
+    /// Bounded queue of parsed-but-unserved requests; beyond this the
     /// server sheds with 503.
     pub queue_capacity: usize,
     /// Result-cache entries (`0` disables caching).
@@ -60,13 +82,15 @@ pub struct ServerConfig {
     /// Maximum time a request may wait in the queue before a worker picks
     /// it up; older requests are answered 503 without running.
     pub deadline: Duration,
-    /// Per-connection read timeout while parsing the request.
+    /// Kill threshold for slow-loris clients: a connection holding a
+    /// *partial* request (or a stalled response write) older than this is
+    /// answered 408 where possible and closed.
     pub read_timeout: Duration,
     /// Maximum accepted request-body size.
     pub max_body_bytes: usize,
     /// Support cap applied to datasets at load (the CLI's default 1000).
     pub max_support: u32,
-    /// Install SIGINT/SIGTERM handlers and honour them in the accept loop.
+    /// Install SIGINT/SIGTERM handlers and honour them in the event loop.
     pub handle_signals: bool,
     /// Threads in the process-wide execution pool that queries asking for
     /// `threads > 1` share (`<= 1` disables the pool entirely). The pool
@@ -97,6 +121,25 @@ pub struct ServerConfig {
     /// every wait on a peer, so a killed peer degrades to a one-line 503
     /// instead of a hung worker.
     pub peer_io_timeout: Duration,
+    /// How long a keep-alive connection may sit idle (no request bytes)
+    /// before the server closes it. Also bounds freshly accepted
+    /// connections that never send a byte.
+    pub keep_alive: Duration,
+    /// Cap on concurrently open client connections; connections accepted
+    /// past it are answered 503 and closed immediately.
+    pub max_conns: usize,
+    /// Per-tenant admission rate in requests/second, keyed by the
+    /// `X-Swope-Api-Key` header (`None` disables quotas entirely).
+    pub tenant_rps: Option<f64>,
+    /// Per-tenant token-bucket capacity (burst size). Defaults to twice
+    /// the rate, floored at 1.
+    pub tenant_burst: Option<f64>,
+    /// Test aid (never exposed on the CLI): enables `GET
+    /// /debug/sleep?ms=N`, which parks a worker thread for `ms`
+    /// milliseconds. Load-shedding, deadline, and drain tests use it to
+    /// occupy workers deterministically — with the event loop, an idle
+    /// *connection* no longer costs a worker, so only real work can.
+    pub debug_sleep_endpoint: bool,
 }
 
 impl Default for ServerConfig {
@@ -118,19 +161,24 @@ impl Default for ServerConfig {
             peers: Vec::new(),
             peer_connect_timeout: Duration::from_secs(2),
             peer_io_timeout: Duration::from_secs(10),
+            keep_alive: Duration::from_secs(30),
+            max_conns: 4096,
+            tenant_rps: None,
+            tenant_burst: None,
+            debug_sleep_endpoint: false,
         }
     }
 }
 
-/// Per-request context threaded from the accept loop into routing: when
-/// the connection was accepted (the traced clock's zero point) and
+/// Per-request context threaded from the event loop into routing: when
+/// the request's first byte arrived (the traced clock's zero point) and
 /// whether tracing is on for everyone or only header-opt-in requests.
 struct RequestContext {
     accepted_at: Instant,
     trace_default: bool,
 }
 
-/// State shared by the accept loop, the workers, and [`ServerHandle`]s.
+/// State shared by the event loop, the workers, and [`ServerHandle`]s.
 struct Shared {
     registry: DatasetRegistry,
     cache: ResultCache,
@@ -142,7 +190,7 @@ struct Shared {
     /// Flight recorder of finished traces behind `/debug/traces` and
     /// `/debug/slow`.
     recorder: TraceRecorder,
-    /// Open access-log writer; one logfmt line per parsed request,
+    /// Open access-log writer; one logfmt line per served request,
     /// flushed per line so `tail -f` works.
     access_log: Option<Mutex<BufWriter<std::fs::File>>>,
     /// Wire/merge counters shared by the coordinator path and incoming
@@ -150,6 +198,10 @@ struct Shared {
     cluster_stats: Arc<ClusterStats>,
     /// Coordinator fan-out target; `None` when serving single-box.
     cluster: Option<ClusterTarget>,
+    /// Per-tenant admission quotas; `None` when `--tenant-rps` is unset.
+    quotas: Option<TenantQuotas>,
+    /// Mirrors [`ServerConfig::debug_sleep_endpoint`].
+    debug_sleep: bool,
     stop: AtomicBool,
 }
 
@@ -167,16 +219,17 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Asks the accept loop to stop; `run` drains queued work and returns.
+    /// Asks the event loop to stop; `run` drains in-flight requests,
+    /// closes idle connections, and returns.
     pub fn shutdown(&self) {
         self.shared.stop.store(true, Ordering::Release);
     }
 }
 
 impl Server {
-    /// Binds the listen socket (nonblocking, so the accept loop can poll
-    /// shutdown flags), opens the access log if configured, and builds
-    /// the shared state.
+    /// Binds the listen socket (nonblocking — the event loop multiplexes
+    /// it with every connection), opens the access log if configured, and
+    /// builds the shared state.
     pub fn bind(config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
@@ -202,12 +255,20 @@ impl Server {
                 PeerTimeouts { connect: config.peer_connect_timeout, io: config.peer_io_timeout };
             let probed = probe(&config.peers, &timeouts, &cluster_stats)
                 .map_err(|e| std::io::Error::other(e.to_string()))?;
+            // Pool peer sessions across queries: enough per peer for every
+            // worker to fan out concurrently.
+            let pool = Arc::new(PeerPool::new(config.threads.max(1)));
             Some(ClusterTarget {
                 addrs: config.peers.clone(),
                 timeouts,
                 union_rows: probed.union_rows,
+                pool,
             })
         };
+        let quotas = config.tenant_rps.map(|rps| {
+            let burst = config.tenant_burst.unwrap_or((rps * 2.0).max(1.0));
+            TenantQuotas::new(rps, burst)
+        });
         let shared = Arc::new(Shared {
             registry: DatasetRegistry::new(config.max_support),
             cache: ResultCache::new(config.cache_capacity),
@@ -217,6 +278,8 @@ impl Server {
             access_log,
             cluster_stats,
             cluster,
+            quotas,
+            debug_sleep: config.debug_sleep_endpoint,
             stop: AtomicBool::new(false),
         });
         Ok(Self { listener, config: Arc::new(config), shared })
@@ -237,136 +300,651 @@ impl Server {
         ServerHandle { shared: Arc::clone(&self.shared) }
     }
 
-    /// Serves until shut down, then drains queued connections and returns.
+    /// Serves until shut down, then drains in-flight requests and returns.
     pub fn run(self) {
         if self.config.handle_signals {
             signal::install();
         }
         let pool = WorkerPool::new(self.config.threads, self.config.queue_capacity);
         let watcher = pool.watcher();
-        loop {
-            if self.shared.stop.load(Ordering::Acquire)
-                || (self.config.handle_signals && signal::signalled())
-            {
-                break;
-            }
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    self.shared.metrics.record_request();
-                    // Sole producer: depth() vs capacity is an exact
-                    // admission check, and shedding here keeps the stream
-                    // out of the (move-only) job closure.
-                    if watcher.depth() >= self.config.queue_capacity {
-                        shed(stream, &self.shared.metrics);
-                        continue;
-                    }
-                    let shared = Arc::clone(&self.shared);
-                    let config = Arc::clone(&self.config);
-                    let watcher = watcher.clone();
-                    let accepted_at = Instant::now();
-                    let _ = pool.try_execute(move || {
-                        handle_connection(stream, accepted_at, &shared, &watcher, &config);
-                    });
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(_) => std::thread::sleep(Duration::from_millis(10)),
-            }
+        let result = EventLoop::new(
+            &self.listener,
+            Arc::clone(&self.shared),
+            Arc::clone(&self.config),
+            &pool,
+            watcher,
+        )
+        .and_then(|mut el| el.run());
+        if let Err(e) = result {
+            eprintln!("swope serve: event loop failed: {e}");
         }
         pool.shutdown();
     }
 }
 
-/// Answers an over-capacity connection 503 on the accept thread.
-fn shed(stream: TcpStream, metrics: &ServerMetrics) {
-    metrics.record_rejected();
-    let resp =
-        Response::error(503, "server overloaded, retry shortly").with_header("Retry-After", "1");
-    write_and_close(stream, &resp);
-    metrics.record_response(503, 0);
+/// Token the listener registers under (no connection slab slot can reach
+/// it: the slab would have to hold `usize::MAX` entries first).
+const TOKEN_LISTENER: usize = usize::MAX;
+/// Token of the worker-completion wake pipe's read end.
+const TOKEN_WAKE: usize = usize::MAX - 1;
+/// Poll tick: upper bound on timeout-scan and shutdown-check latency.
+const TICK: Duration = Duration::from_millis(20);
+/// Cap on concurrently served SWPC peer sessions (each holds a thread).
+const MAX_PEER_SESSIONS: usize = 256;
+
+/// Cap on pipelined requests bundled into one worker job, so a client
+/// that pipelines thousands of requests cannot monopolise a worker; the
+/// remainder stays buffered and forms the next batch.
+const MAX_BATCH: usize = 32;
+
+/// A batch of finished responses — one per pipelined request, in request
+/// order — traveling from a worker back to the event thread.
+struct Completion {
+    token: usize,
+    generation: u64,
+    /// `(response, keep_alive)` per request of the batch.
+    responses: Vec<(Response, bool)>,
 }
 
-/// Writes `resp`, half-closes the write side, and drains unread request
-/// bytes. Closing with unread data in the receive queue makes the kernel
-/// send RST and discard the in-flight response, so endpoints that answer
-/// without reading the request (shedding, expired deadlines, parse
-/// errors) must drain before dropping the stream.
-fn write_and_close(mut stream: TcpStream, resp: &Response) {
-    let _ = stream.set_nonblocking(false);
-    let _ = resp.write_to(&mut stream);
-    let _ = stream.flush();
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    // Nonblocking: empty what has already arrived without waiting for the
-    // peer's FIN (a worker must not stall on a lingering client).
+/// One parsed request inside a dispatch batch: real work for a worker,
+/// or an event-thread admission answer (429/503/4xx) that must keep its
+/// place in the pipelined response order.
+enum BatchItem {
+    /// Route this request on a worker thread.
+    Run { request: Box<Request>, keep_alive: bool, ordinal: u64 },
+    /// Answer with this pre-cooked response without routing.
+    Canned { response: Box<Response>, keep_alive: bool },
+}
+
+/// The event thread's state: the poller, the connection slab, and the
+/// plumbing shared with workers.
+struct EventLoop<'a> {
+    poller: Box<dyn Poller>,
+    listener: &'a TcpListener,
+    /// Connection slab indexed by poller token; `free` recycles slots.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+    next_conn_id: u64,
+    shared: Arc<Shared>,
+    config: Arc<ServerConfig>,
+    pool: &'a WorkerPool,
+    watcher: QueueWatcher,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    wake: WakePipe,
+    draining: bool,
+    last_scan: Instant,
+    peer_sessions: Arc<AtomicUsize>,
+}
+
+impl<'a> EventLoop<'a> {
+    fn new(
+        listener: &'a TcpListener,
+        shared: Arc<Shared>,
+        config: Arc<ServerConfig>,
+        pool: &'a WorkerPool,
+        watcher: QueueWatcher,
+    ) -> std::io::Result<Self> {
+        let mut poller = new_poller()?;
+        let wake = WakePipe::new()?;
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.add(wake.read_fd(), TOKEN_WAKE, Interest::READ)?;
+        Ok(Self {
+            poller,
+            listener,
+            conns: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            next_conn_id: 0,
+            shared,
+            config,
+            pool,
+            watcher,
+            completions: Arc::new(Mutex::new(Vec::new())),
+            wake,
+            draining: false,
+            last_scan: Instant::now(),
+            peer_sessions: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    fn run(&mut self) -> std::io::Result<()> {
+        let mut events = Vec::new();
+        loop {
+            let stop = self.shared.stop.load(Ordering::Acquire)
+                || (self.config.handle_signals && signal::signalled());
+            if stop && !self.draining {
+                self.draining = true;
+                let _ = self.poller.remove(self.listener.as_raw_fd());
+            }
+            if self.draining {
+                // Drain = stop accepting (done above), close idle and
+                // still-reading connections, finish dispatched/writing.
+                self.close_quiescent();
+                if self.live == 0 {
+                    return Ok(());
+                }
+            }
+            self.poller.wait(&mut events, TICK)?;
+            for ev in events.iter().copied() {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_burst(),
+                    TOKEN_WAKE => self.wake.drain(),
+                    token => self.conn_event(token, ev.hangup),
+                }
+            }
+            self.drain_completions();
+            let now = Instant::now();
+            if now.duration_since(self.last_scan) >= TICK {
+                self.last_scan = now;
+                self.scan_timeouts(now);
+                self.publish_gauges();
+            }
+        }
+    }
+
+    /// Accepts until the listener would block (level-triggered: anything
+    /// left over is reported again on the next wait).
+    fn accept_burst(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.draining {
+                        continue;
+                    }
+                    self.shared.metrics.record_conn_accepted();
+                    if self.live >= self.config.max_conns {
+                        self.shared.metrics.record_rejected();
+                        over_capacity(stream);
+                        self.shared.metrics.record_response(503, 0);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Responses are small; without this, Nagle stacked on
+                    // the client's delayed ACK stalls keep-alive
+                    // round-trips by up to 40ms each.
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    let token = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.conns.len() - 1
+                    });
+                    if self.poller.add(fd, token, Interest::READ).is_err() {
+                        self.free.push(token);
+                        continue;
+                    }
+                    self.next_conn_id += 1;
+                    self.conns[token] = Some(Conn::new(stream, self.next_conn_id, Instant::now()));
+                    self.live += 1;
+                }
+                Err(_) => return, // WouldBlock or transient accept error
+            }
+        }
+    }
+
+    /// Readiness on a connection token: pump bytes, then advance the
+    /// state machine.
+    fn conn_event(&mut self, token: usize, hangup: bool) {
+        let now = Instant::now();
+        let state;
+        {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else { return };
+            state = conn.state;
+            match state {
+                ConnState::Dispatched => {
+                    // Interest is NONE while a worker owns the request;
+                    // only errors/hangups surface. Remember to close once
+                    // the response flushes (it will likely fail anyway).
+                    if hangup {
+                        conn.close_after_write = true;
+                    }
+                    return;
+                }
+                ConnState::Reading | ConnState::Idle => match conn.fill(now) {
+                    Ok(Pump::Progress) => {
+                        if conn.state == ConnState::Idle && conn.has_buffered() {
+                            conn.state = ConnState::Reading;
+                        }
+                    }
+                    Ok(Pump::Closed) | Err(_) => {
+                        self.close(token);
+                        return;
+                    }
+                },
+                ConnState::Writing => {}
+            }
+        }
+        match state {
+            ConnState::Reading | ConnState::Idle => self.advance(token, now),
+            ConnState::Writing => self.flush_and_advance(token, now),
+            ConnState::Dispatched => unreachable!("handled above"),
+        }
+    }
+
+    /// Parses every complete buffered request of a reading connection —
+    /// running admission control per request on the event thread — and
+    /// dispatches the resulting batch. Pipelined requests share one
+    /// queue slot, one worker hand-off, and one response flush.
+    fn advance(&mut self, token: usize, now: Instant) {
+        enum Action {
+            Wait,
+            Peer,
+            Batch(Vec<BatchItem>),
+        }
+        let action = {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else { return };
+            if conn.state == ConnState::Idle || !conn.has_buffered() {
+                Action::Wait
+            } else {
+                let mut items: Vec<BatchItem> = Vec::new();
+                let mut peer = false;
+                while items.len() < MAX_BATCH {
+                    match conn.take_request(self.config.max_body_bytes) {
+                        Parsed::Incomplete => break,
+                        Parsed::Cluster => {
+                            // Only possible on a pristine connection, so
+                            // the batch is necessarily empty.
+                            peer = true;
+                            break;
+                        }
+                        Parsed::Reject(response) => {
+                            // Unusable bytes: count the attempt, answer,
+                            // close — nothing after them is parseable.
+                            self.shared.metrics.record_request();
+                            items.push(BatchItem::Canned { response, keep_alive: false });
+                            break;
+                        }
+                        Parsed::Request { request, keep_alive } => {
+                            self.shared.metrics.record_request();
+                            let throttle = self.shared.quotas.as_ref().and_then(|q| {
+                                let tenant =
+                                    request.header("x-swope-api-key").unwrap_or(ANONYMOUS_TENANT);
+                                match q.admit(tenant, now) {
+                                    Admission::Allow => {
+                                        self.shared.metrics.record_tenant(tenant, false);
+                                        None
+                                    }
+                                    Admission::Throttle { retry_after_secs } => {
+                                        self.shared.metrics.record_tenant(tenant, true);
+                                        Some(retry_after_secs)
+                                    }
+                                }
+                            });
+                            if let Some(retry) = throttle {
+                                let response = Box::new(
+                                    Response::error(
+                                        429,
+                                        "tenant over admission quota, retry after backoff",
+                                    )
+                                    .with_header("Retry-After", &retry.to_string()),
+                                );
+                                items.push(BatchItem::Canned { response, keep_alive });
+                            } else if self.watcher.depth() >= self.config.queue_capacity {
+                                // Sole producer: depth vs capacity is exact.
+                                self.shared.metrics.record_rejected();
+                                let response = Box::new(
+                                    Response::error(503, "server overloaded, retry shortly")
+                                        .with_header("Retry-After", "1"),
+                                );
+                                items.push(BatchItem::Canned { response, keep_alive });
+                            } else {
+                                items.push(BatchItem::Run {
+                                    request,
+                                    keep_alive,
+                                    ordinal: conn.requests,
+                                });
+                            }
+                            if !keep_alive {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if peer {
+                    Action::Peer
+                } else if items.is_empty() {
+                    Action::Wait
+                } else {
+                    Action::Batch(items)
+                }
+            }
+        };
+        match action {
+            Action::Wait => self.set_interest(token, Interest::READ),
+            Action::Peer => self.hand_off_peer(token),
+            Action::Batch(items) => self.dispatch(token, items, now),
+        }
+    }
+
+    /// Queues an event-thread response (429/503/4xx) and flushes it.
+    fn respond_inline(&mut self, token: usize, resp: Response, keep_alive: bool, now: Instant) {
+        let status = resp.status;
+        let micros;
+        {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else { return };
+            micros = conn.read_started.map(|t| now.duration_since(t).as_micros() as u64);
+            conn.queue_response(&resp, keep_alive && !self.draining);
+        }
+        self.shared.metrics.record_response(status, micros.unwrap_or(0));
+        self.flush_and_advance(token, now);
+    }
+
+    /// Hands a request batch to a worker; the connection parks in
+    /// `Dispatched` with no poller interest until the completion returns.
+    /// A batch with no routable work (every item canned by admission
+    /// control) is answered on the event thread without a queue slot.
+    fn dispatch(&mut self, token: usize, items: Vec<BatchItem>, now: Instant) {
+        if items.iter().all(|i| matches!(i, BatchItem::Canned { .. })) {
+            let micros = {
+                let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+                    return;
+                };
+                let micros = conn.read_started.map(|t| now.duration_since(t).as_micros() as u64);
+                for item in &items {
+                    let BatchItem::Canned { response, keep_alive } = item else { unreachable!() };
+                    conn.append_response(response, *keep_alive && !self.draining);
+                }
+                micros.unwrap_or(0)
+            };
+            for item in &items {
+                if let BatchItem::Canned { response, .. } = item {
+                    self.shared.metrics.record_response(response.status, micros);
+                }
+            }
+            self.flush_and_advance(token, now);
+            return;
+        }
+        let (generation, conn_id, arrival);
+        {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else { return };
+            conn.generation += 1;
+            conn.state = ConnState::Dispatched;
+            generation = conn.generation;
+            conn_id = conn.id;
+            arrival = conn.read_started.unwrap_or(now);
+        }
+        for item in &items {
+            if matches!(item, BatchItem::Run { ordinal, .. } if *ordinal >= 2) {
+                self.shared.metrics.record_keepalive_reuse();
+            }
+        }
+        self.set_interest(token, Interest::NONE);
+        let shared = Arc::clone(&self.shared);
+        let config = Arc::clone(&self.config);
+        let watcher = self.watcher.clone();
+        let completions = Arc::clone(&self.completions);
+        let notifier = self.wake.notifier();
+        let dispatched_at = now;
+        let accepted = self.pool.try_execute(move || {
+            let mut responses = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    BatchItem::Canned { response, keep_alive } => {
+                        shared
+                            .metrics
+                            .record_response(response.status, arrival.elapsed().as_micros() as u64);
+                        responses.push((*response, keep_alive));
+                    }
+                    BatchItem::Run { request, keep_alive, ordinal } => {
+                        // The deadline is re-checked per request: a batch
+                        // that queued too long sheds every member.
+                        let response = if dispatched_at.elapsed() > config.deadline {
+                            shared.metrics.record_deadline_expired();
+                            Response::error(503, "request deadline expired while queued")
+                                .with_header("Retry-After", "1")
+                        } else {
+                            let ctx = RequestContext {
+                                accepted_at: arrival,
+                                trace_default: config.trace,
+                            };
+                            let resp = route(&request, &shared, &watcher, &ctx);
+                            let micros = arrival.elapsed().as_micros() as u64;
+                            let dataset = request.param("dataset").unwrap_or("-");
+                            shared.metrics.record_labelled(
+                                endpoint_label(&request.path),
+                                dataset,
+                                micros,
+                            );
+                            log_access(&shared, &request, &resp, micros, conn_id, ordinal);
+                            resp
+                        };
+                        shared
+                            .metrics
+                            .record_response(response.status, arrival.elapsed().as_micros() as u64);
+                        responses.push((response, keep_alive));
+                    }
+                }
+            }
+            completions.lock().expect("completion queue lock").push(Completion {
+                token,
+                generation,
+                responses,
+            });
+            notifier.wake();
+        });
+        if accepted.is_err() {
+            // Lost a race with pool shutdown; answer on the event thread.
+            let resp = Response::error(503, "server shutting down").with_header("Retry-After", "1");
+            self.respond_inline(token, resp, false, now);
+        }
+    }
+
+    /// Applies finished worker responses to their connections. Stale
+    /// completions (the slot was closed and possibly reused — detected by
+    /// the generation stamp) are discarded, never written to the wrong
+    /// client.
+    fn drain_completions(&mut self) {
+        let done: Vec<Completion> =
+            std::mem::take(&mut *self.completions.lock().expect("completion queue lock"));
+        let now = Instant::now();
+        for c in done {
+            let matched = match self.conns.get_mut(c.token).and_then(Option::as_mut) {
+                Some(conn)
+                    if conn.generation == c.generation && conn.state == ConnState::Dispatched =>
+                {
+                    for (response, keep_alive) in &c.responses {
+                        let keep = *keep_alive && !conn.close_after_write && !self.draining;
+                        conn.append_response(response, keep);
+                    }
+                    conn.last_activity = now;
+                    true
+                }
+                _ => false,
+            };
+            if matched {
+                self.flush_and_advance(c.token, now);
+            }
+        }
+    }
+
+    /// Flushes the queued response; on completion either closes or goes
+    /// back to idle/reading — immediately parsing any pipelined request
+    /// already sitting in the buffer.
+    fn flush_and_advance(&mut self, token: usize, now: Instant) {
+        let flushed = {
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else { return };
+            conn.flush_out(now)
+        };
+        match flushed {
+            Err(_) => self.close(token),
+            Ok(false) => self.set_interest(token, Interest::WRITE),
+            Ok(true) => {
+                let close = {
+                    let conn = self.conns[token].as_mut().expect("conn checked above");
+                    if conn.close_after_write || self.draining {
+                        true
+                    } else {
+                        conn.response_done();
+                        false
+                    }
+                };
+                if close {
+                    self.close(token);
+                } else {
+                    // No re-arm here: `advance` ends in an explicit
+                    // interest (READ on wait, NONE on dispatch), so a
+                    // pipelined request skips the READ→NONE round trip.
+                    self.advance(token, now);
+                }
+            }
+        }
+    }
+
+    /// Re-registers `token`'s readiness interest only when it changed;
+    /// under pipelining a connection cycles NONE→READ→NONE per request,
+    /// and every transition skipped is an `epoll_ctl` saved.
+    fn set_interest(&mut self, token: usize, want: Interest) {
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else { return };
+        if conn.interest != want {
+            let fd = conn.stream.as_raw_fd();
+            if self.poller.modify(fd, token, want).is_ok() {
+                conn.interest = want;
+            }
+        }
+    }
+
+    /// An SWPC peer session announced itself on this connection: detach
+    /// it from the event loop and serve the binary protocol on a
+    /// dedicated thread (peer counting far outlasts any HTTP exchange,
+    /// and coordinators are few).
+    fn hand_off_peer(&mut self, token: usize) {
+        let Some(mut conn) = self.conns.get_mut(token).and_then(Option::take) else { return };
+        let _ = self.poller.remove(conn.stream.as_raw_fd());
+        self.free.push(token);
+        self.live -= 1;
+        if self.peer_sessions.load(Ordering::Relaxed) >= MAX_PEER_SESSIONS {
+            return; // drop the stream: the coordinator sees a clean EOF
+        }
+        self.peer_sessions.fetch_add(1, Ordering::Relaxed);
+        let prefix = conn.take_buffered();
+        let stream = conn.stream;
+        let sessions = Arc::clone(&self.peer_sessions);
+        let shared = Arc::clone(&self.shared);
+        let config = Arc::clone(&self.config);
+        std::thread::spawn(move || {
+            serve_peer_session(stream, prefix, &shared, &config);
+            sessions.fetch_sub(1, Ordering::Relaxed);
+        });
+    }
+
+    /// Kills timed-out connections: slow-loris partial reads and stalled
+    /// writes get the timeout counter (readers also get a best-effort
+    /// 408); keep-alive idle expiry closes quietly.
+    fn scan_timeouts(&mut self, now: Instant) {
+        let mut kill: Vec<(usize, bool)> = Vec::new();
+        for (token, slot) in self.conns.iter().enumerate() {
+            let Some(conn) = slot else { continue };
+            match conn.state {
+                ConnState::Dispatched => {} // bounded by the worker deadline
+                ConnState::Reading if conn.read_started.is_some() => {
+                    let started = conn.read_started.expect("checked in guard");
+                    if now.duration_since(started) > self.config.read_timeout {
+                        kill.push((token, true));
+                    }
+                }
+                ConnState::Reading | ConnState::Idle => {
+                    if now.duration_since(conn.last_activity) > self.config.keep_alive {
+                        kill.push((token, false));
+                    }
+                }
+                ConnState::Writing => {
+                    if now.duration_since(conn.last_activity) > self.config.read_timeout {
+                        kill.push((token, true));
+                    }
+                }
+            }
+        }
+        for (token, timed_out) in kill {
+            if timed_out {
+                self.shared.metrics.record_conn_timeout();
+                if let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) {
+                    if conn.state == ConnState::Reading {
+                        let resp = Response::error(408, "timed out waiting for a complete request");
+                        let _ = conn.stream.write(&resp.serialize(false));
+                        self.shared.metrics.record_response(408, 0);
+                    }
+                }
+            }
+            self.close(token);
+        }
+    }
+
+    /// Publishes the connection-state census as gauges.
+    fn publish_gauges(&self) {
+        let (mut idle, mut reading, mut writing) = (0u64, 0u64, 0u64);
+        for conn in self.conns.iter().flatten() {
+            match conn.state {
+                ConnState::Idle => idle += 1,
+                ConnState::Reading => reading += 1,
+                ConnState::Writing => writing += 1,
+                ConnState::Dispatched => {}
+            }
+        }
+        self.shared.metrics.set_conn_states(self.live as u64, idle, reading, writing);
+    }
+
+    /// During drain: closes every connection with no request in flight.
+    fn close_quiescent(&mut self) {
+        for token in 0..self.conns.len() {
+            let quiescent = self.conns[token]
+                .as_ref()
+                .is_some_and(|c| matches!(c.state, ConnState::Idle | ConnState::Reading));
+            if quiescent {
+                self.close(token);
+            }
+        }
+    }
+
+    /// Deregisters, gracefully closes, and frees a connection slot.
+    fn close(&mut self, token: usize) {
+        if let Some(mut conn) = self.conns.get_mut(token).and_then(Option::take) {
+            let _ = self.poller.remove(conn.stream.as_raw_fd());
+            conn.close_gracefully();
+            self.free.push(token);
+            self.live -= 1;
+        }
+    }
+}
+
+/// Best-effort 503 for a connection accepted past `max_conns`; never
+/// blocks the event thread (the socket goes nonblocking first).
+fn over_capacity(mut stream: TcpStream) {
+    let resp = Response::error(503, "connection limit reached, retry shortly")
+        .with_header("Retry-After", "1");
     let _ = stream.set_nonblocking(true);
-    let mut scratch = [0u8; 4096];
-    while matches!(std::io::Read::read(&mut stream, &mut scratch), Ok(n) if n > 0) {}
+    let _ = stream.write(&resp.serialize(false));
 }
 
-/// One dequeued connection: deadline check, parse, route, respond.
-fn handle_connection(
-    stream: TcpStream,
-    accepted_at: Instant,
-    shared: &Shared,
-    watcher: &QueueWatcher,
-    config: &ServerConfig,
-) {
-    if accepted_at.elapsed() > config.deadline {
-        shared.metrics.record_deadline_expired();
-        let resp = Response::error(503, "request deadline expired while queued")
-            .with_header("Retry-After", "1");
-        write_and_close(stream, &resp);
-        shared.metrics.record_response(503, accepted_at.elapsed().as_micros() as u64);
-        return;
-    }
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-    // One port speaks both protocols: shard-protocol connections open
-    // with the `SWPC` frame magic, which no HTTP method line can start
-    // with, so peeking four bytes cleanly splits the two.
-    if peeks_cluster_magic(&stream) {
-        serve_peer_session(stream, shared, config);
-        return;
-    }
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let response = match read_request(&mut reader, config.max_body_bytes) {
-        Ok(req) => {
-            let ctx = RequestContext { accepted_at, trace_default: config.trace };
-            let resp = route(&req, shared, watcher, &ctx);
-            let micros = accepted_at.elapsed().as_micros() as u64;
-            let dataset = req.param("dataset").unwrap_or("-");
-            shared.metrics.record_labelled(endpoint_label(&req.path), dataset, micros);
-            log_access(shared, &req, &resp, micros);
-            resp
-        }
-        Err(HttpError::ConnectionClosed) => return,
-        Err(HttpError::Io(_)) => return,
-        Err(e @ HttpError::BodyTooLarge { .. }) => Response::error(413, &e.to_string()),
-        Err(e) => Response::error(400, &e.to_string()),
-    };
-    write_and_close(stream, &response);
-    shared.metrics.record_response(response.status, accepted_at.elapsed().as_micros() as u64);
+/// A `TcpStream` with already-consumed bytes replayed in front: the event
+/// loop reads a connection's first bytes before discovering it speaks the
+/// SWPC protocol, so the peer session must see those bytes again.
+struct PrefixedStream {
+    prefix: Vec<u8>,
+    pos: usize,
+    inner: TcpStream,
 }
 
-/// Whether the connection's first bytes are the shard-protocol magic.
-/// `peek` never consumes, so an HTTP request continues to parse normally
-/// after a `false`. Short reads (the client sent fewer than four bytes so
-/// far) retry until the prefix diverges, four bytes arrive, or the read
-/// timeout trips.
-fn peeks_cluster_magic(stream: &TcpStream) -> bool {
-    let mut buf = [0u8; 4];
-    loop {
-        match stream.peek(&mut buf) {
-            Ok(0) => return false,
-            Ok(n) if buf[..n] != MAGIC[..n] => return false,
-            Ok(n) if n >= 4 => return true,
-            Ok(_) => std::thread::sleep(Duration::from_millis(1)),
-            Err(_) => return false,
+impl std::io::Read for PrefixedStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos < self.prefix.len() {
+            let n = (self.prefix.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.prefix[self.pos..self.pos + n]);
+            self.pos += n;
+            return Ok(n);
         }
+        self.inner.read(buf)
+    }
+}
+
+impl std::io::Write for PrefixedStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -374,10 +952,12 @@ fn peeks_cluster_magic(stream: &TcpStream) -> bool {
 /// as a *peer*, counting over its registered datasets for a remote
 /// coordinator. The empty dataset name resolves to the sole registered
 /// dataset (the common one-dataset peer), names resolve through the
-/// registry.
-fn serve_peer_session(mut stream: TcpStream, shared: &Shared, config: &ServerConfig) {
-    // Peer counting can far outlast an HTTP parse; give the session the
+/// registry. `prefix` carries the bytes the event loop consumed while
+/// sniffing (at least the magic).
+fn serve_peer_session(stream: TcpStream, prefix: Vec<u8>, shared: &Shared, config: &ServerConfig) {
+    // Peer counting can far outlast an HTTP parse; run blocking with the
     // coordinator-facing I/O deadline instead of the HTTP read timeout.
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(config.peer_io_timeout));
     let _ = stream.set_write_timeout(Some(config.peer_io_timeout));
     let _ = stream.set_nodelay(true);
@@ -391,7 +971,8 @@ fn serve_peer_session(mut stream: TcpStream, shared: &Shared, config: &ServerCon
         }
         shared.registry.get(name).map(|entry| Arc::clone(&entry.dataset))
     };
-    serve_connection(&mut stream, &resolve, &shared.cluster_stats);
+    let mut io = PrefixedStream { prefix, pos: 0, inner: stream };
+    serve_connection(&mut io, &resolve, &shared.cluster_stats);
 }
 
 /// The fixed label vocabulary for per-endpoint latency families — a
@@ -417,8 +998,18 @@ fn endpoint_label(path: &str) -> &'static str {
     }
 }
 
-/// Appends one logfmt line for a served request and flushes it.
-fn log_access(shared: &Shared, req: &Request, resp: &Response, micros: u64) {
+/// Appends one logfmt line for a served request and flushes it. Under
+/// keep-alive a connection serves many requests: `conn` is the accept
+/// counter (monotonic per process) and `req` the 1-based ordinal of this
+/// request on its connection, so reuse is visible in the log.
+fn log_access(
+    shared: &Shared,
+    req: &Request,
+    resp: &Response,
+    micros: u64,
+    conn_id: u64,
+    ordinal: u64,
+) {
     let Some(log) = &shared.access_log else { return };
     let ts = SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
@@ -428,7 +1019,8 @@ fn log_access(shared: &Shared, req: &Request, resp: &Response, micros: u64) {
         resp.extra_headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str()).unwrap_or("-")
     };
     let line = format!(
-        "ts={ts} method={} path={} status={} bytes={} dur_us={micros} trace={} cache={}\n",
+        "ts={ts} conn={conn_id} req={ordinal} method={} path={} status={} bytes={} \
+         dur_us={micros} trace={} cache={}\n",
         req.method,
         req.path,
         resp.status,
@@ -467,6 +1059,11 @@ fn route(req: &Request, shared: &Shared, watcher: &QueueWatcher, ctx: &RequestCo
         ("POST", "/datasets") => load_dataset(req, shared),
         ("GET", "/debug/traces") => debug_listing(req, shared, false),
         ("GET", "/debug/slow") => debug_listing(req, shared, true),
+        ("GET", "/debug/sleep") if shared.debug_sleep => {
+            let ms = req.param("ms").and_then(|v| v.parse::<u64>().ok()).unwrap_or(100).min(10_000);
+            std::thread::sleep(Duration::from_millis(ms));
+            Response::json(200, format!("{{\"slept_ms\":{ms}}}"))
+        }
         ("GET", path) if path.starts_with("/query/") => {
             serve_query(&path["/query/".len()..], req, shared, ctx)
         }
@@ -565,7 +1162,7 @@ fn serve_query(segment: &str, req: &Request, shared: &Shared, ctx: &RequestConte
     let sink = SpanSink::anchored(trace_id, ctx.accepted_at);
     let root = sink.open_at("request", None, 0);
     sink.set_items(root, req.body.len() as u64);
-    // Everything between accept and this point: queue wait + parsing.
+    // Everything between arrival and this point: queue wait + parsing.
     sink.record("queue_wait", Some(root), 0, sink.now_ns(), 0, 0);
     let response = execute_query(&spec, shared, Some((&sink, root)));
     sink.close(root);
@@ -730,6 +1327,8 @@ mod tests {
             access_log: None,
             cluster_stats: Arc::new(ClusterStats::new()),
             cluster: None,
+            quotas: None,
+            debug_sleep: false,
             stop: AtomicBool::new(false),
         };
         let mut b = DatasetBuilder::new(vec!["a".into(), "b".into()]);

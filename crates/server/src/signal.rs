@@ -2,9 +2,11 @@
 //! dependencies beyond the libc the process is already linked against.
 //!
 //! The handler does the only thing that is async-signal-safe here: store
-//! into a static `AtomicBool`. The accept loop runs nonblocking and polls
-//! [`signalled`] between accepts, so a signal turns into a graceful drain
-//! within one poll interval.
+//! into a static `AtomicBool`. The event loop polls [`signalled`] each
+//! wakeup, so a signal turns into a graceful drain within one poll
+//! interval: stop accepting, finish requests already parsed or in
+//! flight (their responses are sent with `Connection: close`), close
+//! idle keep-alive connections, then exit once the slab is empty.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -64,7 +64,11 @@ impl HttpReply {
 fn get(addr: SocketAddr, path: &str) -> HttpReply {
     let mut stream = TcpStream::connect(addr).unwrap();
     stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
-    stream.write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes()).unwrap();
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .unwrap();
     let mut raw = String::new();
     stream.read_to_string(&mut raw).unwrap();
     let (head, body) = raw.split_once("\r\n\r\n").expect("no header/body separator");
@@ -151,6 +155,12 @@ fn coordinator_serves_single_box_identical_bytes() {
     assert!(metric(&metrics, "swope_cluster_frames_sent_total") > 0);
     assert!(metric(&metrics, "swope_cluster_bytes_received_total") > 0);
     assert_eq!(metric(&metrics, "swope_cluster_peer_errors_total"), 0);
+
+    // Peer sessions are pooled: the startup probe and the first fan-out
+    // dial each peer, every later query reuses the pooled sockets. 11
+    // queries x 2 peers without pooling would open 20+ connections.
+    assert!(metric(&metrics, "swope_cluster_conns_opened_total") <= 8);
+    assert!(metric(&metrics, "swope_cluster_conn_reuses_total") >= 10);
 
     // Peers count the frames they served on their own wire counters.
     let peer_metrics = get(_peer_a.addr, "/metrics").body;

@@ -1,10 +1,12 @@
 //! End-to-end tests over a real loopback `TcpStream`: bitwise identity
 //! with the direct library path, cache-hit semantics, load shedding,
-//! queueing deadlines, dataset management, and graceful shutdown.
+//! queueing deadlines, dataset management, graceful shutdown, and the
+//! event-driven connection layer (keep-alive, pipelining, slow-loris
+//! timeouts, per-tenant quotas, idle-connection capacity).
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use swope_core::{
     entropy_filter, entropy_profile, entropy_top_k, mi_filter, mi_profile, mi_top_k, AttrScore,
@@ -69,6 +71,8 @@ fn parse_reply(raw: &str) -> HttpReply {
     HttpReply { status, headers, body: body.to_owned() }
 }
 
+/// One-shot exchange: sends raw bytes and reads to EOF. The request must
+/// make the server close (send `Connection: close`, or be unparseable).
 fn send_raw(addr: SocketAddr, request: &str) -> HttpReply {
     let mut stream = TcpStream::connect(addr).unwrap();
     stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
@@ -79,17 +83,48 @@ fn send_raw(addr: SocketAddr, request: &str) -> HttpReply {
 }
 
 fn get(addr: SocketAddr, path: &str) -> HttpReply {
-    send_raw(addr, &format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n"))
+    send_raw(addr, &format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"))
 }
 
 fn post(addr: SocketAddr, path: &str, body: &str) -> HttpReply {
     send_raw(
         addr,
         &format!(
-            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{body}",
             body.len()
         ),
     )
+}
+
+/// Reads exactly one response off a keep-alive connection: headers up to
+/// the blank line, then `Content-Length` body bytes — leaving the stream
+/// open and positioned at the next response.
+fn read_one_response(stream: &mut TcpStream) -> HttpReply {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    while !buf.ends_with(b"\r\n\r\n") {
+        assert_eq!(stream.read(&mut byte).unwrap(), 1, "EOF inside response head");
+        buf.push(byte[0]);
+    }
+    let head = String::from_utf8(buf.clone()).unwrap();
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_owned))
+        .expect("response has no Content-Length")
+        .trim()
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).unwrap();
+    buf.extend_from_slice(&body);
+    parse_reply(&String::from_utf8(buf).unwrap())
+}
+
+/// Spawns a GET that parks a worker for `ms` (needs
+/// `debug_sleep_endpoint: true`); join the handle to wait it out.
+fn spawn_sleeper(addr: SocketAddr, ms: u64) -> std::thread::JoinHandle<u16> {
+    std::thread::spawn(move || get(addr, &format!("/debug/sleep?ms={ms}")).status)
 }
 
 /// Value of a plain `name value` line in Prometheus exposition text.
@@ -198,24 +233,23 @@ fn overload_sheds_with_503_and_retry_after() {
     let server = TestServer::start(ServerConfig {
         threads: 1,
         queue_capacity: 1,
-        read_timeout: Duration::from_secs(2),
+        debug_sleep_endpoint: true,
         ..ServerConfig::default()
     });
-    // Occupy the single worker with a connection that never sends bytes.
-    let idle_busy = TcpStream::connect(server.addr).unwrap();
-    std::thread::sleep(Duration::from_millis(150));
-    // Fill the one queue slot with a second idle connection.
-    let idle_queued = TcpStream::connect(server.addr).unwrap();
-    std::thread::sleep(Duration::from_millis(150));
+    // Occupy the single worker, then fill the one queue slot.
+    let busy = spawn_sleeper(server.addr, 900);
+    std::thread::sleep(Duration::from_millis(200));
+    let queued = spawn_sleeper(server.addr, 0);
+    std::thread::sleep(Duration::from_millis(200));
 
     let reply = get(server.addr, "/healthz");
     assert_eq!(reply.status, 503, "{}", reply.body);
     assert_eq!(reply.header("retry-after"), Some("1"));
     assert!(reply.body.contains("overloaded"));
 
-    // Free the worker; service must recover.
-    drop(idle_busy);
-    drop(idle_queued);
+    // Once the sleeper finishes, service must recover.
+    assert_eq!(busy.join().unwrap(), 200);
+    assert_eq!(queued.join().unwrap(), 200);
     let mut recovered = false;
     for _ in 0..50 {
         std::thread::sleep(Duration::from_millis(20));
@@ -231,19 +265,18 @@ fn overload_sheds_with_503_and_retry_after() {
 
 #[test]
 fn burst_load_sheds_exactly_the_overflow_and_serves_the_rest() {
-    // Batched admission (workers claim up to ADMIT_BATCH jobs per
-    // wakeup) must not change shedding semantics: with the single
-    // worker stuck and a queue of 2, a 12-connection burst gets exactly
-    // (12 − queued) 503s, the queued ones are eventually served, and
-    // the shed counter agrees with what clients observed.
+    // With the single worker parked and a queue of 2, a 12-connection
+    // burst gets exactly (12 − queued) 503s, the queued ones are
+    // eventually served, and the shed counter agrees with what clients
+    // observed.
     let server = TestServer::start(ServerConfig {
         threads: 1,
         queue_capacity: 2,
-        read_timeout: Duration::from_secs(2),
+        debug_sleep_endpoint: true,
         ..ServerConfig::default()
     });
-    let idle_busy = TcpStream::connect(server.addr).unwrap();
-    std::thread::sleep(Duration::from_millis(150));
+    let busy = spawn_sleeper(server.addr, 800);
+    std::thread::sleep(Duration::from_millis(200));
 
     let burst: Vec<_> = (0..12)
         .map(|_| {
@@ -251,11 +284,8 @@ fn burst_load_sheds_exactly_the_overflow_and_serves_the_rest() {
             std::thread::spawn(move || get(addr, "/healthz").status)
         })
         .collect();
-    // Let the burst land (queue fills, overflow sheds), then free the
-    // worker so the queued requests drain.
-    std::thread::sleep(Duration::from_millis(300));
-    drop(idle_busy);
     let statuses: Vec<u16> = burst.into_iter().map(|t| t.join().unwrap()).collect();
+    assert_eq!(busy.join().unwrap(), 200);
 
     let ok = statuses.iter().filter(|&&s| s == 200).count();
     let shed = statuses.iter().filter(|&&s| s == 503).count();
@@ -272,24 +302,17 @@ fn requests_queued_past_their_deadline_get_503() {
         threads: 1,
         queue_capacity: 4,
         deadline: Duration::from_millis(100),
-        read_timeout: Duration::from_secs(2),
+        debug_sleep_endpoint: true,
         ..ServerConfig::default()
     });
-    let idle_busy = TcpStream::connect(server.addr).unwrap();
-    std::thread::sleep(Duration::from_millis(100));
+    let busy = spawn_sleeper(server.addr, 600);
+    std::thread::sleep(Duration::from_millis(150));
 
-    // This request queues behind the stuck worker and ages past 100 ms.
-    let mut queued = TcpStream::connect(server.addr).unwrap();
-    queued.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
-    queued.write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
-    std::thread::sleep(Duration::from_millis(300));
-    drop(idle_busy);
-
-    let mut raw = String::new();
-    queued.read_to_string(&mut raw).unwrap();
-    let reply = parse_reply(&raw);
+    // This request queues behind the parked worker and ages past 100 ms.
+    let reply = get(server.addr, "/healthz");
     assert_eq!(reply.status, 503, "{}", reply.body);
     assert!(reply.body.contains("deadline"));
+    assert_eq!(busy.join().unwrap(), 200);
     let metrics = get(server.addr, "/metrics").body;
     assert!(metric(&metrics, "swope_http_deadline_expired_total") >= 1);
 }
@@ -360,22 +383,22 @@ fn shutdown_drains_queued_requests_before_returning() {
     let server = TestServer::start(ServerConfig {
         threads: 1,
         queue_capacity: 4,
-        read_timeout: Duration::from_secs(2),
+        debug_sleep_endpoint: true,
         ..ServerConfig::default()
     });
-    let idle_busy = TcpStream::connect(server.addr).unwrap();
+    let busy = spawn_sleeper(server.addr, 500);
     std::thread::sleep(Duration::from_millis(100));
     let mut queued = TcpStream::connect(server.addr).unwrap();
     queued.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
     queued.write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
     std::thread::sleep(Duration::from_millis(100));
 
-    // Stop the server while the request is still queued, then release the
-    // worker: the drain must still answer the queued request.
+    // Stop the server while the request is still queued behind the
+    // parked worker: the drain must still answer it before run returns.
     let mut server = server;
     server.handle.shutdown();
-    drop(idle_busy);
     server.thread.take().unwrap().join().unwrap();
+    assert_eq!(busy.join().unwrap(), 200);
 
     let mut raw = String::new();
     queued.read_to_string(&mut raw).unwrap();
@@ -442,7 +465,7 @@ fn traced_request_round_trips_span_tree_through_debug_endpoints() {
     let reply = send_raw(
         server.addr,
         "GET /query/entropy-topk?dataset=tiny&k=2 HTTP/1.1\r\nHost: test\r\n\
-         X-Swope-Trace: deadbeef1234\r\n\r\n",
+         Connection: close\r\nX-Swope-Trace: deadbeef1234\r\n\r\n",
     );
     assert_eq!(reply.status, 200, "{}", reply.body);
     assert_eq!(reply.header("x-swope-trace"), Some("0000deadbeef1234"), "canonical echo");
@@ -529,4 +552,241 @@ fn healthz_reports_gauges() {
     let v = Json::parse(&reply.body).unwrap();
     assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
     assert_eq!(v.get("datasets").unwrap().as_u64(), Some(1));
+}
+
+/// Keep-alive: one socket serves many requests, each byte-identical to
+/// what a fresh `Connection: close` exchange serves, and the reuse
+/// counter records the second-and-later requests.
+#[test]
+fn keep_alive_reuses_one_socket_with_identical_bytes() {
+    let server = TestServer::start(ServerConfig::default());
+    let paths = [
+        "/query/entropy-topk?dataset=tiny&k=2",
+        "/healthz",
+        "/query/mi-topk?dataset=tiny&target=0&k=1",
+        "/datasets",
+    ];
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut kept: Vec<HttpReply> = Vec::new();
+    for path in paths {
+        stream.write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes()).unwrap();
+        let reply = read_one_response(&mut stream);
+        assert_eq!(reply.header("connection"), Some("keep-alive"), "{path}");
+        kept.push(reply);
+    }
+    drop(stream);
+    for (path, reply) in paths.iter().zip(&kept) {
+        let fresh = get(server.addr, path);
+        assert_eq!(reply.status, fresh.status, "{path}");
+        // Query responses embed no connection state, so cache hit vs miss
+        // is the only allowed header difference — bodies must be equal
+        // except the healthz queue gauge, which is time-dependent; compare
+        // the deterministic ones byte-for-byte.
+        if !path.contains("healthz") {
+            assert_eq!(reply.body, fresh.body, "{path} served different bytes under keep-alive");
+        }
+    }
+    let metrics = get(server.addr, "/metrics").body;
+    assert!(
+        metric(&metrics, "swope_conn_keepalive_reuses_total") >= 3,
+        "requests 2..4 on the socket are reuses"
+    );
+    assert!(metric(&metrics, "swope_conn_accepted_total") >= 5);
+}
+
+/// Pipelining: several requests written back-to-back in one burst are
+/// answered in order on the same socket.
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let server = TestServer::start(ServerConfig::default());
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let burst = "GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n\
+                 GET /datasets HTTP/1.1\r\nHost: test\r\n\r\n\
+                 GET /query/entropy-topk?dataset=tiny&k=1 HTTP/1.1\r\nHost: test\r\n\
+                 Connection: close\r\n\r\n";
+    stream.write_all(burst.as_bytes()).unwrap();
+    let first = read_one_response(&mut stream);
+    let second = read_one_response(&mut stream);
+    let mut rest = String::new();
+    stream.read_to_string(&mut rest).unwrap();
+    let third = parse_reply(&rest);
+    assert!(first.body.contains("\"status\":\"ok\""), "healthz first: {}", first.body);
+    assert!(second.body.contains("\"datasets\""), "datasets second: {}", second.body);
+    assert_eq!(third.status, 200);
+    assert!(third.body.contains("\"scores\""), "query third: {}", third.body);
+    assert_eq!(third.header("connection"), Some("close"));
+    // The pipelined query serves the same bytes as a fresh connection.
+    let fresh = get(server.addr, "/query/entropy-topk?dataset=tiny&k=1");
+    assert_eq!(third.body, fresh.body);
+}
+
+/// `Connection: close` and HTTP/1.0 both end the connection after one
+/// response; HTTP/1.0 with `Connection: keep-alive` keeps it open.
+#[test]
+fn connection_close_and_http10_semantics_are_honored() {
+    let server = TestServer::start(ServerConfig::default());
+    // Explicit close: read_to_string returning proves the server closed.
+    let reply = get(server.addr, "/healthz");
+    assert_eq!(reply.header("connection"), Some("close"));
+    // HTTP/1.0 defaults to close.
+    let reply = send_raw(server.addr, "GET /healthz HTTP/1.0\r\nHost: test\r\n\r\n");
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("connection"), Some("close"));
+    // HTTP/1.0 + keep-alive stays open for a second exchange.
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.0\r\nHost: test\r\nConnection: keep-alive\r\n\r\n")
+        .unwrap();
+    let first = read_one_response(&mut stream);
+    assert_eq!(first.header("connection"), Some("keep-alive"));
+    stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    let mut rest = String::new();
+    stream.read_to_string(&mut rest).unwrap();
+    assert_eq!(parse_reply(&rest).status, 200);
+}
+
+/// A slow-loris client holding a partial request is answered 408 and
+/// cleanly closed once the read timeout expires — it cannot hold a
+/// connection slot forever.
+#[test]
+fn slow_loris_partial_request_gets_408_and_a_clean_close() {
+    let server = TestServer::start(ServerConfig {
+        read_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(b"GET /healthz HT").unwrap(); // never finishes the line
+    let start = Instant::now();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap(); // EOF = server closed us
+    assert!(start.elapsed() < Duration::from_secs(5), "timeout did not fire");
+    let reply = parse_reply(&raw);
+    assert_eq!(reply.status, 408, "{raw}");
+    let metrics = get(server.addr, "/metrics").body;
+    assert!(metric(&metrics, "swope_conn_timeouts_total") >= 1);
+}
+
+/// Idle connections cost a file descriptor, not a worker: with ONE
+/// worker thread, hundreds of parked keep-alive connections leave the
+/// server fully responsive, and the census gauges see them.
+#[test]
+fn idle_connections_consume_no_worker_threads() {
+    let server = TestServer::start(ServerConfig {
+        threads: 1,
+        max_conns: 3000,
+        keep_alive: Duration::from_secs(60),
+        ..ServerConfig::default()
+    });
+    // Park a crowd of idle connections (scaled well under typical fd
+    // rlimits; the event loop holds one fd per connection and nothing
+    // else). Some opens may be refused under a tight accept backlog —
+    // retry a few times and require a large crowd, not perfection.
+    let mut idle = Vec::new();
+    for _ in 0..1000 {
+        match TcpStream::connect(server.addr) {
+            Ok(s) => idle.push(s),
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    assert!(idle.len() >= 900, "only {} idle connections opened", idle.len());
+    // Give the event loop a tick to accept the tail of the crowd.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The single worker is still instantly available.
+    let reply = get(server.addr, "/healthz");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let metrics = get(server.addr, "/metrics").body;
+    assert!(
+        metric(&metrics, "swope_conn_open") >= idle.len() as u64,
+        "census missed the idle crowd:\n{metrics}"
+    );
+    // A query still runs fine with the crowd parked.
+    let reply = get(server.addr, "/query/entropy-topk?dataset=tiny&k=1");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    drop(idle);
+}
+
+/// Connections past `max_conns` are answered 503 immediately.
+#[test]
+fn connections_past_the_cap_get_503() {
+    let server = TestServer::start(ServerConfig {
+        max_conns: 4,
+        keep_alive: Duration::from_secs(60),
+        ..ServerConfig::default()
+    });
+    let idle: Vec<_> = (0..4).map(|_| TcpStream::connect(server.addr).unwrap()).collect();
+    std::thread::sleep(Duration::from_millis(100)); // let them be accepted
+    let mut over = TcpStream::connect(server.addr).unwrap();
+    over.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut raw = String::new();
+    over.read_to_string(&mut raw).unwrap();
+    let reply = parse_reply(&raw);
+    assert_eq!(reply.status, 503, "{raw}");
+    assert!(reply.body.contains("connection limit"));
+    drop(idle);
+}
+
+/// Per-tenant token buckets: a tenant that exhausts its burst gets 429 +
+/// Retry-After on the SAME keep-alive connection (throttling does not
+/// close it), while another tenant and the anonymous bucket sail
+/// through.
+#[test]
+fn tenant_quotas_throttle_with_429_and_retry_after() {
+    let server = TestServer::start(ServerConfig {
+        tenant_rps: Some(0.5),
+        tenant_burst: Some(2.0),
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let req = "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Swope-Api-Key: alice\r\n\r\n";
+    let mut statuses = Vec::new();
+    for _ in 0..4 {
+        stream.write_all(req.as_bytes()).unwrap();
+        let reply = read_one_response(&mut stream);
+        statuses.push(reply.status);
+        if reply.status == 429 {
+            assert!(reply.header("retry-after").is_some(), "429 without Retry-After");
+            assert_eq!(
+                reply.header("connection"),
+                Some("keep-alive"),
+                "throttling must not close the connection"
+            );
+        }
+    }
+    assert_eq!(&statuses[..2], &[200, 200], "burst admits first: {statuses:?}");
+    assert!(statuses[2..].contains(&429), "burst exhausted must throttle: {statuses:?}");
+    // Other tenants are unaffected by alice's empty bucket.
+    let reply = send_raw(
+        server.addr,
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Swope-Api-Key: bob\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(reply.status, 200);
+    let reply = get(server.addr, "/healthz"); // anonymous bucket
+    assert_eq!(reply.status, 200);
+    let metrics = get(server.addr, "/metrics").body;
+    assert!(metrics.contains("swope_tenant_throttled_total{tenant=\"alice\"}"), "{metrics}");
+    assert!(metrics.contains("swope_tenant_requests_total{tenant=\"bob\"}"), "{metrics}");
+}
+
+/// The connection gauges and counters render and add up.
+#[test]
+fn connection_metrics_census_renders() {
+    let server = TestServer::start(ServerConfig {
+        keep_alive: Duration::from_secs(60),
+        ..ServerConfig::default()
+    });
+    let idle: Vec<_> = (0..3).map(|_| TcpStream::connect(server.addr).unwrap()).collect();
+    std::thread::sleep(Duration::from_millis(150)); // accepted + census tick
+    let metrics = get(server.addr, "/metrics").body;
+    assert!(metric(&metrics, "swope_conn_open") >= 3);
+    assert!(metric(&metrics, "swope_conn_accepted_total") >= 4);
+    assert!(metrics.contains("swope_conn_idle"), "{metrics}");
+    assert!(metrics.contains("swope_conn_reading"), "{metrics}");
+    assert!(metrics.contains("swope_conn_writing"), "{metrics}");
+    drop(idle);
 }
