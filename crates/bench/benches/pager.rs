@@ -1,0 +1,149 @@
+//! Pager benchmark: what out-of-core costs and what compression buys.
+//!
+//! Three questions, one JSON. First, cold fault latency: decoding a
+//! 64Ki-row page from the mapped snapshot into hot codes, measured both
+//! as a scan median and as the pager's own `fault_nanos / faults`
+//! average. Second, residency under a byte budget: a dataset four times
+//! the configured budget is scanned repeatedly, and the peak resident
+//! gauge must stay at or under the budget while evictions churn. Third,
+//! the RLE/palette ratio: demoted cold pages of skewed low-support data
+//! should compress well below the half-plain-bytes admission threshold.
+//! Results persist to `results/BENCH_pager.json`; the CI pager-smoke
+//! step runs this with `SWOPE_MICRO_MS=1` and validates the fields and
+//! the budget/ratio invariants, not the wall-clock numbers.
+
+use std::sync::Arc;
+
+use swope_bench::micro::{black_box, Group};
+use swope_bench::rss_bytes;
+use swope_columnar::{snapshot, stats, Dataset, PageCache};
+use swope_obs::json::ObjectWriter;
+
+/// Four full 64Ki-row pages per column — no partial tail, so every page
+/// has identical plain bytes and the compression ratio is exact.
+const ROWS: usize = 4 * 65536;
+
+/// All three `tiny` columns pack to u8 (supports 9/23/7), giving
+/// 64 KiB plain pages and heavily skewed codes the RLE/palette
+/// re-encoder was built for.
+const COLS: usize = 3;
+
+const PAGE_PLAIN_BYTES: f64 = 65536.0;
+
+fn scan_all(ds: &Dataset) {
+    for attr in 0..ds.num_attrs() {
+        black_box(ds.column(attr).value_counts());
+    }
+}
+
+fn main() {
+    let ds = swope_datagen::generate(&swope_datagen::corpus::tiny(ROWS, COLS), 0x7A6E);
+    let path = std::env::temp_dir().join(format!("swope-bench-pager-{}.swop", std::process::id()));
+    snapshot::write_file(&ds, &path).expect("writing bench snapshot");
+    let plain = stats::bytes_in_memory(&ds) as u64;
+    // The acceptance shape: dataset is 4x the budget, so a full scan can
+    // keep at most a quarter of its pages hot.
+    let budget = plain / 4;
+
+    let mut g = Group::new("pager");
+
+    // Cold fault path: a fresh unbounded cache per pass, so every page
+    // of every column faults and CRC-validates exactly once.
+    let open_cold = || snapshot::open_paged(&path, Arc::new(PageCache::unbounded())).unwrap().0;
+    let cold_scan_ns = g.bench_with_setup("cold_scan_all_columns", open_cold, |paged| {
+        scan_all(&paged);
+        black_box(())
+    });
+
+    // Same scan against the eagerly decoded heap dataset — the pager's
+    // overhead on warm data is the gap between this and a re-scan below.
+    let heap_scan_ns = g.bench("heap_scan_all_columns", || {
+        scan_all(&ds);
+        black_box(())
+    });
+
+    // Warm paged scan: pages stay hot in an unbounded cache, so this
+    // prices the cursor/page-lookup indirection alone.
+    let (warm, _) = snapshot::open_paged(&path, Arc::new(PageCache::unbounded())).unwrap();
+    scan_all(&warm);
+    let warm_scan_ns = g.bench("warm_scan_all_columns", || {
+        scan_all(&warm);
+        black_box(())
+    });
+    drop(warm);
+
+    // Instrumented cold pass for the pager's own per-fault average and
+    // the paged resident footprint vs the eager heap load.
+    let rss_before = rss_bytes();
+    let cache = Arc::new(PageCache::unbounded());
+    let (paged, _) = snapshot::open_paged(&path, Arc::clone(&cache)).unwrap();
+    scan_all(&paged);
+    let cold = cache.snapshot();
+    let paged_rss_delta = match (rss_before, rss_bytes()) {
+        (Some(before), Some(after)) => after.saturating_sub(before) as f64,
+        _ => -1.0, // no /proc on this platform
+    };
+    drop(paged);
+    let fault_ns = cold.fault_nanos as f64 / cold.faults.max(1) as f64;
+
+    let rss_before = rss_bytes();
+    let heap_copy = snapshot::read_file_with_sketch(&path).unwrap().0;
+    let heap_rss_delta = match (rss_before, rss_bytes()) {
+        (Some(before), Some(after)) => after.saturating_sub(before) as f64,
+        _ => -1.0,
+    };
+    drop(heap_copy);
+
+    // Budget mode: repeated full scans through a quarter-size cache, so
+    // eviction churns, cold pages demote through the RLE/palette stage,
+    // and refaults decode from compressed instead of re-reading disk.
+    let cache_b = Arc::new(PageCache::new(Some(budget)));
+    let (paged_b, _) = snapshot::open_paged(&path, Arc::clone(&cache_b)).unwrap();
+    let budget_scan_ns = g.bench("budget_scan_with_eviction", || {
+        scan_all(&paged_b);
+        black_box(())
+    });
+    let snap = cache_b.snapshot();
+    assert!(snap.evictions > 0, "quarter-size budget never evicted");
+    assert!(
+        snap.peak_resident_bytes <= budget,
+        "peak resident {} exceeded budget {budget}",
+        snap.peak_resident_bytes
+    );
+    let rle_ratio = if snap.compressed_pages > 0 {
+        (snap.compressed_bytes as f64 / snap.compressed_pages as f64) / PAGE_PLAIN_BYTES
+    } else {
+        -1.0
+    };
+
+    let mut w = ObjectWriter::new();
+    w.str_field("bench", "pager")
+        .usize_field("rows", ROWS)
+        .usize_field("cols", COLS)
+        .u64_field("dataset_plain_bytes", plain)
+        .u64_field("budget_bytes", budget)
+        .f64_field("cold_scan_ns", cold_scan_ns)
+        .f64_field("warm_scan_ns", warm_scan_ns)
+        .f64_field("heap_scan_ns", heap_scan_ns)
+        .f64_field("budget_scan_ns", budget_scan_ns)
+        .f64_field("fault_ns_avg", fault_ns)
+        .u64_field("cold_faults", cold.faults)
+        .u64_field("cold_crc_validations", cold.crc_validations)
+        .u64_field("budget_faults", snap.faults)
+        .u64_field("budget_evictions", snap.evictions)
+        .u64_field("budget_decompressions", snap.decompressions)
+        .u64_field("peak_resident_bytes", snap.peak_resident_bytes)
+        .u64_field("resident_bytes", snap.resident_bytes)
+        .u64_field("compressed_pages", snap.compressed_pages)
+        .u64_field("compressed_bytes", snap.compressed_bytes)
+        .f64_field("rle_ratio", rle_ratio)
+        .f64_field("paged_cold_rss_delta_bytes", paged_rss_delta)
+        .f64_field("heap_load_rss_delta_bytes", heap_rss_delta);
+    let json = w.finish();
+
+    std::fs::remove_file(&path).ok();
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_pager.json");
+    std::fs::write(out, format!("{json}\n")).expect("writing results/BENCH_pager.json");
+    println!("\nwrote {out}");
+    println!("{json}");
+}

@@ -20,6 +20,9 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use swope_bench::micro::{black_box, Group};
+// Server and clients share one process RSS — the server side dominates,
+// since a client socket is just an fd.
+use swope_bench::rss_bytes;
 use swope_obs::json::ObjectWriter;
 use swope_server::{Server, ServerConfig};
 
@@ -95,21 +98,6 @@ impl RespReader {
         assert!(n > 0, "unexpected EOF mid-response");
         self.buf.extend_from_slice(&chunk[..n]);
     }
-}
-
-/// `VmRSS` of this process in bytes (server and clients share it — the
-/// server side dominates, since a client socket is just an fd).
-fn rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let kb: u64 = status
-        .lines()
-        .find_map(|l| l.strip_prefix("VmRSS:"))?
-        .trim()
-        .split(' ')
-        .next()?
-        .parse()
-        .ok()?;
-    Some(kb * 1024)
 }
 
 fn main() {

@@ -31,3 +31,4 @@ pub mod micro;
 pub mod report;
 
 pub use harness::{ExpConfig, Row};
+pub use micro::rss_bytes;

@@ -112,6 +112,22 @@ impl Group {
     }
 }
 
+/// `VmRSS` of this process in bytes, read from `/proc/self/status`.
+/// `None` where `/proc` doesn't exist (non-Linux dev machines) — memory
+/// benches report a sentinel instead of failing there.
+pub fn rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb: u64 = status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmRSS:"))?
+        .trim()
+        .split(' ')
+        .next()?
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
 fn pretty_ns(ns: f64) -> String {
     if ns < 1e3 {
         format!("{ns:.1} ns")

@@ -69,7 +69,15 @@ serve options:
   --tenant-burst <f>        per-tenant burst size (default 2x --tenant-rps)
   --peer <host:port>        shard peer to fan queries out to (repeatable;
                             makes this server a cluster coordinator)
-  --peer-timeout-ms <n>     per-peer connect/io timeout (default 2000/10000)";
+  --peer-timeout-ms <n>     per-peer connect/io timeout (default 2000/10000)
+
+out-of-core storage (serve, and any query command reading a .swop file):
+  --mmap                    serve snapshots out-of-core: map the file and
+                            decode 65536-row pages on demand through the
+                            page cache instead of loading columns eagerly
+  --store-budget-bytes <n>  page-cache byte budget; past it cold pages are
+                            re-compressed and evicted (default: unbounded;
+                            implies --mmap)";
 
 /// Which algorithm a query should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -157,6 +165,19 @@ pub struct Options {
     pub peers: Vec<String>,
     /// `--peer-timeout-ms` (serve): connect and io timeout per peer.
     pub peer_timeout_ms: Option<u64>,
+    /// `--mmap`: open `.swop` files out-of-core through the page cache.
+    pub mmap: bool,
+    /// `--store-budget-bytes`: page-cache byte budget (implies `--mmap`).
+    pub store_budget_bytes: Option<u64>,
+}
+
+impl Options {
+    /// Whether out-of-core paging was requested: `--mmap`, or
+    /// `--store-budget-bytes` (a budget without paging is meaningless,
+    /// so it implies the mapping).
+    pub fn paged(&self) -> bool {
+        self.mmap || self.store_budget_bytes.is_some()
+    }
 }
 
 /// Parses everything after the command word.
@@ -199,6 +220,10 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--peer" => o.peers.push(raw_value(args, &mut i, "--peer")?),
             "--peer-timeout-ms" => {
                 o.peer_timeout_ms = Some(value(args, &mut i, "--peer-timeout-ms")?)
+            }
+            "--mmap" => o.mmap = true,
+            "--store-budget-bytes" => {
+                o.store_budget_bytes = Some(value(args, &mut i, "--store-budget-bytes")?)
             }
             "--algo" => {
                 let v = raw_value(args, &mut i, "--algo")?;
@@ -395,6 +420,21 @@ mod tests {
         assert!(o.shards.is_none());
         assert!(o.peers.is_empty());
         assert!(o.peer_timeout_ms.is_none());
+    }
+
+    #[test]
+    fn pager_flags() {
+        let o = parse(&["a.swop", "--mmap"]).unwrap();
+        assert!(o.mmap && o.paged());
+        assert!(o.store_budget_bytes.is_none());
+        let o = parse(&["a.swop", "--store-budget-bytes", "1048576"]).unwrap();
+        assert!(!o.mmap);
+        assert_eq!(o.store_budget_bytes, Some(1_048_576));
+        assert!(o.paged(), "a byte budget implies paging");
+        assert!(parse(&["--store-budget-bytes", "plenty"]).is_err());
+        assert!(parse(&["--store-budget-bytes"]).is_err());
+        let o = parse(&["a.swop"]).unwrap();
+        assert!(!o.paged());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use swope_baselines::{
     exact_mi_filter, exact_mi_top_k, mi_filter_exact_sampling, mi_rank_top_k,
 };
 
-use swope_columnar::{csv, snapshot, stats, Dataset, DatasetSketch, PAGE_ROWS};
+use swope_columnar::{csv, snapshot, stats, Dataset, DatasetSketch, PageCache, PAGE_ROWS};
 use swope_core::{
     entropy_filter_observed, entropy_filter_scoped_exec, entropy_filter_sharded_exec,
     entropy_profile_observed, entropy_profile_scoped_exec, entropy_profile_sharded_exec,
@@ -108,8 +108,15 @@ fn load(opts: &Options) -> Result<Dataset, String> {
 /// set no longer matches the capped dataset.
 fn load_with_sketch(opts: &Options) -> Result<(Dataset, Option<DatasetSketch>), String> {
     let path = opts.positional.first().ok_or("expected a dataset file argument")?;
-    let (ds, sketch) =
-        Dataset::from_path_with_sketch(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let (ds, sketch) = if opts.paged() {
+        // Out-of-core: map the snapshot and decode pages on demand
+        // through a command-scoped page cache. CSV inputs have no paged
+        // form and load eagerly as before.
+        let cache = std::sync::Arc::new(PageCache::new(opts.store_budget_bytes));
+        Dataset::from_path_paged(path, cache).map_err(|e| format!("loading {path}: {e}"))?
+    } else {
+        Dataset::from_path_with_sketch(path).map_err(|e| format!("loading {path}: {e}"))?
+    };
     let cap = opts.max_support.unwrap_or(1000);
     let (capped, kept) = ds.cap_support(cap);
     let dropped = ds.num_attrs() - kept.len();
@@ -251,6 +258,22 @@ fn cmd_inspect(opts: &Options) -> Result<(), String> {
     let saved = unpacked.saturating_sub(packed);
     let pct = if unpacked > 0 { saved as f64 / unpacked as f64 * 100.0 } else { 0.0 };
     println!("total: {packed} bytes packed ({unpacked} at u32; saves {saved} bytes, {pct:.1}%)");
+    // Residency: with --mmap the columns above were scanned through the
+    // page cache, so "resident" is what survived eviction, not the file.
+    let paged_cols: Vec<_> = (0..ds.num_attrs()).filter_map(|a| ds.column(a).paged()).collect();
+    if let Some(first) = paged_cols.first() {
+        let resident: u64 = paged_cols.iter().map(|p| p.resident_bytes()).sum();
+        let plain: u64 = paged_cols.iter().map(|p| p.plain_bytes()).sum();
+        let budget = match opts.store_budget_bytes {
+            Some(b) => format!("{b} byte budget"),
+            None => "unbounded".into(),
+        };
+        println!(
+            "paged: {} column(s) via {}, {resident} of {plain} bytes resident ({budget})",
+            paged_cols.len(),
+            first.mapping_kind()
+        );
+    }
     match &sketch {
         Some(sk) => {
             let covered = ds.num_rows() - ds.num_rows() % PAGE_ROWS;
@@ -659,11 +682,17 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
             .peer_timeout_ms
             .map(std::time::Duration::from_millis)
             .unwrap_or(swope_server::ServerConfig::default().peer_io_timeout),
+        mmap: opts.paged(),
+        store_budget_bytes: opts.store_budget_bytes,
         ..swope_server::ServerConfig::default()
     };
     let server = swope_server::Server::bind(config).map_err(|e| format!("binding: {e}"))?;
     for path in &opts.positional {
-        let entry = server.registry().load_path(path)?;
+        let entry = if opts.paged() {
+            server.registry().load_path_paged(path, server.pager())?
+        } else {
+            server.registry().load_path(path)?
+        };
         println!(
             "loaded {:?} as {:?} ({} rows x {} columns)",
             path,

@@ -254,6 +254,62 @@ fn split_cuts_rows_and_preserves_supports() {
 }
 
 #[test]
+fn split_outputs_carry_sketches() {
+    let u = tmp("split_sk_u.swop");
+    let a = tmp("split_sk_a.swop");
+    let b = tmp("split_sk_b.swop");
+    let (u_s, a_s, b_s) = (u.to_str().unwrap(), a.to_str().unwrap(), b.to_str().unwrap());
+    let o = swope(&["gen", "tiny", "--rows", "3000", "--cols", "4", "--out", u_s]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let o = swope(&["split", u_s, a_s, b_s, "--at", "1000"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    // Both halves are full v2 snapshots: each carries its own freshly
+    // built sketch section, so range/predicate scopes work on the shards
+    // without a re-sketching pass.
+    for half in [a_s, b_s] {
+        let o = swope(&["inspect", half]);
+        assert!(o.status.success(), "{}", stderr(&o));
+        let out = stdout(&o);
+        assert!(out.contains("sketch: 1 page(s) x 4 column(s)"), "{half}: {out}");
+        assert!(!out.contains("sketch: none"), "{half}: {out}");
+    }
+}
+
+#[test]
+fn paged_queries_match_heap_output_and_inspect_reports_residency() {
+    let swop = tmp("paged.swop");
+    let p = swop.to_str().unwrap();
+    // 100k rows x 3 u8 columns = 300,000 plain bytes across 6 pages.
+    let o = swope(&["gen", "tiny", "--rows", "100000", "--cols", "3", "--out", p]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    // Inspect under --mmap loads lazily and reports page residency.
+    let o = swope(&["inspect", p, "--mmap"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("paged: 3 column(s) via "), "{out}");
+    assert!(out.contains("(unbounded)"), "{out}");
+
+    // The same query answers byte-identically from the heap, from an
+    // unbounded mmap, and from a budget tight enough to force eviction
+    // (200,000 < 300,000 plain bytes, so at most 3 of 6 pages stay hot).
+    let base = &["entropy-topk", p, "-k", "2", "--seed", "7", "--epsilon", "0.5"];
+    let heap = swope(base);
+    assert!(heap.status.success(), "{}", stderr(&heap));
+    let mut mmap_args = base.to_vec();
+    mmap_args.push("--mmap");
+    let mmap = swope(&mmap_args);
+    assert!(mmap.status.success(), "{}", stderr(&mmap));
+    assert_eq!(stdout(&mmap), stdout(&heap), "--mmap diverged from heap output");
+    let mut budget_args = base.to_vec();
+    budget_args.extend(["--store-budget-bytes", "200000"]);
+    let budget = swope(&budget_args);
+    assert!(budget.status.success(), "{}", stderr(&budget));
+    assert_eq!(stdout(&budget), stdout(&heap), "budgeted run diverged from heap output");
+}
+
+#[test]
 fn convert_round_trips_csv_and_snapshot() {
     let csv_path = tmp("convert.csv");
     std::fs::write(&csv_path, "color,size\nred,s\nblue,m\nred,l\n").unwrap();

@@ -32,7 +32,7 @@
 use std::io::{Read, Write};
 use std::sync::Arc;
 
-use swope_columnar::{CodeRepr, Dataset};
+use swope_columnar::{CodeRepr, ColumnStorage, Dataset};
 use swope_core::{AttrMeta, CountState, PairCountState, ShardCounts};
 use swope_sampling::{PrefixShuffle, Sampler};
 use swope_store::for_packed;
@@ -233,13 +233,23 @@ fn count_rows(ds: &Dataset, rows: &[u32], grow: &GrowDelta) -> ShardCounts {
     let target = grow.target.map(|t| {
         let mut counts = CountState::new(ds.support(t as usize));
         tcodes.reserve(rows.len());
-        for_packed!(ds.column(t as usize).packed().codes(), |codes| {
-            for &r in rows {
-                let c = codes[r as usize].widen();
-                counts.add(c);
-                tcodes.push(c);
+        match ds.column(t as usize).storage() {
+            ColumnStorage::Heap(packed) => for_packed!(packed.codes(), |codes| {
+                for &r in rows {
+                    let c = codes[r as usize].widen();
+                    counts.add(c);
+                    tcodes.push(c);
+                }
+            }),
+            ColumnStorage::Paged(paged) => {
+                let mut cur = paged.cursor();
+                for &r in rows {
+                    let c = cur.code(r as usize);
+                    counts.add(c);
+                    tcodes.push(c);
+                }
             }
-        });
+        }
         counts
     });
     let mut attrs = Vec::with_capacity(grow.live.len());
@@ -247,19 +257,35 @@ fn count_rows(ds: &Dataset, rows: &[u32], grow: &GrowDelta) -> ShardCounts {
     for &attr in &grow.live {
         let mut out = CountState::new(ds.support(attr as usize));
         let mut pairs = PairCountState::new();
-        for_packed!(ds.column(attr as usize).packed().codes(), |codes| {
-            if grow.target.is_some() {
-                for (&r, &tc) in rows.iter().zip(&tcodes) {
-                    let c = codes[r as usize].widen();
-                    out.add(c);
-                    pairs.add(tc, c);
+        match ds.column(attr as usize).storage() {
+            ColumnStorage::Heap(packed) => for_packed!(packed.codes(), |codes| {
+                if grow.target.is_some() {
+                    for (&r, &tc) in rows.iter().zip(&tcodes) {
+                        let c = codes[r as usize].widen();
+                        out.add(c);
+                        pairs.add(tc, c);
+                    }
+                } else {
+                    for &r in rows {
+                        out.add(codes[r as usize].widen());
+                    }
                 }
-            } else {
-                for &r in rows {
-                    out.add(codes[r as usize].widen());
+            }),
+            ColumnStorage::Paged(paged) => {
+                let mut cur = paged.cursor();
+                if grow.target.is_some() {
+                    for (&r, &tc) in rows.iter().zip(&tcodes) {
+                        let c = cur.code(r as usize);
+                        out.add(c);
+                        pairs.add(tc, c);
+                    }
+                } else {
+                    for &r in rows {
+                        out.add(cur.code(r as usize));
+                    }
                 }
             }
-        });
+        }
         attrs.push(out);
         joints.push(pairs);
     }

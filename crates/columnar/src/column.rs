@@ -1,3 +1,6 @@
+use std::sync::Arc;
+
+use swope_pager::PagedColumn;
 use swope_store::{PackedColumn, StoreError, Width};
 
 use crate::{Code, ColumnarError};
@@ -9,21 +12,45 @@ use crate::{Code, ColumnarError};
 /// distinct codes (typically the number actually observed, when built via
 /// [`crate::DatasetBuilder`]).
 ///
-/// Physical storage is delegated to [`swope_store::PackedColumn`], which
-/// packs codes at the narrowest width the support allows (`u8` up to
-/// support 256, `u16` up to 65536, `u32` beyond). Hot paths read the
-/// width-tagged storage through [`Column::packed`]; cold paths use
+/// Physical storage has two representations:
+///
+/// * **Heap** — [`swope_store::PackedColumn`], the whole column decoded
+///   at the narrowest width its support allows (`u8` up to support 256,
+///   `u16` up to 65536, `u32` beyond). The eager loader and every
+///   in-memory constructor produce this.
+/// * **Paged** — [`swope_pager::PagedColumn`], codes left in a mapped
+///   snapshot and faulted page-by-page through a byte-budget cache. The
+///   out-of-core loader (`snapshot::open_paged`) produces this.
+///
+/// Hot loops dispatch once per call via [`Column::storage`] and then run
+/// width-monomorphized on either representation; both decode the same
+/// bytes, so results are bitwise identical. Cold paths use
 /// [`Column::code`] / [`Column::to_codes`], which widen on the fly.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Column {
-    packed: PackedColumn,
+    repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Heap(PackedColumn),
+    Paged(Arc<PagedColumn>),
+}
+
+/// A borrowed view of a column's physical representation — the one
+/// `match` a hot loop makes before its width-generic inner loop.
+pub enum ColumnStorage<'a> {
+    /// Fully decoded in memory.
+    Heap(&'a PackedColumn),
+    /// Faulted page-by-page out of a mapped snapshot.
+    Paged(&'a PagedColumn),
 }
 
 impl Column {
     /// Creates a column from raw codes, validating `code < support` for all.
     pub fn new(codes: Vec<Code>, support: u32) -> Result<Self, ColumnarError> {
         match PackedColumn::new(codes, support) {
-            Ok(packed) => Ok(Self { packed }),
+            Ok(packed) => Ok(Self { repr: Repr::Heap(packed) }),
             Err(StoreError::CodeOutOfRange { code, support }) => {
                 Err(ColumnarError::CodeOutOfRange { attr: 0, code, support })
             }
@@ -38,24 +65,35 @@ impl Column {
     /// memory — counters use checked indexing in debug builds and sized
     /// allocations in release).
     pub fn new_unchecked(codes: Vec<Code>, support: u32) -> Self {
-        Self { packed: PackedColumn::new_unchecked(codes, support) }
+        Self { repr: Repr::Heap(PackedColumn::new_unchecked(codes, support)) }
     }
 
     /// Wraps an already-validated packed column (the snapshot reader's
     /// path, which decodes pages straight at their stored width).
     pub fn from_packed(packed: PackedColumn) -> Self {
-        Self { packed }
+        Self { repr: Repr::Heap(packed) }
+    }
+
+    /// Wraps a pager-backed column (the out-of-core loader's path).
+    pub fn from_paged(paged: Arc<PagedColumn>) -> Self {
+        Self { repr: Repr::Paged(paged) }
     }
 
     /// The same logical column re-packed at a forced (wider) `width`.
     ///
     /// Used by width-invariance tests and the store bench to compare the
     /// byte traffic of identical data at `u8`/`u16`/`u32`; errors if the
-    /// width cannot hold the support.
+    /// width cannot hold the support. A paged column materializes to heap
+    /// storage here — re-widening is a test/bench tool, not a hot path.
     pub fn with_width(&self, width: Width) -> Result<Self, ColumnarError> {
-        self.packed
-            .repacked(width)
-            .map(|packed| Self { packed })
+        let repacked = match &self.repr {
+            Repr::Heap(packed) => packed.repacked(width),
+            Repr::Paged(paged) => paged
+                .to_codes()
+                .and_then(|codes| PackedColumn::with_width(codes, paged.support(), width)),
+        };
+        repacked
+            .map(|packed| Self { repr: Repr::Heap(packed) })
             .map_err(|e| ColumnarError::Snapshot(e.to_string()))
     }
 
@@ -79,60 +117,119 @@ impl Column {
         (Self::new_unchecked(codes, support), order)
     }
 
-    /// The width-packed physical storage (what the adaptive loops scan).
+    /// The physical representation — what the adaptive loops dispatch on.
+    #[inline]
+    pub fn storage(&self) -> ColumnStorage<'_> {
+        match &self.repr {
+            Repr::Heap(packed) => ColumnStorage::Heap(packed),
+            Repr::Paged(paged) => ColumnStorage::Paged(paged),
+        }
+    }
+
+    /// The width-packed heap storage.
+    ///
+    /// Panics for paged columns: callers that can meet a paged column
+    /// must dispatch through [`Column::storage`] instead. Kept for the
+    /// many heap-only paths (builders, generators, format conversion).
     #[inline]
     pub fn packed(&self) -> &PackedColumn {
-        &self.packed
+        match &self.repr {
+            Repr::Heap(packed) => packed,
+            Repr::Paged(_) => {
+                panic!("column is paged (out-of-core); dispatch via Column::storage()")
+            }
+        }
+    }
+
+    /// The pager-backed storage, when this column is paged.
+    #[inline]
+    pub fn paged(&self) -> Option<&Arc<PagedColumn>> {
+        match &self.repr {
+            Repr::Heap(_) => None,
+            Repr::Paged(paged) => Some(paged),
+        }
+    }
+
+    /// Whether the column is pager-backed (out-of-core).
+    #[inline]
+    pub fn is_paged(&self) -> bool {
+        matches!(self.repr, Repr::Paged(_))
     }
 
     /// The storage width the codes are packed at.
     #[inline]
     pub fn width(&self) -> Width {
-        self.packed.width()
+        match &self.repr {
+            Repr::Heap(packed) => packed.width(),
+            Repr::Paged(paged) => paged.width(),
+        }
     }
 
-    /// Bytes the codes occupy in memory at the current width.
+    /// Bytes the column's codes currently occupy in memory: the full
+    /// packed size for heap columns, the resident (hot + compressed)
+    /// page bytes for paged columns.
     #[inline]
     pub fn bytes_in_memory(&self) -> usize {
-        self.packed.bytes_in_memory()
+        match &self.repr {
+            Repr::Heap(packed) => packed.bytes_in_memory(),
+            Repr::Paged(paged) => paged.resident_bytes() as usize,
+        }
     }
 
     /// The per-row codes, widened into a fresh vector (cold paths only:
-    /// exact baselines, concatenation, format conversion).
+    /// exact baselines, concatenation, format conversion). For a paged
+    /// column this is a full materializing scan.
     pub fn to_codes(&self) -> Vec<Code> {
-        self.packed.to_codes()
+        match &self.repr {
+            Repr::Heap(packed) => packed.to_codes(),
+            Repr::Paged(paged) => paged.to_codes().unwrap_or_else(|e| panic!("{e}")),
+        }
     }
 
     /// The support size `u_alpha` (number of possible distinct codes).
     #[inline]
     pub fn support(&self) -> u32 {
-        self.packed.support()
+        match &self.repr {
+            Repr::Heap(packed) => packed.support(),
+            Repr::Paged(paged) => paged.support(),
+        }
     }
 
     /// Number of rows.
     #[inline]
     pub fn len(&self) -> usize {
-        self.packed.len()
+        match &self.repr {
+            Repr::Heap(packed) => packed.len(),
+            Repr::Paged(paged) => paged.len(),
+        }
     }
 
     /// Whether the column has no rows.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.packed.is_empty()
+        self.len() == 0
     }
 
-    /// The code at `row`. Panics if out of range.
+    /// The code at `row`. Panics if out of range (or, for a paged
+    /// column, on a corrupt page at first touch).
     #[inline]
     pub fn code(&self, row: usize) -> Code {
-        self.packed.code(row)
+        match &self.repr {
+            Repr::Heap(packed) => packed.code(row),
+            Repr::Paged(paged) => paged.code(row),
+        }
     }
 
     /// Counts occurrences of each code over all rows.
     ///
     /// The result has length `support()`; entry `i` is `n_i` in the paper's
-    /// notation.
+    /// notation. A paged column scans one resident page at a time, so the
+    /// count stays within the cache budget.
     pub fn value_counts(&self) -> Vec<u64> {
-        self.packed.value_counts()
+        match &self.repr {
+            Repr::Heap(packed) => packed.value_counts(),
+            Repr::Paged(paged) => paged.value_counts().unwrap_or_else(|e| panic!("{e}")),
+        }
     }
 
     /// Number of codes that actually occur at least once.
@@ -140,6 +237,25 @@ impl Column {
         self.value_counts().iter().filter(|&&n| n > 0).count()
     }
 }
+
+impl PartialEq for Column {
+    /// Logical equality: same support and the same code sequence,
+    /// regardless of representation (heap vs paged) or storage width.
+    /// Mixed-representation comparison materializes the paged side —
+    /// equality is a test/assertion tool, not a hot path.
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Heap(a), Repr::Heap(b)) => a == b,
+            _ => {
+                self.support() == other.support()
+                    && self.len() == other.len()
+                    && self.to_codes() == other.to_codes()
+            }
+        }
+    }
+}
+
+impl Eq for Column {}
 
 #[cfg(test)]
 mod tests {
@@ -204,5 +320,14 @@ mod tests {
             assert_eq!(re.to_codes(), col.to_codes());
         }
         assert!(Column::new(vec![0], 300).unwrap().with_width(Width::U8).is_err());
+    }
+
+    #[test]
+    fn heap_columns_report_heap_storage() {
+        let col = Column::new(vec![0, 1], 2).unwrap();
+        assert!(!col.is_paged());
+        assert!(col.paged().is_none());
+        assert!(matches!(col.storage(), ColumnStorage::Heap(_)));
+        let _ = col.packed(); // must not panic for heap storage
     }
 }

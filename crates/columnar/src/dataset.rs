@@ -65,6 +65,23 @@ impl Dataset {
         }
     }
 
+    /// [`Dataset::from_path_with_sketch`], but `.swop` snapshots open
+    /// *out-of-core*: columns stay in the mapped (or buffered) file and
+    /// fault page-by-page through `cache` — see
+    /// [`crate::snapshot::open_paged`]. CSV files and v1 snapshots have
+    /// no paged representation and load eagerly to heap columns.
+    pub fn from_path_paged(
+        path: impl AsRef<std::path::Path>,
+        cache: std::sync::Arc<swope_pager::PageCache>,
+    ) -> Result<(Dataset, Option<swope_sketch::DatasetSketch>), ColumnarError> {
+        let path = path.as_ref();
+        if path.extension().is_some_and(|e| e == "swop") {
+            crate::snapshot::open_paged(path, cache)
+        } else {
+            crate::csv::read_csv_file(path, &crate::csv::CsvOptions::default()).map(|ds| (ds, None))
+        }
+    }
+
     /// The schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

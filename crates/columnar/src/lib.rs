@@ -16,7 +16,10 @@
 //! * [`Dataset`] — an immutable columnar table plus its schema.
 //! * [`DatasetBuilder`] — row-oriented construction from raw string values.
 //! * [`csv`] — a small self-contained CSV reader.
-//! * [`snapshot`] — a compact binary on-disk format for datasets.
+//! * [`snapshot`] — a compact binary on-disk format for datasets. Besides
+//!   the eager reader, [`snapshot::open_paged`] opens a snapshot
+//!   *out-of-core*: columns stay in the mapped file and fault
+//!   page-by-page through a `swope-pager` [`PageCache`] byte budget.
 //! * [`stats`] — per-column summary statistics.
 //!
 //! # Example
@@ -49,7 +52,7 @@ pub mod snapshot;
 pub mod stats;
 
 pub use builder::DatasetBuilder;
-pub use column::Column;
+pub use column::{Column, ColumnStorage};
 pub use dataset::Dataset;
 pub use dictionary::Dictionary;
 pub use error::ColumnarError;
@@ -65,6 +68,11 @@ pub use swope_sketch::{ColumnSketch, DatasetSketch, SketchKind};
 // (server, CLI, benches) can reason about page alignment without a
 // direct swope-store dependency.
 pub use swope_store::page::PAGE_ROWS;
+
+// The pager types callers need to open datasets out-of-core: the page
+// cache a budget is configured on (plus its metrics snapshot) and the
+// pager-backed column hot loops dispatch to via [`ColumnStorage`].
+pub use swope_pager::{PageCache, PagedColumn, PagerSnapshot};
 
 /// Index of an attribute (column) within a dataset. Always in `0..h`.
 pub type AttrIndex = usize;

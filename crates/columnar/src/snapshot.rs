@@ -47,15 +47,17 @@
 
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
-use swope_sketch::DatasetSketch;
+use swope_pager::{PageCache, PagedColumn};
+use swope_sketch::{ColumnSketch, ColumnSketchBuilder, DatasetSketch};
 use swope_store::crc32::crc32;
 use swope_store::section::{
     validate_sections, Section, SECTION_COLUMN, SECTION_SCHEMA, SECTION_SKETCH,
 };
-use swope_store::{page, PackedColumn, Width};
+use swope_store::{for_packed, page, CodeRepr, PackedColumn, Width};
 
-use crate::{Column, ColumnarError, Dataset, Dictionary, Field, Schema};
+use crate::{Column, ColumnStorage, ColumnarError, Dataset, Dictionary, Field, Schema};
 
 const MAGIC: &[u8; 4] = b"SWOP";
 const VERSION: u16 = 2;
@@ -129,21 +131,70 @@ pub fn write<W: Write>(dataset: &Dataset, writer: &mut W) -> Result<(), Columnar
     writer.write_all(&table)?;
     writer.write_all(&schema_payload)?;
     for attr in 0..h {
-        let packed = dataset.column(attr).packed();
-        writer.write_all(&[packed.width().tag()])?;
-        page::write_pages(packed.codes(), writer)?;
+        let column = dataset.column(attr);
+        writer.write_all(&[column.width().tag()])?;
+        match column.storage() {
+            ColumnStorage::Heap(packed) => page::write_pages(packed.codes(), writer)?,
+            ColumnStorage::Paged(paged) => write_paged_column(paged, writer)?,
+        }
     }
     writer.write_all(&sketch_payload)?;
     Ok(())
 }
 
+/// Streams a pager-backed column's page payload, faulting one page at a
+/// time — re-snapshotting an out-of-core dataset never needs a whole
+/// column in memory, and every page's CRC is verified on the way through.
+fn write_paged_column<W: Write>(paged: &PagedColumn, writer: &mut W) -> Result<(), ColumnarError> {
+    if paged.page_rows() != page::PAGE_ROWS {
+        // Foreign page geometry (only a hand-crafted file can carry one):
+        // materialize and re-page at the standard size.
+        let codes = paged.to_codes().map_err(store_err)?;
+        let packed =
+            PackedColumn::with_width(codes, paged.support(), paged.width()).map_err(store_err)?;
+        return page::write_pages(packed.codes(), writer).map_err(Into::into);
+    }
+    writer.write_all(&(page::PAGE_ROWS as u32).to_le_bytes())?;
+    writer.write_all(&(paged.num_pages() as u32).to_le_bytes())?;
+    let mut payload = Vec::new();
+    for index in 0..paged.num_pages() {
+        let codes = paged.page(index).map_err(store_err)?;
+        payload.clear();
+        for_packed!(&*codes, |cs| CodeRepr::extend_le_bytes(cs, &mut payload));
+        writer.write_all(&(codes.len() as u32).to_le_bytes())?;
+        writer.write_all(&crc32(&payload).to_le_bytes())?;
+        writer.write_all(&payload)?;
+    }
+    Ok(())
+}
+
 /// Builds the per-page partition sketch for `dataset` from its packed
-/// columns (exact per-page code histograms; see `swope_sketch`).
+/// columns (exact per-page code histograms; see `swope_sketch`). Paged
+/// columns are sketched one faulted page at a time, so the build stays
+/// within the pager's byte budget.
 pub fn build_sketch(dataset: &Dataset) -> DatasetSketch {
-    DatasetSketch::build(
-        dataset.num_rows(),
-        (0..dataset.num_attrs()).map(|attr| dataset.column(attr).packed()),
-    )
+    let columns = (0..dataset.num_attrs())
+        .map(|attr| match dataset.column(attr).storage() {
+            ColumnStorage::Heap(packed) => ColumnSketch::build(packed),
+            ColumnStorage::Paged(paged) => sketch_paged(paged),
+        })
+        .collect();
+    DatasetSketch::new(dataset.num_rows(), columns)
+}
+
+/// Sketches a pager-backed column page-by-page. Panics on a corrupt
+/// page, matching the heap column accessors' contract.
+fn sketch_paged(paged: &PagedColumn) -> ColumnSketch {
+    if paged.page_rows() != page::PAGE_ROWS {
+        let codes = paged.to_codes().unwrap_or_else(|e| panic!("{e}"));
+        return ColumnSketch::build(&PackedColumn::new_unchecked(codes, paged.support()));
+    }
+    let mut builder = ColumnSketchBuilder::new(paged.support());
+    for index in 0..paged.num_pages() {
+        let codes = paged.page(index).unwrap_or_else(|e| panic!("{e}"));
+        builder.push_page(&codes);
+    }
+    builder.finish()
 }
 
 /// Serializes `dataset` in the legacy v1 format (flat `u32` runs, no
@@ -208,12 +259,94 @@ pub fn decode_with_sketch(bytes: &[u8]) -> Result<(Dataset, Option<DatasetSketch
     }
 }
 
-/// Decodes the v2 body. `bytes` is the full snapshot (for offset-based
-/// section slicing); `buf` starts right after the version field.
-fn decode_v2(
-    bytes: &[u8],
-    mut buf: &[u8],
+/// Decodes the v2 body eagerly: every column's pages are CRC-checked
+/// and unpacked to heap storage up front. `bytes` is the full snapshot
+/// (for offset-based section slicing); `buf` starts right after the
+/// version field.
+fn decode_v2(bytes: &[u8], buf: &[u8]) -> Result<(Dataset, Option<DatasetSketch>), ColumnarError> {
+    let parsed = parse_v2(bytes, buf)?;
+    let n = parsed.n;
+    let mut columns = Vec::with_capacity(parsed.fields.len());
+    for (attr, ((width, range), field)) in parsed.columns.iter().zip(&parsed.fields).enumerate() {
+        let codes = page::decode_pages(&bytes[range.clone()], n, *width)
+            .map_err(|e| ColumnarError::Snapshot(format!("column {attr}: {e}")))?;
+        let packed = PackedColumn::from_packed(codes, field.support())
+            .map_err(|e| ColumnarError::Snapshot(format!("column {attr}: {e}")))?;
+        columns.push(Column::from_packed(packed));
+    }
+    Dataset::new(Schema::new(parsed.fields), columns).map(|dataset| (dataset, parsed.sketch))
+}
+
+/// Opens the snapshot at `path` out-of-core: the file is mapped (or
+/// buffered when mmap is unavailable — see `swope_pager::open_mapping`)
+/// and every v2 column becomes a [`PagedColumn`] whose pages fault
+/// through `cache` on first touch. Page CRCs are verified lazily, at
+/// first touch, so opening costs section/schema validation plus one
+/// 8-byte header walk per page — no payload reads.
+///
+/// The snapshot's own partition sketch (when present) doubles as the
+/// pager's eviction hint: each page's cold-tier encoding is picked from
+/// its sketch histogram. v1 snapshots pre-date paging and fall back to
+/// the eager heap loader.
+pub fn open_paged(
+    path: impl AsRef<Path>,
+    cache: Arc<PageCache>,
 ) -> Result<(Dataset, Option<DatasetSketch>), ColumnarError> {
+    let mapping = swope_pager::open_mapping(path.as_ref())?;
+    let bytes = mapping.bytes();
+    let mut buf = bytes;
+    let mut magic = [0u8; 4];
+    take(&mut buf, &mut magic)?;
+    if &magic != MAGIC {
+        return Err(ColumnarError::Snapshot("bad magic".into()));
+    }
+    let version = get_u16(&mut buf)?;
+    match version {
+        V1 => return decode_v1(buf).map(|dataset| (dataset, None)),
+        VERSION => {}
+        other => {
+            return Err(ColumnarError::Snapshot(format!(
+                "unsupported version {other} (expected {V1} or {VERSION})"
+            )))
+        }
+    }
+    let parsed = parse_v2(bytes, buf)?;
+    let n = parsed.n;
+    let mut columns = Vec::with_capacity(parsed.fields.len());
+    for (attr, ((width, range), field)) in parsed.columns.iter().zip(&parsed.fields).enumerate() {
+        let picks =
+            parsed.sketch.as_ref().and_then(|s| s.column(attr)).map(|cs| cs.encoding_picks(*width));
+        let paged = PagedColumn::open(
+            mapping.clone(),
+            cache.clone(),
+            range.clone(),
+            n,
+            field.support(),
+            *width,
+            picks,
+        )
+        .map_err(|e| ColumnarError::Snapshot(format!("column {attr}: {e}")))?;
+        columns.push(Column::from_paged(Arc::new(paged)));
+    }
+    Dataset::new(Schema::new(parsed.fields), columns).map(|dataset| (dataset, parsed.sketch))
+}
+
+/// Everything a v2 snapshot declares short of column payload decoding:
+/// the schema (CRC-checked), each column's stored width and payload
+/// byte range, and the decoded sketch. Shared by the eager loader
+/// ([`decode_v2`]) and the out-of-core one ([`open_paged`]).
+struct ParsedV2 {
+    fields: Vec<Field>,
+    n: usize,
+    /// Per attribute: stored width and the paged-payload byte range in
+    /// the snapshot (past the width tag).
+    columns: Vec<(Width, std::ops::Range<usize>)>,
+    sketch: Option<DatasetSketch>,
+}
+
+/// Parses and validates a v2 snapshot's structure. `bytes` is the full
+/// snapshot; `buf` starts right after the version field.
+fn parse_v2(bytes: &[u8], mut buf: &[u8]) -> Result<ParsedV2, ColumnarError> {
     let _flags = get_u16(&mut buf)?;
     let section_count = get_u32(&mut buf)? as usize;
     // The table must fit the bytes present before a single entry (or a
@@ -277,7 +410,7 @@ fn decode_v2(
         )));
     }
     let mut columns = Vec::with_capacity(h);
-    for (attr, (section, field)) in column_sections.iter().zip(&fields).enumerate() {
+    for (attr, section) in column_sections.iter().enumerate() {
         if section.kind != SECTION_COLUMN || section.attr != attr as u32 {
             return Err(ColumnarError::Snapshot(format!(
                 "section {} is not column {attr}",
@@ -285,17 +418,14 @@ fn decode_v2(
             )));
         }
         let slice = section_slice(bytes, section);
-        let (&tag, payload) = slice
+        let (&tag, _) = slice
             .split_first()
             .ok_or_else(|| ColumnarError::Snapshot("empty column section".into()))?;
         let width = Width::from_tag(tag).ok_or_else(|| {
             ColumnarError::Snapshot(format!("column {attr}: bad width tag {tag}"))
         })?;
-        let codes = page::decode_pages(payload, n, width)
-            .map_err(|e| ColumnarError::Snapshot(format!("column {attr}: {e}")))?;
-        let packed = PackedColumn::from_packed(codes, field.support())
-            .map_err(|e| ColumnarError::Snapshot(format!("column {attr}: {e}")))?;
-        columns.push(Column::from_packed(packed));
+        let start = section.offset as usize + 1;
+        columns.push((width, start..start + (section.len as usize - 1)));
     }
     let sketch = match sketch_section {
         Some(section) => {
@@ -312,7 +442,7 @@ fn decode_v2(
         }
         None => None,
     };
-    Dataset::new(Schema::new(fields), columns).map(|dataset| (dataset, sketch))
+    Ok(ParsedV2 { fields, n, columns, sketch })
 }
 
 /// Decodes the legacy v1 body (after magic + version). Columns are
@@ -832,6 +962,87 @@ mod tests {
         write_file(&ds, &path).unwrap();
         let back = read_file(&path).unwrap();
         assert_eq!(back, ds);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Writes `ds` to a fresh temp snapshot and returns the path.
+    fn temp_snapshot(ds: &Dataset, name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("swope-snapshot-paged-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        write_file(ds, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn open_paged_round_trips_all_widths() {
+        let ds = tri_width();
+        let path = temp_snapshot(&ds, "tri.swop");
+        let (paged, sketch) = open_paged(&path, Arc::new(PageCache::unbounded())).unwrap();
+        assert!(paged.column(0).is_paged());
+        assert_eq!(paged.column(0).width(), Width::U8);
+        assert_eq!(paged.column(1).width(), Width::U16);
+        assert_eq!(paged.column(2).width(), Width::U32);
+        // Opening touches no payload: nothing resident, no CRC checked yet.
+        assert_eq!(paged.column(0).bytes_in_memory(), 0);
+        assert_eq!(paged, ds, "paged and heap loads are logically identical");
+        assert_eq!(sketch.expect("writer emits a sketch"), build_sketch(&ds));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_paged_under_tiny_budget_matches_and_rewrites_identically() {
+        let ds = tri_width();
+        let path = temp_snapshot(&ds, "tiny-budget.swop");
+        let original = std::fs::read(&path).unwrap();
+        // A 1-byte budget forces every fault to evict; reads and the
+        // streaming re-writer must still be exact.
+        let (paged, _) = open_paged(&path, Arc::new(PageCache::new(Some(1)))).unwrap();
+        assert_eq!(paged.column(2).value_counts(), ds.column(2).value_counts());
+        let rewritten = encode(&paged);
+        assert_eq!(rewritten, original, "paged re-snapshot is byte-identical");
+        // And the paged dataset's sketch rebuild matches the heap one.
+        assert_eq!(build_sketch(&paged), build_sketch(&ds));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_paged_falls_back_to_heap_for_v1() {
+        let ds = tri_width();
+        let dir = std::env::temp_dir().join("swope-snapshot-paged-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.swop");
+        std::fs::write(&path, encode_v1(&ds)).unwrap();
+        let (back, sketch) = open_paged(&path, Arc::new(PageCache::unbounded())).unwrap();
+        assert!(!back.column(0).is_paged(), "v1 has no paged form");
+        assert!(sketch.is_none());
+        assert_eq!(back, ds);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_paged_corrupt_page_fails_on_first_touch_only() {
+        let ds = tri_width();
+        let path = temp_snapshot(&ds, "corrupt.swop");
+        let mut bytes = std::fs::read(&path).unwrap();
+        // The byte just before the sketch section sits in the last
+        // column's final page payload.
+        let (sketch_off, _) = last_section(&bytes);
+        bytes[sketch_off - 1] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        // Eager load rejects up front; paged open succeeds (CRCs are
+        // lazy) and only the corrupt column's touch fails.
+        assert!(read_file(&path).is_err());
+        let (paged, _) = open_paged(&path, Arc::new(PageCache::unbounded())).unwrap();
+        assert_eq!(paged.column(0).value_counts(), ds.column(0).value_counts());
+        let last = paged.num_attrs() - 1;
+        let err = paged
+            .column(last)
+            .paged()
+            .unwrap()
+            .value_counts()
+            .expect_err("corrupt page must fail on first touch");
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use swope_columnar::{AttrIndex, Code, Dataset};
+use swope_columnar::{AttrIndex, Code, ColumnStorage, Dataset};
 use swope_estimate::bounds::{lambda, mi_bounds, MiBounds};
 use swope_estimate::entropy::EntropyCounter;
 use swope_estimate::joint::JointEntropyCounter;
@@ -206,7 +206,10 @@ pub fn mi_top_k_batch_exec<O: QueryObserver>(
                 // whose target or candidate set touches `attr`, so they use
                 // a common u32 representation; the random reads still move
                 // only the column's packed width through the cache.
-                dataset.column(attr).packed().codes().gather_widen(block, buf);
+                match dataset.column(attr).storage() {
+                    ColumnStorage::Heap(packed) => packed.codes().gather_widen(block, buf),
+                    ColumnStorage::Paged(paged) => paged.gather_widen(block, buf),
+                }
             }
             for (attr, counter) in marginals.iter_mut().enumerate() {
                 for &c in &gathered[attr] {

@@ -59,7 +59,7 @@
 use std::ops::Range;
 use std::time::Instant;
 
-use swope_columnar::{AttrIndex, Code, CodeRepr, Dataset, DatasetSketch};
+use swope_columnar::{AttrIndex, Code, CodeRepr, ColumnStorage, Dataset, DatasetSketch};
 use swope_estimate::entropy::EntropyCounter;
 use swope_obs::{QueryKind, QueryObserver};
 use swope_sampling::rng::Xoshiro256pp;
@@ -205,23 +205,46 @@ fn scan_predicate(
     let mut scanned = 0u64;
     let first_page = range.start / PAGE_ROWS;
     let last_page = range.end.div_ceil(PAGE_ROWS);
-    for_packed!(column.packed().codes(), |codes| {
-        for page in first_page..last_page {
-            if let Some(sk) = sketch {
-                if sk.column(attr).is_some_and(|c| c.page_count(page, code) == 0) {
-                    continue;
+    match column.storage() {
+        ColumnStorage::Heap(packed) => for_packed!(packed.codes(), |codes| {
+            for page in first_page..last_page {
+                if let Some(sk) = sketch {
+                    if sk.column(attr).is_some_and(|c| c.page_count(page, code) == 0) {
+                        continue;
+                    }
+                }
+                let lo = range.start.max(page * PAGE_ROWS);
+                let hi = range.end.min((page + 1) * PAGE_ROWS);
+                scanned += (hi - lo) as u64;
+                for (off, c) in codes[lo..hi].iter().enumerate() {
+                    if c.widen() == code {
+                        rows.push((lo + off) as u32);
+                    }
                 }
             }
-            let lo = range.start.max(page * PAGE_ROWS);
-            let hi = range.end.min((page + 1) * PAGE_ROWS);
-            scanned += (hi - lo) as u64;
-            for (off, c) in codes[lo..hi].iter().enumerate() {
-                if c.widen() == code {
-                    rows.push((lo + off) as u32);
+        }),
+        // A paged column scans through a cursor, so sketch-skipped pages
+        // are never faulted (and never CRC-checked) — a predicate scan
+        // touches exactly the pages that can hold matches.
+        ColumnStorage::Paged(paged) => {
+            let mut cur = paged.cursor();
+            for page in first_page..last_page {
+                if let Some(sk) = sketch {
+                    if sk.column(attr).is_some_and(|c| c.page_count(page, code) == 0) {
+                        continue;
+                    }
+                }
+                let lo = range.start.max(page * PAGE_ROWS);
+                let hi = range.end.min((page + 1) * PAGE_ROWS);
+                scanned += (hi - lo) as u64;
+                for r in lo..hi {
+                    if cur.code(r) == code {
+                        rows.push(r as u32);
+                    }
                 }
             }
         }
-    });
+    }
     (rows, scanned)
 }
 

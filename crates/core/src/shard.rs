@@ -41,7 +41,7 @@
 //! * `*_sharded` / `*_sharded_exec` — entry points mirroring the
 //!   unsharded API, answering from `shards` in-process row shards.
 
-use swope_columnar::{AttrIndex, Code, CodeRepr, Column, Dataset};
+use swope_columnar::{AttrIndex, Code, CodeRepr, Column, ColumnStorage, Dataset};
 use swope_estimate::bounds::lambda;
 use swope_estimate::entropy::EntropyCounter;
 use swope_estimate::freq::{pack_pair, unpack_pair};
@@ -476,13 +476,23 @@ impl ShardTransport for LocalShardSource<'_> {
                 tcodes.clear();
                 tcodes.reserve(rows.len());
                 let mut counts = CountState::new(support);
-                for_packed!(column.packed().codes(), |codes| {
-                    for &r in rows {
-                        let c = codes[r as usize].widen();
-                        counts.add(c);
-                        tcodes.push(c);
+                match column.storage() {
+                    ColumnStorage::Heap(packed) => for_packed!(packed.codes(), |codes| {
+                        for &r in rows {
+                            let c = codes[r as usize].widen();
+                            counts.add(c);
+                            tcodes.push(c);
+                        }
+                    }),
+                    ColumnStorage::Paged(paged) => {
+                        let mut cur = paged.cursor();
+                        for &r in rows {
+                            let c = cur.code(r as usize);
+                            counts.add(c);
+                            tcodes.push(c);
+                        }
                     }
-                });
+                }
                 *target = Some(counts);
             }
         }
@@ -500,21 +510,40 @@ impl ShardTransport for LocalShardSource<'_> {
                 });
             }
         }
-        self.exec.for_each_mut(&mut jobs, |job| {
-            for_packed!(job.column.packed().codes(), |codes| match job.tcodes {
-                Some(tcodes) => {
-                    for (&r, &tc) in job.rows.iter().zip(tcodes) {
-                        let c = codes[r as usize].widen();
-                        job.out.add(c);
-                        job.pairs.add(tc, c);
+        self.exec.for_each_mut(&mut jobs, |job| match job.column.storage() {
+            ColumnStorage::Heap(packed) => {
+                for_packed!(packed.codes(), |codes| match job.tcodes {
+                    Some(tcodes) => {
+                        for (&r, &tc) in job.rows.iter().zip(tcodes) {
+                            let c = codes[r as usize].widen();
+                            job.out.add(c);
+                            job.pairs.add(tc, c);
+                        }
+                    }
+                    None => {
+                        for &r in job.rows {
+                            job.out.add(codes[r as usize].widen());
+                        }
+                    }
+                })
+            }
+            ColumnStorage::Paged(paged) => {
+                let mut cur = paged.cursor();
+                match job.tcodes {
+                    Some(tcodes) => {
+                        for (&r, &tc) in job.rows.iter().zip(tcodes) {
+                            let c = cur.code(r as usize);
+                            job.out.add(c);
+                            job.pairs.add(tc, c);
+                        }
+                    }
+                    None => {
+                        for &r in job.rows {
+                            job.out.add(cur.code(r as usize));
+                        }
                     }
                 }
-                None => {
-                    for &r in job.rows {
-                        job.out.add(codes[r as usize].widen());
-                    }
-                }
-            })
+            }
         });
 
         let mut out = Vec::with_capacity(num_shards);

@@ -32,7 +32,7 @@
 //! count the same delta on any number of shards, merge the integer
 //! histograms, and land on bitwise-identical results.
 
-use swope_columnar::{AttrIndex, Code, CodeBuf, CodeRepr, Column, Dataset};
+use swope_columnar::{AttrIndex, Code, CodeBuf, CodeRepr, Column, ColumnStorage, Dataset};
 use swope_estimate::bounds::{entropy_bounds, mi_bounds, EntropyBounds, MiBounds};
 use swope_estimate::entropy::EntropyCounter;
 use swope_estimate::joint::JointEntropyCounter;
@@ -180,9 +180,21 @@ impl EntropyState {
 
     /// Ingests newly sampled rows (O(Δrows)), applied canonically: the
     /// counter update depends only on the row multiset, not its order.
+    /// Paged columns read through a page cursor — same codes in the same
+    /// order, so the delta (and thus the counter) is bitwise identical.
     #[inline]
     pub fn ingest(&mut self, column: &Column, new_rows: &[u32]) {
-        for_packed!(column.packed().codes(), |codes| self.ingest_repr(codes, new_rows));
+        match column.storage() {
+            ColumnStorage::Heap(packed) => {
+                for_packed!(packed.codes(), |codes| self.ingest_repr(codes, new_rows))
+            }
+            ColumnStorage::Paged(paged) => {
+                let mut cur = paged.cursor();
+                for &r in new_rows {
+                    self.delta.add(cur.code(r as usize));
+                }
+            }
+        }
         self.delta.apply_to(&mut self.counter);
     }
 
@@ -201,9 +213,19 @@ impl EntropyState {
     /// [`INGEST_BLOCK_ROWS`].
     #[inline]
     pub fn ingest_staged(&mut self, column: &Column, new_rows: &[u32], buf: &mut CodeBuf) {
-        for_packed!(column.packed().codes(), |codes| {
-            self.ingest_staged_repr(codes, new_rows, buf)
-        });
+        match column.storage() {
+            ColumnStorage::Heap(packed) => {
+                for_packed!(packed.codes(), |codes| self.ingest_staged_repr(codes, new_rows, buf))
+            }
+            ColumnStorage::Paged(paged) => {
+                // Paged columns have no in-memory slab to gather from;
+                // the cursor path produces the identical add sequence.
+                let mut cur = paged.cursor();
+                for &r in new_rows {
+                    self.delta.add(cur.code(r as usize));
+                }
+            }
+        }
         self.delta.apply_to(&mut self.counter);
     }
 
@@ -297,9 +319,22 @@ impl MiState {
     /// stay at their packed width).
     #[inline]
     pub fn ingest(&mut self, column: &Column, target_codes: &[Code], new_rows: &[u32]) {
-        for_packed!(column.packed().codes(), |codes| {
-            self.ingest_repr(codes, target_codes, new_rows)
-        });
+        match column.storage() {
+            ColumnStorage::Heap(packed) => {
+                for_packed!(packed.codes(), |codes| {
+                    self.ingest_repr(codes, target_codes, new_rows)
+                })
+            }
+            ColumnStorage::Paged(paged) => {
+                debug_assert_eq!(target_codes.len(), new_rows.len());
+                let mut cur = paged.cursor();
+                for (&r, &tc) in new_rows.iter().zip(target_codes) {
+                    let c = cur.code(r as usize);
+                    self.delta.add(c);
+                    self.jdelta.add(tc, c);
+                }
+            }
+        }
         self.delta.apply_to(&mut self.counter);
         self.jdelta.apply_to(&mut self.joint);
     }
@@ -327,9 +362,22 @@ impl MiState {
         new_rows: &[u32],
         buf: &mut CodeBuf,
     ) {
-        for_packed!(column.packed().codes(), |codes| {
-            self.ingest_staged_repr(codes, target_codes, new_rows, buf)
-        });
+        match column.storage() {
+            ColumnStorage::Heap(packed) => {
+                for_packed!(packed.codes(), |codes| {
+                    self.ingest_staged_repr(codes, target_codes, new_rows, buf)
+                })
+            }
+            ColumnStorage::Paged(paged) => {
+                debug_assert_eq!(target_codes.len(), new_rows.len());
+                let mut cur = paged.cursor();
+                for (&r, &tc) in new_rows.iter().zip(target_codes) {
+                    let c = cur.code(r as usize);
+                    self.delta.add(c);
+                    self.jdelta.add(tc, c);
+                }
+            }
+        }
         self.delta.apply_to(&mut self.counter);
         self.jdelta.apply_to(&mut self.joint);
     }
@@ -438,7 +486,21 @@ impl TargetState {
     /// [`MiState::ingest_staged`] needs the full iteration's codes, and
     /// it is widened to `u32` because candidates of any width share it.
     pub fn ingest_into(&mut self, column: &Column, new_rows: &[u32], out: &mut Vec<Code>) {
-        for_packed!(column.packed().codes(), |codes| self.ingest_into_repr(codes, new_rows, out));
+        match column.storage() {
+            ColumnStorage::Heap(packed) => {
+                for_packed!(packed.codes(), |codes| self.ingest_into_repr(codes, new_rows, out))
+            }
+            ColumnStorage::Paged(paged) => {
+                out.clear();
+                out.reserve(new_rows.len());
+                let mut cur = paged.cursor();
+                for &r in new_rows {
+                    let c = cur.code(r as usize);
+                    self.delta.add(c);
+                    out.push(c);
+                }
+            }
+        }
         self.delta.apply_to(&mut self.counter);
     }
 

@@ -1,0 +1,280 @@
+//! Determinism property for the out-of-core pager: every adaptive loop
+//! must return bitwise-identical results whether the dataset lives on
+//! the heap, is memory-mapped page-by-page, or is paged under a byte
+//! budget small enough to force continuous eviction.
+//!
+//! The pager changes only where code bytes live between touches. Every
+//! paged read path (cursor ingest, `gather_widen`, per-page predicate
+//! scans) produces the exact same code sequence the heap's packed slices
+//! do, so the `(counter, joint)` update order — and therefore every
+//! float — is identical. This is the acceptance bar for `swope-pager`:
+//! heap / mmap / budget-evicting modes × widths {u8,u16,u32} × exec
+//! threads {1,8}, across all six loops plus the scoped and sharded
+//! entry points.
+
+use std::sync::Arc;
+
+use swope_columnar::{snapshot, Column, Dataset, DatasetSketch, Field, PageCache, Schema, Width};
+use swope_core::{
+    entropy_filter, entropy_filter_scoped_exec, entropy_filter_sharded_exec, entropy_profile,
+    entropy_profile_scoped_exec, entropy_profile_sharded_exec, entropy_top_k,
+    entropy_top_k_scoped_exec, entropy_top_k_sharded_exec, mi_filter, mi_filter_scoped_exec,
+    mi_filter_sharded_exec, mi_profile, mi_profile_scoped_exec, mi_profile_sharded_exec, mi_top_k,
+    mi_top_k_scoped_exec, mi_top_k_sharded_exec, Executor, NoopObserver, Scope, SwopeConfig,
+};
+use swope_sampling::rng::Xoshiro256pp;
+
+const THREADS: [usize; 2] = [1, 8];
+
+/// Rows: two full 64Ki pages plus a partial third, so page boundaries
+/// and the tail page are both exercised.
+const ROWS: usize = 150_000;
+
+/// Tight enough that the u32 column alone (4 pages, 256 KiB each)
+/// cannot stay resident, loose enough that the pinned page plus one
+/// neighbour always fit: eviction churns on every scan.
+const BUDGET: u64 = 600_000;
+
+/// Supports spanning all three packed widths, with skew on the narrow
+/// columns (so RLE/palette demotion picks actually fire) and a small
+/// target for the MI loops.
+fn dataset(seed: u64) -> Dataset {
+    let mut r = Xoshiro256pp::seed_from_u64(seed);
+    let mut make = |support: u32, skew: bool| -> Vec<u32> {
+        (0..ROWS)
+            .map(|_| {
+                let c = r.next_below(support as u64) as u32;
+                if skew && r.next_below(4) != 0 {
+                    c % 3
+                } else {
+                    c
+                }
+            })
+            .collect()
+    };
+    let specs: [(&str, u32, bool); 4] =
+        [("target", 5, true), ("narrow", 40, true), ("mid", 2_000, false), ("wide", 70_000, false)];
+    let mut fields = Vec::new();
+    let mut columns = Vec::new();
+    for (name, support, skew) in specs {
+        let codes = make(support, skew);
+        fields.push(Field::new(name, support));
+        columns.push(Column::new(codes, support).unwrap());
+    }
+    Dataset::new(Schema::new(fields), columns).unwrap()
+}
+
+fn temp_snapshot(ds: &Dataset, name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("swope-pager-inv-{}-{name}", std::process::id()));
+    snapshot::write_file(ds, &path).unwrap();
+    path
+}
+
+fn config(seed: u64, threads: usize) -> SwopeConfig {
+    SwopeConfig::with_epsilon(0.2).with_seed(seed).with_threads(threads)
+}
+
+struct Mode {
+    label: &'static str,
+    dataset: Dataset,
+    sketch: Option<DatasetSketch>,
+    cache: Option<Arc<PageCache>>,
+}
+
+/// The one dataset in its three storage modes. The paged modes read the
+/// same snapshot file the heap mode decoded eagerly.
+fn modes(seed: u64) -> (Vec<Mode>, std::path::PathBuf) {
+    let ds = dataset(seed);
+    assert_eq!(ds.column(1).width(), Width::U8);
+    assert_eq!(ds.column(2).width(), Width::U16);
+    assert_eq!(ds.column(3).width(), Width::U32);
+    let path = temp_snapshot(&ds, &format!("{seed}.swop"));
+    let (heap, heap_sketch) = snapshot::read_file_with_sketch(&path).unwrap();
+    let mut out = vec![Mode { label: "heap", dataset: heap, sketch: heap_sketch, cache: None }];
+    for (label, budget) in [("mmap", None), ("budget", Some(BUDGET))] {
+        let cache = Arc::new(PageCache::new(budget));
+        let (paged, sketch) = snapshot::open_paged(&path, Arc::clone(&cache)).unwrap();
+        for attr in 0..paged.num_attrs() {
+            assert!(paged.column(attr).is_paged(), "{label} column {attr} should be paged");
+        }
+        out.push(Mode { label, dataset: paged, sketch, cache: Some(cache) });
+    }
+    (out, path)
+}
+
+/// Runs `query` on every mode × thread count and asserts each result is
+/// identical to the heap single-thread baseline. The budget mode must
+/// actually have evicted (otherwise it degenerates to the mmap mode and
+/// proves nothing) and must fit its configured budget after a trim —
+/// concurrent gathers (8 exec threads, and the sharded test's 4 shards)
+/// pin pages past the budget while they run, and only the next
+/// admission or an explicit `trim()` reclaims the overshoot.
+fn assert_pager_invariant<R: PartialEq + std::fmt::Debug>(
+    seed: u64,
+    query: impl Fn(&Mode, &SwopeConfig) -> R,
+) {
+    let (modes, path) = modes(seed);
+    let baseline = query(&modes[0], &config(seed, 1));
+    for mode in &modes {
+        for t in THREADS {
+            assert_eq!(
+                query(mode, &config(seed, t)),
+                baseline,
+                "mode = {}, threads = {t}",
+                mode.label
+            );
+        }
+        if let Some(cache) = &mode.cache {
+            let snap = cache.snapshot();
+            assert!(snap.faults > 0, "{}: queries should fault pages in", mode.label);
+            if let Some(budget) = snap.budget_bytes {
+                assert!(snap.evictions > 0, "budget mode never evicted");
+                cache.trim();
+                let resident = cache.snapshot().resident_bytes;
+                assert!(
+                    resident <= budget,
+                    "trimmed steady-state resident {resident} exceeds budget {budget}"
+                );
+            } else {
+                assert_eq!(snap.evictions, 0, "unbounded cache must not evict");
+            }
+        }
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+/// A scope that exercises both the range clamp and the sketch-guided
+/// predicate scan (the skewed narrow column makes some pages skippable).
+fn scope() -> Scope {
+    Scope::range(10_000, 140_000).with_predicate(1, 2)
+}
+
+#[test]
+fn entropy_top_k_is_pager_invariant() {
+    assert_pager_invariant(31, |m, cfg| entropy_top_k(&m.dataset, 3, cfg).unwrap());
+}
+
+#[test]
+fn entropy_filter_is_pager_invariant() {
+    assert_pager_invariant(32, |m, cfg| entropy_filter(&m.dataset, 1.0, cfg).unwrap());
+}
+
+#[test]
+fn mi_top_k_is_pager_invariant() {
+    assert_pager_invariant(33, |m, cfg| mi_top_k(&m.dataset, 0, 2, cfg).unwrap());
+}
+
+#[test]
+fn mi_filter_is_pager_invariant() {
+    assert_pager_invariant(34, |m, cfg| mi_filter(&m.dataset, 0, 0.05, cfg).unwrap());
+}
+
+#[test]
+fn entropy_profile_is_pager_invariant() {
+    assert_pager_invariant(35, |m, cfg| entropy_profile(&m.dataset, 0.05, cfg).unwrap());
+}
+
+#[test]
+fn mi_profile_is_pager_invariant() {
+    assert_pager_invariant(36, |m, cfg| mi_profile(&m.dataset, 0, 0.05, cfg).unwrap());
+}
+
+#[test]
+fn scoped_queries_are_pager_invariant() {
+    assert_pager_invariant(37, |m, cfg| {
+        let exec = Executor::new(cfg.threads);
+        let scope = scope();
+        let sk = m.sketch.as_ref();
+        (
+            entropy_top_k_scoped_exec(&m.dataset, 3, &scope, sk, cfg, &mut NoopObserver, &exec)
+                .unwrap(),
+            entropy_filter_scoped_exec(&m.dataset, 1.0, &scope, sk, cfg, &mut NoopObserver, &exec)
+                .unwrap(),
+            mi_top_k_scoped_exec(&m.dataset, 0, 2, &scope, sk, cfg, &mut NoopObserver, &exec)
+                .unwrap(),
+            mi_filter_scoped_exec(&m.dataset, 0, 0.05, &scope, sk, cfg, &mut NoopObserver, &exec)
+                .unwrap(),
+            entropy_profile_scoped_exec(
+                &m.dataset,
+                0.05,
+                &scope,
+                sk,
+                cfg,
+                &mut NoopObserver,
+                &exec,
+            )
+            .unwrap(),
+            mi_profile_scoped_exec(&m.dataset, 0, 0.05, &scope, sk, cfg, &mut NoopObserver, &exec)
+                .unwrap(),
+        )
+    });
+}
+
+/// Flips one byte in the last column's final page payload (the byte
+/// just before the sketch section, located via the section table:
+/// 12-byte header, then 24-byte entries of kind/attr u32 + offset/len
+/// u64 with the sketch entry last).
+fn corrupt_last_page(path: &std::path::Path) {
+    let mut bytes = std::fs::read(path).unwrap();
+    let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let entry = 12 + (count - 1) * 24;
+    let sketch_off = u64::from_le_bytes(bytes[entry + 8..entry + 16].try_into().unwrap()) as usize;
+    bytes[sketch_off - 1] ^= 1;
+    std::fs::write(path, bytes).unwrap();
+}
+
+#[test]
+fn untouched_corrupt_pages_do_not_fail_scoped_sampling_queries() {
+    let seed = 39;
+    let ds = dataset(seed);
+    let path = temp_snapshot(&ds, "corrupt.swop");
+    corrupt_last_page(&path);
+
+    // Eager load validates every CRC up front and refuses the file.
+    assert!(snapshot::read_file_with_sketch(&path).is_err());
+
+    // Paged open defers CRCs to first touch, so a scope confined to the
+    // first two pages (rows < 100k never reach the final page starting
+    // at row 131072) samples normally — and answers exactly what the
+    // pristine in-memory dataset does.
+    let (paged, sketch) = snapshot::open_paged(&path, Arc::new(PageCache::unbounded())).unwrap();
+    let scope = Scope::range(0, 100_000);
+    let cfg = config(seed, 1);
+    let exec = Executor::new(cfg.threads);
+    let got = entropy_top_k_scoped_exec(
+        &paged,
+        3,
+        &scope,
+        sketch.as_ref(),
+        &cfg,
+        &mut NoopObserver,
+        &exec,
+    )
+    .unwrap();
+    let want =
+        entropy_top_k_scoped_exec(&ds, 3, &scope, sketch.as_ref(), &cfg, &mut NoopObserver, &exec)
+            .unwrap();
+    assert_eq!(got, want, "corruption outside the scope must be invisible");
+
+    // Touching the bad page is a one-line error naming its index.
+    let last = paged.num_attrs() - 1;
+    let err = paged.column(last).paged().unwrap().value_counts().unwrap_err();
+    assert_eq!(err.to_string(), "corrupt store data: page 2: checksum mismatch");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn sharded_queries_are_pager_invariant() {
+    assert_pager_invariant(38, |m, cfg| {
+        let exec = Executor::new(cfg.threads);
+        (
+            entropy_top_k_sharded_exec(&m.dataset, 3, 4, cfg, &mut NoopObserver, &exec).unwrap(),
+            entropy_filter_sharded_exec(&m.dataset, 1.0, 4, cfg, &mut NoopObserver, &exec).unwrap(),
+            mi_top_k_sharded_exec(&m.dataset, 0, 2, 4, cfg, &mut NoopObserver, &exec).unwrap(),
+            mi_filter_sharded_exec(&m.dataset, 0, 0.05, 4, cfg, &mut NoopObserver, &exec).unwrap(),
+            entropy_profile_sharded_exec(&m.dataset, 0.05, 4, cfg, &mut NoopObserver, &exec)
+                .unwrap(),
+            mi_profile_sharded_exec(&m.dataset, 0, 0.05, 4, cfg, &mut NoopObserver, &exec).unwrap(),
+        )
+    });
+}

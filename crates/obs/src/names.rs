@@ -163,6 +163,45 @@ pub const CONN_KEEPALIVE_REUSES_TOTAL: &str = "swope_conn_keepalive_reuses_total
 /// is a normal close and is *not* counted here).
 pub const CONN_TIMEOUTS_TOTAL: &str = "swope_conn_timeouts_total";
 
+/// Counter: page faults taken by the out-of-core pager — first touches
+/// and refaults after eviction, each decoding a page from the mapped
+/// snapshot (or its compressed resident form) into the page cache.
+pub const PAGER_FAULTS_TOTAL: &str = "swope_pager_faults_total";
+
+/// Counter: seconds spent servicing page faults (decode + CRC check +
+/// admission), summed across threads. Divide by
+/// `swope_pager_faults_total` for mean fault latency.
+pub const PAGER_FAULT_SECONDS_TOTAL: &str = "swope_pager_fault_seconds_total";
+
+/// Counter: pages evicted by the CLOCK sweep to honour the byte budget
+/// (`--store-budget-bytes`). Zero on an unbounded cache.
+pub const PAGER_EVICTIONS_TOTAL: &str = "swope_pager_evictions_total";
+
+/// Counter: per-page CRC validations performed — exactly one per page
+/// on its *first* touch; refaults of an already-validated page skip the
+/// check.
+pub const PAGER_CRC_VALIDATIONS_TOTAL: &str = "swope_pager_crc_validations_total";
+
+/// Counter: faults served by decompressing a resident cold page
+/// (RLE/palette) instead of re-reading the snapshot.
+pub const PAGER_DECOMPRESSIONS_TOTAL: &str = "swope_pager_decompressions_total";
+
+/// Gauge: decoded page bytes currently resident in the page cache.
+pub const PAGER_RESIDENT_BYTES: &str = "swope_pager_resident_bytes";
+
+/// Gauge: high-water mark of `swope_pager_resident_bytes` since startup.
+pub const PAGER_PEAK_RESIDENT_BYTES: &str = "swope_pager_peak_resident_bytes";
+
+/// Gauge: configured page-cache byte budget (`0` when unbounded).
+pub const PAGER_BUDGET_BYTES: &str = "swope_pager_budget_bytes";
+
+/// Gauge: pages held in compressed (cold) resident form.
+pub const PAGER_COMPRESSED_PAGES: &str = "swope_pager_compressed_pages";
+
+/// Gauge: bytes those compressed pages occupy (already counted inside
+/// `swope_pager_resident_bytes`).
+pub const PAGER_COMPRESSED_BYTES: &str = "swope_pager_compressed_bytes";
+
 /// Counter with a `tenant` label: requests attributed to each
 /// `X-Swope-Api-Key` bucket by admission control (only rendered when
 /// quotas are enabled; bounded cardinality — past the tenant cap new

@@ -1,0 +1,221 @@
+//! Snapshot byte sources: `mmap(2)` on Linux with a buffered-read
+//! fallback, behind one trait — the same facility-behind-a-trait shape
+//! as the server's `Poller`.
+//!
+//! A [`Mapping`] is an immutable byte view of one snapshot file. The
+//! pager never writes through it and never reads past the length
+//! captured at open, so the only liveness assumption is the usual mmap
+//! one: the file must not be truncated while mapped. Snapshot files are
+//! written once and renamed into place, so that holds by convention.
+//!
+//! Selection ([`open_mapping`]): Linux maps the file `PROT_READ` /
+//! `MAP_PRIVATE` and advises `MADV_RANDOM` (page faults follow the
+//! sampler's permuted row order, not file order); every other platform —
+//! and Linux with `SWOPE_FORCE_READ=1` in the environment — reads the
+//! whole file into a heap buffer instead. A failed `mmap` also falls
+//! back to the heap read rather than erroring: the fallback is always
+//! correct, just not out-of-core.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// An immutable byte view of a snapshot file.
+pub trait Mapping: Send + Sync {
+    /// The file's bytes, complete and in order.
+    fn bytes(&self) -> &[u8];
+
+    /// `"mmap"` or `"read"` — surfaced by `swope inspect` and
+    /// `/datasets` so operators can tell which facility is live.
+    fn kind(&self) -> &'static str;
+}
+
+/// Fallback source: the whole file read into an anonymous heap buffer.
+pub struct HeapMapping {
+    bytes: Vec<u8>,
+}
+
+impl HeapMapping {
+    /// Reads `path` in full.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        Ok(Self { bytes: std::fs::read(path)? })
+    }
+}
+
+impl Mapping for HeapMapping {
+    fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    fn kind(&self) -> &'static str {
+        "read"
+    }
+}
+
+/// Raw-syscall bindings, gated exactly like the server's event layer.
+#[cfg(target_os = "linux")]
+mod sys {
+    use core::ffi::c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
+    }
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MADV_RANDOM: i32 = 1;
+}
+
+/// A read-only private memory map of the file.
+#[cfg(target_os = "linux")]
+pub struct MmapMapping {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is PROT_READ and owned exclusively by this struct;
+// concurrent readers of an immutable byte range are safe.
+#[cfg(target_os = "linux")]
+unsafe impl Send for MmapMapping {}
+#[cfg(target_os = "linux")]
+unsafe impl Sync for MmapMapping {}
+
+#[cfg(target_os = "linux")]
+impl MmapMapping {
+    /// Maps `path` read-only. Errors if the map itself fails; the caller
+    /// decides whether to fall back.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            // mmap rejects zero-length maps; an empty file has nothing
+            // to page anyway.
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "empty file"));
+        }
+        // SAFETY: fd is a valid open file descriptor for `len` bytes;
+        // NULL addr lets the kernel place the map.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        // Advisory only: the fault pattern follows sampled row order.
+        // SAFETY: ptr/len describe the mapping just created.
+        unsafe {
+            let _ = sys::madvise(ptr, len, sys::MADV_RANDOM);
+        }
+        Ok(Self { ptr: ptr as *const u8, len })
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Mapping for MmapMapping {
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+        // self; unmapped only in Drop.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    fn kind(&self) -> &'static str {
+        "mmap"
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for MmapMapping {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len came from a successful mmap and are unmapped
+        // exactly once.
+        unsafe {
+            let _ = sys::munmap(self.ptr as *mut core::ffi::c_void, self.len);
+        }
+    }
+}
+
+/// `SWOPE_FORCE_READ=1` forces the buffered-read fallback even where
+/// mmap is available — the escape hatch mirroring `SWOPE_FORCE_POLL`.
+fn force_read() -> bool {
+    std::env::var_os("SWOPE_FORCE_READ").is_some_and(|v| v == "1")
+}
+
+/// Opens the best available [`Mapping`] for `path`: mmap on Linux
+/// (unless `SWOPE_FORCE_READ=1` or the map fails), buffered read
+/// everywhere else.
+pub fn open_mapping(path: &Path) -> io::Result<Arc<dyn Mapping>> {
+    #[cfg(target_os = "linux")]
+    {
+        if !force_read() {
+            if let Ok(m) = MmapMapping::open(path) {
+                return Ok(Arc::new(m));
+            }
+        }
+    }
+    Ok(Arc::new(HeapMapping::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("swope-pager-map-{}-{name}", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn heap_mapping_reads_whole_file() {
+        let path = tmp("heap", b"0123456789");
+        let m = HeapMapping::open(&path).unwrap();
+        assert_eq!(m.bytes(), b"0123456789");
+        assert_eq!(m.kind(), "read");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn mmap_mapping_matches_file_bytes() {
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let path = tmp("mmap", &payload);
+        let m = MmapMapping::open(&path).unwrap();
+        assert_eq!(m.bytes(), &payload[..]);
+        assert_eq!(m.kind(), "mmap");
+        drop(m);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn mmap_rejects_empty_file() {
+        let path = tmp("empty", b"");
+        assert!(MmapMapping::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_mapping_always_succeeds_on_real_files() {
+        let path = tmp("auto", b"swop bytes");
+        let m = open_mapping(&path).unwrap();
+        assert_eq!(m.bytes(), b"swop bytes");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use swope_cluster::ClusterSnapshot;
+use swope_columnar::PagerSnapshot;
 use swope_core::ExecStats;
 use swope_obs::{names, Histogram, MetricsRegistry};
 
@@ -206,6 +207,7 @@ impl ServerMetrics {
         traces: TraceCounters,
         cluster: Option<(u64, u64)>,
         wire: ClusterSnapshot,
+        pager: PagerSnapshot,
     ) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "# TYPE {} counter", names::HTTP_REQUESTS_TOTAL);
@@ -333,6 +335,32 @@ impl ServerMetrics {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
         }
+        for (name, value) in [
+            (names::PAGER_FAULTS_TOTAL, pager.faults),
+            (names::PAGER_EVICTIONS_TOTAL, pager.evictions),
+            (names::PAGER_CRC_VALIDATIONS_TOTAL, pager.crc_validations),
+            (names::PAGER_DECOMPRESSIONS_TOTAL, pager.decompressions),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let _ = writeln!(out, "# TYPE {} counter", names::PAGER_FAULT_SECONDS_TOTAL);
+        let _ = writeln!(
+            out,
+            "{} {:.9}",
+            names::PAGER_FAULT_SECONDS_TOTAL,
+            pager.fault_nanos as f64 / 1e9
+        );
+        for (name, value) in [
+            (names::PAGER_RESIDENT_BYTES, pager.resident_bytes),
+            (names::PAGER_PEAK_RESIDENT_BYTES, pager.peak_resident_bytes),
+            (names::PAGER_BUDGET_BYTES, pager.budget_bytes.unwrap_or(0)),
+            (names::PAGER_COMPRESSED_PAGES, pager.compressed_pages),
+            (names::PAGER_COMPRESSED_BYTES, pager.compressed_bytes),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
         self.request_micros.render_prometheus(names::HTTP_REQUEST_MICROS, &mut out);
         let _ = writeln!(out, "# TYPE {}_approx_quantile gauge", names::HTTP_REQUEST_MICROS);
         self.request_micros.render_quantiles(names::HTTP_REQUEST_MICROS, "", &mut out);
@@ -430,6 +458,14 @@ mod tests {
             TraceCounters { recorded: 4, slow: 1 },
             Some((2, 131072)),
             ClusterSnapshot { queries: 3, ..Default::default() },
+            PagerSnapshot {
+                faults: 11,
+                fault_nanos: 2_500_000_000,
+                evictions: 5,
+                resident_bytes: 4096,
+                budget_bytes: Some(8192),
+                ..Default::default()
+            },
         );
         assert!(text.contains(&format!("{} 2\n", names::HTTP_REQUESTS_TOTAL)));
         assert!(text.contains(&format!("{}{{class=\"2xx\"}} 1", names::HTTP_RESPONSES_TOTAL)));
@@ -486,6 +522,7 @@ mod tests {
             TraceCounters::default(),
             None,
             ClusterSnapshot::default(),
+            PagerSnapshot::default(),
         );
         assert!(text.contains(&format!("{} 12\n", names::CONN_OPEN)));
         assert!(text.contains(&format!("{} 9\n", names::CONN_IDLE)));
@@ -522,6 +559,7 @@ mod tests {
             TraceCounters::default(),
             None,
             ClusterSnapshot::default(),
+            PagerSnapshot::default(),
         );
         assert!(text.contains(&format!("{}{{tenant=\"other\"}}", names::TENANT_REQUESTS_TOTAL)));
         let families = text.matches(&format!("{}{{", names::TENANT_REQUESTS_TOTAL)).count();
@@ -546,6 +584,7 @@ mod tests {
             TraceCounters::default(),
             None,
             ClusterSnapshot::default(),
+            PagerSnapshot::default(),
         );
         let fam = names::HTTP_ENDPOINT_MICROS;
         assert!(text.contains(&format!("# TYPE {fam} histogram")));
@@ -576,6 +615,7 @@ mod tests {
             TraceCounters::default(),
             None,
             ClusterSnapshot::default(),
+            PagerSnapshot::default(),
         );
         assert!(text.contains(&format!("{fam}_count{{endpoint=\"other\",dataset=\"other\"}}")));
         let families = text.matches(&format!("{fam}_count{{")).count();

@@ -67,10 +67,10 @@ impl DatasetRegistry {
         let (capped, kept) = dataset.cap_support(self.max_support);
         let sketch = match file_sketch {
             Some(sk) if kept.len() == before => sk,
-            _ => DatasetSketch::build(
-                capped.num_rows(),
-                (0..capped.num_attrs()).map(|a| capped.column(a).packed()),
-            ),
+            // Rebuild through the snapshot module's paged-aware path: a
+            // capped out-of-core dataset sketches one faulted page at a
+            // time instead of materializing whole columns.
+            _ => swope_columnar::snapshot::build_sketch(&capped),
         };
         let entry = Arc::new(DatasetEntry {
             name: name.to_owned(),
@@ -90,6 +90,28 @@ impl DatasetRegistry {
     pub fn load_path(&self, path: &str) -> Result<Arc<DatasetEntry>, String> {
         let (dataset, sketch) =
             Dataset::from_path_with_sketch(path).map_err(|e| format!("loading {path}: {e}"))?;
+        self.insert_loaded(path, dataset, sketch)
+    }
+
+    /// [`DatasetRegistry::load_path`], but `.swop` snapshots open
+    /// *out-of-core*: columns stay in the mapped file and fault
+    /// page-by-page through `cache` (CSV files still load eagerly).
+    pub fn load_path_paged(
+        &self,
+        path: &str,
+        cache: &Arc<swope_columnar::PageCache>,
+    ) -> Result<Arc<DatasetEntry>, String> {
+        let (dataset, sketch) = Dataset::from_path_paged(path, Arc::clone(cache))
+            .map_err(|e| format!("loading {path}: {e}"))?;
+        self.insert_loaded(path, dataset, sketch)
+    }
+
+    fn insert_loaded(
+        &self,
+        path: &str,
+        dataset: Dataset,
+        sketch: Option<DatasetSketch>,
+    ) -> Result<Arc<DatasetEntry>, String> {
         let name = Path::new(path)
             .file_stem()
             .and_then(|s| s.to_str())
@@ -211,6 +233,20 @@ impl DatasetEntry {
         (n - n % swope_columnar::PAGE_ROWS) as u64
     }
 
+    /// Whether any column is pager-backed (loaded out-of-core).
+    pub fn is_paged(&self) -> bool {
+        (0..self.dataset.num_attrs()).any(|a| self.dataset.column(a).is_paged())
+    }
+
+    /// Bytes of pager-backed pages currently resident (hot + compressed
+    /// tiers) across this dataset's columns; 0 for a heap-loaded dataset.
+    pub fn resident_page_bytes(&self) -> u64 {
+        (0..self.dataset.num_attrs())
+            .filter_map(|a| self.dataset.column(a).paged())
+            .map(|p| p.resident_bytes())
+            .sum()
+    }
+
     /// Serializes this entry (shape + per-column stats) as a JSON object.
     pub fn describe_json(&self) -> String {
         use std::fmt::Write as _;
@@ -239,7 +275,24 @@ impl DatasetEntry {
             self.sketch.encoded_len()
         );
         f64_into(&mut out, coverage);
-        out.push_str("},\"column_stats\":[");
+        // In-memory footprint: heap columns report their full packed
+        // size, paged columns only their currently-resident page bytes
+        // (also broken out under `resident_pages`), and the sketch's
+        // encoded size is always counted — `total` is what this dataset
+        // actually holds in memory right now.
+        let column_bytes = stats::bytes_in_memory(&self.dataset) as u64;
+        let sketch_bytes = self.sketch.encoded_len() as u64;
+        let _ = write!(
+            out,
+            "}},\"paged\":{},\"bytes_in_memory\":{{\"columns\":{},\"sketch\":{},\
+             \"resident_pages\":{},\"total\":{}}}",
+            self.is_paged(),
+            column_bytes,
+            sketch_bytes,
+            self.resident_page_bytes(),
+            column_bytes + sketch_bytes
+        );
+        out.push_str(",\"column_stats\":[");
         for (i, s) in stats::dataset_stats(&self.dataset).iter().enumerate() {
             if i > 0 {
                 out.push(',');

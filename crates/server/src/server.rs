@@ -51,7 +51,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 
 use swope_cluster::{probe, serve_connection, ClusterStats, PeerPool, PeerTimeouts};
-use swope_columnar::Dataset;
+use swope_columnar::{Dataset, PageCache};
 use swope_core::{gather_stats, ComposedObserver, Executor};
 use swope_obs::json::Json;
 use swope_obs::trace::{SpanSink, TraceId, TraceObserver, TraceRecord, TraceRecorder};
@@ -134,6 +134,16 @@ pub struct ServerConfig {
     /// Per-tenant token-bucket capacity (burst size). Defaults to twice
     /// the rate, floored at 1.
     pub tenant_burst: Option<f64>,
+    /// Serve `.swop` snapshots out-of-core: map the file (mmap where
+    /// available, buffered reads otherwise) and decode 65 536-row pages
+    /// on demand through the process-wide page cache instead of loading
+    /// every column eagerly.
+    pub mmap: bool,
+    /// Byte budget for the page cache (`--store-budget-bytes`). When the
+    /// decoded pages of out-of-core datasets exceed it, a CLOCK sweep
+    /// re-compresses cold pages and drops the coldest. `None` means
+    /// unbounded.
+    pub store_budget_bytes: Option<u64>,
     /// Test aid (never exposed on the CLI): enables `GET
     /// /debug/sleep?ms=N`, which parks a worker thread for `ms`
     /// milliseconds. Load-shedding, deadline, and drain tests use it to
@@ -165,6 +175,8 @@ impl Default for ServerConfig {
             max_conns: 4096,
             tenant_rps: None,
             tenant_burst: None,
+            mmap: false,
+            store_budget_bytes: None,
             debug_sleep_endpoint: false,
         }
     }
@@ -200,6 +212,13 @@ struct Shared {
     cluster: Option<ClusterTarget>,
     /// Per-tenant admission quotas; `None` when `--tenant-rps` is unset.
     quotas: Option<TenantQuotas>,
+    /// Process-wide page cache for out-of-core datasets. Built even when
+    /// `mmap` is off so `/metrics` always has a snapshot to render — it
+    /// simply stays empty.
+    pager: Arc<PageCache>,
+    /// Mirrors [`ServerConfig::mmap`]: route dataset loads through the
+    /// paged opener.
+    mmap: bool,
     /// Mirrors [`ServerConfig::debug_sleep_endpoint`].
     debug_sleep: bool,
     stop: AtomicBool,
@@ -279,6 +298,8 @@ impl Server {
             cluster_stats,
             cluster,
             quotas,
+            pager: Arc::new(PageCache::new(config.store_budget_bytes)),
+            mmap: config.mmap,
             debug_sleep: config.debug_sleep_endpoint,
             stop: AtomicBool::new(false),
         });
@@ -293,6 +314,12 @@ impl Server {
     /// The dataset registry, for preloading datasets before `run`.
     pub fn registry(&self) -> &DatasetRegistry {
         &self.shared.registry
+    }
+
+    /// The process-wide page cache, for preloading out-of-core datasets
+    /// before `run` (pair with [`DatasetRegistry::load_path_paged`]).
+    pub fn pager(&self) -> &Arc<PageCache> {
+        &self.shared.pager
     }
 
     /// A handle that can stop the server from another thread.
@@ -1053,6 +1080,7 @@ fn route(req: &Request, shared: &Shared, watcher: &QueueWatcher, ctx: &RequestCo
                 },
                 shared.cluster.as_ref().map(|c| (c.addrs.len() as u64, c.union_rows)),
                 shared.cluster_stats.snapshot(),
+                shared.pager.snapshot(),
             ),
         ),
         ("GET", "/datasets") => list_datasets(shared),
@@ -1132,12 +1160,17 @@ fn load_dataset(req: &Request, shared: &Shared) -> Response {
         return Response::error(400, "body must contain a string \"path\" field");
     };
     let name = parsed.get("name").and_then(|v| v.as_str().map(str::to_owned));
-    let entry = match name {
-        Some(name) => match Dataset::from_path(&path) {
+    let entry = match (name, shared.mmap) {
+        (Some(name), false) => match Dataset::from_path(&path) {
             Ok(ds) => Ok(shared.registry.insert(&name, ds)),
             Err(e) => Err(format!("loading {path}: {e}")),
         },
-        None => shared.registry.load_path(&path),
+        (Some(name), true) => match Dataset::from_path_paged(&path, Arc::clone(&shared.pager)) {
+            Ok((ds, sketch)) => Ok(shared.registry.insert_with_sketch(&name, ds, sketch)),
+            Err(e) => Err(format!("loading {path}: {e}")),
+        },
+        (None, false) => shared.registry.load_path(&path),
+        (None, true) => shared.registry.load_path_paged(&path, &shared.pager),
     };
     match entry {
         Ok(entry) => Response::json(201, entry.describe_json()),
@@ -1229,6 +1262,7 @@ fn execute_query(
             );
             let start_ns = sink.now_ns();
             let before = gather_stats::snapshot();
+            let pager_before = shared.pager.snapshot();
             let result = run_query(&entry, spec, &exec, &mut obs);
             let delta = gather_stats::snapshot().since(before);
             if delta.calls > 0 {
@@ -1239,6 +1273,21 @@ fn execute_query(
                     start_ns + delta.nanos,
                     0,
                     delta.rows,
+                );
+            }
+            // Same aggregate-span treatment for the pager: one span whose
+            // width is the summed fault-service time and whose item count
+            // is the pages faulted while this query ran (exact when one
+            // traced query runs at a time).
+            let pdelta = shared.pager.snapshot().since(&pager_before);
+            if pdelta.faults > 0 {
+                sink.record(
+                    "page_fault",
+                    Some(root),
+                    start_ns,
+                    start_ns + pdelta.fault_nanos,
+                    0,
+                    pdelta.faults,
                 );
             }
             result
@@ -1328,6 +1377,8 @@ mod tests {
             cluster_stats: Arc::new(ClusterStats::new()),
             cluster: None,
             quotas: None,
+            pager: Arc::new(PageCache::unbounded()),
+            mmap: false,
             debug_sleep: false,
             stop: AtomicBool::new(false),
         };

@@ -354,6 +354,93 @@ fn datasets_can_be_posted_listed_and_queried() {
 }
 
 #[test]
+fn paged_datasets_serve_identically_and_report_residency() {
+    // A multi-page dataset served two ways: decoded eagerly on the heap,
+    // and out-of-core under a byte budget small enough to force eviction.
+    let ds = swope_datagen::generate(&swope_datagen::corpus::tiny(100_000, 3), 0x5170);
+    let dir = std::env::temp_dir().join("swope-server-pager-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("paged.swop");
+    swope_columnar::snapshot::write_file(&ds, &path).unwrap();
+
+    let heap = TestServer::start(ServerConfig::default());
+    // Big enough for a few hot pages (a u8 page is 64 KiB), small enough
+    // that the dataset's six pages cannot all stay resident — the full
+    // column scan behind `/datasets` is then guaranteed to evict.
+    let budget = 200_000u64;
+    let paged = TestServer::start(ServerConfig {
+        mmap: true,
+        store_budget_bytes: Some(budget),
+        ..ServerConfig::default()
+    });
+    let body = format!("{{\"path\":{:?},\"name\":\"pg\"}}", path.to_str().unwrap());
+    assert_eq!(post(heap.addr, "/datasets", &body).status, 201);
+    let reply = post(paged.addr, "/datasets", &body);
+    assert_eq!(reply.status, 201, "{}", reply.body);
+    let described = Json::parse(&reply.body).unwrap();
+    assert_eq!(described.get("paged").unwrap().as_bool(), Some(true));
+
+    // The pager changes where code bytes live, never what a query
+    // answers: the served bodies must be bitwise-identical.
+    // A loose epsilon keeps the sample (and so the page-fault count)
+    // small; identity must hold regardless of sample size.
+    let q = "/query/entropy-topk?dataset=pg&k=2&seed=7&epsilon=0.5";
+    let a = get(heap.addr, q);
+    let b = get(paged.addr, q);
+    assert_eq!(a.status, 200, "{}", a.body);
+    assert_eq!(a.body, b.body, "paged body must match the heap body byte for byte");
+
+    // `bytes_in_memory` itemizes the true footprint: packed column bytes
+    // (resident pages only, for a paged dataset), the sketch, and the
+    // resident-page gauge. On the heap server the same object reports
+    // the full eager footprint and no paging.
+    let find = |addr: SocketAddr| -> Json {
+        let listing = get(addr, "/datasets");
+        let parsed = Json::parse(&listing.body).unwrap();
+        let Json::Arr(datasets) = parsed.get("datasets").unwrap() else { panic!("not an array") };
+        datasets
+            .iter()
+            .find(|d| d.get("name").unwrap().as_str() == Some("pg"))
+            .expect("pg listed")
+            .clone()
+    };
+    let h = find(heap.addr);
+    assert_eq!(h.get("paged").unwrap().as_bool(), Some(false));
+    let hb = h.get("bytes_in_memory").unwrap();
+    let h_cols = hb.get("columns").unwrap().as_u64().unwrap();
+    let h_sketch = hb.get("sketch").unwrap().as_u64().unwrap();
+    assert_eq!(
+        h_cols as usize,
+        swope_columnar::stats::bytes_in_memory(&ds),
+        "full eager footprint"
+    );
+    assert!(h_sketch > 0, "snapshot sketch bytes counted");
+    assert_eq!(hb.get("resident_pages").unwrap().as_u64(), Some(0));
+    assert_eq!(hb.get("total").unwrap().as_u64(), Some(h_cols + h_sketch));
+
+    let p = find(paged.addr);
+    assert_eq!(p.get("paged").unwrap().as_bool(), Some(true));
+    let pb = p.get("bytes_in_memory").unwrap();
+    let p_cols = pb.get("columns").unwrap().as_u64().unwrap();
+    let p_resident = pb.get("resident_pages").unwrap().as_u64().unwrap();
+    assert_eq!(p_cols, p_resident, "paged column footprint is its resident pages");
+    assert!(p_resident <= budget, "resident {p_resident} exceeds budget {budget}");
+    assert_eq!(
+        pb.get("total").unwrap().as_u64().unwrap(),
+        p_cols + pb.get("sketch").unwrap().as_u64().unwrap()
+    );
+
+    // The pager metric families: faults happened, the budget forced
+    // evictions, and steady-state residency honours the budget.
+    let metrics = get(paged.addr, "/metrics").body;
+    assert!(metric(&metrics, "swope_pager_faults_total") > 0);
+    assert!(metric(&metrics, "swope_pager_evictions_total") > 0);
+    assert!(metric(&metrics, "swope_pager_resident_bytes") <= budget);
+    assert_eq!(metric(&metrics, "swope_pager_budget_bytes"), budget);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn error_paths_return_structured_json() {
     let server = TestServer::start(ServerConfig::default());
     let cases = [

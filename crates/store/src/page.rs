@@ -28,10 +28,10 @@ use crate::{CodeRepr, PackedCodes, StoreError, Width};
 pub const PAGE_ROWS: usize = 1 << 16;
 
 /// Bytes of the page-stream header (`page_rows` + `page_count`).
-const STREAM_HEADER_BYTES: usize = 8;
+pub const STREAM_HEADER_BYTES: usize = 8;
 
 /// Per-page overhead bytes (`rows` + `crc`).
-const PAGE_HEADER_BYTES: usize = 8;
+pub const PAGE_HEADER_BYTES: usize = 8;
 
 /// Exact encoded size of a column payload of `rows` codes at `width`.
 pub fn encoded_len(rows: usize, width: Width) -> usize {

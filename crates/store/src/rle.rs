@@ -1,0 +1,384 @@
+//! Cold-page re-encoding for the pager: run-length and palette
+//! bit-packing codecs over one decoded page of codes.
+//!
+//! When the page cache evicts a decoded page it can keep a compressed
+//! form instead of dropping to the mapping entirely, so a refetch costs
+//! a decode rather than a (possibly cold) disk read plus CRC pass. Two
+//! shapes pay for themselves on real columns:
+//!
+//! * **RLE** — skewed or clustered codes collapse into few runs
+//!   (`[run_count][code u32, len u32]*`). A constant page is 12 bytes.
+//! * **Palette** — a page drawing from `d` distinct codes stores the
+//!   sorted palette once and each row as a `ceil(log2 d)`-bit index
+//!   (`[d][palette u32 × d][packed indices]`).
+//!
+//! The *pick rule* ([`pick_encoding`]) chooses per page from the page's
+//! sketch histogram (distinct count + row count) without touching the
+//! decoded codes; [`compress`] applies the pick and keeps the result
+//! only when it actually beats half the plain bytes — otherwise the
+//! eviction falls back to dropping the page cold. Both codecs round-trip
+//! bit-exactly: [`decompress`] rebuilds the identical [`PackedCodes`],
+//! which is what keeps budget-constrained query results bitwise equal to
+//! heap-mode results.
+
+use crate::{for_packed, Code, CodeRepr, PackedCodes, StoreError, Width};
+
+/// Per-page storage choice for an evicted page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageEncoding {
+    /// Not worth re-encoding: drop cold on eviction.
+    Plain,
+    /// Run-length pairs; wins on constant/clustered pages.
+    Rle,
+    /// Sorted distinct-code palette plus bit-packed indices; wins on
+    /// small-support pages whose codes are shuffled.
+    Palette,
+}
+
+/// Palettes beyond this many distinct codes are never attempted: the
+/// index width approaches the plain width and the win evaporates.
+const MAX_PALETTE: usize = 1 << 12;
+
+/// Chooses a page's eviction encoding from its sketch histogram: the
+/// number of distinct codes on the page and the page's row count, plus
+/// the column's plain storage width. Never reads the codes themselves.
+pub fn pick_encoding(distinct: usize, rows: usize, width: Width) -> PageEncoding {
+    if rows == 0 || distinct == 0 {
+        return PageEncoding::Plain;
+    }
+    if distinct == 1 {
+        return PageEncoding::Rle;
+    }
+    let plain = rows * width.bytes();
+    if distinct <= MAX_PALETTE {
+        let bits = ceil_log2(distinct);
+        let palette_bytes = 4 + distinct * 4 + (rows * bits).div_ceil(8);
+        if palette_bytes * 2 <= plain {
+            return PageEncoding::Palette;
+        }
+    }
+    PageEncoding::Plain
+}
+
+/// A page re-encoded for cold storage. Holds everything needed to
+/// rebuild the exact [`PackedCodes`] it came from.
+#[derive(Debug, Clone)]
+pub struct CompressedPage {
+    encoding: PageEncoding,
+    width: Width,
+    rows: usize,
+    bytes: Vec<u8>,
+}
+
+impl CompressedPage {
+    /// Bytes the compressed form occupies.
+    pub fn bytes_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Rows the page decodes back to.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The encoding this page was stored under.
+    pub fn encoding(&self) -> PageEncoding {
+        self.encoding
+    }
+}
+
+/// Compresses one decoded page under `pick`, returning `None` when the
+/// pick is [`PageEncoding::Plain`] or the encoded form fails to reach
+/// half the plain bytes (the eviction then drops the page cold instead).
+pub fn compress(codes: &PackedCodes, pick: PageEncoding) -> Option<CompressedPage> {
+    let rows = codes.len();
+    if rows == 0 {
+        return None;
+    }
+    let plain = codes.bytes();
+    let bytes = match pick {
+        PageEncoding::Plain => return None,
+        PageEncoding::Rle => encode_rle(codes),
+        PageEncoding::Palette => encode_palette(codes)?,
+    };
+    if bytes.len() * 2 > plain {
+        return None;
+    }
+    Some(CompressedPage { encoding: pick, width: codes.width(), rows, bytes })
+}
+
+/// Rebuilds the exact page [`compress`] consumed.
+pub fn decompress(page: &CompressedPage) -> Result<PackedCodes, StoreError> {
+    let codes = match page.encoding {
+        PageEncoding::Plain => {
+            return Err(StoreError::Corrupt("plain pages are never stored compressed".into()))
+        }
+        PageEncoding::Rle => decode_rle(&page.bytes, page.rows)?,
+        PageEncoding::Palette => decode_palette(&page.bytes, page.rows)?,
+    };
+    Ok(PackedCodes::pack(&codes, page.width))
+}
+
+/// Number of runs a run-length encoding of the page would hold — the
+/// sketch-free fallback signal for [`pick_encoding`] when no histogram
+/// is available (one sequential pass, no allocation).
+pub fn count_runs(codes: &PackedCodes) -> usize {
+    for_packed!(codes, |codes| {
+        let mut runs = 0usize;
+        let mut prev = None;
+        for &c in codes {
+            if prev != Some(c) {
+                runs += 1;
+                prev = Some(c);
+            }
+        }
+        runs
+    })
+}
+
+fn ceil_log2(d: usize) -> usize {
+    (usize::BITS - (d - 1).leading_zeros()) as usize
+}
+
+fn encode_rle(codes: &PackedCodes) -> Vec<u8> {
+    let mut runs: Vec<(Code, u32)> = Vec::new();
+    for_packed!(codes, |codes| {
+        for &c in codes {
+            let c = c.widen();
+            match runs.last_mut() {
+                Some((prev, len)) if *prev == c => *len += 1,
+                _ => runs.push((c, 1)),
+            }
+        }
+    });
+    let mut out = Vec::with_capacity(4 + runs.len() * 8);
+    out.extend_from_slice(&(runs.len() as u32).to_le_bytes());
+    for (code, len) in runs {
+        out.extend_from_slice(&code.to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
+    }
+    out
+}
+
+fn decode_rle(bytes: &[u8], rows: usize) -> Result<Vec<Code>, StoreError> {
+    let mut buf = bytes;
+    let run_count = get_u32(&mut buf)? as usize;
+    if buf.len() != run_count * 8 {
+        return Err(StoreError::Corrupt("rle page: length mismatch".into()));
+    }
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..run_count {
+        let code = get_u32(&mut buf)?;
+        let len = get_u32(&mut buf)? as usize;
+        if out.len() + len > rows {
+            return Err(StoreError::Corrupt("rle page: more rows than declared".into()));
+        }
+        out.resize(out.len() + len, code);
+    }
+    if out.len() != rows {
+        return Err(StoreError::Corrupt("rle page: fewer rows than declared".into()));
+    }
+    Ok(out)
+}
+
+fn encode_palette(codes: &PackedCodes) -> Option<Vec<u8>> {
+    // Sorted distinct codes; ascending order makes the encoding (and so
+    // the round-trip) deterministic.
+    let mut palette: Vec<Code> = Vec::new();
+    for_packed!(codes, |codes| {
+        for &c in codes {
+            let c = c.widen();
+            if let Err(slot) = palette.binary_search(&c) {
+                if palette.len() >= MAX_PALETTE {
+                    return None;
+                }
+                palette.insert(slot, c);
+            }
+        }
+        Some(())
+    })?;
+    if palette.len() < 2 {
+        return None; // d == 1 belongs to RLE
+    }
+    let bits = ceil_log2(palette.len());
+    let rows = codes.len();
+    let mut out = Vec::with_capacity(4 + palette.len() * 4 + (rows * bits).div_ceil(8));
+    out.extend_from_slice(&(palette.len() as u32).to_le_bytes());
+    for &c in &palette {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    // LSB-first bit stream of palette indices.
+    let mut acc: u64 = 0;
+    let mut filled = 0usize;
+    for_packed!(codes, |codes| {
+        for &c in codes {
+            let idx = palette.binary_search(&c.widen()).expect("code in palette") as u64;
+            acc |= idx << filled;
+            filled += bits;
+            while filled >= 8 {
+                out.push(acc as u8);
+                acc >>= 8;
+                filled -= 8;
+            }
+        }
+    });
+    if filled > 0 {
+        out.push(acc as u8);
+    }
+    Some(out)
+}
+
+fn decode_palette(bytes: &[u8], rows: usize) -> Result<Vec<Code>, StoreError> {
+    let mut buf = bytes;
+    let d = get_u32(&mut buf)? as usize;
+    if !(2..=MAX_PALETTE).contains(&d) {
+        return Err(StoreError::Corrupt("palette page: invalid palette size".into()));
+    }
+    if buf.len() < d * 4 {
+        return Err(StoreError::Corrupt("palette page: truncated palette".into()));
+    }
+    let mut palette = Vec::with_capacity(d);
+    for _ in 0..d {
+        palette.push(get_u32(&mut buf)?);
+    }
+    let bits = ceil_log2(d);
+    if buf.len() != (rows * bits).div_ceil(8) {
+        return Err(StoreError::Corrupt("palette page: length mismatch".into()));
+    }
+    let mask = (1u64 << bits) - 1;
+    let mut out = Vec::with_capacity(rows);
+    let mut acc: u64 = 0;
+    let mut filled = 0usize;
+    let mut next = buf.iter();
+    for _ in 0..rows {
+        while filled < bits {
+            acc |= (*next.next().expect("length checked") as u64) << filled;
+            filled += 8;
+        }
+        let idx = (acc & mask) as usize;
+        acc >>= bits;
+        filled -= bits;
+        let code = *palette
+            .get(idx)
+            .ok_or_else(|| StoreError::Corrupt("palette page: index out of range".into()))?;
+        out.push(code);
+    }
+    Ok(out)
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, StoreError> {
+    if buf.len() < 4 {
+        return Err(StoreError::Corrupt("truncated compressed page".into()));
+    }
+    let (head, tail) = buf.split_at(4);
+    *buf = tail;
+    Ok(u32::from_le_bytes(head.try_into().expect("split at 4")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn page(support: u32, rows: usize, seed: u64) -> PackedCodes {
+        let mut s = seed;
+        let codes: Vec<Code> =
+            (0..rows).map(|_| (splitmix(&mut s) % support as u64) as u32).collect();
+        PackedCodes::pack(&codes, Width::for_support(support))
+    }
+
+    #[test]
+    fn pick_rule_shapes() {
+        // Constant page: RLE.
+        assert_eq!(pick_encoding(1, 65536, Width::U8), PageEncoding::Rle);
+        // Tiny support over a u32 column: palette wins big.
+        assert_eq!(pick_encoding(4, 65536, Width::U32), PageEncoding::Palette);
+        // Full-byte-range support at u8: nothing to win.
+        assert_eq!(pick_encoding(256, 65536, Width::U8), PageEncoding::Plain);
+        // Empty page: plain.
+        assert_eq!(pick_encoding(0, 0, Width::U8), PageEncoding::Plain);
+        // Past the palette cap: plain.
+        assert_eq!(pick_encoding(MAX_PALETTE + 1, 65536, Width::U32), PageEncoding::Plain);
+    }
+
+    #[test]
+    fn rle_round_trips_exactly() {
+        for (support, rows) in [(1u32, 100usize), (3, 4096), (70000, 1)] {
+            let codes = page(support, rows, 7);
+            let c = compress(&codes, PageEncoding::Rle);
+            if let Some(c) = c {
+                assert_eq!(decompress(&c).unwrap(), codes, "support {support} rows {rows}");
+            }
+        }
+        // A constant page compresses to a handful of bytes.
+        let constant = PackedCodes::pack(&vec![9; 65536], Width::U16);
+        let c = compress(&constant, PageEncoding::Rle).expect("constant page compresses");
+        assert!(c.bytes_len() <= 16, "{}", c.bytes_len());
+        assert_eq!(decompress(&c).unwrap(), constant);
+    }
+
+    #[test]
+    fn palette_round_trips_across_widths_and_sizes() {
+        for support in [2u32, 5, 200, 1000, 70000] {
+            for rows in [1usize, 7, 4096, 65536] {
+                let codes = page(support, rows, support as u64 * 31 + rows as u64);
+                if let Some(c) = compress(&codes, PageEncoding::Palette) {
+                    let back = decompress(&c).unwrap();
+                    assert_eq!(back, codes, "support {support} rows {rows}");
+                    assert!(c.bytes_len() * 2 <= codes.bytes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_u32_page_compresses_at_least_four_to_one() {
+        // 8 distinct codes in a u32 column: 3 index bits vs 32 plain.
+        let mut s = 3u64;
+        let codes: Vec<Code> = (0..65536)
+            .map(|_| 70_000 * ((splitmix(&mut s) % 8) as u32 / 7) + (splitmix(&mut s) % 8) as u32)
+            .collect();
+        let packed = PackedCodes::pack(&codes, Width::U32);
+        let c = compress(&packed, PageEncoding::Palette).expect("skewed page compresses");
+        assert!(c.bytes_len() * 4 <= packed.bytes(), "{} vs {}", c.bytes_len(), packed.bytes());
+        assert_eq!(decompress(&c).unwrap(), packed);
+    }
+
+    #[test]
+    fn uncompressible_pages_are_refused() {
+        // Uniform full-range u8 page: neither codec reaches half size.
+        let codes = page(256, 65536, 11);
+        assert!(compress(&codes, PageEncoding::Rle).is_none());
+        assert!(compress(&codes, PageEncoding::Palette).is_none());
+        assert!(compress(&codes, PageEncoding::Plain).is_none());
+        assert!(compress(&PackedCodes::U8(vec![]), PageEncoding::Rle).is_none());
+    }
+
+    #[test]
+    fn count_runs_matches_structure() {
+        assert_eq!(count_runs(&PackedCodes::U8(vec![])), 0);
+        assert_eq!(count_runs(&PackedCodes::U8(vec![5; 100])), 1);
+        assert_eq!(count_runs(&PackedCodes::U8(vec![1, 1, 2, 2, 2, 1])), 3);
+    }
+
+    #[test]
+    fn decompress_rejects_corrupt_bytes() {
+        let codes = PackedCodes::pack(&vec![3; 1000], Width::U8);
+        let mut c = compress(&codes, PageEncoding::Rle).unwrap();
+        c.bytes[4] ^= 0x40; // code of the only run changes — still decodes
+        assert!(decompress(&c).is_ok());
+        c.bytes.truncate(3); // structural damage must error
+        assert!(decompress(&c).is_err());
+        let codes = page(6, 4096, 9);
+        let mut c = compress(&codes, PageEncoding::Palette).unwrap();
+        c.bytes.truncate(c.bytes.len() - 1);
+        assert!(decompress(&c).is_err());
+    }
+}
